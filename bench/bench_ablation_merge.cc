@@ -1,0 +1,141 @@
+// Ablation: the design choices inside Impatience sort, beyond the
+// Figure 7 toggles.
+//
+//  (1) Merge policy for head runs — Huffman (smallest-two-first) vs
+//      balanced pairwise vs k-way heap merge: element moves and
+//      throughput. The paper's §III-E1 claims up to 30% from the Huffman
+//      order; reference [9] motivates binary merges over a heap.
+//  (2) Speculative run selection — hit rate per workload (§III-E2 is most
+//      valuable on AndroidLog's long natural runs).
+//  (3) Run-compaction — memory with and without the consumed-prefix
+//      compaction that keeps buffered bytes proportional to live events.
+
+#include <vector>
+
+#include "bench/harness.h"
+#include "sort/impatience_sorter.h"
+#include "workload/generators.h"
+
+namespace impatience::bench {
+namespace {
+
+struct DatasetRef {
+  std::string name;
+  std::vector<Event> events;
+  Timestamp reorder_latency;
+};
+
+std::vector<DatasetRef> Datasets(size_t n) {
+  std::vector<DatasetRef> d;
+  d.push_back({"Synthetic", BenchSynthetic(n, 30, 64).events, 600});
+  d.push_back({"CloudLog", BenchCloudLog(n).events, 25 * kMinute});
+  d.push_back({"AndroidLog", BenchAndroidLog(n).events, 3 * kDay});
+  return d;
+}
+
+struct SortOutcome {
+  double throughput_meps = 0;
+  uint64_t elements_moved = 0;
+  uint64_t srs_hits = 0;
+  uint64_t pushes = 0;
+  size_t peak_memory = 0;
+};
+
+SortOutcome RunSorter(const DatasetRef& d, ImpatienceConfig config,
+                      size_t punctuation_period) {
+  ImpatienceSorter<Event> sorter(config);
+  std::vector<Event> out;
+  size_t peak_memory = 0;
+  const double secs = TimeSeconds([&]() {
+    Timestamp high_watermark = kMinTimestamp;
+    Timestamp last_punct = kMinTimestamp;
+    for (size_t i = 0; i < d.events.size(); ++i) {
+      sorter.Push(d.events[i]);
+      if (d.events[i].sync_time > high_watermark) {
+        high_watermark = d.events[i].sync_time;
+      }
+      if ((i + 1) % punctuation_period == 0) {
+        const Timestamp p = high_watermark - d.reorder_latency;
+        if (p > last_punct) {
+          out.clear();
+          sorter.OnPunctuation(p, &out);
+          last_punct = p;
+          peak_memory = std::max(peak_memory, sorter.MemoryBytes());
+        }
+      }
+    }
+    out.clear();
+    sorter.Flush(&out);
+  });
+  return {Throughput(d.events.size(), secs),
+          sorter.counters().merge.elements_moved, sorter.counters().srs_hits,
+          sorter.counters().pushes, peak_memory};
+}
+
+void Run() {
+  const size_t n = EventCount();
+  const std::vector<DatasetRef> datasets = Datasets(n);
+  constexpr size_t kPeriod = 10000;
+
+  Section("Ablation 1: head-run merge policy (punctuation every 10k)");
+  {
+    TablePrinter table({"dataset", "policy", "throughput_Me/s",
+                        "elements_moved"});
+    for (const DatasetRef& d : datasets) {
+      for (const auto& [policy, label] :
+           {std::pair{MergePolicy::kHuffman, "Huffman"},
+            std::pair{MergePolicy::kBalanced, "Balanced"},
+            std::pair{MergePolicy::kHeap, "HeapMerge"}}) {
+        ImpatienceConfig config;
+        config.merge_policy = policy;
+        const SortOutcome r = RunSorter(d, config, kPeriod);
+        table.PrintRow({d.name, label,
+                        TablePrinter::Num(r.throughput_meps),
+                        TablePrinter::Int(r.elements_moved)});
+      }
+    }
+  }
+
+  Section("Ablation 2: speculative run selection hit rate");
+  {
+    TablePrinter table({"dataset", "srs_hits", "pushes", "hit_rate"});
+    for (const DatasetRef& d : datasets) {
+      const SortOutcome r = RunSorter(d, ImpatienceConfig{}, kPeriod);
+      const double rate = r.pushes == 0
+                              ? 0
+                              : 100.0 * static_cast<double>(r.srs_hits) /
+                                    static_cast<double>(r.pushes);
+      table.PrintRow({d.name, TablePrinter::Int(r.srs_hits),
+                      TablePrinter::Int(r.pushes),
+                      TablePrinter::Num(rate, 1) + "%"});
+    }
+  }
+
+  Section("Ablation 3: run compaction (peak sorter bytes, punctuation "
+          "every 10k)");
+  {
+    TablePrinter table({"dataset", "with_compaction_MB",
+                        "without_compaction_MB"});
+    for (const DatasetRef& d : datasets) {
+      ImpatienceConfig with;
+      ImpatienceConfig without;
+      without.compact_fraction = 2.0;  // Never triggers.
+      const SortOutcome a = RunSorter(d, with, kPeriod);
+      const SortOutcome b = RunSorter(d, without, kPeriod);
+      table.PrintRow(
+          {d.name,
+           TablePrinter::Num(static_cast<double>(a.peak_memory) / (1 << 20)),
+           TablePrinter::Num(static_cast<double>(b.peak_memory) /
+                             (1 << 20))});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impatience::bench
+
+int main() {
+  impatience::bench::InitBenchProcess();
+  impatience::bench::Run();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks for the kernels underlying the paper's
+// results: binary vs heap k-way merges (reference [9]'s observation),
+// partition-phase insertion with and without speculative run selection,
+// and the offline sorts on canonical distributions.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "sort/impatience_sorter.h"
+#include "sort/merge.h"
+#include "sort/sort_algorithms.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+std::vector<std::vector<int64_t>> MakeRuns(size_t k, size_t run_len,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> runs(k);
+  for (auto& run : runs) {
+    int64_t v = static_cast<int64_t>(rng.NextBelow(100));
+    run.reserve(run_len);
+    for (size_t i = 0; i < run_len; ++i) {
+      v += static_cast<int64_t>(rng.NextBelow(8));
+      run.push_back(v);
+    }
+  }
+  return runs;
+}
+
+void BM_MergePolicy(benchmark::State& state, MergePolicy policy) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t run_len = 100000 / k;
+  const auto source = MakeRuns(k, run_len, /*seed=*/1);
+  for (auto _ : state) {
+    auto runs = source;
+    std::vector<int64_t> out;
+    MergeRunsInto(policy, &runs, std::less<int64_t>(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k * run_len));
+}
+BENCHMARK_CAPTURE(BM_MergePolicy, huffman, MergePolicy::kHuffman)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_MergePolicy, balanced, MergePolicy::kBalanced)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_MergePolicy, heap, MergePolicy::kHeap)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+void BM_PartitionPhase(benchmark::State& state, bool srs) {
+  const auto input = testing::BatchUploadSequence(
+      100000, /*batch=*/1000, /*seed=*/3);  // Long runs: SRS's best case.
+  for (auto _ : state) {
+    ImpatienceConfig config;
+    config.speculative_run_selection = srs;
+    ImpatienceSorter<Timestamp, IdentityTimeOf> sorter(config);
+    for (const Timestamp t : input) sorter.Push(t);
+    benchmark::DoNotOptimize(sorter.run_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK_CAPTURE(BM_PartitionPhase, with_srs, true);
+BENCHMARK_CAPTURE(BM_PartitionPhase, without_srs, false);
+
+void BM_OfflineSort(benchmark::State& state, OfflineAlgorithm algorithm) {
+  const auto input =
+      testing::NearlySortedSequence(100000, 30, 64, /*seed=*/5);
+  for (auto _ : state) {
+    std::vector<Timestamp> copy = input;
+    OfflineSort<Timestamp, IdentityTimeOf>(algorithm, &copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK_CAPTURE(BM_OfflineSort, impatience, OfflineAlgorithm::kImpatience);
+BENCHMARK_CAPTURE(BM_OfflineSort, quicksort, OfflineAlgorithm::kQuicksort);
+BENCHMARK_CAPTURE(BM_OfflineSort, timsort, OfflineAlgorithm::kTimsort);
+BENCHMARK_CAPTURE(BM_OfflineSort, heapsort, OfflineAlgorithm::kHeapsort);
+
+void BM_HeapSorterOnline(benchmark::State& state) {
+  const auto input =
+      testing::NearlySortedSequence(100000, 30, 64, /*seed=*/7);
+  for (auto _ : state) {
+    HeapSorter<Timestamp, IdentityTimeOf> sorter;
+    std::vector<Timestamp> out;
+    Timestamp high_watermark = kMinTimestamp;
+    Timestamp last_punct = kMinTimestamp;
+    for (size_t i = 0; i < input.size(); ++i) {
+      sorter.Push(input[i]);
+      if (input[i] > high_watermark) high_watermark = input[i];
+      if ((i + 1) % 1000 == 0 && high_watermark - 600 > last_punct) {
+        out.clear();
+        last_punct = high_watermark - 600;
+        sorter.OnPunctuation(last_punct, &out);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_HeapSorterOnline);
+
+}  // namespace
+}  // namespace impatience
+
+BENCHMARK_MAIN();

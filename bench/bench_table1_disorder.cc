@@ -1,0 +1,69 @@
+// Table I (and Figure 2 data): disorder statistics for the two simulated
+// real-world datasets plus the synthetic default.
+//
+// Paper values (20M events):          CloudLog        AndroidLog
+//   Inversions                        5.35e10         7.30e13
+//   Distance                          13,635,714      19,990,056
+//   Runs                              7,382,495       5,560
+//   Interleaved                       387             227
+// The simulations reproduce the *shape*: CloudLog has millions of tiny
+// runs but few interleaved runs; AndroidLog has few, huge runs and an
+// astronomically larger inversion count. Set IMPATIENCE_EXPORT_FIG2=dir to
+// dump seq/sync_time CSVs for Figure 2-style scatter plots.
+
+#include <cstdlib>
+#include <string>
+
+#include "bench/harness.h"
+#include "sort/disorder_stats.h"
+#include "workload/generators.h"
+#include "workload/io.h"
+
+namespace impatience::bench {
+namespace {
+
+void Report(TablePrinter* table, const Dataset& dataset) {
+  const std::vector<Timestamp> times = SyncTimes(dataset.events);
+  const DisorderStats stats = ComputeDisorderStats(times);
+  const double avg_run =
+      stats.runs == 0
+          ? 0
+          : static_cast<double>(times.size()) /
+                static_cast<double>(stats.runs);
+  table->PrintRow({dataset.name, TablePrinter::Int(times.size()),
+                   TablePrinter::Int(stats.inversions),
+                   TablePrinter::Int(stats.distance),
+                   TablePrinter::Int(stats.runs),
+                   TablePrinter::Int(stats.interleaved),
+                   TablePrinter::Num(avg_run, 1)});
+
+  const char* dir = std::getenv("IMPATIENCE_EXPORT_FIG2");
+  if (dir != nullptr) {
+    const std::string path =
+        std::string(dir) + "/fig2_" + dataset.name + ".csv";
+    if (ExportDatasetCsv(dataset, path)) {
+      std::printf("  (Figure 2 series written to %s)\n", path.c_str());
+    }
+  }
+}
+
+void Run() {
+  const size_t n = EventCount();
+  Section("Table I: measures of disorder (paper: CloudLog 5.4e10 "
+          "inversions / 7.4M runs / 387 interleaved; AndroidLog 7.3e13 "
+          "inversions / 5,560 runs / 227 interleaved at 20M events)");
+  TablePrinter table({"dataset", "events", "inversions", "distance", "runs",
+                      "interleaved", "avg_run_len"});
+  Report(&table, BenchCloudLog(n));
+  Report(&table, BenchAndroidLog(n));
+  Report(&table, BenchSynthetic(n));
+}
+
+}  // namespace
+}  // namespace impatience::bench
+
+int main() {
+  impatience::bench::InitBenchProcess();
+  impatience::bench::Run();
+  return 0;
+}

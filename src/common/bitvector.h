@@ -1,0 +1,72 @@
+// A compact bit vector used by the engine's selection operator.
+//
+// Trill filters events by marking bits in a per-batch bitmap rather than
+// compacting the batch (paper §VI-C); downstream operators skip marked rows.
+// This class provides exactly that: a fixed-size bitmap with fast set /
+// test / count operations.
+
+#ifndef IMPATIENCE_COMMON_BITVECTOR_H_
+#define IMPATIENCE_COMMON_BITVECTOR_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace impatience {
+
+// Dynamic bitset; all bits start cleared.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t size) { Resize(size); }
+
+  // Number of addressable bits.
+  size_t size() const { return size_; }
+
+  // Grows or shrinks to `size` bits; newly exposed bits are cleared.
+  void Resize(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  // Clears all bits, keeping the size.
+  void ClearAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  void Set(size_t i) {
+    IMPATIENCE_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    IMPATIENCE_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    IMPATIENCE_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // Number of set bits.
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  // Approximate heap footprint, for memory accounting.
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_BITVECTOR_H_

@@ -1,0 +1,45 @@
+// Lightweight runtime assertion macros.
+//
+// The library is built without exceptions (see DESIGN.md); programming errors
+// and violated invariants terminate the process with a diagnostic instead.
+// IMPATIENCE_CHECK is always on (benchmark-hot paths use
+// IMPATIENCE_DCHECK, which compiles away in release builds).
+
+#ifndef IMPATIENCE_COMMON_CHECK_H_
+#define IMPATIENCE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Usable in any build mode.
+#define IMPATIENCE_CHECK(condition)                                         \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// CHECK with a printf-style explanation appended to the diagnostic.
+#define IMPATIENCE_CHECK_MSG(condition, ...)                                \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__,         \
+                   __LINE__, #condition);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Debug-only check for hot paths; disappears when NDEBUG is defined.
+#ifdef NDEBUG
+#define IMPATIENCE_DCHECK(condition) \
+  do {                               \
+  } while (0)
+#else
+#define IMPATIENCE_DCHECK(condition) IMPATIENCE_CHECK(condition)
+#endif
+
+#endif  // IMPATIENCE_COMMON_CHECK_H_

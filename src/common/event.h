@@ -1,0 +1,67 @@
+// The event model, mirroring Trill's record layout.
+//
+// Per the paper (§IV-A2, §VI-C), every event carries two 64-bit timestamps
+// (sync time = event/application time, other time = the end of its validity
+// interval), a 32-bit grouping key, a 64-bit hash of that key, and a fixed
+// number of 32-bit payload fields (the paper's experiments use four).
+//
+// The payload width is a template parameter so that the projection
+// experiment (Figure 9(b)) measures a genuine event-size effect: projecting
+// columns yields a physically narrower event type.
+
+#ifndef IMPATIENCE_COMMON_EVENT_H_
+#define IMPATIENCE_COMMON_EVENT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/timestamp.h"
+
+namespace impatience {
+
+// A single event with `W` 32-bit payload columns.
+template <int W>
+struct BasicEvent {
+  static constexpr int kPayloadWidth = W;
+
+  Timestamp sync_time = 0;   // Event (application) time.
+  Timestamp other_time = 0;  // End of the validity interval.
+  int32_t key = 0;           // Grouping key.
+  uint64_t hash = 0;         // Hash of the grouping key.
+  std::array<int32_t, W> payload = {};
+
+  friend bool operator==(const BasicEvent&, const BasicEvent&) = default;
+};
+
+// The default event shape used by the engine and benchmarks: four payload
+// fields, as in the paper's evaluation (§VI-A).
+using Event = BasicEvent<4>;
+
+// Mixes a 32-bit key into a well-distributed 64-bit hash (SplitMix64
+// finalizer). Used when constructing events and by grouping operators.
+inline uint64_t HashKey(int32_t key) {
+  uint64_t z = static_cast<uint64_t>(static_cast<uint32_t>(key)) +
+               0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Extracts the ordering timestamp from sortable element types. Sorters are
+// templated on an extractor so they can sort raw timestamps in unit tests
+// and full events in the engine with the same code.
+struct SyncTimeOf {
+  template <int W>
+  Timestamp operator()(const BasicEvent<W>& e) const {
+    return e.sync_time;
+  }
+};
+
+// Identity extractor for sorting bare timestamps.
+struct IdentityTimeOf {
+  Timestamp operator()(Timestamp t) const { return t; }
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_EVENT_H_

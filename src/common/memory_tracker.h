@@ -1,0 +1,110 @@
+// Byte-accurate accounting of operator buffer usage.
+//
+// The paper's Figure 10(b)/(d) compares the memory footprint of query
+// execution strategies. Instead of sampling process RSS (noisy, allocator-
+// dependent), every buffering site in this library — sorter runs, adapter
+// buffers, union synchronization buffers, ingress reorder buffers — reports
+// its current byte count to a MemoryTracker, which maintains the running
+// total and the high-watermark.
+
+#ifndef IMPATIENCE_COMMON_MEMORY_TRACKER_H_
+#define IMPATIENCE_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace impatience {
+
+// Aggregates buffer sizes across many reporting sites.
+//
+// Usage: a buffering component holds a MemoryReservation tied to a tracker
+// and calls Update(bytes) whenever its footprint changes; the reservation
+// releases its bytes on destruction. Components without a tracker pass
+// nullptr and all calls become no-ops.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  // Current total across all live reservations, in bytes.
+  size_t current_bytes() const { return current_; }
+
+  // Largest value current_bytes() has reached since construction/Reset.
+  size_t peak_bytes() const { return peak_; }
+
+  // Clears both the running total contribution baseline and the peak.
+  // Live reservations keep their bytes; the peak restarts from the current
+  // total.
+  void ResetPeak() { peak_ = current_; }
+
+ private:
+  friend class MemoryReservation;
+
+  void Add(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Sub(size_t bytes) { current_ -= bytes; }
+
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+// One reporting site's stake in a MemoryTracker. Movable, not copyable.
+class MemoryReservation {
+ public:
+  // A reservation with a null tracker is valid and ignores all updates.
+  explicit MemoryReservation(MemoryTracker* tracker = nullptr)
+      : tracker_(tracker) {}
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Release();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  ~MemoryReservation() { Release(); }
+
+  // Sets this site's current footprint to `bytes` (absolute, not delta).
+  void Update(size_t bytes) {
+    if (tracker_ == nullptr) {
+      bytes_ = bytes;
+      return;
+    }
+    if (bytes > bytes_) {
+      tracker_->Add(bytes - bytes_);
+    } else {
+      tracker_->Sub(bytes_ - bytes);
+    }
+    bytes_ = bytes;
+  }
+
+  // This site's last reported footprint.
+  size_t bytes() const { return bytes_; }
+
+ private:
+  void Release() {
+    if (tracker_ != nullptr && bytes_ > 0) tracker_->Sub(bytes_);
+    bytes_ = 0;
+  }
+
+  MemoryTracker* tracker_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (workload generators, property tests,
+// benchmark inputs) flows through Rng so that every run is reproducible
+// from a seed. The generator is xoshiro256**, seeded via SplitMix64.
+
+#ifndef IMPATIENCE_COMMON_RANDOM_H_
+#define IMPATIENCE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace impatience {
+
+// A small, fast, seedable PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  // Seeds the generator deterministically; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  // sampling, so the result is unbiased.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Sample from a normal distribution with the given mean and standard
+  // deviation (Box-Muller; one spare value is cached between calls).
+  double NextGaussian(double mean, double stddev);
+
+  // Bernoulli trial: true with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Sample from an exponential distribution with the given mean (> 0).
+  double NextExponential(double mean);
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_RANDOM_H_

@@ -1,0 +1,38 @@
+// Logical time used throughout the library.
+//
+// Timestamps are 64-bit signed integers in application-defined units
+// (the benchmarks use milliseconds). Two distinguished values bound the
+// domain: kMinTimestamp is "before everything" and kMaxTimestamp acts as
+// the infinite punctuation that flushes all buffered state (paper §III-A).
+
+#ifndef IMPATIENCE_COMMON_TIMESTAMP_H_
+#define IMPATIENCE_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace impatience {
+
+// Event (application) time. Processing time is represented implicitly by
+// arrival order; see DESIGN.md §4.
+using Timestamp = int64_t;
+
+// Sentinel meaning "no timestamp yet" / before all events.
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+// The infinite punctuation: every buffered event is <= kMaxTimestamp, so a
+// punctuation carrying it flushes everything.
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+// Common duration constants (milliseconds), used by examples and benches.
+inline constexpr Timestamp kMillisecond = 1;
+inline constexpr Timestamp kSecond = 1000;
+inline constexpr Timestamp kMinute = 60 * kSecond;
+inline constexpr Timestamp kHour = 60 * kMinute;
+inline constexpr Timestamp kDay = 24 * kHour;
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_TIMESTAMP_H_

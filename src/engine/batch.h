@@ -1,0 +1,112 @@
+// Columnar event batches — the engine's unit of data flow.
+//
+// Following Trill (paper §I-A, §VI-C), events move through the engine in
+// columnar batches: one vector per field plus a filter bitmap. A selection
+// operator only marks bits; downstream operators skip marked rows but still
+// scan past them, which is why the paper's Figure 9(a) speedups are below
+// the ideal 1/selectivity.
+
+#ifndef IMPATIENCE_ENGINE_BATCH_H_
+#define IMPATIENCE_ENGINE_BATCH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/check.h"
+#include "common/event.h"
+#include "common/timestamp.h"
+
+namespace impatience {
+
+// Default number of rows per batch.
+inline constexpr size_t kDefaultBatchSize = 4096;
+
+// A batch of events with `W` payload columns, stored column-major.
+template <int W>
+struct EventBatch {
+  std::vector<Timestamp> sync_time;
+  std::vector<Timestamp> other_time;
+  std::vector<int32_t> key;
+  std::vector<uint64_t> hash;
+  std::array<std::vector<int32_t>, W> payload;
+  // filtered.Test(i) == true means row i has been logically deleted.
+  BitVector filtered;
+
+  size_t size() const { return sync_time.size(); }
+  bool empty() const { return sync_time.empty(); }
+
+  void Reserve(size_t rows) {
+    sync_time.reserve(rows);
+    other_time.reserve(rows);
+    key.reserve(rows);
+    hash.reserve(rows);
+    for (auto& col : payload) col.reserve(rows);
+  }
+
+  void Clear() {
+    sync_time.clear();
+    other_time.clear();
+    key.clear();
+    hash.clear();
+    for (auto& col : payload) col.clear();
+    filtered.Resize(0);
+  }
+
+  // Appends one event as a new unfiltered row. The filter bitmap must be
+  // (re)sized by SealFilter() after the last append.
+  void AppendEvent(const BasicEvent<W>& e) {
+    sync_time.push_back(e.sync_time);
+    other_time.push_back(e.other_time);
+    key.push_back(e.key);
+    hash.push_back(e.hash);
+    for (int c = 0; c < W; ++c) payload[c].push_back(e.payload[c]);
+  }
+
+  // Sizes the filter bitmap to the current row count (all bits clear).
+  void SealFilter() { filtered.Resize(size()); }
+
+  // Materializes row `i` as an event struct.
+  BasicEvent<W> RowAt(size_t i) const {
+    IMPATIENCE_DCHECK(i < size());
+    BasicEvent<W> e;
+    e.sync_time = sync_time[i];
+    e.other_time = other_time[i];
+    e.key = key[i];
+    e.hash = hash[i];
+    for (int c = 0; c < W; ++c) e.payload[c] = payload[c][i];
+    return e;
+  }
+
+  // Number of live (unfiltered) rows.
+  size_t LiveCount() const { return size() - filtered.CountSet(); }
+
+  // Approximate heap footprint, for memory accounting.
+  size_t MemoryBytes() const {
+    size_t bytes = (sync_time.capacity() + other_time.capacity()) *
+                       sizeof(Timestamp) +
+                   key.capacity() * sizeof(int32_t) +
+                   hash.capacity() * sizeof(uint64_t) +
+                   filtered.MemoryBytes();
+    for (const auto& col : payload) bytes += col.capacity() * sizeof(int32_t);
+    return bytes;
+  }
+};
+
+// Builds a batch from a row span. All rows unfiltered.
+template <int W>
+EventBatch<W> MakeBatch(const std::vector<BasicEvent<W>>& events,
+                        size_t begin, size_t end) {
+  IMPATIENCE_DCHECK(begin <= end && end <= events.size());
+  EventBatch<W> batch;
+  batch.Reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) batch.AppendEvent(events[i]);
+  batch.SealFilter();
+  return batch;
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_BATCH_H_

@@ -1,0 +1,312 @@
+// Windowed grouped aggregation over in-order streams.
+//
+// These operators assume their input is ordered by sync_time (the sorting
+// operator guarantees this), so their state is one window deep: a hash map
+// from group key to aggregate state for the current window, flushed the
+// moment the stream moves past it. This is what makes the advanced
+// Impatience framework memory-light — per-band PIQ operators reduce raw
+// events to one row per (window, group) before anything is buffered for
+// synchronization (paper §V-B).
+//
+// GroupAggregateOp applies an aggregate policy per (window, key).
+// CombinePartialsOp merges partial aggregates that meet again after a
+// union (the framework's "merge function"). TopKOp selects the k largest
+// results per window.
+
+#ifndef IMPATIENCE_ENGINE_OPS_AGGREGATE_H_
+#define IMPATIENCE_ENGINE_OPS_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+// ---------------------------------------------------------------------------
+// Aggregate policies. A policy defines per-group State plus Add/Value.
+
+// COUNT(*) per group.
+struct CountAggregate {
+  using State = int64_t;
+  static constexpr State Init() { return 0; }
+  template <int W>
+  static void Add(State* s, const EventBatch<W>& batch, size_t row) {
+    (void)batch;
+    (void)row;
+    ++*s;
+  }
+  static int32_t Value(const State& s) {
+    return static_cast<int32_t>(s);
+  }
+};
+
+// SUM(payload[Column]) per group.
+template <int Column>
+struct SumAggregate {
+  using State = int64_t;
+  static constexpr State Init() { return 0; }
+  template <int W>
+  static void Add(State* s, const EventBatch<W>& batch, size_t row) {
+    static_assert(Column >= 0 && Column < W);
+    *s += batch.payload[Column][row];
+  }
+  static int32_t Value(const State& s) {
+    return static_cast<int32_t>(s);
+  }
+};
+
+// MIN(payload[Column]) per group.
+template <int Column>
+struct MinAggregate {
+  using State = int64_t;
+  static constexpr State Init() { return INT64_MAX; }
+  template <int W>
+  static void Add(State* s, const EventBatch<W>& batch, size_t row) {
+    static_assert(Column >= 0 && Column < W);
+    *s = std::min<int64_t>(*s, batch.payload[Column][row]);
+  }
+  static int32_t Value(const State& s) {
+    return static_cast<int32_t>(s);
+  }
+};
+
+// AVG(payload[Column]) per group, rounded toward zero.
+template <int Column>
+struct AvgAggregate {
+  struct State {
+    int64_t sum = 0;
+    int64_t count = 0;
+  };
+  static State Init() { return {}; }
+  template <int W>
+  static void Add(State* s, const EventBatch<W>& batch, size_t row) {
+    static_assert(Column >= 0 && Column < W);
+    s->sum += batch.payload[Column][row];
+    ++s->count;
+  }
+  static int32_t Value(const State& s) {
+    return s.count == 0 ? 0 : static_cast<int32_t>(s.sum / s.count);
+  }
+};
+
+// COUNT(DISTINCT payload[Column]) per group.
+template <int Column>
+struct DistinctCountAggregate {
+  using State = std::unordered_set<int32_t>;
+  static State Init() { return {}; }
+  template <int W>
+  static void Add(State* s, const EventBatch<W>& batch, size_t row) {
+    static_assert(Column >= 0 && Column < W);
+    s->insert(batch.payload[Column][row]);
+  }
+  static int32_t Value(const State& s) {
+    return static_cast<int32_t>(s.size());
+  }
+};
+
+// MAX(payload[Column]) per group.
+template <int Column>
+struct MaxAggregate {
+  using State = int64_t;
+  static constexpr State Init() { return INT64_MIN; }
+  template <int W>
+  static void Add(State* s, const EventBatch<W>& batch, size_t row) {
+    static_assert(Column >= 0 && Column < W);
+    *s = std::max<int64_t>(*s, batch.payload[Column][row]);
+  }
+  static int32_t Value(const State& s) {
+    return static_cast<int32_t>(s);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+// Grouped aggregation keyed on the event's `key` field, one window at a
+// time. Emits one event per (window, group): sync/other time = the window,
+// key = the group, payload[0] = the aggregate value.
+template <int W, typename Agg>
+class GroupAggregateOp : public Operator<W, W> {
+ public:
+  explicit GroupAggregateOp(size_t batch_size = kDefaultBatchSize)
+      : builder_(batch_size) {}
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      const Timestamp t = batch.sync_time[i];
+      IMPATIENCE_CHECK_MSG(t >= window_start_ || groups_.empty(),
+                           "GroupAggregateOp requires an in-order input");
+      if (!groups_.empty() && t > window_start_) FlushWindow();
+      if (groups_.empty()) {
+        window_start_ = t;
+        window_end_ = batch.other_time[i];
+      }
+      auto [it, inserted] = groups_.try_emplace(batch.key[i], Agg::Init());
+      Agg::template Add<W>(&it->second, batch, i);
+    }
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    // No more events with sync_time <= t: the current window is complete
+    // once its start is covered by the promise.
+    if (!groups_.empty() && window_start_ <= t) FlushWindow();
+    builder_.Flush(this->downstream());
+    this->EmitPunctuation(t);
+  }
+
+  void OnFlush() override {
+    if (!groups_.empty()) FlushWindow();
+    builder_.Flush(this->downstream());
+    this->EmitFlush();
+  }
+
+ private:
+  void FlushWindow() {
+    // Deterministic emission order: ascending group key.
+    keys_.clear();
+    keys_.reserve(groups_.size());
+    for (const auto& [key, state] : groups_) keys_.push_back(key);
+    std::sort(keys_.begin(), keys_.end());
+    for (const int32_t key : keys_) {
+      BasicEvent<W> e;
+      e.sync_time = window_start_;
+      e.other_time = window_end_;
+      e.key = key;
+      e.hash = HashKey(key);
+      e.payload[0] = Agg::Value(groups_.at(key));
+      builder_.Append(e, this->downstream());
+    }
+    groups_.clear();
+  }
+
+  Timestamp window_start_ = kMinTimestamp;
+  Timestamp window_end_ = kMinTimestamp;
+  std::unordered_map<int32_t, typename Agg::State> groups_;
+  std::vector<int32_t> keys_;
+  BatchBuilder<W> builder_;
+};
+
+// Merges partial aggregates: adjacent events with equal (sync_time, key)
+// are combined by summing payload[0] (the natural merge for count/sum
+// partials). Used as the framework's merge step after a union.
+template <int W>
+class CombinePartialsOp : public Operator<W, W> {
+ public:
+  explicit CombinePartialsOp(size_t batch_size = kDefaultBatchSize)
+      : builder_(batch_size) {}
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      const Timestamp t = batch.sync_time[i];
+      IMPATIENCE_CHECK_MSG(t >= window_start_ || partials_.empty(),
+                           "CombinePartialsOp requires an in-order input");
+      if (!partials_.empty() && t > window_start_) FlushWindow();
+      window_start_ = t;
+      auto [it, inserted] = partials_.try_emplace(batch.key[i]);
+      if (inserted) {
+        it->second = batch.RowAt(i);
+      } else {
+        it->second.payload[0] += batch.payload[0][i];
+      }
+    }
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    if (!partials_.empty() && window_start_ <= t) FlushWindow();
+    builder_.Flush(this->downstream());
+    this->EmitPunctuation(t);
+  }
+
+  void OnFlush() override {
+    if (!partials_.empty()) FlushWindow();
+    builder_.Flush(this->downstream());
+    this->EmitFlush();
+  }
+
+ private:
+  void FlushWindow() {
+    keys_.clear();
+    keys_.reserve(partials_.size());
+    for (const auto& [key, e] : partials_) keys_.push_back(key);
+    std::sort(keys_.begin(), keys_.end());
+    for (const int32_t key : keys_) {
+      builder_.Append(partials_.at(key), this->downstream());
+    }
+    partials_.clear();
+  }
+
+  Timestamp window_start_ = kMinTimestamp;
+  std::unordered_map<int32_t, BasicEvent<W>> partials_;
+  std::vector<int32_t> keys_;
+  BatchBuilder<W> builder_;
+};
+
+// Per-window top-k selection by payload[0] (descending; key ascending as a
+// deterministic tiebreak). Pass the aggregate stream through this to get
+// Q4-style "top 5 groups per window" results.
+template <int W>
+class TopKOp : public Operator<W, W> {
+ public:
+  explicit TopKOp(size_t k, size_t batch_size = kDefaultBatchSize)
+      : k_(k), builder_(batch_size) {
+    IMPATIENCE_CHECK(k > 0);
+  }
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      const Timestamp t = batch.sync_time[i];
+      IMPATIENCE_CHECK_MSG(t >= window_start_ || rows_.empty(),
+                           "TopKOp requires an in-order input");
+      if (!rows_.empty() && t > window_start_) FlushWindow();
+      window_start_ = t;
+      rows_.push_back(batch.RowAt(i));
+    }
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    if (!rows_.empty() && window_start_ <= t) FlushWindow();
+    builder_.Flush(this->downstream());
+    this->EmitPunctuation(t);
+  }
+
+  void OnFlush() override {
+    if (!rows_.empty()) FlushWindow();
+    builder_.Flush(this->downstream());
+    this->EmitFlush();
+  }
+
+ private:
+  void FlushWindow() {
+    auto better = [](const BasicEvent<W>& a, const BasicEvent<W>& b) {
+      if (a.payload[0] != b.payload[0]) return a.payload[0] > b.payload[0];
+      return a.key < b.key;
+    };
+    const size_t take = std::min(k_, rows_.size());
+    std::partial_sort(rows_.begin(),
+                      rows_.begin() + static_cast<ptrdiff_t>(take),
+                      rows_.end(), better);
+    for (size_t i = 0; i < take; ++i) {
+      builder_.Append(rows_[i], this->downstream());
+    }
+    rows_.clear();
+  }
+
+  size_t k_;
+  Timestamp window_start_ = kMinTimestamp;
+  std::vector<BasicEvent<W>> rows_;
+  BatchBuilder<W> builder_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_AGGREGATE_H_

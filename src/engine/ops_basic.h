@@ -1,0 +1,147 @@
+// Order-insensitive operators: selection, projection, window (paper §IV-A).
+//
+// These are exactly the operators that may run *before* the sorting
+// operator under sort-as-needed execution: they process rows in arbitrary
+// order without changing their semantics, and each one makes the deferred
+// sort cheaper — Where reduces the row count, Project the row width, and
+// Window the disorder.
+
+#ifndef IMPATIENCE_ENGINE_OPS_BASIC_H_
+#define IMPATIENCE_ENGINE_OPS_BASIC_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+// Selection: marks rows failing the predicate in the batch's filter bitmap
+// (Trill-style; rows are not compacted). Pred is callable as
+// bool(const EventBatch<W>&, size_t row).
+template <int W, typename Pred>
+class WhereOp : public Operator<W, W> {
+ public:
+  explicit WhereOp(Pred pred) : pred_(std::move(pred)) {}
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    EventBatch<W> out = batch;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (!out.filtered.Test(i) && !pred_(out, i)) out.filtered.Set(i);
+    }
+    this->EmitBatch(out);
+  }
+
+  void OnPunctuation(Timestamp t) override { this->EmitPunctuation(t); }
+  void OnFlush() override { this->EmitFlush(); }
+
+ private:
+  Pred pred_;
+};
+
+// Projection: keeps `WOut` payload columns of the input, chosen by
+// `column_map` (output column c takes input column column_map[c]).
+// Timestamps, key, hash, and the filter bitmap pass through.
+template <int WIn, int WOut>
+class ProjectOp : public Operator<WIn, WOut> {
+ public:
+  explicit ProjectOp(std::array<int, WOut> column_map)
+      : column_map_(column_map) {
+    for (int c : column_map_) IMPATIENCE_CHECK(c >= 0 && c < WIn);
+  }
+
+  void OnBatch(const EventBatch<WIn>& batch) override {
+    EventBatch<WOut> out;
+    out.sync_time = batch.sync_time;
+    out.other_time = batch.other_time;
+    out.key = batch.key;
+    out.hash = batch.hash;
+    for (int c = 0; c < WOut; ++c) {
+      out.payload[c] = batch.payload[static_cast<size_t>(column_map_[c])];
+    }
+    out.filtered = batch.filtered;
+    this->EmitBatch(out);
+  }
+
+  void OnPunctuation(Timestamp t) override { this->EmitPunctuation(t); }
+  void OnFlush() override { this->EmitFlush(); }
+
+ private:
+  std::array<int, WOut> column_map_;
+};
+
+// Per-row payload transform with unchanged width; useful for rekeying
+// (e.g. the paper's `Select(e => e.AdId)` which regroups by a payload
+// field). Fn is callable as void(EventBatch<W>*, size_t row).
+template <int W, typename Fn>
+class MapOp : public Operator<W, W> {
+ public:
+  explicit MapOp(Fn fn) : fn_(std::move(fn)) {}
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    EventBatch<W> out = batch;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (!out.filtered.Test(i)) fn_(&out, i);
+    }
+    this->EmitBatch(out);
+  }
+
+  void OnPunctuation(Timestamp t) override { this->EmitPunctuation(t); }
+  void OnFlush() override { this->EmitFlush(); }
+
+ private:
+  Fn fn_;
+};
+
+// Window assignment by timestamp adjustment (paper §IV-A2): aligns
+// sync_time down to a window-start boundary (multiples of `hop`) and sets
+// other_time to window start + `size`. Tumbling windows are hop == size.
+// Trill's key trick is that this is a stateless timestamp rewrite, so it
+// can be pushed below the sort, where it *reduces* disorder: all events in
+// one hop interval collapse onto one timestamp (Proposition 3.2).
+template <int W>
+class WindowOp : public Operator<W, W> {
+ public:
+  WindowOp(Timestamp size, Timestamp hop) : size_(size), hop_(hop) {
+    IMPATIENCE_CHECK(size > 0 && hop > 0);
+  }
+  explicit WindowOp(Timestamp size) : WindowOp(size, size) {}
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    EventBatch<W> out = batch;
+    for (size_t i = 0; i < out.size(); ++i) {
+      const Timestamp start = AlignDown(out.sync_time[i]);
+      out.sync_time[i] = start;
+      out.other_time[i] = start + size_;
+    }
+    this->EmitBatch(out);
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    // A promise about raw timestamps is weaker about aligned ones: events
+    // with raw time > t can land in the window containing t. The strongest
+    // claim after alignment is "no more windows starting at or before
+    // AlignDown(t) - hop"... conservatively forward the aligned boundary
+    // minus one so a window is only sealed once the *next* hop begins.
+    this->EmitPunctuation(AlignDown(t) - 1);
+  }
+
+  void OnFlush() override { this->EmitFlush(); }
+
+ private:
+  Timestamp AlignDown(Timestamp t) const {
+    Timestamp aligned = t - (t % hop_);
+    if (t < 0 && (t % hop_) != 0) aligned -= hop_;  // Floor for negatives.
+    return aligned;
+  }
+
+  Timestamp size_;
+  Timestamp hop_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_BASIC_H_

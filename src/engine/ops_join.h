@@ -1,0 +1,212 @@
+// Temporal equi-join of two in-order streams.
+//
+// Joins events with equal keys whose validity intervals
+// [sync_time, other_time) overlap — Trill's join semantic, and the classic
+// order-sensitive operator the paper's sort-based architecture exists to
+// serve: both inputs must be in event-time order, which the sorting
+// operator (or the Impatience framework) guarantees.
+//
+// Implementation: a symmetric hash join synchronized like UnionMergeOp.
+// Events are processed in global sync_time order up to the joint
+// watermark; each processed event probes the opposite side's per-key state
+// for overlapping intervals and emits one result per match, with
+// sync_time = the later start and other_time = the earlier end. Because
+// events are processed in global order, results leave in order too.
+// State is pruned as the joint watermark advances past interval ends.
+
+#ifndef IMPATIENCE_ENGINE_OPS_JOIN_H_
+#define IMPATIENCE_ENGINE_OPS_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "common/memory_tracker.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+// Combines a matching (left, right) pair into one result row.
+// CombineFn is callable as BasicEvent<W>(const BasicEvent<W>& left,
+// const BasicEvent<W>& right); the operator overwrites the result's
+// sync_time/other_time with the intersection and key/hash with the join
+// key.
+template <int W, typename CombineFn>
+class JoinOp : public Emitter<W> {
+ public:
+  explicit JoinOp(CombineFn combine, MemoryTracker* tracker = nullptr,
+                  size_t batch_size = kDefaultBatchSize)
+      : combine_(std::move(combine)),
+        reservation_(tracker),
+        builder_(batch_size),
+        inputs_{InputPort(this, 0), InputPort(this, 1)} {}
+
+  // The sink for input stream `i` (0 = left, 1 = right).
+  Sink<W>* input(int i) {
+    IMPATIENCE_CHECK(i == 0 || i == 1);
+    return &inputs_[i];
+  }
+
+  void SetDownstream(Sink<W>* downstream) override {
+    IMPATIENCE_CHECK(downstream_ == nullptr);
+    downstream_ = downstream;
+  }
+
+  // Join results produced so far.
+  uint64_t matches() const { return matches_; }
+
+ private:
+  struct Side {
+    std::deque<BasicEvent<W>> pending;  // Not yet processed (in order).
+    Timestamp watermark = kMinTimestamp;
+    bool flushed = false;
+    // Processed, still-joinable events by key.
+    std::unordered_map<int32_t, std::vector<BasicEvent<W>>> open;
+    size_t open_count = 0;
+
+    Timestamp effective_watermark() const {
+      return flushed ? kMaxTimestamp : watermark;
+    }
+  };
+
+  class InputPort : public Sink<W> {
+   public:
+    InputPort(JoinOp* parent, int index) : parent_(parent), index_(index) {}
+    void OnBatch(const EventBatch<W>& batch) override {
+      parent_->HandleBatch(index_, batch);
+    }
+    void OnPunctuation(Timestamp t) override {
+      parent_->HandlePunctuation(index_, t);
+    }
+    void OnFlush() override { parent_->HandleFlush(index_); }
+
+   private:
+    JoinOp* parent_;
+    int index_;
+  };
+
+  void HandleBatch(int index, const EventBatch<W>& batch) {
+    Side& side = sides_[index];
+    IMPATIENCE_CHECK(!side.flushed);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      IMPATIENCE_DCHECK(side.pending.empty() ||
+                        side.pending.back().sync_time <= batch.sync_time[i]);
+      side.pending.push_back(batch.RowAt(i));
+    }
+    UpdateReservation();
+  }
+
+  void HandlePunctuation(int index, Timestamp t) {
+    sides_[index].watermark = std::max(sides_[index].watermark, t);
+    Process();
+  }
+
+  void HandleFlush(int index) {
+    sides_[index].flushed = true;
+    Process();
+    if (sides_[0].flushed && sides_[1].flushed) {
+      builder_.Flush(downstream_);
+      downstream_->OnFlush();
+    }
+  }
+
+  // Processes pending events from both sides in global sync order up to
+  // the joint watermark, probing and updating the per-key state.
+  void Process() {
+    const Timestamp limit = std::min(sides_[0].effective_watermark(),
+                                     sides_[1].effective_watermark());
+    if (limit == kMinTimestamp) return;
+    auto ready = [limit](const Side& s) {
+      return !s.pending.empty() && s.pending.front().sync_time <= limit;
+    };
+    while (true) {
+      const bool r0 = ready(sides_[0]);
+      const bool r1 = ready(sides_[1]);
+      if (!r0 && !r1) break;
+      int pick = 0;
+      if (r0 && r1) {
+        pick = sides_[0].pending.front().sync_time <=
+                       sides_[1].pending.front().sync_time
+                   ? 0
+                   : 1;
+      } else if (r1) {
+        pick = 1;
+      }
+      BasicEvent<W> e = sides_[pick].pending.front();
+      sides_[pick].pending.pop_front();
+      ProcessEvent(pick, e);
+    }
+    UpdateReservation();
+    if (limit > emitted_watermark_ && limit != kMaxTimestamp) {
+      builder_.Flush(downstream_);
+      downstream_->OnPunctuation(limit);
+      emitted_watermark_ = limit;
+    }
+  }
+
+  void ProcessEvent(int index, const BasicEvent<W>& e) {
+    if (e.other_time <= e.sync_time) return;  // Empty interval: no joins.
+    Side& mine = sides_[index];
+    Side& other = sides_[1 - index];
+
+    // Probe the opposite side. Stored events started at or before e, so
+    // overlap reduces to "still open when e starts".
+    const auto it = other.open.find(e.key);
+    if (it != other.open.end()) {
+      std::vector<BasicEvent<W>>& candidates = it->second;
+      size_t w = 0;
+      for (size_t r = 0; r < candidates.size(); ++r) {
+        const BasicEvent<W>& o = candidates[r];
+        if (o.other_time <= e.sync_time) {
+          --other.open_count;  // Expired: prune opportunistically.
+          continue;
+        }
+        Emit(index == 0 ? e : o, index == 0 ? o : e);
+        if (w != r) candidates[w] = candidates[r];
+        ++w;
+      }
+      candidates.resize(w);
+      if (candidates.empty()) other.open.erase(it);
+    }
+
+    mine.open[e.key].push_back(e);
+    ++mine.open_count;
+  }
+
+  void Emit(const BasicEvent<W>& left, const BasicEvent<W>& right) {
+    BasicEvent<W> result = combine_(left, right);
+    result.sync_time = std::max(left.sync_time, right.sync_time);
+    result.other_time = std::min(left.other_time, right.other_time);
+    result.key = left.key;
+    result.hash = left.hash;
+    builder_.Append(result, downstream_);
+    ++matches_;
+  }
+
+  void UpdateReservation() {
+    reservation_.Update(
+        (sides_[0].pending.size() + sides_[1].pending.size() +
+         sides_[0].open_count + sides_[1].open_count) *
+        sizeof(BasicEvent<W>));
+  }
+
+  CombineFn combine_;
+  MemoryReservation reservation_;
+  BatchBuilder<W> builder_;
+  InputPort inputs_[2];
+  Side sides_[2];
+  Sink<W>* downstream_ = nullptr;
+  Timestamp emitted_watermark_ = kMinTimestamp;
+  uint64_t matches_ = 0;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_JOIN_H_

@@ -1,0 +1,90 @@
+// Sequence-pattern detection over in-order streams (paper §V-C, query 2):
+// "key did A, then B, within `window` time units".
+//
+// A match emits one event at the B occurrence. The operator keeps, per
+// group key, the most recent A timestamp, and prunes entries that can no
+// longer match whenever a punctuation passes.
+
+#ifndef IMPATIENCE_ENGINE_OPS_PATTERN_H_
+#define IMPATIENCE_ENGINE_OPS_PATTERN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+// PredA / PredB are callable as bool(const EventBatch<W>&, size_t row).
+template <int W, typename PredA, typename PredB>
+class PatternMatchOp : public Operator<W, W> {
+ public:
+  PatternMatchOp(PredA pred_a, PredB pred_b, Timestamp window,
+                 size_t batch_size = kDefaultBatchSize)
+      : pred_a_(std::move(pred_a)),
+        pred_b_(std::move(pred_b)),
+        window_(window),
+        builder_(batch_size) {
+    IMPATIENCE_CHECK(window > 0);
+  }
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      const Timestamp t = batch.sync_time[i];
+      const int32_t key = batch.key[i];
+      if (pred_b_(batch, i)) {
+        const auto it = last_a_.find(key);
+        if (it != last_a_.end() && t - it->second <= window_ &&
+            t >= it->second) {
+          BasicEvent<W> match = batch.RowAt(i);
+          // payload[2] records the A->B gap for the consumer.
+          match.payload[2 % W] = static_cast<int32_t>(t - it->second);
+          builder_.Append(match, this->downstream());
+          ++matches_;
+        }
+      }
+      // B may itself be an A for a later B (e.g. X then X patterns).
+      if (pred_a_(batch, i)) last_a_[key] = t;
+    }
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    // Entries older than t - window can never match again: every future B
+    // has sync_time > t.
+    for (auto it = last_a_.begin(); it != last_a_.end();) {
+      if (it->second + window_ < t) {
+        it = last_a_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    builder_.Flush(this->downstream());
+    this->EmitPunctuation(t);
+  }
+
+  void OnFlush() override {
+    builder_.Flush(this->downstream());
+    last_a_.clear();
+    this->EmitFlush();
+  }
+
+  // Total matches emitted so far.
+  uint64_t matches() const { return matches_; }
+
+ private:
+  PredA pred_a_;
+  PredB pred_b_;
+  Timestamp window_;
+  BatchBuilder<W> builder_;
+  std::unordered_map<int32_t, Timestamp> last_a_;
+  uint64_t matches_ = 0;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_PATTERN_H_

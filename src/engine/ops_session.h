@@ -1,0 +1,156 @@
+// Session windows: gap-based grouping of an in-order stream.
+//
+// Consecutive events of the same key belong to one session while the gap
+// between them stays below `gap`; a session closes when the stream (or a
+// punctuation) passes its last event by `gap`. One summary event is
+// emitted per session: sync_time/other_time span the session, key is the
+// group, payload[0] = event count, payload[1] = session duration (capped
+// to int32). A common log-analytics primitive and a natural consumer of
+// the sorting operator — it is meaningless on a disordered stream.
+//
+// Ordering: summaries carry the session *start* as sync_time, but a
+// session only closes when its end is known; as in SnapshotCountOp,
+// closed summaries pass through a release gate at the earliest
+// still-open session start so the output stays in order, and forwarded
+// punctuations are weakened to that gate.
+
+#ifndef IMPATIENCE_ENGINE_OPS_SESSION_H_
+#define IMPATIENCE_ENGINE_OPS_SESSION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+template <int W>
+class SessionWindowOp : public Operator<W, W> {
+ public:
+  explicit SessionWindowOp(Timestamp gap,
+                           size_t batch_size = kDefaultBatchSize)
+      : gap_(gap), builder_(batch_size) {
+    IMPATIENCE_CHECK(gap > 0);
+  }
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      const Timestamp t = batch.sync_time[i];
+      IMPATIENCE_CHECK_MSG(t >= frontier_,
+                           "SessionWindowOp requires an in-order input");
+      frontier_ = t;
+      // An event at time t cannot extend sessions idle for >= gap.
+      CloseSessionsGivenStreamAt(t);
+
+      auto [it, inserted] = open_.try_emplace(batch.key[i]);
+      Session& session = it->second;
+      if (inserted) {
+        session.start = t;
+        session.last = t;
+        session.count = 1;
+      } else {
+        session.last = t;
+        ++session.count;
+      }
+    }
+    Release();
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    // Future events are > t, so sessions idle since t + 1 - gap close.
+    if (t == kMaxTimestamp) {
+      CloseSessionsGivenStreamAt(kMaxTimestamp);
+    } else {
+      CloseSessionsGivenStreamAt(t + 1);
+    }
+    Release();
+    builder_.Flush(this->downstream());
+    // Open sessions will emit summaries at their start: weaken the
+    // promise accordingly. (With no open sessions, future summaries start
+    // strictly after t, so the full promise stands.)
+    Timestamp out_punct = t;
+    for (const auto& [key, session] : open_) {
+      out_punct = std::min(out_punct, session.start - 1);
+    }
+    if (out_punct > forwarded_punct_) {
+      this->EmitPunctuation(out_punct);
+      forwarded_punct_ = out_punct;
+    }
+  }
+
+  void OnFlush() override {
+    CloseSessionsGivenStreamAt(kMaxTimestamp);
+    Release();
+    builder_.Flush(this->downstream());
+    this->EmitFlush();
+  }
+
+  // Sessions currently open (for tests and memory introspection).
+  size_t open_sessions() const { return open_.size(); }
+
+ private:
+  struct Session {
+    Timestamp start = 0;
+    Timestamp last = 0;
+    int64_t count = 0;
+  };
+
+  // Closes every session that cannot be extended once the stream has
+  // reached `t` (exclusive), i.e. whose last event is at least `gap`
+  // behind.
+  void CloseSessionsGivenStreamAt(Timestamp t) {
+    for (auto it = open_.begin(); it != open_.end();) {
+      const Session& session = it->second;
+      const bool close =
+          t == kMaxTimestamp || session.last <= t - gap_;
+      if (!close) {
+        ++it;
+        continue;
+      }
+      BasicEvent<W> e;
+      e.sync_time = session.start;
+      e.other_time = session.last + 1;  // Half-open span.
+      e.key = it->first;
+      e.hash = HashKey(it->first);
+      e.payload[0] = static_cast<int32_t>(session.count);
+      e.payload[1 % W] = static_cast<int32_t>(
+          std::min<Timestamp>(session.last - session.start, INT32_MAX));
+      ready_.emplace(session.start, e);
+      it = open_.erase(it);
+    }
+  }
+
+  // Future summaries start at or after this timestamp.
+  Timestamp ReleaseGate() const {
+    Timestamp gate = frontier_ == kMinTimestamp ? kMaxTimestamp : frontier_;
+    for (const auto& [key, session] : open_) {
+      gate = std::min(gate, session.start);
+    }
+    return gate;
+  }
+
+  void Release() {
+    const Timestamp gate = ReleaseGate();
+    while (!ready_.empty() && ready_.begin()->first <= gate) {
+      builder_.Append(ready_.begin()->second, this->downstream());
+      ready_.erase(ready_.begin());
+    }
+  }
+
+  Timestamp gap_;
+  Timestamp frontier_ = kMinTimestamp;
+  Timestamp forwarded_punct_ = kMinTimestamp;
+  std::map<int32_t, Session> open_;
+  std::multimap<Timestamp, BasicEvent<W>> ready_;
+  BatchBuilder<W> builder_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_SESSION_H_

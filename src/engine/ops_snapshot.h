@@ -1,0 +1,166 @@
+// Snapshot (interval) aggregation — the Trill semantic underlying hopping
+// windows.
+//
+// Each event contributes to the result over its validity interval
+// [sync_time, other_time). A snapshot aggregate maintains, per group, the
+// count of currently-valid events and emits one result event per maximal
+// interval with a constant positive count. The paper's hopping-window
+// example (§IV-A2) produces exactly such interval events; running them
+// through SnapshotCountOp yields per-hop sliding-window counts.
+//
+// Ordering: a segment becomes *final* when its end boundary is reached,
+// but it must be emitted in sync_time (start) order relative to other
+// groups' segments. Finalized segments therefore pass through a small
+// reorder stage gated by the minimum start among still-open segments, and
+// the forwarded punctuation is weakened to that gate.
+
+#ifndef IMPATIENCE_ENGINE_OPS_SNAPSHOT_H_
+#define IMPATIENCE_ENGINE_OPS_SNAPSHOT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+// Per-group COUNT over validity intervals. Emits one event per (group,
+// maximal constant-count interval): sync_time/other_time delimit the
+// interval, key is the group, payload[0] the count. Zero-count intervals
+// emit nothing.
+template <int W>
+class SnapshotCountOp : public Operator<W, W> {
+ public:
+  explicit SnapshotCountOp(size_t batch_size = kDefaultBatchSize)
+      : builder_(batch_size) {}
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      const Timestamp start = batch.sync_time[i];
+      const Timestamp end = batch.other_time[i];
+      IMPATIENCE_CHECK_MSG(start >= frontier_,
+                           "SnapshotCountOp requires an in-order input");
+      // Boundaries before `start` are final now (in-order input).
+      AdvanceTo(start);
+      if (end <= start) continue;  // Empty validity interval.
+      GroupState& gs = groups_[batch.key[i]];
+      gs.deltas[start] += 1;
+      gs.deltas[end] -= 1;
+    }
+  }
+
+  void OnPunctuation(Timestamp t) override {
+    // No event will start at or before t: boundaries <= t are final.
+    if (t < kMaxTimestamp) {
+      AdvanceTo(t + 1);
+    } else {
+      AdvanceTo(kMaxTimestamp);
+    }
+    // The strongest promise we can forward stops short of the earliest
+    // still-open segment.
+    const Timestamp gate = ReleaseGate();
+    const Timestamp out_punct = std::min(t, gate - 1);
+    if (out_punct > forwarded_punct_) {
+      builder_.Flush(this->downstream());
+      this->EmitPunctuation(out_punct);
+      forwarded_punct_ = out_punct;
+    }
+  }
+
+  void OnFlush() override {
+    AdvanceTo(kMaxTimestamp);
+    // Segments still open at the end of the stream close at infinity.
+    for (auto& [key, gs] : groups_) {
+      if (gs.running > 0) {
+        ready_.emplace(gs.seg_start,
+                       MakeResult(key, gs.seg_start, kMaxTimestamp,
+                                  gs.running));
+      }
+    }
+    groups_.clear();
+    ReleaseReady(kMaxTimestamp);
+    builder_.Flush(this->downstream());
+    this->EmitFlush();
+  }
+
+ private:
+  struct GroupState {
+    // boundary -> count change at that instant (starts +1, ends -1).
+    std::map<Timestamp, int64_t> deltas;
+    // The in-progress segment: `running` valid events since `seg_start`
+    // (meaningful only when running > 0).
+    int64_t running = 0;
+    Timestamp seg_start = kMinTimestamp;
+  };
+
+  static BasicEvent<W> MakeResult(int32_t key, Timestamp start,
+                                  Timestamp end, int64_t count) {
+    BasicEvent<W> e;
+    e.sync_time = start;
+    e.other_time = end;
+    e.key = key;
+    e.hash = HashKey(key);
+    e.payload[0] = static_cast<int32_t>(count);
+    return e;
+  }
+
+  // Finalizes all segments ending before `limit` and releases every
+  // finalized segment that can no longer be preceded.
+  void AdvanceTo(Timestamp limit) {
+    if (limit <= frontier_) return;
+    for (auto it = groups_.begin(); it != groups_.end();) {
+      GroupState& gs = it->second;
+      while (!gs.deltas.empty() && gs.deltas.begin()->first < limit) {
+        const Timestamp boundary = gs.deltas.begin()->first;
+        if (gs.running > 0 && boundary > gs.seg_start) {
+          ready_.emplace(gs.seg_start, MakeResult(it->first, gs.seg_start,
+                                                  boundary, gs.running));
+        }
+        gs.running += gs.deltas.begin()->second;
+        gs.deltas.erase(gs.deltas.begin());
+        gs.seg_start = boundary;
+      }
+      IMPATIENCE_DCHECK(gs.running >= 0);
+      if (gs.deltas.empty() && gs.running == 0) {
+        it = groups_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    frontier_ = limit;
+    ReleaseReady(ReleaseGate());
+  }
+
+  // Future segments start at or after this timestamp.
+  Timestamp ReleaseGate() const {
+    Timestamp gate = frontier_;
+    for (const auto& [key, gs] : groups_) {
+      if (gs.running > 0) gate = std::min(gate, gs.seg_start);
+    }
+    return gate;
+  }
+
+  void ReleaseReady(Timestamp gate) {
+    while (!ready_.empty() && ready_.begin()->first <= gate) {
+      builder_.Append(ready_.begin()->second, this->downstream());
+      ready_.erase(ready_.begin());
+    }
+  }
+
+  Timestamp frontier_ = kMinTimestamp;
+  Timestamp forwarded_punct_ = kMinTimestamp;
+  std::map<int32_t, GroupState> groups_;
+  // Finalized segments waiting for the release gate, keyed by start.
+  std::multimap<Timestamp, BasicEvent<W>> ready_;
+  BatchBuilder<W> builder_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_SNAPSHOT_H_

@@ -1,0 +1,202 @@
+// Union of two in-order streams (paper §V-A), plus a Tee splitter.
+//
+// UnionMergeOp merges two sorted streams into one sorted stream. It is the
+// framework's synchronization point: an event from the fast input cannot be
+// released until the slow input's punctuation proves nothing earlier is
+// still coming, so the fast input's events are buffered meanwhile. The
+// bytes buffered here are exactly the memory cost Figure 10(b)/(d)
+// measures — large when raw events are buffered (basic framework), small
+// when only partial aggregates are (advanced framework).
+
+#ifndef IMPATIENCE_ENGINE_OPS_UNION_H_
+#define IMPATIENCE_ENGINE_OPS_UNION_H_
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "common/memory_tracker.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+
+namespace impatience {
+
+// Two-input synchronizing merge. Wire producers to input(0) and input(1).
+template <int W>
+class UnionMergeOp : public Emitter<W> {
+ public:
+  explicit UnionMergeOp(MemoryTracker* tracker = nullptr,
+                        size_t batch_size = kDefaultBatchSize)
+      : reservation_(tracker),
+        builder_(batch_size),
+        inputs_{InputPort(this, 0), InputPort(this, 1)} {}
+
+  // The sink for input stream `i` (0 or 1).
+  Sink<W>* input(int i) {
+    IMPATIENCE_CHECK(i == 0 || i == 1);
+    return &inputs_[i];
+  }
+
+  void SetDownstream(Sink<W>* downstream) override {
+    IMPATIENCE_CHECK(downstream_ == nullptr);
+    downstream_ = downstream;
+  }
+
+ private:
+  struct Side {
+    std::deque<BasicEvent<W>> buffer;
+    Timestamp watermark = kMinTimestamp;
+    bool flushed = false;
+
+    Timestamp effective_watermark() const {
+      return flushed ? kMaxTimestamp : watermark;
+    }
+  };
+
+  // Adapter giving each input its own Sink identity.
+  class InputPort : public Sink<W> {
+   public:
+    InputPort(UnionMergeOp* parent, int index)
+        : parent_(parent), index_(index) {}
+    void OnBatch(const EventBatch<W>& batch) override {
+      parent_->HandleBatch(index_, batch);
+    }
+    void OnPunctuation(Timestamp t) override {
+      parent_->HandlePunctuation(index_, t);
+    }
+    void OnFlush() override { parent_->HandleFlush(index_); }
+
+   private:
+    UnionMergeOp* parent_;
+    int index_;
+  };
+
+  void HandleBatch(int index, const EventBatch<W>& batch) {
+    Side& side = sides_[index];
+    IMPATIENCE_CHECK(!side.flushed);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.filtered.Test(i)) continue;
+      IMPATIENCE_DCHECK(side.buffer.empty() ||
+                        side.buffer.back().sync_time <= batch.sync_time[i]);
+      side.buffer.push_back(batch.RowAt(i));
+    }
+    UpdateReservation();
+  }
+
+  void HandlePunctuation(int index, Timestamp t) {
+    Side& side = sides_[index];
+    side.watermark = std::max(side.watermark, t);
+    Drain();
+  }
+
+  void HandleFlush(int index) {
+    sides_[index].flushed = true;
+    Drain();
+    if (sides_[0].flushed && sides_[1].flushed) {
+      builder_.Flush(downstream_);
+      downstream_->OnFlush();
+    }
+  }
+
+  // Emits every buffered event at or before min(watermarks), in merged
+  // order, then forwards the joint punctuation.
+  void Drain() {
+    const Timestamp limit = std::min(sides_[0].effective_watermark(),
+                                     sides_[1].effective_watermark());
+    if (limit == kMinTimestamp) return;
+    auto ready = [limit](const Side& s) {
+      return !s.buffer.empty() && s.buffer.front().sync_time <= limit;
+    };
+    while (true) {
+      const bool r0 = ready(sides_[0]);
+      const bool r1 = ready(sides_[1]);
+      if (!r0 && !r1) break;
+      int pick = 0;
+      if (r0 && r1) {
+        // Ties go to input 0 (the lower-latency stream in the framework).
+        pick = sides_[0].buffer.front().sync_time <=
+                       sides_[1].buffer.front().sync_time
+                   ? 0
+                   : 1;
+      } else if (r1) {
+        pick = 1;
+      }
+      builder_.Append(sides_[pick].buffer.front(), downstream_);
+      sides_[pick].buffer.pop_front();
+    }
+    UpdateReservation();
+    if (limit > emitted_watermark_ && limit != kMaxTimestamp) {
+      builder_.Flush(downstream_);
+      downstream_->OnPunctuation(limit);
+      emitted_watermark_ = limit;
+    }
+  }
+
+  void UpdateReservation() {
+    reservation_.Update((sides_[0].buffer.size() + sides_[1].buffer.size()) *
+                        sizeof(BasicEvent<W>));
+  }
+
+  MemoryReservation reservation_;
+  BatchBuilder<W> builder_;
+  InputPort inputs_[2];
+  Side sides_[2];
+  Sink<W>* downstream_ = nullptr;
+  Timestamp emitted_watermark_ = kMinTimestamp;
+};
+
+template <int W>
+class TeeOp;
+
+// Emitter facade for one branch of a TeeOp: SetDownstream attaches a new
+// branch instead of replacing the single downstream, so each branch can be
+// wired through the ordinary Emitter interface.
+template <int W>
+class TeeBranch : public Emitter<W> {
+ public:
+  explicit TeeBranch(TeeOp<W>* tee) : tee_(tee) {}
+  void SetDownstream(Sink<W>* downstream) override;
+
+ private:
+  TeeOp<W>* tee_;
+};
+
+// Replicates a stream to several downstream sinks, in attachment order.
+template <int W>
+class TeeOp : public Sink<W>, public Emitter<W> {
+ public:
+  // Emitter interface: first attachment.
+  void SetDownstream(Sink<W>* downstream) override {
+    AddDownstream(downstream);
+  }
+
+  // Additional branches.
+  void AddDownstream(Sink<W>* downstream) {
+    IMPATIENCE_CHECK(downstream != nullptr);
+    downstreams_.push_back(downstream);
+  }
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (Sink<W>* s : downstreams_) s->OnBatch(batch);
+  }
+  void OnPunctuation(Timestamp t) override {
+    for (Sink<W>* s : downstreams_) s->OnPunctuation(t);
+  }
+  void OnFlush() override {
+    for (Sink<W>* s : downstreams_) s->OnFlush();
+  }
+
+ private:
+  std::vector<Sink<W>*> downstreams_;
+};
+
+template <int W>
+void TeeBranch<W>::SetDownstream(Sink<W>* downstream) {
+  tee_->AddDownstream(downstream);
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_OPS_UNION_H_

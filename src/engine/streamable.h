@@ -1,0 +1,355 @@
+// The fluent query API: sort-as-needed execution (paper §IV).
+//
+// A DisorderedStreamable wraps a stream that is NOT ordered by event time.
+// It exposes only the order-insensitive operators — Where, Select/Project,
+// Map, Window — so the type system enforces the paper's rule that
+// order-sensitive operators cannot run before the sort. ToStreamable()
+// inserts the sorting operator and yields a Streamable, which adds the
+// order-sensitive operators (aggregation, top-k, pattern matching).
+//
+// A QueryPipeline owns the graph and the ingress:
+//
+//   QueryPipeline<4> q({.punctuation_period = 10000, .reorder_latency = 1s});
+//   auto* sink = q.disordered()
+//                    .Where([](const auto& b, size_t i) { ... })
+//                    .Window(1 * kSecond)
+//                    .ToStreamable()
+//                    .GroupCount()
+//                    .Collect();
+//   q.Run(dataset.events);
+
+#ifndef IMPATIENCE_ENGINE_STREAMABLE_H_
+#define IMPATIENCE_ENGINE_STREAMABLE_H_
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "common/memory_tracker.h"
+#include "engine/batch.h"
+#include "engine/ingress.h"
+#include "engine/node.h"
+#include "engine/ops_aggregate.h"
+#include "engine/ops_basic.h"
+#include "engine/ops_join.h"
+#include "engine/ops_pattern.h"
+#include "engine/ops_session.h"
+#include "engine/ops_snapshot.h"
+#include "engine/ops_sort.h"
+#include "engine/ops_union.h"
+#include "engine/sinks.h"
+#include "sort/impatience_sorter.h"
+
+namespace impatience {
+
+// Shared state behind the streamable facades.
+struct QueryContext {
+  Graph graph;
+  MemoryTracker* tracker = nullptr;
+  size_t batch_size = kDefaultBatchSize;
+};
+
+template <int W>
+class Streamable;
+
+// A not-yet-ordered stream: order-insensitive operators only.
+template <int W>
+class DisorderedStreamable {
+ public:
+  DisorderedStreamable(std::shared_ptr<QueryContext> ctx, Emitter<W>* tail)
+      : ctx_(std::move(ctx)), tail_(tail) {}
+
+  // Selection (predicate over a batch row).
+  template <typename Pred>
+  DisorderedStreamable Where(Pred pred) {
+    auto* op = ctx_->graph.Make<WhereOp<W, Pred>>(std::move(pred));
+    tail_->SetDownstream(op);
+    return DisorderedStreamable(ctx_, op);
+  }
+
+  // In-place payload/key rewrite.
+  template <typename Fn>
+  DisorderedStreamable Map(Fn fn) {
+    auto* op = ctx_->graph.Make<MapOp<W, Fn>>(std::move(fn));
+    tail_->SetDownstream(op);
+    return DisorderedStreamable(ctx_, op);
+  }
+
+  // Projection to `V` payload columns.
+  template <int V>
+  DisorderedStreamable<V> Select(std::array<int, V> columns) {
+    auto* op = ctx_->graph.Make<ProjectOp<W, V>>(columns);
+    tail_->SetDownstream(op);
+    return DisorderedStreamable<V>(ctx_, op);
+  }
+
+  // Window assignment by timestamp adjustment.
+  DisorderedStreamable TumblingWindow(Timestamp size) {
+    auto* op = ctx_->graph.Make<WindowOp<W>>(size);
+    tail_->SetDownstream(op);
+    return DisorderedStreamable(ctx_, op);
+  }
+  DisorderedStreamable HoppingWindow(Timestamp size, Timestamp hop) {
+    auto* op = ctx_->graph.Make<WindowOp<W>>(size, hop);
+    tail_->SetDownstream(op);
+    return DisorderedStreamable(ctx_, op);
+  }
+
+  // Inserts the sorting operator: the disordered stream becomes ordered.
+  Streamable<W> ToStreamable(ImpatienceConfig config = {});
+
+  // Same, with a caller-supplied sorter (any IncrementalSorter).
+  Streamable<W> ToStreamableWith(
+      std::unique_ptr<IncrementalSorter<BasicEvent<W>>> sorter);
+
+  std::shared_ptr<QueryContext> context() const { return ctx_; }
+  Emitter<W>* tail() const { return tail_; }
+
+ private:
+  std::shared_ptr<QueryContext> ctx_;
+  Emitter<W>* tail_;
+};
+
+// An event-time-ordered stream: all operators available.
+template <int W>
+class Streamable {
+ public:
+  Streamable(std::shared_ptr<QueryContext> ctx, Emitter<W>* tail)
+      : ctx_(std::move(ctx)), tail_(tail) {}
+
+  template <typename Pred>
+  Streamable Where(Pred pred) {
+    auto* op = ctx_->graph.Make<WhereOp<W, Pred>>(std::move(pred));
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  template <typename Fn>
+  Streamable Map(Fn fn) {
+    auto* op = ctx_->graph.Make<MapOp<W, Fn>>(std::move(fn));
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  template <int V>
+  Streamable<V> Select(std::array<int, V> columns) {
+    auto* op = ctx_->graph.Make<ProjectOp<W, V>>(columns);
+    tail_->SetDownstream(op);
+    return Streamable<V>(ctx_, op);
+  }
+
+  Streamable TumblingWindow(Timestamp size) {
+    auto* op = ctx_->graph.Make<WindowOp<W>>(size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+  Streamable HoppingWindow(Timestamp size, Timestamp hop) {
+    auto* op = ctx_->graph.Make<WindowOp<W>>(size, hop);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Per-(window, key) count; one result row per group per window.
+  Streamable GroupCount() {
+    auto* op = ctx_->graph.Make<GroupAggregateOp<W, CountAggregate>>(
+        ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Per-window total count (all rows collapse into group key 0).
+  Streamable Count() {
+    return Map([](EventBatch<W>* batch, size_t i) {
+             batch->key[i] = 0;
+             batch->hash[i] = HashKey(0);
+           })
+        .GroupCount();
+  }
+
+  // Per-(window, key) sum of payload column `Column`.
+  template <int Column>
+  Streamable GroupSum() {
+    auto* op =
+        ctx_->graph.Make<GroupAggregateOp<W, SumAggregate<Column>>>(
+            ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Per-group count over validity intervals (snapshot semantics): after a
+  // HoppingWindow, this yields the per-hop sliding-window counts.
+  Streamable SnapshotCount() {
+    auto* op = ctx_->graph.Make<SnapshotCountOp<W>>(ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Further per-(window, key) aggregates over payload column `Column`.
+  template <int Column>
+  Streamable GroupMin() {
+    return Aggregate<MinAggregate<Column>>();
+  }
+  template <int Column>
+  Streamable GroupMax() {
+    return Aggregate<MaxAggregate<Column>>();
+  }
+  template <int Column>
+  Streamable GroupAvg() {
+    return Aggregate<AvgAggregate<Column>>();
+  }
+  template <int Column>
+  Streamable GroupDistinctCount() {
+    return Aggregate<DistinctCountAggregate<Column>>();
+  }
+
+  // Grouped aggregation with a caller-supplied aggregate policy (see
+  // ops_aggregate.h for the policy shape).
+  template <typename Agg>
+  Streamable Aggregate() {
+    auto* op =
+        ctx_->graph.Make<GroupAggregateOp<W, Agg>>(ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Combines partial aggregates with equal (window, key) — the framework's
+  // merge step.
+  Streamable CombinePartials() {
+    auto* op = ctx_->graph.Make<CombinePartialsOp<W>>(ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Keeps the k largest rows (by payload[0]) per window.
+  Streamable TopK(size_t k) {
+    auto* op = ctx_->graph.Make<TopKOp<W>>(k, ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Splits the stream into two identical branches (e.g. the two sides of
+  // a self-join). Each branch accepts exactly one continuation.
+  std::pair<Streamable, Streamable> Fork() {
+    auto* tee = ctx_->graph.Make<TeeOp<W>>();
+    tail_->SetDownstream(tee);
+    auto* a = ctx_->graph.Make<TeeBranch<W>>(tee);
+    auto* b = ctx_->graph.Make<TeeBranch<W>>(tee);
+    return {Streamable(ctx_, a), Streamable(ctx_, b)};
+  }
+
+  // Gap-based session windows per key: one summary event per session
+  // (payload[0] = count, payload[1] = duration).
+  Streamable SessionWindows(Timestamp gap) {
+    auto* op = ctx_->graph.Make<SessionWindowOp<W>>(gap, ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // Temporal equi-join with another ordered stream (same context):
+  // matches equal keys with overlapping validity intervals; `combine`
+  // builds the result row from the (left, right) pair.
+  template <typename CombineFn>
+  Streamable Join(const Streamable& right, CombineFn combine) {
+    IMPATIENCE_CHECK_MSG(ctx_ == right.ctx_,
+                         "joined streams must share a QueryPipeline");
+    auto* op = ctx_->graph.Make<JoinOp<W, CombineFn>>(
+        std::move(combine), ctx_->tracker, ctx_->batch_size);
+    tail_->SetDownstream(op->input(0));
+    right.tail_->SetDownstream(op->input(1));
+    return Streamable(ctx_, op);
+  }
+
+  // "A then B within window" per key.
+  template <typename PredA, typename PredB>
+  Streamable PatternMatch(PredA a, PredB b, Timestamp window) {
+    auto* op = ctx_->graph.Make<PatternMatchOp<W, PredA, PredB>>(
+        std::move(a), std::move(b), window, ctx_->batch_size);
+    tail_->SetDownstream(op);
+    return Streamable(ctx_, op);
+  }
+
+  // ---- Terminals -------------------------------------------------------
+
+  // Attaches an externally owned sink.
+  void Into(Sink<W>* sink) { tail_->SetDownstream(sink); }
+
+  // Collects results into a graph-owned CollectSink.
+  CollectSink<W>* Collect() {
+    auto* sink = ctx_->graph.Make<CollectSink<W>>();
+    tail_->SetDownstream(sink);
+    return sink;
+  }
+
+  // Counts results into a graph-owned CountingSink.
+  CountingSink<W>* ToCounting() {
+    auto* sink = ctx_->graph.Make<CountingSink<W>>();
+    tail_->SetDownstream(sink);
+    return sink;
+  }
+
+  // Invokes `cb` per result row.
+  template <typename Cb>
+  void Subscribe(Cb cb) {
+    auto* sink = ctx_->graph.Make<CallbackSink<W>>(std::move(cb));
+    tail_->SetDownstream(sink);
+  }
+
+  std::shared_ptr<QueryContext> context() const { return ctx_; }
+  Emitter<W>* tail() const { return tail_; }
+
+ private:
+  std::shared_ptr<QueryContext> ctx_;
+  Emitter<W>* tail_;
+};
+
+template <int W>
+Streamable<W> DisorderedStreamable<W>::ToStreamable(ImpatienceConfig config) {
+  auto* op = ctx_->graph.Make<SortOp<W>>(config, ctx_->tracker);
+  tail_->SetDownstream(op);
+  return Streamable<W>(ctx_, op);
+}
+
+template <int W>
+Streamable<W> DisorderedStreamable<W>::ToStreamableWith(
+    std::unique_ptr<IncrementalSorter<BasicEvent<W>>> sorter) {
+  auto* op = ctx_->graph.Make<SortOp<W>>(std::move(sorter), ctx_->tracker,
+                                         ctx_->batch_size);
+  tail_->SetDownstream(op);
+  return Streamable<W>(ctx_, op);
+}
+
+// Owns one query: the context/graph plus the ingress that feeds it.
+template <int W>
+class QueryPipeline {
+ public:
+  explicit QueryPipeline(typename Ingress<W>::Options options,
+                         MemoryTracker* tracker = nullptr)
+      : ctx_(std::make_shared<QueryContext>()) {
+    ctx_->tracker = tracker;
+    ctx_->batch_size = options.batch_size;
+    ingress_ = ctx_->graph.Make<Ingress<W>>(options);
+  }
+
+  // The raw (arrival-ordered) stream entering the engine.
+  DisorderedStreamable<W> disordered() {
+    return DisorderedStreamable<W>(ctx_, ingress_);
+  }
+
+  Ingress<W>& ingress() { return *ingress_; }
+
+  // Streams a whole dataset through the pipeline and flushes.
+  void Run(const std::vector<BasicEvent<W>>& events) {
+    ingress_->PushAll(events);
+    ingress_->Finish();
+  }
+
+  std::shared_ptr<QueryContext> context() const { return ctx_; }
+
+ private:
+  std::shared_ptr<QueryContext> ctx_;
+  Ingress<W>* ingress_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_ENGINE_STREAMABLE_H_

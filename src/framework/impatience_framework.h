@@ -1,0 +1,257 @@
+// The Impatience framework (paper §V): multiple reorder latencies at once.
+//
+// Instead of one reorder latency, the user supplies an increasing set, e.g.
+// {1 s, 1 min, 1 hour}. A partition operator routes each event by its
+// lateness (high watermark at arrival minus event time) to the first band
+// whose latency covers it; each band incrementally sorts its own slice; and
+// a chain of synchronizing unions recombines the bands so that output
+// stream i contains every event no later than latency i, in order, with
+// latency i (Figure 6(a)).
+//
+// The advanced framework (Figure 6(b)) embeds user query logic:
+//  * a PIQ (Partial Input Query) stage runs on each band's sorted slice —
+//    each input event is processed exactly once (throughput), and
+//  * a merge stage recombines partial results after each union — so the
+//    unions buffer small intermediate results instead of raw events
+//    (memory).
+// Passing identity stages yields the basic framework.
+
+#ifndef IMPATIENCE_FRAMEWORK_IMPATIENCE_FRAMEWORK_H_
+#define IMPATIENCE_FRAMEWORK_IMPATIENCE_FRAMEWORK_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "common/memory_tracker.h"
+#include "engine/batch.h"
+#include "engine/node.h"
+#include "engine/ops_sort.h"
+#include "engine/ops_union.h"
+#include "engine/streamable.h"
+#include "sort/impatience_sorter.h"
+
+namespace impatience {
+
+// Framework configuration.
+struct FrameworkOptions {
+  // Strictly increasing reorder latencies, one per output stream.
+  std::vector<Timestamp> reorder_latencies;
+  // Events between consecutive punctuation rounds at the partition.
+  size_t punctuation_period = 10000;
+  ImpatienceConfig sorter_config;
+};
+
+// Routes events to latency bands and self-punctuates each band at
+// (high watermark - band latency) every `punctuation_period` events.
+// Upstream punctuations are absorbed: the partition is the authority on
+// band-level progress.
+template <int W>
+class PartitionOp : public Sink<W> {
+ public:
+  PartitionOp(std::vector<Timestamp> latencies, size_t punctuation_period,
+              size_t batch_size)
+      : latencies_(std::move(latencies)),
+        punctuation_period_(punctuation_period) {
+    IMPATIENCE_CHECK(!latencies_.empty());
+    for (size_t i = 1; i < latencies_.size(); ++i) {
+      IMPATIENCE_CHECK_MSG(latencies_[i] > latencies_[i - 1],
+                           "reorder latencies must be strictly increasing");
+    }
+    IMPATIENCE_CHECK(punctuation_period_ > 0);
+    bands_.reserve(latencies_.size());
+    for (size_t i = 0; i < latencies_.size(); ++i) {
+      bands_.emplace_back(batch_size);
+    }
+  }
+
+  // Wires band `i`'s output; must be called for every band before data
+  // flows.
+  void SetBandDownstream(size_t i, Sink<W>* sink) {
+    IMPATIENCE_CHECK(i < bands_.size() && bands_[i].head == nullptr);
+    bands_[i].head = sink;
+  }
+
+  void OnBatch(const EventBatch<W>& batch) override {
+    for (size_t r = 0; r < batch.size(); ++r) {
+      if (batch.filtered.Test(r)) continue;
+      Route(batch.RowAt(r));
+    }
+  }
+
+  // Upstream punctuations carry no band information; ignored (see class
+  // comment).
+  void OnPunctuation(Timestamp) override {}
+
+  void OnFlush() override {
+    for (Band& band : bands_) {
+      band.builder.Flush(band.head);
+      band.head->OnFlush();
+    }
+  }
+
+  // Events later than the largest latency (discarded).
+  uint64_t dropped() const { return dropped_; }
+  // Events routed to each band.
+  const std::vector<uint64_t>& band_counts() const { return band_counts_; }
+  Timestamp high_watermark() const { return high_watermark_; }
+
+ private:
+  struct Band {
+    explicit Band(size_t batch_size) : builder(batch_size) {}
+    BatchBuilder<W> builder;
+    Sink<W>* head = nullptr;
+    Timestamp last_punctuation = kMinTimestamp;
+  };
+
+  void Route(const BasicEvent<W>& e) {
+    if (band_counts_.empty()) band_counts_.resize(bands_.size(), 0);
+    if (e.sync_time > high_watermark_) high_watermark_ = e.sync_time;
+    const Timestamp lateness = high_watermark_ - e.sync_time;
+
+    size_t band = bands_.size();
+    for (size_t i = 0; i < latencies_.size(); ++i) {
+      if (lateness <= latencies_[i]) {
+        band = i;
+        break;
+      }
+    }
+    if (band == bands_.size()) {
+      ++dropped_;  // Later than every latency the user asked for.
+    } else {
+      bands_[band].builder.Append(e, bands_[band].head);
+      ++band_counts_[band];
+    }
+
+    if (++since_punctuation_ >= punctuation_period_) {
+      since_punctuation_ = 0;
+      PunctuateBands();
+    }
+  }
+
+  void PunctuateBands() {
+    for (size_t i = 0; i < bands_.size(); ++i) {
+      const Timestamp p = high_watermark_ - latencies_[i];
+      if (p > bands_[i].last_punctuation) {
+        bands_[i].builder.Flush(bands_[i].head);
+        bands_[i].head->OnPunctuation(p);
+        bands_[i].last_punctuation = p;
+      }
+    }
+  }
+
+  std::vector<Timestamp> latencies_;
+  size_t punctuation_period_;
+  std::vector<Band> bands_;
+  std::vector<uint64_t> band_counts_;
+  Timestamp high_watermark_ = kMinTimestamp;
+  size_t since_punctuation_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// The sequence of output streams the framework produces. stream(i) carries
+// all events no later than reorder_latencies[i], in order; subscribers
+// attach further operators or sinks through the usual Streamable API.
+template <int W>
+class Streamables {
+ public:
+  Streamables(std::shared_ptr<QueryContext> ctx,
+              std::vector<Emitter<W>*> tails, PartitionOp<W>* partition,
+              std::vector<SortOp<W>*> sorts)
+      : ctx_(std::move(ctx)),
+        tails_(std::move(tails)),
+        partition_(partition),
+        sorts_(std::move(sorts)) {}
+
+  size_t size() const { return tails_.size(); }
+
+  Streamable<W> stream(size_t i) const {
+    IMPATIENCE_CHECK(i < tails_.size());
+    return Streamable<W>(ctx_, tails_[i]);
+  }
+
+  // Partition statistics (drops, per-band routing).
+  const PartitionOp<W>& partition() const { return *partition_; }
+
+  // Total events lost: too late for the largest latency, plus the rare
+  // boundary events each band's sorter had to discard.
+  uint64_t TotalDrops() const {
+    uint64_t drops = partition_->dropped();
+    for (const SortOp<W>* sort : sorts_) drops += sort->late_drops();
+    return drops;
+  }
+
+ private:
+  std::shared_ptr<QueryContext> ctx_;
+  std::vector<Emitter<W>*> tails_;
+  PartitionOp<W>* partition_;
+  std::vector<SortOp<W>*> sorts_;
+};
+
+// A query stage: takes a band/merged stream, returns the transformed
+// stream. Identity (nullptr) means pass-through.
+template <int W>
+using StageFn = std::function<Streamable<W>(Streamable<W>)>;
+
+// Builds the framework DAG behind `source` and returns its output streams.
+//
+// `piq` runs once per band on the band's sorted slice; `merge` runs after
+// each union. Pass {} for both to get the basic framework. The graph-owned
+// nodes report buffering to the context's MemoryTracker.
+template <int W>
+Streamables<W> ToStreamables(const DisorderedStreamable<W>& source,
+                             const FrameworkOptions& options,
+                             StageFn<W> piq = {}, StageFn<W> merge = {}) {
+  std::shared_ptr<QueryContext> ctx = source.context();
+  Graph& graph = ctx->graph;
+  const size_t k = options.reorder_latencies.size();
+  IMPATIENCE_CHECK(k > 0);
+
+  auto* partition = graph.Make<PartitionOp<W>>(
+      options.reorder_latencies, options.punctuation_period,
+      ctx->batch_size);
+  source.tail()->SetDownstream(partition);
+
+  auto apply = [&ctx](const StageFn<W>& fn, Emitter<W>* tail) {
+    Streamable<W> s(ctx, tail);
+    return fn ? fn(s) : s;
+  };
+
+  // Per-band: sort, then PIQ.
+  std::vector<SortOp<W>*> sorts;
+  std::vector<Emitter<W>*> piq_tails;
+  sorts.reserve(k);
+  piq_tails.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    auto* sort = graph.Make<SortOp<W>>(options.sorter_config, ctx->tracker);
+    partition->SetBandDownstream(i, sort);
+    sorts.push_back(sort);
+    piq_tails.push_back(apply(piq, sort).tail());
+  }
+
+  // Union chain with merge stages; tee every combined stream that both
+  // feeds the next union and serves subscribers.
+  std::vector<Emitter<W>*> outputs(k);
+  Emitter<W>* combined = piq_tails[0];
+  for (size_t i = 1; i < k; ++i) {
+    auto* tee = graph.Make<TeeOp<W>>();
+    combined->SetDownstream(tee);
+    outputs[i - 1] = graph.Make<TeeBranch<W>>(tee);
+
+    auto* u = graph.Make<UnionMergeOp<W>>(ctx->tracker, ctx->batch_size);
+    tee->AddDownstream(u->input(0));
+    piq_tails[i]->SetDownstream(u->input(1));
+    combined = apply(merge, u).tail();
+  }
+  outputs[k - 1] = combined;
+
+  return Streamables<W>(ctx, std::move(outputs), partition,
+                        std::move(sorts));
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_FRAMEWORK_IMPATIENCE_FRAMEWORK_H_

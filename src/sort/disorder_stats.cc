@@ -1,0 +1,146 @@
+#include "sort/disorder_stats.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace impatience {
+
+namespace {
+
+// Merge-counting step: counts cross inversions while merging two adjacent
+// sorted halves of `buf` into `tmp`. Ties (equal values) are not
+// inversions.
+uint64_t MergeCount(std::vector<Timestamp>* buf, std::vector<Timestamp>* tmp,
+                    size_t lo, size_t mid, size_t hi) {
+  std::vector<Timestamp>& a = *buf;
+  std::vector<Timestamp>& t = *tmp;
+  uint64_t inversions = 0;
+  size_t i = lo;
+  size_t j = mid;
+  size_t k = lo;
+  while (i < mid && j < hi) {
+    if (a[j] < a[i]) {
+      // a[j] precedes all remaining left elements: mid - i inversions.
+      inversions += mid - i;
+      t[k++] = a[j++];
+    } else {
+      t[k++] = a[i++];
+    }
+  }
+  while (i < mid) t[k++] = a[i++];
+  while (j < hi) t[k++] = a[j++];
+  std::copy(t.begin() + static_cast<ptrdiff_t>(lo),
+            t.begin() + static_cast<ptrdiff_t>(hi),
+            a.begin() + static_cast<ptrdiff_t>(lo));
+  return inversions;
+}
+
+}  // namespace
+
+uint64_t CountInversions(const std::vector<Timestamp>& values) {
+  std::vector<Timestamp> buf = values;
+  std::vector<Timestamp> tmp(buf.size());
+  uint64_t inversions = 0;
+  const size_t n = buf.size();
+  // Bottom-up merge sort, counting cross inversions at each merge.
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, n);
+      inversions += MergeCount(&buf, &tmp, lo, mid, hi);
+    }
+  }
+  return inversions;
+}
+
+uint64_t MaxInversionDistance(const std::vector<Timestamp>& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0;
+  // prefix_max[i] = max(values[0..i]); non-decreasing, so the earliest
+  // position whose prefix max exceeds values[j] is found by binary search.
+  std::vector<Timestamp> prefix_max(n);
+  prefix_max[0] = values[0];
+  for (size_t i = 1; i < n; ++i) {
+    prefix_max[i] = std::max(prefix_max[i - 1], values[i]);
+  }
+  uint64_t distance = 0;
+  for (size_t j = 1; j < n; ++j) {
+    if (prefix_max[j - 1] <= values[j]) continue;  // No inversion ends at j.
+    // First i with prefix_max[i] > values[j]; values[i..] contains an
+    // element > values[j] at position i itself (prefix max increased there).
+    const auto it = std::upper_bound(prefix_max.begin(),
+                                     prefix_max.begin() +
+                                         static_cast<ptrdiff_t>(j),
+                                     values[j]);
+    const size_t i = static_cast<size_t>(it - prefix_max.begin());
+    distance = std::max<uint64_t>(distance, j - i);
+  }
+  return distance;
+}
+
+uint64_t CountNaturalRuns(const std::vector<Timestamp>& values) {
+  if (values.empty()) return 0;
+  uint64_t runs = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[i - 1]) ++runs;
+  }
+  return runs;
+}
+
+uint64_t CountInterleavedRuns(const std::vector<Timestamp>& values) {
+  // Greedy run assignment with a tails array kept strictly descending:
+  // place each element on the first (largest-tail) run whose tail is <= it,
+  // else open a new run. This greedy is optimal for partitioning into the
+  // fewest non-decreasing subsequences — the same placement rule Patience
+  // sort uses, which is why Proposition 3.1's bound is tight.
+  std::vector<Timestamp> tails;  // Strictly descending.
+  for (const Timestamp v : values) {
+    // First index with tails[i] <= v (tails descending).
+    size_t lo = 0;
+    size_t hi = tails.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (tails[mid] <= v) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo == tails.size()) {
+      tails.push_back(v);
+    } else {
+      tails[lo] = v;
+    }
+  }
+  return tails.size();
+}
+
+uint64_t LongestStrictlyDecreasingSubsequence(
+    const std::vector<Timestamp>& values) {
+  // Longest strictly decreasing subsequence == longest strictly increasing
+  // subsequence of the negated sequence; classic patience/tails algorithm.
+  std::vector<Timestamp> tails;  // tails[k] = smallest tail of an
+                                 // increasing subsequence of length k+1.
+  for (const Timestamp v : values) {
+    const Timestamp x = -v;
+    const auto it = std::lower_bound(tails.begin(), tails.end(), x);
+    if (it == tails.end()) {
+      tails.push_back(x);
+    } else {
+      *it = x;
+    }
+  }
+  return tails.size();
+}
+
+DisorderStats ComputeDisorderStats(const std::vector<Timestamp>& values) {
+  DisorderStats stats;
+  stats.inversions = CountInversions(values);
+  stats.distance = MaxInversionDistance(values);
+  stats.runs = CountNaturalRuns(values);
+  stats.interleaved = CountInterleavedRuns(values);
+  return stats;
+}
+
+}  // namespace impatience

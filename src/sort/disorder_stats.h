@@ -1,0 +1,56 @@
+// Measures of disorder for a timestamp sequence (paper §II, Table I).
+//
+// Four classic measures from the adaptive-sorting literature quantify how
+// far a stream is from sorted:
+//  * inversions  — #pairs (i < j) with a[i] > a[j];
+//  * distance    — max (j - i) over inversion pairs (how far the most
+//                  delayed element must travel);
+//  * runs        — number of maximal non-decreasing runs;
+//  * interleaved — minimum number of sorted runs whose interleaving can
+//                  produce the stream (equals the length of the longest
+//                  strictly decreasing subsequence, by Dilworth's theorem).
+
+#ifndef IMPATIENCE_SORT_DISORDER_STATS_H_
+#define IMPATIENCE_SORT_DISORDER_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timestamp.h"
+
+namespace impatience {
+
+// All four measures for one sequence.
+struct DisorderStats {
+  uint64_t inversions = 0;
+  uint64_t distance = 0;
+  uint64_t runs = 0;
+  uint64_t interleaved = 0;
+};
+
+// Counts inversion pairs in O(n log n) (merge counting).
+uint64_t CountInversions(const std::vector<Timestamp>& values);
+
+// Maximum distance j - i over inversion pairs (0 if sorted). O(n log n).
+uint64_t MaxInversionDistance(const std::vector<Timestamp>& values);
+
+// Number of maximal non-decreasing runs (0 for an empty input, 1 for a
+// sorted non-empty input). O(n).
+uint64_t CountNaturalRuns(const std::vector<Timestamp>& values);
+
+// Minimum number of sorted (non-decreasing) runs that interleave to the
+// sequence, via the greedy tails structure Patience sort uses. O(n log k).
+uint64_t CountInterleavedRuns(const std::vector<Timestamp>& values);
+
+// Length of the longest strictly decreasing subsequence. By Dilworth's
+// theorem this equals CountInterleavedRuns; exposed separately so tests can
+// cross-check the two computations. O(n log n).
+uint64_t LongestStrictlyDecreasingSubsequence(
+    const std::vector<Timestamp>& values);
+
+// Computes all four measures.
+DisorderStats ComputeDisorderStats(const std::vector<Timestamp>& values);
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_DISORDER_STATS_H_

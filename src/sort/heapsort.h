@@ -1,0 +1,150 @@
+// Heapsort baseline, offline and incremental (Figure 7/8).
+//
+// Heapsort is the one classic algorithm that is naturally incremental — a
+// binary min-heap keyed on timestamp pops exactly the events a punctuation
+// releases — which is why traditional SPEs used priority queues for
+// reordering (§I-A, §III-A). It is, however, oblivious to pre-existing
+// order and cache-hostile on large heaps, which is exactly the behaviour
+// the paper's figures show.
+
+#ifndef IMPATIENCE_SORT_HEAPSORT_H_
+#define IMPATIENCE_SORT_HEAPSORT_H_
+
+#include <cstddef>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "common/timestamp.h"
+#include "sort/sorter.h"
+
+namespace impatience {
+namespace heapsort_internal {
+
+// Sifts the element at `hole` down a max-heap of size `n` rooted at
+// `first`.
+template <typename RandomIt, typename Less>
+void SiftDown(RandomIt first, ptrdiff_t hole, ptrdiff_t n, Less less) {
+  auto value = std::move(*(first + hole));
+  while (true) {
+    ptrdiff_t child = 2 * hole + 1;
+    if (child >= n) break;
+    if (child + 1 < n && less(*(first + child), *(first + child + 1))) {
+      ++child;
+    }
+    if (!less(value, *(first + child))) break;
+    *(first + hole) = std::move(*(first + child));
+    hole = child;
+  }
+  *(first + hole) = std::move(value);
+}
+
+}  // namespace heapsort_internal
+
+// Sorts [first, last) with heapsort. Not stable.
+template <typename RandomIt, typename Less>
+void Heapsort(RandomIt first, RandomIt last, Less less) {
+  const ptrdiff_t n = last - first;
+  if (n < 2) return;
+  for (ptrdiff_t i = n / 2 - 1; i >= 0; --i) {
+    heapsort_internal::SiftDown(first, i, n, less);
+  }
+  for (ptrdiff_t i = n - 1; i > 0; --i) {
+    std::iter_swap(first, first + i);
+    heapsort_internal::SiftDown(first, 0, i, less);
+  }
+}
+
+// Convenience overload using operator<.
+template <typename RandomIt>
+void Heapsort(RandomIt first, RandomIt last) {
+  Heapsort(first, last, std::less<>());
+}
+
+// Incremental sorter backed by a binary min-heap on timestamps — the
+// priority-queue reordering operator of traditional SPEs.
+template <typename T, typename TimeOf = SyncTimeOf>
+class HeapSorter : public IncrementalSorter<T, TimeOf> {
+ public:
+  HeapSorter() = default;
+  HeapSorter(const HeapSorter&) = delete;
+  HeapSorter& operator=(const HeapSorter&) = delete;
+
+  void Push(const T& item) override {
+    const Timestamp t = time_of_(item);
+    if (t <= last_punctuation_) {
+      ++late_drops_;
+      return;
+    }
+    heap_.push_back(item);
+    SiftUp(heap_.size() - 1);
+  }
+
+  void OnPunctuation(Timestamp t, std::vector<T>* out) override {
+    IMPATIENCE_CHECK_MSG(t >= last_punctuation_,
+                         "punctuations must be non-decreasing");
+    last_punctuation_ = t;
+    while (!heap_.empty() && time_of_(heap_.front()) <= t) {
+      out->push_back(heap_.front());
+      PopRoot();
+    }
+  }
+
+  size_t buffered_count() const override { return heap_.size(); }
+
+  size_t MemoryBytes() const override {
+    return heap_.capacity() * sizeof(T);
+  }
+
+  uint64_t late_drops() const override { return late_drops_; }
+
+  std::string name() const override { return "Heapsort"; }
+
+ private:
+  bool HeapLess(const T& a, const T& b) const {
+    return time_of_(a) < time_of_(b);
+  }
+
+  void SiftUp(size_t i) {
+    T value = std::move(heap_[i]);
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!HeapLess(value, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(value);
+  }
+
+  void PopRoot() {
+    T value = std::move(heap_.back());
+    heap_.pop_back();
+    if (heap_.empty()) return;
+    // Sift the former last element down from the root (min-heap).
+    size_t hole = 0;
+    const size_t n = heap_.size();
+    while (true) {
+      size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && HeapLess(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!HeapLess(heap_[child], value)) break;
+      heap_[hole] = std::move(heap_[child]);
+      hole = child;
+    }
+    heap_[hole] = std::move(value);
+  }
+
+  TimeOf time_of_;
+  std::vector<T> heap_;
+  Timestamp last_punctuation_ = kMinTimestamp;
+  uint64_t late_drops_ = 0;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_HEAPSORT_H_

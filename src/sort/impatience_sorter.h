@@ -1,0 +1,286 @@
+// Impatience sort (paper §III-D, §III-E) — the primary contribution.
+//
+// Impatience sort is Patience sort made incremental. The partition phase is
+// unchanged: each arriving element is appended to the first sorted run
+// whose tail is <= the element (binary search over the strictly-descending
+// tails array), or starts a new run. On a punctuation with timestamp T, the
+// merge phase cuts the prefix of each run containing elements <= T (the
+// "head runs"), merges only those head runs, and emits the result; runs
+// emptied by the cut are removed, which is how the structure recovers from
+// bursts of severely late events (Figure 5).
+//
+// Two optimizations, both individually toggleable for the Figure 7
+// ablation:
+//   * Huffman merge (§III-E1): head runs are merged smallest-two-first.
+//   * Speculative run selection (§III-E2): before the binary search, test
+//     whether the element extends the run that received the previous
+//     element; streams with long natural runs (AndroidLog) hit this path
+//     almost always.
+
+#ifndef IMPATIENCE_SORT_IMPATIENCE_SORTER_H_
+#define IMPATIENCE_SORT_IMPATIENCE_SORTER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/event.h"
+#include "common/timestamp.h"
+#include "sort/merge.h"
+#include "sort/run_select.h"
+#include "sort/sorter.h"
+
+namespace impatience {
+
+// Tuning and ablation switches for ImpatienceSorter.
+struct ImpatienceConfig {
+  // Merge head runs smallest-two-first (§III-E1). kBalanced reproduces the
+  // "Impt w/o HM" ablation; kHeap is a further baseline.
+  MergePolicy merge_policy = MergePolicy::kHuffman;
+
+  // Fast path that retries the run used by the previous insertion before
+  // falling back to binary search (§III-E2).
+  bool speculative_run_selection = true;
+
+  // A run whose consumed prefix exceeds this fraction of its storage (and
+  // at least kCompactMinBytes) is compacted to reclaim memory.
+  double compact_fraction = 0.5;
+  size_t compact_min_bytes = 4096;
+};
+
+// Counters exposed for tests and ablation benchmarks.
+struct ImpatienceCounters {
+  uint64_t pushes = 0;          // Elements accepted (excludes late drops).
+  uint64_t srs_hits = 0;        // Insertions that skipped the binary search.
+  uint64_t new_runs = 0;        // Runs created over the sorter's lifetime.
+  uint64_t removed_runs = 0;    // Runs cleaned up after punctuations.
+  uint64_t compactions = 0;     // Run storage compactions.
+  MergeStats merge;             // Merge work across all punctuations.
+};
+
+// The incremental sorter. See the file comment for the algorithm.
+template <typename T, typename TimeOf = SyncTimeOf>
+class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
+ public:
+  explicit ImpatienceSorter(ImpatienceConfig config = {})
+      : config_(config) {}
+
+  ImpatienceSorter(const ImpatienceSorter&) = delete;
+  ImpatienceSorter& operator=(const ImpatienceSorter&) = delete;
+
+  void Push(const T& item) override {
+    const Timestamp t = time_of_(item);
+    if (t <= last_punctuation_) {
+      ++late_drops_;
+      return;
+    }
+    ++counters_.pushes;
+    ++buffered_;
+
+    // Speculative run selection: the previous insertion's run is often the
+    // right one again. The element belongs there iff it lies between that
+    // run's tail and the tail of the run before it (tails are strictly
+    // descending, so this certifies "first run whose tail <= t").
+    if (config_.speculative_run_selection && last_run_ < runs_.size()) {
+      const size_t r = last_run_;
+      if (tails_[r] <= t && (r == 0 || t < tails_[r - 1])) {
+        AppendToRun(r, item, t);
+        ++counters_.srs_hits;
+        return;
+      }
+    }
+
+    // Search the strictly-descending tails array for the first run whose
+    // tail is <= t (linear probe over the skew-heavy front, then
+    // branch-free binary search).
+    const size_t lo = FindRunIndex(tails_, t);
+    if (lo == runs_.size()) {
+      // Smaller than every tail: start a new run.
+      runs_.emplace_back();
+      runs_.back().items.push_back(item);
+      tails_.push_back(t);
+      head_times_.push_back(t);
+      ++counters_.new_runs;
+      last_run_ = runs_.size() - 1;
+      return;
+    }
+    AppendToRun(lo, item, t);
+  }
+
+  void OnPunctuation(Timestamp t, std::vector<T>* out) override {
+    IMPATIENCE_CHECK_MSG(t >= last_punctuation_,
+                         "punctuations must be non-decreasing");
+    last_punctuation_ = t;
+
+    // Cut the head run (elements <= t) off every sorted run. Each run is
+    // internally sorted, so the cut point is found by binary search without
+    // touching the elements in between (§III-D). The head_times_ array
+    // lets runs with nothing to release be skipped with one contiguous
+    // compare — at high punctuation frequency most runs release nothing,
+    // and this fixed cost dominates.
+    cut_runs_.clear();
+    size_t emitted = 0;
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      if (head_times_[r] > t) continue;
+      Run& run = runs_[r];
+      const size_t cut = UpperBoundByTime(run, t);
+      IMPATIENCE_DCHECK(cut != run.head);
+      cut_runs_.push_back(CutRange{r, run.head, cut});
+      emitted += cut - run.head;
+      run.head = cut;
+      head_times_[r] = cut < run.items.size() ? time_of_(run.items[cut])
+                                              : kMaxTimestamp;
+    }
+    buffered_ -= emitted;
+
+    if (cut_runs_.size() == 1) {
+      // Fast path: one head run goes straight to the output.
+      const CutRange& c = cut_runs_[0];
+      const std::vector<T>& items = runs_[c.run].items;
+      out->insert(out->end(),
+                  items.begin() + static_cast<ptrdiff_t>(c.begin),
+                  items.begin() + static_cast<ptrdiff_t>(c.end));
+      counters_.merge.elements_moved += c.end - c.begin;
+    } else if (!cut_runs_.empty()) {
+      std::vector<std::vector<T>> heads;
+      heads.reserve(cut_runs_.size());
+      for (const CutRange& c : cut_runs_) {
+        const std::vector<T>& items = runs_[c.run].items;
+        std::vector<T> head = pool_.Acquire(c.end - c.begin);
+        head.insert(head.end(),
+                    items.begin() + static_cast<ptrdiff_t>(c.begin),
+                    items.begin() + static_cast<ptrdiff_t>(c.end));
+        heads.push_back(std::move(head));
+      }
+      auto less = [this](const T& a, const T& b) {
+        return time_of_(a) < time_of_(b);
+      };
+      MergeRunsInto(config_.merge_policy, &heads, less, out,
+                    &counters_.merge, &pool_);
+    }
+
+    RemoveEmptyRunsAndCompact();
+    // Keep some scratch for the next punctuation, but never let the pool
+    // dominate the live buffer.
+    pool_.Trim(std::max<size_t>(size_t{64} << 10,
+                                buffered_ * sizeof(T) / 2));
+  }
+
+  size_t buffered_count() const override { return buffered_; }
+
+  size_t MemoryBytes() const override {
+    size_t bytes = tails_.capacity() * sizeof(Timestamp) +
+                   runs_.capacity() * sizeof(Run) + pool_.MemoryBytes();
+    for (const Run& run : runs_) bytes += run.items.capacity() * sizeof(T);
+    return bytes;
+  }
+
+  uint64_t late_drops() const override { return late_drops_; }
+
+  std::string name() const override { return "Impatience"; }
+
+  // Number of sorted runs currently maintained (Figure 5's metric).
+  size_t run_count() const { return runs_.size(); }
+
+  // Lifetime statistics for tests and ablations.
+  const ImpatienceCounters& counters() const { return counters_; }
+
+  // The last punctuation received (kMinTimestamp if none yet).
+  Timestamp last_punctuation() const { return last_punctuation_; }
+
+ private:
+  // One sorted run. Elements before `head` have already been emitted.
+  struct Run {
+    std::vector<T> items;
+    size_t head = 0;
+
+    size_t live_size() const { return items.size() - head; }
+  };
+
+  void AppendToRun(size_t r, const T& item, Timestamp t) {
+    IMPATIENCE_DCHECK(tails_[r] <= t);
+    runs_[r].items.push_back(item);
+    tails_[r] = t;
+    last_run_ = r;
+  }
+
+  // First index in [run.head, run.items.size()) with timestamp > t.
+  size_t UpperBoundByTime(const Run& run, Timestamp t) const {
+    size_t lo = run.head;
+    size_t hi = run.items.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (time_of_(run.items[mid]) <= t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void RemoveEmptyRunsAndCompact() {
+    size_t w = 0;
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      Run& run = runs_[r];
+      if (run.head == run.items.size()) {
+        ++counters_.removed_runs;
+        continue;  // Run fully emitted: drop it (§III-D "cleanup").
+      }
+      // Compact runs whose consumed prefix dominates their storage, so
+      // memory usage tracks the live buffer rather than history.
+      if (run.head > 0 &&
+          run.head * sizeof(T) >= config_.compact_min_bytes &&
+          static_cast<double>(run.head) >
+              config_.compact_fraction *
+                  static_cast<double>(run.items.size())) {
+        run.items.erase(run.items.begin(),
+                        run.items.begin() + static_cast<ptrdiff_t>(run.head));
+        run.items.shrink_to_fit();
+        run.head = 0;
+        ++counters_.compactions;
+      }
+      if (w != r) {
+        runs_[w] = std::move(runs_[r]);
+        tails_[w] = tails_[r];
+        head_times_[w] = head_times_[r];
+      }
+      ++w;
+    }
+    runs_.resize(w);
+    tails_.resize(w);
+    head_times_.resize(w);
+    // Run indices shifted; the speculation cache is no longer valid.
+    last_run_ = runs_.size();
+  }
+
+  ImpatienceConfig config_;
+  TimeOf time_of_;
+
+  std::vector<Run> runs_;
+  std::vector<Timestamp> tails_;  // tails_[i] == time of runs_[i].items.back()
+  // head_times_[i] == time of runs_[i]'s first live element (kMaxTimestamp
+  // if the run is fully emitted); lets punctuations skip idle runs.
+  std::vector<Timestamp> head_times_;
+  // Scratch for OnPunctuation: the cut taken from each releasing run.
+  struct CutRange {
+    size_t run;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<CutRange> cut_runs_;
+  size_t last_run_ = 0;           // Run used by the previous insertion.
+  size_t buffered_ = 0;
+  Timestamp last_punctuation_ = kMinTimestamp;
+  uint64_t late_drops_ = 0;
+  ImpatienceCounters counters_;
+  MergeBufferPool<T> pool_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_IMPATIENCE_SORTER_H_

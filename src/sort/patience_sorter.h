@@ -1,0 +1,194 @@
+// Patience sort (paper §III-B) — the offline base algorithm.
+//
+// Partition phase: scan the input, appending each element to the first
+// sorted run whose tail is <= the element (binary search over the strictly
+// descending tails array), or opening a new run. Merge phase: merge the
+// runs two at a time with binary merges.
+//
+// This class buffers without ever cleaning up runs — that is Impatience
+// sort's addition — so its run count is monotonically non-decreasing
+// (Figure 5's "Patience sort" curve). For the online experiments the paper
+// wraps it (and the other offline algorithms) in IncrementalAdapter.
+
+#ifndef IMPATIENCE_SORT_PATIENCE_SORTER_H_
+#define IMPATIENCE_SORT_PATIENCE_SORTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/event.h"
+#include "common/timestamp.h"
+#include "sort/merge.h"
+#include "sort/run_select.h"
+
+namespace impatience {
+
+// Offline Patience sorter. Push everything, then SortInto() once.
+template <typename T, typename TimeOf = SyncTimeOf>
+class PatienceSorter {
+ public:
+  // `merge_policy` selects the run-merge order; kBalanced matches classic
+  // Patience sort, kHuffman adds the paper's §III-E1 optimization.
+  // `speculative_run_selection` enables the §III-E2 fast path.
+  explicit PatienceSorter(MergePolicy merge_policy = MergePolicy::kBalanced,
+                          bool speculative_run_selection = false)
+      : merge_policy_(merge_policy),
+        speculative_run_selection_(speculative_run_selection) {}
+
+  PatienceSorter(const PatienceSorter&) = delete;
+  PatienceSorter& operator=(const PatienceSorter&) = delete;
+
+  // Partition-phase insertion of one element.
+  void Push(const T& item) {
+    const Timestamp t = time_of_(item);
+    if (speculative_run_selection_ && last_run_ < runs_.size()) {
+      const size_t r = last_run_;
+      if (tails_[r] <= t && (r == 0 || t < tails_[r - 1])) {
+        runs_[r].push_back(item);
+        tails_[r] = t;
+        return;
+      }
+    }
+    const size_t lo = FindRunIndex(tails_, t);
+    if (lo == runs_.size()) {
+      runs_.emplace_back();
+      tails_.push_back(t);
+    }
+    runs_[lo].push_back(item);
+    tails_[lo] = t;
+    last_run_ = lo;
+  }
+
+  // Merge phase: appends all buffered elements to `out` in ascending
+  // timestamp order and clears the sorter.
+  void SortInto(std::vector<T>* out, MergeStats* stats = nullptr) {
+    auto less = [this](const T& a, const T& b) {
+      return time_of_(a) < time_of_(b);
+    };
+    MergeRunsInto(merge_policy_, &runs_, less, out, stats);
+    runs_.clear();
+    tails_.clear();
+    last_run_ = 0;
+  }
+
+  // Number of sorted runs created so far (monotone non-decreasing).
+  size_t run_count() const { return runs_.size(); }
+
+  size_t buffered_count() const {
+    size_t n = 0;
+    for (const std::vector<T>& r : runs_) n += r.size();
+    return n;
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = tails_.capacity() * sizeof(Timestamp);
+    for (const std::vector<T>& r : runs_) bytes += r.capacity() * sizeof(T);
+    return bytes;
+  }
+
+ private:
+  MergePolicy merge_policy_;
+  bool speculative_run_selection_;
+  TimeOf time_of_;
+
+  std::vector<std::vector<T>> runs_;
+  std::vector<Timestamp> tails_;
+  size_t last_run_ = 0;
+};
+
+namespace patience_internal {
+
+// The offline sort works on (timestamp, original index) pairs: runs are
+// built and merged over these 16-byte keys and the full records are
+// gathered once at the end. For the wide events a streaming engine sorts,
+// this cuts merge-phase memory traffic by ~3x; and because the input is
+// nearly sorted, the final gather is nearly sequential — one more way the
+// algorithm profits from pre-existing order.
+struct KeyRef {
+  Timestamp time;
+  uint32_t index;
+};
+
+}  // namespace patience_internal
+
+// Sorts `items` in place by timestamp with Patience sort.
+//
+// Unlike the streaming PatienceSorter above, the offline sort knows the
+// whole input: it partitions (timestamp, index) keys into runs with a
+// branch-free tails search, merges the key runs with the selected policy,
+// and gathers the records once.
+template <typename T, typename TimeOf = SyncTimeOf>
+void PatienceSortVector(std::vector<T>* items,
+                        MergePolicy merge_policy = MergePolicy::kBalanced,
+                        bool speculative_run_selection = false) {
+  using patience_internal::KeyRef;
+  const size_t n = items->size();
+  if (n < 2) return;
+  IMPATIENCE_CHECK(n < UINT32_MAX);
+  TimeOf time_of;
+
+  // Partition pass 1: assign each key a run. `tails` is strictly
+  // descending; nothing is copied yet, so a run's storage can be sized
+  // exactly before the scatter.
+  std::vector<uint32_t> run_of(n);
+  std::vector<Timestamp> tails;
+  std::vector<size_t> run_sizes;
+  size_t last_run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Timestamp t = time_of((*items)[i]);
+    if (speculative_run_selection && !tails.empty()) {
+      // §III-E2: the previous insertion's run is often right again.
+      const size_t r = last_run;
+      if (tails[r] <= t && (r == 0 || t < tails[r - 1])) {
+        run_of[i] = static_cast<uint32_t>(r);
+        tails[r] = t;
+        ++run_sizes[r];
+        continue;
+      }
+    }
+    const size_t lo = FindRunIndex(tails, t);
+    if (lo == tails.size()) {
+      tails.push_back(t);
+      run_sizes.push_back(0);
+    }
+    run_of[i] = static_cast<uint32_t>(lo);
+    tails[lo] = t;
+    ++run_sizes[lo];
+    last_run = lo;
+  }
+  const size_t k = tails.size();
+  if (k == 1) return;  // Single run: input was already sorted.
+
+  // Partition pass 2: scatter keys into exactly-sized runs.
+  std::vector<std::vector<KeyRef>> runs(k);
+  for (size_t r = 0; r < k; ++r) runs[r].reserve(run_sizes[r]);
+  for (size_t i = 0; i < n; ++i) {
+    runs[run_of[i]].push_back(
+        KeyRef{time_of((*items)[i]), static_cast<uint32_t>(i)});
+  }
+  run_of.clear();
+  run_of.shrink_to_fit();
+
+  // Merge phase over keys.
+  std::vector<KeyRef> order;
+  order.reserve(n);
+  auto key_less = [](const KeyRef& a, const KeyRef& b) {
+    return a.time < b.time;
+  };
+  MergeRunsInto(merge_policy, &runs, key_less, &order);
+
+  // Gather the records in sorted order (near-sequential on nearly sorted
+  // input).
+  std::vector<T> out;
+  out.reserve(n);
+  for (const KeyRef& key : order) {
+    out.push_back(std::move((*items)[key.index]));
+  }
+  *items = std::move(out);
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_PATIENCE_SORTER_H_

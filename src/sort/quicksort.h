@@ -1,0 +1,106 @@
+// Quicksort baseline (Figure 7/8).
+//
+// Median-of-three partitioning with an insertion-sort cutoff for small
+// ranges. As the paper notes (citing Brodal et al.), this scheme is itself
+// somewhat adaptive to pre-existing order. A depth limit falls back to
+// heapsort so adversarial inputs cannot trigger quadratic behaviour — the
+// benchmarks never reach it, but a production sort must not have a
+// quadratic cliff.
+
+#ifndef IMPATIENCE_SORT_QUICKSORT_H_
+#define IMPATIENCE_SORT_QUICKSORT_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+
+#include "sort/heapsort.h"
+
+namespace impatience {
+namespace quicksort_internal {
+
+inline constexpr ptrdiff_t kInsertionCutoff = 24;
+
+template <typename RandomIt, typename Less>
+void InsertionSort(RandomIt first, RandomIt last, Less less) {
+  for (RandomIt it = first + 1; it < last; ++it) {
+    auto value = std::move(*it);
+    RandomIt hole = it;
+    while (hole != first && less(value, *(hole - 1))) {
+      *hole = std::move(*(hole - 1));
+      --hole;
+    }
+    *hole = std::move(value);
+  }
+}
+
+// Places the median of {*a, *b, *c} into *b.
+template <typename RandomIt, typename Less>
+void MedianOfThreeToMid(RandomIt a, RandomIt b, RandomIt c, Less less) {
+  if (less(*b, *a)) std::iter_swap(a, b);
+  if (less(*c, *b)) {
+    std::iter_swap(b, c);
+    if (less(*b, *a)) std::iter_swap(a, b);
+  }
+}
+
+template <typename RandomIt, typename Less>
+void QuicksortImpl(RandomIt first, RandomIt last, Less less, int depth) {
+  while (last - first > kInsertionCutoff) {
+    if (depth == 0) {
+      // Too many bad pivots in a row: guarantee O(n log n) with heapsort.
+      Heapsort(first, last, less);
+      return;
+    }
+    --depth;
+
+    RandomIt mid = first + (last - first) / 2;
+    MedianOfThreeToMid(first, mid, last - 1, less);
+    // Hoare partition around the median-of-three pivot.
+    auto pivot = *mid;
+    RandomIt lo = first;
+    RandomIt hi = last - 1;
+    while (true) {
+      while (less(*lo, pivot)) ++lo;
+      while (less(pivot, *hi)) --hi;
+      if (lo >= hi) break;
+      std::iter_swap(lo, hi);
+      ++lo;
+      --hi;
+    }
+    // Recurse on the smaller side; loop on the larger (bounded stack).
+    if (hi + 1 - first < last - (hi + 1)) {
+      QuicksortImpl(first, hi + 1, less, depth);
+      first = hi + 1;
+    } else {
+      QuicksortImpl(hi + 1, last, less, depth);
+      last = hi + 1;
+    }
+  }
+  if (last - first > 1) InsertionSort(first, last, less);
+}
+
+}  // namespace quicksort_internal
+
+// Sorts [first, last) with quicksort (median-of-three, insertion cutoff,
+// heapsort depth fallback). Not stable.
+template <typename RandomIt, typename Less>
+void Quicksort(RandomIt first, RandomIt last, Less less) {
+  const ptrdiff_t n = last - first;
+  if (n < 2) return;
+  const int depth_limit =
+      2 * (std::bit_width(static_cast<size_t>(n)));
+  quicksort_internal::QuicksortImpl(first, last, less, depth_limit);
+}
+
+// Convenience overload using operator<.
+template <typename RandomIt>
+void Quicksort(RandomIt first, RandomIt last) {
+  Quicksort(first, last, std::less<>());
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_QUICKSORT_H_

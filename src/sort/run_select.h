@@ -1,0 +1,46 @@
+// Run selection for the Patience partition phase.
+//
+// The tails array is strictly descending and the run-size distribution on
+// log data is heavily skewed toward the first few runs (the "front" runs
+// absorb the near-in-order backbone of the stream). FindRunIndex therefore
+// probes the first few tails linearly — a predictable early-exit loop —
+// before falling back to a branch-free binary search over the remainder.
+
+#ifndef IMPATIENCE_SORT_RUN_SELECT_H_
+#define IMPATIENCE_SORT_RUN_SELECT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/timestamp.h"
+
+namespace impatience {
+
+// Returns the first index i with tails[i] <= t, or tails.size() if no run
+// can accept the element. `tails` must be strictly descending.
+inline size_t FindRunIndex(const std::vector<Timestamp>& tails,
+                           Timestamp t) {
+  constexpr size_t kLinearProbe = 8;
+  const size_t k = tails.size();
+  const size_t linear_end = k < kLinearProbe ? k : kLinearProbe;
+  for (size_t i = 0; i < linear_end; ++i) {
+    if (tails[i] <= t) return i;
+  }
+  if (linear_end == k) return k;
+
+  // Branch-free binary search over tails[kLinearProbe..k).
+  const Timestamp* data = tails.data();
+  size_t lo = kLinearProbe;
+  size_t len = k - kLinearProbe;
+  while (len > 0) {
+    const size_t half = len >> 1;
+    const bool gt = data[lo + half] > t;
+    lo = gt ? lo + half + 1 : lo;
+    len = gt ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_RUN_SELECT_H_

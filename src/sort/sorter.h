@@ -1,0 +1,60 @@
+// The incremental sorting operator interface (paper §III-A).
+//
+// A sorting operator consumes a stream of events interleaved with
+// punctuations. A punctuation with timestamp T promises that no further
+// event with timestamp <= T will arrive; on receiving it, the sorter must
+// emit every buffered event with timestamp <= T in ascending timestamp
+// order. Events that nevertheless arrive at or before the last punctuation
+// are "too late": they are counted and dropped, mirroring the
+// buffer-and-sort contract the paper describes (§I-A).
+
+#ifndef IMPATIENCE_SORT_SORTER_H_
+#define IMPATIENCE_SORT_SORTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/timestamp.h"
+
+namespace impatience {
+
+// Interface for incremental (online) sorters.
+//
+// `T` is the element type; `TimeOf` extracts the ordering Timestamp from an
+// element (SyncTimeOf for events, IdentityTimeOf for bare timestamps).
+template <typename T, typename TimeOf = SyncTimeOf>
+class IncrementalSorter {
+ public:
+  virtual ~IncrementalSorter() = default;
+
+  // Buffers one element. Elements with timestamp <= the last punctuation
+  // are dropped and counted in late_drops().
+  virtual void Push(const T& item) = 0;
+
+  // Handles a punctuation: appends to `out` every buffered element with
+  // timestamp <= `t`, in ascending timestamp order. Punctuation timestamps
+  // must be non-decreasing across calls.
+  virtual void OnPunctuation(Timestamp t, std::vector<T>* out) = 0;
+
+  // Convenience: the infinite punctuation, emitting everything buffered.
+  void Flush(std::vector<T>* out) { OnPunctuation(kMaxTimestamp, out); }
+
+  // Number of elements currently buffered.
+  virtual size_t buffered_count() const = 0;
+
+  // Approximate heap footprint of the buffered state, in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  // Elements dropped because they arrived at or before a past punctuation.
+  virtual uint64_t late_drops() const = 0;
+
+  // Human-readable algorithm name, e.g. "Impatience".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_SORTER_H_

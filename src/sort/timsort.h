@@ -1,0 +1,467 @@
+// Timsort — adaptive, stable merge sort (baseline in Figure 7/8).
+//
+// A faithful implementation of the algorithm used by CPython and the JDK:
+// natural-run detection with descending-run reversal, binary insertion sort
+// up to minrun, a run stack with the (corrected) merge invariants, and
+// galloping merges with an adaptive gallop threshold. The paper compares
+// Impatience sort against Timsort because both exploit pre-existing order;
+// Timsort, however, cannot sort incrementally (it is wrapped by
+// IncrementalAdapter for the online experiments).
+
+#ifndef IMPATIENCE_SORT_TIMSORT_H_
+#define IMPATIENCE_SORT_TIMSORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace impatience {
+namespace timsort_internal {
+
+inline constexpr ptrdiff_t kMinMerge = 64;
+inline constexpr ptrdiff_t kMinGallop = 7;
+
+// Computes minrun: n divided down to [kMinMerge/2, kMinMerge), rounding up
+// whenever any bit is shifted out, so n/minrun is close to a power of two.
+inline ptrdiff_t ComputeMinRun(ptrdiff_t n) {
+  ptrdiff_t r = 0;
+  while (n >= kMinMerge) {
+    r |= (n & 1);
+    n >>= 1;
+  }
+  return n + r;
+}
+
+// Sorts [first, last) assuming [first, sorted_end) is already sorted, by
+// binary insertion.
+template <typename RandomIt, typename Less>
+void BinaryInsertionSort(RandomIt first, RandomIt last, RandomIt sorted_end,
+                         Less less) {
+  if (sorted_end == first) ++sorted_end;
+  for (RandomIt it = sorted_end; it != last; ++it) {
+    auto value = std::move(*it);
+    RandomIt pos = std::upper_bound(first, it, value, less);
+    std::move_backward(pos, it, it + 1);
+    *pos = std::move(value);
+  }
+}
+
+// Length of the natural run starting at `first`; a strictly descending run
+// is reversed in place so the result is always ascending (stably: only
+// strictly descending runs are reversed).
+template <typename RandomIt, typename Less>
+ptrdiff_t CountRunAndMakeAscending(RandomIt first, RandomIt last, Less less) {
+  RandomIt it = first + 1;
+  if (it == last) return 1;
+  if (less(*it, *first)) {
+    // Strictly descending.
+    do {
+      ++it;
+    } while (it != last && less(*it, *(it - 1)));
+    std::reverse(first, it);
+  } else {
+    // Ascending (non-decreasing).
+    do {
+      ++it;
+    } while (it != last && !less(*it, *(it - 1)));
+  }
+  return it - first;
+}
+
+// Locates the insertion point for `key` in sorted [base, base+len): the
+// number of elements that should precede key, with ties breaking LEFT of
+// equal elements. Gallops from `hint` (0 <= hint < len).
+template <typename T, typename RandomIt, typename Less>
+ptrdiff_t GallopLeft(const T& key, RandomIt base, ptrdiff_t len,
+                     ptrdiff_t hint, Less less) {
+  IMPATIENCE_DCHECK(len > 0 && hint >= 0 && hint < len);
+  ptrdiff_t last_ofs = 0;
+  ptrdiff_t ofs = 1;
+  if (less(*(base + hint), key)) {
+    // Gallop right until base[hint+last_ofs] < key <= base[hint+ofs].
+    const ptrdiff_t max_ofs = len - hint;
+    while (ofs < max_ofs && less(*(base + hint + ofs), key)) {
+      last_ofs = ofs;
+      ofs = (ofs << 1) + 1;
+      if (ofs <= 0) ofs = max_ofs;  // overflow
+    }
+    if (ofs > max_ofs) ofs = max_ofs;
+    last_ofs += hint;
+    ofs += hint;
+  } else {
+    // Gallop left until base[hint-ofs] < key <= base[hint-last_ofs].
+    const ptrdiff_t max_ofs = hint + 1;
+    while (ofs < max_ofs && !less(*(base + hint - ofs), key)) {
+      last_ofs = ofs;
+      ofs = (ofs << 1) + 1;
+      if (ofs <= 0) ofs = max_ofs;
+    }
+    if (ofs > max_ofs) ofs = max_ofs;
+    const ptrdiff_t tmp = last_ofs;
+    last_ofs = hint - ofs;
+    ofs = hint - tmp;
+  }
+  // Binary search in (last_ofs, ofs].
+  ++last_ofs;
+  while (last_ofs < ofs) {
+    const ptrdiff_t m = last_ofs + ((ofs - last_ofs) >> 1);
+    if (less(*(base + m), key)) {
+      last_ofs = m + 1;
+    } else {
+      ofs = m;
+    }
+  }
+  return ofs;
+}
+
+// Like GallopLeft but ties break RIGHT of equal elements.
+template <typename T, typename RandomIt, typename Less>
+ptrdiff_t GallopRight(const T& key, RandomIt base, ptrdiff_t len,
+                      ptrdiff_t hint, Less less) {
+  IMPATIENCE_DCHECK(len > 0 && hint >= 0 && hint < len);
+  ptrdiff_t last_ofs = 0;
+  ptrdiff_t ofs = 1;
+  if (less(key, *(base + hint))) {
+    // Gallop left until base[hint-ofs] <= key < base[hint-last_ofs].
+    const ptrdiff_t max_ofs = hint + 1;
+    while (ofs < max_ofs && less(key, *(base + hint - ofs))) {
+      last_ofs = ofs;
+      ofs = (ofs << 1) + 1;
+      if (ofs <= 0) ofs = max_ofs;
+    }
+    if (ofs > max_ofs) ofs = max_ofs;
+    const ptrdiff_t tmp = last_ofs;
+    last_ofs = hint - ofs;
+    ofs = hint - tmp;
+  } else {
+    // Gallop right until base[hint+last_ofs] <= key < base[hint+ofs].
+    const ptrdiff_t max_ofs = len - hint;
+    while (ofs < max_ofs && !less(key, *(base + hint + ofs))) {
+      last_ofs = ofs;
+      ofs = (ofs << 1) + 1;
+      if (ofs <= 0) ofs = max_ofs;
+    }
+    if (ofs > max_ofs) ofs = max_ofs;
+    last_ofs += hint;
+    ofs += hint;
+  }
+  ++last_ofs;
+  while (last_ofs < ofs) {
+    const ptrdiff_t m = last_ofs + ((ofs - last_ofs) >> 1);
+    if (less(key, *(base + m))) {
+      ofs = m;
+    } else {
+      last_ofs = m + 1;
+    }
+  }
+  return ofs;
+}
+
+// State shared across merges: the temp buffer and the adaptive gallop
+// threshold.
+template <typename T>
+struct MergeState {
+  std::vector<T> tmp;
+  ptrdiff_t min_gallop = kMinGallop;
+};
+
+// Merges adjacent sorted ranges [base1, base1+len1) and [base2=base1+len1,
+// base2+len2) where len1 <= len2, copying run 1 into the temp buffer.
+// Preconditions (established by MergeAt): base1[0] > base2[0] after the
+// prefix gallop, and the last element of run1 lands inside run2.
+template <typename RandomIt, typename Less, typename T>
+void MergeLo(RandomIt base1, ptrdiff_t len1, RandomIt base2, ptrdiff_t len2,
+             Less less, MergeState<T>* state) {
+  std::vector<T>& tmp = state->tmp;
+  tmp.assign(std::make_move_iterator(base1),
+             std::make_move_iterator(base1 + len1));
+  auto cursor1 = tmp.begin();
+  RandomIt cursor2 = base2;
+  RandomIt dest = base1;
+
+  // First element of run2 precedes run1 (guaranteed by the caller).
+  *dest++ = std::move(*cursor2++);
+  --len2;
+  if (len2 == 0) {
+    std::move(cursor1, cursor1 + len1, dest);
+    return;
+  }
+  if (len1 == 1) {
+    std::move(cursor2, cursor2 + len2, dest);
+    *(dest + len2) = std::move(*cursor1);
+    return;
+  }
+
+  ptrdiff_t min_gallop = state->min_gallop;
+  while (true) {
+    ptrdiff_t count1 = 0;  // Consecutive wins by run1.
+    ptrdiff_t count2 = 0;  // Consecutive wins by run2.
+    // One-pair-at-a-time mode.
+    do {
+      if (less(*cursor2, *cursor1)) {
+        *dest++ = std::move(*cursor2++);
+        ++count2;
+        count1 = 0;
+        if (--len2 == 0) goto epilogue;
+      } else {
+        *dest++ = std::move(*cursor1++);
+        ++count1;
+        count2 = 0;
+        if (--len1 == 1) goto epilogue;
+      }
+    } while ((count1 | count2) < min_gallop);
+
+    // Galloping mode: one run is winning consistently.
+    do {
+      count1 = GallopRight(*cursor2, cursor1, len1, 0, less);
+      if (count1 != 0) {
+        dest = std::move(cursor1, cursor1 + count1, dest);
+        cursor1 += count1;
+        len1 -= count1;
+        if (len1 <= 1) goto epilogue;
+      }
+      *dest++ = std::move(*cursor2++);
+      if (--len2 == 0) goto epilogue;
+
+      count2 = GallopLeft(*cursor1, cursor2, len2, 0, less);
+      if (count2 != 0) {
+        dest = std::move(cursor2, cursor2 + count2, dest);
+        cursor2 += count2;
+        len2 -= count2;
+        if (len2 == 0) goto epilogue;
+      }
+      *dest++ = std::move(*cursor1++);
+      if (--len1 == 1) goto epilogue;
+      --min_gallop;
+    } while (count1 >= kMinGallop || count2 >= kMinGallop);
+    if (min_gallop < 0) min_gallop = 0;
+    min_gallop += 2;  // Penalize leaving gallop mode.
+  }
+
+epilogue:
+  state->min_gallop = min_gallop < 1 ? 1 : min_gallop;
+  if (len1 == 1) {
+    IMPATIENCE_DCHECK(len2 > 0);
+    dest = std::move(cursor2, cursor2 + len2, dest);
+    *dest = std::move(*cursor1);
+  } else {
+    IMPATIENCE_DCHECK(len2 == 0);
+    IMPATIENCE_DCHECK(len1 > 1);
+    std::move(cursor1, cursor1 + len1, dest);
+  }
+}
+
+// Mirror image of MergeLo for len1 >= len2: copies run 2 into the temp
+// buffer and merges from the right.
+template <typename RandomIt, typename Less, typename T>
+void MergeHi(RandomIt base1, ptrdiff_t len1, RandomIt base2, ptrdiff_t len2,
+             Less less, MergeState<T>* state) {
+  std::vector<T>& tmp = state->tmp;
+  tmp.assign(std::make_move_iterator(base2),
+             std::make_move_iterator(base2 + len2));
+  RandomIt cursor1 = base1 + (len1 - 1);
+  auto cursor2 = tmp.begin() + (len2 - 1);
+  RandomIt dest = base2 + (len2 - 1);
+
+  // Last element of run1 follows run2 (guaranteed by the caller).
+  *dest-- = std::move(*cursor1--);
+  --len1;
+  if (len1 == 0) {
+    std::move(tmp.begin(), tmp.begin() + len2, dest - (len2 - 1));
+    return;
+  }
+  if (len2 == 1) {
+    dest -= len1;
+    cursor1 -= len1;
+    std::move_backward(cursor1 + 1, cursor1 + 1 + len1, dest + 1 + len1);
+    *dest = std::move(*cursor2);
+    return;
+  }
+
+  ptrdiff_t min_gallop = state->min_gallop;
+  while (true) {
+    ptrdiff_t count1 = 0;
+    ptrdiff_t count2 = 0;
+    do {
+      if (less(*cursor2, *cursor1)) {
+        *dest-- = std::move(*cursor1--);
+        ++count1;
+        count2 = 0;
+        if (--len1 == 0) goto epilogue;
+      } else {
+        *dest-- = std::move(*cursor2--);
+        ++count2;
+        count1 = 0;
+        if (--len2 == 1) goto epilogue;
+      }
+    } while ((count1 | count2) < min_gallop);
+
+    do {
+      count1 = len1 - GallopRight(*cursor2, base1, len1, len1 - 1, less);
+      if (count1 != 0) {
+        dest -= count1;
+        cursor1 -= count1;
+        std::move_backward(cursor1 + 1, cursor1 + 1 + count1,
+                           dest + 1 + count1);
+        len1 -= count1;
+        if (len1 == 0) goto epilogue;
+      }
+      *dest-- = std::move(*cursor2--);
+      if (--len2 == 1) goto epilogue;
+
+      count2 = len2 - GallopLeft(*cursor1, tmp.begin(), len2, len2 - 1, less);
+      if (count2 != 0) {
+        dest -= count2;
+        cursor2 -= count2;
+        std::move_backward(cursor2 + 1, cursor2 + 1 + count2,
+                           dest + 1 + count2);
+        len2 -= count2;
+        if (len2 <= 1) goto epilogue;
+      }
+      *dest-- = std::move(*cursor1--);
+      if (--len1 == 0) goto epilogue;
+      --min_gallop;
+    } while (count1 >= kMinGallop || count2 >= kMinGallop);
+    if (min_gallop < 0) min_gallop = 0;
+    min_gallop += 2;
+  }
+
+epilogue:
+  state->min_gallop = min_gallop < 1 ? 1 : min_gallop;
+  if (len2 == 1) {
+    IMPATIENCE_DCHECK(len1 > 0);
+    dest -= len1;
+    cursor1 -= len1;
+    std::move_backward(cursor1 + 1, cursor1 + 1 + len1, dest + 1 + len1);
+    *dest = std::move(*cursor2);
+  } else {
+    IMPATIENCE_DCHECK(len1 == 0);
+    IMPATIENCE_DCHECK(len2 > 1);
+    std::move(tmp.begin(), tmp.begin() + len2, dest - (len2 - 1));
+  }
+}
+
+// The run stack plus the merge-invariant logic.
+template <typename RandomIt, typename Less>
+class TimsortDriver {
+ public:
+  using T = typename std::iterator_traits<RandomIt>::value_type;
+
+  explicit TimsortDriver(Less less) : less_(less) {}
+
+  void PushRun(RandomIt base, ptrdiff_t len) {
+    runs_.push_back({base, len});
+    MergeCollapse();
+  }
+
+  void ForceMerge() {
+    while (runs_.size() > 1) {
+      size_t n = runs_.size() - 2;
+      if (n > 0 && runs_[n - 1].len < runs_[n + 1].len) --n;
+      MergeAt(n);
+    }
+  }
+
+ private:
+  struct PendingRun {
+    RandomIt base;
+    ptrdiff_t len;
+  };
+
+  // Restores the invariants: for the topmost runs X, Y, Z (Z on top),
+  // X > Y + Z and Y > Z — including the stricter 4-run check that fixes
+  // the classic "timsort bug".
+  void MergeCollapse() {
+    while (runs_.size() > 1) {
+      size_t n = runs_.size() - 2;
+      if ((n > 0 && runs_[n - 1].len <= runs_[n].len + runs_[n + 1].len) ||
+          (n > 1 &&
+           runs_[n - 2].len <= runs_[n - 1].len + runs_[n].len)) {
+        if (runs_[n - 1].len < runs_[n + 1].len) --n;
+        MergeAt(n);
+      } else if (runs_[n].len <= runs_[n + 1].len) {
+        MergeAt(n);
+      } else {
+        break;
+      }
+    }
+  }
+
+  void MergeAt(size_t i) {
+    IMPATIENCE_DCHECK(i + 1 < runs_.size());
+    RandomIt base1 = runs_[i].base;
+    ptrdiff_t len1 = runs_[i].len;
+    RandomIt base2 = runs_[i + 1].base;
+    ptrdiff_t len2 = runs_[i + 1].len;
+    IMPATIENCE_DCHECK(base1 + len1 == base2);
+
+    runs_[i].len = len1 + len2;
+    if (i + 2 < runs_.size()) runs_[i + 1] = runs_[i + 2];
+    runs_.pop_back();
+
+    // Skip the prefix of run1 that already precedes run2, and the suffix of
+    // run2 that already follows run1.
+    const ptrdiff_t k = GallopRight(*base2, base1, len1, 0, less_);
+    base1 += k;
+    len1 -= k;
+    if (len1 == 0) return;
+    len2 = GallopLeft(*(base1 + (len1 - 1)), base2, len2, len2 - 1, less_);
+    if (len2 == 0) return;
+
+    if (len1 <= len2) {
+      MergeLo(base1, len1, base2, len2, less_, &state_);
+    } else {
+      MergeHi(base1, len1, base2, len2, less_, &state_);
+    }
+  }
+
+  Less less_;
+  MergeState<T> state_;
+  std::vector<PendingRun> runs_;
+};
+
+}  // namespace timsort_internal
+
+// Sorts [first, last) stably with Timsort.
+template <typename RandomIt, typename Less>
+void Timsort(RandomIt first, RandomIt last, Less less) {
+  using namespace timsort_internal;  // NOLINT(build/namespaces) — local impl.
+  const ptrdiff_t n = last - first;
+  if (n < 2) return;
+  if (n < kMinMerge) {
+    const ptrdiff_t run_len = CountRunAndMakeAscending(first, last, less);
+    BinaryInsertionSort(first, last, first + run_len, less);
+    return;
+  }
+
+  TimsortDriver<RandomIt, Less> driver(less);
+  const ptrdiff_t min_run = ComputeMinRun(n);
+  RandomIt cur = first;
+  ptrdiff_t remaining = n;
+  while (remaining > 0) {
+    ptrdiff_t run_len = CountRunAndMakeAscending(cur, last, less);
+    if (run_len < min_run) {
+      const ptrdiff_t force = remaining < min_run ? remaining : min_run;
+      BinaryInsertionSort(cur, cur + force, cur + run_len, less);
+      run_len = force;
+    }
+    driver.PushRun(cur, run_len);
+    cur += run_len;
+    remaining -= run_len;
+  }
+  driver.ForceMerge();
+}
+
+// Convenience overload using operator<.
+template <typename RandomIt>
+void Timsort(RandomIt first, RandomIt last) {
+  Timsort(first, last, std::less<>());
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_TIMSORT_H_

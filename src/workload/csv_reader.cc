@@ -1,0 +1,125 @@
+#include "workload/csv_reader.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace impatience {
+
+namespace {
+
+// Splits one line into fields on `delimiter`. No quoting support — log
+// exports with numeric fields do not need it; a quoted field simply fails
+// the numeric parse and the row is counted bad.
+void SplitLine(std::string_view line, char delimiter,
+               std::vector<std::string_view>* fields) {
+  fields->clear();
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields->push_back(line.substr(start));
+      return;
+    }
+    fields->push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+// Parses a signed integer; returns false on any trailing garbage.
+bool ParseInt(std::string_view field, int64_t* value) {
+  if (field.empty()) return false;
+  char buf[32];
+  if (field.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, field.data(), field.size());
+  buf[field.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + field.size()) return false;
+  *value = v;
+  return true;
+}
+
+bool FieldToInt(const std::vector<std::string_view>& fields, int column,
+                int64_t* value) {
+  if (column < 0) return true;  // Unmapped: leave default.
+  if (static_cast<size_t>(column) >= fields.size()) return false;
+  return ParseInt(fields[static_cast<size_t>(column)], value);
+}
+
+}  // namespace
+
+CsvParseResult ParseCsvEvents(const std::string& text,
+                              const CsvSchema& schema) {
+  IMPATIENCE_CHECK_MSG(schema.sync_time_column >= 0,
+                       "sync_time_column is required");
+  CsvParseResult result;
+  std::vector<std::string_view> fields;
+  size_t line_start = 0;
+  bool first_line = true;
+
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    std::string_view line(text.data() + line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    const bool is_header = first_line && schema.has_header;
+    first_line = false;
+    if (is_header || line.empty()) continue;
+
+    SplitLine(line, schema.delimiter, &fields);
+    Event e;
+    int64_t sync = 0;
+    int64_t other = 0;
+    int64_t key = 0;
+    bool ok = FieldToInt(fields, schema.sync_time_column, &sync);
+    other = sync;
+    ok = ok && FieldToInt(fields, schema.other_time_column, &other);
+    ok = ok && FieldToInt(fields, schema.key_column, &key);
+    int64_t payload[4] = {0, 0, 0, 0};
+    for (int c = 0; c < 4; ++c) {
+      ok = ok && FieldToInt(fields, schema.payload_columns[c], &payload[c]);
+    }
+    if (!ok) {
+      ++result.rows_bad;
+      continue;
+    }
+    e.sync_time = sync;
+    e.other_time = schema.other_time_column < 0 ? sync : other;
+    e.key = static_cast<int32_t>(key);
+    e.hash = HashKey(e.key);
+    for (int c = 0; c < 4; ++c) {
+      e.payload[c] = static_cast<int32_t>(payload[c]);
+    }
+    result.events.push_back(e);
+    ++result.rows_ok;
+  }
+  return result;
+}
+
+bool LoadCsvEvents(const std::string& path, const CsvSchema& schema,
+                   CsvParseResult* result) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return false;
+  *result = ParseCsvEvents(text, schema);
+  return true;
+}
+
+}  // namespace impatience

@@ -1,0 +1,50 @@
+// CSV log ingestion: turn timestamped text logs into event streams.
+//
+// Downstream users rarely have events in this library's binary format;
+// they have CSV-ish logs. CsvReader parses delimited rows into events with
+// a configurable column mapping, preserving file order as arrival
+// (processing) order — exactly what the sorting operator expects to
+// consume. Rows that fail to parse are counted, not fatal.
+
+#ifndef IMPATIENCE_WORKLOAD_CSV_READER_H_
+#define IMPATIENCE_WORKLOAD_CSV_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "workload/generators.h"
+
+namespace impatience {
+
+// Column mapping for CSV ingestion. Columns are 0-based; -1 means "not
+// present" (the field keeps its default / derived value).
+struct CsvSchema {
+  char delimiter = ',';
+  bool has_header = true;
+  int sync_time_column = 0;   // Required.
+  int other_time_column = -1;  // Defaults to sync_time.
+  int key_column = -1;         // Defaults to 0; hash derived from key.
+  // payload_columns[i] fills payload[i]; -1 leaves it 0.
+  int payload_columns[4] = {-1, -1, -1, -1};
+};
+
+// Outcome of a parse: the events plus per-row accounting.
+struct CsvParseResult {
+  std::vector<Event> events;
+  uint64_t rows_ok = 0;
+  uint64_t rows_bad = 0;  // Unparseable rows (wrong arity / non-numeric).
+};
+
+// Parses CSV text (entire buffer) into events.
+CsvParseResult ParseCsvEvents(const std::string& text,
+                              const CsvSchema& schema);
+
+// Reads and parses a CSV file. Returns false on IO failure.
+bool LoadCsvEvents(const std::string& path, const CsvSchema& schema,
+                   CsvParseResult* result);
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_WORKLOAD_CSV_READER_H_

@@ -1,0 +1,204 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace impatience {
+
+namespace {
+
+// Fills the query-facing fields (key, hash, payload) of an event.
+void FillPayload(Event* e, int32_t num_keys, int32_t num_ad_ids,
+                 int32_t source_id, uint64_t seq, Rng* rng) {
+  e->key = static_cast<int32_t>(rng->NextBelow(
+      static_cast<uint64_t>(num_keys)));
+  e->hash = HashKey(e->key);
+  e->payload[0] = static_cast<int32_t>(rng->NextBelow(
+      static_cast<uint64_t>(num_ad_ids)));
+  e->payload[1] = source_id;
+  e->payload[2] = static_cast<int32_t>(seq & 0x7fffffff);
+  e->payload[3] = static_cast<int32_t>(rng->NextUint64() & 0x7fffffff);
+}
+
+// An event paired with its delivery (processing) time, used to establish
+// arrival order before the metadata is dropped.
+struct Pending {
+  Timestamp delivery = 0;
+  uint64_t tiebreak = 0;  // Preserves per-source order within a burst.
+  Event event;
+};
+
+std::vector<Event> FinalizeArrivalOrder(std::vector<Pending>* pending) {
+  std::stable_sort(pending->begin(), pending->end(),
+                   [](const Pending& a, const Pending& b) {
+                     if (a.delivery != b.delivery) {
+                       return a.delivery < b.delivery;
+                     }
+                     return a.tiebreak < b.tiebreak;
+                   });
+  std::vector<Event> events;
+  events.reserve(pending->size());
+  for (const Pending& p : *pending) events.push_back(p.event);
+  pending->clear();
+  pending->shrink_to_fit();
+  return events;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Event> events;
+  events.reserve(config.num_events);
+  for (size_t i = 0; i < config.num_events; ++i) {
+    Event e;
+    Timestamp t = static_cast<Timestamp>(i);  // One event per millisecond.
+    if (rng.NextBool(config.percent_disorder / 100.0)) {
+      const double delay =
+          std::abs(rng.NextGaussian(0.0, config.disorder_stddev));
+      t -= static_cast<Timestamp>(delay);
+      if (t < 0) t = 0;
+    }
+    e.sync_time = t;
+    e.other_time = t;
+    FillPayload(&e, config.num_keys, config.num_ad_ids, /*source_id=*/0, i,
+                &rng);
+    events.push_back(e);
+  }
+  return Dataset{"Synthetic", std::move(events)};
+}
+
+Dataset GenerateCloudLog(const CloudLogConfig& config) {
+  IMPATIENCE_CHECK(config.num_servers > 0);
+  Rng rng(config.seed);
+  std::vector<Pending> pending;
+  pending.reserve(config.num_events);
+
+  // Per-server failure state: events generated while a server is failed are
+  // buffered and flushed together when the failure ends.
+  std::vector<Timestamp> fail_until(config.num_servers, kMinTimestamp);
+
+  // Probability that a given event triggers a failure on its server, chosen
+  // so failures arrive at config.failure_rate_per_ms per server per ms.
+  const double per_server_gap_ms =
+      config.mean_interarrival_ms * static_cast<double>(config.num_servers);
+  const double failure_start_prob =
+      config.failure_rate_per_ms * per_server_gap_ms;
+
+  double clock_ms = 0.0;
+  for (size_t i = 0; i < config.num_events; ++i) {
+    clock_ms += rng.NextExponential(config.mean_interarrival_ms);
+    const Timestamp t = static_cast<Timestamp>(clock_ms);
+    const size_t server = rng.NextBelow(config.num_servers);
+
+    Pending p;
+    p.event.sync_time = t;
+    p.event.other_time = t;
+    FillPayload(&p.event, config.num_keys, config.num_ad_ids,
+                static_cast<int32_t>(server), i, &rng);
+    p.tiebreak = i;
+
+    if (t >= fail_until[server] && rng.NextBool(failure_start_prob)) {
+      // This event is the first casualty of a fresh failure.
+      fail_until[server] =
+          t + rng.NextInRange(config.failure_min_duration_ms,
+                              config.failure_max_duration_ms);
+    }
+    if (t < fail_until[server]) {
+      // Buffered during the outage; flushed when the server recovers.
+      p.delivery = fail_until[server] +
+                   static_cast<Timestamp>(
+                       rng.NextExponential(config.network_delay_mean_ms));
+    } else {
+      p.delivery = t + static_cast<Timestamp>(
+                           rng.NextExponential(config.network_delay_mean_ms));
+    }
+    pending.push_back(p);
+  }
+  return Dataset{"CloudLog", FinalizeArrivalOrder(&pending)};
+}
+
+Dataset GenerateAndroidLog(const AndroidLogConfig& config) {
+  IMPATIENCE_CHECK(config.num_devices > 0);
+  Rng rng(config.seed);
+  std::vector<Pending> pending;
+  pending.reserve(config.num_events);
+
+  // Round-robin-ish event generation across devices keeps all devices
+  // active over the same time span.
+  struct DeviceState {
+    double clock_ms = 0.0;        // Event-time clock.
+    Timestamp next_upload = 0;    // When the current buffer will flush.
+  };
+  std::vector<DeviceState> devices(config.num_devices);
+  for (size_t d = 0; d < config.num_devices; ++d) {
+    // Stagger initial uploads so they do not synchronize.
+    devices[d].next_upload = static_cast<Timestamp>(rng.NextExponential(
+        static_cast<double>(config.upload_period_mean_ms)));
+  }
+
+  auto next_gap = [&rng, &config]() -> Timestamp {
+    const bool long_gap = rng.NextBool(config.long_gap_probability);
+    const double mean = long_gap
+                            ? static_cast<double>(config.long_gap_mean_ms)
+                            : static_cast<double>(config.upload_period_mean_ms);
+    return static_cast<Timestamp>(rng.NextExponential(mean)) + 1;
+  };
+
+  for (size_t i = 0; i < config.num_events; ++i) {
+    const size_t d = rng.NextBelow(config.num_devices);
+    DeviceState& dev = devices[d];
+    dev.clock_ms += rng.NextExponential(config.device_interarrival_ms);
+    const Timestamp t = static_cast<Timestamp>(dev.clock_ms);
+    // The event ships with the first upload at or after its event time.
+    while (dev.next_upload < t) dev.next_upload += next_gap();
+
+    Pending p;
+    p.event.sync_time = t;
+    p.event.other_time = t;
+    FillPayload(&p.event, config.num_keys, config.num_ad_ids,
+                static_cast<int32_t>(d), i, &rng);
+    p.delivery = dev.next_upload;
+    p.tiebreak = i;
+    pending.push_back(p);
+  }
+  return Dataset{"AndroidLog", FinalizeArrivalOrder(&pending)};
+}
+
+std::vector<Timestamp> SyncTimes(const std::vector<Event>& events) {
+  std::vector<Timestamp> times;
+  times.reserve(events.size());
+  for (const Event& e : events) times.push_back(e.sync_time);
+  return times;
+}
+
+Timestamp MaxLateness(const std::vector<Event>& events) {
+  Timestamp high_watermark = kMinTimestamp;
+  Timestamp max_lateness = 0;
+  for (const Event& e : events) {
+    if (e.sync_time > high_watermark) {
+      high_watermark = e.sync_time;
+    } else {
+      max_lateness = std::max(max_lateness, high_watermark - e.sync_time);
+    }
+  }
+  return max_lateness;
+}
+
+double CompletenessAtLatency(const std::vector<Event>& events,
+                             Timestamp latency) {
+  if (events.empty()) return 1.0;
+  Timestamp high_watermark = kMinTimestamp;
+  size_t on_time = 0;
+  for (const Event& e : events) {
+    if (e.sync_time > high_watermark) high_watermark = e.sync_time;
+    if (high_watermark - e.sync_time <= latency) ++on_time;
+  }
+  return static_cast<double>(on_time) / static_cast<double>(events.size());
+}
+
+}  // namespace impatience

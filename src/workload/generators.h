@@ -1,0 +1,126 @@
+// Workload generators (paper §II and §VI-A).
+//
+// The paper evaluates on two proprietary datasets and one synthetic
+// generator. The synthetic generator is reimplemented exactly as described;
+// the two real datasets are replaced by simulations of the processes that
+// produced them (see DESIGN.md "Dataset substitutions"):
+//
+//  * CloudLog — distributed application servers stream events to a central
+//    collector through jittery links; intermittent failures buffer a
+//    server's output and flush it late in one burst. Shape: millions of
+//    tiny natural runs, few hundred interleaved runs, burst displacements
+//    of a large fraction of the stream ("well-ordered at coarse
+//    granularity, chaotic at fine granularity").
+//
+//  * AndroidLog — phones record events locally and upload the whole buffer
+//    when charging, hours (sometimes days) later. Shape: few thousand long
+//    natural runs, astronomically many inversions ("well-ordered at fine
+//    granularity, chaotic at coarse granularity").
+//
+// Events are returned in *arrival* order (processing time); sync_time holds
+// the event time. All generators are deterministic given the seed.
+
+#ifndef IMPATIENCE_WORKLOAD_GENERATORS_H_
+#define IMPATIENCE_WORKLOAD_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/timestamp.h"
+
+namespace impatience {
+
+// A generated stream plus its identity, in arrival order.
+struct Dataset {
+  std::string name;
+  std::vector<Event> events;
+};
+
+// ---------------------------------------------------------------------------
+// Synthetic generator (paper §VI-A).
+//
+// Starts from a sorted stream with one event per millisecond and delays
+// `percent_disorder`% of events by moving their timestamp backward by
+// |N(0, disorder_stddev)| milliseconds.
+struct SyntheticConfig {
+  size_t num_events = 1000000;
+  double percent_disorder = 30.0;  // p, in percent.
+  double disorder_stddev = 64.0;   // d, in ms.
+  int32_t num_keys = 100;          // Grouping key space.
+  int32_t num_ad_ids = 1000;       // payload[0] value space.
+  uint64_t seed = 42;
+};
+
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+// ---------------------------------------------------------------------------
+// CloudLog simulation.
+struct CloudLogConfig {
+  size_t num_events = 1000000;
+  size_t num_servers = 400;  // Distributed application servers.
+  // Mean event-time gap between consecutive events across the whole fleet,
+  // in ms (1.0 => ~1000 events/s aggregate).
+  double mean_interarrival_ms = 1.0;
+  // Per-event network delay: exponential with this mean, in ms. Scrambles
+  // fine-grained order, creating the dataset's millions of tiny runs.
+  double network_delay_mean_ms = 40.0;
+  // Server failures: each server independently fails at this rate (per ms);
+  // a failure buffers the server's events for a uniform duration in
+  // [min, max] ms, after which they flush in one late burst.
+  double failure_rate_per_ms = 0.00000003;
+  Timestamp failure_min_duration_ms = 1 * kMinute;
+  Timestamp failure_max_duration_ms = 20 * kMinute;
+  int32_t num_keys = 100;
+  int32_t num_ad_ids = 1000;
+  uint64_t seed = 42;
+};
+
+Dataset GenerateCloudLog(const CloudLogConfig& config);
+
+// ---------------------------------------------------------------------------
+// AndroidLog simulation.
+struct AndroidLogConfig {
+  size_t num_events = 1000000;
+  // Phones reporting in. Kept low so that the per-device event-time span
+  // (num_events / num_devices * device_interarrival_ms) covers several
+  // days — day-scale lateness cannot exist otherwise.
+  size_t num_devices = 30;
+  // Mean event-time gap between consecutive events on one device, ms.
+  double device_interarrival_ms = 10000.0;
+  // Time between uploads (charging sessions): exponential with this mean...
+  Timestamp upload_period_mean_ms = 40 * kMinute;
+  // ...except a heavy tail: with this probability an upload gap is drawn
+  // with mean `long_gap_mean_ms` instead (phone in a drawer for days).
+  double long_gap_probability = 0.004;
+  Timestamp long_gap_mean_ms = 2 * kDay;
+  int32_t num_keys = 100;
+  int32_t num_ad_ids = 1000;
+  uint64_t seed = 42;
+};
+
+Dataset GenerateAndroidLog(const AndroidLogConfig& config);
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+// Extracts the sync_time column (the sequence the disorder measures and
+// sorters consume).
+std::vector<Timestamp> SyncTimes(const std::vector<Event>& events);
+
+// Maximum lateness in the stream: max over events of
+// (high watermark at arrival - event time). The smallest reorder latency
+// with 100% completeness.
+Timestamp MaxLateness(const std::vector<Event>& events);
+
+// Fraction of events whose lateness is <= `latency` (the completeness a
+// single-latency buffer-and-sort run at `latency` achieves). Returns 1.0
+// for an empty stream.
+double CompletenessAtLatency(const std::vector<Event>& events,
+                             Timestamp latency);
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_WORKLOAD_GENERATORS_H_

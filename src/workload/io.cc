@@ -1,0 +1,98 @@
+#include "workload/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace impatience {
+
+namespace {
+
+// Binary layout: magic, version, name length + bytes, event count, events.
+constexpr uint64_t kMagic = 0x494d5044534554ULL;  // "IMPDSET"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadAll(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+bool SaveDatasetBinary(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  const uint64_t name_len = dataset.name.size();
+  const uint64_t count = dataset.events.size();
+  if (!WriteAll(f.get(), &kMagic, sizeof(kMagic))) return false;
+  if (!WriteAll(f.get(), &kVersion, sizeof(kVersion))) return false;
+  if (!WriteAll(f.get(), &name_len, sizeof(name_len))) return false;
+  if (name_len > 0 &&
+      !WriteAll(f.get(), dataset.name.data(), dataset.name.size())) {
+    return false;
+  }
+  if (!WriteAll(f.get(), &count, sizeof(count))) return false;
+  if (count > 0 && !WriteAll(f.get(), dataset.events.data(),
+                             count * sizeof(Event))) {
+    return false;
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+bool LoadDatasetBinary(const std::string& path, Dataset* dataset) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t name_len = 0;
+  uint64_t count = 0;
+  if (!ReadAll(f.get(), &magic, sizeof(magic)) || magic != kMagic) {
+    return false;
+  }
+  if (!ReadAll(f.get(), &version, sizeof(version)) || version != kVersion) {
+    return false;
+  }
+  if (!ReadAll(f.get(), &name_len, sizeof(name_len))) return false;
+  if (name_len > (1ULL << 20)) return false;  // Sanity bound on the name.
+  dataset->name.resize(name_len);
+  if (name_len > 0 && !ReadAll(f.get(), dataset->name.data(), name_len)) {
+    return false;
+  }
+  if (!ReadAll(f.get(), &count, sizeof(count))) return false;
+  if (count > (1ULL << 33)) return false;  // Sanity bound on event count.
+  dataset->events.resize(count);
+  if (count > 0 &&
+      !ReadAll(f.get(), dataset->events.data(), count * sizeof(Event))) {
+    return false;
+  }
+  return true;
+}
+
+bool ExportDatasetCsv(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return false;
+  if (std::fprintf(f.get(), "seq,sync_time,key,ad_id\n") < 0) return false;
+  for (size_t i = 0; i < dataset.events.size(); ++i) {
+    const Event& e = dataset.events[i];
+    if (std::fprintf(f.get(), "%zu,%lld,%d,%d\n", i,
+                     static_cast<long long>(e.sync_time), e.key,
+                     e.payload[0]) < 0) {
+      return false;
+    }
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+}  // namespace impatience

@@ -1,0 +1,30 @@
+// Dataset (de)serialization.
+//
+// A small binary format for caching generated datasets on disk (the
+// benchmark harness regenerates deterministic data by default, but the
+// tools can persist streams for inspection), plus CSV export for plotting
+// Figure 2-style event-time/processing-time scatter data.
+
+#ifndef IMPATIENCE_WORKLOAD_IO_H_
+#define IMPATIENCE_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "workload/generators.h"
+
+namespace impatience {
+
+// Writes `dataset` to `path` in the native binary format.
+// Returns false (and leaves a partial file) on IO failure.
+bool SaveDatasetBinary(const Dataset& dataset, const std::string& path);
+
+// Reads a dataset written by SaveDatasetBinary. Returns false on IO
+// failure or a malformed file; `dataset` is unspecified in that case.
+bool LoadDatasetBinary(const std::string& path, Dataset* dataset);
+
+// Writes "seq,sync_time,key,ad_id" rows (with header) for plotting.
+bool ExportDatasetCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_WORKLOAD_IO_H_

@@ -1,0 +1,81 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace impatience {
+namespace {
+
+TEST(BitVectorTest, StartsCleared) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.Test(i));
+  EXPECT_EQ(bits.CountSet(), 0u);
+}
+
+TEST(BitVectorTest, SetAndClear) {
+  BitVector bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.CountSet(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.CountSet(), 3u);
+}
+
+TEST(BitVectorTest, ClearAllResetsEverything) {
+  BitVector bits(200);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  EXPECT_GT(bits.CountSet(), 0u);
+  bits.ClearAll();
+  EXPECT_EQ(bits.CountSet(), 0u);
+  EXPECT_EQ(bits.size(), 200u);
+}
+
+TEST(BitVectorTest, ResizeClearsNewBits) {
+  BitVector bits(10);
+  bits.Set(5);
+  bits.Resize(500);
+  EXPECT_EQ(bits.size(), 500u);
+  EXPECT_EQ(bits.CountSet(), 0u);  // Resize reinitializes.
+}
+
+TEST(BitVectorTest, CountMatchesReferenceOnRandomPattern) {
+  Rng rng(31);
+  BitVector bits(1000);
+  size_t expected = 0;
+  std::vector<bool> reference(1000, false);
+  for (int round = 0; round < 2000; ++round) {
+    const size_t i = rng.NextBelow(1000);
+    if (rng.NextBool(0.5)) {
+      if (!reference[i]) ++expected;
+      reference[i] = true;
+      bits.Set(i);
+    } else {
+      if (reference[i]) --expected;
+      reference[i] = false;
+      bits.Clear(i);
+    }
+  }
+  EXPECT_EQ(bits.CountSet(), expected);
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(bits.Test(i), reference[i]) << "bit " << i;
+  }
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.CountSet(), 0u);
+}
+
+}  // namespace
+}  // namespace impatience

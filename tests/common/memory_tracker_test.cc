@@ -1,0 +1,100 @@
+#include "common/memory_tracker.h"
+
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace impatience {
+namespace {
+
+TEST(MemoryTrackerTest, StartsEmpty) {
+  MemoryTracker tracker;
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, UpdateTracksAbsoluteFootprint) {
+  MemoryTracker tracker;
+  MemoryReservation res(&tracker);
+  res.Update(100);
+  EXPECT_EQ(tracker.current_bytes(), 100u);
+  res.Update(40);
+  EXPECT_EQ(tracker.current_bytes(), 40u);
+  res.Update(250);
+  EXPECT_EQ(tracker.current_bytes(), 250u);
+  EXPECT_EQ(tracker.peak_bytes(), 250u);
+}
+
+TEST(MemoryTrackerTest, PeakSurvivesShrink) {
+  MemoryTracker tracker;
+  MemoryReservation res(&tracker);
+  res.Update(1000);
+  res.Update(10);
+  EXPECT_EQ(tracker.current_bytes(), 10u);
+  EXPECT_EQ(tracker.peak_bytes(), 1000u);
+}
+
+TEST(MemoryTrackerTest, MultipleReservationsAggregate) {
+  MemoryTracker tracker;
+  MemoryReservation a(&tracker);
+  MemoryReservation b(&tracker);
+  a.Update(30);
+  b.Update(70);
+  EXPECT_EQ(tracker.current_bytes(), 100u);
+  a.Update(50);
+  EXPECT_EQ(tracker.current_bytes(), 120u);
+  EXPECT_EQ(tracker.peak_bytes(), 120u);
+}
+
+TEST(MemoryTrackerTest, ReservationReleasesOnDestruction) {
+  MemoryTracker tracker;
+  {
+    MemoryReservation res(&tracker);
+    res.Update(500);
+    EXPECT_EQ(tracker.current_bytes(), 500u);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 500u);
+}
+
+TEST(MemoryTrackerTest, NullTrackerIsNoOp) {
+  MemoryReservation res(nullptr);
+  res.Update(12345);
+  EXPECT_EQ(res.bytes(), 12345u);  // Still remembers its own footprint.
+}
+
+TEST(MemoryTrackerTest, MoveTransfersOwnership) {
+  MemoryTracker tracker;
+  MemoryReservation a(&tracker);
+  a.Update(77);
+  MemoryReservation b(std::move(a));
+  EXPECT_EQ(tracker.current_bytes(), 77u);
+  b.Update(80);
+  EXPECT_EQ(tracker.current_bytes(), 80u);
+}
+
+TEST(MemoryTrackerTest, MoveAssignReleasesTarget) {
+  MemoryTracker tracker;
+  MemoryReservation a(&tracker);
+  a.Update(10);
+  MemoryReservation b(&tracker);
+  b.Update(20);
+  EXPECT_EQ(tracker.current_bytes(), 30u);
+  b = std::move(a);
+  // b's old 20 bytes released; a's 10 bytes now owned by b.
+  EXPECT_EQ(tracker.current_bytes(), 10u);
+}
+
+TEST(MemoryTrackerTest, ResetPeakRestartsFromCurrent) {
+  MemoryTracker tracker;
+  MemoryReservation res(&tracker);
+  res.Update(900);
+  res.Update(100);
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak_bytes(), 100u);
+  res.Update(200);
+  EXPECT_EQ(tracker.peak_bytes(), 200u);
+}
+
+}  // namespace
+}  // namespace impatience

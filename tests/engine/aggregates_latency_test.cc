@@ -1,0 +1,148 @@
+// The extended aggregate policies (min/avg/distinct) and the LatencySink,
+// including the framework-latency property the paper's Table II states:
+// output stream i delivers with ~ reorder_latencies[i] of event-time lag.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/streamable.h"
+#include "framework/impatience_framework.h"
+
+namespace impatience {
+namespace {
+
+Event Row(Timestamp t, int32_t key, int32_t p0) {
+  Event e;
+  e.sync_time = t;
+  e.other_time = t;
+  e.key = key;
+  e.hash = HashKey(key);
+  e.payload = {p0, 0, 0, 0};
+  return e;
+}
+
+typename Ingress<4>::Options SmallIngress() {
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 100;
+  options.reorder_latency = 0;
+  return options;
+}
+
+TEST(ExtendedAggregatesTest, MinMaxAvgDistinct) {
+  std::vector<Event> events;
+  // Window [0,100): key 1 sees values 5, 9, 5; key 2 sees -3.
+  events.push_back(Row(10, 1, 5));
+  events.push_back(Row(20, 1, 9));
+  events.push_back(Row(30, 1, 5));
+  events.push_back(Row(40, 2, -3));
+
+  auto run = [&events](auto build) {
+    QueryPipeline<4> q(SmallIngress());
+    CollectSink<4>* sink =
+        build(q.disordered().TumblingWindow(100).ToStreamable()).Collect();
+    q.Run(events);
+    return sink->events();
+  };
+
+  const auto mins =
+      run([](Streamable<4> s) { return s.GroupMin<0>(); });
+  ASSERT_EQ(mins.size(), 2u);
+  EXPECT_EQ(mins[0].payload[0], 5);
+  EXPECT_EQ(mins[1].payload[0], -3);
+
+  const auto maxs =
+      run([](Streamable<4> s) { return s.GroupMax<0>(); });
+  EXPECT_EQ(maxs[0].payload[0], 9);
+  EXPECT_EQ(maxs[1].payload[0], -3);
+
+  const auto avgs =
+      run([](Streamable<4> s) { return s.GroupAvg<0>(); });
+  EXPECT_EQ(avgs[0].payload[0], 6);  // (5+9+5)/3 = 6.33 -> 6.
+  EXPECT_EQ(avgs[1].payload[0], -3);
+
+  const auto distinct =
+      run([](Streamable<4> s) { return s.GroupDistinctCount<0>(); });
+  EXPECT_EQ(distinct[0].payload[0], 2);  // {5, 9}.
+  EXPECT_EQ(distinct[1].payload[0], 1);
+}
+
+TEST(ExtendedAggregatesTest, AvgOfEmptyGroupNeverEmitted) {
+  QueryPipeline<4> q(SmallIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .TumblingWindow(100)
+                             .ToStreamable()
+                             .GroupAvg<0>()
+                             .Collect();
+  q.Run({});
+  EXPECT_TRUE(sink->events().empty());
+  EXPECT_TRUE(sink->flushed());
+}
+
+TEST(LatencySinkTest, MeasuresLagAgainstClock) {
+  Timestamp now = 1000;
+  LatencySink<4> sink([&now]() { return now; });
+  EventBatch<4> batch;
+  batch.AppendEvent(Row(900, 0, 0));  // Lag 100.
+  batch.AppendEvent(Row(990, 0, 0));  // Lag 10.
+  batch.SealFilter();
+  sink.OnBatch(batch);
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.max_lag(), 100);
+  EXPECT_DOUBLE_EQ(sink.mean_lag(), 55.0);
+}
+
+TEST(LatencySinkTest, FrameworkStreamsShowIncreasingLatency) {
+  // The Table II property: stream i's event-time lag tracks its reorder
+  // latency. Build a steady stream with mild disorder and compare the mean
+  // lag on the 3 output streams against their configured latencies.
+  Rng rng(701);
+  std::vector<Event> events(60000);
+  for (size_t i = 0; i < events.size(); ++i) {
+    Timestamp t = static_cast<Timestamp>(i);
+    const double dice = rng.NextDouble();
+    if (dice < 0.05) {
+      t -= 700;  // Band 1 (latency 1000).
+    } else if (dice < 0.07) {
+      t -= 7000;  // Band 2 (latency 10000).
+    }
+    events[i].sync_time = std::max<Timestamp>(0, t);
+    events[i].other_time = events[i].sync_time;
+  }
+
+  typename Ingress<4>::Options ingress;
+  ingress.punctuation_period = SIZE_MAX;
+  QueryPipeline<4> q(ingress);
+  FrameworkOptions options;
+  options.reorder_latencies = {100, 1000, 10000};
+  options.punctuation_period = 200;
+  Streamables<4> streams = ToStreamables<4>(q.disordered(), options);
+
+  const PartitionOp<4>* partition = &streams.partition();
+  std::vector<LatencySink<4>*> sinks;
+  for (size_t i = 0; i < streams.size(); ++i) {
+    auto* sink = q.context()->graph.Make<LatencySink<4>>(
+        [partition]() { return partition->high_watermark(); });
+    streams.stream(i).Into(sink);
+    sinks.push_back(sink);
+  }
+  q.Run(events);
+
+  // Lag grows with the stream index and is at least the configured
+  // latency (plus punctuation cadence).
+  EXPECT_LT(sinks[0]->mean_lag(), sinks[1]->mean_lag());
+  EXPECT_LT(sinks[1]->mean_lag(), sinks[2]->mean_lag());
+  // The final flush releases the tail of the buffer early, so a finite
+  // stream's mean sits slightly below the configured latency.
+  EXPECT_GE(sinks[0]->mean_lag(), 100.0);
+  EXPECT_GE(sinks[1]->mean_lag(), 900.0);
+  EXPECT_GE(sinks[2]->mean_lag(), 8000.0);
+  // And not absurdly beyond it (cadence is 200 events ~ 200 time units).
+  EXPECT_LT(sinks[0]->mean_lag(), 2000.0);
+  EXPECT_LT(sinks[1]->mean_lag(), 4000.0);
+  EXPECT_LT(sinks[2]->mean_lag(), 30000.0);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,82 @@
+#include "engine/batch.h"
+
+#include <gtest/gtest.h>
+
+namespace impatience {
+namespace {
+
+Event MakeEvent(Timestamp t, int32_t key, int32_t p0) {
+  Event e;
+  e.sync_time = t;
+  e.other_time = t + 1;
+  e.key = key;
+  e.hash = HashKey(key);
+  e.payload = {p0, p0 + 1, p0 + 2, p0 + 3};
+  return e;
+}
+
+TEST(EventBatchTest, AppendAndRowRoundTrip) {
+  EventBatch<4> batch;
+  const Event a = MakeEvent(10, 1, 100);
+  const Event b = MakeEvent(20, 2, 200);
+  batch.AppendEvent(a);
+  batch.AppendEvent(b);
+  batch.SealFilter();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.RowAt(0), a);
+  EXPECT_EQ(batch.RowAt(1), b);
+}
+
+TEST(EventBatchTest, MakeBatchSlicing) {
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) events.push_back(MakeEvent(i, i, i * 10));
+  const EventBatch<4> batch = MakeBatch(events, 3, 7);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.RowAt(0), events[3]);
+  EXPECT_EQ(batch.RowAt(3), events[6]);
+  EXPECT_EQ(batch.filtered.size(), 4u);
+  EXPECT_EQ(batch.LiveCount(), 4u);
+}
+
+TEST(EventBatchTest, LiveCountHonorsFilter) {
+  std::vector<Event> events;
+  for (int i = 0; i < 8; ++i) events.push_back(MakeEvent(i, i, 0));
+  EventBatch<4> batch = MakeBatch(events, 0, 8);
+  batch.filtered.Set(1);
+  batch.filtered.Set(5);
+  EXPECT_EQ(batch.LiveCount(), 6u);
+}
+
+TEST(EventBatchTest, ClearResets) {
+  std::vector<Event> events = {MakeEvent(1, 1, 1)};
+  EventBatch<4> batch = MakeBatch(events, 0, 1);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.filtered.size(), 0u);
+}
+
+TEST(EventBatchTest, NarrowWidthBatch) {
+  EventBatch<1> batch;
+  BasicEvent<1> e;
+  e.sync_time = 5;
+  e.payload = {9};
+  batch.AppendEvent(e);
+  batch.SealFilter();
+  EXPECT_EQ(batch.RowAt(0).payload[0], 9);
+  // A width-1 batch is physically smaller than a width-4 batch of the same
+  // row count once populated.
+  EventBatch<4> wide;
+  for (int i = 0; i < 1000; ++i) wide.AppendEvent(MakeEvent(i, 0, 0));
+  wide.SealFilter();
+  EventBatch<1> narrow;
+  for (int i = 0; i < 1000; ++i) {
+    BasicEvent<1> n;
+    n.sync_time = i;
+    narrow.AppendEvent(n);
+  }
+  narrow.SealFilter();
+  EXPECT_LT(narrow.MemoryBytes(), wide.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,71 @@
+// BatchBuilder and Graph plumbing.
+
+#include "engine/node.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/sinks.h"
+
+namespace impatience {
+namespace {
+
+Event E(Timestamp t) {
+  Event e;
+  e.sync_time = t;
+  e.other_time = t;
+  return e;
+}
+
+TEST(BatchBuilderTest, EmitsWhenFull) {
+  BatchBuilder<4> builder(/*batch_size=*/4);
+  CountingSink<4> sink;
+  for (Timestamp t = 0; t < 10; ++t) builder.Append(E(t), &sink);
+  // Two full batches emitted; 2 rows still pending.
+  EXPECT_EQ(sink.batches(), 2u);
+  EXPECT_EQ(sink.count(), 8u);
+  builder.Flush(&sink);
+  EXPECT_EQ(sink.batches(), 3u);
+  EXPECT_EQ(sink.count(), 10u);
+}
+
+TEST(BatchBuilderTest, FlushOnEmptyIsNoOp) {
+  BatchBuilder<4> builder;
+  CountingSink<4> sink;
+  builder.Flush(&sink);
+  EXPECT_EQ(sink.batches(), 0u);
+}
+
+TEST(BatchBuilderTest, EmittedBatchesHaveSealedFilters) {
+  BatchBuilder<4> builder(/*batch_size=*/2);
+  struct FilterChecker : Sink<4> {
+    void OnBatch(const EventBatch<4>& batch) override {
+      EXPECT_EQ(batch.filtered.size(), batch.size());
+      EXPECT_EQ(batch.LiveCount(), batch.size());
+      ++seen;
+    }
+    void OnPunctuation(Timestamp) override {}
+    void OnFlush() override {}
+    int seen = 0;
+  } sink;
+  for (Timestamp t = 0; t < 5; ++t) builder.Append(E(t), &sink);
+  builder.Flush(&sink);
+  EXPECT_EQ(sink.seen, 3);
+}
+
+TEST(GraphTest, OwnershipOutlivesLocalHandles) {
+  Graph graph;
+  CountingSink<4>* sink = nullptr;
+  {
+    sink = graph.Make<CountingSink<4>>();
+  }
+  // Node is still alive via the graph.
+  EventBatch<4> batch;
+  batch.AppendEvent(E(1));
+  batch.SealFilter();
+  sink->OnBatch(batch);
+  EXPECT_EQ(sink->count(), 1u);
+  EXPECT_EQ(graph.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace impatience

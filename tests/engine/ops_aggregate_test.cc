@@ -1,0 +1,179 @@
+// Grouped windowed aggregation, partial combination, top-k.
+
+#include "engine/ops_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/sinks.h"
+
+namespace impatience {
+namespace {
+
+Event WindowedEvent(Timestamp window_start, Timestamp window_end,
+                    int32_t key, int32_t p0 = 0) {
+  Event e;
+  e.sync_time = window_start;
+  e.other_time = window_end;
+  e.key = key;
+  e.hash = HashKey(key);
+  e.payload = {p0, 0, 0, 0};
+  return e;
+}
+
+EventBatch<4> BatchOf(std::initializer_list<Event> events) {
+  EventBatch<4> batch;
+  for (const Event& e : events) batch.AppendEvent(e);
+  batch.SealFilter();
+  return batch;
+}
+
+TEST(GroupAggregateTest, CountsPerGroupPerWindow) {
+  GroupAggregateOp<4, CountAggregate> agg;
+  CollectSink<4> sink;
+  agg.SetDownstream(&sink);
+
+  agg.OnBatch(BatchOf({WindowedEvent(0, 100, 1), WindowedEvent(0, 100, 2),
+                       WindowedEvent(0, 100, 1),
+                       WindowedEvent(100, 200, 2)}));
+  agg.OnFlush();
+
+  ASSERT_EQ(sink.events().size(), 3u);
+  // Window 0: key 1 -> 2, key 2 -> 1 (emitted in key order).
+  EXPECT_EQ(sink.events()[0].key, 1);
+  EXPECT_EQ(sink.events()[0].payload[0], 2);
+  EXPECT_EQ(sink.events()[0].sync_time, 0);
+  EXPECT_EQ(sink.events()[0].other_time, 100);
+  EXPECT_EQ(sink.events()[1].key, 2);
+  EXPECT_EQ(sink.events()[1].payload[0], 1);
+  // Window 100: key 2 -> 1.
+  EXPECT_EQ(sink.events()[2].key, 2);
+  EXPECT_EQ(sink.events()[2].sync_time, 100);
+}
+
+TEST(GroupAggregateTest, WindowClosesOnPunctuation) {
+  GroupAggregateOp<4, CountAggregate> agg;
+  CollectSink<4> sink;
+  agg.SetDownstream(&sink);
+
+  agg.OnBatch(BatchOf({WindowedEvent(0, 100, 1)}));
+  EXPECT_TRUE(sink.events().empty());  // Window still open.
+  agg.OnPunctuation(50);  // Covers window start 0: close it.
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].payload[0], 1);
+
+  // A punctuation short of the next window start must not close it.
+  agg.OnBatch(BatchOf({WindowedEvent(100, 200, 1)}));
+  agg.OnPunctuation(99);
+  EXPECT_EQ(sink.events().size(), 1u);
+  agg.OnPunctuation(100);
+  EXPECT_EQ(sink.events().size(), 2u);
+  agg.OnFlush();
+}
+
+TEST(GroupAggregateTest, SkipsFilteredRows) {
+  GroupAggregateOp<4, CountAggregate> agg;
+  CollectSink<4> sink;
+  agg.SetDownstream(&sink);
+  EventBatch<4> batch =
+      BatchOf({WindowedEvent(0, 100, 1), WindowedEvent(0, 100, 1)});
+  batch.filtered.Set(0);
+  agg.OnBatch(batch);
+  agg.OnFlush();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].payload[0], 1);
+}
+
+TEST(GroupAggregateTest, SumAggregate) {
+  GroupAggregateOp<4, SumAggregate<0>> agg;
+  CollectSink<4> sink;
+  agg.SetDownstream(&sink);
+  agg.OnBatch(BatchOf({WindowedEvent(0, 100, 1, 10),
+                       WindowedEvent(0, 100, 1, 32),
+                       WindowedEvent(0, 100, 2, 5)}));
+  agg.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].payload[0], 42);
+  EXPECT_EQ(sink.events()[1].payload[0], 5);
+}
+
+TEST(GroupAggregateTest, MaxAggregate) {
+  GroupAggregateOp<4, MaxAggregate<0>> agg;
+  CollectSink<4> sink;
+  agg.SetDownstream(&sink);
+  agg.OnBatch(BatchOf({WindowedEvent(0, 100, 1, 10),
+                       WindowedEvent(0, 100, 1, -3),
+                       WindowedEvent(0, 100, 1, 7)}));
+  agg.OnFlush();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].payload[0], 10);
+}
+
+TEST(CombinePartialsTest, AddsPartialsForSameWindowAndKey) {
+  CombinePartialsOp<4> combine;
+  CollectSink<4> sink;
+  combine.SetDownstream(&sink);
+
+  // Two partial counts for (window 0, key 1) — e.g. from two bands.
+  combine.OnBatch(BatchOf({WindowedEvent(0, 100, 1, 5),
+                           WindowedEvent(0, 100, 1, 3),
+                           WindowedEvent(0, 100, 2, 7)}));
+  combine.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].key, 1);
+  EXPECT_EQ(sink.events()[0].payload[0], 8);
+  EXPECT_EQ(sink.events()[1].key, 2);
+  EXPECT_EQ(sink.events()[1].payload[0], 7);
+}
+
+TEST(CombinePartialsTest, DoesNotCombineAcrossWindows) {
+  CombinePartialsOp<4> combine;
+  CollectSink<4> sink;
+  combine.SetDownstream(&sink);
+  combine.OnBatch(BatchOf({WindowedEvent(0, 100, 1, 5)}));
+  combine.OnPunctuation(50);
+  combine.OnBatch(BatchOf({WindowedEvent(100, 200, 1, 3)}));
+  combine.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].payload[0], 5);
+  EXPECT_EQ(sink.events()[1].payload[0], 3);
+}
+
+TEST(TopKTest, SelectsLargestPerWindow) {
+  TopKOp<4> topk(2);
+  CollectSink<4> sink;
+  topk.SetDownstream(&sink);
+  topk.OnBatch(BatchOf({WindowedEvent(0, 100, 1, 10),
+                        WindowedEvent(0, 100, 2, 30),
+                        WindowedEvent(0, 100, 3, 20),
+                        WindowedEvent(100, 200, 4, 1)}));
+  topk.OnFlush();
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[0].key, 2);  // 30
+  EXPECT_EQ(sink.events()[1].key, 3);  // 20
+  EXPECT_EQ(sink.events()[2].key, 4);  // Window 100's only row.
+}
+
+TEST(TopKTest, TiesBreakByKeyAscending) {
+  TopKOp<4> topk(2);
+  CollectSink<4> sink;
+  topk.SetDownstream(&sink);
+  topk.OnBatch(BatchOf({WindowedEvent(0, 100, 9, 10),
+                        WindowedEvent(0, 100, 3, 10),
+                        WindowedEvent(0, 100, 5, 10)}));
+  topk.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].key, 3);
+  EXPECT_EQ(sink.events()[1].key, 5);
+}
+
+TEST(TopKTest, FewerRowsThanK) {
+  TopKOp<4> topk(5);
+  CollectSink<4> sink;
+  topk.SetDownstream(&sink);
+  topk.OnBatch(BatchOf({WindowedEvent(0, 100, 1, 10)}));
+  topk.OnFlush();
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace impatience

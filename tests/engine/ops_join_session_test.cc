@@ -1,0 +1,312 @@
+// Temporal join and session-window operators, plus stream forking.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/ops_join.h"
+#include "engine/ops_session.h"
+#include "engine/sinks.h"
+#include "engine/streamable.h"
+
+namespace impatience {
+namespace {
+
+Event Interval(Timestamp start, Timestamp end, int32_t key,
+               int32_t p0 = 0) {
+  Event e;
+  e.sync_time = start;
+  e.other_time = end;
+  e.key = key;
+  e.hash = HashKey(key);
+  e.payload = {p0, 0, 0, 0};
+  return e;
+}
+
+EventBatch<4> BatchOf(std::initializer_list<Event> events) {
+  EventBatch<4> batch;
+  for (const Event& e : events) batch.AppendEvent(e);
+  batch.SealFilter();
+  return batch;
+}
+
+// Combine: left payload in [0], right payload in [1].
+struct CombineLR {
+  Event operator()(const Event& l, const Event& r) const {
+    Event out = l;
+    out.payload[1] = r.payload[0];
+    return out;
+  }
+};
+
+using Join = JoinOp<4, CombineLR>;
+
+TEST(JoinOpTest, MatchesOverlappingIntervalsWithEqualKeys) {
+  Join join{CombineLR{}};
+  CollectSink<4> sink;
+  join.SetDownstream(&sink);
+
+  join.input(0)->OnBatch(BatchOf({Interval(0, 50, 1, 11)}));
+  join.input(1)->OnBatch(BatchOf({Interval(10, 60, 1, 22)}));
+  join.input(0)->OnFlush();
+  join.input(1)->OnFlush();
+
+  ASSERT_EQ(sink.events().size(), 1u);
+  const Event& e = sink.events()[0];
+  EXPECT_EQ(e.sync_time, 10);   // max of starts.
+  EXPECT_EQ(e.other_time, 50);  // min of ends.
+  EXPECT_EQ(e.key, 1);
+  EXPECT_EQ(e.payload[0], 11);
+  EXPECT_EQ(e.payload[1], 22);
+  EXPECT_EQ(join.matches(), 1u);
+}
+
+TEST(JoinOpTest, NoMatchOnDifferentKeys) {
+  Join join{CombineLR{}};
+  CollectSink<4> sink;
+  join.SetDownstream(&sink);
+  join.input(0)->OnBatch(BatchOf({Interval(0, 50, 1)}));
+  join.input(1)->OnBatch(BatchOf({Interval(10, 60, 2)}));
+  join.input(0)->OnFlush();
+  join.input(1)->OnFlush();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(JoinOpTest, NoMatchOnDisjointIntervals) {
+  Join join{CombineLR{}};
+  CollectSink<4> sink;
+  join.SetDownstream(&sink);
+  join.input(0)->OnBatch(BatchOf({Interval(0, 10, 1)}));
+  join.input(1)->OnBatch(BatchOf({Interval(10, 20, 1)}));  // Touching only.
+  join.input(0)->OnFlush();
+  join.input(1)->OnFlush();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(JoinOpTest, ManyToManyWithinKey) {
+  Join join{CombineLR{}};
+  CollectSink<4> sink;
+  join.SetDownstream(&sink);
+  join.input(0)->OnBatch(
+      BatchOf({Interval(0, 100, 1, 1), Interval(10, 100, 1, 2)}));
+  join.input(1)->OnBatch(
+      BatchOf({Interval(20, 30, 1, 3), Interval(40, 50, 1, 4)}));
+  join.input(0)->OnFlush();
+  join.input(1)->OnFlush();
+  EXPECT_EQ(sink.events().size(), 4u);  // 2 x 2 overlaps.
+}
+
+TEST(JoinOpTest, ResultsAreOrderedAndGatedByWatermarks) {
+  Join join{CombineLR{}};
+  CollectSink<4> sink;  // CHECKs order + watermark consistency.
+  join.SetDownstream(&sink);
+
+  join.input(0)->OnBatch(BatchOf({Interval(0, 100, 1, 1)}));
+  join.input(0)->OnPunctuation(50);
+  // Right side silent: nothing can be processed yet.
+  EXPECT_TRUE(sink.events().empty());
+
+  join.input(1)->OnBatch(BatchOf({Interval(5, 30, 1, 2)}));
+  join.input(1)->OnPunctuation(40);
+  // Joint watermark 40: both events processed, match at sync 5.
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].sync_time, 5);
+  join.input(0)->OnFlush();
+  join.input(1)->OnFlush();
+}
+
+TEST(JoinOpTest, StatePrunedAfterExpiry) {
+  // A left event that expired before the right event starts must not
+  // match and must not linger.
+  Join join{CombineLR{}};
+  CountingSink<4> sink;
+  join.SetDownstream(&sink);
+  join.input(0)->OnBatch(BatchOf({Interval(0, 10, 1, 1)}));
+  join.input(1)->OnBatch(BatchOf({Interval(20, 30, 1, 2)}));
+  join.input(0)->OnFlush();
+  join.input(1)->OnFlush();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(JoinOpTest, RandomizedAgainstBruteForce) {
+  Rng rng(501);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Event> left;
+    std::vector<Event> right;
+    Timestamp tl = 0;
+    Timestamp tr = 0;
+    const size_t n = 1 + rng.NextBelow(80);
+    for (size_t i = 0; i < n; ++i) {
+      tl += static_cast<Timestamp>(rng.NextBelow(10));
+      left.push_back(Interval(tl, tl + 1 + rng.NextInRange(0, 30),
+                              static_cast<int32_t>(rng.NextBelow(3)),
+                              static_cast<int32_t>(i)));
+      tr += static_cast<Timestamp>(rng.NextBelow(10));
+      right.push_back(Interval(tr, tr + 1 + rng.NextInRange(0, 30),
+                               static_cast<int32_t>(rng.NextBelow(3)),
+                               static_cast<int32_t>(i)));
+    }
+
+    Join join{CombineLR{}};
+    CollectSink<4> sink;
+    join.SetDownstream(&sink);
+    EventBatch<4> lb;
+    for (const Event& e : left) lb.AppendEvent(e);
+    lb.SealFilter();
+    EventBatch<4> rb;
+    for (const Event& e : right) rb.AppendEvent(e);
+    rb.SealFilter();
+    join.input(0)->OnBatch(lb);
+    join.input(1)->OnBatch(rb);
+    join.input(0)->OnFlush();
+    join.input(1)->OnFlush();
+
+    size_t want = 0;
+    for (const Event& l : left) {
+      for (const Event& r : right) {
+        if (l.key == r.key && l.sync_time < r.other_time &&
+            r.sync_time < l.other_time) {
+          ++want;
+        }
+      }
+    }
+    EXPECT_EQ(sink.events().size(), want) << "round " << round;
+  }
+}
+
+// --- Session windows ------------------------------------------------------
+
+Event At(Timestamp t, int32_t key) { return Interval(t, t, key); }
+
+TEST(SessionWindowTest, SingleSession) {
+  SessionWindowOp<4> op(/*gap=*/10);
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({At(0, 1), At(5, 1), At(12, 1)}));
+  op.OnFlush();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].sync_time, 0);
+  EXPECT_EQ(sink.events()[0].other_time, 13);
+  EXPECT_EQ(sink.events()[0].payload[0], 3);   // Count.
+  EXPECT_EQ(sink.events()[0].payload[1], 12);  // Duration.
+}
+
+TEST(SessionWindowTest, GapSplitsSessions) {
+  SessionWindowOp<4> op(/*gap=*/10);
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({At(0, 1), At(5, 1), At(30, 1), At(35, 1)}));
+  op.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].sync_time, 0);
+  EXPECT_EQ(sink.events()[0].payload[0], 2);
+  EXPECT_EQ(sink.events()[1].sync_time, 30);
+  EXPECT_EQ(sink.events()[1].payload[0], 2);
+}
+
+TEST(SessionWindowTest, ExactGapSplits) {
+  // An event exactly `gap` after the last does NOT extend the session.
+  SessionWindowOp<4> op(/*gap=*/10);
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({At(0, 1), At(10, 1)}));
+  op.OnFlush();
+  EXPECT_EQ(sink.events().size(), 2u);
+}
+
+TEST(SessionWindowTest, KeysSessionIndependently) {
+  SessionWindowOp<4> op(/*gap=*/10);
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({At(0, 1), At(3, 2), At(6, 1), At(9, 2)}));
+  op.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].payload[0], 2);
+  EXPECT_EQ(sink.events()[1].payload[0], 2);
+}
+
+TEST(SessionWindowTest, PunctuationClosesIdleSessions) {
+  SessionWindowOp<4> op(/*gap=*/10);
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({At(0, 1)}));
+  EXPECT_EQ(op.open_sessions(), 1u);
+  op.OnPunctuation(8);  // An event at 9 (9 - 0 < 10) could still extend it.
+  EXPECT_EQ(op.open_sessions(), 1u);
+  EXPECT_TRUE(sink.events().empty());
+  op.OnPunctuation(9);  // Future events are >= 10: the gap is unreachable.
+  EXPECT_EQ(op.open_sessions(), 0u);
+  ASSERT_EQ(sink.events().size(), 1u);
+  op.OnFlush();
+}
+
+TEST(SessionWindowTest, OpenSessionGatesLaterSummaries) {
+  // Key 1's session stays open from 0; key 2's session goes idle and is
+  // closed mid-stream, but its summary must be held so output stays
+  // ordered by session start.
+  CollectSink<4> sink;
+  SessionWindowOp<4> gap_op(/*gap=*/10);
+  gap_op.SetDownstream(&sink);
+  gap_op.OnBatch(BatchOf({At(0, 1), At(5, 2)}));
+  // Keep key 1 alive past key 2's close.
+  gap_op.OnBatch(BatchOf({At(9, 1), At(18, 1), At(27, 1)}));
+  // Key 2 idle since 5: closed at stream time 15+, but held (key 1 open
+  // since 0).
+  EXPECT_EQ(gap_op.open_sessions(), 1u);
+  EXPECT_TRUE(sink.events().empty());
+  gap_op.OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].key, 1);  // Start 0 precedes start 5.
+  EXPECT_EQ(sink.events()[1].key, 2);
+}
+
+// --- Fork + Join through the fluent API ------------------------------------
+
+TEST(ForkJoinTest, SelfJoinThroughFluentApi) {
+  // Pair ad views (payload[0] == 0) with ad clicks (payload[0] == 1) of
+  // the same user whose validity windows overlap.
+  std::vector<Event> events;
+  Rng rng(601);
+  Timestamp t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBelow(5));
+    Event e;
+    e.sync_time = t;
+    e.other_time = t + 20;  // 20-unit validity.
+    e.key = static_cast<int32_t>(rng.NextBelow(10));
+    e.hash = HashKey(e.key);
+    e.payload[0] = rng.NextBool(0.3) ? 1 : 0;
+    events.push_back(e);
+  }
+
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 500;
+  options.reorder_latency = 0;
+  QueryPipeline<4> q(options);
+  auto [views, clicks] = q.disordered().ToStreamable().Fork();
+  auto view_stream = views.Where(
+      [](const EventBatch<4>& b, size_t i) { return b.payload[0][i] == 0; });
+  auto click_stream = clicks.Where(
+      [](const EventBatch<4>& b, size_t i) { return b.payload[0][i] == 1; });
+  CollectSink<4>* sink =
+      view_stream.Join(click_stream, CombineLR{}).Collect();
+  q.Run(events);
+
+  // Reference count.
+  size_t want = 0;
+  for (const Event& v : events) {
+    if (v.payload[0] != 0) continue;
+    for (const Event& c : events) {
+      if (c.payload[0] != 1 || c.key != v.key) continue;
+      if (v.sync_time < c.other_time && c.sync_time < v.other_time) ++want;
+    }
+  }
+  EXPECT_EQ(sink->events().size(), want);
+  EXPECT_GT(want, 0u);
+}
+
+}  // namespace
+}  // namespace impatience

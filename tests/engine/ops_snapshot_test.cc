@@ -1,0 +1,201 @@
+// SnapshotCountOp: interval counting with hand-computed timelines, the
+// ordering gate across groups, punctuation weakening, and a randomized
+// cross-check against a brute-force sweep.
+
+#include "engine/ops_snapshot.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/sinks.h"
+
+namespace impatience {
+namespace {
+
+Event Interval(Timestamp start, Timestamp end, int32_t key = 0) {
+  Event e;
+  e.sync_time = start;
+  e.other_time = end;
+  e.key = key;
+  e.hash = HashKey(key);
+  return e;
+}
+
+EventBatch<4> BatchOf(std::initializer_list<Event> events) {
+  EventBatch<4> batch;
+  for (const Event& e : events) batch.AppendEvent(e);
+  batch.SealFilter();
+  return batch;
+}
+
+struct Segment {
+  Timestamp start;
+  Timestamp end;
+  int32_t key;
+  int32_t count;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+std::vector<Segment> Segments(const CollectSink<4>& sink) {
+  std::vector<Segment> out;
+  for (const Event& e : sink.events()) {
+    out.push_back({e.sync_time, e.other_time, e.key, e.payload[0]});
+  }
+  return out;
+}
+
+TEST(SnapshotCountTest, SingleInterval) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(10, 20)}));
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{10, 20, 0, 1}}));
+}
+
+TEST(SnapshotCountTest, OverlappingIntervalsProduceSteps) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  // [10,30) and [20,40): counts 1,2,1 over [10,20),[20,30),[30,40).
+  op.OnBatch(BatchOf({Interval(10, 30), Interval(20, 40)}));
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{10, 20, 0, 1},
+                                                  {20, 30, 0, 2},
+                                                  {30, 40, 0, 1}}));
+}
+
+TEST(SnapshotCountTest, AdjacentIntervalsWithEqualCountStaySeparate) {
+  // [10,20) then [20,30): boundary at 20 splits the timeline even though
+  // the count is 1 on both sides (snapshot semantics: a change point).
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(10, 20), Interval(20, 30)}));
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{10, 20, 0, 1},
+                                                  {20, 30, 0, 1}}));
+}
+
+TEST(SnapshotCountTest, GapsEmitNothing) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(10, 20), Interval(50, 60)}));
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{10, 20, 0, 1},
+                                                  {50, 60, 0, 1}}));
+}
+
+TEST(SnapshotCountTest, GroupsAreIndependentAndOrdered) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;  // CollectSink CHECKs sync-time ordering.
+  op.SetDownstream(&sink);
+  // Group 2's long interval overlaps group 1's two short ones.
+  op.OnBatch(BatchOf({Interval(0, 100, 2), Interval(10, 20, 1),
+                      Interval(30, 40, 1)}));
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{0, 100, 2, 1},
+                                                  {10, 20, 1, 1},
+                                                  {30, 40, 1, 1}}));
+}
+
+TEST(SnapshotCountTest, PunctuationReleasesFinalSegmentsOnly) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(10, 20), Interval(30, 100)}));
+  op.OnPunctuation(50);
+  // [10,20) is final and nothing earlier can appear: released. [30,100) is
+  // still open: held.
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{10, 20, 0, 1}}));
+  // The forwarded punctuation must stop short of the open segment's start.
+  ASSERT_EQ(sink.punctuations().size(), 1u);
+  EXPECT_EQ(sink.punctuations()[0], 29);
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{10, 20, 0, 1},
+                                                  {30, 100, 0, 1}}));
+}
+
+TEST(SnapshotCountTest, OpenSegmentGatesLaterGroups) {
+  // Group 1 has an open segment starting at 5; group 2's [10,20) finalizes
+  // at 20 but must be held so output stays sync-ordered.
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(5, 1000, 1), Interval(10, 20, 2)}));
+  op.OnPunctuation(100);
+  EXPECT_TRUE(sink.events().empty());  // Both held: group 1 gates.
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink), (std::vector<Segment>{{5, 1000, 1, 1},
+                                                  {10, 20, 2, 1}}));
+}
+
+TEST(SnapshotCountTest, EmptyIntervalsIgnored) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(10, 10), Interval(20, 15)}));
+  op.OnFlush();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(SnapshotCountTest, StreamEndClosesAtInfinity) {
+  SnapshotCountOp<4> op;
+  CollectSink<4> sink;
+  op.SetDownstream(&sink);
+  op.OnBatch(BatchOf({Interval(10, kMaxTimestamp)}));
+  op.OnFlush();
+  EXPECT_EQ(Segments(sink),
+            (std::vector<Segment>{{10, kMaxTimestamp, 0, 1}}));
+}
+
+TEST(SnapshotCountTest, RandomizedAgainstBruteForce) {
+  Rng rng(301);
+  for (int round = 0; round < 30; ++round) {
+    // Random in-order intervals over a small time domain.
+    const size_t n = 1 + rng.NextBelow(60);
+    std::vector<Event> events;
+    Timestamp start = 0;
+    for (size_t i = 0; i < n; ++i) {
+      start += static_cast<Timestamp>(rng.NextBelow(5));
+      const Timestamp end = start + 1 +
+                            static_cast<Timestamp>(rng.NextBelow(20));
+      events.push_back(
+          Interval(start, end, static_cast<int32_t>(rng.NextBelow(3))));
+    }
+
+    SnapshotCountOp<4> op;
+    CollectSink<4> sink;
+    op.SetDownstream(&sink);
+    EventBatch<4> batch;
+    for (const Event& e : events) batch.AppendEvent(e);
+    batch.SealFilter();
+    op.OnBatch(batch);
+    op.OnFlush();
+
+    // Brute force: per (group, instant) counts over the domain; then the
+    // emitted segments must tile exactly those counts.
+    std::map<std::pair<int32_t, Timestamp>, int32_t> want;
+    for (const Event& e : events) {
+      for (Timestamp t = e.sync_time; t < e.other_time; ++t) {
+        want[{e.key, t}]++;
+      }
+    }
+    std::map<std::pair<int32_t, Timestamp>, int32_t> got;
+    for (const Segment& s : Segments(sink)) {
+      for (Timestamp t = s.start; t < s.end; ++t) {
+        auto [it, inserted] = got.insert({{s.key, t}, s.count});
+        ASSERT_TRUE(inserted) << "overlapping segments in round " << round;
+      }
+    }
+    EXPECT_EQ(got, want) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace impatience

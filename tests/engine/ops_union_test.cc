@@ -1,0 +1,165 @@
+// UnionMergeOp: synchronization, ordering, buffering, memory accounting.
+
+#include "engine/ops_union.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/sinks.h"
+
+namespace impatience {
+namespace {
+
+Event E(Timestamp t, int32_t key = 0) {
+  Event e;
+  e.sync_time = t;
+  e.other_time = t;
+  e.key = key;
+  e.hash = HashKey(key);
+  return e;
+}
+
+EventBatch<4> BatchOf(std::initializer_list<Event> events) {
+  EventBatch<4> batch;
+  for (const Event& e : events) batch.AppendEvent(e);
+  batch.SealFilter();
+  return batch;
+}
+
+TEST(UnionMergeTest, MergesTwoSortedStreams) {
+  UnionMergeOp<4> u;
+  CollectSink<4> sink;
+  u.SetDownstream(&sink);
+
+  u.input(0)->OnBatch(BatchOf({E(1), E(3), E(5)}));
+  u.input(1)->OnBatch(BatchOf({E(2), E(4), E(6)}));
+  u.input(0)->OnFlush();
+  u.input(1)->OnFlush();
+
+  ASSERT_EQ(sink.events().size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sink.events()[i].sync_time, static_cast<Timestamp>(i + 1));
+  }
+  EXPECT_TRUE(sink.flushed());
+}
+
+TEST(UnionMergeTest, HoldsEventsUntilBothWatermarksCover) {
+  UnionMergeOp<4> u;
+  CollectSink<4> sink;
+  u.SetDownstream(&sink);
+
+  u.input(0)->OnBatch(BatchOf({E(1), E(2), E(3)}));
+  u.input(0)->OnPunctuation(3);
+  // Input 1 has promised nothing yet: nothing can be released.
+  EXPECT_TRUE(sink.events().empty());
+
+  u.input(1)->OnPunctuation(2);
+  // Joint watermark is 2: events 1 and 2 release; 3 stays buffered.
+  ASSERT_EQ(sink.events().size(), 2u);
+  ASSERT_EQ(sink.punctuations().size(), 1u);
+  EXPECT_EQ(sink.punctuations()[0], 2);
+
+  u.input(1)->OnPunctuation(10);
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.punctuations().back(), 3);  // min(3, 10).
+  u.input(0)->OnFlush();
+  u.input(1)->OnFlush();
+}
+
+TEST(UnionMergeTest, TiesPreferInputZero) {
+  UnionMergeOp<4> u;
+  CollectSink<4> sink;
+  u.SetDownstream(&sink);
+  u.input(0)->OnBatch(BatchOf({E(5, 100)}));
+  u.input(1)->OnBatch(BatchOf({E(5, 200)}));
+  u.input(0)->OnFlush();
+  u.input(1)->OnFlush();
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].key, 100);
+  EXPECT_EQ(sink.events()[1].key, 200);
+}
+
+TEST(UnionMergeTest, OneSideFlushedReleasesOnOtherWatermark) {
+  UnionMergeOp<4> u;
+  CollectSink<4> sink;
+  u.SetDownstream(&sink);
+  u.input(0)->OnBatch(BatchOf({E(1), E(9)}));
+  u.input(0)->OnFlush();  // Input 0 done: watermark effectively infinite.
+  EXPECT_TRUE(sink.events().empty());
+  u.input(1)->OnBatch(BatchOf({E(2)}));
+  u.input(1)->OnPunctuation(5);
+  // min(inf, 5) = 5: release 1 and 2; 9 stays.
+  ASSERT_EQ(sink.events().size(), 2u);
+  u.input(1)->OnFlush();
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_TRUE(sink.flushed());
+}
+
+TEST(UnionMergeTest, SkipsFilteredRows) {
+  UnionMergeOp<4> u;
+  CollectSink<4> sink;
+  u.SetDownstream(&sink);
+  EventBatch<4> batch = BatchOf({E(1), E(2)});
+  batch.filtered.Set(0);
+  u.input(0)->OnBatch(batch);
+  u.input(1)->OnFlush();
+  u.input(0)->OnFlush();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].sync_time, 2);
+}
+
+TEST(UnionMergeTest, TracksBufferedBytes) {
+  MemoryTracker tracker;
+  UnionMergeOp<4> u(&tracker);
+  CountingSink<4> sink;
+  u.SetDownstream(&sink);
+
+  EventBatch<4> big;
+  for (int i = 0; i < 1000; ++i) big.AppendEvent(E(i));
+  big.SealFilter();
+  u.input(0)->OnBatch(big);
+  // All 1000 events buffered awaiting input 1.
+  EXPECT_GE(tracker.current_bytes(), 1000 * sizeof(Event));
+
+  u.input(1)->OnPunctuation(2000);
+  u.input(0)->OnPunctuation(2000);
+  // Everything released.
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_GE(tracker.peak_bytes(), 1000 * sizeof(Event));
+  u.input(0)->OnFlush();
+  u.input(1)->OnFlush();
+}
+
+TEST(UnionMergeTest, PunctuationsDoNotRegress) {
+  UnionMergeOp<4> u;
+  CollectSink<4> sink;  // CollectSink CHECKs monotone punctuations.
+  u.SetDownstream(&sink);
+  u.input(0)->OnPunctuation(10);
+  u.input(1)->OnPunctuation(20);
+  u.input(1)->OnPunctuation(30);  // min still 10: no new punctuation.
+  u.input(0)->OnPunctuation(15);
+  u.input(0)->OnFlush();  // Joint watermark jumps to input 1's (30).
+  u.input(1)->OnFlush();
+  ASSERT_EQ(sink.punctuations().size(), 3u);
+  EXPECT_EQ(sink.punctuations()[0], 10);
+  EXPECT_EQ(sink.punctuations()[1], 15);
+  EXPECT_EQ(sink.punctuations()[2], 30);
+}
+
+TEST(TeeTest, ReplicatesToAllBranches) {
+  TeeOp<4> tee;
+  CollectSink<4> a;
+  CollectSink<4> b;
+  tee.SetDownstream(&a);
+  tee.AddDownstream(&b);
+  tee.OnBatch(BatchOf({E(1), E(2)}));
+  tee.OnPunctuation(5);
+  tee.OnFlush();
+  EXPECT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(b.events().size(), 2u);
+  EXPECT_EQ(a.punctuations(), b.punctuations());
+  EXPECT_TRUE(a.flushed());
+  EXPECT_TRUE(b.flushed());
+}
+
+}  // namespace
+}  // namespace impatience

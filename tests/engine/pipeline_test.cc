@@ -1,0 +1,270 @@
+// End-to-end pipeline tests through the fluent API: ingress, sort-as-needed
+// execution, aggregation, and the equivalences the paper's §IV relies on.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/streamable.h"
+#include "sort/sort_algorithms.h"
+#include "workload/generators.h"
+
+namespace impatience {
+namespace {
+
+SyntheticConfig SmallSynthetic() {
+  SyntheticConfig config;
+  config.num_events = 50000;
+  config.percent_disorder = 30;
+  config.disorder_stddev = 64;
+  config.num_keys = 10;
+  return config;
+}
+
+typename Ingress<4>::Options DefaultIngress() {
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 1000;
+  options.reorder_latency = 1000;  // Covers d=64 comfortably.
+  return options;
+}
+
+TEST(PipelineTest, SortProducesOrderedCompleteStream) {
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  QueryPipeline<4> q(DefaultIngress());
+  CollectSink<4>* sink = q.disordered().ToStreamable().Collect();
+  q.Run(data.events);
+
+  ASSERT_TRUE(sink->flushed());
+  ASSERT_EQ(sink->events().size(), data.events.size());
+  // CollectSink already CHECKs ordering; cross-check the multiset.
+  std::vector<Timestamp> got;
+  for (const Event& e : sink->events()) got.push_back(e.sync_time);
+  std::vector<Timestamp> want = SyncTimes(data.events);
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(PipelineTest, TinyReorderLatencyDropsLateEvents) {
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 100;
+  options.reorder_latency = 10;  // Far below the d=64 disorder.
+  QueryPipeline<4> q(options);
+  auto disordered = q.disordered();
+  auto* sort_op = q.context()->graph.Make<SortOp<4>>(ImpatienceConfig{},
+                                                     nullptr);
+  disordered.tail()->SetDownstream(sort_op);
+  auto* sink = q.context()->graph.Make<CountingSink<4>>();
+  sort_op->SetDownstream(sink);
+  q.Run(data.events);
+
+  EXPECT_GT(sort_op->late_drops(), 0u);
+  EXPECT_EQ(sink->count() + sort_op->late_drops(), data.events.size());
+}
+
+TEST(PipelineTest, WindowedCountMatchesReference) {
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  const Timestamp window = 1000;
+
+  QueryPipeline<4> q(DefaultIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .TumblingWindow(window)
+                             .ToStreamable()
+                             .Count()
+                             .Collect();
+  q.Run(data.events);
+
+  // Reference: count events per window directly.
+  std::map<Timestamp, int64_t> want;
+  for (const Event& e : data.events) {
+    want[e.sync_time - e.sync_time % window]++;
+  }
+  ASSERT_EQ(sink->events().size(), want.size());
+  for (const Event& e : sink->events()) {
+    ASSERT_TRUE(want.count(e.sync_time)) << e.sync_time;
+    EXPECT_EQ(e.payload[0], want[e.sync_time]) << "window " << e.sync_time;
+    EXPECT_EQ(e.other_time, e.sync_time + window);
+  }
+}
+
+TEST(PipelineTest, GroupCountMatchesReference) {
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  const Timestamp window = 5000;
+
+  QueryPipeline<4> q(DefaultIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .TumblingWindow(window)
+                             .ToStreamable()
+                             .GroupCount()
+                             .Collect();
+  q.Run(data.events);
+
+  std::map<std::pair<Timestamp, int32_t>, int64_t> want;
+  for (const Event& e : data.events) {
+    want[{e.sync_time - e.sync_time % window, e.key}]++;
+  }
+  ASSERT_EQ(sink->events().size(), want.size());
+  for (const Event& e : sink->events()) {
+    EXPECT_EQ(e.payload[0], (want[{e.sync_time, e.key}]));
+  }
+}
+
+TEST(PipelineTest, SortAsNeededEquivalence) {
+  // The paper's §IV claim: pushing order-insensitive operators below the
+  // sort does not change query results. Run Where+Window before the sort
+  // and after it; outputs must be identical.
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  const Timestamp window = 1000;
+  auto keep = [](const EventBatch<4>& b, size_t i) {
+    return b.key[i] < 5;  // ~50% selectivity.
+  };
+
+  QueryPipeline<4> before(DefaultIngress());
+  CollectSink<4>* sink_before = before.disordered()
+                                    .Where(keep)
+                                    .TumblingWindow(window)
+                                    .ToStreamable()
+                                    .GroupCount()
+                                    .Collect();
+  before.Run(data.events);
+
+  QueryPipeline<4> after(DefaultIngress());
+  CollectSink<4>* sink_after = after.disordered()
+                                   .ToStreamable()
+                                   .Where(keep)
+                                   .TumblingWindow(window)
+                                   .GroupCount()
+                                   .Collect();
+  after.Run(data.events);
+
+  EXPECT_EQ(sink_before->events(), sink_after->events());
+}
+
+TEST(PipelineTest, ProjectionNarrowsEvents) {
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  QueryPipeline<4> q(DefaultIngress());
+  // Keep only payload column 0 across the sort.
+  auto* sink = q.context()->graph.Make<CollectSink<1>>();
+  q.disordered().Select<1>({{0}}).ToStreamable().Into(sink);
+  q.Run(data.events);
+
+  ASSERT_EQ(sink->events().size(), data.events.size());
+  // Spot-check payload carried through the sort: multiset of payload[0]
+  // must match the input's.
+  std::vector<int32_t> got;
+  std::vector<int32_t> want;
+  for (const auto& e : sink->events()) got.push_back(e.payload[0]);
+  for (const auto& e : data.events) want.push_back(e.payload[0]);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(PipelineTest, CustomSorterViaToStreamableWith) {
+  const Dataset data = GenerateSynthetic(SmallSynthetic());
+  QueryPipeline<4> q(DefaultIngress());
+  CollectSink<4>* sink =
+      q.disordered()
+          .ToStreamableWith(
+              MakeOnlineSorter<Event>(OnlineAlgorithm::kHeapsort))
+          .Collect();
+  q.Run(data.events);
+  EXPECT_EQ(sink->events().size(), data.events.size());
+}
+
+TEST(PipelineTest, PatternMatchEndToEnd) {
+  // Find key sequences "ad 3 then ad 4 within 100ms" on the sorted stream.
+  // Timestamps are kept distinct (a locally shuffled permutation) so the
+  // reference below is insensitive to tie-breaking in the sort.
+  Dataset data = GenerateSynthetic(SmallSynthetic());
+  for (size_t i = 0; i < data.events.size(); ++i) {
+    data.events[i].sync_time = static_cast<Timestamp>(i);
+    data.events[i].other_time = data.events[i].sync_time;
+  }
+  Rng shuffle_rng(7);
+  for (size_t block = 0; block + 64 <= data.events.size(); block += 64) {
+    for (size_t i = 64; i > 1; --i) {
+      std::swap(data.events[block + i - 1],
+                data.events[block + shuffle_rng.NextBelow(i)]);
+    }
+  }
+  auto is_x = [](const EventBatch<4>& b, size_t i) {
+    return b.payload[0][i] % 100 == 3;
+  };
+  auto is_y = [](const EventBatch<4>& b, size_t i) {
+    return b.payload[0][i] % 100 == 4;
+  };
+
+  QueryPipeline<4> q(DefaultIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .ToStreamable()
+                             .PatternMatch(is_x, is_y, 100)
+                             .Collect();
+  q.Run(data.events);
+
+  // Reference over the fully sorted stream.
+  std::vector<Event> sorted = data.events;
+  OfflineSort<Event>(OfflineAlgorithm::kQuicksort, &sorted);
+  std::map<int32_t, Timestamp> last_x;
+  size_t want = 0;
+  for (const Event& e : sorted) {
+    if (e.payload[0] % 100 == 4) {
+      auto it = last_x.find(e.key);
+      if (it != last_x.end() && e.sync_time - it->second <= 100) ++want;
+    }
+    if (e.payload[0] % 100 == 3) last_x[e.key] = e.sync_time;
+  }
+  EXPECT_EQ(sink->events().size(), want);
+  EXPECT_GT(want, 0u);  // The scenario actually exercises matches.
+}
+
+TEST(IngressTest, PunctuationSchedule) {
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 10;
+  options.reorder_latency = 5;
+  options.batch_size = 4;
+  QueryPipeline<4> q(options);
+  CollectSink<4>* sink = q.disordered().ToStreamable().Collect();
+
+  std::vector<Event> events(35);
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].sync_time = static_cast<Timestamp>(i * 10);
+  }
+  q.Run(events);
+
+  // Punctuations at events 10, 20, 30: hw - 5 = 85, 185, 285; plus the
+  // final flush.
+  ASSERT_EQ(sink->punctuations().size(), 4u);
+  EXPECT_EQ(sink->punctuations()[0], 85);
+  EXPECT_EQ(sink->punctuations()[1], 185);
+  EXPECT_EQ(sink->punctuations()[2], 285);
+  EXPECT_EQ(sink->punctuations()[3], kMaxTimestamp);
+  EXPECT_EQ(sink->events().size(), 35u);
+}
+
+TEST(IngressTest, PunctuationsSuppressedWhenWatermarkStalls) {
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 5;
+  options.reorder_latency = 0;
+  QueryPipeline<4> q(options);
+  CollectSink<4>* sink = q.disordered().ToStreamable().Collect();
+
+  // The high watermark never advances past the first event.
+  std::vector<Event> events(20);
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].sync_time = 100;
+  }
+  q.Run(events);
+  // Only the first period's punctuation (100) appears, plus the flush.
+  ASSERT_EQ(sink->punctuations().size(), 2u);
+  EXPECT_EQ(sink->punctuations()[0], 100);
+  // Events at exactly the punctuation timestamp that arrive later count as
+  // too late and are dropped by the sorter (15 of the 20 arrive after).
+  EXPECT_EQ(sink->events().size(), 5u);
+}
+
+}  // namespace
+}  // namespace impatience

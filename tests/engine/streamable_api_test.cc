@@ -1,0 +1,193 @@
+// Fluent-API coverage: hopping windows, snapshot counting, grouped sums,
+// top-k, Map on the ordered side, CombinePartials in a pipeline, and the
+// terminal sinks.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/streamable.h"
+#include "workload/generators.h"
+
+namespace impatience {
+namespace {
+
+typename Ingress<4>::Options SmallIngress() {
+  typename Ingress<4>::Options options;
+  options.punctuation_period = 500;
+  options.reorder_latency = 200;
+  return options;
+}
+
+std::vector<Event> OrderedEvents(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    events[i].sync_time = static_cast<Timestamp>(i);
+    events[i].other_time = events[i].sync_time;
+    events[i].key = static_cast<int32_t>(rng.NextBelow(5));
+    events[i].hash = HashKey(events[i].key);
+    events[i].payload[0] = static_cast<int32_t>(rng.NextBelow(10));
+  }
+  return events;
+}
+
+TEST(StreamableApiTest, HoppingWindowPlusSnapshotCountGivesSlidingCounts) {
+  // 100-unit window every 20 units over an in-order stream: the snapshot
+  // count over the hop-aligned intervals is the sliding-window count.
+  const std::vector<Event> events = OrderedEvents(2000, 1);
+  QueryPipeline<4> q(SmallIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .ToStreamable()
+                             .Map([](EventBatch<4>* b, size_t i) {
+                               b->key[i] = 0;  // One global group.
+                               b->hash[i] = HashKey(0);
+                             })
+                             .HoppingWindow(100, 20)
+                             .SnapshotCount()
+                             .Collect();
+  q.Run(events);
+
+  ASSERT_FALSE(sink->events().empty());
+  // In steady state every hop interval [h, h+20) is covered by 5 windows of
+  // 20 events each: the count must be 100.
+  size_t steady = 0;
+  for (const Event& e : sink->events()) {
+    if (e.sync_time >= 100 && e.other_time <= 1900) {
+      EXPECT_EQ(e.payload[0], 100) << "interval at " << e.sync_time;
+      ++steady;
+    }
+  }
+  EXPECT_GT(steady, 50u);
+}
+
+TEST(StreamableApiTest, GroupSumMatchesReference) {
+  const std::vector<Event> events = OrderedEvents(5000, 2);
+  QueryPipeline<4> q(SmallIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .TumblingWindow(1000)
+                             .ToStreamable()
+                             .GroupSum<0>()
+                             .Collect();
+  q.Run(events);
+
+  std::map<std::pair<Timestamp, int32_t>, int64_t> want;
+  for (const Event& e : events) {
+    want[{e.sync_time - e.sync_time % 1000, e.key}] += e.payload[0];
+  }
+  ASSERT_EQ(sink->events().size(), want.size());
+  for (const Event& e : sink->events()) {
+    EXPECT_EQ(e.payload[0], (want[{e.sync_time, e.key}]));
+  }
+}
+
+TEST(StreamableApiTest, TopKAfterGroupCount) {
+  const std::vector<Event> events = OrderedEvents(5000, 3);
+  QueryPipeline<4> q(SmallIngress());
+  CollectSink<4>* sink = q.disordered()
+                             .TumblingWindow(1000)
+                             .ToStreamable()
+                             .GroupCount()
+                             .TopK(2)
+                             .Collect();
+  q.Run(events);
+
+  // Exactly 2 rows per window, in descending count order.
+  std::map<Timestamp, std::vector<int32_t>> by_window;
+  for (const Event& e : sink->events()) {
+    by_window[e.sync_time].push_back(e.payload[0]);
+  }
+  EXPECT_EQ(by_window.size(), 5u);
+  for (const auto& [window, counts] : by_window) {
+    ASSERT_EQ(counts.size(), 2u) << "window " << window;
+    EXPECT_GE(counts[0], counts[1]);
+  }
+}
+
+TEST(StreamableApiTest, CombinePartialsMergesManualPartials) {
+  // Feed pre-aggregated partials through a pipeline: two rows per
+  // (window, key) must combine into one.
+  std::vector<Event> partials;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int w = 0; w < 10; ++w) {
+      Event e;
+      e.sync_time = w * 100;
+      e.other_time = e.sync_time + 100;
+      e.key = 1;
+      e.hash = HashKey(1);
+      e.payload[0] = rep + 1;  // 1 and 2 -> combined 3.
+      partials.push_back(e);
+    }
+  }
+  std::sort(partials.begin(), partials.end(),
+            [](const Event& a, const Event& b) {
+              return a.sync_time < b.sync_time;
+            });
+  QueryPipeline<4> q(SmallIngress());
+  CollectSink<4>* sink =
+      q.disordered().ToStreamable().CombinePartials().Collect();
+  q.Run(partials);
+
+  ASSERT_EQ(sink->events().size(), 10u);
+  for (const Event& e : sink->events()) {
+    EXPECT_EQ(e.payload[0], 3);
+  }
+}
+
+TEST(StreamableApiTest, SubscribeSeesEveryResult) {
+  const std::vector<Event> events = OrderedEvents(1000, 4);
+  QueryPipeline<4> q(SmallIngress());
+  size_t calls = 0;
+  q.disordered().ToStreamable().Subscribe(
+      [&calls](const Event&) { ++calls; });
+  q.Run(events);
+  EXPECT_EQ(calls, events.size());
+}
+
+TEST(StreamableApiTest, CountingSinkTallies) {
+  const std::vector<Event> events = OrderedEvents(1000, 5);
+  QueryPipeline<4> q(SmallIngress());
+  CountingSink<4>* sink = q.disordered().ToStreamable().ToCounting();
+  q.Run(events);
+  EXPECT_EQ(sink->count(), events.size());
+  EXPECT_TRUE(sink->flushed());
+  EXPECT_GT(sink->punctuations(), 0u);
+}
+
+TEST(StreamableApiTest, WhereAfterSortFiltersResults) {
+  const std::vector<Event> events = OrderedEvents(1000, 6);
+  QueryPipeline<4> q(SmallIngress());
+  CountingSink<4>* sink =
+      q.disordered()
+          .ToStreamable()
+          .Where([](const EventBatch<4>& b, size_t i) {
+            return b.key[i] == 0;
+          })
+          .ToCounting();
+  q.Run(events);
+  size_t want = 0;
+  for (const Event& e : events) want += e.key == 0 ? 1 : 0;
+  EXPECT_EQ(sink->count(), want);
+}
+
+TEST(StreamableApiTest, SelectOnOrderedStream) {
+  const std::vector<Event> events = OrderedEvents(500, 7);
+  QueryPipeline<4> q(SmallIngress());
+  auto* sink = q.context()->graph.Make<CollectSink<2>>();
+  q.disordered().ToStreamable().Select<2>({{1, 0}}).Into(sink);
+  q.Run(events);
+  ASSERT_EQ(sink->events().size(), events.size());
+}
+
+TEST(StreamableApiTest, GraphOwnsEveryNode) {
+  QueryPipeline<4> q(SmallIngress());
+  const size_t before = q.context()->graph.node_count();
+  q.disordered().TumblingWindow(100).ToStreamable().GroupCount().Collect();
+  // Window + sort + aggregate + sink.
+  EXPECT_EQ(q.context()->graph.node_count(), before + 4);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,181 @@
+// Disorder measures: hand-computed values, brute-force cross-checks, the
+// Dilworth identity (interleaved == longest strictly decreasing
+// subsequence), and the paper's Propositions 3.1-3.3 as properties of
+// Patience-run counts.
+
+#include "sort/disorder_stats.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/impatience_sorter.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+uint64_t BruteForceInversions(const std::vector<Timestamp>& v) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = i + 1; j < v.size(); ++j) {
+      if (v[i] > v[j]) ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t BruteForceMaxDistance(const std::vector<Timestamp>& v) {
+  uint64_t d = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = i + 1; j < v.size(); ++j) {
+      if (v[i] > v[j]) d = std::max<uint64_t>(d, j - i);
+    }
+  }
+  return d;
+}
+
+TEST(DisorderStatsTest, EmptyInput) {
+  const std::vector<Timestamp> v;
+  const DisorderStats s = ComputeDisorderStats(v);
+  EXPECT_EQ(s.inversions, 0u);
+  EXPECT_EQ(s.distance, 0u);
+  EXPECT_EQ(s.runs, 0u);
+  EXPECT_EQ(s.interleaved, 0u);
+}
+
+TEST(DisorderStatsTest, SortedInput) {
+  const auto v = testing::SortedSequence(1000);
+  const DisorderStats s = ComputeDisorderStats(v);
+  EXPECT_EQ(s.inversions, 0u);
+  EXPECT_EQ(s.distance, 0u);
+  EXPECT_EQ(s.runs, 1u);
+  EXPECT_EQ(s.interleaved, 1u);
+}
+
+TEST(DisorderStatsTest, ReversedInput) {
+  const size_t n = 100;
+  const auto v = testing::ReversedSequence(n);
+  const DisorderStats s = ComputeDisorderStats(v);
+  EXPECT_EQ(s.inversions, static_cast<uint64_t>(n) * (n - 1) / 2);
+  EXPECT_EQ(s.distance, n - 1);
+  EXPECT_EQ(s.runs, n);
+  EXPECT_EQ(s.interleaved, n);
+}
+
+TEST(DisorderStatsTest, ConstantInputIsSorted) {
+  const auto v = testing::ConstantSequence(500, 9);
+  const DisorderStats s = ComputeDisorderStats(v);
+  EXPECT_EQ(s.inversions, 0u);  // Ties are not inversions.
+  EXPECT_EQ(s.runs, 1u);
+  EXPECT_EQ(s.interleaved, 1u);
+}
+
+TEST(DisorderStatsTest, HandComputedExample) {
+  // Paper's §III-B example array.
+  const std::vector<Timestamp> v = {2, 6, 5, 1, 4, 3, 7, 8};
+  const DisorderStats s = ComputeDisorderStats(v);
+  // Inversions: (2,1),(6,5),(6,1),(6,4),(6,3),(5,1),(5,4),(5,3),(4,3) = 9.
+  EXPECT_EQ(s.inversions, 9u);
+  // The farthest-travelling inversion is 6 (pos 1) over 3 (pos 5): 4.
+  EXPECT_EQ(s.distance, 4u);
+  // Runs: [2,6] [5] [1,4] [3,7,8] = 4.
+  EXPECT_EQ(s.runs, 4u);
+  // Longest strictly decreasing subsequence: 6,5,4,3 = 4.
+  EXPECT_EQ(s.interleaved, 4u);
+}
+
+TEST(DisorderStatsTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(101);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.NextBelow(300);
+    std::vector<Timestamp> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<Timestamp>(rng.NextBelow(50));
+    }
+    EXPECT_EQ(CountInversions(v), BruteForceInversions(v)) << round;
+    EXPECT_EQ(MaxInversionDistance(v), BruteForceMaxDistance(v)) << round;
+  }
+}
+
+TEST(DisorderStatsTest, InterleavedEqualsLongestDecreasingSubsequence) {
+  Rng rng(103);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.NextBelow(500);
+    std::vector<Timestamp> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<Timestamp>(rng.NextBelow(100));
+    }
+    EXPECT_EQ(CountInterleavedRuns(v),
+              LongestStrictlyDecreasingSubsequence(v))
+        << round;
+  }
+}
+
+TEST(DisorderStatsTest, InterleavedBoundedBySourcesInInterleaving) {
+  for (size_t d : {1u, 3u, 10u, 50u}) {
+    const auto v = testing::InterleavedSequence(5000, d, /*seed=*/d);
+    EXPECT_LE(CountInterleavedRuns(v), d);
+  }
+}
+
+TEST(DisorderStatsTest, RunsCountsBoundaries) {
+  EXPECT_EQ(CountNaturalRuns({1, 2, 3}), 1u);
+  EXPECT_EQ(CountNaturalRuns({3, 2, 1}), 3u);
+  EXPECT_EQ(CountNaturalRuns({1, 3, 2, 4}), 2u);
+  EXPECT_EQ(CountNaturalRuns({2, 2, 2}), 1u);  // Ties extend a run.
+}
+
+// Proposition 3.1-3.3 as properties of the Patience partition.
+class PropositionsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropositionsTest, PatienceRunCountRespectsAllThreeBounds) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const size_t n = 200 + rng.NextBelow(3000);
+  std::vector<Timestamp> v(n);
+  const Timestamp value_space =
+      static_cast<Timestamp>(1 + rng.NextBelow(200));
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Timestamp>(rng.NextBelow(
+        static_cast<uint64_t>(value_space)));
+  }
+
+  ImpatienceSorter<Timestamp, IdentityTimeOf> sorter;
+  for (Timestamp t : v) sorter.Push(t);
+  const uint64_t k = sorter.run_count();
+
+  // Proposition 3.1: k <= interleaved runs. (Equality in fact, because the
+  // Patience placement rule is the optimal greedy.)
+  EXPECT_EQ(k, CountInterleavedRuns(v));
+  // Proposition 3.2: k <= number of distinct timestamps.
+  const std::set<Timestamp> distinct(v.begin(), v.end());
+  EXPECT_LE(k, distinct.size());
+  // Proposition 3.3: k <= number of natural runs.
+  EXPECT_LE(k, CountNaturalRuns(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropositionsTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST(DisorderStatsTest, NearlySortedHasFewInterleavedManyRuns) {
+  // The CloudLog shape: tiny natural runs but few interleaved runs.
+  const auto v = testing::NearlySortedSequence(20000, 30, 8, /*seed=*/11);
+  const DisorderStats s = ComputeDisorderStats(v);
+  EXPECT_GT(s.runs, 1000u);
+  EXPECT_LT(s.interleaved, s.runs / 10);
+}
+
+TEST(DisorderStatsTest, BatchUploadHasFewRunsManyInversions) {
+  // The AndroidLog shape: few long runs, huge inversion count.
+  const auto v = testing::BatchUploadSequence(20000, 2000, /*seed=*/13);
+  const DisorderStats s = ComputeDisorderStats(v);
+  EXPECT_LT(s.runs, 50u);
+  EXPECT_GT(s.inversions, 1000000u);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,246 @@
+// ImpatienceSorter semantics: the punctuation contract, run cleanup
+// (Figure 5's behaviour), the SRS fast path, late-event handling, and
+// memory accounting.
+
+#include "sort/impatience_sorter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+using Sorter = ImpatienceSorter<Timestamp, IdentityTimeOf>;
+
+TEST(ImpatienceSorterTest, PaperRunningExample) {
+  // The stream from §III-A: 2 6 5 1 [2*] 4 3 [4*] 7 8 [inf*].
+  Sorter sorter;
+  std::vector<Timestamp> out;
+
+  for (Timestamp t : {2, 6, 5, 1}) sorter.Push(t);
+  sorter.OnPunctuation(2, &out);
+  EXPECT_EQ(out, std::vector<Timestamp>({1, 2}));
+
+  for (Timestamp t : {4, 3}) sorter.Push(t);
+  out.clear();
+  sorter.OnPunctuation(4, &out);
+  EXPECT_EQ(out, std::vector<Timestamp>({3, 4}));
+  // §III-D: after the second punctuation Impatience maintains 2 runs where
+  // plain Patience would have 4.
+  EXPECT_EQ(sorter.run_count(), 2u);
+
+  for (Timestamp t : {7, 8}) sorter.Push(t);
+  out.clear();
+  sorter.Flush(&out);
+  EXPECT_EQ(out, std::vector<Timestamp>({5, 6, 7, 8}));
+  EXPECT_EQ(sorter.buffered_count(), 0u);
+  EXPECT_EQ(sorter.run_count(), 0u);
+}
+
+TEST(ImpatienceSorterTest, EmitsOnlyUpToPunctuation) {
+  Sorter sorter;
+  for (Timestamp t : {10, 5, 20, 15, 1}) sorter.Push(t);
+  std::vector<Timestamp> out;
+  sorter.OnPunctuation(10, &out);
+  EXPECT_EQ(out, std::vector<Timestamp>({1, 5, 10}));
+  EXPECT_EQ(sorter.buffered_count(), 2u);
+  out.clear();
+  sorter.Flush(&out);
+  EXPECT_EQ(out, std::vector<Timestamp>({15, 20}));
+}
+
+TEST(ImpatienceSorterTest, PunctuationWithNothingToEmit) {
+  Sorter sorter;
+  sorter.Push(100);
+  std::vector<Timestamp> out;
+  sorter.OnPunctuation(50, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(sorter.buffered_count(), 1u);
+}
+
+TEST(ImpatienceSorterTest, RepeatedEqualPunctuationsAreIdempotent) {
+  Sorter sorter;
+  sorter.Push(5);
+  sorter.Push(10);
+  std::vector<Timestamp> out;
+  sorter.OnPunctuation(7, &out);
+  EXPECT_EQ(out, std::vector<Timestamp>({5}));
+  out.clear();
+  sorter.OnPunctuation(7, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ImpatienceSorterTest, DropsEventsAtOrBeforePunctuation) {
+  Sorter sorter;
+  sorter.Push(10);
+  std::vector<Timestamp> out;
+  sorter.OnPunctuation(10, &out);
+  ASSERT_EQ(out.size(), 1u);
+
+  sorter.Push(9);   // Before the punctuation: dropped.
+  sorter.Push(10);  // At the punctuation: dropped.
+  sorter.Push(11);  // After: accepted.
+  EXPECT_EQ(sorter.late_drops(), 2u);
+  EXPECT_EQ(sorter.buffered_count(), 1u);
+  out.clear();
+  sorter.Flush(&out);
+  EXPECT_EQ(out, std::vector<Timestamp>({11}));
+}
+
+TEST(ImpatienceSorterTest, DuplicateTimestampsAllEmitted) {
+  Sorter sorter;
+  for (Timestamp t : {3, 3, 3, 1, 1, 2}) sorter.Push(t);
+  std::vector<Timestamp> out;
+  sorter.Flush(&out);
+  EXPECT_EQ(out, std::vector<Timestamp>({1, 1, 2, 3, 3, 3}));
+}
+
+TEST(ImpatienceSorterTest, RunCleanupAfterBurstOfLateEvents) {
+  // A burst of severely delayed events inflates the run count; punctuations
+  // past the burst must clean the runs back up (the Figure 5 effect).
+  Sorter sorter;
+  Timestamp t = 1000;
+  for (int i = 0; i < 100; ++i) sorter.Push(t + i);
+  // Burst: strictly decreasing late events, each forcing a new run.
+  for (int i = 0; i < 50; ++i) sorter.Push(500 - i * 2);
+  const size_t runs_during_burst = sorter.run_count();
+  EXPECT_GT(runs_during_burst, 40u);
+
+  std::vector<Timestamp> out;
+  sorter.OnPunctuation(999, &out);  // Clears the burst (all <= 500).
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_LE(sorter.run_count(), 2u);  // Back to "healthy".
+}
+
+TEST(ImpatienceSorterTest, SpeculativeRunSelectionHitsOnSortedStream) {
+  ImpatienceConfig config;
+  config.speculative_run_selection = true;
+  Sorter sorter(config);
+  for (Timestamp t = 0; t < 1000; ++t) sorter.Push(t);
+  // After the first insertion every element extends run 0 via SRS.
+  EXPECT_EQ(sorter.counters().srs_hits, 999u);
+  EXPECT_EQ(sorter.run_count(), 1u);
+}
+
+TEST(ImpatienceSorterTest, SrsDisabledStillCorrect) {
+  ImpatienceConfig config;
+  config.speculative_run_selection = false;
+  Sorter sorter(config);
+  auto input = testing::NearlySortedSequence(5000, 30, 64, /*seed=*/3);
+  for (Timestamp t : input) sorter.Push(t);
+  std::vector<Timestamp> out;
+  sorter.Flush(&out);
+  std::sort(input.begin(), input.end());
+  EXPECT_EQ(out, input);
+  EXPECT_EQ(sorter.counters().srs_hits, 0u);
+}
+
+TEST(ImpatienceSorterTest, TailsInvariantViaInterleavedBound) {
+  // Proposition 3.1: on an interleaving of d sorted runs, Impatience sort
+  // creates at most d runs.
+  for (size_t d : {1u, 2u, 4u, 16u, 64u}) {
+    Sorter sorter;
+    auto input = testing::InterleavedSequence(20000, d, /*seed=*/d);
+    for (Timestamp t : input) sorter.Push(t);
+    EXPECT_LE(sorter.run_count(), d) << "d=" << d;
+    std::vector<Timestamp> out;
+    sorter.Flush(&out);
+    std::sort(input.begin(), input.end());
+    EXPECT_EQ(out, input);
+  }
+}
+
+TEST(ImpatienceSorterTest, DistinctTimestampBound) {
+  // Proposition 3.2: run count <= number of distinct timestamps.
+  Sorter sorter;
+  Rng rng(81);
+  for (int i = 0; i < 10000; ++i) {
+    sorter.Push(static_cast<Timestamp>(rng.NextBelow(5)));
+  }
+  EXPECT_LE(sorter.run_count(), 5u);
+}
+
+TEST(ImpatienceSorterTest, MemoryShrinksAfterEmission) {
+  Sorter sorter;
+  auto input = testing::NearlySortedSequence(100000, 30, 64, /*seed=*/5);
+  for (Timestamp t : input) sorter.Push(t);
+  const size_t before = sorter.MemoryBytes();
+  EXPECT_GT(before, 100000 * sizeof(Timestamp) / 2);
+  std::vector<Timestamp> out;
+  sorter.Flush(&out);
+  EXPECT_LT(sorter.MemoryBytes(), before / 10);
+  EXPECT_EQ(sorter.buffered_count(), 0u);
+}
+
+TEST(ImpatienceSorterTest, IncrementalEqualsOfflineAcrossFrequencies) {
+  // Sorting with punctuations every f events must equal one big sort.
+  auto input = testing::NearlySortedSequence(30000, 30, 256, /*seed=*/7);
+  std::vector<Timestamp> want = input;
+  std::sort(want.begin(), want.end());
+
+  for (size_t freq : {1u, 7u, 100u, 5000u, 100000u}) {
+    Sorter sorter;
+    std::vector<Timestamp> out;
+    Timestamp high_watermark = kMinTimestamp;
+    Timestamp last_punct = kMinTimestamp;
+    size_t late = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (input[i] <= last_punct) {
+        ++late;  // The generator can produce genuinely too-late events.
+      }
+      sorter.Push(input[i]);
+      high_watermark = std::max(high_watermark, input[i]);
+      if ((i + 1) % freq == 0) {
+        // Reorder latency 600 tolerates the d=256 delays in this input.
+        const Timestamp p = high_watermark - 600;
+        if (p > last_punct) {
+          sorter.OnPunctuation(p, &out);
+          last_punct = p;
+        }
+      }
+    }
+    sorter.Flush(&out);
+    EXPECT_EQ(sorter.late_drops(), late);
+    EXPECT_EQ(out.size(), want.size() - late);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end())) << "freq=" << freq;
+    if (late == 0) {
+      EXPECT_EQ(out, want) << "freq=" << freq;
+    }
+  }
+}
+
+TEST(ImpatienceSorterTest, CountersTrackWork) {
+  Sorter sorter;
+  for (Timestamp t : {5, 3, 8, 1}) sorter.Push(t);
+  EXPECT_EQ(sorter.counters().pushes, 4u);
+  EXPECT_EQ(sorter.counters().new_runs, 3u);  // 5 starts; 3 and 1 new runs.
+  std::vector<Timestamp> out;
+  sorter.Flush(&out);
+  EXPECT_EQ(sorter.counters().removed_runs, 3u);
+}
+
+TEST(ImpatienceSorterTest, EventsSortedBySyncTime) {
+  ImpatienceSorter<Event> sorter;
+  Rng rng(91);
+  for (int i = 0; i < 1000; ++i) {
+    Event e;
+    e.sync_time = static_cast<Timestamp>(rng.NextBelow(10000));
+    e.key = i;
+    sorter.Push(e);
+  }
+  std::vector<Event> out;
+  sorter.Flush(&out);
+  ASSERT_EQ(out.size(), 1000u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].sync_time, out[i].sync_time);
+  }
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,170 @@
+// Merge kernels: correctness of each policy plus the Huffman order's
+// optimality property (it never moves more elements than the balanced or
+// heap orders on skewed run-size distributions).
+
+#include "sort/merge.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace impatience {
+namespace {
+
+std::less<int> IntLess() { return std::less<int>(); }
+
+std::vector<std::vector<int>> MakeRuns(const std::vector<size_t>& lengths,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> runs;
+  for (const size_t len : lengths) {
+    std::vector<int> run(len);
+    int v = static_cast<int>(rng.NextBelow(10));
+    for (size_t i = 0; i < len; ++i) {
+      v += static_cast<int>(rng.NextBelow(5));
+      run[i] = v;
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+std::vector<int> FlattenSorted(const std::vector<std::vector<int>>& runs) {
+  std::vector<int> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(MergeTest, BinaryMergeBasic) {
+  std::vector<int> a = {1, 3, 5};
+  std::vector<int> b = {2, 4, 6};
+  std::vector<int> out;
+  BinaryMergeInto(a, b, IntLess(), &out);
+  EXPECT_EQ(out, std::vector<int>({1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MergeTest, BinaryMergeStableOnTies) {
+  // Elements of `a` must precede equal elements of `b`.
+  std::vector<std::pair<int, char>> a = {{1, 'a'}, {2, 'a'}};
+  std::vector<std::pair<int, char>> b = {{1, 'b'}, {2, 'b'}};
+  std::vector<std::pair<int, char>> out;
+  BinaryMergeInto(a, b,
+                  [](const auto& x, const auto& y) {
+                    return x.first < y.first;
+                  },
+                  &out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].second, 'a');
+  EXPECT_EQ(out[1].second, 'b');
+  EXPECT_EQ(out[2].second, 'a');
+  EXPECT_EQ(out[3].second, 'b');
+}
+
+TEST(MergeTest, BinaryMergeEmptySides) {
+  std::vector<int> a;
+  std::vector<int> b = {1, 2};
+  std::vector<int> out;
+  BinaryMergeInto(a, b, IntLess(), &out);
+  EXPECT_EQ(out, b);
+  out.clear();
+  BinaryMergeInto(b, a, IntLess(), &out);
+  EXPECT_EQ(out, b);
+}
+
+class MergePolicyTest : public ::testing::TestWithParam<MergePolicy> {};
+
+TEST_P(MergePolicyTest, MergesManyRunsCorrectly) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(1000 + seed);
+    std::vector<size_t> lengths;
+    const size_t k = 1 + rng.NextBelow(30);
+    for (size_t i = 0; i < k; ++i) lengths.push_back(rng.NextBelow(100));
+    auto runs = MakeRuns(lengths, seed);
+    const std::vector<int> want = FlattenSorted(runs);
+
+    std::vector<int> out;
+    MergeRunsInto(GetParam(), &runs, IntLess(), &out);
+    EXPECT_EQ(out, want) << "seed " << seed;
+    EXPECT_TRUE(runs.empty());  // Consumed.
+  }
+}
+
+TEST_P(MergePolicyTest, HandlesEmptyAndSingleRun) {
+  std::vector<std::vector<int>> runs;
+  std::vector<int> out;
+  MergeRunsInto(GetParam(), &runs, IntLess(), &out);
+  EXPECT_TRUE(out.empty());
+
+  runs = {{1, 2, 3}};
+  MergeRunsInto(GetParam(), &runs, IntLess(), &out);
+  EXPECT_EQ(out, std::vector<int>({1, 2, 3}));
+}
+
+TEST_P(MergePolicyTest, SkipsEmptyRuns) {
+  std::vector<std::vector<int>> runs = {{}, {5}, {}, {1, 9}, {}};
+  std::vector<int> out;
+  MergeRunsInto(GetParam(), &runs, IntLess(), &out);
+  EXPECT_EQ(out, std::vector<int>({1, 5, 9}));
+}
+
+TEST_P(MergePolicyTest, AppendsAfterExistingOutput) {
+  std::vector<std::vector<int>> runs = {{3, 4}, {1, 2}};
+  std::vector<int> out = {-1, 0};
+  MergeRunsInto(GetParam(), &runs, IntLess(), &out);
+  EXPECT_EQ(out, std::vector<int>({-1, 0, 1, 2, 3, 4}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MergePolicyTest,
+                         ::testing::Values(MergePolicy::kHuffman,
+                                           MergePolicy::kBalanced,
+                                           MergePolicy::kHeap),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MergePolicy::kHuffman:
+                               return "Huffman";
+                             case MergePolicy::kBalanced:
+                               return "Balanced";
+                             case MergePolicy::kHeap:
+                               return "Heap";
+                           }
+                           return "?";
+                         });
+
+TEST(MergeStatsTest, HuffmanMovesNoMoreThanBalancedOnSkewedRuns) {
+  // One huge run plus many tiny runs: Huffman merges the tiny ones first,
+  // touching the huge run only once; the balanced order drags the huge run
+  // through several rounds.
+  std::vector<size_t> lengths = {100000};
+  for (int i = 0; i < 16; ++i) lengths.push_back(10);
+
+  auto runs_huffman = MakeRuns(lengths, /*seed=*/5);
+  auto runs_balanced = runs_huffman;
+
+  std::vector<int> out;
+  MergeStats huffman_stats;
+  HuffmanMergeInto(&runs_huffman, IntLess(), &out, &huffman_stats);
+  out.clear();
+  MergeStats balanced_stats;
+  BalancedMergeInto(&runs_balanced, IntLess(), &out, &balanced_stats);
+
+  EXPECT_LT(huffman_stats.elements_moved, balanced_stats.elements_moved);
+  // Huffman should touch the big run exactly once: total moves are close to
+  // (tiny merges) + one pass over everything.
+  EXPECT_LT(huffman_stats.elements_moved, 110000u);
+}
+
+TEST(MergeStatsTest, MergeCountsAreConsistent) {
+  auto runs = MakeRuns({4, 4, 4, 4}, /*seed=*/9);
+  std::vector<int> out;
+  MergeStats stats;
+  HuffmanMergeInto(&runs, IntLess(), &out, &stats);
+  // k runs need exactly k-1 binary merges.
+  EXPECT_EQ(stats.binary_merges, 3u);
+}
+
+}  // namespace
+}  // namespace impatience

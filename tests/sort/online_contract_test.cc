@@ -1,0 +1,150 @@
+// The punctuation contract, verified uniformly for every online sorter:
+// on a punctuation T, exactly the buffered events <= T come out, in order;
+// too-late pushes are counted and dropped; Flush drains everything.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/event.h"
+#include "common/timestamp.h"
+#include "sort/sort_algorithms.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+struct OnlineCase {
+  OnlineAlgorithm algorithm;
+  std::string sequence_name;
+  std::vector<Timestamp> input;
+  size_t punctuation_period;
+  Timestamp reorder_latency;
+};
+
+class OnlineContractTest : public ::testing::TestWithParam<OnlineCase> {};
+
+// Drives the sorter the way an ingress would: punctuation every `period`
+// events at (high watermark - reorder latency), and checks the contract at
+// every step.
+TEST_P(OnlineContractTest, HonorsPunctuationContract) {
+  const OnlineCase& param = GetParam();
+  auto sorter = MakeOnlineSorter<Timestamp, IdentityTimeOf>(param.algorithm);
+
+  std::vector<Timestamp> emitted;
+  Timestamp high_watermark = kMinTimestamp;
+  Timestamp last_punct = kMinTimestamp;
+  size_t expected_late = 0;
+
+  for (size_t i = 0; i < param.input.size(); ++i) {
+    const Timestamp t = param.input[i];
+    if (t <= last_punct) ++expected_late;
+    sorter->Push(t);
+    if (t > high_watermark) high_watermark = t;
+    if ((i + 1) % param.punctuation_period == 0 &&
+        high_watermark != kMinTimestamp) {
+      const Timestamp p = high_watermark - param.reorder_latency;
+      if (p > last_punct) {
+        const size_t before = emitted.size();
+        sorter->OnPunctuation(p, &emitted);
+        // Everything emitted by this punctuation is <= p, sorted.
+        for (size_t j = before; j < emitted.size(); ++j) {
+          ASSERT_LE(emitted[j], p);
+          if (j > before) {
+            ASSERT_LE(emitted[j - 1], emitted[j]);
+          }
+        }
+        last_punct = p;
+      }
+    }
+  }
+  sorter->Flush(&emitted);
+
+  EXPECT_EQ(sorter->late_drops(), expected_late);
+  EXPECT_EQ(sorter->buffered_count(), 0u);
+
+  // The emitted stream is globally sorted and is exactly the multiset of
+  // accepted inputs.
+  EXPECT_TRUE(std::is_sorted(emitted.begin(), emitted.end()));
+  std::vector<Timestamp> want = param.input;
+  std::sort(want.begin(), want.end());
+  if (expected_late == 0) {
+    EXPECT_EQ(emitted, want);
+  } else {
+    EXPECT_EQ(emitted.size() + expected_late, want.size());
+  }
+}
+
+std::vector<OnlineCase> MakeOnlineCases() {
+  std::vector<OnlineCase> cases;
+  const size_t n = 8000;
+  for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
+    for (testing::SequenceCase& seq : testing::AllSequenceCases(n, 7)) {
+      for (size_t period : {13u, 500u, 10000u}) {
+        cases.push_back(OnlineCase{algorithm, seq.name, seq.values, period,
+                                   /*reorder_latency=*/2000});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string OnlineCaseName(const ::testing::TestParamInfo<OnlineCase>& info) {
+  return std::string(OnlineAlgorithmName(info.param.algorithm)) + "_" +
+         info.param.sequence_name + "_p" +
+         std::to_string(info.param.punctuation_period);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSortersAllInputs, OnlineContractTest,
+                         ::testing::ValuesIn(MakeOnlineCases()),
+                         OnlineCaseName);
+
+TEST(OnlineSorterTest, NamesAreStable) {
+  EXPECT_EQ(
+      (MakeOnlineSorter<Timestamp, IdentityTimeOf>(OnlineAlgorithm::kImpatience)
+           ->name()),
+      "Impatience");
+  EXPECT_EQ(
+      (MakeOnlineSorter<Timestamp, IdentityTimeOf>(OnlineAlgorithm::kPatience)
+           ->name()),
+      "Patience");
+  EXPECT_EQ(
+      (MakeOnlineSorter<Timestamp, IdentityTimeOf>(OnlineAlgorithm::kHeapsort)
+           ->name()),
+      "Heapsort");
+}
+
+TEST(OnlineSorterTest, MemoryReportedWhileBuffering) {
+  for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
+    auto sorter = MakeOnlineSorter<Timestamp, IdentityTimeOf>(algorithm);
+    for (Timestamp t = 0; t < 10000; ++t) sorter->Push(t * 2 + 1);
+    EXPECT_GE(sorter->MemoryBytes(), 10000 * sizeof(Timestamp))
+        << OnlineAlgorithmName(algorithm);
+    std::vector<Timestamp> out;
+    sorter->Flush(&out);
+    EXPECT_EQ(out.size(), 10000u);
+  }
+}
+
+TEST(OnlineSorterTest, InterleavedPushAndPunctuate) {
+  // Fine-grained interleaving: every push followed by a punctuation that
+  // releases it immediately (reorder latency 0 semantics).
+  for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
+    auto sorter = MakeOnlineSorter<Timestamp, IdentityTimeOf>(algorithm);
+    std::vector<Timestamp> out;
+    for (Timestamp t = 1; t <= 500; ++t) {
+      sorter->Push(t);
+      sorter->OnPunctuation(t, &out);
+      ASSERT_EQ(out.size(), static_cast<size_t>(t))
+          << OnlineAlgorithmName(algorithm);
+    }
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+}  // namespace
+}  // namespace impatience

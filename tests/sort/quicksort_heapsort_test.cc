@@ -1,0 +1,113 @@
+// Quicksort and offline-Heapsort specifics: adversarial patterns, the
+// depth-limit fallback, and heap-order edge cases.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/heapsort.h"
+#include "sort/quicksort.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+std::vector<std::vector<int>> AdversarialPatterns() {
+  std::vector<std::vector<int>> patterns;
+  // Organ pipe: 0..n/2..0.
+  {
+    std::vector<int> v;
+    for (int i = 0; i < 2000; ++i) v.push_back(i);
+    for (int i = 2000; i > 0; --i) v.push_back(i);
+    patterns.push_back(std::move(v));
+  }
+  // All equal.
+  patterns.push_back(std::vector<int>(4096, 7));
+  // Two values alternating.
+  {
+    std::vector<int> v(4001);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i % 2);
+    patterns.push_back(std::move(v));
+  }
+  // Sawtooth.
+  {
+    std::vector<int> v(5000);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i % 17);
+    patterns.push_back(std::move(v));
+  }
+  // Sorted with a single element swapped to the front.
+  {
+    std::vector<int> v(3000);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+    std::swap(v.front(), v.back());
+    patterns.push_back(std::move(v));
+  }
+  return patterns;
+}
+
+TEST(QuicksortTest, AdversarialPatterns) {
+  for (std::vector<int>& v : AdversarialPatterns()) {
+    std::vector<int> want = v;
+    std::sort(want.begin(), want.end());
+    Quicksort(v.begin(), v.end());
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(HeapsortOfflineTest, AdversarialPatterns) {
+  for (std::vector<int>& v : AdversarialPatterns()) {
+    std::vector<int> want = v;
+    std::sort(want.begin(), want.end());
+    Heapsort(v.begin(), v.end());
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(QuicksortTest, RandomizedSmallSizes) {
+  Rng rng(61);
+  for (int round = 0; round < 500; ++round) {
+    const size_t n = rng.NextBelow(200);
+    std::vector<int> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<int>(rng.NextBelow(50));
+    }
+    std::vector<int> want = v;
+    std::sort(want.begin(), want.end());
+    Quicksort(v.begin(), v.end());
+    ASSERT_EQ(v, want) << "round " << round;
+  }
+}
+
+TEST(HeapsortOfflineTest, RandomizedSmallSizes) {
+  Rng rng(67);
+  for (int round = 0; round < 500; ++round) {
+    const size_t n = rng.NextBelow(200);
+    std::vector<int> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<int>(rng.NextBelow(50));
+    }
+    std::vector<int> want = v;
+    std::sort(want.begin(), want.end());
+    Heapsort(v.begin(), v.end());
+    ASSERT_EQ(v, want) << "round " << round;
+  }
+}
+
+TEST(QuicksortTest, CustomComparatorDescending) {
+  auto v = testing::RandomSequence(5000, /*seed=*/71);
+  Quicksort(v.begin(), v.end(),
+            [](Timestamp a, Timestamp b) { return a > b; });
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_GE(v[i - 1], v[i]);
+}
+
+TEST(HeapsortOfflineTest, CustomComparatorDescending) {
+  auto v = testing::RandomSequence(5000, /*seed=*/73);
+  Heapsort(v.begin(), v.end(),
+           [](Timestamp a, Timestamp b) { return a > b; });
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_GE(v[i - 1], v[i]);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,90 @@
+// Timsort stress: galloping-heavy merges, structured adversaries, and
+// parameterized size sweeps near the algorithm's internal thresholds.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/timsort.h"
+
+namespace impatience {
+namespace {
+
+void ExpectSortsLikeStd(std::vector<int64_t> v, const char* label) {
+  std::vector<int64_t> want = v;
+  std::sort(want.begin(), want.end());
+  Timsort(v.begin(), v.end(), std::less<int64_t>());
+  EXPECT_EQ(v, want) << label;
+}
+
+TEST(TimsortStressTest, DisjointBlocksGallopEntirely) {
+  // Blocks [0..10k), [10k..20k), ... delivered in reverse block order:
+  // every merge gallops through whole blocks.
+  std::vector<int64_t> v;
+  for (int block = 9; block >= 0; --block) {
+    for (int i = 0; i < 10000; ++i) v.push_back(block * 10000 + i);
+  }
+  ExpectSortsLikeStd(std::move(v), "disjoint_blocks");
+}
+
+TEST(TimsortStressTest, OneStragglerPerBlock) {
+  // Sorted blocks with one tiny out-of-place element each: galloping must
+  // enter and exit cleanly at every block seam.
+  std::vector<int64_t> v;
+  for (int block = 0; block < 100; ++block) {
+    v.push_back(block * 1000 - 1);  // Straggler below its block.
+    for (int i = 0; i < 500; ++i) v.push_back(block * 1000 + i);
+  }
+  ExpectSortsLikeStd(std::move(v), "stragglers");
+}
+
+TEST(TimsortStressTest, AlternatingHighLow) {
+  // a[i] alternates between two interleaved ascending sequences: merges
+  // ping-pong one element at a time (gallop's worst case).
+  std::vector<int64_t> v(100001);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int64_t>(i % 2 == 0 ? i : i + 1000000);
+  }
+  ExpectSortsLikeStd(std::move(v), "alternating");
+}
+
+TEST(TimsortStressTest, SawtoothOfDescendingRuns) {
+  std::vector<int64_t> v;
+  for (int saw = 0; saw < 300; ++saw) {
+    for (int i = 60; i > 0; --i) v.push_back(saw * 7 + i);
+  }
+  ExpectSortsLikeStd(std::move(v), "sawtooth_desc");
+}
+
+class TimsortSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TimsortSizeSweep, RandomAtSize) {
+  const size_t n = GetParam();
+  Rng rng(n * 2654435761u + 1);
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int64_t>(rng.NextBelow(n + 1));
+  }
+  ExpectSortsLikeStd(std::move(v), "random_sweep");
+}
+
+TEST_P(TimsortSizeSweep, NearlySortedAtSize) {
+  const size_t n = GetParam();
+  Rng rng(n * 40503u + 3);
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int64_t>(i);
+    if (rng.NextBool(0.05)) v[i] -= static_cast<int64_t>(rng.NextBelow(40));
+  }
+  ExpectSortsLikeStd(std::move(v), "nearly_sorted_sweep");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TimsortSizeSweep,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           1000, 1024, 4095, 4096, 10000,
+                                           65536, 100000));
+
+}  // namespace
+}  // namespace impatience

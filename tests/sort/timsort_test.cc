@@ -1,0 +1,137 @@
+// Timsort-specific tests: stability, galloping paths, run-stack stress.
+
+#include "sort/timsort.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+TEST(TimsortTest, EmptyAndSingleton) {
+  std::vector<int> v;
+  Timsort(v.begin(), v.end());
+  EXPECT_TRUE(v.empty());
+  v = {5};
+  Timsort(v.begin(), v.end());
+  EXPECT_EQ(v, std::vector<int>({5}));
+}
+
+TEST(TimsortTest, IsStable) {
+  // Pairs (key, original index); equal keys must keep input order.
+  Rng rng(41);
+  std::vector<std::pair<int, int>> v;
+  for (int i = 0; i < 5000; ++i) {
+    v.emplace_back(static_cast<int>(rng.NextBelow(20)), i);  // Many ties.
+  }
+  auto by_key = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::vector<std::pair<int, int>> want = v;
+  std::stable_sort(want.begin(), want.end(), by_key);
+  Timsort(v.begin(), v.end(), by_key);
+  EXPECT_EQ(v, want);
+}
+
+TEST(TimsortTest, TriggersGallopingOnBlockInterleave) {
+  // Two long sorted blocks whose merge makes one side win long streaks,
+  // driving the merge into galloping mode.
+  std::vector<int> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(i * 2);
+  for (int i = 0; i < 10000; ++i) v.push_back(20000 + i);
+  for (int i = 0; i < 100; ++i) v.push_back(i * 200);  // scattered back
+  std::vector<int> want = v;
+  std::sort(want.begin(), want.end());
+  Timsort(v.begin(), v.end());
+  EXPECT_EQ(v, want);
+}
+
+TEST(TimsortTest, DescendingRunsReversed) {
+  std::vector<int> v;
+  for (int block = 0; block < 50; ++block) {
+    for (int i = 100; i > 0; --i) v.push_back(block * 1000 + i);
+  }
+  std::vector<int> want = v;
+  std::sort(want.begin(), want.end());
+  Timsort(v.begin(), v.end());
+  EXPECT_EQ(v, want);
+}
+
+TEST(TimsortTest, ManyShortRunsStressRunStack) {
+  Rng rng(43);
+  std::vector<int> v;
+  int base = 0;
+  for (int run = 0; run < 3000; ++run) {
+    const int len = 1 + static_cast<int>(rng.NextBelow(5));
+    base += 100;
+    for (int i = 0; i < len; ++i) v.push_back(base + i);
+    base -= 50;  // Force run breaks.
+  }
+  std::vector<int> want = v;
+  std::sort(want.begin(), want.end());
+  Timsort(v.begin(), v.end());
+  EXPECT_EQ(v, want);
+}
+
+TEST(TimsortTest, PowerOfTwoAndOffByOneSizes) {
+  for (size_t n : {31u, 32u, 33u, 63u, 64u, 65u, 127u, 128u, 129u, 255u,
+                   256u, 1023u, 1024u, 4095u, 4096u}) {
+    auto v = testing::RandomSequence(n, /*seed=*/n);
+    std::vector<Timestamp> want = v;
+    std::sort(want.begin(), want.end());
+    Timsort(v.begin(), v.end());
+    EXPECT_EQ(v, want) << "n=" << n;
+  }
+}
+
+TEST(TimsortTest, RandomizedAgainstStdStableSort) {
+  Rng rng(47);
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = rng.NextBelow(2000);
+    std::vector<std::pair<int, int>> v;
+    v.reserve(n);
+    const int key_space = 1 + static_cast<int>(rng.NextBelow(100));
+    for (size_t i = 0; i < n; ++i) {
+      v.emplace_back(static_cast<int>(rng.NextBelow(key_space)),
+                     static_cast<int>(i));
+    }
+    auto by_key = [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    };
+    std::vector<std::pair<int, int>> want = v;
+    std::stable_sort(want.begin(), want.end(), by_key);
+    Timsort(v.begin(), v.end(), by_key);
+    ASSERT_EQ(v, want) << "round " << round;
+  }
+}
+
+TEST(TimsortTest, MoveOnlyElements) {
+  // Timsort must work with move-only types (unique_ptr-like).
+  struct MoveOnly {
+    explicit MoveOnly(int v) : value(v) {}
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    MoveOnly(const MoveOnly&) = delete;
+    MoveOnly& operator=(const MoveOnly&) = delete;
+    int value;
+  };
+  Rng rng(53);
+  std::vector<MoveOnly> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.emplace_back(static_cast<int>(rng.NextBelow(100)));
+  }
+  Timsort(v.begin(), v.end(),
+          [](const MoveOnly& a, const MoveOnly& b) {
+            return a.value < b.value;
+          });
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(v[i - 1].value, v[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,129 @@
+// Timestamp-sequence generators shared across tests.
+//
+// Each generator is deterministic given the seed, and together they cover
+// the disorder patterns the paper discusses: sorted, reversed, uniformly
+// random, nearly-sorted with bounded displacement, interleaved sources, and
+// batch-upload spikes.
+
+#ifndef IMPATIENCE_TESTS_TESTING_SEQUENCES_H_
+#define IMPATIENCE_TESTS_TESTING_SEQUENCES_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timestamp.h"
+
+namespace impatience::testing {
+
+inline std::vector<Timestamp> SortedSequence(size_t n) {
+  std::vector<Timestamp> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<Timestamp>(i);
+  return v;
+}
+
+inline std::vector<Timestamp> ReversedSequence(size_t n) {
+  std::vector<Timestamp> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<Timestamp>(n - i);
+  return v;
+}
+
+inline std::vector<Timestamp> ConstantSequence(size_t n, Timestamp value) {
+  return std::vector<Timestamp>(n, value);
+}
+
+inline std::vector<Timestamp> RandomSequence(size_t n, uint64_t seed,
+                                             Timestamp max_value = 1 << 20) {
+  Rng rng(seed);
+  std::vector<Timestamp> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.NextInRange(0, max_value);
+  return v;
+}
+
+// The paper's synthetic model: start sorted, delay `percent`% of elements
+// by |N(0, stddev)| positions (timestamps moved backward).
+inline std::vector<Timestamp> NearlySortedSequence(size_t n, double percent,
+                                                   double stddev,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Timestamp> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    Timestamp t = static_cast<Timestamp>(i);
+    if (rng.NextBool(percent / 100.0)) {
+      const double delay = std::abs(rng.NextGaussian(0.0, stddev));
+      t -= static_cast<Timestamp>(delay);
+      if (t < 0) t = 0;
+    }
+    v[i] = t;
+  }
+  return v;
+}
+
+// Round-robin interleaving of `sources` sorted streams.
+inline std::vector<Timestamp> InterleavedSequence(size_t n, size_t sources,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Timestamp> next(sources);
+  for (size_t s = 0; s < sources; ++s) {
+    next[s] = static_cast<Timestamp>(rng.NextBelow(100));
+  }
+  std::vector<Timestamp> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t s = rng.NextBelow(sources);
+    v.push_back(next[s]);
+    next[s] += static_cast<Timestamp>(1 + rng.NextBelow(10));
+  }
+  return v;
+}
+
+// Long sorted stretches delivered out of order (AndroidLog-like spikes).
+inline std::vector<Timestamp> BatchUploadSequence(size_t n, size_t batch,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Timestamp>> batches;
+  Timestamp t = 0;
+  for (size_t produced = 0; produced < n;) {
+    const size_t len = std::min(batch, n - produced);
+    std::vector<Timestamp> b(len);
+    for (size_t i = 0; i < len; ++i) {
+      t += static_cast<Timestamp>(rng.NextBelow(5));
+      b[i] = t;
+    }
+    batches.push_back(std::move(b));
+    produced += len;
+  }
+  // Shuffle batch delivery order.
+  for (size_t i = batches.size(); i > 1; --i) {
+    std::swap(batches[i - 1], batches[rng.NextBelow(i)]);
+  }
+  std::vector<Timestamp> v;
+  v.reserve(n);
+  for (const auto& b : batches) v.insert(v.end(), b.begin(), b.end());
+  return v;
+}
+
+// A named family of inputs for parameterized sweeps.
+struct SequenceCase {
+  std::string name;
+  std::vector<Timestamp> values;
+};
+
+inline std::vector<SequenceCase> AllSequenceCases(size_t n, uint64_t seed) {
+  return {
+      {"sorted", SortedSequence(n)},
+      {"reversed", ReversedSequence(n)},
+      {"constant", ConstantSequence(n, 42)},
+      {"random", RandomSequence(n, seed)},
+      {"nearly_sorted_p30_d64", NearlySortedSequence(n, 30, 64, seed + 1)},
+      {"nearly_sorted_p1_d1024", NearlySortedSequence(n, 1, 1024, seed + 2)},
+      {"interleaved_8", InterleavedSequence(n, 8, seed + 3)},
+      {"batch_upload", BatchUploadSequence(n, n / 10 + 1, seed + 4)},
+  };
+}
+
+}  // namespace impatience::testing
+
+#endif  // IMPATIENCE_TESTS_TESTING_SEQUENCES_H_

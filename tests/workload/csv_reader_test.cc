@@ -1,0 +1,115 @@
+#include "workload/csv_reader.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/io.h"
+
+namespace impatience {
+namespace {
+
+TEST(CsvReaderTest, ParsesBasicRows) {
+  CsvSchema schema;
+  schema.key_column = 1;
+  schema.payload_columns[0] = 2;
+  const std::string text =
+      "ts,key,ad\n"
+      "100,7,42\n"
+      "90,3,17\n";
+  const CsvParseResult result = ParseCsvEvents(text, schema);
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.rows_bad, 0u);
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_EQ(result.events[0].sync_time, 100);
+  EXPECT_EQ(result.events[0].other_time, 100);  // Defaults to sync.
+  EXPECT_EQ(result.events[0].key, 7);
+  EXPECT_EQ(result.events[0].hash, HashKey(7));
+  EXPECT_EQ(result.events[0].payload[0], 42);
+  EXPECT_EQ(result.events[1].sync_time, 90);  // File order preserved.
+}
+
+TEST(CsvReaderTest, NoHeaderMode) {
+  CsvSchema schema;
+  schema.has_header = false;
+  const CsvParseResult result = ParseCsvEvents("5\n6\n", schema);
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.events[0].sync_time, 5);
+}
+
+TEST(CsvReaderTest, CustomDelimiterAndOtherTime) {
+  CsvSchema schema;
+  schema.delimiter = '|';
+  schema.has_header = false;
+  schema.other_time_column = 1;
+  const CsvParseResult result = ParseCsvEvents("10|20\n", schema);
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_EQ(result.events[0].sync_time, 10);
+  EXPECT_EQ(result.events[0].other_time, 20);
+}
+
+TEST(CsvReaderTest, BadRowsCountedNotFatal) {
+  CsvSchema schema;
+  schema.has_header = false;
+  schema.key_column = 1;
+  const std::string text =
+      "100,1\n"
+      "oops,2\n"       // Non-numeric sync.
+      "300\n"          // Missing key column.
+      "400,4\n";
+  const CsvParseResult result = ParseCsvEvents(text, schema);
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.rows_bad, 2u);
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_EQ(result.events[1].sync_time, 400);
+}
+
+TEST(CsvReaderTest, EmptyLinesAndCrLfTolerated) {
+  CsvSchema schema;
+  schema.has_header = false;
+  const CsvParseResult result = ParseCsvEvents("1\r\n\n2\r\n", schema);
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.rows_bad, 0u);
+}
+
+TEST(CsvReaderTest, NegativeTimestamps) {
+  CsvSchema schema;
+  schema.has_header = false;
+  const CsvParseResult result = ParseCsvEvents("-50\n", schema);
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_EQ(result.events[0].sync_time, -50);
+}
+
+TEST(CsvReaderTest, RoundTripThroughDatasetCsvExport) {
+  // datagen's CSV export (seq,sync_time,key,ad_id) must be re-ingestable.
+  SyntheticConfig config;
+  config.num_events = 500;
+  const Dataset original = GenerateSynthetic(config);
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(ExportDatasetCsv(original, path));
+
+  CsvSchema schema;
+  schema.sync_time_column = 1;
+  schema.key_column = 2;
+  schema.payload_columns[0] = 3;
+  CsvParseResult result;
+  ASSERT_TRUE(LoadCsvEvents(path, schema, &result));
+  ASSERT_EQ(result.events.size(), original.events.size());
+  EXPECT_EQ(result.rows_bad, 0u);
+  for (size_t i = 0; i < result.events.size(); ++i) {
+    EXPECT_EQ(result.events[i].sync_time, original.events[i].sync_time);
+    EXPECT_EQ(result.events[i].key, original.events[i].key);
+    EXPECT_EQ(result.events[i].payload[0], original.events[i].payload[0]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvReaderTest, MissingFileFails) {
+  CsvSchema schema;
+  CsvParseResult result;
+  EXPECT_FALSE(LoadCsvEvents("/nonexistent/file.csv", schema, &result));
+}
+
+}  // namespace
+}  // namespace impatience

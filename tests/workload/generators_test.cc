@@ -1,0 +1,255 @@
+// Workload generators: determinism, payload validity, and — most
+// importantly — that the simulated datasets reproduce the *shape* of the
+// paper's Table I / Table II statistics (see DESIGN.md "Dataset
+// substitutions").
+
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sort/disorder_stats.h"
+
+namespace impatience {
+namespace {
+
+constexpr size_t kN = 200000;  // Enough events for stable statistics.
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_events = 10000;
+  const Dataset a = GenerateSynthetic(config);
+  const Dataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.events, b.events);
+  config.seed = 43;
+  const Dataset c = GenerateSynthetic(config);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(SyntheticTest, DisorderFractionMatchesP) {
+  SyntheticConfig config;
+  config.num_events = kN;
+  config.percent_disorder = 30.0;
+  config.disorder_stddev = 64.0;
+  const Dataset d = GenerateSynthetic(config);
+  // An event is displaced iff sync_time != its sequence position; a
+  // Gaussian delay rounds to 0 sometimes, so slightly fewer than p%.
+  size_t displaced = 0;
+  for (size_t i = 0; i < d.events.size(); ++i) {
+    if (d.events[i].sync_time != static_cast<Timestamp>(i)) ++displaced;
+  }
+  const double fraction = static_cast<double>(displaced) / kN;
+  EXPECT_GT(fraction, 0.25);
+  EXPECT_LT(fraction, 0.31);
+}
+
+TEST(SyntheticTest, ZeroDisorderIsSorted) {
+  SyntheticConfig config;
+  config.num_events = 5000;
+  config.percent_disorder = 0.0;
+  const Dataset d = GenerateSynthetic(config);
+  const auto times = SyncTimes(d.events);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(SyntheticTest, DisplacementScalesWithStddev) {
+  SyntheticConfig config;
+  config.num_events = kN;
+  config.percent_disorder = 30.0;
+  config.disorder_stddev = 4.0;
+  const Timestamp small_d = MaxLateness(GenerateSynthetic(config).events);
+  config.disorder_stddev = 1024.0;
+  const Timestamp large_d = MaxLateness(GenerateSynthetic(config).events);
+  EXPECT_LT(small_d, 100);
+  EXPECT_GT(large_d, 1000);
+}
+
+TEST(SyntheticTest, PayloadsWithinConfiguredSpaces) {
+  SyntheticConfig config;
+  config.num_events = 20000;
+  config.num_keys = 7;
+  config.num_ad_ids = 13;
+  const Dataset d = GenerateSynthetic(config);
+  for (const Event& e : d.events) {
+    EXPECT_GE(e.key, 0);
+    EXPECT_LT(e.key, 7);
+    EXPECT_GE(e.payload[0], 0);
+    EXPECT_LT(e.payload[0], 13);
+    EXPECT_EQ(e.hash, HashKey(e.key));
+  }
+}
+
+// --- CloudLog shape (paper Table I / Table II, CloudLog column) ---------
+
+class CloudLogShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CloudLogConfig config;
+    config.num_events = kN;
+    dataset_ = new Dataset(GenerateCloudLog(config));
+    stats_ = new DisorderStats(ComputeDisorderStats(SyncTimes(
+        dataset_->events)));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete stats_;
+    dataset_ = nullptr;
+    stats_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static DisorderStats* stats_;
+};
+
+Dataset* CloudLogShapeTest::dataset_ = nullptr;
+DisorderStats* CloudLogShapeTest::stats_ = nullptr;
+
+TEST_F(CloudLogShapeTest, ChaoticAtFineGranularity) {
+  // Paper: avg natural run length ~2.7 events. Accept 1.5-20.
+  const double avg_run =
+      static_cast<double>(kN) / static_cast<double>(stats_->runs);
+  EXPECT_GT(avg_run, 1.5);
+  EXPECT_LT(avg_run, 20.0);
+}
+
+TEST_F(CloudLogShapeTest, WellOrderedAtCoarseGranularity) {
+  // Few interleaved runs relative to natural runs (387 vs 7.3M in paper).
+  EXPECT_LT(stats_->interleaved, stats_->runs / 20);
+  EXPECT_LT(stats_->interleaved, 5000u);
+}
+
+TEST_F(CloudLogShapeTest, FailureBurstsDisplaceFarEvents) {
+  // Paper: max displacement is a large fraction of the stream (13.6M/20M).
+  EXPECT_GT(stats_->distance, kN / 20);
+}
+
+TEST_F(CloudLogShapeTest, CompletenessMatchesTableII) {
+  // Table II: {1s} -> 98.1%, {1h} -> 100%.
+  const double at_1s = CompletenessAtLatency(dataset_->events, kSecond);
+  const double at_1h = CompletenessAtLatency(dataset_->events, kHour);
+  EXPECT_GT(at_1s, 0.90);
+  EXPECT_LT(at_1s, 0.999);
+  EXPECT_EQ(at_1h, 1.0);
+}
+
+TEST_F(CloudLogShapeTest, DeterministicForSeed) {
+  CloudLogConfig config;
+  config.num_events = 5000;
+  const Dataset a = GenerateCloudLog(config);
+  const Dataset b = GenerateCloudLog(config);
+  EXPECT_EQ(a.events, b.events);
+}
+
+// --- AndroidLog shape ----------------------------------------------------
+
+class AndroidLogShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AndroidLogConfig config;
+    config.num_events = kN;
+    // 200k events need fewer devices than the 1M default to keep the
+    // per-device span at multiple days (see the config comment).
+    config.num_devices = 8;
+    dataset_ = new Dataset(GenerateAndroidLog(config));
+    stats_ = new DisorderStats(ComputeDisorderStats(SyncTimes(
+        dataset_->events)));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete stats_;
+    dataset_ = nullptr;
+    stats_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static DisorderStats* stats_;
+};
+
+Dataset* AndroidLogShapeTest::dataset_ = nullptr;
+DisorderStats* AndroidLogShapeTest::stats_ = nullptr;
+
+TEST_F(AndroidLogShapeTest, WellOrderedAtFineGranularity) {
+  // Few, long natural runs (5560 runs over 20M in the paper, i.e. batches
+  // of thousands). At 200k events expect runs in the hundreds-to-thousands.
+  EXPECT_LT(stats_->runs, 20000u);
+  const double avg_run =
+      static_cast<double>(kN) / static_cast<double>(stats_->runs);
+  EXPECT_GT(avg_run, 20.0);
+}
+
+TEST_F(AndroidLogShapeTest, ChaoticAtCoarseGranularity) {
+  // Inversions dominated by whole-batch displacement: orders of magnitude
+  // beyond n.
+  EXPECT_GT(stats_->inversions, static_cast<uint64_t>(kN) * 100);
+}
+
+TEST_F(AndroidLogShapeTest, InterleavedBoundedByDevices) {
+  // 8 devices were used to generate the shared dataset; a batch that jumps
+  // past another batch of the same device can add a handful more.
+  EXPECT_LE(stats_->interleaved, 8u * 4);
+}
+
+TEST_F(AndroidLogShapeTest, CompletenessMatchesTableII) {
+  // Table II: {10m} -> 20.5%, {1d} -> 92.2%.
+  const double at_10m =
+      CompletenessAtLatency(dataset_->events, 10 * kMinute);
+  const double at_1d = CompletenessAtLatency(dataset_->events, kDay);
+  EXPECT_GT(at_10m, 0.05);
+  EXPECT_LT(at_10m, 0.45);
+  EXPECT_GT(at_1d, 0.80);
+  EXPECT_LT(at_1d, 0.999);
+}
+
+TEST_F(AndroidLogShapeTest, BatchesArriveInternallyOrdered) {
+  // Within an upload burst, one device's events are in event-time order:
+  // consecutive events from the same device must be non-decreasing unless a
+  // new batch started (time went backwards).
+  size_t same_device_pairs = 0;
+  size_t ordered_pairs = 0;
+  const auto& events = dataset_->events;
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].payload[1] == events[i - 1].payload[1]) {
+      ++same_device_pairs;
+      if (events[i].sync_time >= events[i - 1].sync_time) ++ordered_pairs;
+    }
+  }
+  ASSERT_GT(same_device_pairs, 0u);
+  EXPECT_GT(static_cast<double>(ordered_pairs) /
+                static_cast<double>(same_device_pairs),
+            0.95);
+}
+
+// --- Helper functions ----------------------------------------------------
+
+TEST(LatenessHelpersTest, MaxLatenessHandComputed) {
+  std::vector<Event> events(4);
+  events[0].sync_time = 10;
+  events[1].sync_time = 20;
+  events[2].sync_time = 5;   // 15 late.
+  events[3].sync_time = 18;  // 2 late.
+  EXPECT_EQ(MaxLateness(events), 15);
+}
+
+TEST(LatenessHelpersTest, CompletenessHandComputed) {
+  std::vector<Event> events(4);
+  events[0].sync_time = 10;
+  events[1].sync_time = 20;
+  events[2].sync_time = 5;   // 15 late.
+  events[3].sync_time = 18;  // 2 late.
+  EXPECT_DOUBLE_EQ(CompletenessAtLatency(events, 0), 0.5);
+  EXPECT_DOUBLE_EQ(CompletenessAtLatency(events, 2), 0.75);
+  EXPECT_DOUBLE_EQ(CompletenessAtLatency(events, 15), 1.0);
+  EXPECT_DOUBLE_EQ(CompletenessAtLatency({}, 100), 1.0);
+}
+
+TEST(LatenessHelpersTest, SortedStreamIsComplete) {
+  std::vector<Event> events(100);
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].sync_time = static_cast<Timestamp>(i);
+  }
+  EXPECT_EQ(MaxLateness(events), 0);
+  EXPECT_DOUBLE_EQ(CompletenessAtLatency(events, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace impatience

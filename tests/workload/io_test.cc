@@ -1,0 +1,98 @@
+#include "workload/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace impatience {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIoTest, BinaryRoundTrip) {
+  SyntheticConfig config;
+  config.num_events = 5000;
+  const Dataset original = GenerateSynthetic(config);
+
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveDatasetBinary(original, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetBinary(path, &loaded));
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.events, original.events);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrip) {
+  Dataset empty{"empty", {}};
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveDatasetBinary(empty, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetBinary(path, &loaded));
+  EXPECT_EQ(loaded.name, "empty");
+  EXPECT_TRUE(loaded.events.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  Dataset loaded;
+  EXPECT_FALSE(LoadDatasetBinary(TempPath("does_not_exist.bin"), &loaded));
+}
+
+TEST(DatasetIoTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a dataset file at all", f);
+  std::fclose(f);
+  Dataset loaded;
+  EXPECT_FALSE(LoadDatasetBinary(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsTruncatedFile) {
+  SyntheticConfig config;
+  config.num_events = 1000;
+  const Dataset original = GenerateSynthetic(config);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveDatasetBinary(original, path));
+
+  // Truncate the file to half its size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+  Dataset loaded;
+  EXPECT_FALSE(LoadDatasetBinary(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvExportHasHeaderAndRows) {
+  SyntheticConfig config;
+  config.num_events = 10;
+  const Dataset d = GenerateSynthetic(config);
+  const std::string path = TempPath("export.csv");
+  ASSERT_TRUE(ExportDatasetCsv(d, path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "seq,sync_time,key,ad_id\n");
+  size_t rows = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, 10u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,51 @@
+// disorder_stats: print the four disorder measures (paper §II) and the
+// lateness/completeness profile of a dataset file written by datagen.
+//
+// Usage:
+//   disorder_stats <dataset.bin> [latency_ms...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sort/disorder_stats.h"
+#include "workload/generators.h"
+#include "workload/io.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: disorder_stats <dataset.bin> [latency_ms...]\n");
+    return 2;
+  }
+  impatience::Dataset dataset;
+  if (!impatience::LoadDatasetBinary(argv[1], &dataset)) {
+    std::fprintf(stderr, "disorder_stats: cannot read %s\n", argv[1]);
+    return 1;
+  }
+
+  const auto times = impatience::SyncTimes(dataset.events);
+  const impatience::DisorderStats stats =
+      impatience::ComputeDisorderStats(times);
+
+  std::printf("dataset:     %s (%zu events)\n", dataset.name.c_str(),
+              dataset.events.size());
+  std::printf("inversions:  %llu\n",
+              static_cast<unsigned long long>(stats.inversions));
+  std::printf("distance:    %llu\n",
+              static_cast<unsigned long long>(stats.distance));
+  std::printf("runs:        %llu\n",
+              static_cast<unsigned long long>(stats.runs));
+  std::printf("interleaved: %llu\n",
+              static_cast<unsigned long long>(stats.interleaved));
+  std::printf("max lateness: %lld ms\n",
+              static_cast<long long>(impatience::MaxLateness(dataset.events)));
+
+  for (int i = 2; i < argc; ++i) {
+    const long long latency = std::atoll(argv[i]);
+    std::printf("completeness at %lld ms: %.2f%%\n", latency,
+                100 * impatience::CompletenessAtLatency(dataset.events,
+                                                        latency));
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_runs.dir/bench_fig5_runs.cc.o"
+  "CMakeFiles/bench_fig5_runs.dir/bench_fig5_runs.cc.o.d"
+  "bench_fig5_runs"
+  "bench_fig5_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

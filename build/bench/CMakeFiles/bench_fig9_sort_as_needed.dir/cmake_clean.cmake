@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sort_as_needed.dir/bench_fig9_sort_as_needed.cc.o"
+  "CMakeFiles/bench_fig9_sort_as_needed.dir/bench_fig9_sort_as_needed.cc.o.d"
+  "bench_fig9_sort_as_needed"
+  "bench_fig9_sort_as_needed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sort_as_needed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

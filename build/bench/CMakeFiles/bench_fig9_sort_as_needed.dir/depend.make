@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_sort_as_needed.
+# This may be replaced when dependencies are built.

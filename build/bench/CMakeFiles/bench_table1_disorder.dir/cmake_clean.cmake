@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_disorder.dir/bench_table1_disorder.cc.o"
+  "CMakeFiles/bench_table1_disorder.dir/bench_table1_disorder.cc.o.d"
+  "bench_table1_disorder"
+  "bench_table1_disorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_disorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

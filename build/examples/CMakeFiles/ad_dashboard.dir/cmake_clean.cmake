@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_dashboard.dir/ad_dashboard.cpp.o"
+  "CMakeFiles/ad_dashboard.dir/ad_dashboard.cpp.o.d"
+  "ad_dashboard"
+  "ad_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_alert.dir/pattern_alert.cpp.o"
+  "CMakeFiles/pattern_alert.dir/pattern_alert.cpp.o.d"
+  "pattern_alert"
+  "pattern_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

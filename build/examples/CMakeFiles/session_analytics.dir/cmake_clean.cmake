@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_analytics.dir/session_analytics.cpp.o"
+  "CMakeFiles/session_analytics.dir/session_analytics.cpp.o.d"
+  "session_analytics"
+  "session_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_common.dir/common/random.cc.o"
+  "CMakeFiles/impatience_common.dir/common/random.cc.o.d"
+  "libimpatience_common.a"
+  "libimpatience_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_sort.dir/sort/disorder_stats.cc.o"
+  "CMakeFiles/impatience_sort.dir/sort/disorder_stats.cc.o.d"
+  "libimpatience_sort.a"
+  "libimpatience_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/csv_reader.cc" "src/CMakeFiles/impatience_workload.dir/workload/csv_reader.cc.o" "gcc" "src/CMakeFiles/impatience_workload.dir/workload/csv_reader.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/impatience_workload.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/impatience_workload.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/io.cc" "src/CMakeFiles/impatience_workload.dir/workload/io.cc.o" "gcc" "src/CMakeFiles/impatience_workload.dir/workload/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_workload.dir/workload/csv_reader.cc.o"
+  "CMakeFiles/impatience_workload.dir/workload/csv_reader.cc.o.d"
+  "CMakeFiles/impatience_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/impatience_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/impatience_workload.dir/workload/io.cc.o"
+  "CMakeFiles/impatience_workload.dir/workload/io.cc.o.d"
+  "libimpatience_workload.a"
+  "libimpatience_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

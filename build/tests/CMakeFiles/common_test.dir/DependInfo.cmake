@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitvector_test.cc" "tests/CMakeFiles/common_test.dir/common/bitvector_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bitvector_test.cc.o.d"
+  "/root/repo/tests/common/check_death_test.cc" "tests/CMakeFiles/common_test.dir/common/check_death_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/check_death_test.cc.o.d"
+  "/root/repo/tests/common/memory_tracker_test.cc" "tests/CMakeFiles/common_test.dir/common/memory_tracker_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/memory_tracker_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

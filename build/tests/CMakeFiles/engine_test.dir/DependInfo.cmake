@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/aggregates_latency_test.cc" "tests/CMakeFiles/engine_test.dir/engine/aggregates_latency_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/aggregates_latency_test.cc.o.d"
+  "/root/repo/tests/engine/batch_test.cc" "tests/CMakeFiles/engine_test.dir/engine/batch_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/batch_test.cc.o.d"
+  "/root/repo/tests/engine/node_test.cc" "tests/CMakeFiles/engine_test.dir/engine/node_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/node_test.cc.o.d"
+  "/root/repo/tests/engine/ops_aggregate_test.cc" "tests/CMakeFiles/engine_test.dir/engine/ops_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/ops_aggregate_test.cc.o.d"
+  "/root/repo/tests/engine/ops_basic_test.cc" "tests/CMakeFiles/engine_test.dir/engine/ops_basic_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/ops_basic_test.cc.o.d"
+  "/root/repo/tests/engine/ops_join_session_test.cc" "tests/CMakeFiles/engine_test.dir/engine/ops_join_session_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/ops_join_session_test.cc.o.d"
+  "/root/repo/tests/engine/ops_pattern_test.cc" "tests/CMakeFiles/engine_test.dir/engine/ops_pattern_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/ops_pattern_test.cc.o.d"
+  "/root/repo/tests/engine/ops_snapshot_test.cc" "tests/CMakeFiles/engine_test.dir/engine/ops_snapshot_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/ops_snapshot_test.cc.o.d"
+  "/root/repo/tests/engine/ops_union_test.cc" "tests/CMakeFiles/engine_test.dir/engine/ops_union_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/ops_union_test.cc.o.d"
+  "/root/repo/tests/engine/pipeline_test.cc" "tests/CMakeFiles/engine_test.dir/engine/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/pipeline_test.cc.o.d"
+  "/root/repo/tests/engine/streamable_api_test.cc" "tests/CMakeFiles/engine_test.dir/engine/streamable_api_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/streamable_api_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/aggregates_latency_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/aggregates_latency_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/batch_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/batch_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/node_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/node_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/ops_aggregate_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/ops_aggregate_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/ops_basic_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/ops_basic_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/ops_join_session_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/ops_join_session_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/ops_pattern_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/ops_pattern_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/ops_snapshot_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/ops_snapshot_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/ops_union_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/ops_union_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/pipeline_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/pipeline_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/streamable_api_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/streamable_api_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sort/disorder_stats_test.cc" "tests/CMakeFiles/sort_test.dir/sort/disorder_stats_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/disorder_stats_test.cc.o.d"
+  "/root/repo/tests/sort/impatience_punctuation_test.cc" "tests/CMakeFiles/sort_test.dir/sort/impatience_punctuation_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/impatience_punctuation_test.cc.o.d"
+  "/root/repo/tests/sort/impatience_sorter_test.cc" "tests/CMakeFiles/sort_test.dir/sort/impatience_sorter_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/impatience_sorter_test.cc.o.d"
+  "/root/repo/tests/sort/merge_pool_test.cc" "tests/CMakeFiles/sort_test.dir/sort/merge_pool_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/merge_pool_test.cc.o.d"
+  "/root/repo/tests/sort/merge_test.cc" "tests/CMakeFiles/sort_test.dir/sort/merge_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/merge_test.cc.o.d"
+  "/root/repo/tests/sort/offline_sort_test.cc" "tests/CMakeFiles/sort_test.dir/sort/offline_sort_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/offline_sort_test.cc.o.d"
+  "/root/repo/tests/sort/online_contract_test.cc" "tests/CMakeFiles/sort_test.dir/sort/online_contract_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/online_contract_test.cc.o.d"
+  "/root/repo/tests/sort/quicksort_heapsort_test.cc" "tests/CMakeFiles/sort_test.dir/sort/quicksort_heapsort_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/quicksort_heapsort_test.cc.o.d"
+  "/root/repo/tests/sort/timsort_stress_test.cc" "tests/CMakeFiles/sort_test.dir/sort/timsort_stress_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/timsort_stress_test.cc.o.d"
+  "/root/repo/tests/sort/timsort_test.cc" "tests/CMakeFiles/sort_test.dir/sort/timsort_test.cc.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort/timsort_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_test.dir/sort/disorder_stats_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/disorder_stats_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/impatience_punctuation_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/impatience_punctuation_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/impatience_sorter_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/impatience_sorter_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/merge_pool_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/merge_pool_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/merge_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/merge_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/offline_sort_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/offline_sort_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/online_contract_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/online_contract_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/quicksort_heapsort_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/quicksort_heapsort_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/timsort_stress_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/timsort_stress_test.cc.o.d"
+  "CMakeFiles/sort_test.dir/sort/timsort_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/timsort_test.cc.o.d"
+  "sort_test"
+  "sort_test.pdb"
+  "sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen.dir/datagen.cc.o"
+  "CMakeFiles/datagen.dir/datagen.cc.o.d"
+  "datagen"
+  "datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

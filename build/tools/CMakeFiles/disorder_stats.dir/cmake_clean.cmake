@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disorder_stats.dir/disorder_stats_cli.cc.o"
+  "CMakeFiles/disorder_stats.dir/disorder_stats_cli.cc.o.d"
+  "disorder_stats"
+  "disorder_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disorder_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

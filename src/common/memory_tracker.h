@@ -10,6 +10,7 @@
 #ifndef IMPATIENCE_COMMON_MEMORY_TRACKER_H_
 #define IMPATIENCE_COMMON_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -21,6 +22,12 @@ namespace impatience {
 // and calls Update(bytes) whenever its footprint changes; the reservation
 // releases its bytes on destruction. Components without a tracker pass
 // nullptr and all calls become no-ops.
+//
+// Add/Sub are lock-free so reservations may be updated from concurrent
+// band tasks (partition-parallel execution). The peak is a CAS-max over
+// the post-Add total; with concurrent updates it is exact with respect to
+// the interleaving the atomics observed, which is the same guarantee a
+// sequential tracker gives for any one interleaving.
 class MemoryTracker {
  public:
   MemoryTracker() = default;
@@ -28,27 +35,36 @@ class MemoryTracker {
   MemoryTracker& operator=(const MemoryTracker&) = delete;
 
   // Current total across all live reservations, in bytes.
-  size_t current_bytes() const { return current_; }
+  size_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
 
   // Largest value current_bytes() has reached since construction/Reset.
-  size_t peak_bytes() const { return peak_; }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
   // Clears both the running total contribution baseline and the peak.
   // Live reservations keep their bytes; the peak restarts from the current
   // total.
-  void ResetPeak() { peak_ = current_; }
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
 
  private:
   friend class MemoryReservation;
 
   void Add(size_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    const size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
   }
-  void Sub(size_t bytes) { current_ -= bytes; }
+  void Sub(size_t bytes) { current_.fetch_sub(bytes, std::memory_order_relaxed); }
 
-  size_t current_ = 0;
-  size_t peak_ = 0;
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
 };
 
 // One reporting site's stake in a MemoryTracker. Movable, not copyable.

@@ -1,0 +1,171 @@
+// A fixed-size work-stealing thread pool for the engine's hot paths.
+//
+// Design: each worker owns a deque; the owner pushes and pops at the back
+// (LIFO keeps the working set of a fork/join tree cache-hot) while idle
+// workers steal from the front (FIFO takes the oldest — typically largest —
+// subtree). Tasks submitted from non-worker threads land in a shared
+// injector queue. Fork/join is expressed with TaskGroup, whose Wait() helps
+// execute queued tasks instead of blocking, so nested joins (a parallel
+// merge inside a parallel band task) cannot starve the pool.
+//
+// Sizing: the process-wide pool is sized by $IMPATIENCE_THREADS (default
+// hardware_concurrency()). A pool of size 1 spawns no workers and runs
+// every task inline at submission, which makes all parallel code paths
+// byte-for-byte identical to the sequential ones — the paper's
+// single-thread evaluation and all existing bench numbers are reproduced
+// by IMPATIENCE_THREADS=1.
+
+#ifndef IMPATIENCE_COMMON_THREAD_POOL_H_
+#define IMPATIENCE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace impatience {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  // A pool with `threads` degrees of parallelism: threads-1 workers plus
+  // the submitting thread, which participates in TaskGroup::Wait().
+  // threads == 1 spawns no workers and runs everything inline.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Degrees of parallelism (callers size their task fan-out by this).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  // The process-wide pool, created on first use and sized by
+  // $IMPATIENCE_THREADS (default hardware_concurrency(), minimum 1).
+  static ThreadPool& Global();
+
+  // Replaces the global pool with one of `threads` threads. The global
+  // pool must be idle (no in-flight TaskGroup). Benchmarks use this to
+  // sweep thread counts within one process.
+  static void SetGlobalThreads(size_t threads);
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  // One worker's deque. A mutex per deque is cheap at this pool's task
+  // granularity (punctuation rounds, multi-hundred-KB merges).
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  // Enqueues a task: the back of the current worker's deque when called
+  // from a worker of this pool, the injector queue otherwise.
+  void Submit(Task task);
+
+  // Pops or steals one task and runs it. Returns false if every queue was
+  // empty. Used by workers and by TaskGroup::Wait() helpers.
+  bool RunOneTask(size_t home);
+
+  static void Execute(Task& task);
+  void WorkerLoop(size_t index);
+  bool PopFrom(WorkerQueue& q, bool back, Task* out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // one per worker
+  WorkerQueue injector_;                              // external submissions
+  std::vector<std::thread> workers_;
+
+  std::atomic<size_t> pending_{0};  // queued (not yet running) tasks
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  bool stop_ = false;
+};
+
+// A fork/join scope: Run() schedules tasks on the pool, Wait() blocks until
+// every task scheduled through this group — including tasks the tasks
+// themselves add — has finished. With a 1-thread pool Run() executes the
+// task inline, in submission order.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool = nullptr)
+      : pool_(pool != nullptr ? pool : &ThreadPool::Global()) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup() { Wait(); }
+
+  void Run(std::function<void()> fn) {
+    if (pool_->thread_count() == 1) {
+      fn();
+      return;
+    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit(ThreadPool::Task{std::move(fn), this});
+  }
+
+  // Helps execute queued tasks while waiting; safe to call from inside a
+  // task running on the same pool (nested fork/join).
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  // The decrement happens under mu_ so that a waiter that has observed
+  // outstanding_ == 0 can synchronize with the final notifier by taking
+  // mu_ once before returning from Wait() — otherwise the group could be
+  // destroyed while the last task is still inside this critical section.
+  void OnTaskDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      cv_.notify_all();
+    }
+  }
+
+  ThreadPool* pool_;
+  std::atomic<size_t> outstanding_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+// Runs fn(chunk_begin, chunk_end) over [begin, end) in parallel chunks of
+// at least `grain` indices (the whole range inline when the pool is serial
+// or the range is a single grain). Chunks are disjoint and cover the range
+// exactly once; no ordering is guaranteed between chunks.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn,
+                 ThreadPool* pool = nullptr) {
+  if (begin >= end) return;
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::Global();
+  const size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  if (tp.thread_count() == 1 || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  // Oversplit ~4x relative to the thread count so stealing can rebalance
+  // uneven chunks, but never below the grain.
+  size_t chunk = (n + tp.thread_count() * 4 - 1) / (tp.thread_count() * 4);
+  if (chunk < grain) chunk = grain;
+  TaskGroup group(&tp);
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = lo + chunk < end ? lo + chunk : end;
+    group.Run([&fn, lo, hi] { fn(lo, hi); });
+  }
+  group.Wait();
+}
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_THREAD_POOL_H_

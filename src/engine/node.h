@@ -8,7 +8,11 @@
 //                           punctuation precedes it).
 //
 // Nodes are single-threaded, mirroring the paper's single-thread
-// evaluation; the Graph owns every node.
+// evaluation; the Graph owns every node. The one sanctioned exception is
+// band-parallel framework execution (framework/impatience_framework.h):
+// each band's share-nothing subplan runs on a pool task between fork/join
+// barriers, and every individual node is still only ever driven by one
+// thread at a time.
 
 #ifndef IMPATIENCE_ENGINE_NODE_H_
 #define IMPATIENCE_ENGINE_NODE_H_

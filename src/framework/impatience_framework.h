@@ -27,6 +27,7 @@
 #include "common/check.h"
 #include "common/event.h"
 #include "common/memory_tracker.h"
+#include "common/thread_pool.h"
 #include "engine/batch.h"
 #include "engine/node.h"
 #include "engine/ops_sort.h"
@@ -43,6 +44,59 @@ struct FrameworkOptions {
   // Events between consecutive punctuation rounds at the partition.
   size_t punctuation_period = 10000;
   ImpatienceConfig sorter_config;
+  // Run each band's subplan (sort + PIQ) as a pool task per punctuation
+  // round. Bands are share-nothing up to the union chain; a staging
+  // operator per band captures the subplan's output and replays it in
+  // band order after the join, so the combined output is identical to
+  // sequential execution.
+  bool parallel_bands = false;
+  // Pool for band tasks; nullptr means the process-global pool.
+  ThreadPool* thread_pool = nullptr;
+};
+
+// Buffers every message a band's subplan emits during a parallel round so
+// the single-threaded union chain can consume them after the fork/join
+// barrier. One writer (the band task) fills it; Replay() drains it on the
+// coordinating thread.
+template <int W>
+class BandStageOp : public Operator<W, W> {
+ public:
+  void OnBatch(const EventBatch<W>& batch) override {
+    msgs_.push_back(Msg{MsgKind::kBatch, batch, kMinTimestamp});
+  }
+  void OnPunctuation(Timestamp t) override {
+    msgs_.push_back(Msg{MsgKind::kPunctuation, {}, t});
+  }
+  void OnFlush() override {
+    msgs_.push_back(Msg{MsgKind::kFlush, {}, kMinTimestamp});
+  }
+
+  // Forwards the buffered messages downstream in arrival order.
+  void Replay() {
+    for (Msg& m : msgs_) {
+      switch (m.kind) {
+        case MsgKind::kBatch:
+          this->downstream()->OnBatch(m.batch);
+          break;
+        case MsgKind::kPunctuation:
+          this->downstream()->OnPunctuation(m.t);
+          break;
+        case MsgKind::kFlush:
+          this->downstream()->OnFlush();
+          break;
+      }
+    }
+    msgs_.clear();
+  }
+
+ private:
+  enum class MsgKind { kBatch, kPunctuation, kFlush };
+  struct Msg {
+    MsgKind kind;
+    EventBatch<W> batch;
+    Timestamp t;
+  };
+  std::vector<Msg> msgs_;
 };
 
 // Routes events to latency bands and self-punctuates each band at
@@ -87,10 +141,37 @@ class PartitionOp : public Sink<W> {
   void OnPunctuation(Timestamp) override {}
 
   void OnFlush() override {
+    if (parallel_) {
+      TaskGroup group(pool_);
+      for (Band& b : bands_) {
+        Band* band = &b;
+        group.Run([band] {
+          band->DeliverPending();
+          band->builder.Flush(band->head);
+          band->head->OnFlush();
+        });
+      }
+      group.Wait();
+      for (BandStageOp<W>* stage : stages_) stage->Replay();
+      return;
+    }
     for (Band& band : bands_) {
       band.builder.Flush(band.head);
       band.head->OnFlush();
     }
+  }
+
+  // Switches to band-parallel execution: events are staged per band and
+  // each punctuation round delivers, flushes, and punctuates every band as
+  // one pool task, with `stages` (one per band, at the tail of each band's
+  // subplan) replayed in band order after the join. Call after all
+  // SetBandDownstream wiring and before any data flows.
+  void EnableParallelBands(ThreadPool* pool,
+                           std::vector<BandStageOp<W>*> stages) {
+    IMPATIENCE_CHECK(stages.size() == bands_.size());
+    pool_ = pool != nullptr ? pool : &ThreadPool::Global();
+    stages_ = std::move(stages);
+    parallel_ = true;
   }
 
   // Events later than the largest latency (discarded).
@@ -105,6 +186,16 @@ class PartitionOp : public Sink<W> {
     BatchBuilder<W> builder;
     Sink<W>* head = nullptr;
     Timestamp last_punctuation = kMinTimestamp;
+    // Events staged since the last punctuation round (parallel mode only).
+    std::vector<BasicEvent<W>> pending;
+
+    // Appends the staged events in arrival order. SortOp buffers until
+    // punctuation, so deferring delivery to the round boundary is
+    // invisible downstream.
+    void DeliverPending() {
+      for (const BasicEvent<W>& e : pending) builder.Append(e, head);
+      pending.clear();
+    }
   };
 
   void Route(const BasicEvent<W>& e) {
@@ -121,6 +212,9 @@ class PartitionOp : public Sink<W> {
     }
     if (band == bands_.size()) {
       ++dropped_;  // Later than every latency the user asked for.
+    } else if (parallel_) {
+      bands_[band].pending.push_back(e);
+      ++band_counts_[band];
     } else {
       bands_[band].builder.Append(e, bands_[band].head);
       ++band_counts_[band];
@@ -133,6 +227,10 @@ class PartitionOp : public Sink<W> {
   }
 
   void PunctuateBands() {
+    if (parallel_) {
+      PunctuateBandsParallel();
+      return;
+    }
     for (size_t i = 0; i < bands_.size(); ++i) {
       const Timestamp p = high_watermark_ - latencies_[i];
       if (p > bands_[i].last_punctuation) {
@@ -143,6 +241,29 @@ class PartitionOp : public Sink<W> {
     }
   }
 
+  // One pool task per band: deliver the staged slice, then punctuate. The
+  // tasks are share-nothing (disjoint Band state and subplan nodes; the
+  // MemoryTracker is atomic); each band's output is captured by its stage
+  // and replayed in band order after the join, so downstream sees exactly
+  // the sequential message sequence.
+  void PunctuateBandsParallel() {
+    TaskGroup group(pool_);
+    for (size_t i = 0; i < bands_.size(); ++i) {
+      Band* band = &bands_[i];
+      const Timestamp p = high_watermark_ - latencies_[i];
+      group.Run([band, p] {
+        band->DeliverPending();
+        if (p > band->last_punctuation) {
+          band->builder.Flush(band->head);
+          band->head->OnPunctuation(p);
+          band->last_punctuation = p;
+        }
+      });
+    }
+    group.Wait();
+    for (BandStageOp<W>* stage : stages_) stage->Replay();
+  }
+
   std::vector<Timestamp> latencies_;
   size_t punctuation_period_;
   std::vector<Band> bands_;
@@ -150,6 +271,9 @@ class PartitionOp : public Sink<W> {
   Timestamp high_watermark_ = kMinTimestamp;
   size_t since_punctuation_ = 0;
   uint64_t dropped_ = 0;
+  bool parallel_ = false;
+  ThreadPool* pool_ = nullptr;
+  std::vector<BandStageOp<W>*> stages_;
 };
 
 // The sequence of output streams the framework produces. stream(i) carries
@@ -220,17 +344,33 @@ Streamables<W> ToStreamables(const DisorderedStreamable<W>& source,
     return fn ? fn(s) : s;
   };
 
-  // Per-band: sort, then PIQ.
+  ThreadPool* pool = options.thread_pool != nullptr ? options.thread_pool
+                                                    : &ThreadPool::Global();
+  const bool parallel_bands =
+      options.parallel_bands && k > 1 && pool->thread_count() > 1;
+
+  // Per-band: sort, then PIQ; in parallel mode a staging operator caps
+  // each band's subplan so the single-threaded union chain runs strictly
+  // after the per-round fork/join barrier.
   std::vector<SortOp<W>*> sorts;
   std::vector<Emitter<W>*> piq_tails;
+  std::vector<BandStageOp<W>*> stages;
   sorts.reserve(k);
   piq_tails.reserve(k);
   for (size_t i = 0; i < k; ++i) {
     auto* sort = graph.Make<SortOp<W>>(options.sorter_config, ctx->tracker);
     partition->SetBandDownstream(i, sort);
     sorts.push_back(sort);
-    piq_tails.push_back(apply(piq, sort).tail());
+    Emitter<W>* tail = apply(piq, sort).tail();
+    if (parallel_bands) {
+      auto* stage = graph.Make<BandStageOp<W>>();
+      tail->SetDownstream(stage);
+      stages.push_back(stage);
+      tail = stage;
+    }
+    piq_tails.push_back(tail);
   }
+  if (parallel_bands) partition->EnableParallelBands(pool, std::move(stages));
 
   // Union chain with merge stages; tee every combined stream that both
   // feeds the next union and serves subscribers.

@@ -29,6 +29,7 @@
 
 #include "common/check.h"
 #include "common/event.h"
+#include "common/thread_pool.h"
 #include "common/timestamp.h"
 #include "sort/merge.h"
 #include "sort/run_select.h"
@@ -50,6 +51,17 @@ struct ImpatienceConfig {
   // at least kCompactMinBytes) is compacted to reclaim memory.
   double compact_fraction = 0.5;
   size_t compact_min_bytes = 4096;
+
+  // Parallel punctuation merges (kHuffman policy only): when a punctuation
+  // releases at least `parallel_merge_min_runs` head runs totalling at
+  // least `parallel_merge_min_bytes`, the head runs are merged as a task
+  // DAG on the thread pool (see ParallelMergeRunsInto). Output is
+  // byte-identical to the sequential merge; with a 1-thread pool the
+  // sequential path always runs.
+  bool parallel_merge = true;
+  size_t parallel_merge_min_runs = 4;
+  size_t parallel_merge_min_bytes = size_t{1} << 20;
+  ThreadPool* thread_pool = nullptr;  // nullptr = ThreadPool::Global()
 };
 
 // Counters exposed for tests and ablation benchmarks.
@@ -59,6 +71,8 @@ struct ImpatienceCounters {
   uint64_t new_runs = 0;        // Runs created over the sorter's lifetime.
   uint64_t removed_runs = 0;    // Runs cleaned up after punctuations.
   uint64_t compactions = 0;     // Run storage compactions.
+  uint64_t parallel_merges = 0;  // Punctuation merges run on the pool.
+  uint64_t merge_tasks = 0;      // Pool tasks across all parallel merges.
   MergeStats merge;             // Merge work across all punctuations.
 };
 
@@ -136,6 +150,9 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
                                               : kMaxTimestamp;
     }
     buffered_ -= emitted;
+    // Size the output once up front so neither the fast path nor the merge
+    // reallocates mid-emit.
+    out->reserve(out->size() + emitted);
 
     if (cut_runs_.size() == 1) {
       // Fast path: one head run goes straight to the output.
@@ -159,8 +176,22 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
       auto less = [this](const T& a, const T& b) {
         return time_of_(a) < time_of_(b);
       };
-      MergeRunsInto(config_.merge_policy, &heads, less, out,
-                    &counters_.merge, &pool_);
+      if (config_.parallel_merge &&
+          config_.merge_policy == MergePolicy::kHuffman) {
+        ParallelMergeOptions po;
+        po.min_runs = config_.parallel_merge_min_runs;
+        po.min_total_bytes = config_.parallel_merge_min_bytes;
+        po.pool = config_.thread_pool;
+        const size_t tasks = ParallelMergeRunsInto(
+            &heads, less, out, &counters_.merge, &pool_, po);
+        if (tasks > 0) {
+          ++counters_.parallel_merges;
+          counters_.merge_tasks += tasks;
+        }
+      } else {
+        MergeRunsInto(config_.merge_policy, &heads, less, out,
+                      &counters_.merge, &pool_);
+      }
     }
 
     RemoveEmptyRunsAndCompact();
@@ -232,15 +263,22 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
         continue;  // Run fully emitted: drop it (§III-D "cleanup").
       }
       // Compact runs whose consumed prefix dominates their storage, so
-      // memory usage tracks the live buffer rather than history.
+      // memory usage tracks the live buffer rather than history. The live
+      // suffix moves into a pool-acquired buffer and the old storage goes
+      // back to the pool — erase + shrink_to_fit would instead free the
+      // storage and force a fresh allocation on the next append.
       if (run.head > 0 &&
           run.head * sizeof(T) >= config_.compact_min_bytes &&
           static_cast<double>(run.head) >
               config_.compact_fraction *
                   static_cast<double>(run.items.size())) {
-        run.items.erase(run.items.begin(),
-                        run.items.begin() + static_cast<ptrdiff_t>(run.head));
-        run.items.shrink_to_fit();
+        std::vector<T> compacted = pool_.Acquire(run.live_size());
+        compacted.insert(compacted.end(),
+                         run.items.begin() +
+                             static_cast<ptrdiff_t>(run.head),
+                         run.items.end());
+        pool_.Release(std::move(run.items));
+        run.items = std::move(compacted);
         run.head = 0;
         ++counters_.compactions;
       }

@@ -19,13 +19,17 @@
 #define IMPATIENCE_SORT_MERGE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <queue>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace impatience {
 
@@ -133,20 +137,17 @@ const T* GallopUpperBound(const T* first, const T* last, const T& key,
 
 }  // namespace merge_internal
 
-// Merges two sorted sequences into `out` (appended). Stable: on ties,
-// elements of `a` precede elements of `b`. Switches to galloping bulk
-// copies when one side wins repeatedly.
+// Merges the sorted ranges [pa, ea) and [pb, eb) into `out` (appended).
+// Stable: on ties, elements of the `a` range precede elements of the `b`
+// range. Switches to galloping bulk copies when one side wins repeatedly.
 template <typename T, typename Less>
-void BinaryMergeInto(const std::vector<T>& a, const std::vector<T>& b,
-                     Less less, std::vector<T>* out) {
+void BinaryMergeRangesInto(const T* pa, const T* ea, const T* pb,
+                           const T* eb, Less less, std::vector<T>* out) {
   using merge_internal::GallopLowerBound;
   using merge_internal::GallopUpperBound;
   using merge_internal::kGallopThreshold;
-  out->reserve(out->size() + a.size() + b.size());
-  const T* pa = a.data();
-  const T* ea = pa + a.size();
-  const T* pb = b.data();
-  const T* eb = pb + b.size();
+  out->reserve(out->size() + static_cast<size_t>(ea - pa) +
+               static_cast<size_t>(eb - pb));
   int streak_a = 0;
   int streak_b = 0;
   // Branch-light loop: the taken/not-taken pattern of a merge is
@@ -176,6 +177,51 @@ void BinaryMergeInto(const std::vector<T>& a, const std::vector<T>& b,
   }
   out->insert(out->end(), pa, ea);
   out->insert(out->end(), pb, eb);
+}
+
+// Vector-input convenience over BinaryMergeRangesInto.
+template <typename T, typename Less>
+void BinaryMergeInto(const std::vector<T>& a, const std::vector<T>& b,
+                     Less less, std::vector<T>* out) {
+  BinaryMergeRangesInto(a.data(), a.data() + a.size(), b.data(),
+                        b.data() + b.size(), less, out);
+}
+
+// Merges [pa, ea) and [pb, eb) into the pre-sized destination starting at
+// `dst` (the caller guarantees room for both ranges). Element order is
+// identical to BinaryMergeRangesInto; used by the parallel merge to let two
+// tasks write disjoint halves of one output. Returns one past the last
+// element written.
+template <typename T, typename Less>
+T* BinaryMergeToPtr(const T* pa, const T* ea, const T* pb, const T* eb,
+                    Less less, T* dst) {
+  using merge_internal::GallopLowerBound;
+  using merge_internal::GallopUpperBound;
+  using merge_internal::kGallopThreshold;
+  int streak_a = 0;
+  int streak_b = 0;
+  while (pa != ea && pb != eb) {
+    const bool take_b = less(*pb, *pa);
+    const T* src = take_b ? pb : pa;
+    *dst++ = *src;
+    pb += take_b ? 1 : 0;
+    pa += take_b ? 0 : 1;
+    streak_b = take_b ? streak_b + 1 : 0;
+    streak_a = take_b ? 0 : streak_a + 1;
+    if (streak_b >= kGallopThreshold && pb != eb) {
+      const T* end = GallopLowerBound(pb, eb, *pa, less);
+      dst = std::copy(pb, end, dst);
+      pb = end;
+      streak_b = 0;
+    } else if (streak_a >= kGallopThreshold && pa != ea) {
+      const T* end = GallopUpperBound(pa, ea, *pb, less);
+      dst = std::copy(pa, end, dst);
+      pa = end;
+      streak_a = 0;
+    }
+  }
+  dst = std::copy(pa, ea, dst);
+  return std::copy(pb, eb, dst);
 }
 
 // Statistics describing the work a merge performed; used by ablation
@@ -249,6 +295,200 @@ void HuffmanMergeInto(std::vector<std::vector<T>>* runs, Less less,
     heap.push(a);
   }
   rs.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Huffman merge.
+
+// Per-worker buffer pool for parallel merges. MergeBufferPool is not
+// thread-safe and must not be shared across workers without ownership
+// handoff; instead every thread acquires from and releases into its own
+// thread-local pool, capped so idle workers do not hoard scratch forever.
+inline constexpr size_t kWorkerMergePoolMaxBytes = size_t{32} << 20;
+
+template <typename T>
+MergeBufferPool<T>& WorkerMergePool() {
+  thread_local MergeBufferPool<T> pool;
+  return pool;
+}
+
+// Tuning for ParallelMergeRunsInto.
+struct ParallelMergeOptions {
+  // Fall back to sequential HuffmanMergeInto when the run set is smaller
+  // than either threshold (task overhead would dominate) or the pool is
+  // serial.
+  size_t min_total_bytes = size_t{1} << 20;
+  size_t min_runs = 3;
+  ThreadPool* pool = nullptr;  // nullptr = ThreadPool::Global()
+};
+
+// Merges `runs` smallest-two-first like HuffmanMergeInto, but executes the
+// merge tree as a task DAG on the thread pool: the plan phase replays the
+// exact size-heap HuffmanMergeInto would use (same pairs, same left/right
+// roles, so the same stability decisions), leaf pairs then merge
+// concurrently, every interior merge starts as soon as its two inputs are
+// ready, and the final binary merge is split at a GallopLowerBound midpoint
+// so both halves of the output are written in parallel into the pre-sized
+// destination. Output and MergeStats are byte-identical to
+// HuffmanMergeInto on the same input.
+//
+// Consumes the run contents. `pool` recycles buffers on the sequential
+// fallback only; parallel tasks use per-worker pools. Requires T
+// default-constructible (the output is resized up front). Returns the
+// number of pool tasks the merge used — 0 means the sequential fallback
+// ran.
+template <typename T, typename Less>
+size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
+                             std::vector<T>* out,
+                             MergeStats* stats = nullptr,
+                             std::type_identity_t<MergeBufferPool<T>*> pool =
+                                 nullptr,
+                             const ParallelMergeOptions& options = {}) {
+  static_assert(std::is_default_constructible_v<T>,
+                "parallel merge resizes the output vector");
+  std::vector<std::vector<T>>& rs = *runs;
+  merge_internal::DropEmptyRuns(&rs);
+  size_t total = 0;
+  for (const std::vector<T>& r : rs) total += r.size();
+  ThreadPool& tp =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
+  const size_t min_runs = options.min_runs < 2 ? 2 : options.min_runs;
+  if (tp.thread_count() < 2 || rs.size() < min_runs ||
+      total * sizeof(T) < options.min_total_bytes) {
+    HuffmanMergeInto(&rs, less, out, stats, pool);
+    return 0;
+  }
+
+  // Plan: replay HuffmanMergeInto's heap over run sizes alone. slot[i]
+  // tracks which merge result currently occupies heap slot i (mirroring
+  // the sequential in-place rs[a] = merged).
+  const size_t k = rs.size();
+  struct Node {
+    int32_t left = -1;   // Child id: [0, k) = input run, >= k = node id-k.
+    int32_t right = -1;
+    int32_t parent = -1;
+    size_t size = 0;
+    std::atomic<int> missing{0};  // Interior children not yet merged.
+    std::vector<T> buf;
+  };
+  std::vector<Node> nodes(k - 1);
+  std::vector<size_t> sizes(k);
+  std::vector<int32_t> slot(k);
+  for (size_t i = 0; i < k; ++i) {
+    sizes[i] = rs[i].size();
+    slot[i] = static_cast<int32_t>(i);
+  }
+  auto size_greater = [&sizes](size_t a, size_t b) {
+    return sizes[a] > sizes[b];
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(size_greater)>
+      heap(size_greater);
+  for (size_t i = 0; i < k; ++i) heap.push(i);
+  // Nodes whose children are both input runs, collected at plan time: the
+  // missing counters start changing the moment tasks run, so the initial
+  // ready set cannot be read from them later.
+  std::vector<size_t> ready;
+  size_t next = 0;
+  for (;;) {
+    const size_t a = heap.top();
+    heap.pop();
+    const size_t b = heap.top();
+    heap.pop();
+    if (stats != nullptr) {
+      stats->elements_moved += sizes[a] + sizes[b];
+      ++stats->binary_merges;
+    }
+    Node& nd = nodes[next];
+    nd.left = slot[a];
+    nd.right = slot[b];
+    nd.size = sizes[a] + sizes[b];
+    int missing = 0;
+    if (nd.left >= static_cast<int32_t>(k)) {
+      nodes[nd.left - k].parent = static_cast<int32_t>(next);
+      ++missing;
+    }
+    if (nd.right >= static_cast<int32_t>(k)) {
+      nodes[nd.right - k].parent = static_cast<int32_t>(next);
+      ++missing;
+    }
+    nd.missing.store(missing, std::memory_order_relaxed);
+    if (missing == 0) ready.push_back(next);
+    if (heap.empty()) break;
+    sizes[a] = nd.size;
+    slot[a] = static_cast<int32_t>(k + next);
+    ++next;
+    heap.push(a);
+  }
+  const size_t final_node = next;  // == k - 2
+
+  auto child = [&rs, &nodes, k](int32_t id) -> std::vector<T>& {
+    return id < static_cast<int32_t>(k)
+               ? rs[id]
+               : nodes[id - static_cast<int32_t>(k)].buf;
+  };
+  auto child_size = [&rs, &nodes, k](int32_t id) {
+    return id < static_cast<int32_t>(k)
+               ? rs[id].size()
+               : nodes[id - static_cast<int32_t>(k)].size;
+  };
+  // Split the final merge in two whenever the left side has a midpoint to
+  // pivot on (both thresholds already passed for the run set as a whole).
+  const bool split_final = child_size(nodes[final_node].left) >= 2;
+
+  const size_t out0 = out->size();
+  out->resize(out0 + total);  // Pre-sized so halves can write in place.
+
+  TaskGroup group(&tp);
+  std::function<void(size_t)> exec_node = [&](size_t j) {
+    Node& nd = nodes[j];
+    std::vector<T>& a = child(nd.left);
+    std::vector<T>& b = child(nd.right);
+    if (j == final_node) {
+      T* dst = out->data() + out0;
+      const T* pa = a.data();
+      const T* ea = pa + a.size();
+      const T* pb = b.data();
+      const T* eb = pb + b.size();
+      if (split_final) {
+        // Everything strictly below the left midpoint forms the first
+        // half; ties sit at the boundary exactly as the stable sequential
+        // merge would place them (left's equals first).
+        const size_t ma = a.size() / 2;
+        const T* bsplit = merge_internal::GallopLowerBound(pb, eb, pa[ma],
+                                                           less);
+        T* mid = dst + ma + static_cast<size_t>(bsplit - pb);
+        group.Run([pa, ma, pb, bsplit, dst, &less] {
+          BinaryMergeToPtr(pa, pa + ma, pb, bsplit, less, dst);
+        });
+        group.Run([pa, ma, ea, bsplit, eb, mid, &less] {
+          BinaryMergeToPtr(pa + ma, ea, bsplit, eb, less, mid);
+        });
+      } else {
+        BinaryMergeToPtr(pa, ea, pb, eb, less, dst);
+      }
+      // The final inputs are freed by the caller (rs.clear() / ~nodes),
+      // matching the sequential merge, which does not pool them either.
+      return;
+    }
+    MergeBufferPool<T>& worker_pool = WorkerMergePool<T>();
+    nd.buf = worker_pool.Acquire(nd.size);
+    BinaryMergeRangesInto(a.data(), a.data() + a.size(), b.data(),
+                          b.data() + b.size(), less, &nd.buf);
+    worker_pool.Release(std::move(a));
+    worker_pool.Release(std::move(b));
+    worker_pool.Trim(kWorkerMergePoolMaxBytes);
+    Node& parent = nodes[nd.parent];
+    if (parent.missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const size_t p = static_cast<size_t>(nd.parent);
+      group.Run([&exec_node, p] { exec_node(p); });
+    }
+  };
+  for (const size_t j : ready) {
+    group.Run([&exec_node, j] { exec_node(j); });
+  }
+  group.Wait();
+  rs.clear();
+  return (k - 1) + (split_final ? 2 : 0);
 }
 
 // Merges `runs` pairwise in rounds (run 0 with run 1, run 2 with run 3,

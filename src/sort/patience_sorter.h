@@ -15,10 +15,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/event.h"
+#include "common/thread_pool.h"
 #include "common/timestamp.h"
 #include "sort/merge.h"
 #include "sort/run_select.h"
@@ -171,17 +173,41 @@ void PatienceSortVector(std::vector<T>* items,
   run_of.clear();
   run_of.shrink_to_fit();
 
-  // Merge phase over keys.
+  // Merge phase over keys. The Huffman order additionally admits the
+  // parallel task-DAG merge (identical output; sequential on a 1-thread
+  // pool or below the size thresholds).
   std::vector<KeyRef> order;
   order.reserve(n);
   auto key_less = [](const KeyRef& a, const KeyRef& b) {
     return a.time < b.time;
   };
-  MergeRunsInto(merge_policy, &runs, key_less, &order);
+  if (merge_policy == MergePolicy::kHuffman) {
+    ParallelMergeRunsInto(&runs, key_less, &order);
+  } else {
+    MergeRunsInto(merge_policy, &runs, key_less, &order);
+  }
 
   // Gather the records in sorted order (near-sequential on nearly sorted
-  // input).
+  // input). The permutation writes disjoint output chunks, so large
+  // gathers run on the pool.
   std::vector<T> out;
+  if constexpr (std::is_default_constructible_v<T>) {
+    ThreadPool& tp = ThreadPool::Global();
+    if (tp.thread_count() > 1 && n >= (size_t{1} << 16)) {
+      out.resize(n);
+      std::vector<T>& in = *items;
+      ParallelFor(
+          0, n, size_t{1} << 14,
+          [&out, &order, &in](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              out[i] = std::move(in[order[i].index]);
+            }
+          },
+          &tp);
+      *items = std::move(out);
+      return;
+    }
+  }
   out.reserve(n);
   for (const KeyRef& key : order) {
     out.push_back(std::move((*items)[key.index]));

@@ -1,0 +1,237 @@
+// The parallel Huffman merge must be byte-identical to the sequential
+// HuffmanMergeInto — same elements, same order on ties, same MergeStats —
+// at every thread count, and ImpatienceSorter's parallel punctuation path
+// must match a sequential oracle under stress.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "sort/impatience_sorter.h"
+#include "sort/merge.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+std::less<int> IntLess() { return std::less<int>(); }
+
+std::vector<std::vector<int>> MakeRuns(const std::vector<size_t>& lengths,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> runs;
+  for (const size_t len : lengths) {
+    std::vector<int> run(len);
+    int v = static_cast<int>(rng.NextBelow(10));
+    for (size_t i = 0; i < len; ++i) {
+      v += static_cast<int>(rng.NextBelow(5));
+      run[i] = v;
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+// Options that force the parallel path for any non-trivial run set.
+ParallelMergeOptions Eager(ThreadPool* pool) {
+  ParallelMergeOptions options;
+  options.min_total_bytes = 0;
+  options.min_runs = 2;
+  options.pool = pool;
+  return options;
+}
+
+TEST(ParallelMergeTest, IdenticalToSequentialAcrossThreadCounts) {
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                               size_t{16}}) {
+    ThreadPool pool(threads);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Rng rng(2000 + seed);
+      std::vector<size_t> lengths;
+      const size_t k = 2 + rng.NextBelow(40);
+      for (size_t i = 0; i < k; ++i) lengths.push_back(rng.NextBelow(500));
+      auto runs = MakeRuns(lengths, seed);
+      auto runs_seq = runs;
+
+      std::vector<int> want;
+      MergeStats want_stats;
+      HuffmanMergeInto(&runs_seq, IntLess(), &want, &want_stats);
+
+      std::vector<int> got;
+      MergeStats got_stats;
+      const size_t tasks = ParallelMergeRunsInto(
+          &runs, IntLess(), &got, &got_stats, nullptr, Eager(&pool));
+      ASSERT_EQ(got, want) << "threads " << threads << " seed " << seed;
+      EXPECT_EQ(got_stats.elements_moved, want_stats.elements_moved);
+      EXPECT_EQ(got_stats.binary_merges, want_stats.binary_merges);
+      EXPECT_TRUE(runs.empty());
+      if (threads == 1) {
+        EXPECT_EQ(tasks, 0u);  // Serial pool: sequential fallback.
+      }
+    }
+  }
+}
+
+TEST(ParallelMergeTest, SkewedRunSizes) {
+  // One huge run plus many tiny ones exercises the deepest Huffman tree.
+  ThreadPool pool(4);
+  std::vector<size_t> lengths = {50000};
+  for (int i = 0; i < 24; ++i) lengths.push_back(1 + (i % 7));
+  auto runs = MakeRuns(lengths, /*seed=*/11);
+  auto runs_seq = runs;
+
+  std::vector<int> want;
+  HuffmanMergeInto(&runs_seq, IntLess(), &want);
+  std::vector<int> got;
+  const size_t tasks = ParallelMergeRunsInto(&runs, IntLess(), &got, nullptr,
+                                             nullptr, Eager(&pool));
+  EXPECT_EQ(got, want);
+  EXPECT_GT(tasks, 0u);
+}
+
+TEST(ParallelMergeTest, StableOnTies) {
+  // Massive tie blocks: the split of the final merge and every interior
+  // merge must keep left-run elements before equal right-run elements,
+  // exactly as the sequential merge does.
+  ThreadPool pool(4);
+  Rng rng(7);
+  std::vector<std::vector<std::pair<int, int>>> runs;
+  int tag = 0;
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::pair<int, int>> run;
+    int v = 0;
+    const size_t len = 200 + rng.NextBelow(800);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.NextBool(0.2)) v += static_cast<int>(rng.NextBelow(3));
+      run.emplace_back(v, tag++);
+    }
+    runs.push_back(std::move(run));
+  }
+  auto runs_seq = runs;
+  auto less = [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+    return a.first < b.first;
+  };
+
+  std::vector<std::pair<int, int>> want;
+  HuffmanMergeInto(&runs_seq, less, &want);
+  std::vector<std::pair<int, int>> got;
+  ParallelMergeOptions options;
+  options.min_total_bytes = 0;
+  options.min_runs = 2;
+  options.pool = &pool;
+  ParallelMergeRunsInto(&runs, less, &got, nullptr, nullptr, options);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(got, want);  // Tags included: order of ties must match.
+}
+
+TEST(ParallelMergeTest, AppendsAfterExistingOutput) {
+  ThreadPool pool(2);
+  std::vector<std::vector<int>> runs = {{3, 4, 7}, {1, 2, 9}, {5, 6, 8}};
+  std::vector<int> out = {-2, -1};
+  ParallelMergeRunsInto(&runs, IntLess(), &out, nullptr, nullptr,
+                        Eager(&pool));
+  EXPECT_EQ(out, std::vector<int>({-2, -1, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(ParallelMergeTest, SkipsEmptyRunsAndHandlesSmallSets) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> runs = {{}, {5}, {}, {1, 9}, {}};
+  std::vector<int> out;
+  ParallelMergeRunsInto(&runs, IntLess(), &out, nullptr, nullptr,
+                        Eager(&pool));
+  EXPECT_EQ(out, std::vector<int>({1, 5, 9}));
+
+  runs = {{1, 2, 3}};
+  out.clear();
+  const size_t tasks = ParallelMergeRunsInto(&runs, IntLess(), &out, nullptr,
+                                             nullptr, Eager(&pool));
+  EXPECT_EQ(out, std::vector<int>({1, 2, 3}));
+  EXPECT_EQ(tasks, 0u);  // Single run: nothing to parallelize.
+
+  runs = {};
+  out.clear();
+  ParallelMergeRunsInto(&runs, IntLess(), &out, nullptr, nullptr,
+                        Eager(&pool));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMergeTest, ThresholdsFallBackToSequential) {
+  ThreadPool pool(4);
+  auto runs = MakeRuns({100, 100, 100, 100}, /*seed=*/3);
+  auto runs_seq = runs;
+  std::vector<int> want;
+  HuffmanMergeInto(&runs_seq, IntLess(), &want);
+
+  // Below the byte threshold.
+  ParallelMergeOptions options;
+  options.min_total_bytes = size_t{1} << 30;
+  options.pool = &pool;
+  std::vector<int> out;
+  EXPECT_EQ(ParallelMergeRunsInto(&runs, IntLess(), &out, nullptr, nullptr,
+                                  options),
+            0u);
+  EXPECT_EQ(out, want);
+
+  // Below the run-count threshold.
+  runs = MakeRuns({100, 100, 100, 100}, /*seed=*/3);
+  options = Eager(&pool);
+  options.min_runs = 10;
+  out.clear();
+  EXPECT_EQ(ParallelMergeRunsInto(&runs, IntLess(), &out, nullptr, nullptr,
+                                  options),
+            0u);
+  EXPECT_EQ(out, want);
+}
+
+TEST(ParallelMergeTest, PunctuationStressMatchesSequentialOracle) {
+  // The full ImpatienceSorter pipeline under Figure-8-style punctuation,
+  // parallel merge enabled with thresholds at zero, must emit exactly the
+  // sequential sorter's output.
+  ThreadPool pool(4);
+  auto input = testing::BatchUploadSequence(60000, 2000, /*seed=*/41);
+
+  ImpatienceConfig parallel_config;
+  parallel_config.parallel_merge = true;
+  parallel_config.parallel_merge_min_runs = 2;
+  parallel_config.parallel_merge_min_bytes = 0;
+  parallel_config.thread_pool = &pool;
+
+  ImpatienceConfig sequential_config;
+  sequential_config.parallel_merge = false;
+
+  std::vector<std::vector<Timestamp>> results;
+  uint64_t parallel_merges = 0;
+  uint64_t merge_tasks = 0;
+  for (const ImpatienceConfig& config :
+       {parallel_config, sequential_config}) {
+    ImpatienceSorter<Timestamp, IdentityTimeOf> sorter(config);
+    std::vector<Timestamp> out;
+    Timestamp hw = kMinTimestamp;
+    Timestamp last = kMinTimestamp;
+    for (size_t i = 0; i < input.size(); ++i) {
+      sorter.Push(input[i]);
+      hw = std::max(hw, input[i]);
+      if ((i + 1) % 700 == 0 && hw - 30000 > last) {
+        last = hw - 30000;
+        sorter.OnPunctuation(last, &out);
+      }
+    }
+    sorter.Flush(&out);
+    if (config.parallel_merge) {
+      parallel_merges = sorter.counters().parallel_merges;
+      merge_tasks = sorter.counters().merge_tasks;
+    }
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_TRUE(std::is_sorted(results[0].begin(), results[0].end()));
+  EXPECT_GT(parallel_merges, 0u);
+  EXPECT_GE(merge_tasks, parallel_merges);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification under ThreadSanitizer with an oversubscribed pool.
+#
+# Builds the library + tests with -fsanitize=thread into build-tsan/ and
+# runs the full ctest suite with IMPATIENCE_THREADS=8, so every parallel
+# code path (work-stealing pool, parallel punctuation merge, band-parallel
+# framework) executes multi-threaded under the race detector even on small
+# machines. Benches/examples/tools are skipped: they share the same
+# parallel code, and building them under TSan roughly doubles the wall
+# clock for no extra coverage.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIMPATIENCE_SANITIZE=thread \
+  -DIMPATIENCE_BUILD_BENCHMARKS=OFF \
+  -DIMPATIENCE_BUILD_EXAMPLES=OFF \
+  -DIMPATIENCE_BUILD_TOOLS=OFF
+
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+cd "$BUILD_DIR"
+IMPATIENCE_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
+  ctest --output-on-failure -j "$(nproc)"
+
+echo "TSan tier-1: OK"

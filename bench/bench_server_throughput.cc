@@ -1,0 +1,140 @@
+// Beyond the paper: ingestion-service throughput.
+//
+// Sweeps shard count x backpressure policy, pushing a CloudLog workload
+// through the full wire path — client-side frame encoding, CRC, decode,
+// session routing, bounded shard queues, per-shard Impatience framework
+// pipelines — over the in-process loopback transport (no sockets, so the
+// numbers isolate the service stack from the kernel's TCP path).
+//
+// Events are spread round-robin over 16 sessions; sessions hash to
+// shards, so higher shard counts spread the pipeline work across queues.
+// Under "reject"/"shed" the bounded queues may drop frames when a shard
+// falls behind — the tables report delivered (pipeline-ingested) events
+// alongside offered throughput.
+//
+// Emits one JSON document between BEGIN_JSON/END_JSON markers.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timestamp.h"
+#include "server/client.h"
+#include "server/ingest_service.h"
+
+namespace impatience::bench {
+namespace {
+
+using server::BackpressurePolicy;
+using server::IngestClient;
+using server::IngestService;
+using server::LoopbackChannel;
+using server::ServiceOptions;
+using server::ShardMetrics;
+
+constexpr size_t kSessions = 16;
+constexpr size_t kEventsPerFrame = 512;
+
+struct Sample {
+  size_t shards = 0;
+  std::string policy;
+  double offered_meps = 0;    // Events offered / wall-clock.
+  double delivered_meps = 0;  // Events ingested by shard pipelines.
+  uint64_t dropped_frames = 0;
+};
+
+std::vector<Sample>& Samples() {
+  static std::vector<Sample> samples;
+  return samples;
+}
+
+Sample RunOne(const std::vector<Event>& events, size_t shards,
+              BackpressurePolicy policy) {
+  ServiceOptions options;
+  options.shards.num_shards = shards;
+  options.shards.queue_capacity = 128;
+  options.shards.backpressure = policy;
+  options.shards.framework.reorder_latencies = {1 * kSecond, 1 * kMinute};
+  options.shards.framework.punctuation_period = 10000;
+  IngestService service(options);
+  IngestClient client(std::make_unique<LoopbackChannel>(&service));
+
+  // Pre-slice the dataset into per-session frames so the timed region
+  // measures the wire path, not vector shuffling.
+  std::vector<std::vector<Event>> frames;
+  frames.reserve(events.size() / kEventsPerFrame + 1);
+  for (size_t i = 0; i < events.size(); i += kEventsPerFrame) {
+    const size_t end = std::min(i + kEventsPerFrame, events.size());
+    frames.emplace_back(events.begin() + i, events.begin() + end);
+  }
+
+  const double secs = TimeSeconds([&]() {
+    for (size_t i = 0; i < frames.size(); ++i) {
+      client.SendEvents(/*session_id=*/i % kSessions, frames[i]);
+    }
+    client.Shutdown();  // Drain-and-flush barrier.
+  });
+
+  uint64_t delivered = 0;
+  uint64_t dropped_frames = 0;
+  for (const ShardMetrics& m : service.manager().SnapshotShards()) {
+    delivered += m.events_in - m.shed_events;
+    dropped_frames += m.rejected_frames + m.shed_frames;
+  }
+
+  Sample s;
+  s.shards = shards;
+  s.policy = server::BackpressurePolicyName(policy);
+  s.offered_meps = Throughput(events.size(), secs);
+  s.delivered_meps = Throughput(delivered, secs);
+  s.dropped_frames = dropped_frames;
+  return s;
+}
+
+void Run() {
+  const size_t n = EventCount(1000000);
+  const Dataset cloudlog = BenchCloudLog(n);
+
+  Section("Server ingestion throughput, CloudLog, " + std::to_string(n) +
+          " events, loopback transport, " + std::to_string(kSessions) +
+          " sessions");
+  TablePrinter table({"shards", "policy", "offered_Me/s", "delivered_Me/s",
+                      "dropped_frames"});
+  for (const size_t shards : {1u, 2u, 4u}) {
+    for (const BackpressurePolicy policy :
+         {BackpressurePolicy::kBlock, BackpressurePolicy::kRejectFrame,
+          BackpressurePolicy::kShedOldest}) {
+      const Sample s = RunOne(cloudlog.events, shards, policy);
+      table.PrintRow({TablePrinter::Int(s.shards), s.policy,
+                      TablePrinter::Num(s.offered_meps),
+                      TablePrinter::Num(s.delivered_meps),
+                      TablePrinter::Int(s.dropped_frames)});
+      Samples().push_back(s);
+    }
+  }
+
+  std::printf("\nBEGIN_JSON\n{\"server_throughput\": [\n");
+  const std::vector<Sample>& samples = Samples();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::printf(
+        "  {\"shards\": %zu, \"policy\": \"%s\", \"offered_meps\": %.4f, "
+        "\"delivered_meps\": %.4f, \"dropped_frames\": %llu}%s\n",
+        samples[i].shards, samples[i].policy.c_str(),
+        samples[i].offered_meps, samples[i].delivered_meps,
+        static_cast<unsigned long long>(samples[i].dropped_frames),
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::printf("]}\nEND_JSON\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace impatience::bench
+
+int main() {
+  impatience::bench::InitBenchProcess();
+  impatience::bench::Run();
+  return 0;
+}

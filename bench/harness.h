@@ -60,25 +60,44 @@ inline double Throughput(size_t events, double seconds) {
   return static_cast<double>(events) / seconds / 1e6;
 }
 
-// The paper's three workloads at bench scale, deterministic.
+// One explicit RNG seed for every bench workload: $IMPATIENCE_BENCH_SEED,
+// default 42. The same seed reproduces byte-identical datasets (and thus
+// run-to-run comparable numbers); varying it checks that a result is not
+// an artifact of one particular input.
+inline uint64_t BenchSeed() {
+  const char* env = std::getenv("IMPATIENCE_BENCH_SEED");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') return static_cast<uint64_t>(seed);
+    std::fprintf(stderr, "ignoring non-numeric IMPATIENCE_BENCH_SEED=%s\n",
+                 env);
+  }
+  return 42;
+}
+
+// The paper's three workloads at bench scale, deterministic given the seed.
 inline Dataset BenchSynthetic(size_t n, double percent = 30,
                               double stddev = 64) {
   SyntheticConfig config;
   config.num_events = n;
   config.percent_disorder = percent;
   config.disorder_stddev = stddev;
+  config.seed = BenchSeed();
   return GenerateSynthetic(config);
 }
 
 inline Dataset BenchCloudLog(size_t n) {
   CloudLogConfig config;
   config.num_events = n;
+  config.seed = BenchSeed();
   return GenerateCloudLog(config);
 }
 
 inline Dataset BenchAndroidLog(size_t n) {
   AndroidLogConfig config;
   config.num_events = n;
+  config.seed = BenchSeed();
   return GenerateAndroidLog(config);
 }
 

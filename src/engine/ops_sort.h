@@ -81,6 +81,10 @@ class SortOp : public Operator<W, W> {
 
   const IncrementalSorter<Element>& sorter() const { return *sorter_; }
 
+  // Mutable access for maintenance that does not affect the stream —
+  // counter snapshot-and-reset from the metrics path.
+  IncrementalSorter<Element>* mutable_sorter() { return sorter_.get(); }
+
  private:
   std::unique_ptr<IncrementalSorter<Element>> sorter_;
   MemoryReservation reservation_;

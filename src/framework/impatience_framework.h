@@ -174,6 +174,15 @@ class PartitionOp : public Sink<W> {
     parallel_ = true;
   }
 
+  // Runs a punctuation round now, off the usual every-N-events cadence.
+  // The server layer calls this when a client punctuation frame arrives,
+  // so idle sessions still see results without waiting for the period to
+  // fill. Safe at any point: band punctuations only advance.
+  void ForcePunctuation() {
+    since_punctuation_ = 0;
+    PunctuateBands();
+  }
+
   // Events later than the largest latency (discarded).
   uint64_t dropped() const { return dropped_; }
   // Events routed to each band.
@@ -300,12 +309,38 @@ class Streamables {
   // Partition statistics (drops, per-band routing).
   const PartitionOp<W>& partition() const { return *partition_; }
 
+  // Mutable partition access for the ingest path (ForcePunctuation).
+  PartitionOp<W>* mutable_partition() { return partition_; }
+
   // Total events lost: too late for the largest latency, plus the rare
   // boundary events each band's sorter had to discard.
   uint64_t TotalDrops() const {
     uint64_t drops = partition_->dropped();
     for (const SortOp<W>* sort : sorts_) drops += sort->late_drops();
     return drops;
+  }
+
+  // Sums the Impatience counters across every band's sorter. Bands driven
+  // by a substituted non-Impatience sorter contribute nothing.
+  ImpatienceCounters AggregatedCounters() const {
+    ImpatienceCounters total;
+    for (const SortOp<W>* sort : sorts_) {
+      const auto* impatience =
+          dynamic_cast<const ImpatienceSorter<BasicEvent<W>>*>(
+              &sort->sorter());
+      if (impatience != nullptr) total += impatience->counters();
+    }
+    return total;
+  }
+
+  // Snapshot-and-reset companion to AggregatedCounters() for long-lived
+  // pipelines (server metrics scrapes). Buffered state is untouched.
+  void ResetCounters() {
+    for (SortOp<W>* sort : sorts_) {
+      auto* impatience = dynamic_cast<ImpatienceSorter<BasicEvent<W>>*>(
+          sort->mutable_sorter());
+      if (impatience != nullptr) impatience->ResetCounters();
+    }
   }
 
  private:

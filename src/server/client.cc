@@ -1,0 +1,134 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace impatience {
+namespace server {
+
+LoopbackChannel::LoopbackChannel(IngestService* service) {
+  conn_ = service->OpenConnection([this](std::string bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inbox_.append(bytes);
+    cv_.notify_all();
+  });
+}
+
+LoopbackChannel::~LoopbackChannel() = default;
+
+bool LoopbackChannel::Write(const uint8_t* data, size_t n) {
+  return conn_->OnData(data, n);
+}
+
+int64_t LoopbackChannel::Read(uint8_t* out, size_t n, bool blocking) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (blocking) {
+    cv_.wait(lock, [this] { return !inbox_.empty(); });
+  } else if (inbox_.empty()) {
+    return 0;
+  }
+  const size_t take = std::min(n, inbox_.size());
+  std::memcpy(out, inbox_.data(), take);
+  inbox_.erase(0, take);
+  return static_cast<int64_t>(take);
+}
+
+IngestClient::IngestClient(std::unique_ptr<ByteChannel> channel)
+    : channel_(std::move(channel)) {}
+
+bool IngestClient::SendFrame(const Frame& frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  if (!channel_->Write(bytes.data(), bytes.size())) return false;
+  ++frames_sent_;
+  bytes_sent_ += bytes.size();
+  return true;
+}
+
+bool IngestClient::SendEvents(uint64_t session_id,
+                              const std::vector<Event>& events) {
+  Frame frame;
+  frame.type = FrameType::kEvents;
+  frame.session_id = session_id;
+  frame.events = events;
+  return SendFrame(frame);
+}
+
+bool IngestClient::SendPunctuation(uint64_t session_id, Timestamp t) {
+  Frame frame;
+  frame.type = FrameType::kPunctuation;
+  frame.session_id = session_id;
+  frame.punctuation = t;
+  return SendFrame(frame);
+}
+
+bool IngestClient::FlushSession(uint64_t session_id) {
+  Frame frame;
+  frame.type = FrameType::kFlushSession;
+  frame.session_id = session_id;
+  if (!SendFrame(frame)) return false;
+  Frame ack;
+  return WaitFor(FrameType::kFlushAck, &ack);
+}
+
+bool IngestClient::Shutdown() {
+  Frame frame;
+  frame.type = FrameType::kShutdown;
+  if (!SendFrame(frame)) return false;
+  Frame ack;
+  return WaitFor(FrameType::kShutdownAck, &ack);
+}
+
+bool IngestClient::GetMetrics(MetricsFormat format, std::string* out) {
+  Frame frame;
+  frame.type = FrameType::kMetricsRequest;
+  frame.metrics_format = format;
+  if (!SendFrame(frame)) return false;
+  Frame response;
+  if (!WaitFor(FrameType::kMetricsResponse, &response)) return false;
+  *out = std::move(response.text);
+  return true;
+}
+
+bool IngestClient::PollReject(Frame* out) {
+  Pump(/*blocking=*/false);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == FrameType::kReject) {
+      *out = std::move(*it);
+      pending_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IngestClient::Pump(bool blocking) {
+  uint8_t buf[4096];
+  const int64_t n = channel_->Read(buf, sizeof(buf), blocking);
+  if (n < 0) return false;
+  if (n > 0) decoder_.Feed(buf, static_cast<size_t>(n));
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = decoder_.Next(&frame);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (IsDecodeError(status)) return false;
+    pending_.push_back(std::move(frame));
+    frame = Frame{};
+  }
+}
+
+bool IngestClient::WaitFor(FrameType type, Frame* out) {
+  for (;;) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->type == type) {
+        *out = std::move(*it);
+        pending_.erase(it);
+        return true;
+      }
+    }
+    if (!Pump(/*blocking=*/true)) return false;
+  }
+}
+
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,183 @@
+#include "server/ingest_service.h"
+
+#include <utility>
+
+namespace impatience {
+namespace server {
+
+Connection::Connection(IngestService* service, SendFn send)
+    : service_(service), send_(std::move(send)) {}
+
+Connection::~Connection() {
+  {
+    // Unregister any pending flush acks so shard workers cannot route an
+    // ack to a dead connection. Taking the lock also waits out an ack
+    // send that is in flight right now.
+    std::lock_guard<std::mutex> lock(service_->flush_mu_);
+    for (auto it = service_->pending_flush_.begin();
+         it != service_->pending_flush_.end();) {
+      if (it->second == this) {
+        it = service_->pending_flush_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  service_->connections_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Connection::OnData(const uint8_t* data, size_t size) {
+  if (poisoned_) return false;
+  service_->bytes_in_.fetch_add(size, std::memory_order_relaxed);
+  decoder_.Feed(data, size);
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = decoder_.Next(&frame);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (IsDecodeError(status)) {
+      poisoned_ = true;
+      service_->decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      Frame reject;
+      reject.type = FrameType::kReject;
+      reject.reject_reason = RejectReason::kDecodeError;
+      Send(reject);
+      return false;
+    }
+    service_->frames_in_.fetch_add(1, std::memory_order_relaxed);
+    Dispatch(frame);
+    frame = Frame{};
+  }
+}
+
+void Connection::Dispatch(Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kEvents:
+    case FrameType::kPunctuation:
+      break;  // Data path below.
+    case FrameType::kFlushSession: {
+      // Register for the ack first: the shard worker may apply the flush
+      // before Submit even returns.
+      {
+        std::lock_guard<std::mutex> lock(service_->flush_mu_);
+        service_->pending_flush_[frame.session_id] = this;
+      }
+      break;
+    }
+    case FrameType::kMetricsRequest: {
+      Frame response;
+      response.type = FrameType::kMetricsResponse;
+      response.session_id = frame.session_id;
+      response.metrics_format = frame.metrics_format;
+      const ServerMetrics snapshot = service_->Snapshot();
+      response.text = frame.metrics_format == MetricsFormat::kJson
+                          ? RenderMetricsJson(snapshot)
+                          : RenderMetricsText(snapshot);
+      Send(response);
+      return;
+    }
+    case FrameType::kShutdown: {
+      service_->Shutdown();
+      Frame ack;
+      ack.type = FrameType::kShutdownAck;
+      ack.session_id = frame.session_id;
+      Send(ack);
+      return;
+    }
+    default:
+      // Server→client frame types arriving at the server are protocol
+      // misuse; drop them rather than poisoning an otherwise-valid
+      // stream.
+      return;
+  }
+
+  const uint64_t session_id = frame.session_id;
+  const bool was_flush = frame.type == FrameType::kFlushSession;
+  const SubmitResult result = service_->manager_.Submit(std::move(frame));
+  if (result.push == QueuePush::kClosed) {
+    if (was_flush) {
+      // The flush never reached a shard; no ack will come.
+      std::lock_guard<std::mutex> lock(service_->flush_mu_);
+      auto it = service_->pending_flush_.find(session_id);
+      if (it != service_->pending_flush_.end() && it->second == this) {
+        service_->pending_flush_.erase(it);
+      }
+    }
+    Frame reject;
+    reject.type = FrameType::kReject;
+    reject.session_id = session_id;
+    reject.reject_reason = RejectReason::kShuttingDown;
+    reject.reject_count = result.affected_events;
+    Send(reject);
+  } else if (result.push == QueuePush::kRejected) {
+    if (was_flush) {
+      std::lock_guard<std::mutex> lock(service_->flush_mu_);
+      auto it = service_->pending_flush_.find(session_id);
+      if (it != service_->pending_flush_.end() && it->second == this) {
+        service_->pending_flush_.erase(it);
+      }
+    }
+    Frame reject;
+    reject.type = FrameType::kReject;
+    reject.session_id = session_id;
+    reject.reject_reason = RejectReason::kQueueFull;
+    reject.reject_count = result.affected_events;
+    Send(reject);
+  }
+}
+
+void Connection::Send(const Frame& frame) { service_->SendOn(send_, frame); }
+
+IngestService::IngestService(ServiceOptions options)
+    : options_(std::move(options)),
+      manager_(options_.shards, options_.on_result,
+               [this](uint64_t session_id) { OnSessionFlushed(session_id); }) {}
+
+IngestService::~IngestService() { Shutdown(); }
+
+std::unique_ptr<Connection> IngestService::OpenConnection(
+    std::function<void(std::string)> send) {
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Connection>(new Connection(this, std::move(send)));
+}
+
+void IngestService::Shutdown() { manager_.Shutdown(); }
+
+void IngestService::SendOn(const Connection::SendFn& send,
+                           const Frame& frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  bytes_out_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  send(std::string(reinterpret_cast<const char*>(bytes.data()),
+                   bytes.size()));
+}
+
+void IngestService::OnSessionFlushed(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  auto it = pending_flush_.find(session_id);
+  if (it == pending_flush_.end()) return;
+  Connection* conn = it->second;
+  pending_flush_.erase(it);
+  Frame ack;
+  ack.type = FrameType::kFlushAck;
+  ack.session_id = session_id;
+  // Sent under flush_mu_: Connection's destructor takes the same lock
+  // before the object goes away, so `conn` is alive for this call.
+  SendOn(conn->send_, ack);
+}
+
+ServerMetrics IngestService::Snapshot() {
+  ServerMetrics m;
+  m.connections_opened = connections_opened_.load(std::memory_order_relaxed);
+  m.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  m.frames_in = frames_in_.load(std::memory_order_relaxed);
+  m.frames_out = frames_out_.load(std::memory_order_relaxed);
+  m.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  m.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  m.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  m.shutting_down = manager_.shutting_down();
+  m.shards = manager_.SnapshotShards();
+  return m;
+}
+
+}  // namespace server
+}  // namespace impatience

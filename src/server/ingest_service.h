@@ -1,0 +1,128 @@
+// Transport-independent ingestion service: the glue between a byte
+// transport (loopback or TCP) and the SessionShardManager.
+//
+// Each client connection owns a FrameDecoder and a thread-safe send
+// function supplied by the transport. Bytes arrive via OnData(), decoded
+// frames are dispatched — data frames to the shard manager under the
+// configured backpressure policy, control frames (metrics, flush,
+// shutdown) handled here — and replies (acks, rejects, metrics) are
+// encoded and pushed back through the send function. A decode error
+// poisons the connection: the client receives one kReject(kDecodeError)
+// and the transport is told to close.
+//
+// FlushSession acks are asymmetric: the request is applied on the shard
+// worker thread (after everything the session sent earlier), so the ack
+// is sent from that thread via a session→connection routing table.
+
+#ifndef IMPATIENCE_SERVER_INGEST_SERVICE_H_
+#define IMPATIENCE_SERVER_INGEST_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "server/metrics.h"
+#include "server/session_shard_manager.h"
+#include "server/wire_format.h"
+
+namespace impatience {
+namespace server {
+
+struct ServiceOptions {
+  ShardManagerOptions shards;
+  // Optional tap on every row the shard pipelines emit (tests, benches).
+  // Called on shard worker threads.
+  ResultFn on_result;
+};
+
+class IngestService;
+
+// One client connection. Created by the transport via
+// IngestService::OpenConnection; destroyed when the transport closes.
+// OnData must be called from one thread at a time (the connection's
+// reader); the send function may be invoked from the reader thread and
+// from shard worker threads concurrently, so it must be thread-safe.
+class Connection {
+ public:
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Feeds received bytes. Returns false when the connection is poisoned
+  // (decode error) or the service has shut down — the transport should
+  // stop reading and close.
+  bool OnData(const uint8_t* data, size_t size);
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  friend class IngestService;
+  using SendFn = std::function<void(std::string bytes)>;
+
+  Connection(IngestService* service, SendFn send);
+
+  void Dispatch(Frame& frame);
+  void Send(const Frame& frame);
+
+  IngestService* const service_;
+  const SendFn send_;
+  FrameDecoder decoder_;
+  bool poisoned_ = false;
+};
+
+class IngestService {
+ public:
+  explicit IngestService(ServiceOptions options);
+  ~IngestService();
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  // Registers a new client connection; `send` delivers encoded reply
+  // frames to that client and must be thread-safe.
+  std::unique_ptr<Connection> OpenConnection(
+      std::function<void(std::string)> send);
+
+  // Drain-and-flush shutdown of all shards; idempotent. Called by the
+  // kShutdown control frame and by the destructor.
+  void Shutdown();
+  bool shutting_down() const { return manager_.shutting_down(); }
+
+  // Whole-service snapshot (transport totals + all shards).
+  ServerMetrics Snapshot();
+
+  SessionShardManager& manager() { return manager_; }
+
+ private:
+  friend class Connection;
+
+  void SendOn(const Connection::SendFn& send, const Frame& frame);
+  void OnSessionFlushed(uint64_t session_id);
+
+  ServiceOptions options_;
+  SessionShardManager manager_;
+
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+
+  // session id → connection awaiting a FlushAck. Guarded by flush_mu_;
+  // the ack is sent under the lock so a closing connection (which erases
+  // its entries under the same lock) cannot be destroyed mid-send.
+  std::mutex flush_mu_;
+  std::unordered_map<uint64_t, Connection*> pending_flush_;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_INGEST_SERVICE_H_

@@ -1,0 +1,138 @@
+#include "server/metrics.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace impatience {
+namespace server {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+// Emits one per-shard gauge/counter family: a line per shard.
+template <typename Get>
+void TextFamily(std::string* out, const ServerMetrics& m, const char* name,
+                Get get) {
+  for (const ShardMetrics& s : m.shards) {
+    Appendf(out, "%s{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            static_cast<uint64_t>(get(s)));
+  }
+}
+
+}  // namespace
+
+std::string RenderMetricsText(const ServerMetrics& m) {
+  std::string out;
+  Appendf(&out, "impatience_connections_opened %" PRIu64 "\n",
+          m.connections_opened);
+  Appendf(&out, "impatience_connections_closed %" PRIu64 "\n",
+          m.connections_closed);
+  Appendf(&out, "impatience_frames_in %" PRIu64 "\n", m.frames_in);
+  Appendf(&out, "impatience_frames_out %" PRIu64 "\n", m.frames_out);
+  Appendf(&out, "impatience_bytes_in %" PRIu64 "\n", m.bytes_in);
+  Appendf(&out, "impatience_bytes_out %" PRIu64 "\n", m.bytes_out);
+  Appendf(&out, "impatience_decode_errors %" PRIu64 "\n", m.decode_errors);
+  Appendf(&out, "impatience_shutting_down %d\n", m.shutting_down ? 1 : 0);
+  Appendf(&out, "impatience_shards %zu\n", m.shards.size());
+
+  TextFamily(&out, m, "impatience_shard_queue_depth",
+             [](const ShardMetrics& s) { return s.queue_depth; });
+  TextFamily(&out, m, "impatience_shard_queue_capacity",
+             [](const ShardMetrics& s) { return s.queue_capacity; });
+  TextFamily(&out, m, "impatience_shard_frames_in",
+             [](const ShardMetrics& s) { return s.frames_in; });
+  TextFamily(&out, m, "impatience_shard_events_in",
+             [](const ShardMetrics& s) { return s.events_in; });
+  TextFamily(&out, m, "impatience_shard_punctuations_in",
+             [](const ShardMetrics& s) { return s.punctuations_in; });
+  TextFamily(&out, m, "impatience_shard_sessions",
+             [](const ShardMetrics& s) { return s.sessions; });
+  TextFamily(&out, m, "impatience_shard_blocked_pushes",
+             [](const ShardMetrics& s) { return s.blocked_pushes; });
+  TextFamily(&out, m, "impatience_shard_rejected_frames",
+             [](const ShardMetrics& s) { return s.rejected_frames; });
+  TextFamily(&out, m, "impatience_shard_rejected_events",
+             [](const ShardMetrics& s) { return s.rejected_events; });
+  TextFamily(&out, m, "impatience_shard_shed_frames",
+             [](const ShardMetrics& s) { return s.shed_frames; });
+  TextFamily(&out, m, "impatience_shard_shed_events",
+             [](const ShardMetrics& s) { return s.shed_events; });
+  TextFamily(&out, m, "impatience_shard_events_out",
+             [](const ShardMetrics& s) { return s.events_out; });
+  TextFamily(&out, m, "impatience_shard_dropped_late",
+             [](const ShardMetrics& s) { return s.dropped_late; });
+  TextFamily(&out, m, "impatience_shard_sorter_pushes",
+             [](const ShardMetrics& s) { return s.sorter.pushes; });
+  TextFamily(&out, m, "impatience_shard_sorter_srs_hits",
+             [](const ShardMetrics& s) { return s.sorter.srs_hits; });
+  TextFamily(&out, m, "impatience_shard_sorter_new_runs",
+             [](const ShardMetrics& s) { return s.sorter.new_runs; });
+  TextFamily(&out, m, "impatience_shard_sorter_removed_runs",
+             [](const ShardMetrics& s) { return s.sorter.removed_runs; });
+  TextFamily(&out, m, "impatience_shard_sorter_parallel_merges",
+             [](const ShardMetrics& s) { return s.sorter.parallel_merges; });
+  TextFamily(&out, m, "impatience_shard_sorter_elements_moved",
+             [](const ShardMetrics& s) { return s.sorter.merge.elements_moved; });
+  return out;
+}
+
+std::string RenderMetricsJson(const ServerMetrics& m) {
+  std::string out;
+  out += "{";
+  Appendf(&out, "\"connections_opened\":%" PRIu64 ",", m.connections_opened);
+  Appendf(&out, "\"connections_closed\":%" PRIu64 ",", m.connections_closed);
+  Appendf(&out, "\"frames_in\":%" PRIu64 ",", m.frames_in);
+  Appendf(&out, "\"frames_out\":%" PRIu64 ",", m.frames_out);
+  Appendf(&out, "\"bytes_in\":%" PRIu64 ",", m.bytes_in);
+  Appendf(&out, "\"bytes_out\":%" PRIu64 ",", m.bytes_out);
+  Appendf(&out, "\"decode_errors\":%" PRIu64 ",", m.decode_errors);
+  Appendf(&out, "\"shutting_down\":%s,",
+          m.shutting_down ? "true" : "false");
+  out += "\"shards\":[";
+  for (size_t i = 0; i < m.shards.size(); ++i) {
+    const ShardMetrics& s = m.shards[i];
+    if (i > 0) out += ",";
+    out += "{";
+    Appendf(&out, "\"shard\":%zu,", s.shard);
+    Appendf(&out, "\"queue_depth\":%zu,", s.queue_depth);
+    Appendf(&out, "\"queue_capacity\":%zu,", s.queue_capacity);
+    Appendf(&out, "\"frames_in\":%" PRIu64 ",", s.frames_in);
+    Appendf(&out, "\"events_in\":%" PRIu64 ",", s.events_in);
+    Appendf(&out, "\"punctuations_in\":%" PRIu64 ",", s.punctuations_in);
+    Appendf(&out, "\"sessions\":%" PRIu64 ",", s.sessions);
+    Appendf(&out, "\"blocked_pushes\":%" PRIu64 ",", s.blocked_pushes);
+    Appendf(&out, "\"rejected_frames\":%" PRIu64 ",", s.rejected_frames);
+    Appendf(&out, "\"rejected_events\":%" PRIu64 ",", s.rejected_events);
+    Appendf(&out, "\"shed_frames\":%" PRIu64 ",", s.shed_frames);
+    Appendf(&out, "\"shed_events\":%" PRIu64 ",", s.shed_events);
+    Appendf(&out, "\"events_out\":%" PRIu64 ",", s.events_out);
+    Appendf(&out, "\"dropped_late\":%" PRIu64 ",", s.dropped_late);
+    Appendf(&out, "\"sorter_pushes\":%" PRIu64 ",", s.sorter.pushes);
+    Appendf(&out, "\"sorter_srs_hits\":%" PRIu64 ",", s.sorter.srs_hits);
+    Appendf(&out, "\"sorter_new_runs\":%" PRIu64 ",", s.sorter.new_runs);
+    Appendf(&out, "\"sorter_removed_runs\":%" PRIu64 ",",
+            s.sorter.removed_runs);
+    Appendf(&out, "\"sorter_parallel_merges\":%" PRIu64 ",",
+            s.sorter.parallel_merges);
+    Appendf(&out, "\"sorter_elements_moved\":%" PRIu64 "",
+            s.sorter.merge.elements_moved);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,64 @@
+// The server's metrics surface: a point-in-time snapshot of service and
+// per-shard state, renderable as Prometheus-style text or JSON. Clients
+// fetch either rendering over the wire protocol itself (kMetricsRequest
+// with the format in the aux byte) — no separate HTTP endpoint to secure
+// or keep alive.
+
+#ifndef IMPATIENCE_SERVER_METRICS_H_
+#define IMPATIENCE_SERVER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sort/impatience_sorter.h"
+
+namespace impatience {
+namespace server {
+
+// One shard's view. Queue/backpressure counters are maintained by the
+// shard itself; sorter counters are aggregated across the shard
+// pipeline's bands.
+struct ShardMetrics {
+  size_t shard = 0;
+  size_t queue_depth = 0;        // Frames waiting in the ingress queue.
+  size_t queue_capacity = 0;
+  uint64_t frames_in = 0;        // Data frames accepted into the queue.
+  uint64_t events_in = 0;        // Events inside those frames.
+  uint64_t punctuations_in = 0;  // Client punctuation frames.
+  uint64_t sessions = 0;         // Distinct sessions seen.
+  uint64_t blocked_pushes = 0;   // kBlock: enqueues that had to wait.
+  uint64_t rejected_frames = 0;  // kRejectFrame: frames turned away.
+  uint64_t rejected_events = 0;
+  uint64_t shed_frames = 0;      // kShedOldest: frames evicted.
+  uint64_t shed_events = 0;
+  uint64_t events_out = 0;       // Rows emitted on the final stream.
+  uint64_t dropped_late = 0;     // Partition + sorter late drops.
+  ImpatienceCounters sorter;     // Aggregated across the shard's bands.
+};
+
+// Whole-service view: transport totals plus every shard.
+struct ServerMetrics {
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_in = 0;   // All decoded frames, any type.
+  uint64_t frames_out = 0;  // All frames sent (acks, rejects, metrics).
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t decode_errors = 0;  // Poisoned connections (bad CRC/magic/...).
+  bool shutting_down = false;
+  std::vector<ShardMetrics> shards;
+};
+
+// Prometheus-style exposition: "# HELP"-less "name{shard=\"i\"} value"
+// lines, one block per counter family.
+std::string RenderMetricsText(const ServerMetrics& m);
+
+// Single JSON object with a "shards" array. Stable key order; no
+// dependency on a JSON library.
+std::string RenderMetricsJson(const ServerMetrics& m);
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_METRICS_H_

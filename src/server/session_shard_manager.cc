@@ -1,0 +1,301 @@
+#include "server/session_shard_manager.h"
+
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+
+#include "common/bounded_queue.h"
+#include "common/check.h"
+#include "common/timestamp.h"
+#include "engine/streamable.h"
+
+namespace impatience {
+namespace server {
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kRejectFrame:
+      return "reject";
+    case BackpressurePolicy::kShedOldest:
+      return "shed";
+  }
+  return "unknown";
+}
+
+bool ParseBackpressurePolicy(const std::string& name,
+                             BackpressurePolicy* policy) {
+  if (name == "block") {
+    *policy = BackpressurePolicy::kBlock;
+  } else if (name == "reject") {
+    *policy = BackpressurePolicy::kRejectFrame;
+  } else if (name == "shed") {
+    *policy = BackpressurePolicy::kShedOldest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// SplitMix64 finalizer: session ids are often sequential, so mix before
+// taking the modulus or all sessions land on adjacent shards.
+uint64_t MixSession(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct SessionShardManager::Shard {
+  Shard(size_t index, const ShardManagerOptions& options)
+      : index(index),
+        queue(options.queue_capacity),
+        // The partition absorbs ingress punctuations, so the ingress never
+        // needs to punctuate on its own; SIZE_MAX disables its cadence.
+        pipeline({.punctuation_period = static_cast<size_t>(-1),
+                  .reorder_latency = 0}) {}
+
+  const size_t index;
+  BoundedMpscQueue<Frame> queue;
+
+  // Guards the pipeline, `streams`, and `sessions` — held by the worker
+  // while processing and by SnapshotShards while reading.
+  std::mutex pipeline_mu;
+  QueryPipeline<4> pipeline;
+  std::optional<Streamables<4>> streams;
+  std::unordered_set<uint64_t> sessions;
+
+  std::thread worker;
+
+  // Backpressure and traffic counters; written by connection threads
+  // (Submit) and the worker, read by SnapshotShards.
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> events_in{0};
+  std::atomic<uint64_t> punctuations_in{0};
+  std::atomic<uint64_t> blocked_pushes{0};
+  std::atomic<uint64_t> rejected_frames{0};
+  std::atomic<uint64_t> rejected_events{0};
+  std::atomic<uint64_t> shed_frames{0};
+  std::atomic<uint64_t> shed_events{0};
+  std::atomic<uint64_t> events_out{0};
+};
+
+SessionShardManager::SessionShardManager(ShardManagerOptions options,
+                                         ResultFn on_result,
+                                         SessionFlushFn on_session_flush)
+    : options_(std::move(options)),
+      on_result_(std::move(on_result)),
+      on_session_flush_(std::move(on_session_flush)) {
+  IMPATIENCE_CHECK(options_.num_shards > 0);
+  if (options_.framework.reorder_latencies.empty()) {
+    options_.framework.reorder_latencies = {1 * kSecond, 1 * kMinute};
+  }
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(i, options_);
+    Shard* s = shard.get();
+    s->streams.emplace(
+        ToStreamables(s->pipeline.disordered(), options_.framework));
+    const size_t first_stream =
+        options_.subscribe_all_streams ? 0 : s->streams->size() - 1;
+    for (size_t j = first_stream; j < s->streams->size(); ++j) {
+      s->streams->stream(j).Subscribe([this, s, j](const Event& e) {
+        s->events_out.fetch_add(1, std::memory_order_relaxed);
+        if (on_result_) on_result_(s->index, j, e);
+      });
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (!options_.manual_drain) {
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      s->worker = std::thread([this, s] { WorkerLoop(s); });
+    }
+  }
+}
+
+SessionShardManager::~SessionShardManager() { Shutdown(); }
+
+size_t SessionShardManager::ShardOf(uint64_t session_id) const {
+  return static_cast<size_t>(MixSession(session_id) % shards_.size());
+}
+
+SubmitResult SessionShardManager::Submit(Frame frame) {
+  SubmitResult result;
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    result.push = QueuePush::kClosed;
+    result.affected_events = frame.events.size();
+    return result;
+  }
+  Shard* s = shards_[ShardOf(frame.session_id)].get();
+  const uint64_t n_events = frame.events.size();
+  const bool is_punctuation = frame.type == FrameType::kPunctuation;
+
+  switch (options_.backpressure) {
+    case BackpressurePolicy::kBlock:
+      result.push = s->queue.PushBlock(std::move(frame));
+      if (result.push == QueuePush::kBlocked) {
+        s->blocked_pushes.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case BackpressurePolicy::kRejectFrame:
+      result.push = s->queue.TryPush(std::move(frame));
+      if (result.push == QueuePush::kRejected) {
+        s->rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        s->rejected_events.fetch_add(n_events, std::memory_order_relaxed);
+        result.affected_events = n_events;
+        return result;
+      }
+      break;
+    case BackpressurePolicy::kShedOldest: {
+      std::optional<Frame> shed;
+      result.push = s->queue.PushShedOldest(std::move(frame), &shed);
+      if (shed.has_value()) {
+        s->shed_frames.fetch_add(1, std::memory_order_relaxed);
+        s->shed_events.fetch_add(shed->events.size(),
+                                 std::memory_order_relaxed);
+        result.affected_events = shed->events.size();
+      }
+      break;
+    }
+  }
+  if (result.push == QueuePush::kClosed) {
+    // Shutdown raced this submission; the frame was not enqueued.
+    result.affected_events = n_events;
+    return result;
+  }
+  s->frames_in.fetch_add(1, std::memory_order_relaxed);
+  s->events_in.fetch_add(n_events, std::memory_order_relaxed);
+  if (is_punctuation) {
+    s->punctuations_in.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void SessionShardManager::WorkerLoop(Shard* s) {
+  Frame frame;
+  while (s->queue.Pop(&frame)) {
+    {
+      std::lock_guard<std::mutex> lock(s->pipeline_mu);
+      Process(s, frame);
+      // Burst boundary: nothing else queued right now, so push any
+      // half-filled batch into the pipeline instead of letting it sit
+      // until the next frame arrives.
+      if (s->queue.size() == 0) s->pipeline.ingress().FlushPending();
+    }
+    frame = Frame{};
+  }
+  // Queue closed and drained: flush the pipeline so every buffered event
+  // is released in order before the thread exits.
+  FlushPipeline(s);
+}
+
+void SessionShardManager::Process(Shard* s, Frame& frame) {
+  s->sessions.insert(frame.session_id);
+  switch (frame.type) {
+    case FrameType::kEvents:
+      for (const Event& e : frame.events) s->pipeline.ingress().Push(e);
+      break;
+    case FrameType::kPunctuation:
+      // A client punctuation promises no events ≤ t will follow on this
+      // session. Sessions share the shard pipeline, so the promise alone
+      // cannot advance band punctuations — but it is a natural point to
+      // run a partition round so idle periods still produce output.
+      s->pipeline.ingress().FlushPending();
+      s->streams->mutable_partition()->ForcePunctuation();
+      break;
+    case FrameType::kFlushSession:
+      // Everything this session sent earlier is now in the pipeline (the
+      // queue is FIFO); surface what can be surfaced and ack.
+      s->pipeline.ingress().FlushPending();
+      s->streams->mutable_partition()->ForcePunctuation();
+      if (on_session_flush_) on_session_flush_(frame.session_id);
+      break;
+    default:
+      // Control frames that do not reach shards (metrics, shutdown, acks)
+      // are handled by the service layer; ignore defensively.
+      break;
+  }
+}
+
+void SessionShardManager::FlushPipeline(Shard* s) {
+  std::lock_guard<std::mutex> lock(s->pipeline_mu);
+  s->pipeline.ingress().Finish();
+}
+
+void SessionShardManager::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  shutting_down_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->queue.Close();
+  if (options_.manual_drain) {
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      Frame frame;
+      while (s->queue.TryPop(&frame)) {
+        std::lock_guard<std::mutex> lock(s->pipeline_mu);
+        Process(s, frame);
+      }
+      FlushPipeline(s);
+    }
+  } else {
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  }
+  shut_down_.store(true, std::memory_order_release);
+}
+
+std::vector<ShardMetrics> SessionShardManager::SnapshotShards(
+    bool reset_sorter_counters) {
+  std::vector<ShardMetrics> out;
+  out.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    ShardMetrics m;
+    m.shard = s->index;
+    m.queue_depth = s->queue.size();
+    m.queue_capacity = s->queue.capacity();
+    m.frames_in = s->frames_in.load(std::memory_order_relaxed);
+    m.events_in = s->events_in.load(std::memory_order_relaxed);
+    m.punctuations_in = s->punctuations_in.load(std::memory_order_relaxed);
+    m.blocked_pushes = s->blocked_pushes.load(std::memory_order_relaxed);
+    m.rejected_frames = s->rejected_frames.load(std::memory_order_relaxed);
+    m.rejected_events = s->rejected_events.load(std::memory_order_relaxed);
+    m.shed_frames = s->shed_frames.load(std::memory_order_relaxed);
+    m.shed_events = s->shed_events.load(std::memory_order_relaxed);
+    m.events_out = s->events_out.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(s->pipeline_mu);
+      m.sessions = s->sessions.size();
+      m.dropped_late = s->streams->TotalDrops();
+      m.sorter = s->streams->AggregatedCounters();
+      if (reset_sorter_counters) s->streams->ResetCounters();
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+void SessionShardManager::DrainShardForTest(size_t shard) {
+  IMPATIENCE_CHECK(options_.manual_drain);
+  IMPATIENCE_CHECK(shard < shards_.size());
+  Shard* s = shards_[shard].get();
+  Frame frame;
+  while (s->queue.TryPop(&frame)) {
+    std::lock_guard<std::mutex> lock(s->pipeline_mu);
+    Process(s, frame);
+  }
+  std::lock_guard<std::mutex> lock(s->pipeline_mu);
+  s->pipeline.ingress().FlushPending();
+}
+
+}  // namespace server
+}  // namespace impatience

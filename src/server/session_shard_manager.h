@@ -1,0 +1,148 @@
+// Session-sharded ingestion: hash-partitions client sessions across N
+// shards, each shard owning a bounded ingress queue and a dedicated
+// Impatience framework pipeline.
+//
+// Sharding model (after Prasaad et al., "Scaling Ordered Stream
+// Processing on Shared-Memory Multicores"): all state is per-shard, so
+// shards never synchronize with each other — a session's frames always
+// land on the same shard, and cross-shard coordination is limited to the
+// metrics snapshot and shutdown barrier. Each shard's drain loop runs on
+// its own dedicated thread (it blocks on the queue, which a task on the
+// fork/join ThreadPool must never do); the pipeline *inside* the shard —
+// parallel punctuation merges, band-parallel execution — runs on the
+// existing process-wide ThreadPool, shared by all shards.
+//
+// Backpressure: the queue holds whole decoded frames, and the policy
+// decides what happens when a shard falls behind:
+//   kBlock       — the connection thread waits (lossless; TCP pushback
+//                  propagates to the client);
+//   kRejectFrame — the frame is refused and the client told (kReject);
+//   kShedOldest  — the oldest queued frame is evicted (freshest data
+//                  wins; eviction counted per frame and per event).
+//
+// Shutdown is drain-and-flush: queues close (no new frames), workers
+// drain what is queued, every pipeline is flushed (all buffered events
+// released in order), and only then do the workers exit.
+
+#ifndef IMPATIENCE_SERVER_SESSION_SHARD_MANAGER_H_
+#define IMPATIENCE_SERVER_SESSION_SHARD_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/event.h"
+#include "framework/impatience_framework.h"
+#include "server/metrics.h"
+#include "server/wire_format.h"
+
+namespace impatience {
+namespace server {
+
+enum class BackpressurePolicy : uint8_t {
+  kBlock = 0,
+  kRejectFrame = 1,
+  kShedOldest = 2,
+};
+
+const char* BackpressurePolicyName(BackpressurePolicy policy);
+// Parses "block" / "reject" / "shed". Returns false on anything else.
+bool ParseBackpressurePolicy(const std::string& name,
+                             BackpressurePolicy* policy);
+
+struct ShardManagerOptions {
+  size_t num_shards = 1;
+  // Frames (not events) per shard ingress queue.
+  size_t queue_capacity = 256;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  // Per-shard pipeline configuration. Empty reorder_latencies defaults to
+  // {1 s, 1 min}.
+  FrameworkOptions framework;
+  // When true, every framework output stream is delivered to the result
+  // callback; default is the final (most complete) stream only.
+  bool subscribe_all_streams = false;
+  // Test hook: no worker threads are started; tests drain queues
+  // explicitly with DrainShardForTest(). Incompatible with kBlock (a
+  // blocked producer would never be released).
+  bool manual_drain = false;
+};
+
+// Outcome of routing one frame to a shard.
+struct SubmitResult {
+  QueuePush push = QueuePush::kOk;
+  // Events refused (kRejected) or evicted (kShed) by this submission.
+  uint64_t affected_events = 0;
+};
+
+// Called on the shard's worker thread for every row the shard pipeline
+// emits on a subscribed output stream. One call at a time per shard;
+// different shards call concurrently.
+using ResultFn =
+    std::function<void(size_t shard, size_t stream, const Event& e)>;
+
+// Called on the shard's worker thread once a kFlushSession frame has been
+// applied — every earlier frame of that session is in the pipeline.
+using SessionFlushFn = std::function<void(uint64_t session_id)>;
+
+class SessionShardManager {
+ public:
+  explicit SessionShardManager(ShardManagerOptions options,
+                               ResultFn on_result = {},
+                               SessionFlushFn on_session_flush = {});
+  ~SessionShardManager();
+
+  SessionShardManager(const SessionShardManager&) = delete;
+  SessionShardManager& operator=(const SessionShardManager&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // The shard a session's frames are routed to (stable hash partition).
+  size_t ShardOf(uint64_t session_id) const;
+
+  // Routes a data frame (kEvents / kPunctuation / kFlushSession) to its
+  // session's shard under the configured backpressure policy. Returns
+  // kClosed after shutdown has begun.
+  SubmitResult Submit(Frame frame);
+
+  // Drain-and-flush shutdown; idempotent, returns when every shard has
+  // flushed its pipeline and its worker has exited.
+  void Shutdown();
+
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
+  // Point-in-time metrics for every shard. With `reset_sorter_counters`,
+  // each pipeline's Impatience counters restart from zero after the
+  // snapshot (queue/backpressure totals are cumulative and never reset).
+  std::vector<ShardMetrics> SnapshotShards(bool reset_sorter_counters = false);
+
+  // Test hook (requires options.manual_drain): synchronously processes
+  // everything queued on `shard`.
+  void DrainShardForTest(size_t shard);
+
+ private:
+  struct Shard;
+
+  void WorkerLoop(Shard* shard);
+  void Process(Shard* shard, Frame& frame);
+  void FlushPipeline(Shard* shard);
+
+  ShardManagerOptions options_;
+  ResultFn on_result_;
+  SessionFlushFn on_session_flush_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mu_;  // Serializes concurrent Shutdown() calls.
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_SESSION_SHARD_MANAGER_H_

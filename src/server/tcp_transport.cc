@@ -1,0 +1,188 @@
+#include "server/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace impatience {
+namespace server {
+
+namespace {
+
+// Full write with EINTR handling; false once the peer is gone.
+bool WriteAll(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct TcpServer::Conn {
+  int fd = -1;
+  std::mutex write_mu;
+  std::unique_ptr<Connection> connection;
+  std::thread reader;
+};
+
+TcpServer::TcpServer(IngestService* service, uint16_t port)
+    : service_(service), port_(port) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+bool TcpServer::Start(std::string* error) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 64) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd);
+    return false;
+  }
+  if (port_ == 0) {
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_.store(listen_fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    // Stop() swaps the fd to -1 before closing it; accept(-1) then fails
+    // immediately instead of racing on a recycled descriptor.
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr,
+                 nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed by Stop().
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    Conn* c = conn.get();
+    c->fd = fd;
+    c->connection = service_->OpenConnection([c](std::string bytes) {
+      std::lock_guard<std::mutex> lock(c->write_mu);
+      WriteAll(c->fd, reinterpret_cast<const uint8_t*>(bytes.data()),
+               bytes.size());
+    });
+    c->reader = std::thread([this, c] { ReaderLoop(c); });
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpServer::ReaderLoop(Conn* conn) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (Stop() shuts the socket down).
+    if (!conn->connection->OnData(buf, static_cast<size_t>(n))) break;
+  }
+  // Let any in-flight server-side send finish before the fd dies with the
+  // connection object at Stop()/destruction time; here we only stop
+  // reading. The fd stays open (flush acks may still be in flight) until
+  // the Conn is destroyed.
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);  // Unblocks the reader's recv().
+    if (conn->reader.joinable()) conn->reader.join();
+    conn->connection.reset();  // Deregisters pending flush acks.
+    ::close(conn->fd);
+  }
+}
+
+std::unique_ptr<TcpChannel> TcpChannel::Connect(uint16_t port,
+                                                std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TcpChannel::Write(const uint8_t* data, size_t n) {
+  return WriteAll(fd_, data, n);
+}
+
+int64_t TcpChannel::Read(uint8_t* out, size_t n, bool blocking) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, out, n, blocking ? 0 : MSG_DONTWAIT);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+      return -1;
+    }
+    if (r == 0) return -1;  // EOF.
+    return static_cast<int64_t>(r);
+  }
+}
+
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,85 @@
+// POSIX TCP transport for the ingestion protocol.
+//
+// TcpServer listens on a port (0 = ephemeral, for tests), accepts
+// connections on a dedicated thread, and runs one reader thread per
+// connection: read() → Connection::OnData() until EOF or poison.
+// Replies are write()n back under a per-connection mutex (the service may
+// send from shard worker threads concurrently with the reader's own
+// replies). TcpChannel is the client half: a ByteChannel over a connected
+// socket, usable with IngestClient.
+
+#ifndef IMPATIENCE_SERVER_TCP_TRANSPORT_H_
+#define IMPATIENCE_SERVER_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/ingest_service.h"
+
+namespace impatience {
+namespace server {
+
+class TcpServer {
+ public:
+  // Does not start listening; call Start().
+  TcpServer(IngestService* service, uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds, listens (loopback interface), and starts the accept thread.
+  // False (with the OS error in *error) if the port cannot be bound.
+  bool Start(std::string* error = nullptr);
+
+  // Stops accepting, severs every live connection, joins all threads.
+  // Idempotent. Does NOT shut the service down — drain policy is the
+  // owner's call.
+  void Stop();
+
+  // The bound port (resolves ephemeral port 0 after Start).
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Conn;
+
+  void AcceptLoop();
+  void ReaderLoop(Conn* conn);
+
+  IngestService* const service_;
+  uint16_t port_;
+  // Written by Start()/Stop(), read concurrently by the accept loop.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+// Client-side channel over a connected TCP socket.
+class TcpChannel : public ByteChannel {
+ public:
+  // Connects to 127.0.0.1:port; null on failure.
+  static std::unique_ptr<TcpChannel> Connect(uint16_t port,
+                                             std::string* error = nullptr);
+  ~TcpChannel() override;
+
+  bool Write(const uint8_t* data, size_t n) override;
+  int64_t Read(uint8_t* out, size_t n, bool blocking) override;
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_TCP_TRANSPORT_H_

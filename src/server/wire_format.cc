@@ -1,0 +1,250 @@
+#include "server/wire_format.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace impatience {
+namespace server {
+
+namespace {
+
+// Little-endian primitive append/read. Byte-by-byte shifts, not memcpy of
+// host representations, so the encoding is identical on any endianness.
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutI32(int32_t v, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutI64(int64_t v, std::vector<uint8_t>* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+int32_t GetI32(const uint8_t* p) { return static_cast<int32_t>(GetU32(p)); }
+int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// The type-specific small header field (byte 5).
+uint8_t AuxOf(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kMetricsRequest:
+    case FrameType::kMetricsResponse:
+      return static_cast<uint8_t>(frame.metrics_format);
+    case FrameType::kReject:
+      return static_cast<uint8_t>(frame.reject_reason);
+    default:
+      return 0;
+  }
+}
+
+void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
+  switch (frame.type) {
+    case FrameType::kEvents: {
+      PutU32(static_cast<uint32_t>(frame.events.size()), out);
+      for (const Event& e : frame.events) {
+        PutI64(e.sync_time, out);
+        PutI64(e.other_time, out);
+        PutI32(e.key, out);
+        PutU64(e.hash, out);
+        for (int c = 0; c < 4; ++c) PutI32(e.payload[c], out);
+      }
+      return;
+    }
+    case FrameType::kPunctuation:
+      PutI64(frame.punctuation, out);
+      return;
+    case FrameType::kMetricsResponse:
+      out->insert(out->end(), frame.text.begin(), frame.text.end());
+      return;
+    case FrameType::kReject:
+      PutU64(frame.reject_count, out);
+      return;
+    case FrameType::kFlushSession:
+    case FrameType::kFlushAck:
+    case FrameType::kShutdown:
+    case FrameType::kShutdownAck:
+    case FrameType::kMetricsRequest:
+      return;  // Empty payloads.
+  }
+  IMPATIENCE_CHECK_MSG(false, "unencodable frame type");
+}
+
+// Decodes a payload already verified against its CRC. Returns kOk or
+// kBadPayload.
+DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
+                          size_t n, Frame* frame) {
+  switch (type) {
+    case FrameType::kEvents: {
+      if (n < 4 || aux != 0) return DecodeStatus::kBadPayload;
+      const uint32_t count = GetU32(p);
+      if (n != 4 + static_cast<size_t>(count) * kWireEventBytes) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->events.resize(count);
+      const uint8_t* q = p + 4;
+      for (uint32_t i = 0; i < count; ++i) {
+        Event& e = frame->events[i];
+        e.sync_time = GetI64(q);
+        e.other_time = GetI64(q + 8);
+        e.key = GetI32(q + 16);
+        e.hash = GetU64(q + 20);
+        for (int c = 0; c < 4; ++c) e.payload[c] = GetI32(q + 28 + 4 * c);
+        q += kWireEventBytes;
+      }
+      return DecodeStatus::kOk;
+    }
+    case FrameType::kPunctuation:
+      if (n != 8 || aux != 0) return DecodeStatus::kBadPayload;
+      frame->punctuation = GetI64(p);
+      return DecodeStatus::kOk;
+    case FrameType::kMetricsRequest:
+      if (n != 0 || aux > 1) return DecodeStatus::kBadPayload;
+      frame->metrics_format = static_cast<MetricsFormat>(aux);
+      return DecodeStatus::kOk;
+    case FrameType::kMetricsResponse:
+      if (aux > 1) return DecodeStatus::kBadPayload;
+      frame->metrics_format = static_cast<MetricsFormat>(aux);
+      frame->text.assign(reinterpret_cast<const char*>(p), n);
+      return DecodeStatus::kOk;
+    case FrameType::kReject:
+      if (n != 8 || aux < 1 || aux > 3) return DecodeStatus::kBadPayload;
+      frame->reject_reason = static_cast<RejectReason>(aux);
+      frame->reject_count = GetU64(p);
+      return DecodeStatus::kOk;
+    case FrameType::kFlushSession:
+    case FrameType::kFlushAck:
+    case FrameType::kShutdown:
+    case FrameType::kShutdownAck:
+      return n == 0 && aux == 0 ? DecodeStatus::kOk
+                                : DecodeStatus::kBadPayload;
+  }
+  return DecodeStatus::kBadPayload;  // Unknown type byte.
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  AppendPayload(frame, &payload);
+  IMPATIENCE_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                       "frame payload exceeds kMaxPayloadBytes");
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  PutU32(kWireMagic, out);
+  PutU8(static_cast<uint8_t>(frame.type), out);
+  PutU8(AuxOf(frame), out);
+  PutU16(0, out);  // reserved
+  PutU64(frame.session_id, out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(Crc32(payload.data(), payload.size()), out);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (failed_) return;
+  // Drop the consumed prefix before growing, so long-lived connections do
+  // not accumulate history.
+  if (pos_ > 0 && (pos_ == buffer_.size() || pos_ >= (size_t{1} << 16))) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+DecodeStatus FrameDecoder::Next(Frame* frame) {
+  if (failed_) return error_;
+  const size_t avail = buffer_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  const uint8_t* h = buffer_.data() + pos_;
+
+  auto fail = [this](DecodeStatus status) {
+    failed_ = true;
+    error_ = status;
+    return status;
+  };
+
+  if (GetU32(h) != kWireMagic) return fail(DecodeStatus::kBadMagic);
+  const uint8_t type = h[4];
+  const uint8_t aux = h[5];
+  if (GetU16(h + 6) != 0) return fail(DecodeStatus::kBadLength);
+  const uint64_t session_id = GetU64(h + 8);
+  const uint32_t payload_len = GetU32(h + 16);
+  const uint32_t expect_crc = GetU32(h + 20);
+  if (payload_len > kMaxPayloadBytes) return fail(DecodeStatus::kBadLength);
+  if (avail < kFrameHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
+
+  const uint8_t* payload = h + kFrameHeaderBytes;
+  if (Crc32(payload, payload_len) != expect_crc) {
+    return fail(DecodeStatus::kBadCrc);
+  }
+
+  *frame = Frame{};
+  frame->type = static_cast<FrameType>(type);
+  frame->session_id = session_id;
+  const DecodeStatus status =
+      ParsePayload(frame->type, aux, payload, payload_len, frame);
+  if (status != DecodeStatus::kOk) return fail(status);
+  pos_ += kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,148 @@
+// The ingestion wire protocol: length-prefixed, CRC32-checked frames.
+//
+// Every message between a client and the server is one frame:
+//
+//   offset  size  field
+//   0       4     magic        0x31465049 ("IPF1", little-endian)
+//   4       1     type         FrameType
+//   5       1     aux          type-specific small field (reason/format)
+//   6       2     reserved     must be 0
+//   8       8     session_id   client session the frame belongs to
+//   16      4     payload_len  bytes following the header
+//   20      4     payload_crc  CRC32 (IEEE) of the payload bytes
+//   24      ...   payload
+//
+// All multi-byte fields are little-endian, encoded and decoded byte by
+// byte — a frame produced on any host round-trips on any other. The CRC
+// covers the payload only; header corruption is caught by the magic check
+// and the length bound. Payloads:
+//
+//   kEvents          u32 count, then per event: i64 sync_time,
+//                    i64 other_time, i32 key, u64 hash, 4 x i32 payload
+//                    (the engine's W=4 Event — 44 bytes/event)
+//   kPunctuation     i64 timestamp
+//   kFlushSession    (empty)   client: "session done, ack when ingested"
+//   kFlushAck        (empty)   server: all prior frames of the session
+//                              are in its shard pipeline
+//   kShutdown        (empty)   client: drain every shard and flush
+//   kShutdownAck     (empty)   server: drain complete
+//   kMetricsRequest  (empty; aux = MetricsFormat)
+//   kMetricsResponse rendered metrics bytes (aux = MetricsFormat)
+//   kReject          u64 count of events affected (aux = RejectReason)
+//
+// Decoding is incremental: feed arbitrary byte chunks, get frames out.
+// A corrupted stream (bad magic, bad CRC, oversized length, malformed
+// payload) poisons the decoder — framing is unrecoverable on a byte
+// stream, so the transport must drop the connection.
+
+#ifndef IMPATIENCE_SERVER_WIRE_FORMAT_H_
+#define IMPATIENCE_SERVER_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/timestamp.h"
+
+namespace impatience {
+namespace server {
+
+inline constexpr uint32_t kWireMagic = 0x31465049u;  // "IPF1"
+inline constexpr size_t kFrameHeaderBytes = 24;
+inline constexpr size_t kWireEventBytes = 44;
+// Upper bound on a frame payload; larger lengths are treated as corruption
+// (they would otherwise make the decoder buffer unbounded garbage).
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kEvents = 1,
+  kPunctuation = 2,
+  kFlushSession = 3,
+  kFlushAck = 4,
+  kShutdown = 5,
+  kShutdownAck = 6,
+  kMetricsRequest = 7,
+  kMetricsResponse = 8,
+  kReject = 9,
+};
+
+enum class RejectReason : uint8_t {
+  kQueueFull = 1,     // Bounded shard queue full under kRejectFrame policy.
+  kDecodeError = 2,   // The server could not decode the connection's bytes.
+  kShuttingDown = 3,  // Data frame received after shutdown began.
+};
+
+enum class MetricsFormat : uint8_t {
+  kText = 0,  // Prometheus-style "name{labels} value" lines.
+  kJson = 1,
+};
+
+// One decoded frame. Only the fields relevant to `type` are meaningful.
+struct Frame {
+  FrameType type = FrameType::kEvents;
+  uint64_t session_id = 0;
+  std::vector<Event> events;          // kEvents
+  Timestamp punctuation = 0;          // kPunctuation
+  MetricsFormat metrics_format = MetricsFormat::kText;  // kMetrics*
+  std::string text;                   // kMetricsResponse
+  RejectReason reject_reason = RejectReason::kQueueFull;  // kReject
+  uint64_t reject_count = 0;          // kReject
+};
+
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `n` bytes.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+// Serializes `frame` and appends the bytes to `out`.
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+inline std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  AppendFrame(frame, &out);
+  return out;
+}
+
+enum class DecodeStatus : uint8_t {
+  kOk = 0,        // A frame was produced.
+  kNeedMore = 1,  // Not enough bytes buffered for the next frame.
+  kBadMagic = 2,
+  kBadLength = 3,  // payload_len > kMaxPayloadBytes or reserved != 0.
+  kBadCrc = 4,
+  kBadPayload = 5,  // Type-specific payload malformed (size mismatch,
+                    // unknown type, trailing bytes).
+};
+
+inline bool IsDecodeError(DecodeStatus s) {
+  return s != DecodeStatus::kOk && s != DecodeStatus::kNeedMore;
+}
+
+// Incremental frame decoder over a byte stream.
+class FrameDecoder {
+ public:
+  // Appends raw bytes from the transport.
+  void Feed(const uint8_t* data, size_t n);
+
+  // Attempts to decode the next frame from the buffered bytes. On kOk the
+  // frame's bytes are consumed. Any error status poisons the decoder:
+  // every later call returns the same error.
+  DecodeStatus Next(Frame* frame);
+
+  // True if undecoded bytes remain — at connection close this means the
+  // peer sent a truncated frame.
+  bool HasPartialFrame() const { return !failed_ && pos_ < buffer_.size(); }
+
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+  bool failed() const { return failed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;  // Consumed prefix of buffer_.
+  bool failed_ = false;
+  DecodeStatus error_ = DecodeStatus::kNeedMore;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_WIRE_FORMAT_H_

@@ -64,7 +64,8 @@ struct ImpatienceConfig {
   ThreadPool* thread_pool = nullptr;  // nullptr = ThreadPool::Global()
 };
 
-// Counters exposed for tests and ablation benchmarks.
+// Counters exposed for tests, ablation benchmarks, and the server's
+// metrics surface.
 struct ImpatienceCounters {
   uint64_t pushes = 0;          // Elements accepted (excludes late drops).
   uint64_t srs_hits = 0;        // Insertions that skipped the binary search.
@@ -74,6 +75,24 @@ struct ImpatienceCounters {
   uint64_t parallel_merges = 0;  // Punctuation merges run on the pool.
   uint64_t merge_tasks = 0;      // Pool tasks across all parallel merges.
   MergeStats merge;             // Merge work across all punctuations.
+
+  // Zeroes every counter. Long-lived servers snapshot-and-reset between
+  // scrapes instead of reconstructing sorters.
+  void Reset() { *this = ImpatienceCounters{}; }
+
+  // Element-wise sum — aggregation across bands/shards for metrics.
+  ImpatienceCounters& operator+=(const ImpatienceCounters& other) {
+    pushes += other.pushes;
+    srs_hits += other.srs_hits;
+    new_runs += other.new_runs;
+    removed_runs += other.removed_runs;
+    compactions += other.compactions;
+    parallel_merges += other.parallel_merges;
+    merge_tasks += other.merge_tasks;
+    merge.elements_moved += other.merge.elements_moved;
+    merge.binary_merges += other.merge.binary_merges;
+    return *this;
+  }
 };
 
 // The incremental sorter. See the file comment for the algorithm.
@@ -219,6 +238,11 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
 
   // Lifetime statistics for tests and ablations.
   const ImpatienceCounters& counters() const { return counters_; }
+
+  // Zeroes the counters without touching the buffered runs — the sorter
+  // keeps sorting; only the statistics window restarts. late_drops() is
+  // part of the sorter contract (not a statistics counter) and survives.
+  void ResetCounters() { counters_.Reset(); }
 
   // The last punctuation received (kMinTimestamp if none yet).
   Timestamp last_punctuation() const { return last_punctuation_; }

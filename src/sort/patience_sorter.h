@@ -124,7 +124,8 @@ struct KeyRef {
 template <typename T, typename TimeOf = SyncTimeOf>
 void PatienceSortVector(std::vector<T>* items,
                         MergePolicy merge_policy = MergePolicy::kBalanced,
-                        bool speculative_run_selection = false) {
+                        bool speculative_run_selection = false,
+                        ThreadPool* thread_pool = nullptr) {
   using patience_internal::KeyRef;
   const size_t n = items->size();
   if (n < 2) return;
@@ -163,12 +164,73 @@ void PatienceSortVector(std::vector<T>* items,
   const size_t k = tails.size();
   if (k == 1) return;  // Single run: input was already sorted.
 
-  // Partition pass 2: scatter keys into exactly-sized runs.
+  // Partition pass 2: scatter keys into exactly-sized runs. Pass 1 fixed
+  // every element's run AND its position within that run (arrival order),
+  // so the scatter is a permutation with precomputable destinations: given
+  // per-chunk, per-run element counts, an exclusive prefix sum over chunks
+  // yields each chunk's write offset into every run, and chunks write
+  // disjoint slots. The parallel path is gated on run count so the
+  // chunk-local histograms stay small; output is byte-identical to the
+  // sequential scatter.
   std::vector<std::vector<KeyRef>> runs(k);
-  for (size_t r = 0; r < k; ++r) runs[r].reserve(run_sizes[r]);
-  for (size_t i = 0; i < n; ++i) {
-    runs[run_of[i]].push_back(
-        KeyRef{time_of((*items)[i]), static_cast<uint32_t>(i)});
+  ThreadPool& pool =
+      thread_pool != nullptr ? *thread_pool : ThreadPool::Global();
+  const size_t kScatterChunk = size_t{1} << 16;
+  if (pool.thread_count() > 1 && n >= 2 * kScatterChunk &&
+      k <= (size_t{1} << 15)) {
+    ParallelFor(
+        0, k, size_t{1},
+        [&runs, &run_sizes](size_t lo, size_t hi) {
+          for (size_t r = lo; r < hi; ++r) runs[r].resize(run_sizes[r]);
+        },
+        &pool);
+    const size_t num_chunks = (n + kScatterChunk - 1) / kScatterChunk;
+    std::vector<std::vector<uint32_t>> chunk_offsets(num_chunks);
+    ParallelFor(
+        0, num_chunks, size_t{1},
+        [&chunk_offsets, &run_of, n, k, kScatterChunk](size_t clo,
+                                                       size_t chi) {
+          for (size_t c = clo; c < chi; ++c) {
+            std::vector<uint32_t>& counts = chunk_offsets[c];
+            counts.assign(k, 0);
+            const size_t end = std::min(n, (c + 1) * kScatterChunk);
+            for (size_t i = c * kScatterChunk; i < end; ++i) {
+              ++counts[run_of[i]];
+            }
+          }
+        },
+        &pool);
+    // Exclusive prefix over chunks: chunk_offsets[c][r] becomes the index
+    // in runs[r] where chunk c's first element of run r belongs.
+    std::vector<uint32_t> base(k, 0);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      for (size_t r = 0; r < k; ++r) {
+        const uint32_t count = chunk_offsets[c][r];
+        chunk_offsets[c][r] = base[r];
+        base[r] += count;
+      }
+    }
+    ParallelFor(
+        0, num_chunks, size_t{1},
+        [&runs, &chunk_offsets, &run_of, items, &time_of, n, kScatterChunk](
+            size_t clo, size_t chi) {
+          for (size_t c = clo; c < chi; ++c) {
+            std::vector<uint32_t>& offsets = chunk_offsets[c];
+            const size_t end = std::min(n, (c + 1) * kScatterChunk);
+            for (size_t i = c * kScatterChunk; i < end; ++i) {
+              const uint32_t r = run_of[i];
+              runs[r][offsets[r]++] =
+                  KeyRef{time_of((*items)[i]), static_cast<uint32_t>(i)};
+            }
+          }
+        },
+        &pool);
+  } else {
+    for (size_t r = 0; r < k; ++r) runs[r].reserve(run_sizes[r]);
+    for (size_t i = 0; i < n; ++i) {
+      runs[run_of[i]].push_back(
+          KeyRef{time_of((*items)[i]), static_cast<uint32_t>(i)});
+    }
   }
   run_of.clear();
   run_of.shrink_to_fit();
@@ -192,8 +254,7 @@ void PatienceSortVector(std::vector<T>* items,
   // gathers run on the pool.
   std::vector<T> out;
   if constexpr (std::is_default_constructible_v<T>) {
-    ThreadPool& tp = ThreadPool::Global();
-    if (tp.thread_count() > 1 && n >= (size_t{1} << 16)) {
+    if (pool.thread_count() > 1 && n >= (size_t{1} << 16)) {
       out.resize(n);
       std::vector<T>& in = *items;
       ParallelFor(
@@ -203,7 +264,7 @@ void PatienceSortVector(std::vector<T>* items,
               out[i] = std::move(in[order[i].index]);
             }
           },
-          &tp);
+          &pool);
       *items = std::move(out);
       return;
     }

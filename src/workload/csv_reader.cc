@@ -62,7 +62,7 @@ CsvParseResult ParseCsvEvents(const std::string& text,
   CsvParseResult result;
   std::vector<std::string_view> fields;
   size_t line_start = 0;
-  bool first_line = true;
+  uint64_t line_number = 0;
 
   while (line_start <= text.size()) {
     size_t line_end = text.find('\n', line_start);
@@ -70,11 +70,16 @@ CsvParseResult ParseCsvEvents(const std::string& text,
     std::string_view line(text.data() + line_start, line_end - line_start);
     line_start = line_end + 1;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_number;
 
-    const bool is_header = first_line && schema.has_header;
-    first_line = false;
+    const bool is_header = line_number == 1 && schema.has_header;
     if (is_header || line.empty()) continue;
 
+    if (line.size() > schema.max_line_bytes) {
+      ++result.rows_bad;
+      if (result.first_bad_line == 0) result.first_bad_line = line_number;
+      continue;
+    }
     SplitLine(line, schema.delimiter, &fields);
     Event e;
     int64_t sync = 0;
@@ -90,6 +95,7 @@ CsvParseResult ParseCsvEvents(const std::string& text,
     }
     if (!ok) {
       ++result.rows_bad;
+      if (result.first_bad_line == 0) result.first_bad_line = line_number;
       continue;
     }
     e.sync_time = sync;

@@ -28,13 +28,19 @@ struct CsvSchema {
   int key_column = -1;         // Defaults to 0; hash derived from key.
   // payload_columns[i] fills payload[i]; -1 leaves it 0.
   int payload_columns[4] = {-1, -1, -1, -1};
+  // Lines longer than this are counted bad without being split or parsed —
+  // a bound on per-row work when fed corrupt or non-CSV input.
+  size_t max_line_bytes = size_t{1} << 20;
 };
 
 // Outcome of a parse: the events plus per-row accounting.
 struct CsvParseResult {
   std::vector<Event> events;
   uint64_t rows_ok = 0;
-  uint64_t rows_bad = 0;  // Unparseable rows (wrong arity / non-numeric).
+  uint64_t rows_bad = 0;  // Unparseable rows (arity / non-numeric / length).
+  // 1-based line number of the first bad row (0 if every row parsed);
+  // points operators at the corruption instead of just counting it.
+  uint64_t first_bad_line = 0;
 };
 
 // Parses CSV text (entire buffer) into events.

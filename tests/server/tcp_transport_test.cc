@@ -1,0 +1,160 @@
+// TCP backend tests: the same client/service stack as the loopback tests,
+// but through a real socket pair on 127.0.0.1 (ephemeral ports).
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/timestamp.h"
+#include "server/client.h"
+#include "server/ingest_service.h"
+#include "server/tcp_transport.h"
+#include "workload/generators.h"
+
+namespace impatience {
+namespace server {
+namespace {
+
+std::vector<Event> TestEvents(size_t n) {
+  SyntheticConfig config;
+  config.num_events = n;
+  config.percent_disorder = 30;
+  return GenerateSynthetic(config).events;
+}
+
+ServiceOptions TestOptions(size_t shards) {
+  ServiceOptions options;
+  options.shards.num_shards = shards;
+  options.shards.framework.reorder_latencies = {100, 10000};
+  options.shards.framework.punctuation_period = 500;
+  return options;
+}
+
+TEST(TcpTransportTest, EndToEndIngestFlushMetricsShutdown) {
+  IngestService service(TestOptions(2));
+  TcpServer server(&service, /*port=*/0);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  auto channel = TcpChannel::Connect(server.port(), &error);
+  ASSERT_NE(channel, nullptr) << error;
+  IngestClient client(std::move(channel));
+
+  const std::vector<Event> events = TestEvents(2000);
+  for (size_t i = 0; i < events.size(); i += 250) {
+    const size_t end = std::min(i + 250, events.size());
+    ASSERT_TRUE(client.SendEvents(
+        i % 3, std::vector<Event>(events.begin() + i, events.begin() + end)));
+  }
+  // Flush ack crosses the socket from a shard worker thread.
+  ASSERT_TRUE(client.FlushSession(0));
+
+  std::string text;
+  ASSERT_TRUE(client.GetMetrics(MetricsFormat::kText, &text));
+  EXPECT_NE(text.find("impatience_connections_opened 1"), std::string::npos)
+      << text;
+
+  uint64_t events_in = 0;
+  for (const ShardMetrics& m : service.manager().SnapshotShards()) {
+    events_in += m.events_in;
+  }
+  EXPECT_EQ(events_in, events.size());
+
+  ASSERT_TRUE(client.Shutdown());
+  EXPECT_TRUE(service.shutting_down());
+  server.Stop();
+}
+
+TEST(TcpTransportTest, TwoConcurrentClients) {
+  IngestService service(TestOptions(2));
+  TcpServer server(&service, 0);
+  ASSERT_TRUE(server.Start());
+
+  const std::vector<Event> events = TestEvents(1000);
+  auto run_client = [&](uint64_t session) {
+    auto channel = TcpChannel::Connect(server.port());
+    ASSERT_NE(channel, nullptr);
+    IngestClient client(std::move(channel));
+    for (size_t i = 0; i < events.size(); i += 100) {
+      const size_t end = std::min(i + 100, events.size());
+      ASSERT_TRUE(client.SendEvents(
+          session,
+          std::vector<Event>(events.begin() + i, events.begin() + end)));
+    }
+    ASSERT_TRUE(client.FlushSession(session));
+  };
+  std::thread a([&] { run_client(1); });
+  std::thread b([&] { run_client(2); });
+  a.join();
+  b.join();
+
+  uint64_t events_in = 0;
+  for (const ShardMetrics& m : service.manager().SnapshotShards()) {
+    events_in += m.events_in;
+  }
+  EXPECT_EQ(events_in, 2 * events.size());
+  service.Shutdown();
+  server.Stop();
+}
+
+TEST(TcpTransportTest, GarbagePoisonsOnlyThatConnection) {
+  IngestService service(TestOptions(1));
+  TcpServer server(&service, 0);
+  ASSERT_TRUE(server.Start());
+
+  {
+    auto bad = TcpChannel::Connect(server.port());
+    ASSERT_NE(bad, nullptr);
+    std::vector<uint8_t> garbage(64, 0x5A);
+    ASSERT_TRUE(bad->Write(garbage.data(), garbage.size()));
+    // The server answers with kReject(kDecodeError) before it stops
+    // reading this connection.
+    FrameDecoder decoder;
+    Frame frame;
+    uint8_t buf[512];
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (status == DecodeStatus::kNeedMore &&
+           std::chrono::steady_clock::now() < deadline) {
+      const int64_t n = bad->Read(buf, sizeof(buf), /*blocking=*/true);
+      ASSERT_GT(n, 0);
+      decoder.Feed(buf, static_cast<size_t>(n));
+      status = decoder.Next(&frame);
+    }
+    ASSERT_EQ(status, DecodeStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kReject);
+    EXPECT_EQ(frame.reject_reason, RejectReason::kDecodeError);
+  }
+
+  // The service survives; a clean client still works.
+  auto channel = TcpChannel::Connect(server.port());
+  ASSERT_NE(channel, nullptr);
+  IngestClient client(std::move(channel));
+  ASSERT_TRUE(client.SendEvents(1, TestEvents(100)));
+  ASSERT_TRUE(client.FlushSession(1));
+  EXPECT_EQ(service.Snapshot().decode_errors, 1u);
+  service.Shutdown();
+  server.Stop();
+}
+
+TEST(TcpTransportTest, StopSeversIdleConnections) {
+  IngestService service(TestOptions(1));
+  TcpServer server(&service, 0);
+  ASSERT_TRUE(server.Start());
+  auto channel = TcpChannel::Connect(server.port());
+  ASSERT_NE(channel, nullptr);
+  server.Stop();  // Must not hang on the idle connection's reader.
+  // The severed socket reports EOF/error to the client side.
+  uint8_t buf[16];
+  EXPECT_LT(channel->Read(buf, sizeof(buf), /*blocking=*/true), 0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace impatience

@@ -225,6 +225,73 @@ TEST(ImpatienceSorterTest, CountersTrackWork) {
   EXPECT_EQ(sorter.counters().removed_runs, 3u);
 }
 
+TEST(ImpatienceCountersTest, ResetZeroesEveryField) {
+  ImpatienceCounters c;
+  c.pushes = 1;
+  c.srs_hits = 2;
+  c.new_runs = 3;
+  c.removed_runs = 4;
+  c.compactions = 5;
+  c.parallel_merges = 6;
+  c.merge_tasks = 7;
+  c.merge.elements_moved = 8;
+  c.merge.binary_merges = 9;
+  c.Reset();
+  EXPECT_EQ(c.pushes, 0u);
+  EXPECT_EQ(c.srs_hits, 0u);
+  EXPECT_EQ(c.new_runs, 0u);
+  EXPECT_EQ(c.removed_runs, 0u);
+  EXPECT_EQ(c.compactions, 0u);
+  EXPECT_EQ(c.parallel_merges, 0u);
+  EXPECT_EQ(c.merge_tasks, 0u);
+  EXPECT_EQ(c.merge.elements_moved, 0u);
+  EXPECT_EQ(c.merge.binary_merges, 0u);
+}
+
+TEST(ImpatienceCountersTest, PlusEqualsSumsElementwise) {
+  ImpatienceCounters a;
+  a.pushes = 10;
+  a.new_runs = 2;
+  a.merge.elements_moved = 100;
+  ImpatienceCounters b;
+  b.pushes = 5;
+  b.srs_hits = 7;
+  b.merge.elements_moved = 50;
+  b.merge.binary_merges = 3;
+  a += b;
+  EXPECT_EQ(a.pushes, 15u);
+  EXPECT_EQ(a.srs_hits, 7u);
+  EXPECT_EQ(a.new_runs, 2u);
+  EXPECT_EQ(a.merge.elements_moved, 150u);
+  EXPECT_EQ(a.merge.binary_merges, 3u);
+}
+
+TEST(ImpatienceSorterTest, ResetCountersRestartsStatisticsWindow) {
+  Sorter sorter;
+  for (Timestamp t : {5, 3, 8, 1}) sorter.Push(t);
+  std::vector<Timestamp> out;
+  sorter.OnPunctuation(5, &out);  // Emits and removes runs -> merge stats.
+  EXPECT_GT(sorter.counters().pushes, 0u);
+  EXPECT_GT(sorter.counters().new_runs, 0u);
+  sorter.Push(2);  // Late: dropped, not counted as a push.
+  ASSERT_EQ(sorter.late_drops(), 1u);
+
+  sorter.ResetCounters();
+  EXPECT_EQ(sorter.counters().pushes, 0u);
+  EXPECT_EQ(sorter.counters().new_runs, 0u);
+  EXPECT_EQ(sorter.counters().removed_runs, 0u);
+  EXPECT_EQ(sorter.counters().merge.elements_moved, 0u);
+  // late_drops() is contract state, not a statistics counter: it survives.
+  EXPECT_EQ(sorter.late_drops(), 1u);
+
+  // The sorter still works after a reset and counts only new work.
+  for (Timestamp t : {9, 7}) sorter.Push(t);
+  EXPECT_EQ(sorter.counters().pushes, 2u);
+  out.clear();
+  sorter.Flush(&out);
+  EXPECT_EQ(out, std::vector<Timestamp>({7, 8, 9}));  // 8 buffered earlier.
+}
+
 TEST(ImpatienceSorterTest, EventsSortedBySyncTime) {
   ImpatienceSorter<Event> sorter;
   Rng rng(91);

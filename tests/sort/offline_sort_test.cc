@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/event.h"
+#include "common/thread_pool.h"
 #include "common/timestamp.h"
 #include "sort/sort_algorithms.h"
 #include "tests/testing/sequences.h"
@@ -108,6 +109,49 @@ TEST(OfflineSortEventsTest, WorksAcrossPayloadWidths) {
   OfflineSort<BasicEvent<4>>(OfflineAlgorithm::kImpatience, &wide);
   for (size_t i = 0; i < ts.size(); ++i) {
     EXPECT_EQ(narrow[i].sync_time, wide[i].sync_time);
+  }
+}
+
+// The parallel partition scatter + gather inside PatienceSortVector must be
+// byte-identical to the sequential path at every thread count, including
+// the order of timestamp ties (stability), because pass 1 fixes each
+// element's run and in-run position before any copying happens.
+TEST(OfflineSortEventsTest, PatienceSortVectorParallelScatterDeterministic) {
+  // Above the 2*64Ki parallel-scatter gate; modest range forces heavy
+  // timestamp ties so stability violations would be visible.
+  const size_t n = 200000;
+  const auto ts = testing::RandomSequence(n, /*seed=*/123, /*max_value=*/4096);
+  std::vector<Event> input(n);
+  for (size_t i = 0; i < n; ++i) {
+    input[i].sync_time = ts[i];
+    input[i].payload = {static_cast<int32_t>(i), 0, 0, 0};
+  }
+
+  std::vector<Event> want = input;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.sync_time < b.sync_time;
+                   });
+
+  ThreadPool serial(1);
+  std::vector<Event> sequential = input;
+  PatienceSortVector(&sequential, MergePolicy::kBalanced,
+                     /*speculative_run_selection=*/false, &serial);
+
+  for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    for (const bool speculative : {false, true}) {
+      std::vector<Event> got = input;
+      PatienceSortVector(&got, MergePolicy::kBalanced, speculative, &pool);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i].sync_time, want[i].sync_time)
+            << "threads " << threads << " at " << i;
+        ASSERT_EQ(got[i].payload[0], want[i].payload[0])
+            << "threads " << threads << " tie order diverged at " << i;
+        ASSERT_EQ(got[i].payload[0], sequential[i].payload[0]);
+      }
+    }
   }
 }
 

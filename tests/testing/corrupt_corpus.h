@@ -1,0 +1,51 @@
+// Deterministic fuzz-style corruption corpus, shared by the wire-decoder
+// and CSV-reader tests: given one valid serialized artifact, produce its
+// truncations and single-byte mutations. Both parsers must survive every
+// variant without crashing, and must report (not mask) the damage.
+
+#ifndef IMPATIENCE_TESTS_TESTING_CORRUPT_CORPUS_H_
+#define IMPATIENCE_TESTS_TESTING_CORRUPT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace impatience {
+namespace testing {
+
+// Every strict prefix of `bytes`, sampled each `step` bytes (always
+// including the empty prefix and length-1 cuts around it).
+inline std::vector<std::vector<uint8_t>> TruncationsOf(
+    const std::vector<uint8_t>& bytes, size_t step = 1) {
+  std::vector<std::vector<uint8_t>> out;
+  for (size_t cut = 0; cut < bytes.size(); cut += step) {
+    out.emplace_back(bytes.begin(), bytes.begin() + cut);
+  }
+  return out;
+}
+
+// One variant per mutated offset (each `stride` bytes): the byte at that
+// offset XOR'd with `flip`.
+inline std::vector<std::vector<uint8_t>> ByteFlipsOf(
+    const std::vector<uint8_t>& bytes, size_t stride = 1,
+    uint8_t flip = 0x41) {
+  std::vector<std::vector<uint8_t>> out;
+  for (size_t at = 0; at < bytes.size(); at += stride) {
+    out.push_back(bytes);
+    out.back()[at] ^= flip;
+  }
+  return out;
+}
+
+inline std::vector<uint8_t> BytesOf(const std::string& text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+inline std::string TextOf(const std::vector<uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace testing
+}  // namespace impatience
+
+#endif  // IMPATIENCE_TESTS_TESTING_CORRUPT_CORPUS_H_

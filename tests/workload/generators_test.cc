@@ -139,6 +139,21 @@ TEST_F(CloudLogShapeTest, DeterministicForSeed) {
   const Dataset a = GenerateCloudLog(config);
   const Dataset b = GenerateCloudLog(config);
   EXPECT_EQ(a.events, b.events);
+  config.seed = 7;
+  const Dataset c = GenerateCloudLog(config);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(AndroidLogTest, DeterministicForSeed) {
+  AndroidLogConfig config;
+  config.num_events = 5000;
+  config.num_devices = 8;
+  const Dataset a = GenerateAndroidLog(config);
+  const Dataset b = GenerateAndroidLog(config);
+  EXPECT_EQ(a.events, b.events);
+  config.seed = 7;
+  const Dataset c = GenerateAndroidLog(config);
+  EXPECT_NE(a.events, c.events);
 }
 
 // --- AndroidLog shape ----------------------------------------------------

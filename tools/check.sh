@@ -1,32 +1,54 @@
 #!/usr/bin/env bash
-# Tier-1 verification under ThreadSanitizer with an oversubscribed pool.
+# Tier-1 verification under ThreadSanitizer and AddressSanitizer with an
+# oversubscribed pool.
 #
-# Builds the library + tests with -fsanitize=thread into build-tsan/ and
-# runs the full ctest suite with IMPATIENCE_THREADS=8, so every parallel
-# code path (work-stealing pool, parallel punctuation merge, band-parallel
-# framework) executes multi-threaded under the race detector even on small
-# machines. Benches/examples/tools are skipped: they share the same
-# parallel code, and building them under TSan roughly doubles the wall
-# clock for no extra coverage.
+# Builds the library + tests twice — -fsanitize=thread into build-tsan/
+# and -fsanitize=address into build-asan/ — and runs the full ctest suite
+# (including the server loopback/TCP tests) with IMPATIENCE_THREADS=8, so
+# every parallel code path (work-stealing pool, parallel punctuation
+# merge, band-parallel framework, shard workers) executes multi-threaded
+# under both detectors even on small machines. TSan finds the races; ASan
+# finds lifetime bugs the races would cause (use-after-free on connection
+# teardown, buffer overruns in the wire decoder). Benches/examples/tools
+# are skipped: they share the same code, and building them under the
+# sanitizers roughly doubles the wall clock for no extra coverage.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+# Usage: tools/check.sh [tsan|asan|all] (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-tsan}"
+MODE="${1:-all}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DIMPATIENCE_SANITIZE=thread \
-  -DIMPATIENCE_BUILD_BENCHMARKS=OFF \
-  -DIMPATIENCE_BUILD_EXAMPLES=OFF \
-  -DIMPATIENCE_BUILD_TOOLS=OFF
+run_pass() {
+  local name="$1" build_dir="$2" sanitizer="$3" env_opts="$4"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DIMPATIENCE_SANITIZE="$sanitizer" \
+    -DIMPATIENCE_BUILD_BENCHMARKS=OFF \
+    -DIMPATIENCE_BUILD_EXAMPLES=OFF \
+    -DIMPATIENCE_BUILD_TOOLS=OFF
+  cmake --build "$build_dir" -j "$(nproc)"
+  (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 $env_opts ctest --output-on-failure -j "$(nproc)")
+  echo "$name tier-1: OK"
+}
 
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-
-cd "$BUILD_DIR"
-IMPATIENCE_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --output-on-failure -j "$(nproc)"
-
-echo "TSan tier-1: OK"
+case "$MODE" in
+  tsan)
+    run_pass "TSan" build-tsan thread "TSAN_OPTIONS=halt_on_error=1"
+    ;;
+  asan)
+    run_pass "ASan" build-asan address \
+      "ASAN_OPTIONS=halt_on_error=1:detect_leaks=1"
+    ;;
+  all)
+    run_pass "TSan" build-tsan thread "TSAN_OPTIONS=halt_on_error=1"
+    run_pass "ASan" build-asan address \
+      "ASAN_OPTIONS=halt_on_error=1:detect_leaks=1"
+    ;;
+  *)
+    echo "usage: tools/check.sh [tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -40,17 +40,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --seed is the single source of randomness: it feeds the arrival model
+  // and the payload fields of every generator, so one seed value pins the
+  // whole dataset byte-for-byte (server load tests and benches replay the
+  // exact same input run-to-run).
   uint64_t seed = 42;
   double p = 30;
   double d = 64;
   std::string csv_path;
-  for (int i = 4; i + 1 < argc; i += 2) {
+  for (int i = 4; i < argc; i += 2) {
     const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "datagen: %s needs a value\n", flag.c_str());
+      Usage();
+      return 2;
+    }
     const char* value = argv[i + 1];
     if (flag == "--csv") {
       csv_path = value;
     } else if (flag == "--seed") {
-      seed = static_cast<uint64_t>(std::atoll(value));
+      char* end = nullptr;
+      seed = static_cast<uint64_t>(std::strtoull(value, &end, 10));
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "datagen: --seed wants an integer, got %s\n",
+                     value);
+        return 2;
+      }
     } else if (flag == "--p") {
       p = std::atof(value);
     } else if (flag == "--d") {
@@ -88,8 +103,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "datagen: failed to write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("wrote %zu %s events to %s\n", dataset.events.size(),
-              dataset.name.c_str(), out_path.c_str());
+  std::printf("wrote %zu %s events to %s (seed %llu)\n",
+              dataset.events.size(), dataset.name.c_str(), out_path.c_str(),
+              static_cast<unsigned long long>(seed));
 
   if (!csv_path.empty()) {
     if (!impatience::ExportDatasetCsv(dataset, csv_path)) {

@@ -1,0 +1,132 @@
+// Standalone ingestion server: the sharded Impatience service over TCP.
+//
+//   impatience_serve [--port N] [--shards N] [--queue-capacity N]
+//                    [--backpressure block|reject|shed]
+//                    [--latencies ms,ms,...] [--punctuation-period N]
+//
+// Listens on 127.0.0.1:port for wire-protocol clients (see
+// src/server/wire_format.h). Runs until SIGINT/SIGTERM or until a client
+// sends kShutdown; either way every shard pipeline is drained and
+// flushed, and the final metrics (text rendering) are printed to stdout.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "server/ingest_service.h"
+#include "server/tcp_transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+// Parses "1000,60000" into timestamps; empty/invalid lists are fatal.
+std::vector<impatience::Timestamp> ParseLatencies(const std::string& arg) {
+  std::vector<impatience::Timestamp> out;
+  size_t pos = 0;
+  while (pos < arg.size()) {
+    size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string token = arg.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || v <= 0) {
+      std::fprintf(stderr, "bad latency value: '%s'\n", token.c_str());
+      std::exit(2);
+    }
+    out.push_back(static_cast<impatience::Timestamp>(v));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: impatience_serve [--port N] [--shards N] "
+      "[--queue-capacity N]\n"
+      "                        [--backpressure block|reject|shed]\n"
+      "                        [--latencies ms,ms,...] "
+      "[--punctuation-period N]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace impatience;
+  using namespace impatience::server;
+
+  uint16_t port = 7071;
+  ServiceOptions options;
+  options.shards.num_shards = 4;
+  options.shards.queue_capacity = 256;
+  options.shards.framework.reorder_latencies = {1 * kSecond, 1 * kMinute};
+  options.shards.framework.punctuation_period = 10000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next().c_str()));
+    } else if (arg == "--shards") {
+      const int v = std::atoi(next().c_str());
+      if (v <= 0) Usage();
+      options.shards.num_shards = static_cast<size_t>(v);
+    } else if (arg == "--queue-capacity") {
+      const int v = std::atoi(next().c_str());
+      if (v <= 0) Usage();
+      options.shards.queue_capacity = static_cast<size_t>(v);
+    } else if (arg == "--backpressure") {
+      if (!ParseBackpressurePolicy(next(), &options.shards.backpressure)) {
+        Usage();
+      }
+    } else if (arg == "--latencies") {
+      options.shards.framework.reorder_latencies = ParseLatencies(next());
+    } else if (arg == "--punctuation-period") {
+      const int v = std::atoi(next().c_str());
+      if (v <= 0) Usage();
+      options.shards.framework.punctuation_period = static_cast<size_t>(v);
+    } else {
+      Usage();
+    }
+  }
+
+  IngestService service(options);
+  TcpServer tcp(&service, port);
+  std::string error;
+  if (!tcp.Start(&error)) {
+    std::fprintf(stderr, "failed to listen on port %u: %s\n", port,
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "impatience_serve: listening on 127.0.0.1:%u "
+               "(%zu shards, queue %zu, policy %s)\n",
+               tcp.port(), options.shards.num_shards,
+               options.shards.queue_capacity,
+               BackpressurePolicyName(options.shards.backpressure));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0 && !service.shutting_down()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::fprintf(stderr, "impatience_serve: draining...\n");
+  tcp.Stop();
+  service.Shutdown();
+  std::fputs(RenderMetricsText(service.Snapshot()).c_str(), stdout);
+  return 0;
+}

@@ -162,7 +162,10 @@ void RunFramework(const std::vector<Event>& events) {
 }
 
 void PrintJson() {
-  std::printf("\nBEGIN_JSON\n{\"parallel_scaling\": [\n");
+  std::printf(
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
+      "\"parallel_scaling\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
   const std::vector<Sample>& samples = Samples();
   for (size_t i = 0; i < samples.size(); ++i) {
     std::printf(

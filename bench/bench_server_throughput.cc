@@ -115,7 +115,10 @@ void Run() {
     }
   }
 
-  std::printf("\nBEGIN_JSON\n{\"server_throughput\": [\n");
+  std::printf(
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
+      "\"server_throughput\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
   const std::vector<Sample>& samples = Samples();
   for (size_t i = 0; i < samples.size(); ++i) {
     std::printf(

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "workload/generators.h"
 
 namespace impatience::bench {
@@ -74,6 +75,14 @@ inline uint64_t BenchSeed() {
                  env);
   }
   return 42;
+}
+
+// Name of the kernel dispatch level the process runs at ("scalar", "sse2",
+// "avx2"). Every bench stamps this plus BenchSeed() into its JSON so that
+// BENCH_*.json trajectories stay comparable across machines — a throughput
+// shift that coincides with a level change is dispatch, not regression.
+inline const char* BenchKernelLevel() {
+  return KernelLevelName(ActiveKernelLevel());
 }
 
 // The paper's three workloads at bench scale, deterministic given the seed.

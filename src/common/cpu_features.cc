@@ -1,0 +1,69 @@
+#include "common/cpu_features.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace impatience {
+
+KernelLevel DetectKernelLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return KernelLevel::kAVX2;
+  if (__builtin_cpu_supports("sse2")) return KernelLevel::kSSE2;
+#endif
+  return KernelLevel::kScalar;
+}
+
+KernelLevel ActiveKernelLevel() {
+  static const KernelLevel active = [] {
+    KernelLevel level = DetectKernelLevel();
+    const char* env = std::getenv("IMPATIENCE_KERNEL_LEVEL");
+    if (env != nullptr && *env != '\0') {
+      KernelLevel requested;
+      if (!ParseKernelLevel(env, &requested)) {
+        std::fprintf(stderr, "ignoring unknown IMPATIENCE_KERNEL_LEVEL=%s\n",
+                     env);
+      } else if (requested > level) {
+        // Never dispatch above what the CPU can execute.
+        std::fprintf(stderr,
+                     "IMPATIENCE_KERNEL_LEVEL=%s unsupported on this CPU; "
+                     "using %s\n",
+                     env, KernelLevelName(level));
+      } else {
+        level = requested;
+      }
+    }
+    return level;
+  }();
+  return active;
+}
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kSSE2:
+      return "sse2";
+    case KernelLevel::kAVX2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseKernelLevel(const char* name, KernelLevel* out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = KernelLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "sse2") == 0) {
+    *out = KernelLevel::kSSE2;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = KernelLevel::kAVX2;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace impatience

@@ -1,0 +1,41 @@
+// Runtime CPU-feature dispatch for the hot-path kernels.
+//
+// The kernels in sort/kernels.h come in up to three implementations —
+// portable scalar, SSE2, and AVX2 — selected once per process. Every level
+// computes byte-identical results; the dispatch only picks how fast. The
+// active level is min(what the CPU supports, IMPATIENCE_KERNEL_LEVEL if
+// set), so tests and sanitizer builds can force the portable path and CI
+// can exercise every level on one machine.
+
+#ifndef IMPATIENCE_COMMON_CPU_FEATURES_H_
+#define IMPATIENCE_COMMON_CPU_FEATURES_H_
+
+namespace impatience {
+
+// Kernel implementation tiers, ordered: a CPU that supports level L
+// supports every level below it.
+enum class KernelLevel : int {
+  kScalar = 0,  // Portable C++; the reference implementation.
+  kSSE2 = 1,    // 128-bit vectors (baseline on x86-64).
+  kAVX2 = 2,    // 256-bit vectors.
+};
+
+// Best level this CPU supports (kScalar on non-x86 builds).
+KernelLevel DetectKernelLevel();
+
+// The level the process runs at: DetectKernelLevel() clamped by the
+// IMPATIENCE_KERNEL_LEVEL environment variable ("scalar", "sse2", "avx2")
+// if present. Computed once on first call, then cached; unknown values are
+// ignored with a warning to stderr.
+KernelLevel ActiveKernelLevel();
+
+// "scalar" / "sse2" / "avx2".
+const char* KernelLevelName(KernelLevel level);
+
+// Parses a level name as accepted by IMPATIENCE_KERNEL_LEVEL. Returns
+// false (leaving `out` untouched) on unknown names.
+bool ParseKernelLevel(const char* name, KernelLevel* out);
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_CPU_FEATURES_H_

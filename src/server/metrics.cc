@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/cpu_features.h"
+
 namespace impatience {
 namespace server {
 
@@ -46,6 +48,8 @@ std::string RenderMetricsText(const ServerMetrics& m) {
   Appendf(&out, "impatience_decode_errors %" PRIu64 "\n", m.decode_errors);
   Appendf(&out, "impatience_shutting_down %d\n", m.shutting_down ? 1 : 0);
   Appendf(&out, "impatience_shards %zu\n", m.shards.size());
+  Appendf(&out, "impatience_kernel_level %d\n",
+          static_cast<int>(ActiveKernelLevel()));
 
   TextFamily(&out, m, "impatience_shard_queue_depth",
              [](const ShardMetrics& s) { return s.queue_depth; });
@@ -85,6 +89,10 @@ std::string RenderMetricsText(const ServerMetrics& m) {
              [](const ShardMetrics& s) { return s.sorter.parallel_merges; });
   TextFamily(&out, m, "impatience_shard_sorter_elements_moved",
              [](const ShardMetrics& s) { return s.sorter.merge.elements_moved; });
+  TextFamily(&out, m, "impatience_shard_sorter_disjoint_concats",
+             [](const ShardMetrics& s) {
+               return s.sorter.merge.disjoint_concats;
+             });
   return out;
 }
 
@@ -100,6 +108,8 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
   Appendf(&out, "\"decode_errors\":%" PRIu64 ",", m.decode_errors);
   Appendf(&out, "\"shutting_down\":%s,",
           m.shutting_down ? "true" : "false");
+  Appendf(&out, "\"kernel_level\":\"%s\",",
+          KernelLevelName(ActiveKernelLevel()));
   out += "\"shards\":[";
   for (size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];
@@ -126,8 +136,10 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
             s.sorter.removed_runs);
     Appendf(&out, "\"sorter_parallel_merges\":%" PRIu64 ",",
             s.sorter.parallel_merges);
-    Appendf(&out, "\"sorter_elements_moved\":%" PRIu64 "",
+    Appendf(&out, "\"sorter_elements_moved\":%" PRIu64 ",",
             s.sorter.merge.elements_moved);
+    Appendf(&out, "\"sorter_disjoint_concats\":%" PRIu64 "",
+            s.sorter.merge.disjoint_concats);
     out += "}";
   }
   out += "]}";

@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cpu_features.h"
+#include "sort/kernels.h"
+
 namespace impatience {
 
 namespace {
@@ -95,18 +98,11 @@ uint64_t CountInterleavedRuns(const std::vector<Timestamp>& values) {
   // fewest non-decreasing subsequences — the same placement rule Patience
   // sort uses, which is why Proposition 3.1's bound is tight.
   std::vector<Timestamp> tails;  // Strictly descending.
+  const KernelLevel level = ActiveKernelLevel();
   for (const Timestamp v : values) {
     // First index with tails[i] <= v (tails descending).
-    size_t lo = 0;
-    size_t hi = tails.size();
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (tails[mid] <= v) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
-      }
-    }
+    const size_t lo =
+        kernels::FindFirstLEDesc(tails.data(), tails.size(), v, level);
     if (lo == tails.size()) {
       tails.push_back(v);
     } else {

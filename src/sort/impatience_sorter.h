@@ -28,9 +28,11 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/event.h"
 #include "common/thread_pool.h"
 #include "common/timestamp.h"
+#include "sort/kernels.h"
 #include "sort/merge.h"
 #include "sort/run_select.h"
 #include "sort/sorter.h"
@@ -74,6 +76,10 @@ struct ImpatienceCounters {
   uint64_t compactions = 0;     // Run storage compactions.
   uint64_t parallel_merges = 0;  // Punctuation merges run on the pool.
   uint64_t merge_tasks = 0;      // Pool tasks across all parallel merges.
+  // Active kernel dispatch level (KernelLevel as an integer) — a gauge,
+  // not an accumulator: the sorter stamps it at construction and after
+  // every reset, and aggregation takes the max across shards.
+  uint64_t kernel_level = 0;
   MergeStats merge;             // Merge work across all punctuations.
 
   // Zeroes every counter. Long-lived servers snapshot-and-reset between
@@ -89,8 +95,10 @@ struct ImpatienceCounters {
     compactions += other.compactions;
     parallel_merges += other.parallel_merges;
     merge_tasks += other.merge_tasks;
+    kernel_level = std::max(kernel_level, other.kernel_level);
     merge.elements_moved += other.merge.elements_moved;
     merge.binary_merges += other.merge.binary_merges;
+    merge.disjoint_concats += other.merge.disjoint_concats;
     return *this;
   }
 };
@@ -100,7 +108,9 @@ template <typename T, typename TimeOf = SyncTimeOf>
 class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
  public:
   explicit ImpatienceSorter(ImpatienceConfig config = {})
-      : config_(config) {}
+      : config_(config) {
+    counters_.kernel_level = static_cast<uint64_t>(level_);
+  }
 
   ImpatienceSorter(const ImpatienceSorter&) = delete;
   ImpatienceSorter& operator=(const ImpatienceSorter&) = delete;
@@ -130,7 +140,7 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     // Search the strictly-descending tails array for the first run whose
     // tail is <= t (linear probe over the skew-heavy front, then
     // branch-free binary search).
-    const size_t lo = FindRunIndex(tails_, t);
+    const size_t lo = FindRunIndex(tails_, t, level_);
     if (lo == runs_.size()) {
       // Smaller than every tail: start a new run.
       runs_.emplace_back();
@@ -157,8 +167,11 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     // and this fixed cost dominates.
     cut_runs_.clear();
     size_t emitted = 0;
-    for (size_t r = 0; r < runs_.size(); ++r) {
-      if (head_times_[r] > t) continue;
+    const size_t nruns = runs_.size();
+    for (size_t r = kernels::NextIndexLE(head_times_.data(), 0, nruns, t,
+                                         level_);
+         r < nruns; r = kernels::NextIndexLE(head_times_.data(), r + 1,
+                                             nruns, t, level_)) {
       Run& run = runs_[r];
       const size_t cut = UpperBoundByTime(run, t);
       IMPATIENCE_DCHECK(cut != run.head);
@@ -224,7 +237,10 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
 
   size_t MemoryBytes() const override {
     size_t bytes = tails_.capacity() * sizeof(Timestamp) +
-                   runs_.capacity() * sizeof(Run) + pool_.MemoryBytes();
+                   head_times_.capacity() * sizeof(Timestamp) +
+                   runs_.capacity() * sizeof(Run) +
+                   cut_runs_.capacity() * sizeof(CutRange) +
+                   pool_.MemoryBytes();
     for (const Run& run : runs_) bytes += run.items.capacity() * sizeof(T);
     return bytes;
   }
@@ -242,7 +258,10 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   // Zeroes the counters without touching the buffered runs — the sorter
   // keeps sorting; only the statistics window restarts. late_drops() is
   // part of the sorter contract (not a statistics counter) and survives.
-  void ResetCounters() { counters_.Reset(); }
+  void ResetCounters() {
+    counters_.Reset();
+    counters_.kernel_level = static_cast<uint64_t>(level_);
+  }
 
   // The last punctuation received (kMinTimestamp if none yet).
   Timestamp last_punctuation() const { return last_punctuation_; }
@@ -265,17 +284,8 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
 
   // First index in [run.head, run.items.size()) with timestamp > t.
   size_t UpperBoundByTime(const Run& run, Timestamp t) const {
-    size_t lo = run.head;
-    size_t hi = run.items.size();
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (time_of_(run.items[mid]) <= t) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+    return kernels::UpperBoundByTime(run.items.data(), run.head,
+                                     run.items.size(), t, time_of_, level_);
   }
 
   void RemoveEmptyRunsAndCompact() {
@@ -322,6 +332,9 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
 
   ImpatienceConfig config_;
   TimeOf time_of_;
+  // Dispatch level resolved once per sorter; hot loops pass it through
+  // instead of re-reading the process-wide cache.
+  const KernelLevel level_ = ActiveKernelLevel();
 
   std::vector<Run> runs_;
   std::vector<Timestamp> tails_;  // tails_[i] == time of runs_[i].items.back()

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/event.h"
 #include "common/timestamp.h"
+#include "sort/kernels.h"
 #include "sort/sorter.h"
 
 namespace impatience {
@@ -62,25 +64,30 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
         sorted_ = std::move(unsorted_);
         head_ = 0;
       } else {
-        // Merge the two sorted buffers into a fresh sorted buffer.
+        // Merge the two sorted buffers into a fresh sorted buffer with the
+        // kernel merge (same stable order as std::merge — ties keep the
+        // old sorted buffer first); when the new batch lies entirely past
+        // the buffered tail, the common case for a mostly-ordered stream,
+        // the merge degenerates to two bulk copies.
         std::vector<T> merged;
-        merged.reserve(SortedSize() + unsorted_.size());
-        std::merge(sorted_.begin() + static_cast<ptrdiff_t>(head_),
-                   sorted_.end(), unsorted_.begin(), unsorted_.end(),
-                   std::back_inserter(merged), less);
+        kernels::MergeIntoVector(
+            sorted_.data() + head_, sorted_.data() + sorted_.size(),
+            unsorted_.data(), unsorted_.data() + unsorted_.size(), less,
+            &merged);
         sorted_ = std::move(merged);
         head_ = 0;
       }
       unsorted_.clear();
     }
 
-    // Emit the prefix of the sorted buffer at or before the punctuation.
+    // Emit the prefix of the sorted buffer at or before the punctuation
+    // (branchless bound; vector-wide when T is a bare timestamp column).
+    const size_t cut_index = kernels::UpperBoundByTime(
+        sorted_.data(), head_, sorted_.size(), t, time_of_, level_);
     const auto begin = sorted_.begin() + static_cast<ptrdiff_t>(head_);
-    const auto cut = std::upper_bound(
-        begin, sorted_.end(), t,
-        [this](Timestamp ts, const T& item) { return ts < time_of_(item); });
+    const auto cut = sorted_.begin() + static_cast<ptrdiff_t>(cut_index);
     out->insert(out->end(), begin, cut);
-    head_ = static_cast<size_t>(cut - sorted_.begin());
+    head_ = cut_index;
     // Reclaim the emitted prefix when it dominates the buffer.
     if (head_ > 0 && head_ * 2 >= sorted_.size()) {
       sorted_.erase(sorted_.begin(), sorted_.begin() +
@@ -107,6 +114,7 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
   SortFn sort_fn_;
   std::string name_;
   TimeOf time_of_;
+  const KernelLevel level_ = ActiveKernelLevel();
 
   std::vector<T> sorted_;  // Sorted buffer; [0, head_) already emitted.
   size_t head_ = 0;

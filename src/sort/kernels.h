@@ -1,0 +1,510 @@
+// Branchless / SIMD hot-path kernels with runtime dispatch.
+//
+// Every event the system ingests crosses exactly two inner loops: the
+// tails search in the patience/impatience partition phase and the two-way
+// merge at punctuation time. This header owns those loops (plus the
+// punctuation-time run-boundary scans) as standalone kernels, each in up
+// to three implementations — portable scalar, SSE2, AVX2 — selected by a
+// KernelLevel (see common/cpu_features.h).
+//
+// Contract: every level computes byte-identical results, including the
+// order of equal timestamps. Searches return exact indices (the predicates
+// are monotone, so the answer is unique); the merge kernels emit the same
+// stable element order at every level. The equivalence property tests in
+// tests/sort/kernels_test.cc force every level against scalar references.
+
+#ifndef IMPATIENCE_SORT_KERNELS_H_
+#define IMPATIENCE_SORT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/event.h"
+#include "common/timestamp.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define IMPATIENCE_HAVE_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace impatience {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar building blocks (shared by every dispatch level).
+
+// First index in [lo, lo+len) with data[i] <= t, where the range is
+// strictly descending. Conditional-move loop: the compare result steers
+// two selects instead of a branch, so the essentially random outcome of a
+// binary-search probe never hits the branch predictor.
+inline size_t BranchlessDescLE(const Timestamp* data, size_t lo, size_t len,
+                               Timestamp t) {
+  while (len > 0) {
+    const size_t half = len >> 1;
+    const bool gt = data[lo + half] > t;
+    lo = gt ? lo + half + 1 : lo;
+    len = gt ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+// First index in [lo, lo+len) with data[i] > t, where the range is
+// ascending (ties allowed) — the run-boundary cut. Same cmov shape.
+inline size_t BranchlessAscGT(const Timestamp* data, size_t lo, size_t len,
+                              Timestamp t) {
+  while (len > 0) {
+    const size_t half = len >> 1;
+    const bool le = data[lo + half] <= t;
+    lo = le ? lo + half + 1 : lo;
+    len = le ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+namespace detail {
+
+// The run-size distribution on log data is heavily skewed toward the
+// first few runs, so the tails search probes a short prefix linearly
+// before the binary search. 16 covers the SIMD probe at every level.
+inline constexpr size_t kTailsProbe = 16;
+
+inline size_t FindFirstLEDescScalar(const Timestamp* data, size_t n,
+                                    Timestamp t) {
+  const size_t probe = n < kTailsProbe ? n : kTailsProbe;
+  for (size_t i = 0; i < probe; ++i) {
+    if (data[i] <= t) return i;
+  }
+  if (probe == n) return n;
+  return BranchlessDescLE(data, kTailsProbe, n - kTailsProbe, t);
+}
+
+inline size_t UpperBoundAscGTScalar(const Timestamp* data, size_t lo,
+                                    size_t hi, Timestamp t) {
+  return BranchlessAscGT(data, lo, hi - lo, t);
+}
+
+inline size_t NextIndexLEScalar(const Timestamp* data, size_t begin,
+                                size_t n, Timestamp t) {
+  for (size_t i = begin; i < n; ++i) {
+    if (data[i] <= t) return i;
+  }
+  return n;
+}
+
+#if IMPATIENCE_HAVE_X86_KERNELS
+
+// Per-lane signed 64-bit a > b for SSE2, which has no pcmpgtq: compare
+// high dwords signed, and where they tie, compare low dwords unsigned
+// (bias by 2^31 to reuse the signed compare).
+inline __m128i CmpGtI64Sse2(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(INT32_MIN);
+  const __m128i gt32 = _mm_cmpgt_epi32(a, b);
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  const __m128i gtu32 =
+      _mm_cmpgt_epi32(_mm_xor_si128(a, bias), _mm_xor_si128(b, bias));
+  const __m128i gt_hi = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128i eq_hi = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128i gtu_lo = _mm_shuffle_epi32(gtu32, _MM_SHUFFLE(2, 2, 0, 0));
+  return _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gtu_lo));
+}
+
+// 2-bit mask, bit i set iff data[i] > t.
+inline unsigned MaskGt2(const Timestamp* data, __m128i vt) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  return static_cast<unsigned>(
+      _mm_movemask_pd(_mm_castsi128_pd(CmpGtI64Sse2(v, vt))));
+}
+
+inline size_t FindFirstLEDescSse2(const Timestamp* data, size_t n,
+                                  Timestamp t) {
+  const __m128i vt = _mm_set1_epi64x(t);
+  const size_t vec = (n < kTailsProbe ? n : kTailsProbe) & ~size_t{1};
+  for (size_t i = 0; i < vec; i += 2) {
+    const unsigned gt = MaskGt2(data + i, vt);
+    if (gt != 0x3u) return i + ((gt & 1u) != 0 ? 1 : 0);
+  }
+  if (n <= kTailsProbe) {
+    // Ragged last element of a short tails array.
+    for (size_t i = vec; i < n; ++i) {
+      if (data[i] <= t) return i;
+    }
+    return n;
+  }
+  return BranchlessDescLE(data, kTailsProbe, n - kTailsProbe, t);
+}
+
+inline size_t UpperBoundAscGTSse2(const Timestamp* data, size_t lo,
+                                  size_t hi, Timestamp t) {
+  size_t len = hi - lo;
+  while (len > 16) {
+    const size_t half = len >> 1;
+    const bool le = data[lo + half] <= t;
+    lo = le ? lo + half + 1 : lo;
+    len = le ? len - half - 1 : half;
+  }
+  // The range is sorted, so the elements <= t form a prefix: counting
+  // them yields the first index with data[i] > t.
+  const __m128i vt = _mm_set1_epi64x(t);
+  size_t count = 0;
+  size_t i = lo;
+  for (; i + 2 <= lo + len; i += 2) {
+    const unsigned gt = MaskGt2(data + i, vt);
+    count += static_cast<size_t>(__builtin_popcount(~gt & 0x3u));
+  }
+  for (; i < lo + len; ++i) count += data[i] <= t ? 1 : 0;
+  return lo + count;
+}
+
+inline size_t NextIndexLESse2(const Timestamp* data, size_t begin, size_t n,
+                              Timestamp t) {
+  const __m128i vt = _mm_set1_epi64x(t);
+  size_t i = begin;
+  for (; i + 2 <= n; i += 2) {
+    const unsigned le = ~MaskGt2(data + i, vt) & 0x3u;
+    if (le != 0) return i + static_cast<size_t>(__builtin_ctz(le));
+  }
+  for (; i < n; ++i) {
+    if (data[i] <= t) return i;
+  }
+  return n;
+}
+
+// 4-bit mask, bit i set iff data[i] > t.
+__attribute__((target("avx2"))) inline unsigned MaskGt4(
+    const Timestamp* data, __m256i vt) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  return static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vt))));
+}
+
+__attribute__((target("avx2"))) inline size_t FindFirstLEDescAvx2(
+    const Timestamp* data, size_t n, Timestamp t) {
+  const __m256i vt = _mm256_set1_epi64x(t);
+  const size_t vec = (n < kTailsProbe ? n : kTailsProbe) & ~size_t{3};
+  for (size_t i = 0; i < vec; i += 4) {
+    const unsigned gt = MaskGt4(data + i, vt);
+    if (gt != 0xFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~gt & 0xFu));
+    }
+  }
+  if (n <= kTailsProbe) {
+    for (size_t i = vec; i < n; ++i) {
+      if (data[i] <= t) return i;
+    }
+    return n;
+  }
+  return BranchlessDescLE(data, kTailsProbe, n - kTailsProbe, t);
+}
+
+__attribute__((target("avx2"))) inline size_t UpperBoundAscGTAvx2(
+    const Timestamp* data, size_t lo, size_t hi, Timestamp t) {
+  size_t len = hi - lo;
+  while (len > 32) {
+    const size_t half = len >> 1;
+    const bool le = data[lo + half] <= t;
+    lo = le ? lo + half + 1 : lo;
+    len = le ? len - half - 1 : half;
+  }
+  const __m256i vt = _mm256_set1_epi64x(t);
+  size_t count = 0;
+  size_t i = lo;
+  for (; i + 4 <= lo + len; i += 4) {
+    const unsigned gt = MaskGt4(data + i, vt);
+    count += static_cast<size_t>(__builtin_popcount(~gt & 0xFu));
+  }
+  for (; i < lo + len; ++i) count += data[i] <= t ? 1 : 0;
+  return lo + count;
+}
+
+__attribute__((target("avx2"))) inline size_t NextIndexLEAvx2(
+    const Timestamp* data, size_t begin, size_t n, Timestamp t) {
+  const __m256i vt = _mm256_set1_epi64x(t);
+  size_t i = begin;
+  for (; i + 4 <= n; i += 4) {
+    const unsigned le = ~MaskGt4(data + i, vt) & 0xFu;
+    if (le != 0) return i + static_cast<size_t>(__builtin_ctz(le));
+  }
+  for (; i < n; ++i) {
+    if (data[i] <= t) return i;
+  }
+  return n;
+}
+
+#endif  // IMPATIENCE_HAVE_X86_KERNELS
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatched search kernels over the timestamp column.
+
+// Partition search: first index in the strictly-descending `data[0, n)`
+// with data[i] <= t, or n. This is the loop every insertion crosses.
+inline size_t FindFirstLEDesc(const Timestamp* data, size_t n, Timestamp t,
+                              KernelLevel level) {
+#if IMPATIENCE_HAVE_X86_KERNELS
+  if (level == KernelLevel::kAVX2) {
+    return detail::FindFirstLEDescAvx2(data, n, t);
+  }
+  if (level == KernelLevel::kSSE2) {
+    return detail::FindFirstLEDescSse2(data, n, t);
+  }
+#else
+  (void)level;
+#endif
+  return detail::FindFirstLEDescScalar(data, n, t);
+}
+
+// Run-boundary cut: first index in the ascending `data[lo, hi)` with
+// data[i] > t, or hi. SIMD levels narrow by cmov binary search, then
+// count the <= t prefix of the final block vector-wide.
+inline size_t UpperBoundAscGT(const Timestamp* data, size_t lo, size_t hi,
+                              Timestamp t, KernelLevel level) {
+#if IMPATIENCE_HAVE_X86_KERNELS
+  if (level == KernelLevel::kAVX2) {
+    return detail::UpperBoundAscGTAvx2(data, lo, hi, t);
+  }
+  if (level == KernelLevel::kSSE2) {
+    return detail::UpperBoundAscGTSse2(data, lo, hi, t);
+  }
+#else
+  (void)level;
+#endif
+  return detail::UpperBoundAscGTScalar(data, lo, hi, t);
+}
+
+// Head-run scan: next index in [begin, n) with data[i] <= t, or n. The
+// array is unsorted (per-run head times); punctuation handling walks the
+// matching runs via repeated calls.
+inline size_t NextIndexLE(const Timestamp* data, size_t begin, size_t n,
+                          Timestamp t, KernelLevel level) {
+#if IMPATIENCE_HAVE_X86_KERNELS
+  if (level == KernelLevel::kAVX2) {
+    return detail::NextIndexLEAvx2(data, begin, n, t);
+  }
+  if (level == KernelLevel::kSSE2) {
+    return detail::NextIndexLESse2(data, begin, n, t);
+  }
+#else
+  (void)level;
+#endif
+  return detail::NextIndexLEScalar(data, begin, n, t);
+}
+
+// Run-boundary cut over elements of any type: first index in
+// [lo, hi) with time_of(data[i]) > t. Bare timestamp columns take the
+// SIMD kernel; everything else takes the branchless scalar loop.
+template <typename T, typename TimeOf>
+inline size_t UpperBoundByTime(const T* data, size_t lo, size_t hi,
+                               Timestamp t, TimeOf time_of,
+                               KernelLevel level) {
+  if constexpr (std::is_same_v<T, Timestamp> &&
+                std::is_same_v<TimeOf, IdentityTimeOf>) {
+    (void)time_of;
+    return UpperBoundAscGT(data, lo, hi, t, level);
+  } else {
+    (void)level;
+    size_t len = hi - lo;
+    while (len > 0) {
+      const size_t half = len >> 1;
+      const bool le = time_of(data[lo + half]) <= t;
+      lo = le ? lo + half + 1 : lo;
+      len = le ? len - half - 1 : half;
+    }
+    return lo;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-way merge kernel.
+
+// After this many consecutive wins by one side the merge switches to
+// galloping (exponential search + bulk copy), as in Timsort;
+// log-structured inputs produce long disjoint stretches where this
+// approaches memcpy speed.
+inline constexpr int kGallopThreshold = 7;
+
+// First position in [first, last) with !less(*pos, key) (lower bound),
+// found by exponential probing from `first` then binary search — O(log
+// distance) instead of O(log n).
+template <typename T, typename Less>
+const T* GallopLowerBound(const T* first, const T* last, const T& key,
+                          Less less) {
+  size_t step = 1;
+  const T* probe = first;
+  while (probe + step <= last - 1 && less(*(probe + step), key)) {
+    probe += step;
+    step <<= 1;
+  }
+  const T* hi = (probe + step < last) ? probe + step + 1 : last;
+  // Invariant: [first, probe] all < key (probe itself checked or == first).
+  const T* lo = less(*probe, key) ? probe + 1 : probe;
+  while (lo < hi) {
+    const T* mid = lo + (hi - lo) / 2;
+    if (less(*mid, key)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First position in [first, last) with less(key, *pos) (upper bound).
+template <typename T, typename Less>
+const T* GallopUpperBound(const T* first, const T* last, const T& key,
+                          Less less) {
+  size_t step = 1;
+  const T* probe = first;
+  while (probe + step <= last - 1 && !less(key, *(probe + step))) {
+    probe += step;
+    step <<= 1;
+  }
+  const T* hi = (probe + step < last) ? probe + step + 1 : last;
+  const T* lo = !less(key, *probe) ? probe + 1 : probe;
+  while (lo < hi) {
+    const T* mid = lo + (hi - lo) / 2;
+    if (!less(key, *mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Relationship of two non-empty sorted ranges at merge time.
+enum class MergeFastPath {
+  kNone,      // The ranges overlap: run the select loop.
+  kConcatAB,  // a.last <= b.first (ties keep a first): out = a ++ b.
+  kConcatBA,  // b.last < a.first (strict):             out = b ++ a.
+};
+
+// Classifies whether a stable merge of [pa, ea) then [pb, eb) degenerates
+// to concatenation. Exactly one compare per side; at low disorder the
+// head runs released by a punctuation partition the timeline almost
+// disjointly, making this the common case. Both ranges must be non-empty.
+template <typename T, typename Less>
+MergeFastPath ClassifyDisjoint(const T* pa, const T* ea, const T* pb,
+                               const T* eb, Less less) {
+  if (!less(*pb, *(ea - 1))) return MergeFastPath::kConcatAB;
+  if (less(*(eb - 1), *pa)) return MergeFastPath::kConcatBA;
+  return MergeFastPath::kNone;
+}
+
+// Merges the sorted ranges [pa, ea) and [pb, eb) into `out` (appended).
+// Stable: on ties, elements of the `a` range precede elements of the `b`
+// range. Disjoint ranges concatenate with two bulk copies; overlapping
+// ranges run a branchless (cmov) select loop that switches to galloping
+// bulk copies when one side wins repeatedly. Returns true when the
+// disjoint fast path ran (for the disjoint_concats statistic).
+template <typename T, typename Less>
+bool MergeIntoVector(const T* pa, const T* ea, const T* pb, const T* eb,
+                     Less less, std::vector<T>* out) {
+  out->reserve(out->size() + static_cast<size_t>(ea - pa) +
+               static_cast<size_t>(eb - pb));
+  bool disjoint = false;
+  if (pa != ea && pb != eb) {
+    switch (ClassifyDisjoint(pa, ea, pb, eb, less)) {
+      case MergeFastPath::kConcatAB:
+        disjoint = true;
+        break;
+      case MergeFastPath::kConcatBA:
+        out->insert(out->end(), pb, eb);
+        out->insert(out->end(), pa, ea);
+        return true;
+      case MergeFastPath::kNone: {
+        int streak_a = 0;
+        int streak_b = 0;
+        // Branch-light loop: the taken/not-taken pattern of a merge is
+        // essentially random, so select the source with a conditional
+        // move; on a long winning streak, gallop.
+        while (pa != ea && pb != eb) {
+          const bool take_b = less(*pb, *pa);
+          const T* src = take_b ? pb : pa;
+          out->push_back(*src);
+          pb += take_b ? 1 : 0;
+          pa += take_b ? 0 : 1;
+          streak_b = take_b ? streak_b + 1 : 0;
+          streak_a = take_b ? 0 : streak_a + 1;
+          if (streak_b >= kGallopThreshold && pb != eb) {
+            // Everything in b strictly below *pa comes next, in one block.
+            const T* end = GallopLowerBound(pb, eb, *pa, less);
+            out->insert(out->end(), pb, end);
+            pb = end;
+            streak_b = 0;
+          } else if (streak_a >= kGallopThreshold && pa != ea) {
+            // Everything in a at or below *pb comes next (ties prefer a).
+            const T* end = GallopUpperBound(pa, ea, *pb, less);
+            out->insert(out->end(), pa, end);
+            pa = end;
+            streak_a = 0;
+          }
+        }
+        break;
+      }
+    }
+  }
+  out->insert(out->end(), pa, ea);
+  out->insert(out->end(), pb, eb);
+  return disjoint;
+}
+
+// Merges [pa, ea) and [pb, eb) into the pre-sized destination starting at
+// `dst` (the caller guarantees room for both ranges). Element order is
+// identical to MergeIntoVector; used by the parallel merge to let two
+// tasks write disjoint halves of one output. Returns one past the last
+// element written; sets *disjoint (if non-null) when the concat fast
+// path ran.
+template <typename T, typename Less>
+T* MergeToPtr(const T* pa, const T* ea, const T* pb, const T* eb, Less less,
+              T* dst, bool* disjoint = nullptr) {
+  if (disjoint != nullptr) *disjoint = false;
+  if (pa != ea && pb != eb) {
+    switch (ClassifyDisjoint(pa, ea, pb, eb, less)) {
+      case MergeFastPath::kConcatAB:
+        if (disjoint != nullptr) *disjoint = true;
+        break;
+      case MergeFastPath::kConcatBA:
+        if (disjoint != nullptr) *disjoint = true;
+        dst = std::copy(pb, eb, dst);
+        return std::copy(pa, ea, dst);
+      case MergeFastPath::kNone: {
+        int streak_a = 0;
+        int streak_b = 0;
+        while (pa != ea && pb != eb) {
+          const bool take_b = less(*pb, *pa);
+          const T* src = take_b ? pb : pa;
+          *dst++ = *src;
+          pb += take_b ? 1 : 0;
+          pa += take_b ? 0 : 1;
+          streak_b = take_b ? streak_b + 1 : 0;
+          streak_a = take_b ? 0 : streak_a + 1;
+          if (streak_b >= kGallopThreshold && pb != eb) {
+            const T* end = GallopLowerBound(pb, eb, *pa, less);
+            dst = std::copy(pb, end, dst);
+            pb = end;
+            streak_b = 0;
+          } else if (streak_a >= kGallopThreshold && pa != ea) {
+            const T* end = GallopUpperBound(pa, ea, *pb, less);
+            dst = std::copy(pa, end, dst);
+            pa = end;
+            streak_a = 0;
+          }
+        }
+        break;
+      }
+    }
+  }
+  dst = std::copy(pa, ea, dst);
+  return std::copy(pb, eb, dst);
+}
+
+}  // namespace kernels
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SORT_KERNELS_H_

@@ -30,6 +30,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "sort/kernels.h"
 
 namespace impatience {
 
@@ -80,148 +81,44 @@ class MergeBufferPool {
 
 namespace merge_internal {
 
-// After this many consecutive wins by one side the merge switches to
-// galloping (exponential search + bulk copy), as in Timsort; log-structured
-// inputs produce long disjoint stretches where this approaches memcpy
-// speed.
-inline constexpr int kGallopThreshold = 7;
-
-// First position in [first, last) with !less(*pos, key) (lower bound),
-// found by exponential probing from `first` then binary search — O(log
-// distance) instead of O(log n).
-template <typename T, typename Less>
-const T* GallopLowerBound(const T* first, const T* last, const T& key,
-                          Less less) {
-  size_t step = 1;
-  const T* probe = first;
-  while (probe + step <= last - 1 && less(*(probe + step), key)) {
-    probe += step;
-    step <<= 1;
-  }
-  const T* hi = (probe + step < last) ? probe + step + 1 : last;
-  // Invariant: [first, probe] all < key (probe itself checked or == first).
-  const T* lo = less(*probe, key) ? probe + 1 : probe;
-  while (lo < hi) {
-    const T* mid = lo + (hi - lo) / 2;
-    if (less(*mid, key)) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-// First position in [first, last) with less(key, *pos) (upper bound).
-template <typename T, typename Less>
-const T* GallopUpperBound(const T* first, const T* last, const T& key,
-                          Less less) {
-  size_t step = 1;
-  const T* probe = first;
-  while (probe + step <= last - 1 && !less(key, *(probe + step))) {
-    probe += step;
-    step <<= 1;
-  }
-  const T* hi = (probe + step < last) ? probe + step + 1 : last;
-  const T* lo = !less(key, *probe) ? probe + 1 : probe;
-  while (lo < hi) {
-    const T* mid = lo + (hi - lo) / 2;
-    if (!less(key, *mid)) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
+// The gallop machinery moved to sort/kernels.h with the two-way merge
+// kernel; these aliases keep the historical names working.
+using kernels::GallopLowerBound;
+using kernels::GallopUpperBound;
+using kernels::kGallopThreshold;
 
 }  // namespace merge_internal
 
 // Merges the sorted ranges [pa, ea) and [pb, eb) into `out` (appended).
 // Stable: on ties, elements of the `a` range precede elements of the `b`
-// range. Switches to galloping bulk copies when one side wins repeatedly.
+// range. Delegates to the kernel-layer merge: disjoint ranges concatenate
+// with bulk copies, overlapping ranges run a branchless select loop that
+// gallops when one side wins repeatedly. Returns true when the disjoint
+// fast path ran.
 template <typename T, typename Less>
-void BinaryMergeRangesInto(const T* pa, const T* ea, const T* pb,
+bool BinaryMergeRangesInto(const T* pa, const T* ea, const T* pb,
                            const T* eb, Less less, std::vector<T>* out) {
-  using merge_internal::GallopLowerBound;
-  using merge_internal::GallopUpperBound;
-  using merge_internal::kGallopThreshold;
-  out->reserve(out->size() + static_cast<size_t>(ea - pa) +
-               static_cast<size_t>(eb - pb));
-  int streak_a = 0;
-  int streak_b = 0;
-  // Branch-light loop: the taken/not-taken pattern of a merge is
-  // essentially random, so select the source with a conditional move; on a
-  // long winning streak, gallop.
-  while (pa != ea && pb != eb) {
-    const bool take_b = less(*pb, *pa);
-    const T* src = take_b ? pb : pa;
-    out->push_back(*src);
-    pb += take_b ? 1 : 0;
-    pa += take_b ? 0 : 1;
-    streak_b = take_b ? streak_b + 1 : 0;
-    streak_a = take_b ? 0 : streak_a + 1;
-    if (streak_b >= kGallopThreshold && pb != eb) {
-      // Everything in b strictly below *pa comes next, in one block.
-      const T* end = GallopLowerBound(pb, eb, *pa, less);
-      out->insert(out->end(), pb, end);
-      pb = end;
-      streak_b = 0;
-    } else if (streak_a >= kGallopThreshold && pa != ea) {
-      // Everything in a at or below *pb comes next (ties prefer a).
-      const T* end = GallopUpperBound(pa, ea, *pb, less);
-      out->insert(out->end(), pa, end);
-      pa = end;
-      streak_a = 0;
-    }
-  }
-  out->insert(out->end(), pa, ea);
-  out->insert(out->end(), pb, eb);
+  return kernels::MergeIntoVector(pa, ea, pb, eb, less, out);
 }
 
 // Vector-input convenience over BinaryMergeRangesInto.
 template <typename T, typename Less>
-void BinaryMergeInto(const std::vector<T>& a, const std::vector<T>& b,
+bool BinaryMergeInto(const std::vector<T>& a, const std::vector<T>& b,
                      Less less, std::vector<T>* out) {
-  BinaryMergeRangesInto(a.data(), a.data() + a.size(), b.data(),
-                        b.data() + b.size(), less, out);
+  return BinaryMergeRangesInto(a.data(), a.data() + a.size(), b.data(),
+                               b.data() + b.size(), less, out);
 }
 
 // Merges [pa, ea) and [pb, eb) into the pre-sized destination starting at
 // `dst` (the caller guarantees room for both ranges). Element order is
 // identical to BinaryMergeRangesInto; used by the parallel merge to let two
 // tasks write disjoint halves of one output. Returns one past the last
-// element written.
+// element written; sets *disjoint (if non-null) when the concat fast path
+// ran.
 template <typename T, typename Less>
 T* BinaryMergeToPtr(const T* pa, const T* ea, const T* pb, const T* eb,
-                    Less less, T* dst) {
-  using merge_internal::GallopLowerBound;
-  using merge_internal::GallopUpperBound;
-  using merge_internal::kGallopThreshold;
-  int streak_a = 0;
-  int streak_b = 0;
-  while (pa != ea && pb != eb) {
-    const bool take_b = less(*pb, *pa);
-    const T* src = take_b ? pb : pa;
-    *dst++ = *src;
-    pb += take_b ? 1 : 0;
-    pa += take_b ? 0 : 1;
-    streak_b = take_b ? streak_b + 1 : 0;
-    streak_a = take_b ? 0 : streak_a + 1;
-    if (streak_b >= kGallopThreshold && pb != eb) {
-      const T* end = GallopLowerBound(pb, eb, *pa, less);
-      dst = std::copy(pb, end, dst);
-      pb = end;
-      streak_b = 0;
-    } else if (streak_a >= kGallopThreshold && pa != ea) {
-      const T* end = GallopUpperBound(pa, ea, *pb, less);
-      dst = std::copy(pa, end, dst);
-      pa = end;
-      streak_a = 0;
-    }
-  }
-  dst = std::copy(pa, ea, dst);
-  return std::copy(pb, eb, dst);
+                    Less less, T* dst, bool* disjoint = nullptr) {
+  return kernels::MergeToPtr(pa, ea, pb, eb, less, dst, disjoint);
 }
 
 // Statistics describing the work a merge performed; used by ablation
@@ -232,6 +129,12 @@ struct MergeStats {
   uint64_t elements_moved = 0;
   // Number of binary merges performed.
   uint64_t binary_merges = 0;
+  // Binary merges resolved by the disjoint-run fast path (two bulk copies,
+  // no select loop). Unlike the fields above, this depends on execution
+  // strategy: the parallel merge splits the final merge in two, and each
+  // half classifies independently, so the count may differ from the
+  // sequential merge of the same runs.
+  uint64_t disjoint_concats = 0;
 };
 
 namespace merge_internal {
@@ -284,11 +187,13 @@ void HuffmanMergeInto(std::vector<std::vector<T>>* runs, Less less,
     }
     if (heap.empty()) {
       // Final merge: write straight into the caller's output.
-      BinaryMergeInto(rs[a], rs[b], less, out);
+      const bool disjoint = BinaryMergeInto(rs[a], rs[b], less, out);
+      if (stats != nullptr && disjoint) ++stats->disjoint_concats;
       break;
     }
     std::vector<T> merged = pool->Acquire(rs[a].size() + rs[b].size());
-    BinaryMergeInto(rs[a], rs[b], less, &merged);
+    const bool disjoint = BinaryMergeInto(rs[a], rs[b], less, &merged);
+    if (stats != nullptr && disjoint) ++stats->disjoint_concats;
     pool->Release(std::move(rs[a]));
     pool->Release(std::move(rs[b]));
     rs[a] = std::move(merged);
@@ -438,6 +343,10 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
   const size_t out0 = out->size();
   out->resize(out0 + total);  // Pre-sized so halves can write in place.
 
+  // Tasks record disjoint-concat fast paths here; folded into `stats`
+  // after the group drains (the other MergeStats fields come from the
+  // plan phase and are already exact).
+  std::atomic<uint64_t> disjoint_concats{0};
   TaskGroup group(&tp);
   std::function<void(size_t)> exec_node = [&](size_t j) {
     Node& nd = nodes[j];
@@ -457,14 +366,26 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
         const T* bsplit = merge_internal::GallopLowerBound(pb, eb, pa[ma],
                                                            less);
         T* mid = dst + ma + static_cast<size_t>(bsplit - pb);
-        group.Run([pa, ma, pb, bsplit, dst, &less] {
-          BinaryMergeToPtr(pa, pa + ma, pb, bsplit, less, dst);
+        group.Run([pa, ma, pb, bsplit, dst, &less, &disjoint_concats] {
+          bool disjoint = false;
+          BinaryMergeToPtr(pa, pa + ma, pb, bsplit, less, dst, &disjoint);
+          if (disjoint) {
+            disjoint_concats.fetch_add(1, std::memory_order_relaxed);
+          }
         });
-        group.Run([pa, ma, ea, bsplit, eb, mid, &less] {
-          BinaryMergeToPtr(pa + ma, ea, bsplit, eb, less, mid);
+        group.Run([pa, ma, ea, bsplit, eb, mid, &less, &disjoint_concats] {
+          bool disjoint = false;
+          BinaryMergeToPtr(pa + ma, ea, bsplit, eb, less, mid, &disjoint);
+          if (disjoint) {
+            disjoint_concats.fetch_add(1, std::memory_order_relaxed);
+          }
         });
       } else {
-        BinaryMergeToPtr(pa, ea, pb, eb, less, dst);
+        bool disjoint = false;
+        BinaryMergeToPtr(pa, ea, pb, eb, less, dst, &disjoint);
+        if (disjoint) {
+          disjoint_concats.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       // The final inputs are freed by the caller (rs.clear() / ~nodes),
       // matching the sequential merge, which does not pool them either.
@@ -472,8 +393,10 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
     }
     MergeBufferPool<T>& worker_pool = WorkerMergePool<T>();
     nd.buf = worker_pool.Acquire(nd.size);
-    BinaryMergeRangesInto(a.data(), a.data() + a.size(), b.data(),
-                          b.data() + b.size(), less, &nd.buf);
+    if (BinaryMergeRangesInto(a.data(), a.data() + a.size(), b.data(),
+                              b.data() + b.size(), less, &nd.buf)) {
+      disjoint_concats.fetch_add(1, std::memory_order_relaxed);
+    }
     worker_pool.Release(std::move(a));
     worker_pool.Release(std::move(b));
     worker_pool.Trim(kWorkerMergePoolMaxBytes);
@@ -487,6 +410,10 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
     group.Run([&exec_node, j] { exec_node(j); });
   }
   group.Wait();
+  if (stats != nullptr) {
+    stats->disjoint_concats +=
+        disjoint_concats.load(std::memory_order_relaxed);
+  }
   rs.clear();
   return (k - 1) + (split_final ? 2 : 0);
 }
@@ -509,10 +436,11 @@ void BalancedMergeInto(std::vector<std::vector<T>>* runs, Less less,
     next.reserve((rs.size() + 1) / 2);
     for (size_t i = 0; i + 1 < rs.size(); i += 2) {
       std::vector<T> merged = pool->Acquire(rs[i].size() + rs[i + 1].size());
-      BinaryMergeInto(rs[i], rs[i + 1], less, &merged);
+      const bool disjoint = BinaryMergeInto(rs[i], rs[i + 1], less, &merged);
       if (stats != nullptr) {
         stats->elements_moved += merged.size();
         ++stats->binary_merges;
+        if (disjoint) ++stats->disjoint_concats;
       }
       pool->Release(std::move(rs[i]));
       pool->Release(std::move(rs[i + 1]));
@@ -522,11 +450,12 @@ void BalancedMergeInto(std::vector<std::vector<T>>* runs, Less less,
     rs = std::move(next);
   }
   if (rs.size() == 2) {
+    const bool disjoint = BinaryMergeInto(rs[0], rs[1], less, out);
     if (stats != nullptr) {
       stats->elements_moved += rs[0].size() + rs[1].size();
       ++stats->binary_merges;
+      if (disjoint) ++stats->disjoint_concats;
     }
-    BinaryMergeInto(rs[0], rs[1], less, out);
   } else {
     out->insert(out->end(), rs[0].begin(), rs[0].end());
   }

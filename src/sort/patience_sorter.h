@@ -19,10 +19,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/event.h"
 #include "common/thread_pool.h"
 #include "common/timestamp.h"
 #include "sort/merge.h"
+#include "sort/partition.h"
 #include "sort/run_select.h"
 
 namespace impatience {
@@ -53,7 +55,7 @@ class PatienceSorter {
         return;
       }
     }
-    const size_t lo = FindRunIndex(tails_, t);
+    const size_t lo = FindRunIndex(tails_, t, level_);
     if (lo == runs_.size()) {
       runs_.emplace_back();
       tails_.push_back(t);
@@ -85,7 +87,12 @@ class PatienceSorter {
   }
 
   size_t MemoryBytes() const {
-    size_t bytes = tails_.capacity() * sizeof(Timestamp);
+    // Full footprint: the tails array, the run element storage, AND the
+    // run vector headers themselves — with many short runs the headers
+    // are not noise, and MemoryTracker/server metrics report this number
+    // as the sorter's real size.
+    size_t bytes = tails_.capacity() * sizeof(Timestamp) +
+                   runs_.capacity() * sizeof(std::vector<T>);
     for (const std::vector<T>& r : runs_) bytes += r.capacity() * sizeof(T);
     return bytes;
   }
@@ -94,6 +101,7 @@ class PatienceSorter {
   MergePolicy merge_policy_;
   bool speculative_run_selection_;
   TimeOf time_of_;
+  const KernelLevel level_ = ActiveKernelLevel();
 
   std::vector<std::vector<T>> runs_;
   std::vector<Timestamp> tails_;
@@ -131,37 +139,33 @@ void PatienceSortVector(std::vector<T>* items,
   if (n < 2) return;
   IMPATIENCE_CHECK(n < UINT32_MAX);
   TimeOf time_of;
+  const KernelLevel level = ActiveKernelLevel();
+  ThreadPool& pool =
+      thread_pool != nullptr ? *thread_pool : ThreadPool::Global();
 
-  // Partition pass 1: assign each key a run. `tails` is strictly
-  // descending; nothing is copied yet, so a run's storage can be sized
-  // exactly before the scatter.
-  std::vector<uint32_t> run_of(n);
-  std::vector<Timestamp> tails;
-  std::vector<size_t> run_sizes;
-  size_t last_run = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const Timestamp t = time_of((*items)[i]);
-    if (speculative_run_selection && !tails.empty()) {
-      // §III-E2: the previous insertion's run is often right again.
-      const size_t r = last_run;
-      if (tails[r] <= t && (r == 0 || t < tails[r - 1])) {
-        run_of[i] = static_cast<uint32_t>(r);
-        tails[r] = t;
-        ++run_sizes[r];
-        continue;
-      }
-    }
-    const size_t lo = FindRunIndex(tails, t);
-    if (lo == tails.size()) {
-      tails.push_back(t);
-      run_sizes.push_back(0);
-    }
-    run_of[i] = static_cast<uint32_t>(lo);
-    tails[lo] = t;
-    ++run_sizes[lo];
-    last_run = lo;
+  // Extract the timestamp column once: pass 1 and the pass-2 scatter both
+  // read timestamps only, and a packed column beats strided event loads.
+  std::vector<Timestamp> times(n);
+  {
+    std::vector<T>& in = *items;
+    ParallelFor(
+        0, n, size_t{1} << 14,
+        [&times, &in, &time_of](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) times[i] = time_of(in[i]);
+        },
+        &pool);
   }
-  const size_t k = tails.size();
+
+  // Partition pass 1: assign each key a run (see sort/partition.h;
+  // speculative parallel scan above the size gate, byte-identical to the
+  // sequential scan). Nothing is copied yet, so a run's storage can be
+  // sized exactly before the scatter.
+  PartitionPass1 pass1;
+  AssignRuns(times.data(), n, speculative_run_selection, level, &pool,
+             &pass1);
+  std::vector<uint32_t>& run_of = pass1.run_of;
+  std::vector<size_t>& run_sizes = pass1.run_sizes;
+  const size_t k = pass1.tails.size();
   if (k == 1) return;  // Single run: input was already sorted.
 
   // Partition pass 2: scatter keys into exactly-sized runs. Pass 1 fixed
@@ -173,8 +177,6 @@ void PatienceSortVector(std::vector<T>* items,
   // chunk-local histograms stay small; output is byte-identical to the
   // sequential scatter.
   std::vector<std::vector<KeyRef>> runs(k);
-  ThreadPool& pool =
-      thread_pool != nullptr ? *thread_pool : ThreadPool::Global();
   const size_t kScatterChunk = size_t{1} << 16;
   if (pool.thread_count() > 1 && n >= 2 * kScatterChunk &&
       k <= (size_t{1} << 15)) {
@@ -212,7 +214,7 @@ void PatienceSortVector(std::vector<T>* items,
     }
     ParallelFor(
         0, num_chunks, size_t{1},
-        [&runs, &chunk_offsets, &run_of, items, &time_of, n, kScatterChunk](
+        [&runs, &chunk_offsets, &run_of, &times, n, kScatterChunk](
             size_t clo, size_t chi) {
           for (size_t c = clo; c < chi; ++c) {
             std::vector<uint32_t>& offsets = chunk_offsets[c];
@@ -220,7 +222,7 @@ void PatienceSortVector(std::vector<T>* items,
             for (size_t i = c * kScatterChunk; i < end; ++i) {
               const uint32_t r = run_of[i];
               runs[r][offsets[r]++] =
-                  KeyRef{time_of((*items)[i]), static_cast<uint32_t>(i)};
+                  KeyRef{times[i], static_cast<uint32_t>(i)};
             }
           }
         },
@@ -228,12 +230,13 @@ void PatienceSortVector(std::vector<T>* items,
   } else {
     for (size_t r = 0; r < k; ++r) runs[r].reserve(run_sizes[r]);
     for (size_t i = 0; i < n; ++i) {
-      runs[run_of[i]].push_back(
-          KeyRef{time_of((*items)[i]), static_cast<uint32_t>(i)});
+      runs[run_of[i]].push_back(KeyRef{times[i], static_cast<uint32_t>(i)});
     }
   }
   run_of.clear();
   run_of.shrink_to_fit();
+  times.clear();
+  times.shrink_to_fit();
 
   // Merge phase over keys. The Huffman order additionally admits the
   // parallel task-DAG merge (identical output; sequential on a 1-thread
@@ -244,7 +247,9 @@ void PatienceSortVector(std::vector<T>* items,
     return a.time < b.time;
   };
   if (merge_policy == MergePolicy::kHuffman) {
-    ParallelMergeRunsInto(&runs, key_less, &order);
+    ParallelMergeOptions po;
+    po.pool = &pool;
+    ParallelMergeRunsInto(&runs, key_less, &order, nullptr, nullptr, po);
   } else {
     MergeRunsInto(merge_policy, &runs, key_less, &order);
   }

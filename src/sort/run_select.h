@@ -2,9 +2,10 @@
 //
 // The tails array is strictly descending and the run-size distribution on
 // log data is heavily skewed toward the first few runs (the "front" runs
-// absorb the near-in-order backbone of the stream). FindRunIndex therefore
-// probes the first few tails linearly — a predictable early-exit loop —
-// before falling back to a branch-free binary search over the remainder.
+// absorb the near-in-order backbone of the stream). The search kernel
+// (kernels::FindFirstLEDesc) therefore probes the first few tails — a
+// predictable early-exit loop, vector-wide at the SIMD levels — before
+// falling back to a branch-free binary search over the remainder.
 
 #ifndef IMPATIENCE_SORT_RUN_SELECT_H_
 #define IMPATIENCE_SORT_RUN_SELECT_H_
@@ -12,33 +13,24 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/timestamp.h"
+#include "sort/kernels.h"
 
 namespace impatience {
 
 // Returns the first index i with tails[i] <= t, or tails.size() if no run
-// can accept the element. `tails` must be strictly descending.
+// can accept the element. `tails` must be strictly descending. Hot loops
+// should cache ActiveKernelLevel() once and use this overload.
+inline size_t FindRunIndex(const std::vector<Timestamp>& tails, Timestamp t,
+                           KernelLevel level) {
+  return kernels::FindFirstLEDesc(tails.data(), tails.size(), t, level);
+}
+
+// Convenience overload at the process-wide dispatch level.
 inline size_t FindRunIndex(const std::vector<Timestamp>& tails,
                            Timestamp t) {
-  constexpr size_t kLinearProbe = 8;
-  const size_t k = tails.size();
-  const size_t linear_end = k < kLinearProbe ? k : kLinearProbe;
-  for (size_t i = 0; i < linear_end; ++i) {
-    if (tails[i] <= t) return i;
-  }
-  if (linear_end == k) return k;
-
-  // Branch-free binary search over tails[kLinearProbe..k).
-  const Timestamp* data = tails.data();
-  size_t lo = kLinearProbe;
-  size_t len = k - kLinearProbe;
-  while (len > 0) {
-    const size_t half = len >> 1;
-    const bool gt = data[lo + half] > t;
-    lo = gt ? lo + half + 1 : lo;
-    len = gt ? len - half - 1 : half;
-  }
-  return lo;
+  return FindRunIndex(tails, t, ActiveKernelLevel());
 }
 
 }  // namespace impatience

@@ -234,8 +234,10 @@ TEST(ImpatienceCountersTest, ResetZeroesEveryField) {
   c.compactions = 5;
   c.parallel_merges = 6;
   c.merge_tasks = 7;
+  c.kernel_level = 2;
   c.merge.elements_moved = 8;
   c.merge.binary_merges = 9;
+  c.merge.disjoint_concats = 10;
   c.Reset();
   EXPECT_EQ(c.pushes, 0u);
   EXPECT_EQ(c.srs_hits, 0u);
@@ -244,8 +246,10 @@ TEST(ImpatienceCountersTest, ResetZeroesEveryField) {
   EXPECT_EQ(c.compactions, 0u);
   EXPECT_EQ(c.parallel_merges, 0u);
   EXPECT_EQ(c.merge_tasks, 0u);
+  EXPECT_EQ(c.kernel_level, 0u);
   EXPECT_EQ(c.merge.elements_moved, 0u);
   EXPECT_EQ(c.merge.binary_merges, 0u);
+  EXPECT_EQ(c.merge.disjoint_concats, 0u);
 }
 
 TEST(ImpatienceCountersTest, PlusEqualsSumsElementwise) {
@@ -258,12 +262,35 @@ TEST(ImpatienceCountersTest, PlusEqualsSumsElementwise) {
   b.srs_hits = 7;
   b.merge.elements_moved = 50;
   b.merge.binary_merges = 3;
+  b.merge.disjoint_concats = 2;
   a += b;
   EXPECT_EQ(a.pushes, 15u);
   EXPECT_EQ(a.srs_hits, 7u);
   EXPECT_EQ(a.new_runs, 2u);
   EXPECT_EQ(a.merge.elements_moved, 150u);
   EXPECT_EQ(a.merge.binary_merges, 3u);
+  EXPECT_EQ(a.merge.disjoint_concats, 2u);
+}
+
+TEST(ImpatienceCountersTest, KernelLevelIsAGaugeNotASum) {
+  // Aggregating shards must not add dispatch levels together; the merged
+  // view reports the highest level seen.
+  ImpatienceCounters a;
+  a.kernel_level = 2;
+  ImpatienceCounters b;
+  b.kernel_level = 1;
+  a += b;
+  EXPECT_EQ(a.kernel_level, 2u);
+  b += a;
+  EXPECT_EQ(b.kernel_level, 2u);
+}
+
+TEST(ImpatienceSorterTest, StampsKernelLevelAtConstructionAndReset) {
+  Sorter sorter;
+  const uint64_t level = static_cast<uint64_t>(ActiveKernelLevel());
+  EXPECT_EQ(sorter.counters().kernel_level, level);
+  sorter.ResetCounters();
+  EXPECT_EQ(sorter.counters().kernel_level, level);
 }
 
 TEST(ImpatienceSorterTest, ResetCountersRestartsStatisticsWindow) {

@@ -1,0 +1,129 @@
+// The speculative parallel partition pass 1 (sort/partition.h) must be
+// byte-identical to the sequential scan: same run id per element, same
+// tails array, same run sizes — at every thread count and with the
+// speculative-run-selection fast path on or off. The input families are
+// chosen to hit each reconciliation case: sorted input resolves chunks as
+// whole-chunk run extensions (case A'), reversed input as fresh-run
+// appends (case B), and random input forces the sequential replay
+// fallback (case C).
+
+#include "sort/partition.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
+#include "common/timestamp.h"
+#include "tests/testing/sequences.h"
+
+namespace impatience {
+namespace {
+
+namespace t = ::impatience::testing;
+
+void ExpectIdenticalPass1(const std::vector<Timestamp>& times,
+                          const std::string& label) {
+  const KernelLevel level = ActiveKernelLevel();
+  for (const bool srs : {false, true}) {
+    PartitionPass1 want;
+    AssignRunsSequential(times.data(), times.size(), srs, level, &want);
+    for (const size_t threads : {size_t{2}, size_t{3}, size_t{8}}) {
+      ThreadPool pool(threads);
+      PartitionPass1 got;
+      AssignRunsParallel(times.data(), times.size(), srs, level, &pool,
+                         &got);
+      ASSERT_EQ(got.tails, want.tails)
+          << label << " srs=" << srs << " threads=" << threads;
+      ASSERT_EQ(got.run_sizes, want.run_sizes)
+          << label << " srs=" << srs << " threads=" << threads;
+      ASSERT_EQ(got.run_of, want.run_of)
+          << label << " srs=" << srs << " threads=" << threads;
+    }
+  }
+}
+
+// Inputs sized above, below, and exactly around the chunk boundary so
+// ragged final chunks and single-chunk degenerate cases are covered.
+constexpr size_t kChunk = size_t{1} << 15;
+
+TEST(PartitionParallelTest, SortedInput) {
+  // Every chunk is one non-decreasing local run extending global run 0:
+  // the pure case-A' path.
+  ExpectIdenticalPass1(t::SortedSequence(4 * kChunk + 17), "sorted");
+}
+
+TEST(PartitionParallelTest, ReversedInput) {
+  // Every element opens a new run and every chunk's maximum is below the
+  // global minimum tail: the pure case-B path.
+  ExpectIdenticalPass1(t::ReversedSequence(3 * kChunk + 1), "reversed");
+}
+
+TEST(PartitionParallelTest, ConstantInput) {
+  // All ties: one run, chunks extend it via case A' (tails non-strict at
+  // equality is exactly the <= boundary worth pinning).
+  ExpectIdenticalPass1(t::ConstantSequence(2 * kChunk + 5, 42), "constant");
+}
+
+TEST(PartitionParallelTest, RandomInput) {
+  // Wide-range random disorder defeats both speculative cases: every
+  // chunk replays sequentially (case C), which must still be exact.
+  ExpectIdenticalPass1(t::RandomSequence(3 * kChunk, /*seed=*/91),
+                       "random");
+}
+
+TEST(PartitionParallelTest, RandomTieHeavyInput) {
+  // Narrow range forces equal timestamps across chunk boundaries.
+  ExpectIdenticalPass1(
+      t::RandomSequence(3 * kChunk, /*seed=*/93, /*max_value=*/64),
+      "random_ties");
+}
+
+TEST(PartitionParallelTest, NearlySortedInput) {
+  // The paper's workload shape: mostly case A' with case C where delayed
+  // elements straddle a chunk boundary.
+  ExpectIdenticalPass1(
+      t::NearlySortedSequence(3 * kChunk, /*percent=*/5.0, /*stddev=*/256,
+                              /*seed=*/95),
+      "nearly_sorted");
+}
+
+TEST(PartitionParallelTest, InterleavedInput) {
+  ExpectIdenticalPass1(t::InterleavedSequence(3 * kChunk, /*sources=*/8,
+                                              /*seed=*/97),
+                       "interleaved");
+}
+
+TEST(PartitionParallelTest, SmallAndRaggedInputs) {
+  // Below one chunk the parallel path still runs when called directly;
+  // exact chunk multiples exercise the no-ragged-tail edge.
+  ExpectIdenticalPass1(t::RandomSequence(100, /*seed=*/99), "tiny");
+  ExpectIdenticalPass1(t::RandomSequence(kChunk, /*seed=*/101),
+                       "one_chunk");
+  ExpectIdenticalPass1(t::RandomSequence(2 * kChunk, /*seed=*/103),
+                       "two_chunks");
+  ExpectIdenticalPass1(t::SortedSequence(0), "empty");
+  ExpectIdenticalPass1(t::SortedSequence(1), "single");
+}
+
+TEST(PartitionParallelTest, AssignRunsGateFallsBackSequentially) {
+  // Below the size gate AssignRuns must take the sequential path even with
+  // a parallel pool — same result either way, but pin the dispatch
+  // contract by checking the small-input result against the reference.
+  const std::vector<Timestamp> times = t::RandomSequence(1000, /*seed=*/7);
+  const KernelLevel level = ActiveKernelLevel();
+  ThreadPool pool(4);
+  PartitionPass1 want;
+  AssignRunsSequential(times.data(), times.size(), true, level, &want);
+  PartitionPass1 got;
+  AssignRuns(times.data(), times.size(), true, level, &pool, &got);
+  EXPECT_EQ(got.run_of, want.run_of);
+  EXPECT_EQ(got.tails, want.tails);
+  EXPECT_EQ(got.run_sizes, want.run_sizes);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verification under ThreadSanitizer and AddressSanitizer with an
-# oversubscribed pool.
+# Tier-1 verification under ThreadSanitizer, AddressSanitizer, and
+# UBSanitizer with an oversubscribed pool.
 #
-# Builds the library + tests twice — -fsanitize=thread into build-tsan/
-# and -fsanitize=address into build-asan/ — and runs the full ctest suite
-# (including the server loopback/TCP tests) with IMPATIENCE_THREADS=8, so
-# every parallel code path (work-stealing pool, parallel punctuation
-# merge, band-parallel framework, shard workers) executes multi-threaded
-# under both detectors even on small machines. TSan finds the races; ASan
-# finds lifetime bugs the races would cause (use-after-free on connection
-# teardown, buffer overruns in the wire decoder). Benches/examples/tools
-# are skipped: they share the same code, and building them under the
-# sanitizers roughly doubles the wall clock for no extra coverage.
+# Builds the library + tests per sanitizer — -fsanitize=thread into
+# build-tsan/, -fsanitize=address into build-asan/, -fsanitize=undefined
+# into build-ubsan/ — and runs the full ctest suite (including the server
+# loopback/TCP tests) with IMPATIENCE_THREADS=8, so every parallel code
+# path (work-stealing pool, parallel punctuation merge + partition,
+# band-parallel framework, shard workers) executes multi-threaded under
+# each detector even on small machines. TSan finds the races; ASan finds
+# lifetime bugs the races would cause (use-after-free on connection
+# teardown, buffer overruns in the wire decoder); UBSan catches the
+# integer/pointer traps hand-written SIMD kernels invite (misaligned
+# loads, out-of-range shifts, signed overflow).
 #
-# Usage: tools/check.sh [tsan|asan|all] (default: all)
+# Each pass runs ctest twice: once at the CPU's native kernel dispatch
+# level and once with IMPATIENCE_KERNEL_LEVEL=scalar forced, so the
+# portable kernels — the only path non-x86 builds have — stay exercised
+# under every sanitizer no matter what machine CI lands on.
+#
+# Benches/examples/tools are skipped: they share the same code, and
+# building them under the sanitizers roughly doubles the wall clock for no
+# extra coverage.
+#
+# Usage: tools/check.sh [tsan|asan|ubsan|all] (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,24 +41,43 @@ run_pass() {
   cmake --build "$build_dir" -j "$(nproc)"
   (cd "$build_dir" && \
     env IMPATIENCE_THREADS=8 $env_opts ctest --output-on-failure -j "$(nproc)")
-  echo "$name tier-1: OK"
+  (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 IMPATIENCE_KERNEL_LEVEL=scalar $env_opts \
+      ctest --output-on-failure -j "$(nproc)")
+  echo "$name tier-1 (native + scalar kernels): OK"
+}
+
+tsan_pass() {
+  run_pass "TSan" build-tsan thread "TSAN_OPTIONS=halt_on_error=1"
+}
+
+asan_pass() {
+  run_pass "ASan" build-asan address \
+    "ASAN_OPTIONS=halt_on_error=1:detect_leaks=1"
+}
+
+ubsan_pass() {
+  run_pass "UBSan" build-ubsan undefined \
+    "UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1"
 }
 
 case "$MODE" in
   tsan)
-    run_pass "TSan" build-tsan thread "TSAN_OPTIONS=halt_on_error=1"
+    tsan_pass
     ;;
   asan)
-    run_pass "ASan" build-asan address \
-      "ASAN_OPTIONS=halt_on_error=1:detect_leaks=1"
+    asan_pass
+    ;;
+  ubsan)
+    ubsan_pass
     ;;
   all)
-    run_pass "TSan" build-tsan thread "TSAN_OPTIONS=halt_on_error=1"
-    run_pass "ASan" build-asan address \
-      "ASAN_OPTIONS=halt_on_error=1:detect_leaks=1"
+    tsan_pass
+    asan_pass
+    ubsan_pass
     ;;
   *)
-    echo "usage: tools/check.sh [tsan|asan|all]" >&2
+    echo "usage: tools/check.sh [tsan|asan|ubsan|all]" >&2
     exit 2
     ;;
 esac

@@ -14,10 +14,13 @@
 // punctuations (10 means a punctuation every 10 events).
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/histogram.h"
 #include "sort/sort_algorithms.h"
 #include "workload/generators.h"
 
@@ -27,7 +30,24 @@ namespace {
 struct OnlineRun {
   double throughput_meps = 0;
   uint64_t late_drops = 0;
+  // Punctuation-to-emit latency quantiles, when the sorter instruments
+  // them (Impatience sort and the adapter baselines); 0 otherwise.
+  bool has_latency = false;
+  uint64_t punct_to_emit_p50_ns = 0;
+  uint64_t punct_to_emit_p99_ns = 0;
 };
+
+struct JsonSample {
+  std::string dataset;
+  size_t punct_freq = 0;
+  std::string algorithm;
+  OnlineRun run;
+};
+
+std::vector<JsonSample>& Samples() {
+  static std::vector<JsonSample> samples;
+  return samples;
+}
 
 OnlineRun MeasureOnline(OnlineAlgorithm algorithm,
                         const std::vector<Event>& events, size_t frequency,
@@ -60,11 +80,20 @@ OnlineRun MeasureOnline(OnlineAlgorithm algorithm,
     out.clear();
   });
   IMPATIENCE_CHECK(emitted + sorter->late_drops() == events.size());
-  return OnlineRun{Throughput(events.size(), secs), sorter->late_drops()};
+  OnlineRun run;
+  run.throughput_meps = Throughput(events.size(), secs);
+  run.late_drops = sorter->late_drops();
+  if (const HistogramSnapshot* h = sorter->punctuation_latency();
+      h != nullptr && h->count() > 0) {
+    run.has_latency = true;
+    run.punct_to_emit_p50_ns = h->P50();
+    run.punct_to_emit_p99_ns = h->P99();
+  }
+  return run;
 }
 
-void Sweep(const std::string& title, const std::vector<Event>& events,
-           Timestamp reorder_latency) {
+void Sweep(const std::string& title, const std::string& dataset,
+           const std::vector<Event>& events, Timestamp reorder_latency) {
   Section(title);
   std::vector<std::string> headers = {"punct_freq"};
   for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
@@ -81,6 +110,8 @@ void Sweep(const std::string& title, const std::vector<Event>& events,
           MeasureOnline(algorithm, events, freq, reorder_latency);
       row.push_back(TablePrinter::Num(result.throughput_meps));
       drops = result.late_drops;  // Identical across algorithms.
+      Samples().push_back(
+          {dataset, freq, OnlineAlgorithmName(algorithm), result});
     }
     row.push_back(TablePrinter::Num(
         100.0 * static_cast<double>(drops) /
@@ -97,13 +128,37 @@ void Run() {
   // majority of late events, drop only the noticeably late tail.
   Sweep("Figure 8(a): online throughput (M events/s), synthetic p=30% "
         "d=64, reorder latency 600ms",
-        BenchSynthetic(n, 30, 64).events, 600);
+        "synthetic", BenchSynthetic(n, 30, 64).events, 600);
   Sweep("Figure 8(b): online throughput (M events/s), CloudLog, reorder "
         "latency 60s (jitter fully covered, failure bursts dropped)",
-        BenchCloudLog(n).events, 60 * kSecond);
+        "cloudlog", BenchCloudLog(n).events, 60 * kSecond);
   Sweep("Figure 8(c): online throughput (M events/s), AndroidLog, reorder "
         "latency 12h (majority of batch uploads covered)",
-        BenchAndroidLog(n).events, 12 * kHour);
+        "androidlog", BenchAndroidLog(n).events, 12 * kHour);
+
+  std::printf(
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
+      "\"fig8_online\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
+  const std::vector<JsonSample>& samples = Samples();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const JsonSample& s = samples[i];
+    std::printf(
+        "  {\"dataset\": \"%s\", \"punct_freq\": %zu, \"algorithm\": "
+        "\"%s\", \"throughput_meps\": %.4f, \"late_drops\": %llu",
+        s.dataset.c_str(), s.punct_freq, s.algorithm.c_str(),
+        s.run.throughput_meps,
+        static_cast<unsigned long long>(s.run.late_drops));
+    if (s.run.has_latency) {
+      std::printf(
+          ", \"punct_to_emit_p50_ns\": %llu, \"punct_to_emit_p99_ns\": %llu",
+          static_cast<unsigned long long>(s.run.punct_to_emit_p50_ns),
+          static_cast<unsigned long long>(s.run.punct_to_emit_p99_ns));
+    }
+    std::printf("}%s\n", i + 1 < samples.size() ? "," : "");
+  }
+  std::printf("]}\nEND_JSON\n");
+  std::fflush(stdout);
 }
 
 }  // namespace

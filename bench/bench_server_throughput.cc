@@ -15,12 +15,15 @@
 // Emits one JSON document between BEGIN_JSON/END_JSON markers.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/histogram.h"
 #include "common/timestamp.h"
+#include "common/trace.h"
 #include "server/client.h"
 #include "server/ingest_service.h"
 
@@ -43,6 +46,9 @@ struct Sample {
   double offered_meps = 0;    // Events offered / wall-clock.
   double delivered_meps = 0;  // Events ingested by shard pipelines.
   uint64_t dropped_frames = 0;
+  // Punctuation-to-emit latency across all shard pipelines.
+  uint64_t punct_to_emit_p50_ns = 0;
+  uint64_t punct_to_emit_p99_ns = 0;
 };
 
 std::vector<Sample>& Samples() {
@@ -79,9 +85,11 @@ Sample RunOne(const std::vector<Event>& events, size_t shards,
 
   uint64_t delivered = 0;
   uint64_t dropped_frames = 0;
+  HistogramSnapshot punct_to_emit;
   for (const ShardMetrics& m : service.manager().SnapshotShards()) {
     delivered += m.events_in - m.shed_events;
     dropped_frames += m.rejected_frames + m.shed_frames;
+    punct_to_emit += m.sorter.punct_to_emit;
   }
 
   Sample s;
@@ -90,6 +98,10 @@ Sample RunOne(const std::vector<Event>& events, size_t shards,
   s.offered_meps = Throughput(events.size(), secs);
   s.delivered_meps = Throughput(delivered, secs);
   s.dropped_frames = dropped_frames;
+  if (punct_to_emit.count() > 0) {
+    s.punct_to_emit_p50_ns = punct_to_emit.P50();
+    s.punct_to_emit_p99_ns = punct_to_emit.P99();
+  }
   return s;
 }
 
@@ -123,14 +135,36 @@ void Run() {
   for (size_t i = 0; i < samples.size(); ++i) {
     std::printf(
         "  {\"shards\": %zu, \"policy\": \"%s\", \"offered_meps\": %.4f, "
-        "\"delivered_meps\": %.4f, \"dropped_frames\": %llu}%s\n",
+        "\"delivered_meps\": %.4f, \"dropped_frames\": %llu, "
+        "\"punct_to_emit_p50_ns\": %llu, \"punct_to_emit_p99_ns\": %llu}%s\n",
         samples[i].shards, samples[i].policy.c_str(),
         samples[i].offered_meps, samples[i].delivered_meps,
         static_cast<unsigned long long>(samples[i].dropped_frames),
+        static_cast<unsigned long long>(samples[i].punct_to_emit_p50_ns),
+        static_cast<unsigned long long>(samples[i].punct_to_emit_p99_ns),
         i + 1 < samples.size() ? "," : "");
   }
   std::printf("]}\nEND_JSON\n");
   std::fflush(stdout);
+
+  // With IMPATIENCE_TRACE=1 the whole sweep was recorded; dump the spans
+  // so the run doubles as a trace demo (load the file in Perfetto).
+  if (trace::Enabled()) {
+    const char* path = std::getenv("IMPATIENCE_TRACE_OUT");
+    if (path == nullptr) path = "bench_server_throughput.trace.json";
+    trace::DrainStats stats;
+    const std::string json = trace::DrainChromeJson(&stats);
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr,
+                   "trace: wrote %llu spans (%llu dropped, %llu threads) "
+                   "to %s\n",
+                   static_cast<unsigned long long>(stats.spans),
+                   static_cast<unsigned long long>(stats.dropped),
+                   static_cast<unsigned long long>(stats.threads), path);
+    }
+  }
 }
 
 }  // namespace

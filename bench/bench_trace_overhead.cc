@@ -1,0 +1,138 @@
+// Observability overhead: cost of the always-compiled tracing and
+// latency instrumentation on the streaming push path.
+//
+// Three arms over the same CloudLog workload through ImpatienceSorter:
+//
+//   disabled   IMPATIENCE_TRACE off (the shipping default): every
+//              TRACE_SPAN is one relaxed load + predictable branch.
+//   enabled    Spans recorded into per-thread rings (two TSC reads plus
+//              relaxed stores per span).
+//   span_hot   A worst-case microbenchmark that opens a span per *event*
+//              (the real code traces per punctuation round, orders of
+//              magnitude coarser) — an upper bound, not a shipping path.
+//
+// Acceptance (ISSUE 4): disabled-arm throughput within 1% of a build
+// without the instrumentation. The disabled arm here gives the in-tree
+// number; compare against the pre-PR baseline via EXPERIMENTS.md.
+//
+// Emits one JSON document between BEGIN_JSON/END_JSON markers.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/trace.h"
+#include "sort/impatience_sorter.h"
+#include "workload/generators.h"
+
+namespace impatience::bench {
+namespace {
+
+constexpr size_t kPunctFrequency = 1000;
+constexpr Timestamp kReorderLatency = 60 * kSecond;
+
+// One timed streaming pass: push every event, punctuate every
+// kPunctFrequency events at high_watermark - reorder_latency. Identical
+// shape to bench_fig8_online's loop so arms are comparable.
+double MeasurePush(const std::vector<Event>& events, bool span_per_event) {
+  ImpatienceSorter<Event> sorter;
+  std::vector<Event> out;
+  out.reserve(1 << 20);
+  size_t emitted = 0;
+
+  const double secs = TimeSeconds([&]() {
+    Timestamp high_watermark = kMinTimestamp;
+    Timestamp last_punct = kMinTimestamp;
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (span_per_event) {
+        TRACE_SPAN("bench.push");
+        sorter.Push(events[i]);
+      } else {
+        sorter.Push(events[i]);
+      }
+      if (events[i].sync_time > high_watermark) {
+        high_watermark = events[i].sync_time;
+      }
+      if ((i + 1) % kPunctFrequency == 0) {
+        const Timestamp p = high_watermark - kReorderLatency;
+        if (p > last_punct) {
+          sorter.OnPunctuation(p, &out);
+          last_punct = p;
+          emitted += out.size();
+          out.clear();
+        }
+      }
+    }
+    sorter.Flush(&out);
+    emitted += out.size();
+    out.clear();
+  });
+  IMPATIENCE_CHECK(emitted + sorter.late_drops() == events.size());
+  return Throughput(events.size(), secs);
+}
+
+struct Arm {
+  const char* name;
+  bool enable_trace;
+  bool span_per_event;
+};
+
+void Run() {
+  const size_t n = EventCount();
+  const Dataset cloudlog = BenchCloudLog(n);
+  const bool was_enabled = trace::Enabled();
+
+  Section("Tracing overhead on the streaming push path, CloudLog, " +
+          std::to_string(n) + " events, punctuation every " +
+          std::to_string(kPunctFrequency) + " events");
+
+  const Arm arms[] = {
+      {"disabled", false, false},
+      {"enabled", true, false},
+      {"span_hot", true, true},
+  };
+  constexpr int kReps = 3;
+
+  TablePrinter table({"arm", "best_Me/s", "vs_disabled"});
+  double results[3] = {0, 0, 0};
+  for (size_t a = 0; a < 3; ++a) {
+    trace::SetEnabled(arms[a].enable_trace);
+    double best = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      best = std::max(best,
+                      MeasurePush(cloudlog.events, arms[a].span_per_event));
+      // Keep rings from accumulating across reps when recording.
+      if (arms[a].enable_trace) trace::DrainChromeJson();
+    }
+    results[a] = best;
+    table.PrintRow({arms[a].name, TablePrinter::Num(best),
+                    TablePrinter::Num(100.0 * best / results[0], 2) + "%"});
+  }
+  trace::SetEnabled(was_enabled);
+
+  std::printf(
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
+      "\"trace_overhead\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
+  for (size_t a = 0; a < 3; ++a) {
+    std::printf(
+        "  {\"arm\": \"%s\", \"throughput_meps\": %.4f, "
+        "\"relative_to_disabled\": %.4f}%s\n",
+        arms[a].name, results[a], results[a] / results[0],
+        a + 1 < 3 ? "," : "");
+  }
+  std::printf("]}\nEND_JSON\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace impatience::bench
+
+int main() {
+  impatience::bench::InitBenchProcess();
+  impatience::bench::Run();
+  return 0;
+}

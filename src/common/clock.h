@@ -1,0 +1,107 @@
+// Monotonic timing shim for the observability layer.
+//
+// Two sources with different cost/precision trade-offs:
+//   * Clock::Nanos()  — CLOCK_MONOTONIC via the vDSO (~20 ns per read).
+//     The unit is defined (nanoseconds), so histograms record it directly.
+//   * Clock::Ticks()  — the TSC on x86-64 (~7 ns per read), an opaque
+//     monotonic counter. Span tracing records ticks on the hot path and
+//     converts to nanoseconds only at drain time, using a rate estimated
+//     from two (ticks, nanos) observations taken far apart (process start
+//     and drain) — no startup calibration spin.
+//
+// Tests can substitute a deterministic source with SetNanosSourceForTest;
+// while an override is installed Ticks() returns the override's value too,
+// so tick↔nanos conversion is the identity and traces are reproducible.
+
+#ifndef IMPATIENCE_COMMON_CLOCK_H_
+#define IMPATIENCE_COMMON_CLOCK_H_
+
+#include <ctime>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace impatience {
+
+class Clock {
+ public:
+  using NanosFn = uint64_t (*)();
+
+  // Monotonic nanoseconds since an arbitrary epoch.
+  static uint64_t Nanos() {
+    const NanosFn fn = override_;
+    if (__builtin_expect(fn != nullptr, 0)) return fn();
+    return RealNanos();
+  }
+
+  // Fast opaque monotonic counter (TSC where available). Convert with a
+  // TickConverter; never mix ticks from processes or compare to Nanos().
+  static uint64_t Ticks() {
+    const NanosFn fn = override_;
+    if (__builtin_expect(fn != nullptr, 0)) return fn();
+#if defined(__x86_64__) || defined(_M_X64)
+    return __rdtsc();
+#else
+    return RealNanos();
+#endif
+  }
+
+  // True while a test override is installed (ticks are already nanos).
+  static bool IsMocked() { return override_ != nullptr; }
+
+  // Installs/removes a deterministic source. Not thread-safe against
+  // concurrent readers by design — install before spawning threads.
+  static void SetNanosSourceForTest(NanosFn fn) { override_ = fn; }
+  static void ResetForTest() { override_ = nullptr; }
+
+ private:
+  static uint64_t RealNanos() {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+
+  inline static NanosFn override_ = nullptr;
+};
+
+// Maps Clock::Ticks() values to nanoseconds. Construct one anchor early
+// (cheap: one read of each clock), call Refine() later, then Nanos(t).
+// The longer the window between the two observations, the better the rate
+// estimate; a few milliseconds already gives <0.1% error.
+class TickConverter {
+ public:
+  TickConverter() : t0_(Clock::Ticks()), n0_(Clock::Nanos()) {}
+
+  // Re-observes both clocks and fits the rate over the elapsed window.
+  void Refine() {
+    const uint64_t t1 = Clock::Ticks();
+    const uint64_t n1 = Clock::Nanos();
+    if (Clock::IsMocked() || t1 <= t0_) {
+      rate_ = 1.0;
+      return;
+    }
+    rate_ = static_cast<double>(n1 - n0_) / static_cast<double>(t1 - t0_);
+  }
+
+  // Nanoseconds (same epoch as Clock::Nanos()) for a tick reading.
+  uint64_t Nanos(uint64_t ticks) const {
+    if (Clock::IsMocked()) return ticks;
+    const double delta =
+        (static_cast<double>(ticks) - static_cast<double>(t0_)) * rate_;
+    return n0_ + static_cast<uint64_t>(delta < 0 ? 0 : delta);
+  }
+
+  double nanos_per_tick() const { return rate_; }
+
+ private:
+  uint64_t t0_;
+  uint64_t n0_;
+  double rate_ = 1.0;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_CLOCK_H_

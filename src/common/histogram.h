@@ -1,0 +1,166 @@
+// Log-bucketed latency histograms (HdrHistogram-style).
+//
+// Values (nanoseconds, but any non-negative 64-bit quantity works) map to
+// buckets as follows: values below 32 get exact unit buckets; above that,
+// every power-of-two range [2^k, 2^(k+1)) splits into 32 equal sub-buckets.
+// Bucket width is therefore at most 1/32 ≈ 3.1% of the value, and quoting
+// the bucket midpoint bounds the relative quantile error at ~1.6% (≤2.5%
+// including the rounding at range edges). The full 64-bit range needs 1920
+// buckets — 15 KiB per histogram, fixed.
+//
+// Two flavors share the layout:
+//   * HistogramSnapshot — plain counters. Cheap single-threaded recording
+//     (sorters are single-threaded by contract), copyable, mergeable with
+//     operator+= (bucket-wise sum, so merging is associative and
+//     commutative), and the type metrics snapshots carry across threads.
+//   * LatencyHistogram — std::atomic buckets for concurrent recorders
+//     (shard queue/drain instrumentation, traced pool tasks). Record is a
+//     relaxed fetch_add; Snapshot() optionally exchanges the buckets to
+//     zero so snapshot-and-reset never loses a concurrent increment.
+//
+// Quantile queries (p50/p90/p99/p999/max) walk the bucket array — O(1920),
+// scrape-time only, never on the record path.
+
+#ifndef IMPATIENCE_COMMON_HISTOGRAM_H_
+#define IMPATIENCE_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace impatience {
+
+namespace histogram_internal {
+
+inline constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave.
+inline constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+// Highest index produced by BucketIndex over the uint64 domain, plus one.
+inline constexpr size_t kNumBuckets = 32 * (64 - kSubBucketBits) + 64;
+
+// Index of the bucket containing `v`. Monotonic in `v`.
+inline size_t BucketIndex(uint64_t v) {
+  const int msb = 63 - __builtin_clzll(v | 1);
+  if (msb < kSubBucketBits) return static_cast<size_t>(v);
+  const int shift = msb - kSubBucketBits;
+  return static_cast<size_t>(32 * shift + (v >> shift));
+}
+
+// Smallest value mapping to bucket `i` (inverse of BucketIndex).
+inline uint64_t BucketLow(size_t i) {
+  if (i < kSubBuckets) return i;
+  const size_t octave = i >> kSubBucketBits;  // >= 1
+  return (kSubBuckets + (i & (kSubBuckets - 1))) << (octave - 1);
+}
+
+// Representative (midpoint) value for bucket `i`.
+inline uint64_t BucketMid(size_t i) {
+  if (i < kSubBuckets) return i;
+  const size_t octave = i >> kSubBucketBits;
+  const uint64_t width = uint64_t{1} << (octave - 1);
+  return BucketLow(i) + width / 2;
+}
+
+}  // namespace histogram_internal
+
+// Copyable, mergeable histogram with a non-atomic (single-writer) record
+// path. See the file comment.
+class HistogramSnapshot {
+ public:
+  void Record(uint64_t value) {
+    ++buckets_[histogram_internal::BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  // Mean of recorded values (0 when empty).
+  uint64_t mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  // Value at quantile q in [0, 1]: the bucket midpoint where the
+  // cumulative count first reaches ceil(q * count), clamped to max().
+  // Returns 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P90() const { return ValueAtQuantile(0.90); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+  uint64_t P999() const { return ValueAtQuantile(0.999); }
+
+  // Bucket-wise sum; count/sum add, max takes the larger.
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+
+  void Reset() { *this = HistogramSnapshot{}; }
+
+ private:
+  friend class LatencyHistogram;
+
+  std::array<uint64_t, histogram_internal::kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Thread-safe recorder: atomic buckets, relaxed increments. Readers take
+// a Snapshot() (optionally draining the counts) and query quantiles on
+// the snapshot.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[histogram_internal::BucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value && !max_.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Point-in-time copy. With `reset`, buckets are exchanged to zero so
+  // every recorded value lands in exactly one snapshot even while other
+  // threads keep recording (no read-then-reset window).
+  HistogramSnapshot Snapshot(bool reset = false);
+
+  // Accumulates another recorder's counts (metrics aggregation).
+  LatencyHistogram& operator+=(const LatencyHistogram& other);
+
+ private:
+  std::array<std::atomic<uint64_t>, histogram_internal::kNumBuckets>
+      buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// RAII timer: records Clock::Nanos() elapsed between construction and
+// destruction into a histogram (either flavor).
+template <typename Histogram>
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist)
+      : hist_(hist), start_(Clock::Nanos()) {}
+  ~ScopedLatencyTimer() { hist_->Record(Clock::Nanos() - start_); }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_HISTOGRAM_H_

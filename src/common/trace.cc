@@ -1,0 +1,245 @@
+#include "common/trace.h"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace impatience {
+namespace trace {
+
+namespace {
+
+// One recorded span. Payload fields are relaxed atomics so the drainer's
+// speculative read is race-free; `seq` (the 1-based global record index)
+// is release-stored last and re-checked after the payload read.
+struct Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> start{0};
+  std::atomic<uint64_t> end{0};
+};
+
+class Ring {
+ public:
+  Ring(size_t capacity, uint64_t tid) : slots_(capacity), tid_(tid) {}
+
+  // Single writer: the owning thread.
+  void Emit(const char* name, uint64_t start, uint64_t end) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & (slots_.size() - 1)];
+    s.name.store(name, std::memory_order_relaxed);
+    s.start.store(start, std::memory_order_relaxed);
+    s.end.store(end, std::memory_order_relaxed);
+    s.seq.store(h + 1, std::memory_order_release);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  struct DrainedSpan {
+    const char* name;
+    uint64_t start;
+    uint64_t end;
+  };
+
+  // Collects records in (cursor_, head] that are still intact, advances
+  // the cursor, and accounts overwritten/torn records as dropped. Called
+  // under the registry lock — one drainer at a time; the writer keeps
+  // recording concurrently.
+  void Drain(std::vector<DrainedSpan>* out, uint64_t* dropped) {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const size_t cap = slots_.size();
+    uint64_t begin = cursor_;
+    if (head > cap && head - cap > begin) {
+      *dropped += (head - cap) - begin;  // Overwritten before this drain.
+      begin = head - cap;
+    }
+    for (uint64_t i = begin; i < head; ++i) {
+      Slot& s = slots_[i & (cap - 1)];
+      if (s.seq.load(std::memory_order_acquire) != i + 1) {
+        ++*dropped;  // Already overwritten by a newer record.
+        continue;
+      }
+      DrainedSpan span;
+      span.name = s.name.load(std::memory_order_relaxed);
+      span.start = s.start.load(std::memory_order_relaxed);
+      span.end = s.end.load(std::memory_order_relaxed);
+      if (s.seq.load(std::memory_order_acquire) != i + 1) {
+        ++*dropped;  // Overwritten while being read; discard the torn copy.
+        continue;
+      }
+      out->push_back(span);
+    }
+    cursor_ = head;
+  }
+
+  uint64_t tid() const { return tid_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};  // Total records ever emitted.
+  uint64_t cursor_ = 0;            // Drained prefix (drainer-owned).
+  const uint64_t tid_;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  size_t default_capacity = 0;  // 0 = uninitialized (env or 8192).
+  TickConverter converter;      // Anchored at first trace-system use.
+};
+
+// Leaked intentionally: rings of still-live threads may be touched during
+// process teardown after static destructors run.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+size_t DefaultCapacityLocked(Registry& r) {
+  if (r.default_capacity == 0) {
+    size_t cap = 8192;
+    const char* env = std::getenv("IMPATIENCE_TRACE_BUFFER");
+    if (env != nullptr && *env != '\0') {
+      const long long n = std::atoll(env);
+      if (n > 0) cap = static_cast<size_t>(n);
+    }
+    r.default_capacity = RoundUpPow2(cap);
+  }
+  return r.default_capacity;
+}
+
+uint64_t CurrentTid() {
+#if defined(__linux__)
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+#else
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t tid = next.fetch_add(1);
+  return tid;
+#endif
+}
+
+Ring* ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto created =
+        std::make_shared<Ring>(DefaultCapacityLocked(r), CurrentTid());
+    r.rings.push_back(created);
+    return created;
+  }();
+  return ring.get();
+}
+
+bool EnvEnabled() {
+  const char* env = std::getenv("IMPATIENCE_TRACE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// Escapes a span name for embedding in a JSON string literal.
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_enabled{EnvEnabled()};
+
+void Emit(const char* name, uint64_t start_ticks, uint64_t end_ticks) {
+  ThreadRing()->Emit(name, start_ticks, end_ticks);
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetDefaultBufferCapacity(size_t spans) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.default_capacity = RoundUpPow2(spans < 8 ? 8 : spans);
+}
+
+void ResetForTest() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.rings.clear();
+}
+
+std::string DrainChromeJson(DrainStats* stats) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.converter.Refine();
+
+  std::string out = "{\"traceEvents\":[";
+  DrainStats local;
+  local.threads = r.rings.size();
+  std::vector<Ring::DrainedSpan> spans;
+  bool first = true;
+  char buf[160];
+  for (const std::shared_ptr<Ring>& ring : r.rings) {
+    spans.clear();
+    ring->Drain(&spans, &local.dropped);
+    for (const Ring::DrainedSpan& s : spans) {
+      const uint64_t start_ns = r.converter.Nanos(s.start);
+      const uint64_t end_ns = r.converter.Nanos(s.end);
+      const uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"";
+      AppendJsonEscaped(s.name != nullptr ? s.name : "(null)", &out);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"impatience\",\"ph\":\"X\",\"pid\":1,"
+                    "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
+                    "\"dur\":%" PRIu64 ".%03u}",
+                    ring->tid(), start_ns / 1000,
+                    static_cast<unsigned>(start_ns % 1000), dur_ns / 1000,
+                    static_cast<unsigned>(dur_ns % 1000));
+      out += buf;
+      ++local.spans;
+    }
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"dropped\":%" PRIu64 "}}",
+                local.dropped);
+  out += tail;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace trace
+}  // namespace impatience

@@ -1,0 +1,120 @@
+// Always-compiled, runtime-toggled span tracing.
+//
+//   void MergePhase() {
+//     TRACE_SPAN("merge.huffman");
+//     ...
+//   }
+//
+// Cost model: when tracing is disabled (the default) a span is one relaxed
+// atomic load and one predictable branch at scope entry, and one branch at
+// exit — cheap enough to leave on hot paths permanently. When enabled, a
+// span is two Clock::Ticks() reads (TSC on x86-64) plus a handful of
+// relaxed stores into a per-thread ring buffer; no locks, no allocation.
+//
+// Each thread owns a fixed-capacity ring of span records. The writer never
+// blocks and never waits for the drainer: when the ring wraps, the oldest
+// undrained records are overwritten and counted as dropped. Records are
+// published with a per-slot sequence number (write payload with relaxed
+// atomics, then release-store the sequence); the drainer validates the
+// sequence after reading, so a record overwritten mid-read is discarded,
+// never torn — the scheme is exact under TSan.
+//
+// Drain produces Chrome trace-event JSON ("X" complete events, ts/dur in
+// microseconds) loadable in chrome://tracing or Perfetto. Span names must
+// be string literals (or otherwise outlive the process) — the ring stores
+// the pointer, not a copy.
+//
+// Toggling: IMPATIENCE_TRACE=1 in the environment enables tracing from
+// process start; trace::SetEnabled flips it at runtime (the server exposes
+// this via the kTraceRequest wire frame).
+
+#ifndef IMPATIENCE_COMMON_TRACE_H_
+#define IMPATIENCE_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace impatience {
+namespace trace {
+
+namespace internal {
+// Defined in trace.cc; initialized from IMPATIENCE_TRACE before main().
+extern std::atomic<bool> g_enabled;
+
+// Appends one completed span to the calling thread's ring buffer.
+void Emit(const char* name, uint64_t start_ticks, uint64_t end_ticks);
+}  // namespace internal
+
+// True when spans are being recorded. Relaxed load + branch — the entire
+// disabled-path cost.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Runtime toggle. Existing buffered spans are kept until drained.
+void SetEnabled(bool enabled);
+
+// Drain accounting across all thread buffers.
+struct DrainStats {
+  uint64_t spans = 0;    // Records returned by this drain.
+  uint64_t dropped = 0;  // Records lost to ring wraparound, cumulative
+                         // since the previous drain.
+  uint64_t threads = 0;  // Thread rings that have ever recorded.
+};
+
+// Drains every thread's undrained spans into a Chrome trace-event JSON
+// document ({"traceEvents":[...]}). Safe to call while writers are
+// recording; spans overwritten mid-read count as dropped. Serialized
+// internally — one drainer at a time.
+std::string DrainChromeJson(DrainStats* stats = nullptr);
+
+// Ring capacity (span records per thread) for buffers created after this
+// call; rounded up to a power of two, minimum 8. Default 8192 (256 KiB
+// per thread), or $IMPATIENCE_TRACE_BUFFER. Existing rings keep their
+// size — set before spawning the threads you want affected.
+void SetDefaultBufferCapacity(size_t spans);
+
+// Test hook: forgets all registered thread buffers (rings owned by live
+// threads keep recording into orphaned rings; call only between tests).
+void ResetForTest();
+
+// RAII span. Prefer the TRACE_SPAN macro.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (__builtin_expect(Enabled(), 0)) {
+      name_ = name;
+      start_ = Clock::Ticks();
+    }
+  }
+
+  ~Span() {
+    if (__builtin_expect(name_ != nullptr, 0)) {
+      internal::Emit(name_, start_, Clock::Ticks());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+}  // namespace trace
+}  // namespace impatience
+
+#define IMPATIENCE_TRACE_CONCAT2(a, b) a##b
+#define IMPATIENCE_TRACE_CONCAT(a, b) IMPATIENCE_TRACE_CONCAT2(a, b)
+
+// Traces the enclosing scope as a span named `name` (a string literal).
+#define TRACE_SPAN(name)                                        \
+  ::impatience::trace::Span IMPATIENCE_TRACE_CONCAT(            \
+      impatience_trace_span_, __LINE__)(name)
+
+#endif  // IMPATIENCE_COMMON_TRACE_H_

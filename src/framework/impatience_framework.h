@@ -25,9 +25,12 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/event.h"
+#include "common/histogram.h"
 #include "common/memory_tracker.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "engine/batch.h"
 #include "engine/node.h"
 #include "engine/ops_sort.h"
@@ -73,6 +76,7 @@ class BandStageOp : public Operator<W, W> {
 
   // Forwards the buffered messages downstream in arrival order.
   void Replay() {
+    TRACE_SPAN("framework.band_replay");
     for (Msg& m : msgs_) {
       switch (m.kind) {
         case MsgKind::kBatch:
@@ -189,6 +193,19 @@ class PartitionOp : public Sink<W> {
   const std::vector<uint64_t>& band_counts() const { return band_counts_; }
   Timestamp high_watermark() const { return high_watermark_; }
 
+  // Event-time punctuation frontier of band `i` (kMinTimestamp before the
+  // first round). Band 0 — the tightest latency — is the stream's output
+  // frontier; high_watermark() minus this is the event-time watermark lag
+  // the server reports.
+  Timestamp band_punctuation(size_t i) const {
+    IMPATIENCE_CHECK(i < bands_.size());
+    return bands_[i].last_punctuation;
+  }
+
+  // One sample per punctuation round: nanoseconds to deliver, sort, and
+  // emit across every band (including ForcePunctuation rounds).
+  const HistogramSnapshot& round_latency() const { return round_latency_; }
+
  private:
   struct Band {
     explicit Band(size_t batch_size) : builder(batch_size) {}
@@ -236,18 +253,21 @@ class PartitionOp : public Sink<W> {
   }
 
   void PunctuateBands() {
+    TRACE_SPAN("framework.punctuation_round");
+    const uint64_t round_start_ns = Clock::Nanos();
     if (parallel_) {
       PunctuateBandsParallel();
-      return;
-    }
-    for (size_t i = 0; i < bands_.size(); ++i) {
-      const Timestamp p = high_watermark_ - latencies_[i];
-      if (p > bands_[i].last_punctuation) {
-        bands_[i].builder.Flush(bands_[i].head);
-        bands_[i].head->OnPunctuation(p);
-        bands_[i].last_punctuation = p;
+    } else {
+      for (size_t i = 0; i < bands_.size(); ++i) {
+        const Timestamp p = high_watermark_ - latencies_[i];
+        if (p > bands_[i].last_punctuation) {
+          bands_[i].builder.Flush(bands_[i].head);
+          bands_[i].head->OnPunctuation(p);
+          bands_[i].last_punctuation = p;
+        }
       }
     }
+    round_latency_.Record(Clock::Nanos() - round_start_ns);
   }
 
   // One pool task per band: deliver the staged slice, then punctuate. The
@@ -261,6 +281,7 @@ class PartitionOp : public Sink<W> {
       Band* band = &bands_[i];
       const Timestamp p = high_watermark_ - latencies_[i];
       group.Run([band, p] {
+        TRACE_SPAN("framework.band_task");
         band->DeliverPending();
         if (p > band->last_punctuation) {
           band->builder.Flush(band->head);
@@ -283,6 +304,7 @@ class PartitionOp : public Sink<W> {
   bool parallel_ = false;
   ThreadPool* pool_ = nullptr;
   std::vector<BandStageOp<W>*> stages_;
+  HistogramSnapshot round_latency_;
 };
 
 // The sequence of output streams the framework produces. stream(i) carries
@@ -333,8 +355,24 @@ class Streamables {
     return total;
   }
 
-  // Snapshot-and-reset companion to AggregatedCounters() for long-lived
-  // pipelines (server metrics scrapes). Buffered state is untouched.
+  // Single-pass snapshot-and-reset: each band's counters are read and
+  // zeroed in one touch, so no sample recorded between a separate read and
+  // reset can be dropped. Long-lived pipelines (server metrics scrapes)
+  // use this instead of AggregatedCounters() + ResetCounters(). Buffered
+  // sorter state is untouched.
+  ImpatienceCounters AggregatedCounters(bool reset) {
+    ImpatienceCounters total;
+    for (SortOp<W>* sort : sorts_) {
+      auto* impatience = dynamic_cast<ImpatienceSorter<BasicEvent<W>>*>(
+          sort->mutable_sorter());
+      if (impatience == nullptr) continue;
+      total += impatience->counters();
+      if (reset) impatience->ResetCounters();
+    }
+    return total;
+  }
+
+  // Zeroes every band's counters without reading them.
   void ResetCounters() {
     for (SortOp<W>* sort : sorts_) {
       auto* impatience = dynamic_cast<ImpatienceSorter<BasicEvent<W>>*>(

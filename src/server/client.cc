@@ -90,6 +90,26 @@ bool IngestClient::GetMetrics(MetricsFormat format, std::string* out) {
   return true;
 }
 
+bool IngestClient::GetTrace(std::string* out) {
+  Frame frame;
+  frame.type = FrameType::kTraceRequest;
+  frame.trace_action = TraceAction::kDump;
+  if (!SendFrame(frame)) return false;
+  Frame response;
+  if (!WaitFor(FrameType::kTraceResponse, &response)) return false;
+  *out = std::move(response.text);
+  return true;
+}
+
+bool IngestClient::SetTraceEnabled(bool enabled) {
+  Frame frame;
+  frame.type = FrameType::kTraceRequest;
+  frame.trace_action = enabled ? TraceAction::kEnable : TraceAction::kDisable;
+  if (!SendFrame(frame)) return false;
+  Frame response;
+  return WaitFor(FrameType::kTraceResponse, &response);
+}
+
 bool IngestClient::PollReject(Frame* out) {
   Pump(/*blocking=*/false);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {

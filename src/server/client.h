@@ -84,6 +84,13 @@ class IngestClient {
   // Fetches the metrics rendering in `format`.
   bool GetMetrics(MetricsFormat format, std::string* out);
 
+  // Drains the server's span buffers into a Chrome trace-event JSON
+  // document (loadable in chrome://tracing or Perfetto).
+  bool GetTrace(std::string* out);
+
+  // Toggles span recording on the server at runtime.
+  bool SetTraceEnabled(bool enabled);
+
   // Pops the next asynchronously received kReject frame, if any; checks
   // the channel (non-blocking) first. Rejects that arrive while waiting
   // for an ack are stashed and surface here.

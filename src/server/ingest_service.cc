@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/trace.h"
+
 namespace impatience {
 namespace server {
 
@@ -32,6 +34,7 @@ bool Connection::OnData(const uint8_t* data, size_t size) {
   decoder_.Feed(data, size);
   Frame frame;
   for (;;) {
+    TRACE_SPAN("wire.decode");
     const DecodeStatus status = decoder_.Next(&frame);
     if (status == DecodeStatus::kNeedMore) return true;
     if (IsDecodeError(status)) {
@@ -50,6 +53,7 @@ bool Connection::OnData(const uint8_t* data, size_t size) {
 }
 
 void Connection::Dispatch(Frame& frame) {
+  TRACE_SPAN("server.dispatch");
   switch (frame.type) {
     case FrameType::kEvents:
     case FrameType::kPunctuation:
@@ -69,9 +73,42 @@ void Connection::Dispatch(Frame& frame) {
       response.session_id = frame.session_id;
       response.metrics_format = frame.metrics_format;
       const ServerMetrics snapshot = service_->Snapshot();
-      response.text = frame.metrics_format == MetricsFormat::kJson
-                          ? RenderMetricsJson(snapshot)
-                          : RenderMetricsText(snapshot);
+      switch (frame.metrics_format) {
+        case MetricsFormat::kJson:
+          response.text = RenderMetricsJson(snapshot);
+          break;
+        case MetricsFormat::kPrometheus:
+          response.text = RenderMetricsPrometheus(snapshot);
+          break;
+        case MetricsFormat::kText:
+          response.text = RenderMetricsText(snapshot);
+          break;
+      }
+      Send(response);
+      return;
+    }
+    case FrameType::kTraceRequest: {
+      Frame response;
+      response.type = FrameType::kTraceResponse;
+      response.session_id = frame.session_id;
+      response.trace_action = frame.trace_action;
+      switch (frame.trace_action) {
+        case TraceAction::kDump:
+          response.text = trace::DrainChromeJson();
+          if (response.text.size() > kMaxPayloadBytes) {
+            // A dump that cannot be framed is replaced by a valid empty
+            // trace document; the spans are consumed either way.
+            response.text = "{\"traceEvents\":[],\"otherData\":"
+                            "{\"error\":\"trace dump exceeded frame size\"}}";
+          }
+          break;
+        case TraceAction::kEnable:
+          trace::SetEnabled(true);
+          break;
+        case TraceAction::kDisable:
+          trace::SetEnabled(false);
+          break;
+      }
       Send(response);
       return;
     }

@@ -23,6 +23,64 @@ void Appendf(std::string* out, const char* fmt, ...) {
   if (n > 0) out->append(buf, static_cast<size_t>(n));
 }
 
+// Escapes `s` for embedding inside a JSON string literal: quotes,
+// backslashes, and control characters (the characters RFC 8259 forbids
+// raw inside strings).
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          Appendf(out, "\\u%04x", c);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+// Escapes `s` for a Prometheus label value: backslash, double quote, and
+// newline (the three characters the text exposition format escapes).
+void AppendPromLabelEscaped(const std::string& s, std::string* out) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(ch);
+    }
+  }
+}
+
 // Emits one per-shard gauge/counter family: a line per shard.
 template <typename Get>
 void TextFamily(std::string* out, const ServerMetrics& m, const char* name,
@@ -31,6 +89,84 @@ void TextFamily(std::string* out, const ServerMetrics& m, const char* name,
     Appendf(out, "%s{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
             static_cast<uint64_t>(get(s)));
   }
+}
+
+// The quantiles every latency family exposes, shared by all renderings.
+struct QuantilePoint {
+  const char* text_label;  // bare-text q="..." label
+  const char* prom_label;  // Prometheus quantile="..." label
+  double q;
+};
+
+constexpr QuantilePoint kQuantiles[] = {
+    {"p50", "0.5", 0.50},
+    {"p90", "0.9", 0.90},
+    {"p99", "0.99", 0.99},
+    {"p999", "0.999", 0.999},
+};
+
+// Bare-text rendering of one histogram family: quantile lines plus count
+// and max per shard.
+template <typename Get>
+void TextHistogramFamily(std::string* out, const ServerMetrics& m,
+                         const char* name, Get get) {
+  for (const ShardMetrics& s : m.shards) {
+    const HistogramSnapshot& h = get(s);
+    for (const QuantilePoint& p : kQuantiles) {
+      Appendf(out, "%s{shard=\"%zu\",q=\"%s\"} %" PRIu64 "\n", name, s.shard,
+              p.text_label, h.ValueAtQuantile(p.q));
+    }
+    Appendf(out, "%s_count{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            h.count());
+    Appendf(out, "%s_max{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            h.max());
+  }
+}
+
+// JSON rendering of one histogram as an object value (no trailing comma).
+void AppendJsonHistogram(std::string* out, const char* key,
+                         const HistogramSnapshot& h) {
+  Appendf(out, "\"%s\":{\"count\":%" PRIu64 ",", key, h.count());
+  for (const QuantilePoint& p : kQuantiles) {
+    Appendf(out, "\"%s\":%" PRIu64 ",", p.text_label, h.ValueAtQuantile(p.q));
+  }
+  Appendf(out, "\"max\":%" PRIu64 ",\"sum\":%" PRIu64 "}", h.max(), h.sum());
+}
+
+// Prometheus summary family: # HELP / # TYPE, then per shard the quantile
+// series plus the _sum and _count conventions.
+template <typename Get>
+void PromSummaryFamily(std::string* out, const ServerMetrics& m,
+                       const char* name, const char* help, Get get) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s summary\n", name, help, name);
+  for (const ShardMetrics& s : m.shards) {
+    const HistogramSnapshot& h = get(s);
+    for (const QuantilePoint& p : kQuantiles) {
+      Appendf(out, "%s{shard=\"%zu\",quantile=\"%s\"} %" PRIu64 "\n", name,
+              s.shard, p.prom_label, h.ValueAtQuantile(p.q));
+    }
+    Appendf(out, "%s_sum{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            h.sum());
+    Appendf(out, "%s_count{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            h.count());
+  }
+}
+
+template <typename Get>
+void PromShardFamily(std::string* out, const ServerMetrics& m,
+                     const char* name, const char* type, const char* help,
+                     Get get) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
+  for (const ShardMetrics& s : m.shards) {
+    Appendf(out, "%s{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            static_cast<uint64_t>(get(s)));
+  }
+}
+
+void PromScalar(std::string* out, const char* name, const char* type,
+                const char* help, uint64_t value) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s %s\n%s %" PRIu64 "\n", name, help,
+          name, type, name, value);
 }
 
 }  // namespace
@@ -93,6 +229,27 @@ std::string RenderMetricsText(const ServerMetrics& m) {
              [](const ShardMetrics& s) {
                return s.sorter.merge.disjoint_concats;
              });
+
+  TextHistogramFamily(&out, m, "impatience_shard_punct_to_emit_ns",
+                      [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                        return s.sorter.punct_to_emit;
+                      });
+  TextHistogramFamily(&out, m, "impatience_shard_ingest_to_emit_ns",
+                      [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                        return s.sorter.ingest_to_emit;
+                      });
+  TextHistogramFamily(&out, m, "impatience_shard_queue_wait_ns",
+                      [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                        return s.queue_wait;
+                      });
+  TextHistogramFamily(&out, m, "impatience_shard_drain_stall_ns",
+                      [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                        return s.drain_stall;
+                      });
+  TextFamily(&out, m, "impatience_shard_max_watermark_lag",
+             [](const ShardMetrics& s) {
+               return static_cast<uint64_t>(s.max_watermark_lag);
+             });
   return out;
 }
 
@@ -108,8 +265,9 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
   Appendf(&out, "\"decode_errors\":%" PRIu64 ",", m.decode_errors);
   Appendf(&out, "\"shutting_down\":%s,",
           m.shutting_down ? "true" : "false");
-  Appendf(&out, "\"kernel_level\":\"%s\",",
-          KernelLevelName(ActiveKernelLevel()));
+  out += "\"kernel_level\":\"";
+  AppendJsonEscaped(KernelLevelName(ActiveKernelLevel()), &out);
+  out += "\",";
   out += "\"shards\":[";
   for (size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];
@@ -138,11 +296,158 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
             s.sorter.parallel_merges);
     Appendf(&out, "\"sorter_elements_moved\":%" PRIu64 ",",
             s.sorter.merge.elements_moved);
-    Appendf(&out, "\"sorter_disjoint_concats\":%" PRIu64 "",
+    Appendf(&out, "\"sorter_disjoint_concats\":%" PRIu64 ",",
             s.sorter.merge.disjoint_concats);
-    out += "}";
+    AppendJsonHistogram(&out, "punct_to_emit_ns", s.sorter.punct_to_emit);
+    out += ",";
+    AppendJsonHistogram(&out, "ingest_to_emit_ns", s.sorter.ingest_to_emit);
+    out += ",";
+    AppendJsonHistogram(&out, "queue_wait_ns", s.queue_wait);
+    out += ",";
+    AppendJsonHistogram(&out, "drain_stall_ns", s.drain_stall);
+    out += ",";
+    Appendf(&out, "\"max_watermark_lag\":%" PRId64 ",", s.max_watermark_lag);
+    out += "\"watermarks\":[";
+    for (size_t j = 0; j < s.watermarks.size(); ++j) {
+      const SessionWatermark& w = s.watermarks[j];
+      if (j > 0) out += ",";
+      out += "{\"session\":\"";
+      AppendJsonEscaped(w.label, &out);
+      Appendf(&out,
+              "\",\"session_id\":%" PRIu64 ",\"max_sync_time\":%" PRId64
+              ",\"last_punctuation\":%" PRId64 ",\"lag\":%" PRId64 "}",
+              w.session_id, static_cast<int64_t>(w.max_sync_time),
+              static_cast<int64_t>(w.last_punctuation), w.lag);
+    }
+    out += "]}";
   }
   out += "]}";
+  return out;
+}
+
+std::string RenderMetricsPrometheus(const ServerMetrics& m) {
+  std::string out;
+  PromScalar(&out, "impatience_connections_opened", "counter",
+             "Client connections accepted.", m.connections_opened);
+  PromScalar(&out, "impatience_connections_closed", "counter",
+             "Client connections closed.", m.connections_closed);
+  PromScalar(&out, "impatience_frames_in", "counter",
+             "Frames decoded from clients.", m.frames_in);
+  PromScalar(&out, "impatience_frames_out", "counter",
+             "Frames sent to clients.", m.frames_out);
+  PromScalar(&out, "impatience_bytes_in", "counter",
+             "Bytes received from clients.", m.bytes_in);
+  PromScalar(&out, "impatience_bytes_out", "counter",
+             "Bytes sent to clients.", m.bytes_out);
+  PromScalar(&out, "impatience_decode_errors", "counter",
+             "Connections poisoned by undecodable bytes.", m.decode_errors);
+  PromScalar(&out, "impatience_shutting_down", "gauge",
+             "1 while drain-and-flush shutdown is in progress.",
+             m.shutting_down ? 1 : 0);
+  PromScalar(&out, "impatience_shards", "gauge", "Number of shards.",
+             m.shards.size());
+  PromScalar(&out, "impatience_kernel_level", "gauge",
+             "Active SIMD kernel dispatch level.",
+             static_cast<uint64_t>(ActiveKernelLevel()));
+
+  PromShardFamily(&out, m, "impatience_shard_queue_depth", "gauge",
+                  "Frames waiting in the shard ingress queue.",
+                  [](const ShardMetrics& s) { return s.queue_depth; });
+  PromShardFamily(&out, m, "impatience_shard_queue_capacity", "gauge",
+                  "Shard ingress queue capacity in frames.",
+                  [](const ShardMetrics& s) { return s.queue_capacity; });
+  PromShardFamily(&out, m, "impatience_shard_frames_in", "counter",
+                  "Data frames accepted into the shard queue.",
+                  [](const ShardMetrics& s) { return s.frames_in; });
+  PromShardFamily(&out, m, "impatience_shard_events_in", "counter",
+                  "Events inside accepted frames.",
+                  [](const ShardMetrics& s) { return s.events_in; });
+  PromShardFamily(&out, m, "impatience_shard_punctuations_in", "counter",
+                  "Client punctuation frames.",
+                  [](const ShardMetrics& s) { return s.punctuations_in; });
+  PromShardFamily(&out, m, "impatience_shard_sessions", "gauge",
+                  "Distinct sessions seen by the shard.",
+                  [](const ShardMetrics& s) { return s.sessions; });
+  PromShardFamily(&out, m, "impatience_shard_blocked_pushes", "counter",
+                  "Enqueues that had to wait (block policy).",
+                  [](const ShardMetrics& s) { return s.blocked_pushes; });
+  PromShardFamily(&out, m, "impatience_shard_rejected_frames", "counter",
+                  "Frames refused under the reject policy.",
+                  [](const ShardMetrics& s) { return s.rejected_frames; });
+  PromShardFamily(&out, m, "impatience_shard_rejected_events", "counter",
+                  "Events inside refused frames.",
+                  [](const ShardMetrics& s) { return s.rejected_events; });
+  PromShardFamily(&out, m, "impatience_shard_shed_frames", "counter",
+                  "Frames evicted under the shed policy.",
+                  [](const ShardMetrics& s) { return s.shed_frames; });
+  PromShardFamily(&out, m, "impatience_shard_shed_events", "counter",
+                  "Events inside evicted frames.",
+                  [](const ShardMetrics& s) { return s.shed_events; });
+  PromShardFamily(&out, m, "impatience_shard_events_out", "counter",
+                  "Rows emitted on the subscribed output stream.",
+                  [](const ShardMetrics& s) { return s.events_out; });
+  PromShardFamily(&out, m, "impatience_shard_dropped_late", "counter",
+                  "Events dropped as too late (partition + sorters).",
+                  [](const ShardMetrics& s) { return s.dropped_late; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_pushes", "counter",
+                  "Elements accepted by the shard's Impatience sorters.",
+                  [](const ShardMetrics& s) { return s.sorter.pushes; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_srs_hits", "counter",
+                  "Insertions resolved by speculative run selection.",
+                  [](const ShardMetrics& s) { return s.sorter.srs_hits; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_new_runs", "counter",
+                  "Sorted runs created.",
+                  [](const ShardMetrics& s) { return s.sorter.new_runs; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_removed_runs", "counter",
+                  "Sorted runs removed after punctuations.",
+                  [](const ShardMetrics& s) { return s.sorter.removed_runs; });
+  PromShardFamily(
+      &out, m, "impatience_shard_sorter_parallel_merges", "counter",
+      "Punctuation merges executed on the thread pool.",
+      [](const ShardMetrics& s) { return s.sorter.parallel_merges; });
+  PromShardFamily(
+      &out, m, "impatience_shard_sorter_elements_moved", "counter",
+      "Elements moved by punctuation merges.",
+      [](const ShardMetrics& s) { return s.sorter.merge.elements_moved; });
+
+  PromSummaryFamily(&out, m, "impatience_shard_punct_to_emit_nanoseconds",
+                    "Punctuation arrival to emit completion, per call.",
+                    [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                      return s.sorter.punct_to_emit;
+                    });
+  PromSummaryFamily(&out, m, "impatience_shard_ingest_to_emit_nanoseconds",
+                    "Oldest buffered push to emit, per emitting punctuation.",
+                    [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                      return s.sorter.ingest_to_emit;
+                    });
+  PromSummaryFamily(&out, m, "impatience_shard_queue_wait_nanoseconds",
+                    "Frame wait in the shard ingress queue.",
+                    [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                      return s.queue_wait;
+                    });
+  PromSummaryFamily(&out, m, "impatience_shard_drain_stall_nanoseconds",
+                    "Drain-loop stall applying one frame to the pipeline.",
+                    [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                      return s.drain_stall;
+                    });
+
+  Appendf(&out,
+          "# HELP impatience_session_watermark_lag Event-time lag of a "
+          "session: max sync time minus the shard's last punctuation.\n"
+          "# TYPE impatience_session_watermark_lag gauge\n");
+  for (const ShardMetrics& s : m.shards) {
+    for (const SessionWatermark& w : s.watermarks) {
+      Appendf(&out, "impatience_session_watermark_lag{shard=\"%zu\",", s.shard);
+      out += "session=\"";
+      AppendPromLabelEscaped(w.label, &out);
+      Appendf(&out, "\"} %" PRId64 "\n", w.lag);
+    }
+  }
+  PromShardFamily(&out, m, "impatience_shard_max_watermark_lag", "gauge",
+                  "Largest per-session event-time watermark lag.",
+                  [](const ShardMetrics& s) {
+                    return static_cast<uint64_t>(s.max_watermark_lag);
+                  });
   return out;
 }
 

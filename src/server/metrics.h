@@ -11,10 +11,24 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/timestamp.h"
 #include "sort/impatience_sorter.h"
 
 namespace impatience {
 namespace server {
+
+// Event-time progress of one client session on its shard: how far the
+// session's data has advanced versus how far the shard pipeline has
+// punctuated. `lag` is max_sync_time - last_punctuation clamped to >= 0 —
+// the event-time span still buffered (unreleasable) for this session.
+struct SessionWatermark {
+  std::string label;  // Session id rendered for metric labels.
+  uint64_t session_id = 0;
+  Timestamp max_sync_time = 0;    // Largest event time the session sent.
+  Timestamp last_punctuation = 0; // Shard output frontier (band 0).
+  int64_t lag = 0;
+};
 
 // One shard's view. Queue/backpressure counters are maintained by the
 // shard itself; sorter counters are aggregated across the shard
@@ -35,6 +49,15 @@ struct ShardMetrics {
   uint64_t events_out = 0;       // Rows emitted on the final stream.
   uint64_t dropped_late = 0;     // Partition + sorter late drops.
   ImpatienceCounters sorter;     // Aggregated across the shard's bands.
+  // Wall-clock nanoseconds a frame waited in the ingress queue before the
+  // drain loop popped it.
+  HistogramSnapshot queue_wait;
+  // Wall-clock nanoseconds the drain loop spent applying one frame to the
+  // pipeline (time the queue could not drain — the stall the frame caused).
+  HistogramSnapshot drain_stall;
+  // Event-time lag per session, worst session first.
+  std::vector<SessionWatermark> watermarks;
+  int64_t max_watermark_lag = 0;  // Largest per-session lag (0 if none).
 };
 
 // Whole-service view: transport totals plus every shard.
@@ -51,12 +74,20 @@ struct ServerMetrics {
 };
 
 // Prometheus-style exposition: "# HELP"-less "name{shard=\"i\"} value"
-// lines, one block per counter family.
+// lines, one block per counter family. Includes latency quantiles and
+// watermark lag.
 std::string RenderMetricsText(const ServerMetrics& m);
 
 // Single JSON object with a "shards" array. Stable key order; no
-// dependency on a JSON library.
+// dependency on a JSON library. All string values (session labels,
+// kernel level) are JSON-escaped.
 std::string RenderMetricsJson(const ServerMetrics& m);
+
+// Full Prometheus exposition format: # HELP / # TYPE headers, summary
+// families with quantile labels for the latency histograms, per-session
+// watermark-lag gauges. Label values are escaped per the Prometheus text
+// format (backslash, double quote, newline).
+std::string RenderMetricsPrometheus(const ServerMetrics& m);
 
 }  // namespace server
 }  // namespace impatience

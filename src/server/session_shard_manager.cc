@@ -1,14 +1,19 @@
 #include "server/session_shard_manager.h"
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/bounded_queue.h"
 #include "common/check.h"
+#include "common/clock.h"
+#include "common/histogram.h"
 #include "common/timestamp.h"
+#include "common/trace.h"
 #include "engine/streamable.h"
 
 namespace impatience {
@@ -70,7 +75,9 @@ struct SessionShardManager::Shard {
   std::mutex pipeline_mu;
   QueryPipeline<4> pipeline;
   std::optional<Streamables<4>> streams;
-  std::unordered_set<uint64_t> sessions;
+  // Session id -> largest event sync_time the session has sent (the
+  // session's event-time watermark; kMinTimestamp until it sends events).
+  std::unordered_map<uint64_t, Timestamp> sessions;
 
   std::thread worker;
 
@@ -85,6 +92,11 @@ struct SessionShardManager::Shard {
   std::atomic<uint64_t> shed_frames{0};
   std::atomic<uint64_t> shed_events{0};
   std::atomic<uint64_t> events_out{0};
+
+  // Latency distributions (atomic buckets): recorded by the drain loop,
+  // snapshotted concurrently by SnapshotShards without pipeline_mu.
+  LatencyHistogram queue_wait;   // Submit-to-pop wait per frame.
+  LatencyHistogram drain_stall;  // Pipeline-apply time per frame.
 };
 
 SessionShardManager::SessionShardManager(ShardManagerOptions options,
@@ -137,6 +149,7 @@ SubmitResult SessionShardManager::Submit(Frame frame) {
   Shard* s = shards_[ShardOf(frame.session_id)].get();
   const uint64_t n_events = frame.events.size();
   const bool is_punctuation = frame.type == FrameType::kPunctuation;
+  frame.enqueue_ns = Clock::Nanos();
 
   switch (options_.backpressure) {
     case BackpressurePolicy::kBlock:
@@ -198,10 +211,19 @@ void SessionShardManager::WorkerLoop(Shard* s) {
 }
 
 void SessionShardManager::Process(Shard* s, Frame& frame) {
-  s->sessions.insert(frame.session_id);
+  TRACE_SPAN("shard.process_frame");
+  const uint64_t start_ns = Clock::Nanos();
+  if (frame.enqueue_ns != 0 && start_ns >= frame.enqueue_ns) {
+    s->queue_wait.Record(start_ns - frame.enqueue_ns);
+  }
+  Timestamp& session_watermark =
+      s->sessions.emplace(frame.session_id, kMinTimestamp).first->second;
   switch (frame.type) {
     case FrameType::kEvents:
-      for (const Event& e : frame.events) s->pipeline.ingress().Push(e);
+      for (const Event& e : frame.events) {
+        if (e.sync_time > session_watermark) session_watermark = e.sync_time;
+        s->pipeline.ingress().Push(e);
+      }
       break;
     case FrameType::kPunctuation:
       // A client punctuation promises no events ≤ t will follow on this
@@ -223,6 +245,7 @@ void SessionShardManager::Process(Shard* s, Frame& frame) {
       // are handled by the service layer; ignore defensively.
       break;
   }
+  s->drain_stall.Record(Clock::Nanos() - start_ns);
 }
 
 void SessionShardManager::FlushPipeline(Shard* s) {
@@ -272,14 +295,43 @@ std::vector<ShardMetrics> SessionShardManager::SnapshotShards(
     m.shed_frames = s->shed_frames.load(std::memory_order_relaxed);
     m.shed_events = s->shed_events.load(std::memory_order_relaxed);
     m.events_out = s->events_out.load(std::memory_order_relaxed);
+    // Latency histograms share the statistics window with the sorter
+    // counters: a reset scrape drains both.
+    m.queue_wait = s->queue_wait.Snapshot(reset_sorter_counters);
+    m.drain_stall = s->drain_stall.Snapshot(reset_sorter_counters);
     {
       std::lock_guard<std::mutex> lock(s->pipeline_mu);
       m.sessions = s->sessions.size();
       m.dropped_late = s->streams->TotalDrops();
-      m.sorter = s->streams->AggregatedCounters();
-      if (reset_sorter_counters) s->streams->ResetCounters();
+      // Single-op snapshot-and-reset: each band's counters are read and
+      // zeroed in one touch, so samples recorded by the worker between a
+      // scrape's read and reset can never be dropped.
+      m.sorter = s->streams->AggregatedCounters(reset_sorter_counters);
+
+      const Timestamp frontier = s->streams->partition().band_punctuation(0);
+      m.watermarks.reserve(s->sessions.size());
+      for (const auto& [session_id, max_sync] : s->sessions) {
+        SessionWatermark w;
+        w.session_id = session_id;
+        w.label = std::to_string(session_id);
+        w.max_sync_time = max_sync;
+        w.last_punctuation = frontier;
+        // Before the first punctuation round (or before the session sends
+        // events) there is no meaningful frontier to lag behind.
+        w.lag = (frontier != kMinTimestamp && max_sync > frontier)
+                    ? max_sync - frontier
+                    : 0;
+        if (w.lag > m.max_watermark_lag) m.max_watermark_lag = w.lag;
+        m.watermarks.push_back(std::move(w));
+      }
     }
-    out.push_back(m);
+    // Worst session first; ties by id so the rendering is deterministic.
+    std::sort(m.watermarks.begin(), m.watermarks.end(),
+              [](const SessionWatermark& a, const SessionWatermark& b) {
+                if (a.lag != b.lag) return a.lag > b.lag;
+                return a.session_id < b.session_id;
+              });
+    out.push_back(std::move(m));
   }
   return out;
 }

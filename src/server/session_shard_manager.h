@@ -118,8 +118,10 @@ class SessionShardManager {
   }
 
   // Point-in-time metrics for every shard. With `reset_sorter_counters`,
-  // each pipeline's Impatience counters restart from zero after the
-  // snapshot (queue/backpressure totals are cumulative and never reset).
+  // each pipeline's Impatience counters and the shard latency histograms
+  // restart from zero after the snapshot — read and reset as one operation
+  // per band, so no sample can land between the read and the reset and be
+  // lost (queue/backpressure totals are cumulative and never reset).
   std::vector<ShardMetrics> SnapshotShards(bool reset_sorter_counters = false);
 
   // Test hook (requires options.manual_drain): synchronously processes

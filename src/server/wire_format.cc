@@ -81,6 +81,9 @@ uint8_t AuxOf(const Frame& frame) {
       return static_cast<uint8_t>(frame.metrics_format);
     case FrameType::kReject:
       return static_cast<uint8_t>(frame.reject_reason);
+    case FrameType::kTraceRequest:
+    case FrameType::kTraceResponse:
+      return static_cast<uint8_t>(frame.trace_action);
     default:
       return 0;
   }
@@ -103,6 +106,7 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
       PutI64(frame.punctuation, out);
       return;
     case FrameType::kMetricsResponse:
+    case FrameType::kTraceResponse:
       out->insert(out->end(), frame.text.begin(), frame.text.end());
       return;
     case FrameType::kReject:
@@ -113,6 +117,7 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kShutdown:
     case FrameType::kShutdownAck:
     case FrameType::kMetricsRequest:
+    case FrameType::kTraceRequest:
       return;  // Empty payloads.
   }
   IMPATIENCE_CHECK_MSG(false, "unencodable frame type");
@@ -147,12 +152,21 @@ DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
       frame->punctuation = GetI64(p);
       return DecodeStatus::kOk;
     case FrameType::kMetricsRequest:
-      if (n != 0 || aux > 1) return DecodeStatus::kBadPayload;
+      if (n != 0 || aux > 2) return DecodeStatus::kBadPayload;
       frame->metrics_format = static_cast<MetricsFormat>(aux);
       return DecodeStatus::kOk;
     case FrameType::kMetricsResponse:
-      if (aux > 1) return DecodeStatus::kBadPayload;
+      if (aux > 2) return DecodeStatus::kBadPayload;
       frame->metrics_format = static_cast<MetricsFormat>(aux);
+      frame->text.assign(reinterpret_cast<const char*>(p), n);
+      return DecodeStatus::kOk;
+    case FrameType::kTraceRequest:
+      if (n != 0 || aux > 2) return DecodeStatus::kBadPayload;
+      frame->trace_action = static_cast<TraceAction>(aux);
+      return DecodeStatus::kOk;
+    case FrameType::kTraceResponse:
+      if (aux > 2) return DecodeStatus::kBadPayload;
+      frame->trace_action = static_cast<TraceAction>(aux);
       frame->text.assign(reinterpret_cast<const char*>(p), n);
       return DecodeStatus::kOk;
     case FrameType::kReject:

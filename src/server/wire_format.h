@@ -29,6 +29,11 @@
 //   kMetricsRequest  (empty; aux = MetricsFormat)
 //   kMetricsResponse rendered metrics bytes (aux = MetricsFormat)
 //   kReject          u64 count of events affected (aux = RejectReason)
+//   kTraceRequest    (empty; aux = TraceAction) — kDump drains the
+//                    server's span buffers; kEnable/kDisable toggle
+//                    recording at runtime
+//   kTraceResponse   Chrome trace-event JSON bytes for kDump, empty for
+//                    the toggles (aux echoes the TraceAction)
 //
 // Decoding is incremental: feed arbitrary byte chunks, get frames out.
 // A corrupted stream (bad magic, bad CRC, oversized length, malformed
@@ -66,6 +71,8 @@ enum class FrameType : uint8_t {
   kMetricsRequest = 7,
   kMetricsResponse = 8,
   kReject = 9,
+  kTraceRequest = 10,
+  kTraceResponse = 11,
 };
 
 enum class RejectReason : uint8_t {
@@ -75,8 +82,15 @@ enum class RejectReason : uint8_t {
 };
 
 enum class MetricsFormat : uint8_t {
-  kText = 0,  // Prometheus-style "name{labels} value" lines.
+  kText = 0,  // Bare "name{labels} value" lines (no HELP/TYPE headers).
   kJson = 1,
+  kPrometheus = 2,  // Full exposition format: # HELP / # TYPE + quantiles.
+};
+
+enum class TraceAction : uint8_t {
+  kDump = 0,     // Drain span buffers; response carries Chrome trace JSON.
+  kEnable = 1,   // Start recording spans.
+  kDisable = 2,  // Stop recording (buffered spans kept until dumped).
 };
 
 // One decoded frame. Only the fields relevant to `type` are meaningful.
@@ -86,9 +100,14 @@ struct Frame {
   std::vector<Event> events;          // kEvents
   Timestamp punctuation = 0;          // kPunctuation
   MetricsFormat metrics_format = MetricsFormat::kText;  // kMetrics*
-  std::string text;                   // kMetricsResponse
+  std::string text;                   // kMetricsResponse / kTraceResponse
   RejectReason reject_reason = RejectReason::kQueueFull;  // kReject
   uint64_t reject_count = 0;          // kReject
+  TraceAction trace_action = TraceAction::kDump;  // kTrace*
+
+  // Server-side only, never serialized: Clock::Nanos() when the frame was
+  // accepted into a shard queue, for queue-wait accounting.
+  uint64_t enqueue_ns = 0;
 };
 
 // CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `n` bytes.

@@ -28,10 +28,13 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/cpu_features.h"
 #include "common/event.h"
+#include "common/histogram.h"
 #include "common/thread_pool.h"
 #include "common/timestamp.h"
+#include "common/trace.h"
 #include "sort/kernels.h"
 #include "sort/merge.h"
 #include "sort/run_select.h"
@@ -81,6 +84,14 @@ struct ImpatienceCounters {
   // every reset, and aggregation takes the max across shards.
   uint64_t kernel_level = 0;
   MergeStats merge;             // Merge work across all punctuations.
+  // One sample per OnPunctuation call: nanoseconds from punctuation
+  // arrival to emit completion (the sorter-side share of end-to-end
+  // latency).
+  HistogramSnapshot punct_to_emit;
+  // One sample per emitting punctuation: nanoseconds from the oldest push
+  // buffered since the previous emit to emit completion — how long data
+  // waited inside the sorter.
+  HistogramSnapshot ingest_to_emit;
 
   // Zeroes every counter. Long-lived servers snapshot-and-reset between
   // scrapes instead of reconstructing sorters.
@@ -99,6 +110,8 @@ struct ImpatienceCounters {
     merge.elements_moved += other.merge.elements_moved;
     merge.binary_merges += other.merge.binary_merges;
     merge.disjoint_concats += other.merge.disjoint_concats;
+    punct_to_emit += other.punct_to_emit;
+    ingest_to_emit += other.ingest_to_emit;
     return *this;
   }
 };
@@ -123,6 +136,11 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     }
     ++counters_.pushes;
     ++buffered_;
+    // Latency window: stamp the first push after an emit; every later push
+    // in the window pays only this predictable branch.
+    if (__builtin_expect(ingest_window_start_ns_ == 0, 0)) {
+      ingest_window_start_ns_ = Clock::Nanos();
+    }
 
     // Speculative run selection: the previous insertion's run is often the
     // right one again. The element belongs there iff it lies between that
@@ -155,6 +173,8 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   }
 
   void OnPunctuation(Timestamp t, std::vector<T>* out) override {
+    TRACE_SPAN("sorter.on_punctuation");
+    const uint64_t punct_start_ns = Clock::Nanos();
     IMPATIENCE_CHECK_MSG(t >= last_punctuation_,
                          "punctuations must be non-decreasing");
     last_punctuation_ = t;
@@ -231,6 +251,18 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     // dominate the live buffer.
     pool_.Trim(std::max<size_t>(size_t{64} << 10,
                                 buffered_ * sizeof(T) / 2));
+
+    const uint64_t now_ns = Clock::Nanos();
+    counters_.punct_to_emit.Record(now_ns - punct_start_ns);
+    if (emitted > 0 && ingest_window_start_ns_ != 0) {
+      counters_.ingest_to_emit.Record(now_ns >= ingest_window_start_ns_
+                                          ? now_ns - ingest_window_start_ns_
+                                          : 0);
+      // Restart the window at the next push. Elements still buffered keep
+      // their (older) true arrival times out of the next sample — the
+      // reported lag is a lower bound for them.
+      ingest_window_start_ns_ = 0;
+    }
   }
 
   size_t buffered_count() const override { return buffered_; }
@@ -265,6 +297,13 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
 
   // The last punctuation received (kMinTimestamp if none yet).
   Timestamp last_punctuation() const { return last_punctuation_; }
+
+  const HistogramSnapshot* punctuation_latency() const override {
+    return &counters_.punct_to_emit;
+  }
+  const HistogramSnapshot* ingest_latency() const override {
+    return &counters_.ingest_to_emit;
+  }
 
  private:
   // One sorted run. Elements before `head` have already been emitted.
@@ -350,6 +389,9 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   std::vector<CutRange> cut_runs_;
   size_t last_run_ = 0;           // Run used by the previous insertion.
   size_t buffered_ = 0;
+  // Wall-clock (ns) of the first push since the last emitting punctuation;
+  // 0 when no window is open.
+  uint64_t ingest_window_start_ns_ = 0;
   Timestamp last_punctuation_ = kMinTimestamp;
   uint64_t late_drops_ = 0;
   ImpatienceCounters counters_;

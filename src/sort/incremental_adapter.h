@@ -20,9 +20,12 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/cpu_features.h"
 #include "common/event.h"
+#include "common/histogram.h"
 #include "common/timestamp.h"
+#include "common/trace.h"
 #include "sort/kernels.h"
 #include "sort/sorter.h"
 
@@ -48,9 +51,14 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
       return;
     }
     unsorted_.push_back(item);
+    if (__builtin_expect(ingest_window_start_ns_ == 0, 0)) {
+      ingest_window_start_ns_ = Clock::Nanos();
+    }
   }
 
   void OnPunctuation(Timestamp t, std::vector<T>* out) override {
+    TRACE_SPAN("adapter.on_punctuation");
+    const uint64_t punct_start_ns = Clock::Nanos();
     IMPATIENCE_CHECK_MSG(t >= last_punctuation_,
                          "punctuations must be non-decreasing");
     last_punctuation_ = t;
@@ -86,6 +94,7 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
         sorted_.data(), head_, sorted_.size(), t, time_of_, level_);
     const auto begin = sorted_.begin() + static_cast<ptrdiff_t>(head_);
     const auto cut = sorted_.begin() + static_cast<ptrdiff_t>(cut_index);
+    const size_t emitted = cut_index - head_;
     out->insert(out->end(), begin, cut);
     head_ = cut_index;
     // Reclaim the emitted prefix when it dominates the buffer.
@@ -93,6 +102,15 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
       sorted_.erase(sorted_.begin(), sorted_.begin() +
                                          static_cast<ptrdiff_t>(head_));
       head_ = 0;
+    }
+
+    const uint64_t now_ns = Clock::Nanos();
+    punct_to_emit_.Record(now_ns - punct_start_ns);
+    if (emitted > 0 && ingest_window_start_ns_ != 0) {
+      ingest_to_emit_.Record(now_ns >= ingest_window_start_ns_
+                                 ? now_ns - ingest_window_start_ns_
+                                 : 0);
+      ingest_window_start_ns_ = 0;
     }
   }
 
@@ -108,6 +126,13 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
 
   std::string name() const override { return name_; }
 
+  const HistogramSnapshot* punctuation_latency() const override {
+    return &punct_to_emit_;
+  }
+  const HistogramSnapshot* ingest_latency() const override {
+    return &ingest_to_emit_;
+  }
+
  private:
   size_t SortedSize() const { return sorted_.size() - head_; }
 
@@ -121,6 +146,9 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
   std::vector<T> unsorted_;
   Timestamp last_punctuation_ = kMinTimestamp;
   uint64_t late_drops_ = 0;
+  uint64_t ingest_window_start_ns_ = 0;
+  HistogramSnapshot punct_to_emit_;
+  HistogramSnapshot ingest_to_emit_;
 };
 
 // Deduces the SortFn type.

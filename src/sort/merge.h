@@ -30,6 +30,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "sort/kernels.h"
 
 namespace impatience {
@@ -157,6 +158,7 @@ template <typename T, typename Less>
 void HuffmanMergeInto(std::vector<std::vector<T>>* runs, Less less,
                       std::vector<T>* out, MergeStats* stats = nullptr,
                       MergeBufferPool<T>* pool = nullptr) {
+  TRACE_SPAN("merge.huffman");
   std::vector<std::vector<T>>& rs = *runs;
   merge_internal::DropEmptyRuns(&rs);
   if (rs.empty()) return;
@@ -349,6 +351,7 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
   std::atomic<uint64_t> disjoint_concats{0};
   TaskGroup group(&tp);
   std::function<void(size_t)> exec_node = [&](size_t j) {
+    TRACE_SPAN("merge.task");
     Node& nd = nodes[j];
     std::vector<T>& a = child(nd.left);
     std::vector<T>& b = child(nd.right);
@@ -367,6 +370,7 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
                                                            less);
         T* mid = dst + ma + static_cast<size_t>(bsplit - pb);
         group.Run([pa, ma, pb, bsplit, dst, &less, &disjoint_concats] {
+          TRACE_SPAN("merge.final_half");
           bool disjoint = false;
           BinaryMergeToPtr(pa, pa + ma, pb, bsplit, less, dst, &disjoint);
           if (disjoint) {
@@ -374,6 +378,7 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
           }
         });
         group.Run([pa, ma, ea, bsplit, eb, mid, &less, &disjoint_concats] {
+          TRACE_SPAN("merge.final_half");
           bool disjoint = false;
           BinaryMergeToPtr(pa + ma, ea, bsplit, eb, less, mid, &disjoint);
           if (disjoint) {

@@ -40,6 +40,7 @@
 #include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "common/timestamp.h"
+#include "common/trace.h"
 #include "sort/kernels.h"
 
 namespace impatience {
@@ -102,6 +103,7 @@ inline void ScanRange(const Timestamp* times, size_t begin, size_t end,
 inline void AssignRunsSequential(const Timestamp* times, size_t n,
                                  bool speculative_run_selection,
                                  KernelLevel level, PartitionPass1* out) {
+  TRACE_SPAN("partition.pass1");
   out->run_of.resize(n);
   out->tails.clear();
   out->run_sizes.clear();
@@ -118,6 +120,7 @@ inline void AssignRunsParallel(const Timestamp* times, size_t n,
                                bool speculative_run_selection,
                                KernelLevel level, ThreadPool* pool,
                                PartitionPass1* out) {
+  TRACE_SPAN("partition.pass1_parallel");
   using partition_internal::kPartitionChunk;
   out->run_of.resize(n);
   out->tails.clear();
@@ -137,6 +140,7 @@ inline void AssignRunsParallel(const Timestamp* times, size_t n,
       0, num_chunks, size_t{1},
       [times, n, run_of, &locals, speculative_run_selection, level](
           size_t clo, size_t chi) {
+        TRACE_SPAN("partition.chunk_scan");
         for (size_t c = clo; c < chi; ++c) {
           const size_t begin = c * kPartitionChunk;
           const size_t end = std::min(n, begin + kPartitionChunk);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/event.h"
+#include "common/histogram.h"
 #include "common/timestamp.h"
 
 namespace impatience {
@@ -53,6 +54,16 @@ class IncrementalSorter {
 
   // Human-readable algorithm name, e.g. "Impatience".
   virtual std::string name() const = 0;
+
+  // Latency observability (optional). punctuation_latency() holds one
+  // sample per OnPunctuation call (nanoseconds from punctuation arrival to
+  // emit completion); ingest_latency() one sample per emitting punctuation
+  // (nanoseconds from the oldest buffered-since-last-emit push to emit).
+  // Sorters without instrumentation return nullptr.
+  virtual const HistogramSnapshot* punctuation_latency() const {
+    return nullptr;
+  }
+  virtual const HistogramSnapshot* ingest_latency() const { return nullptr; }
 };
 
 }  // namespace impatience

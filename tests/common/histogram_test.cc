@@ -1,0 +1,235 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace impatience {
+namespace {
+
+using histogram_internal::BucketIndex;
+using histogram_internal::BucketLow;
+using histogram_internal::BucketMid;
+using histogram_internal::kNumBuckets;
+
+// Exact quantile matching the histogram's definition: the value at the
+// ceil(q * n)-th recorded sample (1-based) of the sorted data.
+uint64_t ExactQuantile(std::vector<uint64_t> sorted, double q) {
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+void ExpectWithinRelativeError(uint64_t approx, uint64_t exact,
+                               double max_rel) {
+  if (exact == 0) {
+    EXPECT_EQ(approx, 0u);
+    return;
+  }
+  const double rel = std::abs(static_cast<double>(approx) -
+                              static_cast<double>(exact)) /
+                     static_cast<double>(exact);
+  EXPECT_LE(rel, max_rel) << "approx=" << approx << " exact=" << exact;
+}
+
+TEST(HistogramBucketsTest, IndexIsMonotonicAndInverseOfLow) {
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 4096; ++v) {
+    const size_t i = BucketIndex(v);
+    EXPECT_GE(i, prev);
+    EXPECT_LE(BucketLow(i), v);
+    EXPECT_GE(BucketMid(i), BucketLow(i));
+    prev = i;
+  }
+  // BucketLow is the smallest value mapping to its bucket, over every
+  // reachable index (the array carries unreachable slack at the top).
+  const size_t reachable = BucketIndex(~uint64_t{0}) + 1;
+  ASSERT_LE(reachable, kNumBuckets);
+  for (size_t i = 0; i < reachable; ++i) {
+    EXPECT_EQ(BucketIndex(BucketLow(i)), i);
+    EXPECT_EQ(BucketIndex(BucketMid(i)), i);
+  }
+  EXPECT_EQ(BucketIndex(0), 0u);
+}
+
+TEST(HistogramBucketsTest, BucketWidthBoundsRelativeError) {
+  // Above the unit-bucket range, the midpoint is within ~1.6% of any
+  // value in the bucket (half of the 1/32 bucket width).
+  Rng rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const uint64_t v = rng.NextUint64() >> (rng.NextBelow(58));
+    if (v < 32) continue;
+    ExpectWithinRelativeError(BucketMid(BucketIndex(v)), v, 0.017);
+  }
+}
+
+TEST(HistogramSnapshotTest, EmptyAndSingleValue) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0u);
+
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  ExpectWithinRelativeError(h.P50(), 1000, 0.025);
+  ExpectWithinRelativeError(h.P999(), 1000, 0.025);
+}
+
+TEST(HistogramSnapshotTest, QuantilesTrackExactValues) {
+  // Mixed distribution: exponential bulk plus a heavy lognormal-ish tail,
+  // the shape real latency data takes.
+  Rng rng(42);
+  HistogramSnapshot h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 200000; ++i) {
+    double v = rng.NextExponential(50e3);
+    if (rng.NextBool(0.01)) v *= 100;  // 1% slow tail.
+    const uint64_t ns = static_cast<uint64_t>(v) + 100;
+    values.push_back(ns);
+    h.Record(ns);
+  }
+  std::sort(values.begin(), values.end());
+
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    // 2.5% promised by the header, plus slack for the discrete rank step.
+    ExpectWithinRelativeError(h.ValueAtQuantile(q), ExactQuantile(values, q),
+                              0.035);
+  }
+  EXPECT_EQ(h.max(), values.back());
+  EXPECT_EQ(h.count(), values.size());
+}
+
+TEST(HistogramSnapshotTest, MergeIsAssociativeAndLossless) {
+  Rng rng(3);
+  HistogramSnapshot parts[3];
+  HistogramSnapshot whole;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = rng.NextBelow(1u << 20);
+    parts[i % 3].Record(v);
+    whole.Record(v);
+  }
+
+  // (a + b) + c and a + (b + c) equal the single-recorder histogram.
+  HistogramSnapshot left = parts[0];
+  left += parts[1];
+  left += parts[2];
+  HistogramSnapshot bc = parts[1];
+  bc += parts[2];
+  HistogramSnapshot right = parts[0];
+  right += bc;
+
+  for (const HistogramSnapshot* m : {&left, &right}) {
+    EXPECT_EQ(m->count(), whole.count());
+    EXPECT_EQ(m->sum(), whole.sum());
+    EXPECT_EQ(m->max(), whole.max());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(m->ValueAtQuantile(q), whole.ValueAtQuantile(q));
+    }
+  }
+}
+
+TEST(HistogramSnapshotTest, ResetClearsEverything) {
+  HistogramSnapshot h;
+  h.Record(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(rng.NextBelow(1u << 24));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(snap.P99(), snap.P50());
+}
+
+TEST(LatencyHistogramTest, SnapshotWithResetConservesSamples) {
+  // Samplers that snapshot-and-reset while writers are recording must,
+  // in aggregate, see every sample exactly once (the race this histogram
+  // exists to close: no read-then-reset window).
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 40000;
+  LatencyHistogram h;
+  std::atomic<bool> done{false};
+
+  HistogramSnapshot drained;
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      drained += h.Snapshot(/*reset=*/true);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.Record(static_cast<uint64_t>(t) * kPerWriter + i);
+      }
+    });
+    for (int i = 0; i < kPerWriter; ++i) {
+      expected_sum += static_cast<uint64_t>(t) * kPerWriter + i;
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+
+  drained += h.Snapshot(/*reset=*/true);  // Whatever the sampler missed.
+  EXPECT_EQ(drained.count(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  // The reset path reconstructs sum from bucket midpoints (the exact sum
+  // may be mid-update while buckets drain), so it is approximate within
+  // the bucket-width bound.
+  ExpectWithinRelativeError(drained.sum(), expected_sum, 0.025);
+  EXPECT_EQ(h.Snapshot().count(), 0u);  // Fully drained.
+}
+
+TEST(LatencyHistogramTest, AccumulateMergesRecorders) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  b.Record(200);
+  b.Record(300);
+  a += b;
+  const HistogramSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_EQ(snap.sum(), 600u);
+  EXPECT_EQ(snap.max(), 300u);
+}
+
+TEST(ScopedLatencyTimerTest, RecordsElapsedTime) {
+  HistogramSnapshot h;
+  { ScopedLatencyTimer<HistogramSnapshot> timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace impatience

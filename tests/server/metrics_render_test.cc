@@ -1,0 +1,166 @@
+#include "server/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace impatience {
+namespace server {
+namespace {
+
+// Minimal JSON well-formedness scan: strings (with escapes) are opaque,
+// braces/brackets must nest and end balanced, and no raw control
+// characters may appear inside a string literal.
+bool JsonIsWellFormed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (in_string) {
+      if (c < 0x20) return false;  // RFC 8259 forbids raw controls.
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+ServerMetrics MakeMetrics() {
+  ServerMetrics m;
+  m.connections_opened = 2;
+  m.frames_in = 10;
+
+  ShardMetrics s;
+  s.shard = 0;
+  s.queue_depth = 1;
+  s.queue_capacity = 128;
+  s.events_in = 5000;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    s.sorter.punct_to_emit.Record(v * 1000);
+    s.queue_wait.Record(v * 10);
+    s.drain_stall.Record(v * 100);
+  }
+
+  SessionWatermark nasty;
+  nasty.label = "se\"ss\\ion\nid\x01";  // Hostile label for both formats.
+  nasty.session_id = 7;
+  nasty.max_sync_time = 5000;
+  nasty.last_punctuation = 3000;
+  nasty.lag = 2000;
+  s.watermarks.push_back(nasty);
+
+  SessionWatermark plain;
+  plain.label = "8";
+  plain.session_id = 8;
+  plain.lag = 0;
+  s.watermarks.push_back(plain);
+  s.max_watermark_lag = 2000;
+
+  m.shards.push_back(std::move(s));
+  return m;
+}
+
+TEST(MetricsRenderTest, JsonIsWellFormedWithHostileLabels) {
+  const std::string json = RenderMetricsJson(MakeMetrics());
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  // Quote, backslash, newline, and the control byte all escaped.
+  EXPECT_NE(json.find("se\\\"ss\\\\ion\\nid\\u0001"), std::string::npos);
+  // No raw newline leaked into the document at all (it is single-line).
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(MetricsRenderTest, JsonCarriesHistogramsAndWatermarks) {
+  const std::string json = RenderMetricsJson(MakeMetrics());
+  EXPECT_NE(json.find("\"punct_to_emit_ns\":{\"count\":1000,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_ns\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"drain_stall_ns\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"ingest_to_emit_ns\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"max_watermark_lag\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"lag\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
+TEST(MetricsRenderTest, TextCarriesQuantileLines) {
+  const std::string text = RenderMetricsText(MakeMetrics());
+  EXPECT_NE(
+      text.find("impatience_shard_punct_to_emit_ns{shard=\"0\",q=\"p50\"} "),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_punct_to_emit_ns_count{shard=\"0\"} 1000"),
+      std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_queue_wait_ns{shard=\"0\",q=\"p999\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_max_watermark_lag{shard=\"0\"} 2000"),
+            std::string::npos);
+}
+
+TEST(MetricsRenderTest, PrometheusSummariesAndEscaping) {
+  const std::string prom = RenderMetricsPrometheus(MakeMetrics());
+  // Summary conventions: HELP/TYPE, quantile labels, _sum and _count.
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_punct_to_emit_nanoseconds summary"),
+      std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_punct_to_emit_nanoseconds{shard=\"0\","
+                      "quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_punct_to_emit_nanoseconds_count{shard=\"0\"}"
+                " 1000"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_punct_to_emit_nanoseconds_sum{shard=\"0\"}"),
+      std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_queue_wait_nanoseconds summary"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_drain_stall_nanoseconds summary"),
+      std::string::npos);
+
+  // Label escaping: backslash, quote, and newline per the text format; the
+  // raw control byte 0x01 passes through (Prometheus allows it in UTF-8
+  // label values), but the newline must not break the line.
+  EXPECT_NE(prom.find("session=\"se\\\"ss\\\\ion\\nid\x01\"} 2000"),
+            std::string::npos);
+
+  EXPECT_NE(prom.find("# TYPE impatience_session_watermark_lag gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_max_watermark_lag{shard=\"0\"} 2000"),
+            std::string::npos);
+}
+
+TEST(MetricsRenderTest, EmptyMetricsRenderCleanly) {
+  const ServerMetrics empty;
+  EXPECT_TRUE(JsonIsWellFormed(RenderMetricsJson(empty)));
+  const std::string prom = RenderMetricsPrometheus(empty);
+  EXPECT_NE(prom.find("impatience_shards 0"), std::string::npos);
+  const std::string text = RenderMetricsText(empty);
+  EXPECT_NE(text.find("impatience_shards 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace impatience

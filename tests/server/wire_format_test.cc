@@ -130,6 +130,82 @@ TEST(WireFormatTest, MetricsAndRejectRoundTrip) {
   EXPECT_EQ(dr.reject_count, 512u);
 }
 
+TEST(WireFormatTest, PrometheusMetricsFormatRoundTrips) {
+  Frame req;
+  req.type = FrameType::kMetricsRequest;
+  req.metrics_format = MetricsFormat::kPrometheus;
+  EXPECT_EQ(DecodeOne(EncodeFrame(req)).metrics_format,
+            MetricsFormat::kPrometheus);
+
+  Frame resp;
+  resp.type = FrameType::kMetricsResponse;
+  resp.metrics_format = MetricsFormat::kPrometheus;
+  resp.text = "# TYPE impatience_frames_in counter\nimpatience_frames_in 3\n";
+  const Frame decoded = DecodeOne(EncodeFrame(resp));
+  EXPECT_EQ(decoded.metrics_format, MetricsFormat::kPrometheus);
+  EXPECT_EQ(decoded.text, resp.text);
+}
+
+TEST(WireFormatTest, TraceFramesRoundTrip) {
+  for (const TraceAction action :
+       {TraceAction::kDump, TraceAction::kEnable, TraceAction::kDisable}) {
+    Frame req;
+    req.type = FrameType::kTraceRequest;
+    req.session_id = 11;
+    req.trace_action = action;
+    const Frame decoded = DecodeOne(EncodeFrame(req));
+    EXPECT_EQ(decoded.type, FrameType::kTraceRequest);
+    EXPECT_EQ(decoded.trace_action, action);
+    EXPECT_EQ(decoded.session_id, 11u);
+  }
+
+  Frame resp;
+  resp.type = FrameType::kTraceResponse;
+  resp.trace_action = TraceAction::kDump;
+  resp.text = "{\"traceEvents\":[]}";
+  const Frame decoded = DecodeOne(EncodeFrame(resp));
+  EXPECT_EQ(decoded.type, FrameType::kTraceResponse);
+  EXPECT_EQ(decoded.trace_action, TraceAction::kDump);
+  EXPECT_EQ(decoded.text, resp.text);
+}
+
+TEST(WireFormatTest, OutOfRangeAuxRejected) {
+  // The aux byte (offset 5) carries the metrics format / trace action;
+  // values beyond the defined range must be kBadPayload, not decoded.
+  for (const FrameType type :
+       {FrameType::kMetricsRequest, FrameType::kTraceRequest}) {
+    Frame f;
+    f.type = type;
+    std::vector<uint8_t> bytes = EncodeFrame(f);
+    bytes[5] = 3;
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload);
+  }
+}
+
+TEST(WireFormatTest, TraceRequestWithPayloadRejected) {
+  // kTraceRequest is header-only; a payload is protocol misuse.
+  Frame f;
+  f.type = FrameType::kTraceRequest;
+  std::vector<uint8_t> bytes = EncodeFrame(f);
+  const uint8_t junk = 0xAB;
+  const uint32_t len = 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  const uint32_t crc = Crc32(&junk, 1);
+  for (int i = 0; i < 4; ++i) {
+    bytes[20 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  bytes.push_back(junk);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload);
+}
+
 TEST(WireFormatTest, ByteAtATimeFeedingDecodesAllFrames) {
   std::vector<uint8_t> bytes;
   AppendFrame(EventsFrame(1, 2), &bytes);

@@ -14,10 +14,12 @@
 # integer/pointer traps hand-written SIMD kernels invite (misaligned
 # loads, out-of-range shifts, signed overflow).
 #
-# Each pass runs ctest twice: once at the CPU's native kernel dispatch
-# level and once with IMPATIENCE_KERNEL_LEVEL=scalar forced, so the
+# Each pass runs ctest three times: once at the CPU's native kernel
+# dispatch level, once with IMPATIENCE_KERNEL_LEVEL=scalar forced (so the
 # portable kernels — the only path non-x86 builds have — stay exercised
-# under every sanitizer no matter what machine CI lands on.
+# under every sanitizer no matter what machine CI lands on), and once with
+# IMPATIENCE_TRACE=1 so the span-recording fast path (per-thread seqlock
+# rings written from every worker) runs hot under each detector.
 #
 # Benches/examples/tools are skipped: they share the same code, and
 # building them under the sanitizers roughly doubles the wall clock for no
@@ -44,7 +46,10 @@ run_pass() {
   (cd "$build_dir" && \
     env IMPATIENCE_THREADS=8 IMPATIENCE_KERNEL_LEVEL=scalar $env_opts \
       ctest --output-on-failure -j "$(nproc)")
-  echo "$name tier-1 (native + scalar kernels): OK"
+  (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 IMPATIENCE_TRACE=1 $env_opts \
+      ctest --output-on-failure -j "$(nproc)")
+  echo "$name tier-1 (native + scalar kernels + tracing on): OK"
 }
 
 tsan_pass() {

@@ -1,0 +1,120 @@
+// Observability client for a running impatience_serve.
+//
+//   impatience_trace [--port N] <command>
+//
+// Commands:
+//   dump [--out FILE]   Drain the server's span buffers as Chrome
+//                       trace-event JSON (stdout by default). Load the
+//                       file in chrome://tracing or https://ui.perfetto.dev.
+//   enable | disable    Toggle span recording at runtime.
+//   metrics [--format text|json|prometheus]
+//                       Fetch the metrics snapshot (default: prometheus).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/client.h"
+#include "server/tcp_transport.h"
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: impatience_trace [--port N] dump [--out FILE]\n"
+               "       impatience_trace [--port N] enable|disable\n"
+               "       impatience_trace [--port N] metrics "
+               "[--format text|json|prometheus]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace impatience::server;
+
+  uint16_t port = 7071;
+  std::string command;
+  std::string out_path;
+  std::string format = "prometheus";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next().c_str()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--format") {
+      format = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage();
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      Usage();
+    }
+  }
+  if (command != "dump" && command != "enable" && command != "disable" &&
+      command != "metrics") {
+    Usage();
+  }
+
+  std::string error;
+  std::unique_ptr<TcpChannel> channel = TcpChannel::Connect(port, &error);
+  if (channel == nullptr) {
+    std::fprintf(stderr, "impatience_trace: connect to 127.0.0.1:%u: %s\n",
+                 port, error.c_str());
+    return 1;
+  }
+  IngestClient client(std::move(channel));
+
+  if (command == "enable" || command == "disable") {
+    if (!client.SetTraceEnabled(command == "enable")) {
+      std::fprintf(stderr, "impatience_trace: request failed\n");
+      return 1;
+    }
+    std::fprintf(stderr, "impatience_trace: tracing %sd\n", command.c_str());
+    return 0;
+  }
+
+  std::string body;
+  if (command == "metrics") {
+    MetricsFormat mf = MetricsFormat::kPrometheus;
+    if (format == "text") {
+      mf = MetricsFormat::kText;
+    } else if (format == "json") {
+      mf = MetricsFormat::kJson;
+    } else if (format != "prometheus") {
+      Usage();
+    }
+    if (!client.GetMetrics(mf, &body)) {
+      std::fprintf(stderr, "impatience_trace: metrics request failed\n");
+      return 1;
+    }
+  } else if (!client.GetTrace(&body)) {
+    std::fprintf(stderr, "impatience_trace: trace dump failed\n");
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    if (!body.empty() && body.back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "impatience_trace: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "impatience_trace: wrote %zu bytes to %s\n",
+               body.size(), out_path.c_str());
+  return 0;
+}

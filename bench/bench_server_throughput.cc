@@ -12,12 +12,23 @@
 // falls behind — the tables report delivered (pipeline-ingested) events
 // alongside offered throughput.
 //
+// A second arm sweeps concurrent CONNECTION counts over the real TCP
+// epoll front end: the same workload split across up to 1000 live
+// loopback sockets, multiplexed by the bounded I/O-thread pool
+// (IMPATIENCE_IO_THREADS), with a handful of driver threads fanning the
+// frames out. This measures what the thread-per-connection model could
+// not offer at all: a thousand concurrent peers on a fixed number of
+// server threads.
+//
 // Emits one JSON document between BEGIN_JSON/END_JSON markers.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -26,6 +37,7 @@
 #include "common/trace.h"
 #include "server/client.h"
 #include "server/ingest_service.h"
+#include "server/tcp_transport.h"
 
 namespace impatience::bench {
 namespace {
@@ -33,9 +45,13 @@ namespace {
 using server::BackpressurePolicy;
 using server::IngestClient;
 using server::IngestService;
+using server::IoLoopMetrics;
 using server::LoopbackChannel;
 using server::ServiceOptions;
 using server::ShardMetrics;
+using server::TcpChannel;
+using server::TcpServer;
+using server::TransportMetrics;
 
 constexpr size_t kSessions = 16;
 constexpr size_t kEventsPerFrame = 512;
@@ -54,6 +70,143 @@ struct Sample {
 std::vector<Sample>& Samples() {
   static std::vector<Sample> samples;
   return samples;
+}
+
+struct ConnSample {
+  size_t connections = 0;  // Requested concurrent client sockets.
+  size_t io_threads = 0;   // Bounded epoll pool actually serving them.
+  size_t peak_open = 0;    // Live connections observed while all were open.
+  double offered_meps = 0;
+  double delivered_meps = 0;
+  uint64_t epollout_stalls = 0;
+  uint64_t closed_slow = 0;
+};
+
+std::vector<ConnSample>& ConnSamples() {
+  static std::vector<ConnSample> samples;
+  return samples;
+}
+
+ConnSample RunConnections(const std::vector<Event>& events,
+                          size_t connections) {
+  ServiceOptions options;
+  options.shards.num_shards = 2;
+  options.shards.queue_capacity = 256;
+  options.shards.backpressure = BackpressurePolicy::kBlock;  // Lossless.
+  options.shards.framework.reorder_latencies = {1 * kSecond, 1 * kMinute};
+  options.shards.framework.punctuation_period = 10000;
+  IngestService service(options);
+  TcpServer server(&service, /*port=*/0);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "bench: TcpServer failed to start: %s\n",
+                 error.c_str());
+    return {};
+  }
+
+  std::vector<std::vector<Event>> frames;
+  frames.reserve(events.size() / kEventsPerFrame + 1);
+  for (size_t i = 0; i < events.size(); i += kEventsPerFrame) {
+    const size_t end = std::min(i + kEventsPerFrame, events.size());
+    frames.emplace_back(events.begin() + i, events.begin() + end);
+  }
+
+  // A handful of driver threads each own a slice of the connections and
+  // spray their share of the frames round-robin across that slice, so
+  // every socket carries traffic while all of them are open at once.
+  const size_t kDrivers = std::min<size_t>(8, connections);
+  std::atomic<size_t> done_sending{0};
+  std::atomic<bool> release{false};
+  std::atomic<bool> failed{false};
+  size_t peak_open = 0;
+
+  const double secs = TimeSeconds([&]() {
+    std::vector<std::thread> drivers;
+    drivers.reserve(kDrivers);
+    for (size_t d = 0; d < kDrivers; ++d) {
+      drivers.emplace_back([&, d]() {
+        // One session per connection: the per-connection FlushSession
+        // below then proves every frame this socket sent was ingested
+        // (frames of one session ride one connection, in order).
+        std::vector<std::unique_ptr<IngestClient>> clients;
+        std::vector<uint64_t> sessions;
+        for (size_t c = d; c < connections; c += kDrivers) {
+          auto channel = TcpChannel::Connect(server.port());
+          if (channel == nullptr) {
+            failed.store(true);
+            break;
+          }
+          clients.push_back(
+              std::make_unique<IngestClient>(std::move(channel)));
+          sessions.push_back(c);
+        }
+        if (!clients.empty()) {
+          std::vector<bool> sent(clients.size(), false);
+          size_t k = 0;
+          for (size_t f = d; f < frames.size(); f += kDrivers, ++k) {
+            const size_t slot = k % clients.size();
+            if (!clients[slot]->SendEvents(sessions[slot], frames[f])) {
+              failed.store(true);
+              break;
+            }
+            sent[slot] = true;
+          }
+          // Lossless barrier: don't count a socket done until the shard
+          // pipeline acked everything it sent.
+          for (size_t slot = 0; slot < clients.size(); ++slot) {
+            if (sent[slot] && !clients[slot]->FlushSession(sessions[slot])) {
+              failed.store(true);
+            }
+          }
+        }
+        done_sending.fetch_add(1);
+        // Hold every socket open until the main thread has observed the
+        // full concurrent population.
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+    while (done_sending.load() < kDrivers) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const TransportMetrics tm = server.SnapshotTransport();
+    for (const IoLoopMetrics& l : tm.loops) peak_open += l.connections;
+    release.store(true, std::memory_order_release);
+    for (std::thread& t : drivers) t.join();
+    // Drain-and-flush barrier through the same front end.
+    auto channel = TcpChannel::Connect(server.port());
+    if (channel != nullptr) {
+      IngestClient control(std::move(channel));
+      if (!control.Shutdown()) failed.store(true);
+    } else {
+      failed.store(true);
+    }
+  });
+  if (failed.load()) {
+    std::fprintf(stderr,
+                 "bench: connection sweep at %zu connections hit a "
+                 "transport failure\n",
+                 connections);
+  }
+
+  ConnSample s;
+  s.connections = connections;
+  s.io_threads = server.io_threads();
+  s.peak_open = peak_open;
+  s.offered_meps = Throughput(events.size(), secs);
+  uint64_t delivered = 0;
+  for (const ShardMetrics& m : service.manager().SnapshotShards()) {
+    delivered += m.events_in - m.shed_events;
+  }
+  s.delivered_meps = Throughput(delivered, secs);
+  const TransportMetrics tm = server.SnapshotTransport();
+  for (const IoLoopMetrics& l : tm.loops) {
+    s.epollout_stalls += l.epollout_stalls;
+    s.closed_slow += l.closed_slow;
+  }
+  server.Stop();
+  return s;
 }
 
 Sample RunOne(const std::vector<Event>& events, size_t shards,
@@ -127,6 +280,23 @@ void Run() {
     }
   }
 
+  Section("Concurrent connections over TCP epoll front end, " +
+          std::to_string(n) + " events, IMPATIENCE_IO_THREADS pool");
+  TablePrinter conn_table({"conns", "io_threads", "peak_open",
+                           "offered_Me/s", "delivered_Me/s", "stalls",
+                           "shed"});
+  for (const size_t connections : {64u, 256u, 1000u}) {
+    const ConnSample s = RunConnections(cloudlog.events, connections);
+    conn_table.PrintRow({TablePrinter::Int(s.connections),
+                         TablePrinter::Int(s.io_threads),
+                         TablePrinter::Int(s.peak_open),
+                         TablePrinter::Num(s.offered_meps),
+                         TablePrinter::Num(s.delivered_meps),
+                         TablePrinter::Int(s.epollout_stalls),
+                         TablePrinter::Int(s.closed_slow)});
+    ConnSamples().push_back(s);
+  }
+
   std::printf(
       "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
       "\"server_throughput\": [\n",
@@ -143,6 +313,19 @@ void Run() {
         static_cast<unsigned long long>(samples[i].punct_to_emit_p50_ns),
         static_cast<unsigned long long>(samples[i].punct_to_emit_p99_ns),
         i + 1 < samples.size() ? "," : "");
+  }
+  std::printf("],\n\"connection_sweep\": [\n");
+  const std::vector<ConnSample>& conns = ConnSamples();
+  for (size_t i = 0; i < conns.size(); ++i) {
+    std::printf(
+        "  {\"connections\": %zu, \"io_threads\": %zu, \"peak_open\": %zu, "
+        "\"offered_meps\": %.4f, \"delivered_meps\": %.4f, "
+        "\"epollout_stalls\": %llu, \"closed_slow\": %llu}%s\n",
+        conns[i].connections, conns[i].io_threads, conns[i].peak_open,
+        conns[i].offered_meps, conns[i].delivered_meps,
+        static_cast<unsigned long long>(conns[i].epollout_stalls),
+        static_cast<unsigned long long>(conns[i].closed_slow),
+        i + 1 < conns.size() ? "," : "");
   }
   std::printf("]}\nEND_JSON\n");
   std::fflush(stdout);

@@ -34,6 +34,40 @@ int64_t LoopbackChannel::Read(uint8_t* out, size_t n, bool blocking) {
   return static_cast<int64_t>(take);
 }
 
+bool TransportChannel::Write(const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const IoResult r = transport_->Write(data, n);
+    if (r.ok()) {
+      // A short write is not failure: continue from the accepted prefix.
+      data += r.n;
+      n -= static_cast<size_t>(r.n);
+      continue;
+    }
+    if (r.interrupted()) continue;
+    if (r.again()) {
+      if (!transport_->WaitWritable(/*timeout_ms=*/-1)) return false;
+      continue;
+    }
+    return false;  // EOF-on-write or a hard error: the peer is gone.
+  }
+  return true;
+}
+
+int64_t TransportChannel::Read(uint8_t* out, size_t n, bool blocking) {
+  for (;;) {
+    const IoResult r = transport_->Read(out, n);
+    if (r.ok()) return r.n;
+    if (r.eof()) return -1;
+    if (r.interrupted()) continue;
+    if (r.again()) {
+      if (!blocking) return 0;
+      if (!transport_->WaitReadable(/*timeout_ms=*/-1)) return -1;
+      continue;
+    }
+    return -1;
+  }
+}
+
 IngestClient::IngestClient(std::unique_ptr<ByteChannel> channel)
     : channel_(std::move(channel)) {}
 

@@ -21,6 +21,7 @@
 
 #include "common/event.h"
 #include "server/ingest_service.h"
+#include "server/transport.h"
 #include "server/wire_format.h"
 
 namespace impatience {
@@ -60,6 +61,27 @@ class LoopbackChannel : public ByteChannel {
   std::mutex mu_;
   std::condition_variable cv_;
   std::string inbox_;
+};
+
+// ByteChannel over any non-blocking Transport (transport.h). Write
+// delivers every byte no matter how the transport slices it: short
+// writes continue from the accepted prefix, EINTR retries, EAGAIN waits
+// for writability — the failure mode this guards against is a partial
+// send mid-frame, which would corrupt the framing for the rest of the
+// stream. The fault-injection tests drive IngestClient through this
+// adapter over the scripted transport.
+class TransportChannel : public ByteChannel {
+ public:
+  explicit TransportChannel(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  bool Write(const uint8_t* data, size_t n) override;
+  int64_t Read(uint8_t* out, size_t n, bool blocking) override;
+
+  Transport* transport() { return transport_.get(); }
+
+ private:
+  std::unique_ptr<Transport> transport_;
 };
 
 // Frame-level client over any ByteChannel. Not thread-safe; one client

@@ -1,0 +1,151 @@
+#include "server/epoll_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace impatience {
+namespace server {
+
+namespace {
+
+// The epoll user-data value reserved for the wakeup eventfd; connection
+// ids start at 1 and count up, so the top value cannot collide.
+constexpr uint64_t kWakeupId = ~0ull;
+
+}  // namespace
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+FdTransport::~FdTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+IoResult FdTransport::Read(uint8_t* out, size_t n) {
+  const ssize_t r = ::recv(fd_, out, n, 0);
+  if (r < 0) return {-static_cast<int64_t>(errno)};
+  return {static_cast<int64_t>(r)};
+}
+
+IoResult FdTransport::Write(const uint8_t* data, size_t n) {
+  const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+  if (w < 0) return {-static_cast<int64_t>(errno)};
+  return {static_cast<int64_t>(w)};
+}
+
+void FdTransport::Shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+bool PollFor(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r > 0;
+  }
+}
+
+}  // namespace
+
+bool FdTransport::WaitReadable(int timeout_ms) {
+  return PollFor(fd_, POLLIN, timeout_ms);
+}
+
+bool FdTransport::WaitWritable(int timeout_ms) {
+  return PollFor(fd_, POLLOUT, timeout_ms);
+}
+
+EpollPoller::EpollPoller() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return;
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeupId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+}
+
+EpollPoller::~EpollPoller() {
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EpollPoller::Add(uint64_t id, Transport* t, bool want_write) {
+  if (epoll_fd_ < 0 || t->fd() < 0) return false;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, t->fd(), &ev) == 0;
+}
+
+void EpollPoller::SetWantWrite(uint64_t id, Transport* t, bool want_write) {
+  if (epoll_fd_ < 0 || t->fd() < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  // ENOENT (the connection raced a Remove) is harmless by design.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, t->fd(), &ev);
+}
+
+void EpollPoller::Remove(uint64_t id, Transport* t) {
+  (void)id;
+  if (epoll_fd_ < 0 || t->fd() < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, t->fd(), nullptr);
+}
+
+size_t EpollPoller::Wait(std::vector<ReadyEvent>* out, int timeout_ms) {
+  if (epoll_fd_ < 0) return 0;
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  size_t produced = 0;
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kWakeupId) {
+      uint64_t drain;
+      while (::read(wakeup_fd_, &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    ReadyEvent ev;
+    ev.id = events[i].data.u64;
+    ev.readable = (events[i].events & EPOLLIN) != 0;
+    ev.writable = (events[i].events & EPOLLOUT) != 0;
+    ev.error =
+        (events[i].events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0;
+    out->push_back(ev);
+    ++produced;
+  }
+  return produced;
+}
+
+void EpollPoller::Wakeup() {
+  if (wakeup_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t w =
+      ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+}  // namespace server
+}  // namespace impatience

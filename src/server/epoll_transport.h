@@ -1,0 +1,70 @@
+// POSIX implementations of the transport seam: FdTransport wraps a
+// non-blocking socket descriptor, EpollPoller multiplexes registered
+// descriptors through a level-triggered epoll instance (with an eventfd
+// for cross-thread wakeups). Linux-only, like the TCP listener that
+// feeds them; everything above this file is portable and runs under the
+// scripted in-memory transport in the tests.
+
+#ifndef IMPATIENCE_SERVER_EPOLL_TRANSPORT_H_
+#define IMPATIENCE_SERVER_EPOLL_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "server/transport.h"
+
+namespace impatience {
+namespace server {
+
+// Puts `fd` into non-blocking mode. False on fcntl failure.
+bool SetNonBlocking(int fd);
+
+// Transport over a connected, non-blocking socket. Owns the fd.
+class FdTransport : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  IoResult Read(uint8_t* out, size_t n) override;
+  IoResult Write(const uint8_t* data, size_t n) override;
+  void Shutdown() override;
+  bool WaitReadable(int timeout_ms) override;
+  bool WaitWritable(int timeout_ms) override;
+  int fd() const override { return fd_; }
+
+ private:
+  const int fd_;
+  std::atomic<bool> shut_down_{false};
+};
+
+// Level-triggered epoll poller. Registered transports must expose a real
+// descriptor. Add/SetWantWrite/Remove/Wakeup are thread-safe (epoll_ctl
+// and the eventfd write are kernel-serialized against epoll_wait).
+class EpollPoller : public Poller {
+ public:
+  EpollPoller();
+  ~EpollPoller() override;
+
+  // False if epoll or the wakeup eventfd could not be created; Wait
+  // then returns immediately with nothing.
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  bool Add(uint64_t id, Transport* t, bool want_write) override;
+  void SetWantWrite(uint64_t id, Transport* t, bool want_write) override;
+  void Remove(uint64_t id, Transport* t) override;
+  size_t Wait(std::vector<ReadyEvent>* out, int timeout_ms) override;
+  void Wakeup() override;
+
+ private:
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_EPOLL_TRANSPORT_H_

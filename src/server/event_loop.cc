@@ -1,0 +1,305 @@
+#include "server/event_loop.h"
+
+#include <utility>
+
+#include "common/trace.h"
+
+namespace impatience {
+namespace server {
+
+EventLoop::EventLoop(IngestService* service, std::unique_ptr<Poller> poller,
+                     EventLoopOptions options, size_t loop_index)
+    : service_(service),
+      poller_(std::move(poller)),
+      options_(options),
+      loop_index_(loop_index) {
+  read_buf_.resize(options_.read_chunk_bytes);
+}
+
+EventLoop::~EventLoop() { Stop(); }
+
+void EventLoop::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    PollOnce(/*timeout_ms=*/-1);
+  }
+}
+
+void EventLoop::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  poller_->Wakeup();
+  if (thread_.joinable()) thread_.join();
+  // The loop thread is gone (or never existed): this thread now plays
+  // its role for the final teardown.
+  std::vector<Conn*> victims;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    victims.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) victims.push_back(conn.get());
+  }
+  for (Conn* c : victims) CloseConn(c, CloseCause::kStop);
+}
+
+uint64_t EventLoop::AddConnection(std::unique_ptr<Transport> transport) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    transport->Shutdown();
+    return 0;
+  }
+  auto conn = std::make_unique<Conn>();
+  Conn* c = conn.get();
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Transport* raw = transport.get();
+  c->id = id;
+  c->transport = std::move(transport);
+  c->connection = service_->OpenConnection(
+      [this, c](std::string bytes) { QueueWrite(c, std::move(bytes)); });
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace(id, std::move(conn));
+  }
+  connection_count_.fetch_add(1, std::memory_order_relaxed);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  // Once the poller knows the id, the loop thread may read, poison, and
+  // destroy the connection at any moment — `c` must not be touched after
+  // a successful Add.
+  if (!poller_->Add(id, raw, /*want_write=*/false)) {
+    // Never registered, so the loop cannot see it; closing from this
+    // thread is safe.
+    CloseConn(c, CloseCause::kError);
+    return 0;
+  }
+  return id;
+}
+
+size_t EventLoop::PollOnce(int timeout_ms) {
+  // Reap connections shed by QueueWrite overflow (flagged from worker
+  // threads; only this thread may destroy a connection).
+  auto reap_shed = [this] {
+    std::vector<uint64_t> shed;
+    {
+      std::lock_guard<std::mutex> lock(shed_mu_);
+      shed.swap(pending_shed_);
+    }
+    for (const uint64_t id : shed) {
+      Conn* c = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto it = conns_.find(id);
+        if (it != conns_.end()) c = it->second.get();
+      }
+      if (c != nullptr) CloseConn(c, CloseCause::kSlow);
+    }
+  };
+
+  reap_shed();
+  ready_.clear();
+  poller_->Wait(&ready_, timeout_ms);
+  const size_t handled = ready_.size();
+  for (const ReadyEvent& ev : ready_) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    HandleReady(ev);
+  }
+  reap_shed();
+  return handled;
+}
+
+void EventLoop::HandleReady(const ReadyEvent& ev) {
+  auto lookup = [this](uint64_t id) -> Conn* {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : it->second.get();
+  };
+  // The pointer stays valid without the lock: this thread is the only
+  // one that erases connections.
+  Conn* c = lookup(ev.id);
+  if (c == nullptr) return;  // Closed earlier in this batch.
+
+  if ((ev.readable || ev.error) && !c->stop_reading) HandleReadable(c);
+
+  c = lookup(ev.id);
+  if (c == nullptr) return;  // HandleReadable closed it.
+
+  bool drained = true;
+  if (ev.writable || ev.error || c->draining) drained = HandleWritable(c);
+  if (c->draining && drained) CloseConn(c, CloseCause::kEof);
+}
+
+void EventLoop::HandleReadable(Conn* c) {
+  TRACE_SPAN("loop.readable");
+  for (size_t budget = options_.read_budget_chunks; budget > 0; --budget) {
+    const IoResult r =
+        c->transport->Read(read_buf_.data(), read_buf_.size());
+    if (r.ok()) {
+      if (!c->connection->OnData(read_buf_.data(),
+                                 static_cast<size_t>(r.n))) {
+        // Poisoned (the kReject is already queued): stop reading, flush
+        // what is queued, then close.
+        c->stop_reading = true;
+        c->draining = true;
+        return;
+      }
+      if (static_cast<size_t>(r.n) < read_buf_.size()) return;  // Drained.
+      continue;  // Full chunk: more may be buffered, spend budget.
+    }
+    if (r.eof()) {
+      // Half-close: the peer is done sending but may still read. Flush
+      // queued replies (flush acks in flight), then close.
+      c->stop_reading = true;
+      c->draining = true;
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        empty = c->writeq.empty();
+      }
+      if (empty) CloseConn(c, CloseCause::kEof);
+      return;
+    }
+    if (r.again()) return;
+    if (r.interrupted()) continue;  // Retry; budget bounds the loop.
+    CloseConn(c, CloseCause::kError);
+    return;
+  }
+  // Budget exhausted with data likely remaining: the level-triggered
+  // poller re-reports this connection on the next Wait, after its peers
+  // have had their turn.
+}
+
+bool EventLoop::HandleWritable(Conn* c) {
+  TRACE_SPAN("loop.writable");
+  bool fatal = false;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    while (!c->writeq.empty()) {
+      const std::string& head = c->writeq.front();
+      const uint8_t* data =
+          reinterpret_cast<const uint8_t*>(head.data()) + c->head_offset;
+      const size_t len = head.size() - c->head_offset;
+      const IoResult r = c->transport->Write(data, len);
+      if (r.ok()) {
+        c->head_offset += static_cast<size_t>(r.n);
+        if (c->head_offset == head.size()) {
+          c->writeq_bytes -= head.size();
+          c->head_offset = 0;
+          c->writeq.pop_front();
+          continue;
+        }
+        // Short write: the peer's window is full; wait for writability.
+        epollout_stalls_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (r.again()) {
+        epollout_stalls_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (r.interrupted()) continue;
+      fatal = true;  // EOF on write or a hard error: peer is gone.
+      break;
+    }
+    drained = c->writeq.empty();
+    if (!fatal) {
+      const bool need_write = !drained;
+      if (c->want_write != need_write) {
+        c->want_write = need_write;
+        if (need_write) {
+          epollout_waiting_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          epollout_waiting_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        poller_->SetWantWrite(c->id, c->transport.get(), need_write);
+      }
+    }
+  }
+  if (fatal) {
+    CloseConn(c, CloseCause::kError);
+    return false;
+  }
+  return drained;
+}
+
+void EventLoop::QueueWrite(Conn* c, std::string bytes) {
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->overflowed) return;  // Already being shed; drop the bytes.
+    if (c->writeq_bytes + bytes.size() > options_.max_write_queue_bytes) {
+      // Slow client: it is not draining its socket and the queue hit its
+      // bound. Shed the connection — keeping half a reply stream has no
+      // value, so drop the queue wholesale.
+      c->overflowed = true;
+      c->writeq.clear();
+      c->writeq_bytes = 0;
+      c->head_offset = 0;
+      overflow = true;
+    } else {
+      c->writeq_bytes += bytes.size();
+      c->writeq.push_back(std::move(bytes));
+      if (!c->want_write) {
+        c->want_write = true;
+        epollout_waiting_.fetch_add(1, std::memory_order_relaxed);
+        poller_->SetWantWrite(c->id, c->transport.get(), true);
+      }
+    }
+  }
+  if (overflow) {
+    // Only the loop thread may destroy the connection; hand it over.
+    {
+      std::lock_guard<std::mutex> lock(shed_mu_);
+      pending_shed_.push_back(c->id);
+    }
+    poller_->Wakeup();
+  }
+}
+
+void EventLoop::CloseConn(Conn* c, CloseCause cause) {
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  switch (cause) {
+    case CloseCause::kSlow:
+      closed_slow_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseCause::kError:
+      closed_error_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseCause::kEof:
+    case CloseCause::kStop:
+      break;
+  }
+  poller_->Remove(c->id, c->transport.get());
+  c->transport->Shutdown();
+  // Destroying the Connection unregisters pending flush acks under the
+  // service's flush lock — after this returns, no worker thread can call
+  // QueueWrite on this Conn again, so it is safe to fix the write-
+  // interest gauge and free the Conn. (A QueueWrite racing the lines
+  // above may still call SetWantWrite on the removed id; pollers
+  // tolerate unknown ids.)
+  c->connection.reset();
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->want_write) {
+      c->want_write = false;
+      epollout_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  connection_count_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(c->id);
+}
+
+IoLoopMetrics EventLoop::SnapshotMetrics() const {
+  IoLoopMetrics m;
+  m.loop = loop_index_;
+  m.connections = connection_count_.load(std::memory_order_relaxed);
+  m.epollout_waiting = epollout_waiting_.load(std::memory_order_relaxed);
+  m.accepted = accepted_.load(std::memory_order_relaxed);
+  m.closed = closed_.load(std::memory_order_relaxed);
+  m.closed_slow = closed_slow_.load(std::memory_order_relaxed);
+  m.closed_error = closed_error_.load(std::memory_order_relaxed);
+  m.epollout_stalls = epollout_stalls_.load(std::memory_order_relaxed);
+  return m;
+}
+
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,154 @@
+// Level-triggered event loop for the ingestion service: a small pool of
+// I/O threads, each owning one Poller and a set of non-blocking
+// connections, multiplexing thousands of sockets without a thread per
+// connection.
+//
+// Per connection the loop keeps incremental decode state (the strict
+// FrameDecoder inside the service's Connection already accepts partial
+// input) and a bounded write queue. Replies — flush acks from shard
+// worker threads, rejects and metrics responses from the loop thread
+// itself — are appended to the queue; the loop flushes opportunistically
+// and arms write interest (EPOLLOUT) only while bytes remain, so a slow
+// client stalls nothing but its own queue. A queue that exceeds its
+// bound sheds the connection (counted in IoLoopMetrics::closed_slow): a
+// peer that will not read its acks cannot pin server memory.
+//
+// Close discipline: EOF and decode poison flush the queued replies first
+// (the kReject must reach a half-closed peer); reset/error and shed
+// close immediately. The loop thread is the only one that reads, decodes,
+// or destroys a connection; worker threads only touch its write queue.
+//
+// Built entirely on the Transport/Poller seam (transport.h), so the
+// whole state machine runs under the scripted fault-injection transport
+// in the tests as well as under epoll in production.
+
+#ifndef IMPATIENCE_SERVER_EVENT_LOOP_H_
+#define IMPATIENCE_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/ingest_service.h"
+#include "server/metrics.h"
+#include "server/transport.h"
+
+namespace impatience {
+namespace server {
+
+struct EventLoopOptions {
+  // Ceiling on bytes queued toward one connection; exceeding it sheds
+  // the connection (slow-client policy).
+  size_t max_write_queue_bytes = 4u << 20;
+  // Read buffer size per Read call.
+  size_t read_chunk_bytes = 64u * 1024;
+  // Consecutive full reads served to one connection per readiness event
+  // before the loop moves on (fairness under a firehose peer).
+  size_t read_budget_chunks = 4;
+};
+
+// One I/O thread: a Poller plus the connections registered with it.
+// Start() runs the loop on its own thread; tests instead drive PollOnce()
+// from the test thread for fully deterministic interleavings.
+class EventLoop {
+ public:
+  EventLoop(IngestService* service, std::unique_ptr<Poller> poller,
+            EventLoopOptions options, size_t loop_index = 0);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Spawns the loop thread. Alternative: drive PollOnce() manually.
+  void Start();
+
+  // Stops the loop thread (if any) and severs + destroys every
+  // connection. Idempotent.
+  void Stop();
+
+  // Hands a connection to this loop. Thread-safe; callable before or
+  // after Start. Returns the connection id.
+  uint64_t AddConnection(std::unique_ptr<Transport> transport);
+
+  // Waits up to timeout_ms for readiness and processes one batch.
+  // Returns the number of ready events handled. Must not race Start().
+  size_t PollOnce(int timeout_ms);
+
+  size_t connection_count() const {
+    return connection_count_.load(std::memory_order_relaxed);
+  }
+
+  IoLoopMetrics SnapshotMetrics() const;
+
+  Poller* poller() { return poller_.get(); }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    std::unique_ptr<Transport> transport;
+    std::unique_ptr<Connection> connection;
+
+    // Write queue; guarded by mu (appended to by shard worker threads,
+    // drained by the loop thread).
+    std::mutex mu;
+    std::deque<std::string> writeq;
+    size_t writeq_bytes = 0;
+    size_t head_offset = 0;  // Consumed prefix of writeq.front().
+    bool want_write = false; // Write interest currently armed.
+    bool overflowed = false; // Queue bound exceeded: shed on next reap.
+
+    // Loop-thread-only state.
+    bool stop_reading = false;  // Poisoned or EOF: no more OnData.
+    bool draining = false;      // Close once the write queue empties.
+  };
+
+  void Run();
+  void HandleReady(const ReadyEvent& ev);
+  void HandleReadable(Conn* c);
+  // Flushes the write queue; true if the queue drained.
+  bool HandleWritable(Conn* c);
+  void QueueWrite(Conn* c, std::string bytes);
+  enum class CloseCause { kEof, kError, kSlow, kStop };
+  void CloseConn(Conn* c, CloseCause cause);
+
+  IngestService* const service_;
+  std::unique_ptr<Poller> poller_;
+  const EventLoopOptions options_;
+  const size_t loop_index_;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  // Connections flagged for shedding by QueueWrite (worker threads);
+  // closed by the loop thread at the next PollOnce.
+  std::mutex shed_mu_;
+  std::vector<uint64_t> pending_shed_;
+
+  // Connection registry. The loop thread erases; AddConnection (accept
+  // thread) inserts; metrics threads only read the atomic count.
+  std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<size_t> connection_count_{0};
+
+  std::vector<uint8_t> read_buf_;
+  std::vector<ReadyEvent> ready_;
+
+  std::atomic<size_t> epollout_waiting_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> closed_slow_{0};
+  std::atomic<uint64_t> closed_error_{0};
+  std::atomic<uint64_t> epollout_stalls_{0};
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_EVENT_LOOP_H_

@@ -202,8 +202,21 @@ void IngestService::OnSessionFlushed(uint64_t session_id) {
   SendOn(conn->send_, ack);
 }
 
+void IngestService::SetTransportMetricsFn(
+    std::function<TransportMetrics()> fn) {
+  std::lock_guard<std::mutex> lock(transport_metrics_mu_);
+  transport_metrics_fn_ = std::move(fn);
+}
+
 ServerMetrics IngestService::Snapshot() {
   ServerMetrics m;
+  {
+    // Called under the lock so Stop()'s unregistration is a barrier: once
+    // SetTransportMetricsFn(nullptr) returns, no snapshot can still be
+    // inside a front end that is being torn down.
+    std::lock_guard<std::mutex> lock(transport_metrics_mu_);
+    if (transport_metrics_fn_) m.transport = transport_metrics_fn_();
+  }
   m.connections_opened = connections_opened_.load(std::memory_order_relaxed);
   m.connections_closed = connections_closed_.load(std::memory_order_relaxed);
   m.frames_in = frames_in_.load(std::memory_order_relaxed);

@@ -96,6 +96,11 @@ class IngestService {
   // Whole-service snapshot (transport totals + all shards).
   ServerMetrics Snapshot();
 
+  // Hooks the socket front end's gauges/counters into Snapshot(). The
+  // front end registers on Start and unregisters (nullptr) on Stop so a
+  // snapshot never touches dead loops. Thread-safe.
+  void SetTransportMetricsFn(std::function<TransportMetrics()> fn);
+
   SessionShardManager& manager() { return manager_; }
 
  private:
@@ -114,6 +119,9 @@ class IngestService {
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> decode_errors_{0};
+
+  std::mutex transport_metrics_mu_;
+  std::function<TransportMetrics()> transport_metrics_fn_;
 
   // session id → connection awaiting a FlushAck. Guarded by flush_mu_;
   // the ack is sent under the lock so a closing connection (which erases

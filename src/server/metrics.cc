@@ -91,6 +91,27 @@ void TextFamily(std::string* out, const ServerMetrics& m, const char* name,
   }
 }
 
+// Emits one per-io-loop gauge/counter family: a line per event loop.
+template <typename Get>
+void TextLoopFamily(std::string* out, const ServerMetrics& m,
+                    const char* name, Get get) {
+  for (const IoLoopMetrics& l : m.transport.loops) {
+    Appendf(out, "%s{loop=\"%zu\"} %" PRIu64 "\n", name, l.loop,
+            static_cast<uint64_t>(get(l)));
+  }
+}
+
+template <typename Get>
+void PromLoopFamily(std::string* out, const ServerMetrics& m,
+                    const char* name, const char* type, const char* help,
+                    Get get) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
+  for (const IoLoopMetrics& l : m.transport.loops) {
+    Appendf(out, "%s{loop=\"%zu\"} %" PRIu64 "\n", name, l.loop,
+            static_cast<uint64_t>(get(l)));
+  }
+}
+
 // The quantiles every latency family exposes, shared by all renderings.
 struct QuantilePoint {
   const char* text_label;  // bare-text q="..." label
@@ -186,6 +207,25 @@ std::string RenderMetricsText(const ServerMetrics& m) {
   Appendf(&out, "impatience_shards %zu\n", m.shards.size());
   Appendf(&out, "impatience_kernel_level %d\n",
           static_cast<int>(ActiveKernelLevel()));
+  Appendf(&out, "impatience_io_accepted %" PRIu64 "\n", m.transport.accepted);
+  Appendf(&out, "impatience_io_accept_errors %" PRIu64 "\n",
+          m.transport.accept_errors);
+  Appendf(&out, "impatience_io_loops %zu\n", m.transport.loops.size());
+
+  TextLoopFamily(&out, m, "impatience_io_loop_connections",
+                 [](const IoLoopMetrics& l) { return l.connections; });
+  TextLoopFamily(&out, m, "impatience_io_loop_epollout_waiting",
+                 [](const IoLoopMetrics& l) { return l.epollout_waiting; });
+  TextLoopFamily(&out, m, "impatience_io_loop_accepted",
+                 [](const IoLoopMetrics& l) { return l.accepted; });
+  TextLoopFamily(&out, m, "impatience_io_loop_closed",
+                 [](const IoLoopMetrics& l) { return l.closed; });
+  TextLoopFamily(&out, m, "impatience_io_loop_closed_slow",
+                 [](const IoLoopMetrics& l) { return l.closed_slow; });
+  TextLoopFamily(&out, m, "impatience_io_loop_closed_error",
+                 [](const IoLoopMetrics& l) { return l.closed_error; });
+  TextLoopFamily(&out, m, "impatience_io_loop_epollout_stalls",
+                 [](const IoLoopMetrics& l) { return l.epollout_stalls; });
 
   TextFamily(&out, m, "impatience_shard_queue_depth",
              [](const ShardMetrics& s) { return s.queue_depth; });
@@ -268,6 +308,22 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
   out += "\"kernel_level\":\"";
   AppendJsonEscaped(KernelLevelName(ActiveKernelLevel()), &out);
   out += "\",";
+  Appendf(&out, "\"io_accepted\":%" PRIu64 ",", m.transport.accepted);
+  Appendf(&out, "\"io_accept_errors\":%" PRIu64 ",",
+          m.transport.accept_errors);
+  out += "\"io_loops\":[";
+  for (size_t i = 0; i < m.transport.loops.size(); ++i) {
+    const IoLoopMetrics& l = m.transport.loops[i];
+    if (i > 0) out += ",";
+    Appendf(&out,
+            "{\"loop\":%zu,\"connections\":%zu,\"epollout_waiting\":%zu,"
+            "\"accepted\":%" PRIu64 ",\"closed\":%" PRIu64
+            ",\"closed_slow\":%" PRIu64 ",\"closed_error\":%" PRIu64
+            ",\"epollout_stalls\":%" PRIu64 "}",
+            l.loop, l.connections, l.epollout_waiting, l.accepted, l.closed,
+            l.closed_slow, l.closed_error, l.epollout_stalls);
+  }
+  out += "],";
   out += "\"shards\":[";
   for (size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];
@@ -349,6 +405,37 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
   PromScalar(&out, "impatience_kernel_level", "gauge",
              "Active SIMD kernel dispatch level.",
              static_cast<uint64_t>(ActiveKernelLevel()));
+  PromScalar(&out, "impatience_io_accepted", "counter",
+             "Sockets accepted by the TCP front end.",
+             m.transport.accepted);
+  PromScalar(&out, "impatience_io_accept_errors", "counter",
+             "Transient accept() failures (EMFILE, aborts).",
+             m.transport.accept_errors);
+  PromScalar(&out, "impatience_io_loops", "gauge",
+             "Number of epoll I/O event loops.", m.transport.loops.size());
+
+  PromLoopFamily(&out, m, "impatience_io_loop_connections", "gauge",
+                 "Connections currently owned by the event loop.",
+                 [](const IoLoopMetrics& l) { return l.connections; });
+  PromLoopFamily(&out, m, "impatience_io_loop_epollout_waiting", "gauge",
+                 "Connections with write interest armed (queued replies a "
+                 "slow peer has not drained).",
+                 [](const IoLoopMetrics& l) { return l.epollout_waiting; });
+  PromLoopFamily(&out, m, "impatience_io_loop_accepted", "counter",
+                 "Connections ever assigned to the loop.",
+                 [](const IoLoopMetrics& l) { return l.accepted; });
+  PromLoopFamily(&out, m, "impatience_io_loop_closed", "counter",
+                 "Connections closed, any cause.",
+                 [](const IoLoopMetrics& l) { return l.closed; });
+  PromLoopFamily(&out, m, "impatience_io_loop_closed_slow", "counter",
+                 "Connections shed because the reply queue hit its bound.",
+                 [](const IoLoopMetrics& l) { return l.closed_slow; });
+  PromLoopFamily(&out, m, "impatience_io_loop_closed_error", "counter",
+                 "Connections closed on read/write error or peer reset.",
+                 [](const IoLoopMetrics& l) { return l.closed_error; });
+  PromLoopFamily(&out, m, "impatience_io_loop_epollout_stalls", "counter",
+                 "Writes that could not complete and armed EPOLLOUT.",
+                 [](const IoLoopMetrics& l) { return l.epollout_stalls; });
 
   PromShardFamily(&out, m, "impatience_shard_queue_depth", "gauge",
                   "Frames waiting in the shard ingress queue.",

@@ -60,6 +60,29 @@ struct ShardMetrics {
   int64_t max_watermark_lag = 0;  // Largest per-session lag (0 if none).
 };
 
+// One event loop's view of its connections (epoll front end). Gauges are
+// point-in-time; counters are cumulative since the loop started.
+struct IoLoopMetrics {
+  size_t loop = 0;
+  size_t connections = 0;       // Connections currently owned by the loop.
+  size_t epollout_waiting = 0;  // Connections with write interest armed
+                                // (queued bytes a slow peer has not taken).
+  uint64_t accepted = 0;        // Connections ever assigned to the loop.
+  uint64_t closed = 0;          // All closes, any cause.
+  uint64_t closed_slow = 0;     // Shed: write queue exceeded its bound.
+  uint64_t closed_error = 0;    // Read/write error or peer reset.
+  uint64_t epollout_stalls = 0; // Writes that could not complete and had
+                                // to arm EPOLLOUT.
+};
+
+// Front-end totals: the acceptor plus every I/O loop. Empty when the
+// service runs without a socket front end (loopback tests).
+struct TransportMetrics {
+  uint64_t accepted = 0;       // accept() successes.
+  uint64_t accept_errors = 0;  // accept() failures (EMFILE, ...).
+  std::vector<IoLoopMetrics> loops;
+};
+
 // Whole-service view: transport totals plus every shard.
 struct ServerMetrics {
   uint64_t connections_opened = 0;
@@ -70,6 +93,7 @@ struct ServerMetrics {
   uint64_t bytes_out = 0;
   uint64_t decode_errors = 0;  // Poisoned connections (bad CRC/magic/...).
   bool shutting_down = false;
+  TransportMetrics transport;
   std::vector<ShardMetrics> shards;
 };
 

@@ -3,24 +3,40 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+
+#include "server/epoll_transport.h"
 
 namespace impatience {
 namespace server {
 
 namespace {
 
-// Full write with EINTR handling; false once the peer is gone.
-bool WriteAll(int fd, const uint8_t* data, size_t n) {
+// Full write with EINTR retry, short-write continuation, and an EAGAIN
+// poll for non-blocking sockets; false once the peer is gone. A frame
+// must reach the wire whole — giving up after a partial send() would
+// leave the stream mid-frame and poison the server's decoder on the
+// next frame's bytes.
+bool WriteAllFd(int fd, const uint8_t* data, size_t n) {
   while (n > 0) {
     const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLOUT;
+        const int r = ::poll(&p, 1, /*timeout=*/-1);
+        if (r < 0 && errno != EINTR) return false;
+        continue;
+      }
       return false;
     }
     data += w;
@@ -31,15 +47,19 @@ bool WriteAll(int fd, const uint8_t* data, size_t n) {
 
 }  // namespace
 
-struct TcpServer::Conn {
-  int fd = -1;
-  std::mutex write_mu;
-  std::unique_ptr<Connection> connection;
-  std::thread reader;
-};
+size_t ResolveIoThreads(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("IMPATIENCE_IO_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return 2;
+}
 
-TcpServer::TcpServer(IngestService* service, uint16_t port)
-    : service_(service), port_(port) {}
+TcpServer::TcpServer(IngestService* service, uint16_t port,
+                     TcpServerOptions options)
+    : service_(service), port_(port), options_(options) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -58,7 +78,7 @@ bool TcpServer::Start(std::string* error) {
   addr.sin_port = htons(port_);
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
-      ::listen(listen_fd, 64) < 0) {
+      ::listen(listen_fd, 1024) < 0) {
     if (error != nullptr) *error = std::strerror(errno);
     ::close(listen_fd);
     return false;
@@ -68,6 +88,24 @@ bool TcpServer::Start(std::string* error) {
     ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     port_ = ntohs(addr.sin_port);
   }
+
+  const size_t io_threads = ResolveIoThreads(options_.io_threads);
+  EventLoopOptions loop_options;
+  loop_options.max_write_queue_bytes = options_.max_write_queue_bytes;
+  for (size_t i = 0; i < io_threads; ++i) {
+    auto poller = std::make_unique<EpollPoller>();
+    if (!poller->valid()) {
+      if (error != nullptr) *error = "epoll_create1 failed";
+      loops_.clear();
+      ::close(listen_fd);
+      return false;
+    }
+    loops_.push_back(std::make_unique<EventLoop>(
+        service_, std::move(poller), loop_options, i));
+  }
+  for (auto& loop : loops_) loop->Start();
+
+  service_->SetTransportMetricsFn([this] { return SnapshotTransport(); });
   listen_fd_.store(listen_fd, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -82,6 +120,12 @@ void TcpServer::AcceptLoop() {
                  nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+          errno == ENOBUFS || errno == ENOMEM) {
+        // Transient: the listener is still good, count and keep going.
+        accept_errors_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       return;  // Listener closed by Stop().
     }
     if (stopping_.load(std::memory_order_acquire)) {
@@ -90,60 +134,43 @@ void TcpServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    auto conn = std::make_unique<Conn>();
-    Conn* c = conn.get();
-    c->fd = fd;
-    c->connection = service_->OpenConnection([c](std::string bytes) {
-      std::lock_guard<std::mutex> lock(c->write_mu);
-      WriteAll(c->fd, reinterpret_cast<const uint8_t*>(bytes.data()),
-               bytes.size());
-    });
-    c->reader = std::thread([this, c] { ReaderLoop(c); });
-
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(std::move(conn));
+    if (!SetNonBlocking(fd)) {
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    loops_[next_loop_]->AddConnection(std::make_unique<FdTransport>(fd));
+    next_loop_ = (next_loop_ + 1) % loops_.size();
   }
-}
-
-void TcpServer::ReaderLoop(Conn* conn) {
-  uint8_t buf[64 * 1024];
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error (Stop() shuts the socket down).
-    if (!conn->connection->OnData(buf, static_cast<size_t>(n))) break;
-  }
-  // Let any in-flight server-side send finish before the fd dies with the
-  // connection object at Stop()/destruction time; here we only stop
-  // reading. The fd stays open (flush acks may still be in flight) until
-  // the Conn is destroyed.
 }
 
 void TcpServer::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unhook the metrics provider first: the service may be snapshotted
+  // after the loops below are gone.
+  service_->SetTransportMetricsFn(nullptr);
   const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (listen_fd >= 0) {
     ::shutdown(listen_fd, SHUT_RDWR);
     ::close(listen_fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& loop : loops_) loop->Stop();
+}
 
-  std::vector<std::unique_ptr<Conn>> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conns_);
-  }
-  for (auto& conn : conns) {
-    ::shutdown(conn->fd, SHUT_RDWR);  // Unblocks the reader's recv().
-    if (conn->reader.joinable()) conn->reader.join();
-    conn->connection.reset();  // Deregisters pending flush acks.
-    ::close(conn->fd);
-  }
+TransportMetrics TcpServer::SnapshotTransport() const {
+  TransportMetrics m;
+  m.accepted = accepted_.load(std::memory_order_relaxed);
+  m.accept_errors = accept_errors_.load(std::memory_order_relaxed);
+  m.loops.reserve(loops_.size());
+  for (const auto& loop : loops_) m.loops.push_back(loop->SnapshotMetrics());
+  return m;
 }
 
 std::unique_ptr<TcpChannel> TcpChannel::Connect(uint16_t port,
-                                                std::string* error) {
+                                                std::string* error,
+                                                bool nonblocking) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     if (error != nullptr) *error = std::strerror(errno);
@@ -160,6 +187,11 @@ std::unique_ptr<TcpChannel> TcpChannel::Connect(uint16_t port,
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (nonblocking && !SetNonBlocking(fd)) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
   return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
 }
 
@@ -168,7 +200,7 @@ TcpChannel::~TcpChannel() {
 }
 
 bool TcpChannel::Write(const uint8_t* data, size_t n) {
-  return WriteAll(fd_, data, n);
+  return WriteAllFd(fd_, data, n);
 }
 
 int64_t TcpChannel::Read(uint8_t* out, size_t n, bool blocking) {
@@ -176,7 +208,16 @@ int64_t TcpChannel::Read(uint8_t* out, size_t n, bool blocking) {
     const ssize_t r = ::recv(fd_, out, n, blocking ? 0 : MSG_DONTWAIT);
     if (r < 0) {
       if (errno == EINTR) continue;
-      if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!blocking) return 0;
+        // Non-blocking socket, blocking caller: wait for readability.
+        pollfd p{};
+        p.fd = fd_;
+        p.events = POLLIN;
+        const int pr = ::poll(&p, 1, /*timeout=*/-1);
+        if (pr < 0 && errno != EINTR) return -1;
+        continue;
+      }
       return -1;
     }
     if (r == 0) return -1;  // EOF.

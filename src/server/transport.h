@@ -1,0 +1,113 @@
+// The transport seam the event loop is built on: a non-blocking duplex
+// byte pipe (Transport) plus a readiness multiplexer (Poller).
+//
+// The production implementation wraps POSIX sockets and epoll
+// (epoll_transport.h); the test implementation is a scripted in-memory
+// pair (tests/testing/faulty_transport.h) that splits reads and writes at
+// arbitrary byte boundaries, injects EAGAIN/EINTR/ECONNRESET at chosen
+// points, reorders readiness, and drops connections mid-frame — all
+// seeded and reproducible. The event loop cannot tell them apart, which
+// is the point: every loop state transition (partial read, partial
+// write, EAGAIN, mid-frame disconnect, shutdown) is drivable from a
+// deterministic test without a socket in sight.
+
+#ifndef IMPATIENCE_SERVER_TRANSPORT_H_
+#define IMPATIENCE_SERVER_TRANSPORT_H_
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace impatience {
+namespace server {
+
+// Result of one non-blocking I/O attempt. Mirrors POSIX semantics so the
+// fd-backed implementation is a thin shim: n > 0 is a byte count, n == 0
+// on a read is EOF, and n < 0 is a negated errno (-EAGAIN, -EINTR,
+// -ECONNRESET, ...). A short count on a write is not an error — the
+// caller keeps the rest queued and waits for writability.
+struct IoResult {
+  int64_t n = 0;
+
+  bool ok() const { return n > 0; }
+  bool eof() const { return n == 0; }
+  bool again() const { return n == -EAGAIN || n == -EWOULDBLOCK; }
+  bool interrupted() const { return n == -EINTR; }
+};
+
+// One established connection's byte I/O, non-blocking on both sides.
+// Read/Write/Shutdown are called by the event-loop thread that owns the
+// connection; Shutdown may additionally be called by Stop() paths and
+// must be idempotent.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Reads up to `n` bytes. 0 = orderly EOF; -EAGAIN = nothing buffered.
+  virtual IoResult Read(uint8_t* out, size_t n) = 0;
+
+  // Writes up to `n` bytes; may accept fewer (short write).
+  virtual IoResult Write(const uint8_t* data, size_t n) = 0;
+
+  // Severs both directions; later Read/Write fail. Idempotent.
+  virtual void Shutdown() = 0;
+
+  // Blocks until a Read would make progress (data, EOF, or error), up to
+  // `timeout_ms` (< 0 = forever). False on timeout. Only client-side
+  // channels use this; the event loop waits through its Poller instead.
+  virtual bool WaitReadable(int timeout_ms) = 0;
+
+  // Blocks until a Write would make progress. The default returns true
+  // immediately (retry now) — right for scripted transports whose EAGAIN
+  // is consumed by the retry; fd transports poll for writability.
+  virtual bool WaitWritable(int timeout_ms) {
+    (void)timeout_ms;
+    return true;
+  }
+
+  // The pollable descriptor, or -1 for in-memory transports. Pollers
+  // that multiplex on fds (epoll) require a real descriptor; the
+  // scripted poller ignores it.
+  virtual int fd() const { return -1; }
+};
+
+// One readiness notification from a Poller::Wait call.
+struct ReadyEvent {
+  uint64_t id = 0;       // The id the transport was registered under.
+  bool readable = false;
+  bool writable = false;
+  bool error = false;    // Peer hung up or the transport failed.
+};
+
+// Readiness multiplexer over registered transports. Add/Update/Remove
+// and Wakeup are thread-safe (write interest is armed from shard worker
+// threads while the loop thread sits in Wait); Wait is called by the
+// owning event-loop thread only.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  // Registers `t` under `id`. Read interest is always on; `want_write`
+  // arms write interest. False if the transport cannot be registered.
+  virtual bool Add(uint64_t id, Transport* t, bool want_write) = 0;
+
+  // Re-arms or disarms write interest for a registered transport.
+  virtual void SetWantWrite(uint64_t id, Transport* t, bool want_write) = 0;
+
+  virtual void Remove(uint64_t id, Transport* t) = 0;
+
+  // Blocks up to `timeout_ms` (< 0 = forever) for readiness; appends the
+  // ready transports to `out`. Returns immediately (possibly empty) after
+  // a Wakeup. Level-triggered: a transport that stays readable keeps
+  // reporting readable.
+  virtual size_t Wait(std::vector<ReadyEvent>* out, int timeout_ms) = 0;
+
+  // Interrupts a concurrent (or the next) Wait.
+  virtual void Wakeup() = 0;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_TRANSPORT_H_

@@ -1,0 +1,376 @@
+// Deterministic fault-injection matrix for the epoll event loop, run
+// entirely over the scripted transport (tests/testing/faulty_transport.h)
+// with the test thread driving PollOnce — no real sockets, no real loop
+// thread, every interleaving replayable from IMPATIENCE_FAULT_SEED.
+//
+// Covered here: every client→server frame type split at every byte
+// boundary; byte-dribbled reads interleaved with EAGAIN/EINTR; single
+// byte flips judged against a reference decoder (poison must match the
+// decoder's verdict exactly, with one kReject(kDecodeError) flushed to
+// the half-dead peer); and a mid-frame disconnect followed by a
+// reconnect that must neither lose an accepted event nor duplicate one.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/event.h"
+#include "server/event_loop.h"
+#include "server/ingest_service.h"
+#include "server/wire_format.h"
+#include "tests/testing/corrupt_corpus.h"
+#include "tests/testing/faulty_transport.h"
+
+namespace impatience {
+namespace server {
+namespace {
+
+ServiceOptions FaultServiceOptions() {
+  ServiceOptions options;
+  options.shards.num_shards = 1;
+  options.shards.queue_capacity = 4096;
+  // manual_drain: no shard worker threads; the test drains explicitly, so
+  // every byte of server behavior happens on the test thread.
+  options.shards.manual_drain = true;
+  options.shards.backpressure = BackpressurePolicy::kRejectFrame;
+  options.shards.framework.reorder_latencies = {100, 10000};
+  options.shards.framework.punctuation_period = 500;
+  return options;
+}
+
+std::vector<Event> MakeEvents(size_t n, Timestamp base) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.sync_time = base + static_cast<Timestamp>(i);
+    e.other_time = e.sync_time + 1;
+    e.key = static_cast<int32_t>(i % 7);
+    e.hash = HashKey(e.key);
+    events.push_back(e);
+  }
+  return events;
+}
+
+// Drives the loop until `pred` holds (or a generous iteration cap).
+template <typename Pred>
+bool PumpUntil(EventLoop* loop, Pred pred, int iters = 500) {
+  for (int i = 0; i < iters; ++i) {
+    if (pred()) return true;
+    loop->PollOnce(/*timeout_ms=*/5);
+  }
+  return pred();
+}
+
+// Pumps the loop until one full reply frame decodes out of `h`'s output.
+bool WaitForReply(EventLoop* loop, impatience::testing::FaultyTransport* h,
+                  FrameDecoder* decoder, Frame* out) {
+  for (int i = 0; i < 500; ++i) {
+    const std::string chunk = h->TakeOutput();
+    if (!chunk.empty()) {
+      decoder->Feed(reinterpret_cast<const uint8_t*>(chunk.data()),
+                    chunk.size());
+    }
+    const DecodeStatus status = decoder->Next(out);
+    if (status == DecodeStatus::kOk) return true;
+    if (IsDecodeError(status)) return false;
+    loop->PollOnce(5);
+  }
+  return false;
+}
+
+std::vector<Frame> DecodeAll(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::vector<Frame> frames;
+  Frame f;
+  while (decoder.Next(&f) == DecodeStatus::kOk) {
+    frames.push_back(std::move(f));
+    f = Frame{};
+  }
+  return frames;
+}
+
+// Every client→server frame type, delivered in two parts split at every
+// byte boundary. The frame must decode exactly once, never early, and
+// reply-carrying types must produce exactly one reply on that connection.
+TEST(EpollFaultTest, EveryFrameTypeSplitAtEveryByteBoundary) {
+  IngestService service(FaultServiceOptions());
+  EventLoop loop(&service,
+                 std::make_unique<impatience::testing::FaultyPoller>(
+                     impatience::testing::FaultSeed()),
+                 EventLoopOptions{});
+
+  struct Case {
+    const char* name;
+    std::vector<uint8_t> bytes;
+    bool expects_reply;
+    FrameType reply_type;
+    bool needs_drain;  // Reply comes via the shard drain (flush ack).
+  };
+  std::vector<Case> cases;
+
+  Frame events_frame;
+  events_frame.type = FrameType::kEvents;
+  events_frame.session_id = 1;
+  events_frame.events = MakeEvents(3, 1000);
+  cases.push_back({"events", EncodeFrame(events_frame), false,
+                   FrameType::kEvents, false});
+
+  Frame punct;
+  punct.type = FrameType::kPunctuation;
+  punct.session_id = 1;
+  punct.punctuation = 2000;
+  cases.push_back(
+      {"punctuation", EncodeFrame(punct), false, FrameType::kEvents, false});
+
+  Frame flush;
+  flush.type = FrameType::kFlushSession;
+  flush.session_id = 1;
+  cases.push_back(
+      {"flush", EncodeFrame(flush), true, FrameType::kFlushAck, true});
+
+  Frame metrics;
+  metrics.type = FrameType::kMetricsRequest;
+  metrics.metrics_format = MetricsFormat::kText;
+  cases.push_back({"metrics", EncodeFrame(metrics), true,
+                   FrameType::kMetricsResponse, false});
+
+  Frame trace;
+  trace.type = FrameType::kTraceRequest;
+  trace.trace_action = TraceAction::kDisable;
+  cases.push_back({"trace", EncodeFrame(trace), true,
+                   FrameType::kTraceResponse, false});
+
+  uint64_t frames_seen = 0;
+  for (const Case& c : cases) {
+    for (const std::vector<uint8_t>& prefix :
+         impatience::testing::TruncationsOf(c.bytes)) {
+      SCOPED_TRACE(std::string(c.name) + " cut at " +
+                   std::to_string(prefix.size()));
+      auto transport = std::make_unique<impatience::testing::FaultyTransport>();
+      auto h = transport->NewHandle();
+      ASSERT_NE(loop.AddConnection(std::move(transport)), 0u);
+
+      if (!prefix.empty()) h->InjectInbound(prefix);
+      ASSERT_TRUE(
+          PumpUntil(&loop, [&] { return h->pending_inbound() == 0; }));
+      // A strict prefix must never decode as a frame.
+      ASSERT_EQ(service.Snapshot().frames_in, frames_seen);
+
+      h->InjectInbound(std::vector<uint8_t>(
+          c.bytes.begin() + static_cast<ptrdiff_t>(prefix.size()),
+          c.bytes.end()));
+      ASSERT_TRUE(PumpUntil(&loop, [&] {
+        return service.Snapshot().frames_in == frames_seen + 1;
+      }));
+      ++frames_seen;
+
+      if (c.needs_drain) service.manager().DrainShardForTest(0);
+      if (c.expects_reply) {
+        FrameDecoder decoder;
+        Frame reply;
+        ASSERT_TRUE(WaitForReply(&loop, h.get(), &decoder, &reply));
+        EXPECT_EQ(reply.type, c.reply_type);
+      }
+
+      h->CloseInbound();
+      ASSERT_TRUE(
+          PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+    }
+  }
+  EXPECT_EQ(service.Snapshot().decode_errors, 0u);
+}
+
+// One frame dribbled a byte at a time, with EINTR and spurious EAGAIN
+// readiness sprinkled through the reads: still exactly one frame, no
+// decode error, no duplicate.
+TEST(EpollFaultTest, ByteDribbleWithEagainEintrDecodesOnce) {
+  IngestService service(FaultServiceOptions());
+  EventLoop loop(&service,
+                 std::make_unique<impatience::testing::FaultyPoller>(
+                     impatience::testing::FaultSeed()),
+                 EventLoopOptions{});
+
+  Frame frame;
+  frame.type = FrameType::kEvents;
+  frame.session_id = 3;
+  frame.events = MakeEvents(5, 500);
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+
+  auto transport = std::make_unique<impatience::testing::FaultyTransport>();
+  auto h = transport->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(transport)), 0u);
+
+  std::vector<impatience::testing::FaultAction> script;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (i % 5 == 1) script.push_back(impatience::testing::FaultAction::Eintr());
+    if (i % 7 == 2) {
+      script.push_back(impatience::testing::FaultAction::Eagain());
+    }
+    script.push_back(impatience::testing::FaultAction::Limit(1));
+  }
+  h->ScriptRead(std::move(script));
+  h->InjectInbound(bytes);
+
+  ASSERT_TRUE(PumpUntil(
+      &loop, [&] { return service.Snapshot().frames_in == 1; }, 3000));
+  service.manager().DrainShardForTest(0);
+  EXPECT_EQ(service.manager().SnapshotShards()[0].events_in, 5u);
+  EXPECT_EQ(service.Snapshot().decode_errors, 0u);
+
+  h->CloseInbound();
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+}
+
+// Flip each byte of a valid frame and compare the server against a
+// reference FrameDecoder run on the same bytes: where the decoder
+// poisons, the connection must be poisoned, answered with exactly one
+// kReject(kDecodeError), and severed; where it does not (e.g. a flipped
+// session id is a different but valid frame), the server must accept.
+TEST(EpollFaultTest, ByteFlipsMatchReferenceDecoderVerdict) {
+  IngestService service(FaultServiceOptions());
+  EventLoop loop(&service,
+                 std::make_unique<impatience::testing::FaultyPoller>(
+                     impatience::testing::FaultSeed()),
+                 EventLoopOptions{});
+
+  Frame frame;
+  frame.type = FrameType::kEvents;
+  frame.session_id = 11;
+  frame.events = MakeEvents(1, 100);
+  const std::vector<uint8_t> valid = EncodeFrame(frame);
+
+  uint64_t expect_frames = 0;
+  uint64_t expect_errors = 0;
+  for (const std::vector<uint8_t>& mutated :
+       impatience::testing::ByteFlipsOf(valid)) {
+    // Reference verdict for this mutation.
+    size_t ref_frames = 0;
+    bool ref_poison = false;
+    {
+      FrameDecoder ref;
+      ref.Feed(mutated.data(), mutated.size());
+      Frame f;
+      for (;;) {
+        const DecodeStatus s = ref.Next(&f);
+        if (s == DecodeStatus::kOk) {
+          ++ref_frames;
+          f = Frame{};
+          continue;
+        }
+        ref_poison = IsDecodeError(s);
+        break;
+      }
+    }
+
+    auto transport = std::make_unique<impatience::testing::FaultyTransport>();
+    auto h = transport->NewHandle();
+    ASSERT_NE(loop.AddConnection(std::move(transport)), 0u);
+    h->InjectInbound(mutated);
+    h->CloseInbound();
+
+    // All paths end with the connection closed: poison drains the reject
+    // then severs; clean or incomplete streams close on EOF.
+    ASSERT_TRUE(
+        PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+
+    expect_frames += ref_frames;
+    if (ref_poison) ++expect_errors;
+    const ServerMetrics m = service.Snapshot();
+    ASSERT_EQ(m.frames_in, expect_frames);
+    ASSERT_EQ(m.decode_errors, expect_errors);
+
+    const std::vector<Frame> replies = DecodeAll(h->TakeOutput());
+    if (ref_poison) {
+      ASSERT_EQ(replies.size(), 1u);
+      EXPECT_EQ(replies[0].type, FrameType::kReject);
+      EXPECT_EQ(replies[0].reject_reason, RejectReason::kDecodeError);
+      EXPECT_TRUE(h->shut_down());
+    } else {
+      EXPECT_TRUE(replies.empty());
+    }
+  }
+  EXPECT_GT(expect_errors, 0u);   // The corpus must exercise poison...
+  EXPECT_GT(expect_frames, 0u);   // ...and benign flips (session id).
+}
+
+// A peer that dies mid-frame loses only the partial frame. Events from
+// complete frames are ingested exactly once; the resent frame on the
+// reconnect brings the total to exactly the full set — nothing lost,
+// nothing duplicated.
+TEST(EpollFaultTest, MidFrameDisconnectThenReconnectNoLossNoDup) {
+  IngestService service(FaultServiceOptions());
+  EventLoop loop(&service,
+                 std::make_unique<impatience::testing::FaultyPoller>(
+                     impatience::testing::FaultSeed()),
+                 EventLoopOptions{});
+
+  Frame a;
+  a.type = FrameType::kEvents;
+  a.session_id = 7;
+  a.events = MakeEvents(10, 1000);
+  Frame b;
+  b.type = FrameType::kEvents;
+  b.session_id = 7;
+  b.events = MakeEvents(10, 2000);
+  const std::vector<uint8_t> bytes_a = EncodeFrame(a);
+  const std::vector<uint8_t> bytes_b = EncodeFrame(b);
+
+  auto t1 = std::make_unique<impatience::testing::FaultyTransport>();
+  auto h1 = t1->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t1)), 0u);
+
+  // Frame A complete, frame B cut off 10 bytes in.
+  std::vector<uint8_t> first = bytes_a;
+  first.insert(first.end(), bytes_b.begin(), bytes_b.begin() + 10);
+  h1->InjectInbound(first);
+  ASSERT_TRUE(
+      PumpUntil(&loop, [&] { return service.Snapshot().frames_in == 1; }));
+  service.manager().DrainShardForTest(0);
+  ASSERT_EQ(service.manager().SnapshotShards()[0].events_in, 10u);
+
+  h1->KillNow();
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  EXPECT_EQ(loop.SnapshotMetrics().closed_error, 1u);
+  // The torn frame contributed nothing.
+  service.manager().DrainShardForTest(0);
+  EXPECT_EQ(service.manager().SnapshotShards()[0].events_in, 10u);
+  EXPECT_EQ(service.Snapshot().decode_errors, 0u);
+
+  // Reconnect and resend the lost frame in full, then flush the session.
+  auto t2 = std::make_unique<impatience::testing::FaultyTransport>();
+  auto h2 = t2->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t2)), 0u);
+  h2->InjectInbound(bytes_b);
+  Frame flush;
+  flush.type = FrameType::kFlushSession;
+  flush.session_id = 7;
+  h2->InjectInbound(EncodeFrame(flush));
+  ASSERT_TRUE(
+      PumpUntil(&loop, [&] { return service.Snapshot().frames_in == 3; }));
+  service.manager().DrainShardForTest(0);
+
+  FrameDecoder decoder;
+  Frame ack;
+  ASSERT_TRUE(WaitForReply(&loop, h2.get(), &decoder, &ack));
+  EXPECT_EQ(ack.type, FrameType::kFlushAck);
+  EXPECT_EQ(ack.session_id, 7u);
+  // Exactly the 20 distinct events: the accepted ones survived the
+  // disconnect, the resend did not double-count.
+  EXPECT_EQ(service.manager().SnapshotShards()[0].events_in, 20u);
+
+  h2->CloseInbound();
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.accepted, 2u);
+  EXPECT_EQ(m.closed, 2u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace impatience

@@ -52,6 +52,21 @@ ServerMetrics MakeMetrics() {
   m.connections_opened = 2;
   m.frames_in = 10;
 
+  m.transport.accepted = 12;
+  m.transport.accept_errors = 1;
+  for (size_t i = 0; i < 2; ++i) {
+    IoLoopMetrics l;
+    l.loop = i;
+    l.connections = 3 + i;
+    l.epollout_waiting = i;
+    l.accepted = 6 + i;
+    l.closed = 2;
+    l.closed_slow = 1;
+    l.closed_error = i;
+    l.epollout_stalls = 40 + i;
+    m.transport.loops.push_back(l);
+  }
+
   ShardMetrics s;
   s.shard = 0;
   s.queue_depth = 1;
@@ -149,6 +164,45 @@ TEST(MetricsRenderTest, PrometheusSummariesAndEscaping) {
   EXPECT_NE(prom.find("# TYPE impatience_session_watermark_lag gauge"),
             std::string::npos);
   EXPECT_NE(prom.find("impatience_shard_max_watermark_lag{shard=\"0\"} 2000"),
+            std::string::npos);
+}
+
+TEST(MetricsRenderTest, IoLoopFamiliesInAllThreeFormats) {
+  const ServerMetrics m = MakeMetrics();
+
+  const std::string text = RenderMetricsText(m);
+  EXPECT_NE(text.find("impatience_io_accepted 12"), std::string::npos);
+  EXPECT_NE(text.find("impatience_io_accept_errors 1"), std::string::npos);
+  EXPECT_NE(text.find("impatience_io_loops 2"), std::string::npos);
+  EXPECT_NE(text.find("impatience_io_loop_connections{loop=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_io_loop_connections{loop=\"1\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_io_loop_epollout_waiting{loop=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_io_loop_closed_slow{loop=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_io_loop_epollout_stalls{loop=\"1\"} 41"),
+            std::string::npos);
+
+  const std::string json = RenderMetricsJson(m);
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"io_accepted\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"io_accept_errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"io_loops\":[{\"loop\":0,"), std::string::npos);
+  EXPECT_NE(json.find("\"epollout_waiting\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"closed_slow\":1"), std::string::npos);
+
+  const std::string prom = RenderMetricsPrometheus(m);
+  EXPECT_NE(prom.find("# TYPE impatience_io_accepted counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_io_loop_connections gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_io_loop_connections{loop=\"1\"} 4"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_io_loop_closed_slow counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_io_loop_epollout_stalls{loop=\"0\"} 40"),
             std::string::npos);
 }
 

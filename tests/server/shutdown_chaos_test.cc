@@ -1,0 +1,280 @@
+// Shutdown and disconnect chaos for the event loop with REAL threads: a
+// running loop thread, real shard workers, and a seeded kill schedule
+// (IMPATIENCE_FAULT_SEED — tools/check.sh sweeps it under TSan/ASan).
+// Connections die at scripted points while flushes and the drain-and-
+// flush shutdown are in flight; survivors must observe exactly one
+// FlushAck per flush, and the loop must account for every connection it
+// ever accepted.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/event.h"
+#include "common/random.h"
+#include "server/event_loop.h"
+#include "server/ingest_service.h"
+#include "server/wire_format.h"
+#include "tests/testing/faulty_transport.h"
+
+namespace impatience {
+namespace server {
+namespace {
+
+namespace ft = impatience::testing;
+
+ServiceOptions ChaosServiceOptions() {
+  ServiceOptions options;
+  // Real shard workers (no manual_drain): acks arrive from worker
+  // threads while the loop thread owns the connections — the race
+  // surface this test exists to exercise.
+  options.shards.num_shards = 2;
+  options.shards.queue_capacity = 1024;
+  options.shards.framework.reorder_latencies = {100, 10000};
+  options.shards.framework.punctuation_period = 500;
+  return options;
+}
+
+std::vector<Event> MakeEvents(size_t n, Timestamp base) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.sync_time = base + static_cast<Timestamp>(i);
+    e.other_time = e.sync_time + 1;
+    e.key = static_cast<int32_t>(i);
+    e.hash = HashKey(e.key);
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<Frame> DecodeAll(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::vector<Frame> frames;
+  Frame f;
+  while (decoder.Next(&f) == DecodeStatus::kOk) {
+    frames.push_back(std::move(f));
+    f = Frame{};
+  }
+  return frames;
+}
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// Every connection submits events and a flush, then a seeded subset is
+// reset while those flushes (and their acks, sent from shard worker
+// threads) are in flight. Each survivor must receive its FlushAck
+// exactly once; the dead connections must corrupt nothing.
+TEST(ShutdownChaosTest, SeededKillsDuringFlushAcksExactlyOnceForSurvivors) {
+  IngestService service(ChaosServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+  loop.Start();
+
+  constexpr size_t kConns = 8;
+  std::vector<std::unique_ptr<ft::FaultyTransport>> handles;
+  for (size_t i = 0; i < kConns; ++i) {
+    auto t = std::make_unique<ft::FaultyTransport>();
+    handles.push_back(t->NewHandle());
+    ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+  }
+
+  for (size_t i = 0; i < kConns; ++i) {
+    const uint64_t session = 100 + i;
+    for (int batch = 0; batch < 3; ++batch) {
+      Frame events;
+      events.type = FrameType::kEvents;
+      events.session_id = session;
+      events.events = MakeEvents(50, 1000 * (batch + 1));
+      handles[i]->InjectInbound(EncodeFrame(events));
+    }
+    Frame flush;
+    flush.type = FrameType::kFlushSession;
+    flush.session_id = session;
+    handles[i]->InjectInbound(EncodeFrame(flush));
+  }
+
+  // Seeded kill schedule; connection 0 always survives so the test has a
+  // survivor under every seed.
+  Rng rng(ft::FaultSeed() * 0x9E3779B97F4A7C15ull + 1);
+  std::vector<bool> killed(kConns, false);
+  for (size_t i = 1; i < kConns; ++i) {
+    killed[i] = (rng.NextUint64() & 1) != 0;
+    if (killed[i]) handles[i]->KillNow();
+  }
+
+  std::vector<std::string> replies(kConns);
+  auto ack_count = [&](size_t i) {
+    replies[i] += handles[i]->TakeOutput();
+    size_t acks = 0;
+    for (const Frame& f : DecodeAll(replies[i])) {
+      if (f.type == FrameType::kFlushAck) ++acks;
+    }
+    return acks;
+  };
+
+  ASSERT_TRUE(WaitFor([&] {
+    for (size_t i = 0; i < kConns; ++i) {
+      if (!killed[i] && ack_count(i) < 1) return false;
+    }
+    return true;
+  }));
+  // Settle, then re-count: exactly once, never twice.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (size_t i = 0; i < kConns; ++i) {
+    if (!killed[i]) {
+      EXPECT_EQ(ack_count(i), 1u) << "connection " << i;
+    }
+  }
+
+  for (size_t i = 0; i < kConns; ++i) {
+    if (!killed[i]) handles[i]->CloseInbound();
+  }
+  ASSERT_TRUE(WaitFor([&] { return loop.connection_count() == 0; }));
+  loop.Stop();
+
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.connections, 0u);
+  EXPECT_EQ(m.accepted, kConns);
+  EXPECT_EQ(m.closed, kConns);
+  EXPECT_EQ(service.Snapshot().decode_errors, 0u);
+  service.Shutdown();
+}
+
+// A producer thread streams frames into every connection while resets
+// fire per a seeded schedule; afterward one control connection runs the
+// drain-and-flush shutdown and must get exactly one ShutdownAck. Events
+// from connections that were never killed all arrive.
+TEST(ShutdownChaosTest, KillStormThenDrainAndFlushShutdown) {
+  IngestService service(ChaosServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+  loop.Start();
+
+  constexpr size_t kConns = 6;
+  constexpr int kRounds = 40;
+  constexpr size_t kEventsPerFrame = 5;
+  std::vector<std::unique_ptr<ft::FaultyTransport>> handles;
+  for (size_t i = 0; i < kConns; ++i) {
+    auto t = std::make_unique<ft::FaultyTransport>();
+    handles.push_back(t->NewHandle());
+    ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+  }
+
+  // Seeded kill round per connection; connection 0 is never killed.
+  Rng rng(ft::FaultSeed() * 0xBF58476D1CE4E5B9ull + 7);
+  std::vector<int> kill_round(kConns, -1);
+  for (size_t i = 1; i < kConns; ++i) {
+    if ((rng.NextUint64() & 3) != 0) {  // ~75% of connections die.
+      kill_round[i] = static_cast<int>(rng.NextBelow(kRounds));
+    }
+  }
+
+  std::thread producer([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      for (size_t i = 0; i < kConns; ++i) {
+        if (kill_round[i] >= 0 && kill_round[i] == round) {
+          handles[i]->KillNow();
+        }
+        if (kill_round[i] >= 0 && kill_round[i] <= round) continue;
+        Frame events;
+        events.type = FrameType::kEvents;
+        events.session_id = 200 + i;
+        events.events =
+            MakeEvents(kEventsPerFrame, 1000 + round * 100);
+        handles[i]->InjectInbound(EncodeFrame(events));
+      }
+    }
+    for (size_t i = 0; i < kConns; ++i) {
+      if (kill_round[i] < 0) handles[i]->CloseInbound();
+    }
+  });
+  producer.join();
+  ASSERT_TRUE(WaitFor([&] { return loop.connection_count() == 0; }));
+
+  // Drain-and-flush via the protocol, with the carnage behind us.
+  auto control = std::make_unique<ft::FaultyTransport>();
+  auto ch = control->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(control)), 0u);
+  Frame shutdown;
+  shutdown.type = FrameType::kShutdown;
+  ch->InjectInbound(EncodeFrame(shutdown));
+  std::string out;
+  ASSERT_TRUE(WaitFor([&] {
+    out += ch->TakeOutput();
+    return !DecodeAll(out).empty();
+  }));
+  const std::vector<Frame> acks = DecodeAll(out);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].type, FrameType::kShutdownAck);
+  EXPECT_TRUE(service.shutting_down());
+
+  ch->CloseInbound();
+  ASSERT_TRUE(WaitFor([&] { return loop.connection_count() == 0; }));
+  loop.Stop();
+
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.accepted, kConns + 1);
+  EXPECT_EQ(m.closed, kConns + 1);
+  EXPECT_EQ(service.Snapshot().decode_errors, 0u);
+
+  // Connection 0 was never killed and half-closed cleanly, so every one
+  // of its events was accepted; killed connections can only lose their
+  // own tails, never contribute duplicates.
+  uint64_t events_in = 0;
+  for (const ShardMetrics& s : service.manager().SnapshotShards()) {
+    events_in += s.events_in;
+  }
+  EXPECT_GE(events_in, uint64_t{kRounds} * kEventsPerFrame);
+  EXPECT_LE(events_in, uint64_t{kConns} * kRounds * kEventsPerFrame);
+}
+
+// Stopping the loop with replies still queued toward a blocked peer must
+// neither hang nor leak write-interest gauges.
+TEST(ShutdownChaosTest, StopWithQueuedRepliesIsCleanAndAccounted) {
+  IngestService service(ChaosServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+  loop.Start();
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+  h->SetWriteBlocked(true);
+
+  Frame metrics;
+  metrics.type = FrameType::kMetricsRequest;
+  metrics.metrics_format = MetricsFormat::kText;
+  h->InjectInbound(EncodeFrame(metrics));
+  ASSERT_TRUE(WaitFor(
+      [&] { return loop.SnapshotMetrics().epollout_waiting == 1; }));
+
+  loop.Stop();
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.connections, 0u);
+  EXPECT_EQ(m.epollout_waiting, 0u);
+  EXPECT_EQ(m.closed, 1u);
+  EXPECT_TRUE(h->shut_down());
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,242 @@
+// Slow-client policy tests: a peer that stops draining its socket must
+// be shed once its bounded write queue fills, without stalling the loop
+// or any other session. Driven deterministically over the scripted
+// transport with the test thread pumping PollOnce.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/event.h"
+#include "server/event_loop.h"
+#include "server/ingest_service.h"
+#include "server/wire_format.h"
+#include "tests/testing/faulty_transport.h"
+
+namespace impatience {
+namespace server {
+namespace {
+
+namespace ft = impatience::testing;
+
+ServiceOptions SlowServiceOptions() {
+  ServiceOptions options;
+  options.shards.num_shards = 1;
+  options.shards.queue_capacity = 4096;
+  options.shards.manual_drain = true;
+  options.shards.backpressure = BackpressurePolicy::kRejectFrame;
+  options.shards.framework.reorder_latencies = {100, 10000};
+  options.shards.framework.punctuation_period = 500;
+  return options;
+}
+
+template <typename Pred>
+bool PumpUntil(EventLoop* loop, Pred pred, int iters = 500) {
+  for (int i = 0; i < iters; ++i) {
+    if (pred()) return true;
+    loop->PollOnce(/*timeout_ms=*/5);
+  }
+  return pred();
+}
+
+std::vector<Event> MakeEvents(size_t n, Timestamp base) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.sync_time = base + static_cast<Timestamp>(i);
+    e.other_time = e.sync_time + 1;
+    e.key = static_cast<int32_t>(i);
+    e.hash = HashKey(e.key);
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<uint8_t> MetricsRequestBytes() {
+  Frame frame;
+  frame.type = FrameType::kMetricsRequest;
+  frame.metrics_format = MetricsFormat::kText;
+  return EncodeFrame(frame);
+}
+
+std::vector<Frame> DecodeAll(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::vector<Frame> frames;
+  Frame f;
+  while (decoder.Next(&f) == DecodeStatus::kOk) {
+    frames.push_back(std::move(f));
+    f = Frame{};
+  }
+  return frames;
+}
+
+int64_t SessionLag(IngestService* service, uint64_t session_id) {
+  for (const ShardMetrics& s : service->manager().SnapshotShards()) {
+    for (const SessionWatermark& w : s.watermarks) {
+      if (w.session_id == session_id) return w.lag;
+    }
+  }
+  return -1;
+}
+
+// The slow client's queue hits its bound and the connection is shed
+// (closed_slow), its transport severed — while a healthy session on the
+// same loop keeps ingesting, flushing, and holding its watermark lag
+// flat.
+TEST(SlowClientTest, QueueBoundShedsSlowClientOthersUnaffected) {
+  IngestService service(SlowServiceOptions());
+  EventLoopOptions opts;
+  opts.max_write_queue_bytes = 512;  // Tiny bound: one or two replies.
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 opts);
+
+  // Healthy session first: ingest, punctuate, flush; record its lag.
+  auto fast_t = std::make_unique<ft::FaultyTransport>();
+  auto fast = fast_t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(fast_t)), 0u);
+
+  auto send_batch = [&](Timestamp base) {
+    Frame events;
+    events.type = FrameType::kEvents;
+    events.session_id = 9;
+    events.events = MakeEvents(100, base);
+    fast->InjectInbound(EncodeFrame(events));
+    Frame punct;
+    punct.type = FrameType::kPunctuation;
+    punct.session_id = 9;
+    punct.punctuation = base + 1000;
+    fast->InjectInbound(EncodeFrame(punct));
+    Frame flush;
+    flush.type = FrameType::kFlushSession;
+    flush.session_id = 9;
+    fast->InjectInbound(EncodeFrame(flush));
+  };
+  std::string fast_replies;
+  auto pump_ack = [&](size_t want_acks) -> size_t {
+    // Drain shard then flush the ack; returns total acks decoded so far.
+    EXPECT_TRUE(
+        PumpUntil(&loop, [&] { return fast->pending_inbound() == 0; }));
+    service.manager().DrainShardForTest(0);
+    size_t acks = 0;
+    PumpUntil(&loop, [&] {
+      fast_replies += fast->TakeOutput();
+      acks = 0;
+      for (const Frame& f : DecodeAll(fast_replies)) {
+        if (f.type == FrameType::kFlushAck) ++acks;
+      }
+      return acks >= want_acks;
+    });
+    return acks;
+  };
+
+  send_batch(1000);
+  ASSERT_EQ(pump_ack(1), 1u);
+  const int64_t lag_before = SessionLag(&service, 9);
+  ASSERT_GE(lag_before, 0);
+
+  // Slow client: never drains its socket; metrics responses pile up in
+  // its queue until the bound trips.
+  auto slow_t = std::make_unique<ft::FaultyTransport>();
+  auto slow = slow_t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(slow_t)), 0u);
+  slow->SetWriteBlocked(true);
+  const std::vector<uint8_t> request = MetricsRequestBytes();
+  for (int i = 0; i < 8; ++i) slow->InjectInbound(request);
+
+  ASSERT_TRUE(PumpUntil(
+      &loop, [&] { return loop.SnapshotMetrics().closed_slow == 1; }));
+  EXPECT_TRUE(slow->shut_down());
+  EXPECT_EQ(loop.connection_count(), 1u);  // Only the healthy session.
+
+  // The healthy session is untouched: more data, another ack, lag flat.
+  send_batch(2000);
+  ASSERT_EQ(pump_ack(2), 2u);
+  const int64_t lag_after = SessionLag(&service, 9);
+  ASSERT_GE(lag_after, 0);
+  EXPECT_LE(lag_after, lag_before);
+  EXPECT_EQ(service.manager().SnapshotShards()[0].events_in, 200u);
+
+  // Shed cleaned its gauges up: no write interest left dangling.
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.epollout_waiting, 0u);
+  EXPECT_EQ(m.closed, 1u);
+}
+
+// A write that cannot complete arms EPOLLOUT (counted as a stall) and
+// the epollout_waiting gauge tracks the armed interval exactly; once the
+// peer drains, the queue flushes and the gauge returns to zero.
+TEST(SlowClientTest, EpolloutStallArmsAndDisarms) {
+  IngestService service(SlowServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+
+  // First two write attempts bounce with EAGAIN, then flow freely.
+  h->ScriptWrite({ft::FaultAction::Eagain(), ft::FaultAction::Eagain()});
+  h->InjectInbound(MetricsRequestBytes());
+
+  ASSERT_TRUE(PumpUntil(
+      &loop, [&] { return loop.SnapshotMetrics().epollout_stalls >= 2; }));
+  std::string out;
+  ASSERT_TRUE(PumpUntil(&loop, [&] {
+    out += h->TakeOutput();
+    return DecodeAll(out).size() == 1;
+  }));
+  EXPECT_EQ(DecodeAll(out)[0].type, FrameType::kMetricsResponse);
+  EXPECT_EQ(loop.SnapshotMetrics().epollout_waiting, 0u);
+
+  h->CloseInbound();
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+}
+
+// Replies sliced into arbitrary short writes must reassemble into intact
+// frames on the peer — the CRC check in the decoder proves no byte was
+// lost, duplicated, or reordered by the partial-write path.
+TEST(SlowClientTest, ShortWritesReassembleIntactFrames) {
+  IngestService service(SlowServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+
+  std::vector<ft::FaultAction> script;
+  for (int i = 0; i < 400; ++i) {
+    script.push_back(ft::FaultAction::Limit(1 + (i % 7)));
+    if (i % 11 == 3) script.push_back(ft::FaultAction::Eintr());
+  }
+  h->ScriptWrite(std::move(script));
+  h->InjectInbound(MetricsRequestBytes());
+  h->InjectInbound(MetricsRequestBytes());
+
+  std::string out;
+  ASSERT_TRUE(PumpUntil(
+      &loop,
+      [&] {
+        out += h->TakeOutput();
+        return DecodeAll(out).size() == 2;
+      },
+      3000));
+  for (const Frame& f : DecodeAll(out)) {
+    EXPECT_EQ(f.type, FrameType::kMetricsResponse);
+    EXPECT_FALSE(f.text.empty());
+  }
+  EXPECT_GT(loop.SnapshotMetrics().epollout_stalls, 0u);
+
+  h->CloseInbound();
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace impatience

@@ -1,0 +1,387 @@
+// Deterministic fault-injection implementation of the transport seam
+// (src/server/transport.h), shared by the event-loop, slow-client, and
+// shutdown-chaos tests.
+//
+// FaultyTransport is one endpoint of a scripted in-memory pipe: the test
+// injects the peer's bytes (InjectInbound) and collects what the code
+// under test wrote (TakeOutput), while per-call scripts slice reads and
+// writes at arbitrary byte boundaries and inject EAGAIN / EINTR /
+// ECONNRESET / EOF at chosen points. FaultyPoller multiplexes a set of
+// these transports with seeded readiness reordering, so the event loop
+// runs its full state machine — partial reads, partial writes, spurious
+// wakeups, mid-frame disconnects, shutdown — without a socket, and every
+// interleaving replays from a seed (IMPATIENCE_FAULT_SEED).
+//
+// State is shared: NewHandle() returns a second FaultyTransport over the
+// same pipe, so the test keeps injecting/inspecting after it has handed
+// ownership of the original to an EventLoop (which destroys its copy when
+// the connection closes).
+
+#ifndef IMPATIENCE_TESTS_TESTING_FAULTY_TRANSPORT_H_
+#define IMPATIENCE_TESTS_TESTING_FAULTY_TRANSPORT_H_
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "server/transport.h"
+
+namespace impatience {
+namespace testing {
+
+// The seed every fault-injection test derives its script and readiness
+// order from. tools/check.sh sweeps it; one value reproduces one run.
+inline uint64_t FaultSeed() {
+  if (const char* env = std::getenv("IMPATIENCE_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+  }
+  return 42;
+}
+
+// One scripted outcome for the next Read or Write call.
+struct FaultAction {
+  enum Kind {
+    kLimit,   // Serve at most `n` bytes (a short read/write).
+    kEagain,  // -EAGAIN: pretend nothing is ready (spurious readiness).
+    kEintr,   // -EINTR: a signal interrupted the syscall.
+    kReset,   // -ECONNRESET: the peer vanished mid-frame.
+    kEof,     // Read: orderly end of stream.
+  } kind = kLimit;
+  size_t n = 0;
+
+  static FaultAction Limit(size_t n) { return {kLimit, n}; }
+  static FaultAction Eagain() { return {kEagain, 0}; }
+  static FaultAction Eintr() { return {kEintr, 0}; }
+  static FaultAction Reset() { return {kReset, 0}; }
+  static FaultAction Eof() { return {kEof, 0}; }
+};
+
+class FaultyTransport : public server::Transport {
+ public:
+  FaultyTransport() : state_(std::make_shared<State>()) {}
+
+  // A second endpoint over the same pipe state (for the test to keep).
+  std::unique_ptr<FaultyTransport> NewHandle() const {
+    return std::unique_ptr<FaultyTransport>(new FaultyTransport(state_));
+  }
+
+  // ---- Test-side controls ----
+
+  // Appends bytes the peer "sent"; they surface through Read.
+  void InjectInbound(const std::vector<uint8_t>& bytes) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->inbound.insert(state_->inbound.end(), bytes.begin(),
+                             bytes.end());
+    }
+    StateChanged();
+  }
+
+  // Orderly half-close: Read reports EOF once pending bytes drain.
+  void CloseInbound() {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->inbound_closed = true;
+    }
+    StateChanged();
+  }
+
+  // Hard kill: the very next Read reports ECONNRESET regardless of any
+  // pending bytes or script (the mid-frame disconnect).
+  void KillNow() {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->read_script.push_front(FaultAction::Reset());
+    }
+    StateChanged();
+  }
+
+  void ScriptRead(std::vector<FaultAction> script) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      for (FaultAction& a : script) state_->read_script.push_back(a);
+    }
+    StateChanged();
+  }
+
+  void ScriptWrite(std::vector<FaultAction> script) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    for (FaultAction& a : script) state_->write_script.push_back(a);
+  }
+
+  // While set, every Write returns EAGAIN and the poller never reports
+  // writability: a peer that has stopped draining its socket.
+  void SetWriteBlocked(bool blocked) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->write_blocked = blocked;
+    }
+    StateChanged();
+  }
+
+  // Everything the code under test wrote so far (and clears it).
+  std::string TakeOutput() {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    std::string out;
+    out.swap(state_->output);
+    return out;
+  }
+
+  bool shut_down() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->shut_down;
+  }
+
+  size_t pending_inbound() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->inbound.size();
+  }
+
+  // ---- Transport interface (the side the event loop drives) ----
+
+  server::IoResult Read(uint8_t* out, size_t n) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->shut_down) return {-ECONNRESET};
+    size_t limit = n;
+    if (!state_->read_script.empty()) {
+      const FaultAction a = state_->read_script.front();
+      state_->read_script.pop_front();
+      switch (a.kind) {
+        case FaultAction::kEagain:
+          return {-EAGAIN};
+        case FaultAction::kEintr:
+          return {-EINTR};
+        case FaultAction::kReset:
+          return {-ECONNRESET};
+        case FaultAction::kEof:
+          return {0};
+        case FaultAction::kLimit:
+          limit = std::min(limit, a.n);
+          break;
+      }
+    }
+    const size_t take = std::min(limit, state_->inbound.size());
+    if (take == 0) {
+      if (state_->inbound_closed) return {0};
+      return {-EAGAIN};
+    }
+    std::memcpy(out, state_->inbound.data(), take);
+    state_->inbound.erase(state_->inbound.begin(),
+                          state_->inbound.begin() +
+                              static_cast<ptrdiff_t>(take));
+    return {static_cast<int64_t>(take)};
+  }
+
+  server::IoResult Write(const uint8_t* data, size_t n) override {
+    server::IoResult result{0};
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->shut_down) return {-EPIPE};
+      if (state_->write_blocked) return {-EAGAIN};
+      size_t limit = n;
+      if (!state_->write_script.empty()) {
+        const FaultAction a = state_->write_script.front();
+        state_->write_script.pop_front();
+        switch (a.kind) {
+          case FaultAction::kEagain:
+            return {-EAGAIN};
+          case FaultAction::kEintr:
+            return {-EINTR};
+          case FaultAction::kReset:
+          case FaultAction::kEof:
+            return {-EPIPE};
+          case FaultAction::kLimit:
+            limit = std::min(limit, a.n);
+            break;
+        }
+      }
+      if (limit == 0) return {-EAGAIN};
+      state_->output.append(reinterpret_cast<const char*>(data), limit);
+      result = {static_cast<int64_t>(limit)};
+    }
+    StateChanged();
+    return result;
+  }
+
+  void Shutdown() override {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->shut_down = true;
+    }
+    StateChanged();
+  }
+
+  bool WaitReadable(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    auto ready = [this] {
+      return !state_->inbound.empty() || state_->inbound_closed ||
+             state_->shut_down || !state_->read_script.empty();
+    };
+    if (timeout_ms < 0) {
+      state_->cv.wait(lock, ready);
+      return true;
+    }
+    return state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               ready);
+  }
+
+  // ---- Readiness queries for FaultyPoller ----
+
+  // Level-triggered "would a Read make progress (or fail informatively)".
+  // A scripted EAGAIN still reports readable — that is the spurious
+  // wakeup the loop must tolerate.
+  bool WouldRead() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return !state_->inbound.empty() || state_->inbound_closed ||
+           state_->shut_down || !state_->read_script.empty();
+  }
+
+  bool WouldWrite() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return !state_->write_blocked;
+  }
+
+  // Called (outside the pipe lock) whenever readiness may have changed.
+  // The poller installs itself here.
+  void SetNotify(std::function<void()> notify) {
+    std::lock_guard<std::mutex> lock(state_->notify_mu);
+    state_->notify = std::move(notify);
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<uint8_t> inbound;
+    bool inbound_closed = false;
+    std::string output;
+    std::deque<FaultAction> read_script;
+    std::deque<FaultAction> write_script;
+    bool write_blocked = false;
+    bool shut_down = false;
+
+    std::mutex notify_mu;
+    std::function<void()> notify;
+  };
+
+  explicit FaultyTransport(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  void StateChanged() {
+    state_->cv.notify_all();
+    std::function<void()> notify;
+    {
+      std::lock_guard<std::mutex> lock(state_->notify_mu);
+      notify = state_->notify;
+    }
+    if (notify) notify();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+// Poller over FaultyTransports. Readiness is recomputed on every Wait
+// from the transports' current state; the order of ready events is
+// shuffled deterministically from the seed, so connection-scheduling
+// permutations replay exactly.
+class FaultyPoller : public server::Poller {
+ public:
+  explicit FaultyPoller(uint64_t seed) : rng_(seed) {}
+
+  bool Add(uint64_t id, server::Transport* t, bool want_write) override {
+    auto* ft = static_cast<FaultyTransport*>(t);
+    ft->SetNotify([this] { Wakeup(); });
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[id] = Entry{ft, want_write};
+    cv_.notify_all();
+    return true;
+  }
+
+  void SetWantWrite(uint64_t id, server::Transport* t,
+                    bool want_write) override {
+    (void)t;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;  // Raced a Remove; by design.
+    it->second.want_write = want_write;
+    cv_.notify_all();
+  }
+
+  void Remove(uint64_t id, server::Transport* t) override {
+    static_cast<FaultyTransport*>(t)->SetNotify(nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(id);
+  }
+
+  size_t Wait(std::vector<server::ReadyEvent>* out,
+              int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms < 0 ? 3600 * 1000 : timeout_ms);
+    for (;;) {
+      std::vector<server::ReadyEvent> ready;
+      for (const auto& [id, entry] : entries_) {
+        server::ReadyEvent ev;
+        ev.id = id;
+        ev.readable = entry.transport->WouldRead();
+        ev.writable = entry.want_write && entry.transport->WouldWrite();
+        if (ev.readable || ev.writable) ready.push_back(ev);
+      }
+      if (!ready.empty()) {
+        // Seeded Fisher-Yates: the loop services connections in an order
+        // the test controls, not map order.
+        for (size_t i = ready.size(); i > 1; --i) {
+          std::swap(ready[i - 1], ready[rng_.NextBelow(i)]);
+        }
+        out->insert(out->end(), ready.begin(), ready.end());
+        return ready.size();
+      }
+      if (woken_) {
+        woken_ = false;
+        return 0;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return 0;
+      }
+    }
+  }
+
+  void Wakeup() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    woken_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  struct Entry {
+    FaultyTransport* transport = nullptr;
+    bool want_write = false;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Entry> entries_;
+  bool woken_ = false;
+  Rng rng_;
+};
+
+}  // namespace testing
+}  // namespace impatience
+
+#endif  // IMPATIENCE_TESTS_TESTING_FAULTY_TRANSPORT_H_

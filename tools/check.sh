@@ -21,6 +21,13 @@
 # IMPATIENCE_TRACE=1 so the span-recording fast path (per-thread seqlock
 # rings written from every worker) runs hot under each detector.
 #
+# A fourth pass sweeps IMPATIENCE_FAULT_SEED over 8 seeds against the
+# `server`-labeled suites: the epoll fault-injection, slow-client, and
+# shutdown-chaos tests derive their byte-split points, readiness
+# shuffles, and kill schedules from that seed, so the sweep walks 8
+# distinct interleavings of the event-loop state machine through each
+# sanitizer.
+#
 # Benches/examples/tools are skipped: they share the same code, and
 # building them under the sanitizers roughly doubles the wall clock for no
 # extra coverage.
@@ -49,7 +56,13 @@ run_pass() {
   (cd "$build_dir" && \
     env IMPATIENCE_THREADS=8 IMPATIENCE_TRACE=1 $env_opts \
       ctest --output-on-failure -j "$(nproc)")
-  echo "$name tier-1 (native + scalar kernels + tracing on): OK"
+  for seed in 1 2 3 5 8 13 21 34; do
+    (cd "$build_dir" && \
+      env IMPATIENCE_THREADS=8 IMPATIENCE_FAULT_SEED="$seed" $env_opts \
+        ctest --output-on-failure -j "$(nproc)" -L server)
+  done
+  echo "$name tier-1 (native + scalar kernels + tracing on" \
+    "+ 8-seed server fault sweep): OK"
 }
 
 tsan_pass() {

@@ -3,6 +3,11 @@
 //   impatience_serve [--port N] [--shards N] [--queue-capacity N]
 //                    [--backpressure block|reject|shed]
 //                    [--latencies ms,ms,...] [--punctuation-period N]
+//                    [--io-threads N]
+//
+// --io-threads sizes the epoll I/O pool that multiplexes all accepted
+// connections (0 = the IMPATIENCE_IO_THREADS environment variable,
+// defaulting to 2). Connection count is independent of thread count.
 //
 // Listens on 127.0.0.1:port for wire-protocol clients (see
 // src/server/wire_format.h). Runs until SIGINT/SIGTERM or until a client
@@ -55,7 +60,9 @@ std::vector<impatience::Timestamp> ParseLatencies(const std::string& arg) {
       "[--queue-capacity N]\n"
       "                        [--backpressure block|reject|shed]\n"
       "                        [--latencies ms,ms,...] "
-      "[--punctuation-period N]\n");
+      "[--punctuation-period N]\n"
+      "                        [--io-threads N]   (0 = "
+      "IMPATIENCE_IO_THREADS, default 2)\n");
   std::exit(2);
 }
 
@@ -66,6 +73,7 @@ int main(int argc, char** argv) {
   using namespace impatience::server;
 
   uint16_t port = 7071;
+  TcpServerOptions tcp_options;
   ServiceOptions options;
   options.shards.num_shards = 4;
   options.shards.queue_capacity = 256;
@@ -98,13 +106,17 @@ int main(int argc, char** argv) {
       const int v = std::atoi(next().c_str());
       if (v <= 0) Usage();
       options.shards.framework.punctuation_period = static_cast<size_t>(v);
+    } else if (arg == "--io-threads") {
+      const int v = std::atoi(next().c_str());
+      if (v < 0) Usage();
+      tcp_options.io_threads = static_cast<size_t>(v);
     } else {
       Usage();
     }
   }
 
   IngestService service(options);
-  TcpServer tcp(&service, port);
+  TcpServer tcp(&service, port, tcp_options);
   std::string error;
   if (!tcp.Start(&error)) {
     std::fprintf(stderr, "failed to listen on port %u: %s\n", port,
@@ -113,10 +125,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "impatience_serve: listening on 127.0.0.1:%u "
-               "(%zu shards, queue %zu, policy %s)\n",
+               "(%zu shards, queue %zu, policy %s, %zu io threads)\n",
                tcp.port(), options.shards.num_shards,
                options.shards.queue_capacity,
-               BackpressurePolicyName(options.shards.backpressure));
+               BackpressurePolicyName(options.shards.backpressure),
+               tcp.io_threads());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

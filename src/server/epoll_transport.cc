@@ -90,26 +90,56 @@ EpollPoller::~EpollPoller() {
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
-bool EpollPoller::Add(uint64_t id, Transport* t, bool want_write) {
-  if (epoll_fd_ < 0 || t->fd() < 0) return false;
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
-  ev.data.u64 = id;
-  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, t->fd(), &ev) == 0;
+namespace {
+
+uint32_t MaskFor(bool read, bool write) {
+  // EPOLLERR/EPOLLHUP are always reported regardless of the mask, so a
+  // dead peer still surfaces even with both sides disarmed.
+  uint32_t mask = 0;
+  if (read) mask |= EPOLLIN | EPOLLRDHUP;
+  if (write) mask |= EPOLLOUT;
+  return mask;
 }
 
-void EpollPoller::SetWantWrite(uint64_t id, Transport* t, bool want_write) {
-  if (epoll_fd_ < 0 || t->fd() < 0) return;
+}  // namespace
+
+bool EpollPoller::Add(uint64_t id, Transport* t, bool want_write) {
+  if (epoll_fd_ < 0 || t->fd() < 0) return false;
+  std::lock_guard<std::mutex> lock(interest_mu_);
   epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+  ev.events = MaskFor(/*read=*/true, want_write);
   ev.data.u64 = id;
-  // ENOENT (the connection raced a Remove) is harmless by design.
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, t->fd(), &ev) != 0) return false;
+  interest_[id] = Interest{true, want_write};
+  return true;
+}
+
+void EpollPoller::Modify(uint64_t id, Transport* t, int want_read,
+                         int want_write) {
+  if (epoll_fd_ < 0 || t->fd() < 0) return;
+  std::lock_guard<std::mutex> lock(interest_mu_);
+  auto it = interest_.find(id);
+  if (it == interest_.end()) return;  // Raced a Remove; harmless by design.
+  if (want_read >= 0) it->second.read = want_read != 0;
+  if (want_write >= 0) it->second.write = want_write != 0;
+  epoll_event ev{};
+  ev.events = MaskFor(it->second.read, it->second.write);
+  ev.data.u64 = id;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, t->fd(), &ev);
 }
 
+void EpollPoller::SetWantWrite(uint64_t id, Transport* t, bool want_write) {
+  Modify(id, t, /*want_read=*/-1, want_write ? 1 : 0);
+}
+
+void EpollPoller::SetWantRead(uint64_t id, Transport* t, bool want_read) {
+  Modify(id, t, want_read ? 1 : 0, /*want_write=*/-1);
+}
+
 void EpollPoller::Remove(uint64_t id, Transport* t) {
-  (void)id;
   if (epoll_fd_ < 0 || t->fd() < 0) return;
+  std::lock_guard<std::mutex> lock(interest_mu_);
+  interest_.erase(id);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, t->fd(), nullptr);
 }
 

@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "server/transport.h"
@@ -42,8 +44,11 @@ class FdTransport : public Transport {
 };
 
 // Level-triggered epoll poller. Registered transports must expose a real
-// descriptor. Add/SetWantWrite/Remove/Wakeup are thread-safe (epoll_ctl
-// and the eventfd write are kernel-serialized against epoll_wait).
+// descriptor. Add/SetWantWrite/SetWantRead/Remove/Wakeup are thread-safe
+// (epoll_ctl and the eventfd write are kernel-serialized against
+// epoll_wait; the per-id interest map, which lets read and write
+// interest be flipped independently from different threads, has its own
+// lock).
 class EpollPoller : public Poller {
  public:
   EpollPoller();
@@ -55,13 +60,26 @@ class EpollPoller : public Poller {
 
   bool Add(uint64_t id, Transport* t, bool want_write) override;
   void SetWantWrite(uint64_t id, Transport* t, bool want_write) override;
+  void SetWantRead(uint64_t id, Transport* t, bool want_read) override;
   void Remove(uint64_t id, Transport* t) override;
   size_t Wait(std::vector<ReadyEvent>* out, int timeout_ms) override;
   void Wakeup() override;
 
  private:
+  struct Interest {
+    bool read = true;
+    bool write = false;
+  };
+
+  // Updates one side of the registered interest (-1 = leave as is) and
+  // issues the epoll_ctl MOD with the combined mask.
+  void Modify(uint64_t id, Transport* t, int want_read, int want_write);
+
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;
+
+  std::mutex interest_mu_;
+  std::unordered_map<uint64_t, Interest> interest_;
 };
 
 }  // namespace server

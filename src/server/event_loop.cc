@@ -56,21 +56,30 @@ uint64_t EventLoop::AddConnection(std::unique_ptr<Transport> transport) {
   c->transport = std::move(transport);
   c->connection = service_->OpenConnection(
       [this, c](std::string bytes) { QueueWrite(c, std::move(bytes)); });
+  bool registered = false;
   {
+    // Registration shares conns_mu_ with Stop()'s victim snapshot, and
+    // stopping_ is re-checked under the lock: either this connection
+    // lands in the snapshot (Stop closes it) or stopping_ is already
+    // visible here and we back out. It can never be registered with the
+    // poller after the loop thread has exited.
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.emplace(id, std::move(conn));
+    if (!stopping_.load(std::memory_order_acquire) &&
+        poller_->Add(id, raw, /*want_write=*/false)) {
+      conns_.emplace(id, std::move(conn));
+      registered = true;
+    }
+  }
+  if (!registered) {
+    // Never visible to the loop or the poller: dismantle locally.
+    c->connection.reset();
+    c->transport->Shutdown();
+    return 0;
   }
   connection_count_.fetch_add(1, std::memory_order_relaxed);
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  // Once the poller knows the id, the loop thread may read, poison, and
-  // destroy the connection at any moment — `c` must not be touched after
-  // a successful Add.
-  if (!poller_->Add(id, raw, /*want_write=*/false)) {
-    // Never registered, so the loop cannot see it; closing from this
-    // thread is safe.
-    CloseConn(c, CloseCause::kError);
-    return 0;
-  }
+  // The loop thread may read, poison, and destroy the connection at any
+  // moment now — `c` must not be touched after a successful Add.
   return id;
 }
 
@@ -124,7 +133,24 @@ void EventLoop::HandleReady(const ReadyEvent& ev) {
 
   bool drained = true;
   if (ev.writable || ev.error || c->draining) drained = HandleWritable(c);
+
+  // HandleWritable closes the connection itself on a fatal write error
+  // (a peer resetting mid-flush): re-look-up before touching c again.
+  c = lookup(ev.id);
+  if (c == nullptr) return;
   if (c->draining && drained) CloseConn(c, CloseCause::kEof);
+}
+
+void EventLoop::StartDraining(Conn* c) {
+  c->stop_reading = true;
+  c->draining = true;
+  // Drop read interest while the queue flushes: the poller is level-
+  // triggered, so a half-closed peer (persistent EPOLLRDHUP) or one
+  // still sending into a poisoned stream would otherwise wake the loop
+  // in a busy spin for the whole drain window. EPOLLOUT alone drives
+  // the drain; fatal conditions still surface through the write path
+  // (and epoll reports EPOLLERR/EPOLLHUP unconditionally).
+  poller_->SetWantRead(c->id, c->transport.get(), false);
 }
 
 void EventLoop::HandleReadable(Conn* c) {
@@ -137,8 +163,7 @@ void EventLoop::HandleReadable(Conn* c) {
                                  static_cast<size_t>(r.n))) {
         // Poisoned (the kReject is already queued): stop reading, flush
         // what is queued, then close.
-        c->stop_reading = true;
-        c->draining = true;
+        StartDraining(c);
         return;
       }
       if (static_cast<size_t>(r.n) < read_buf_.size()) return;  // Drained.
@@ -147,14 +172,16 @@ void EventLoop::HandleReadable(Conn* c) {
     if (r.eof()) {
       // Half-close: the peer is done sending but may still read. Flush
       // queued replies (flush acks in flight), then close.
-      c->stop_reading = true;
-      c->draining = true;
       bool empty;
       {
         std::lock_guard<std::mutex> lock(c->mu);
         empty = c->writeq.empty();
       }
-      if (empty) CloseConn(c, CloseCause::kEof);
+      if (empty) {
+        CloseConn(c, CloseCause::kEof);
+      } else {
+        StartDraining(c);
+      }
       return;
     }
     if (r.again()) return;

@@ -15,8 +15,12 @@
 //
 // Close discipline: EOF and decode poison flush the queued replies first
 // (the kReject must reach a half-closed peer); reset/error and shed
-// close immediately. The loop thread is the only one that reads, decodes,
-// or destroys a connection; worker threads only touch its write queue.
+// close immediately. While a connection drains, its read interest is
+// disarmed — the poller is level-triggered, so a half-closed peer or one
+// still sending into a poisoned stream would otherwise busy-spin the
+// loop for the whole drain window. The loop thread is the only one that
+// reads, decodes, or destroys a connection; worker threads only touch
+// its write queue.
 //
 // Built entirely on the Transport/Poller seam (transport.h), so the
 // whole state machine runs under the scripted fault-injection transport
@@ -72,8 +76,10 @@ class EventLoop {
   // connection. Idempotent.
   void Stop();
 
-  // Hands a connection to this loop. Thread-safe; callable before or
-  // after Start. Returns the connection id.
+  // Hands a connection to this loop. Thread-safe, including against a
+  // concurrent Stop(): the connection is either adopted (and then closed
+  // by Stop) or refused and severed — never registered after the loop
+  // thread has exited. Returns the connection id, or 0 if refused.
   uint64_t AddConnection(std::unique_ptr<Transport> transport);
 
   // Waits up to timeout_ms for readiness and processes one batch.
@@ -111,7 +117,11 @@ class EventLoop {
   void Run();
   void HandleReady(const ReadyEvent& ev);
   void HandleReadable(Conn* c);
-  // Flushes the write queue; true if the queue drained.
+  // Marks c draining (stop reading, close once the queue empties) and
+  // disarms its read interest so the level-triggered poller goes quiet.
+  void StartDraining(Conn* c);
+  // Flushes the write queue; true if the queue drained. May close the
+  // connection (fatal write error) — callers must re-look-up c after.
   bool HandleWritable(Conn* c);
   void QueueWrite(Conn* c, std::string bytes);
   enum class CloseCause { kEof, kError, kSlow, kStop };

@@ -95,6 +95,13 @@ class Poller {
   // Re-arms or disarms write interest for a registered transport.
   virtual void SetWantWrite(uint64_t id, Transport* t, bool want_write) = 0;
 
+  // Re-arms or disarms read interest (armed by Add). The event loop
+  // disarms it while a closing connection drains its write queue: the
+  // poller is level-triggered, so a peer that stays readable (half-
+  // closed, or still sending into a poisoned stream) would otherwise
+  // re-report readiness forever while the queue flushes.
+  virtual void SetWantRead(uint64_t id, Transport* t, bool want_read) = 0;
+
   virtual void Remove(uint64_t id, Transport* t) = 0;
 
   // Blocks up to `timeout_ms` (< 0 = forever) for readiness; appends the

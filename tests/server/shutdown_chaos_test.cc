@@ -275,6 +275,47 @@ TEST(ShutdownChaosTest, StopWithQueuedRepliesIsCleanAndAccounted) {
   service.Shutdown();
 }
 
+// Regression: AddConnection racing Stop() must either hand the
+// connection to Stop's victim snapshot (which closes it) or refuse it
+// outright — never register it with the poller after the loop thread
+// has exited, which would leave it unserviced with its transport open.
+TEST(ShutdownChaosTest, AddConnectionRacingStopNeverLeaksConnections) {
+  for (int round = 0; round < 10; ++round) {
+    IngestService service(ChaosServiceOptions());
+    EventLoop loop(
+        &service,
+        std::make_unique<ft::FaultyPoller>(ft::FaultSeed() + round),
+        EventLoopOptions{});
+    loop.Start();
+
+    constexpr size_t kConns = 16;
+    std::vector<std::unique_ptr<ft::FaultyTransport>> transports;
+    std::vector<std::unique_ptr<ft::FaultyTransport>> handles;
+    for (size_t i = 0; i < kConns; ++i) {
+      auto t = std::make_unique<ft::FaultyTransport>();
+      handles.push_back(t->NewHandle());
+      transports.push_back(std::move(t));
+    }
+
+    std::thread adder([&] {
+      for (auto& t : transports) loop.AddConnection(std::move(t));
+    });
+    std::this_thread::yield();
+    loop.Stop();
+    adder.join();
+
+    // Every transport is accounted for without a second Stop(): adopted
+    // connections were closed by Stop, refused ones severed on the spot.
+    EXPECT_EQ(loop.connection_count(), 0u);
+    for (size_t i = 0; i < kConns; ++i) {
+      EXPECT_TRUE(handles[i]->shut_down()) << "connection " << i;
+    }
+    const IoLoopMetrics m = loop.SnapshotMetrics();
+    EXPECT_EQ(m.accepted, m.closed);
+    service.Shutdown();
+  }
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace impatience

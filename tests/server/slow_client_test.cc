@@ -237,6 +237,88 @@ TEST(SlowClientTest, ShortWritesReassembleIntactFrames) {
   ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
 }
 
+// Regression: a peer that resets mid-flush while the connection is
+// draining must close cleanly via the write path. Before the fix,
+// HandleWritable freed the connection and HandleReady then read
+// c->draining off the freed object (use-after-free under ASan).
+TEST(SlowClientTest, ResetDuringDrainFlushClosesWithoutUseAfterFree) {
+  IngestService service(SlowServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+
+  // Queue a reply the peer will not read yet.
+  h->SetWriteBlocked(true);
+  h->InjectInbound(MetricsRequestBytes());
+  ASSERT_TRUE(PumpUntil(
+      &loop, [&] { return loop.SnapshotMetrics().epollout_waiting == 1; }));
+
+  // Half-close so the loop enters drain-and-flush with the reply still
+  // queued, then have the very next write die with a reset.
+  h->CloseInbound();
+  for (int i = 0; i < 10; ++i) loop.PollOnce(/*timeout_ms=*/5);
+  ASSERT_EQ(loop.connection_count(), 1u);  // Draining, not yet closed.
+  h->ScriptWrite({ft::FaultAction::Reset()});
+  h->SetWriteBlocked(false);
+
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.closed, 1u);
+  EXPECT_EQ(m.closed_error, 1u);
+  EXPECT_EQ(m.epollout_waiting, 0u);
+  EXPECT_TRUE(h->shut_down());
+}
+
+// Regression: once a connection enters drain (EOF or poison), the poller
+// must stop reporting its read readiness. Before the fix the
+// level-triggered poller kept the half-closed transport permanently
+// ready, spinning the loop at 100% CPU for the whole drain window.
+TEST(SlowClientTest, DrainingConnectionDoesNotSpinOnReadReadiness) {
+  IngestService service(SlowServiceOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+
+  h->SetWriteBlocked(true);
+  h->InjectInbound(MetricsRequestBytes());
+  ASSERT_TRUE(PumpUntil(
+      &loop, [&] { return loop.SnapshotMetrics().epollout_waiting == 1; }));
+
+  // Half-close: the loop consumes the EOF and starts draining behind the
+  // blocked peer. It must then go idle — PollOnce stops reporting ready
+  // events — instead of re-handling the still-readable transport.
+  h->CloseInbound();
+  bool quiesced = false;
+  for (int i = 0; i < 100 && !quiesced; ++i) {
+    quiesced = loop.PollOnce(/*timeout_ms=*/5) == 0;
+  }
+  ASSERT_TRUE(quiesced);
+  ASSERT_EQ(loop.connection_count(), 1u);
+
+  // A peer that keeps sending into the dead stream must not wake the
+  // read path either.
+  h->InjectInbound(MetricsRequestBytes());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(loop.PollOnce(/*timeout_ms=*/5), 0u);
+  }
+
+  // Unblocking the peer flushes the queued reply and closes cleanly.
+  h->SetWriteBlocked(false);
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  const std::vector<Frame> replies = DecodeAll(h->TakeOutput());
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, FrameType::kMetricsResponse);
+  const IoLoopMetrics m = loop.SnapshotMetrics();
+  EXPECT_EQ(m.closed, 1u);
+  EXPECT_EQ(m.closed_error, 0u);
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace impatience

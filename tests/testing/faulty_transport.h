@@ -307,7 +307,7 @@ class FaultyPoller : public server::Poller {
     auto* ft = static_cast<FaultyTransport*>(t);
     ft->SetNotify([this] { Wakeup(); });
     std::lock_guard<std::mutex> lock(mu_);
-    entries_[id] = Entry{ft, want_write};
+    entries_[id] = Entry{ft, /*want_read=*/true, want_write};
     cv_.notify_all();
     return true;
   }
@@ -319,6 +319,16 @@ class FaultyPoller : public server::Poller {
     auto it = entries_.find(id);
     if (it == entries_.end()) return;  // Raced a Remove; by design.
     it->second.want_write = want_write;
+    cv_.notify_all();
+  }
+
+  void SetWantRead(uint64_t id, server::Transport* t,
+                   bool want_read) override {
+    (void)t;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;  // Raced a Remove; by design.
+    it->second.want_read = want_read;
     cv_.notify_all();
   }
 
@@ -339,7 +349,7 @@ class FaultyPoller : public server::Poller {
       for (const auto& [id, entry] : entries_) {
         server::ReadyEvent ev;
         ev.id = id;
-        ev.readable = entry.transport->WouldRead();
+        ev.readable = entry.want_read && entry.transport->WouldRead();
         ev.writable = entry.want_write && entry.transport->WouldWrite();
         if (ev.readable || ev.writable) ready.push_back(ev);
       }
@@ -371,6 +381,7 @@ class FaultyPoller : public server::Poller {
  private:
   struct Entry {
     FaultyTransport* transport = nullptr;
+    bool want_read = true;
     bool want_write = false;
   };
 

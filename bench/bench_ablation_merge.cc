@@ -9,10 +9,25 @@
 //      valuable on AndroidLog's long natural runs).
 //  (3) Run-compaction — memory with and without the consumed-prefix
 //      compaction that keeps buffered bytes proportional to live events.
+//  (4) Merge fan-in sweep — the pairwise Huffman cascade vs the k-way
+//      loser tree on k equal runs, k in {2, 4, 8, 16, 64}, in two
+//      shapes: "bursty" (runs carved from one timeline in ~64-element
+//      bursts — the temporal-locality shape punctuation merges actually
+//      see, where the tree's single output pass beats the cascade's
+//      level-by-level memory traffic) and "interleaved" (every element
+//      individually compared — the tree's worst case, where the
+//      cascade's branchless two-way kernel wins per pass).
+//
+// Emits one JSON document between BEGIN_JSON/END_JSON markers with the
+// kernel level, seed, and merge policy stamped per sample.
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/random.h"
 #include "sort/impatience_sorter.h"
 #include "workload/generators.h"
 
@@ -40,6 +55,103 @@ struct SortOutcome {
   uint64_t pushes = 0;
   size_t peak_memory = 0;
 };
+
+// One measurement for the JSON dump: either a dataset/policy ablation row
+// or a fan-in sweep row (dataset "fanin_sweep", fanin > 0).
+struct JsonSample {
+  std::string dataset;
+  std::string merge_policy;
+  size_t fanin = 0;
+  double throughput_meps = 0;
+  uint64_t elements_moved = 0;
+};
+
+std::vector<JsonSample>& Samples() {
+  static std::vector<JsonSample> samples;
+  return samples;
+}
+
+const char* MergePolicyLabel(MergePolicy policy) {
+  switch (policy) {
+    case MergePolicy::kHuffman: return "huffman";
+    case MergePolicy::kBalanced: return "balanced";
+    case MergePolicy::kHeap: return "heap";
+    case MergePolicy::kLoserTree: return "loser_tree";
+  }
+  return "?";
+}
+
+// k equal-size runs of non-decreasing timestamps, fully interleaved in
+// time — the shape where every element is compared, not bulk-copied.
+std::vector<std::vector<Timestamp>> MakeEqualRuns(size_t k, size_t total,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  const size_t len = total / k;
+  std::vector<std::vector<Timestamp>> runs(k);
+  for (auto& run : runs) {
+    Timestamp v = static_cast<Timestamp>(rng.NextBelow(16));
+    run.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      v += static_cast<Timestamp>(rng.NextBelow(8));
+      run.push_back(v);
+    }
+  }
+  return runs;
+}
+
+// k runs carved from one non-decreasing timeline in bursts of mean ~64
+// elements: the shape punctuation merges actually see — each head run
+// holds mostly-contiguous slices of event-time with bursty overlap at
+// the seams — so the merged output moves in chunks, not single elements.
+std::vector<std::vector<Timestamp>> MakeBurstyRuns(size_t k, size_t total,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Timestamp>> runs(k);
+  for (auto& run : runs) run.reserve(2 * total / k);
+  Timestamp v = 0;
+  size_t produced = 0;
+  while (produced < total) {
+    auto& run = runs[rng.NextBelow(k)];
+    const size_t burst =
+        std::min<size_t>(1 + rng.NextBelow(127), total - produced);
+    for (size_t i = 0; i < burst; ++i) {
+      v += static_cast<Timestamp>(rng.NextBelow(4));
+      run.push_back(v);
+    }
+    produced += burst;
+  }
+  return runs;
+}
+
+// Best-of-reps merge throughput for one policy at one fan-in, pool and
+// scratch kept warm across reps the way a sorter keeps them across
+// punctuations.
+SortOutcome RunFanInMerge(MergePolicy policy, size_t k, size_t total,
+                          bool bursty) {
+  const auto source = bursty ? MakeBurstyRuns(k, total, BenchSeed())
+                             : MakeEqualRuns(k, total, BenchSeed());
+  size_t n = 0;
+  for (const auto& r : source) n += r.size();
+  auto less = [](Timestamp x, Timestamp y) { return x < y; };
+  MergeBufferPool<Timestamp> pool;
+  LoserTreeScratch<Timestamp> scratch;
+  MergeStats stats;
+  double best = 1e100;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto runs = source;
+    std::vector<Timestamp> out;
+    out.reserve(n);
+    stats = MergeStats{};
+    const double secs = TimeSeconds([&]() {
+      MergeRunsInto(policy, &runs, less, &out, &stats, &pool, &scratch);
+    });
+    best = std::min(best, secs);
+  }
+  SortOutcome r;
+  r.throughput_meps = Throughput(n, best);
+  r.elements_moved = stats.elements_moved;
+  return r;
+}
 
 SortOutcome RunSorter(const DatasetRef& d, ImpatienceConfig config,
                       size_t punctuation_period) {
@@ -85,13 +197,16 @@ void Run() {
       for (const auto& [policy, label] :
            {std::pair{MergePolicy::kHuffman, "Huffman"},
             std::pair{MergePolicy::kBalanced, "Balanced"},
-            std::pair{MergePolicy::kHeap, "HeapMerge"}}) {
+            std::pair{MergePolicy::kHeap, "HeapMerge"},
+            std::pair{MergePolicy::kLoserTree, "LoserTree"}}) {
         ImpatienceConfig config;
         config.merge_policy = policy;
         const SortOutcome r = RunSorter(d, config, kPeriod);
         table.PrintRow({d.name, label,
                         TablePrinter::Num(r.throughput_meps),
                         TablePrinter::Int(r.elements_moved)});
+        Samples().push_back({d.name, MergePolicyLabel(policy), 0,
+                             r.throughput_meps, r.elements_moved});
       }
     }
   }
@@ -129,6 +244,50 @@ void Run() {
                              (1 << 20))});
     }
   }
+
+  Section("Ablation 4: merge fan-in sweep, k equal runs "
+          "(pairwise cascade vs k-way loser tree)");
+  {
+    const size_t total = std::min<size_t>(n, 4 << 20);
+    TablePrinter table({"shape", "fanin", "policy", "throughput_Me/s",
+                        "elements_moved"});
+    for (const bool bursty : {true, false}) {
+      const std::string shape = bursty ? "bursty" : "interleaved";
+      for (const size_t k : {size_t{2}, size_t{4}, size_t{8}, size_t{16},
+                             size_t{64}}) {
+        for (const MergePolicy policy :
+             {MergePolicy::kHuffman, MergePolicy::kBalanced,
+              MergePolicy::kLoserTree}) {
+          const SortOutcome r = RunFanInMerge(policy, k, total, bursty);
+          table.PrintRow({shape, TablePrinter::Int(k),
+                          MergePolicyLabel(policy),
+                          TablePrinter::Num(r.throughput_meps),
+                          TablePrinter::Int(r.elements_moved)});
+          Samples().push_back({"fanin_sweep_" + shape,
+                               MergePolicyLabel(policy), k,
+                               r.throughput_meps, r.elements_moved});
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
+      "\"ablation_merge\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
+  const std::vector<JsonSample>& samples = Samples();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const JsonSample& s = samples[i];
+    std::printf(
+        "  {\"dataset\": \"%s\", \"merge_policy\": \"%s\", \"fanin\": %zu, "
+        "\"throughput_meps\": %.4f, \"elements_moved\": %llu}%s\n",
+        s.dataset.c_str(), s.merge_policy.c_str(), s.fanin,
+        s.throughput_meps,
+        static_cast<unsigned long long>(s.elements_moved),
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::printf("]}\nEND_JSON\n");
+  std::fflush(stdout);
 }
 
 }  // namespace

@@ -41,6 +41,7 @@ struct JsonSample {
   std::string dataset;
   size_t punct_freq = 0;
   std::string algorithm;
+  std::string merge_policy;  // "-" for the non-Impatience arms.
   OnlineRun run;
 };
 
@@ -49,10 +50,41 @@ std::vector<JsonSample>& Samples() {
   return samples;
 }
 
+// One column of the sweep. Impatience runs twice — the pairwise Huffman
+// cascade and the k-way loser tree — since the punctuation merge is its
+// hot path; the adapter baselines have no policy to vary.
+struct SweepArm {
+  OnlineAlgorithm algorithm;
+  const char* label;
+  const char* merge_policy;
+  ImpatienceConfig config;
+};
+
+std::vector<SweepArm> SweepArms() {
+  std::vector<SweepArm> arms;
+  for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
+    SweepArm arm;
+    arm.algorithm = algorithm;
+    arm.label = OnlineAlgorithmName(algorithm);
+    arm.merge_policy =
+        algorithm == OnlineAlgorithm::kImpatience ? "huffman" : "-";
+    arms.push_back(arm);
+    if (algorithm == OnlineAlgorithm::kImpatience) {
+      SweepArm lt = arm;
+      lt.label = "Impatience-LT";
+      lt.merge_policy = "loser_tree";
+      lt.config.merge_policy = MergePolicy::kLoserTree;
+      arms.push_back(lt);
+    }
+  }
+  return arms;
+}
+
 OnlineRun MeasureOnline(OnlineAlgorithm algorithm,
                         const std::vector<Event>& events, size_t frequency,
-                        Timestamp reorder_latency) {
-  auto sorter = MakeOnlineSorter<Event>(algorithm);
+                        Timestamp reorder_latency,
+                        const ImpatienceConfig& config = {}) {
+  auto sorter = MakeOnlineSorter<Event>(algorithm, config);
   std::vector<Event> out;
   out.reserve(std::min<size_t>(events.size(), 1 << 20));
   size_t emitted = 0;
@@ -95,23 +127,22 @@ OnlineRun MeasureOnline(OnlineAlgorithm algorithm,
 void Sweep(const std::string& title, const std::string& dataset,
            const std::vector<Event>& events, Timestamp reorder_latency) {
   Section(title);
+  const std::vector<SweepArm> arms = SweepArms();
   std::vector<std::string> headers = {"punct_freq"};
-  for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
-    headers.push_back(OnlineAlgorithmName(algorithm));
-  }
+  for (const SweepArm& arm : arms) headers.push_back(arm.label);
   headers.push_back("drop_rate");
   TablePrinter table(headers);
 
   for (const size_t freq : {10u, 100u, 1000u, 10000u, 100000u, 1000000u}) {
     std::vector<std::string> row = {TablePrinter::Int(freq)};
     uint64_t drops = 0;
-    for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
-      const OnlineRun result =
-          MeasureOnline(algorithm, events, freq, reorder_latency);
+    for (const SweepArm& arm : arms) {
+      const OnlineRun result = MeasureOnline(arm.algorithm, events, freq,
+                                             reorder_latency, arm.config);
       row.push_back(TablePrinter::Num(result.throughput_meps));
       drops = result.late_drops;  // Identical across algorithms.
       Samples().push_back(
-          {dataset, freq, OnlineAlgorithmName(algorithm), result});
+          {dataset, freq, arm.label, arm.merge_policy, result});
     }
     row.push_back(TablePrinter::Num(
         100.0 * static_cast<double>(drops) /
@@ -145,9 +176,10 @@ void Run() {
     const JsonSample& s = samples[i];
     std::printf(
         "  {\"dataset\": \"%s\", \"punct_freq\": %zu, \"algorithm\": "
-        "\"%s\", \"throughput_meps\": %.4f, \"late_drops\": %llu",
+        "\"%s\", \"merge_policy\": \"%s\", \"throughput_meps\": %.4f, "
+        "\"late_drops\": %llu",
         s.dataset.c_str(), s.punct_freq, s.algorithm.c_str(),
-        s.run.throughput_meps,
+        s.merge_policy.c_str(), s.run.throughput_meps,
         static_cast<unsigned long long>(s.run.late_drops));
     if (s.run.has_latency) {
       std::printf(

@@ -58,21 +58,19 @@ void BM_MergePolicy(benchmark::State& state, MergePolicy policy) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(k * run_len));
 }
+// Fan-in sweep k in {2,4,8,16,64} (+256 for the tail): the crossover
+// between the pairwise cascades and the single-pass loser tree.
+#define MERGE_FANIN_ARGS \
+  ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256)
 BENCHMARK_CAPTURE(BM_MergePolicy, huffman, MergePolicy::kHuffman)
-    ->Arg(4)
-    ->Arg(16)
-    ->Arg(64)
-    ->Arg(256);
+    MERGE_FANIN_ARGS;
 BENCHMARK_CAPTURE(BM_MergePolicy, balanced, MergePolicy::kBalanced)
-    ->Arg(4)
-    ->Arg(16)
-    ->Arg(64)
-    ->Arg(256);
+    MERGE_FANIN_ARGS;
 BENCHMARK_CAPTURE(BM_MergePolicy, heap, MergePolicy::kHeap)
-    ->Arg(4)
-    ->Arg(16)
-    ->Arg(64)
-    ->Arg(256);
+    MERGE_FANIN_ARGS;
+BENCHMARK_CAPTURE(BM_MergePolicy, loser_tree, MergePolicy::kLoserTree)
+    MERGE_FANIN_ARGS;
+#undef MERGE_FANIN_ARGS
 
 void BM_PartitionPhase(benchmark::State& state, bool srs) {
   const auto input = testing::BatchUploadSequence(
@@ -405,11 +403,37 @@ void BM_HeadTimesScan(benchmark::State& state, KernelLevel level) {
                           static_cast<int64_t>(n));
 }
 
+// The offline permutation gather: 8-byte records gathered through the
+// (time, index) key column, near-sequential like a nearly sorted input.
+void BM_GatherByIndex(benchmark::State& state, KernelLevel level) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(BenchSeed());
+  std::vector<int64_t> in(n);
+  for (auto& v : in) v = static_cast<int64_t>(rng.NextBelow(1u << 30));
+  std::vector<kernels::SortKey> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = kernels::SortKey{0, static_cast<uint32_t>(i)};
+  }
+  // Light disorder: ~10% of positions swapped, like a p=30 d=64 stream
+  // after the partition phase.
+  for (size_t s = 0; s < n / 10; ++s) {
+    std::swap(keys[rng.NextBelow(n)].index, keys[rng.NextBelow(n)].index);
+  }
+  std::vector<int64_t> out(n);
+  for (auto _ : state) {
+    kernels::GatherByIndex(in.data(), keys.data(), n, out.data(), level);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
 void RegisterKernelBenchmarks() {
   std::vector<KernelLevel> levels = {KernelLevel::kScalar};
   const KernelLevel best = DetectKernelLevel();
   if (best >= KernelLevel::kSSE2) levels.push_back(KernelLevel::kSSE2);
   if (best >= KernelLevel::kAVX2) levels.push_back(KernelLevel::kAVX2);
+  if (best >= KernelLevel::kAVX512) levels.push_back(KernelLevel::kAVX512);
 
   for (const size_t k : {size_t{8}, size_t{64}, size_t{1024}}) {
     benchmark::RegisterBenchmark(
@@ -470,6 +494,10 @@ void RegisterKernelBenchmarks() {
         (std::string("BM_HeadTimesScan/") + KernelLevelName(level)).c_str(),
         [level](benchmark::State& s) { BM_HeadTimesScan(s, level); })
         ->Arg(4096);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_GatherByIndex/") + KernelLevelName(level)).c_str(),
+        [level](benchmark::State& s) { BM_GatherByIndex(s, level); })
+        ->Arg(1 << 20);
   }
 }
 

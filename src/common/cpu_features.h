@@ -1,11 +1,11 @@
 // Runtime CPU-feature dispatch for the hot-path kernels.
 //
-// The kernels in sort/kernels.h come in up to three implementations —
-// portable scalar, SSE2, and AVX2 — selected once per process. Every level
-// computes byte-identical results; the dispatch only picks how fast. The
-// active level is min(what the CPU supports, IMPATIENCE_KERNEL_LEVEL if
-// set), so tests and sanitizer builds can force the portable path and CI
-// can exercise every level on one machine.
+// The kernels in sort/kernels.h come in up to four implementations —
+// portable scalar, SSE2, AVX2, and AVX-512 — selected once per process.
+// Every level computes byte-identical results; the dispatch only picks how
+// fast. The active level is min(what the CPU supports,
+// IMPATIENCE_KERNEL_LEVEL if set), so tests and sanitizer builds can force
+// the portable path and CI can exercise every level on one machine.
 
 #ifndef IMPATIENCE_COMMON_CPU_FEATURES_H_
 #define IMPATIENCE_COMMON_CPU_FEATURES_H_
@@ -18,18 +18,29 @@ enum class KernelLevel : int {
   kScalar = 0,  // Portable C++; the reference implementation.
   kSSE2 = 1,    // 128-bit vectors (baseline on x86-64).
   kAVX2 = 2,    // 256-bit vectors.
+  kAVX512 = 3,  // 512-bit vectors + mask registers (needs avx512f).
 };
 
 // Best level this CPU supports (kScalar on non-x86 builds).
 KernelLevel DetectKernelLevel();
 
 // The level the process runs at: DetectKernelLevel() clamped by the
-// IMPATIENCE_KERNEL_LEVEL environment variable ("scalar", "sse2", "avx2")
-// if present. Computed once on first call, then cached; unknown values are
-// ignored with a warning to stderr.
+// IMPATIENCE_KERNEL_LEVEL environment variable ("scalar", "sse2", "avx2",
+// "avx512") if present. Computed once on first call, then cached; unknown
+// values are ignored with a warning to stderr.
 KernelLevel ActiveKernelLevel();
 
-// "scalar" / "sse2" / "avx2".
+// The pure resolution rule behind ActiveKernelLevel(), exposed so the
+// clamp-don't-crash behavior is unit-testable without a process restart:
+// given the env override string (nullptr/empty = unset) and the detected
+// CPU level, returns the level the process must dispatch at. Requesting a
+// level above `detected` degrades to `detected` (never dispatch an ISA the
+// CPU lacks — the AVX-512 → AVX2 fallback seam); unknown names are
+// ignored. When `warn` is true the degradation paths log to stderr.
+KernelLevel ResolveKernelLevel(const char* env, KernelLevel detected,
+                               bool warn = false);
+
+// "scalar" / "sse2" / "avx2" / "avx512".
 const char* KernelLevelName(KernelLevel level);
 
 // Parses a level name as accepted by IMPATIENCE_KERNEL_LEVEL. Returns

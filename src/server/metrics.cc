@@ -263,6 +263,10 @@ std::string RenderMetricsText(const ServerMetrics& m) {
              [](const ShardMetrics& s) { return s.sorter.removed_runs; });
   TextFamily(&out, m, "impatience_shard_sorter_parallel_merges",
              [](const ShardMetrics& s) { return s.sorter.parallel_merges; });
+  TextFamily(&out, m, "impatience_shard_sorter_loser_tree_merges",
+             [](const ShardMetrics& s) {
+               return s.sorter.loser_tree_merges;
+             });
   TextFamily(&out, m, "impatience_shard_sorter_elements_moved",
              [](const ShardMetrics& s) { return s.sorter.merge.elements_moved; });
   TextFamily(&out, m, "impatience_shard_sorter_disjoint_concats",
@@ -285,6 +289,10 @@ std::string RenderMetricsText(const ServerMetrics& m) {
   TextHistogramFamily(&out, m, "impatience_shard_drain_stall_ns",
                       [](const ShardMetrics& s) -> const HistogramSnapshot& {
                         return s.drain_stall;
+                      });
+  TextHistogramFamily(&out, m, "impatience_shard_kway_fanin",
+                      [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                        return s.sorter.kway_fanin;
                       });
   TextFamily(&out, m, "impatience_shard_max_watermark_lag",
              [](const ShardMetrics& s) {
@@ -350,6 +358,8 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
             s.sorter.removed_runs);
     Appendf(&out, "\"sorter_parallel_merges\":%" PRIu64 ",",
             s.sorter.parallel_merges);
+    Appendf(&out, "\"sorter_loser_tree_merges\":%" PRIu64 ",",
+            s.sorter.loser_tree_merges);
     Appendf(&out, "\"sorter_elements_moved\":%" PRIu64 ",",
             s.sorter.merge.elements_moved);
     Appendf(&out, "\"sorter_disjoint_concats\":%" PRIu64 ",",
@@ -361,6 +371,8 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
     AppendJsonHistogram(&out, "queue_wait_ns", s.queue_wait);
     out += ",";
     AppendJsonHistogram(&out, "drain_stall_ns", s.drain_stall);
+    out += ",";
+    AppendJsonHistogram(&out, "kway_fanin", s.sorter.kway_fanin);
     out += ",";
     Appendf(&out, "\"max_watermark_lag\":%" PRId64 ",", s.max_watermark_lag);
     out += "\"watermarks\":[";
@@ -493,6 +505,10 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
       "Punctuation merges executed on the thread pool.",
       [](const ShardMetrics& s) { return s.sorter.parallel_merges; });
   PromShardFamily(
+      &out, m, "impatience_shard_sorter_loser_tree_merges", "counter",
+      "Punctuation merges executed by the k-way loser tree.",
+      [](const ShardMetrics& s) { return s.sorter.loser_tree_merges; });
+  PromShardFamily(
       &out, m, "impatience_shard_sorter_elements_moved", "counter",
       "Elements moved by punctuation merges.",
       [](const ShardMetrics& s) { return s.sorter.merge.elements_moved; });
@@ -516,6 +532,11 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
                     "Drain-loop stall applying one frame to the pipeline.",
                     [](const ShardMetrics& s) -> const HistogramSnapshot& {
                       return s.drain_stall;
+                    });
+  PromSummaryFamily(&out, m, "impatience_shard_kway_fanin",
+                    "Head-run fan-in of each loser-tree punctuation merge.",
+                    [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                      return s.sorter.kway_fanin;
                     });
 
   Appendf(&out,

@@ -45,7 +45,8 @@ namespace impatience {
 // Tuning and ablation switches for ImpatienceSorter.
 struct ImpatienceConfig {
   // Merge head runs smallest-two-first (§III-E1). kBalanced reproduces the
-  // "Impt w/o HM" ablation; kHeap is a further baseline.
+  // "Impt w/o HM" ablation; kHeap is a further baseline; kLoserTree runs
+  // the byte-identical k-way tournament merge in a single output pass.
   MergePolicy merge_policy = MergePolicy::kHuffman;
 
   // Fast path that retries the run used by the previous insertion before
@@ -79,6 +80,9 @@ struct ImpatienceCounters {
   uint64_t compactions = 0;     // Run storage compactions.
   uint64_t parallel_merges = 0;  // Punctuation merges run on the pool.
   uint64_t merge_tasks = 0;      // Pool tasks across all parallel merges.
+  // Punctuation merges executed by the k-way loser tree (the kLoserTree
+  // policy's multi-run path).
+  uint64_t loser_tree_merges = 0;
   // Active kernel dispatch level (KernelLevel as an integer) — a gauge,
   // not an accumulator: the sorter stamps it at construction and after
   // every reset, and aggregation takes the max across shards.
@@ -92,6 +96,11 @@ struct ImpatienceCounters {
   // buffered since the previous emit to emit completion — how long data
   // waited inside the sorter.
   HistogramSnapshot ingest_to_emit;
+  // One sample per loser-tree punctuation merge: the number of head runs
+  // the tree merged (its fan-in). The distribution shows whether the
+  // workload's disorder actually produces the wide merges the tree is
+  // built for.
+  HistogramSnapshot kway_fanin;
 
   // Zeroes every counter. Long-lived servers snapshot-and-reset between
   // scrapes instead of reconstructing sorters.
@@ -106,12 +115,14 @@ struct ImpatienceCounters {
     compactions += other.compactions;
     parallel_merges += other.parallel_merges;
     merge_tasks += other.merge_tasks;
+    loser_tree_merges += other.loser_tree_merges;
     kernel_level = std::max(kernel_level, other.kernel_level);
     merge.elements_moved += other.merge.elements_moved;
     merge.binary_merges += other.merge.binary_merges;
     merge.disjoint_concats += other.merge.disjoint_concats;
     punct_to_emit += other.punct_to_emit;
     ingest_to_emit += other.ingest_to_emit;
+    kway_fanin += other.kway_fanin;
     return *this;
   }
 };
@@ -241,8 +252,12 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
           counters_.merge_tasks += tasks;
         }
       } else {
+        if (config_.merge_policy == MergePolicy::kLoserTree) {
+          ++counters_.loser_tree_merges;
+          counters_.kway_fanin.Record(heads.size());
+        }
         MergeRunsInto(config_.merge_policy, &heads, less, out,
-                      &counters_.merge, &pool_);
+                      &counters_.merge, &pool_, &scratch_);
       }
     }
 
@@ -268,11 +283,13 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   size_t buffered_count() const override { return buffered_; }
 
   size_t MemoryBytes() const override {
+    // pool_.MemoryBytes() covers ping-pong merge buffers both pooled and
+    // checked out; scratch_ covers the loser-tree nodes and cursors.
     size_t bytes = tails_.capacity() * sizeof(Timestamp) +
                    head_times_.capacity() * sizeof(Timestamp) +
                    runs_.capacity() * sizeof(Run) +
                    cut_runs_.capacity() * sizeof(CutRange) +
-                   pool_.MemoryBytes();
+                   pool_.MemoryBytes() + scratch_.MemoryBytes();
     for (const Run& run : runs_) bytes += run.items.capacity() * sizeof(T);
     return bytes;
   }
@@ -396,6 +413,8 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   uint64_t late_drops_ = 0;
   ImpatienceCounters counters_;
   MergeBufferPool<T> pool_;
+  // Loser-tree state reused across punctuations (kLoserTree policy).
+  LoserTreeScratch<T> scratch_;
 };
 
 }  // namespace impatience

@@ -27,6 +27,7 @@
 #include "common/timestamp.h"
 #include "common/trace.h"
 #include "sort/kernels.h"
+#include "sort/merge.h"
 #include "sort/sorter.h"
 
 namespace impatience {
@@ -72,16 +73,20 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
         sorted_ = std::move(unsorted_);
         head_ = 0;
       } else {
-        // Merge the two sorted buffers into a fresh sorted buffer with the
-        // kernel merge (same stable order as std::merge — ties keep the
-        // old sorted buffer first); when the new batch lies entirely past
-        // the buffered tail, the common case for a mostly-ordered stream,
-        // the merge degenerates to two bulk copies.
-        std::vector<T> merged;
+        // Merge the two sorted buffers into a pool buffer with the kernel
+        // merge (same stable order as std::merge — ties keep the old
+        // sorted buffer first); when the new batch lies entirely past the
+        // buffered tail, the common case for a mostly-ordered stream, the
+        // merge degenerates to two bulk copies. The retired sorted buffer
+        // goes back to the pool, so steady-state punctuations ping-pong
+        // between two allocations instead of growing a fresh vector each
+        // time.
+        std::vector<T> merged = pool_.Acquire(SortedSize() + unsorted_.size());
         kernels::MergeIntoVector(
             sorted_.data() + head_, sorted_.data() + sorted_.size(),
             unsorted_.data(), unsorted_.data() + unsorted_.size(), less,
             &merged);
+        pool_.Release(std::move(sorted_));
         sorted_ = std::move(merged);
         head_ = 0;
       }
@@ -119,7 +124,12 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
   }
 
   size_t MemoryBytes() const override {
-    return sorted_.capacity() * sizeof(T) + unsorted_.capacity() * sizeof(T);
+    // `sorted_` is a pool buffer held across punctuations (it stays
+    // outstanding in the pool), so count it once via the vector itself and
+    // add only the pool's cached free buffer — the ping-pong partner — on
+    // top.
+    return sorted_.capacity() * sizeof(T) + unsorted_.capacity() * sizeof(T) +
+           (pool_.MemoryBytes() - pool_.OutstandingBytes());
   }
 
   uint64_t late_drops() const override { return late_drops_; }
@@ -144,6 +154,7 @@ class IncrementalAdapter : public IncrementalSorter<T, TimeOf> {
   std::vector<T> sorted_;  // Sorted buffer; [0, head_) already emitted.
   size_t head_ = 0;
   std::vector<T> unsorted_;
+  MergeBufferPool<T> pool_;  // Ping-pong partner for the punctuation merge.
   Timestamp last_punctuation_ = kMinTimestamp;
   uint64_t late_drops_ = 0;
   uint64_t ingest_window_start_ns_ = 0;

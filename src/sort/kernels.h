@@ -3,9 +3,10 @@
 // Every event the system ingests crosses exactly two inner loops: the
 // tails search in the patience/impatience partition phase and the two-way
 // merge at punctuation time. This header owns those loops (plus the
-// punctuation-time run-boundary scans) as standalone kernels, each in up
-// to three implementations — portable scalar, SSE2, AVX2 — selected by a
-// KernelLevel (see common/cpu_features.h).
+// punctuation-time run-boundary scans and the offline permutation gather)
+// as standalone kernels, each in up to four implementations — portable
+// scalar, SSE2, AVX2, AVX-512 — selected by a KernelLevel (see
+// common/cpu_features.h).
 //
 // Contract: every level computes byte-identical results, including the
 // order of equal timestamps. Searches return exact indices (the predicates
@@ -235,6 +236,67 @@ __attribute__((target("avx2"))) inline size_t NextIndexLEAvx2(
   return n;
 }
 
+// 8-bit mask, bit i set iff data[i] > t. AVX-512 compares produce mask
+// registers directly — no movemask round trip through a vector lane.
+__attribute__((target("avx512f"))) inline unsigned MaskGt8(
+    const Timestamp* data, __m512i vt) {
+  const __m512i v = _mm512_loadu_si512(data);
+  return static_cast<unsigned>(_mm512_cmpgt_epi64_mask(v, vt));
+}
+
+__attribute__((target("avx512f"))) inline size_t FindFirstLEDescAvx512(
+    const Timestamp* data, size_t n, Timestamp t) {
+  const __m512i vt = _mm512_set1_epi64(t);
+  const size_t vec = (n < kTailsProbe ? n : kTailsProbe) & ~size_t{7};
+  for (size_t i = 0; i < vec; i += 8) {
+    const unsigned gt = MaskGt8(data + i, vt);
+    if (gt != 0xFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~gt & 0xFFu));
+    }
+  }
+  if (n <= kTailsProbe) {
+    for (size_t i = vec; i < n; ++i) {
+      if (data[i] <= t) return i;
+    }
+    return n;
+  }
+  return BranchlessDescLE(data, kTailsProbe, n - kTailsProbe, t);
+}
+
+__attribute__((target("avx512f"))) inline size_t UpperBoundAscGTAvx512(
+    const Timestamp* data, size_t lo, size_t hi, Timestamp t) {
+  size_t len = hi - lo;
+  while (len > 64) {
+    const size_t half = len >> 1;
+    const bool le = data[lo + half] <= t;
+    lo = le ? lo + half + 1 : lo;
+    len = le ? len - half - 1 : half;
+  }
+  const __m512i vt = _mm512_set1_epi64(t);
+  size_t count = 0;
+  size_t i = lo;
+  for (; i + 8 <= lo + len; i += 8) {
+    const unsigned gt = MaskGt8(data + i, vt);
+    count += static_cast<size_t>(__builtin_popcount(~gt & 0xFFu));
+  }
+  for (; i < lo + len; ++i) count += data[i] <= t ? 1 : 0;
+  return lo + count;
+}
+
+__attribute__((target("avx512f"))) inline size_t NextIndexLEAvx512(
+    const Timestamp* data, size_t begin, size_t n, Timestamp t) {
+  const __m512i vt = _mm512_set1_epi64(t);
+  size_t i = begin;
+  for (; i + 8 <= n; i += 8) {
+    const unsigned le = ~MaskGt8(data + i, vt) & 0xFFu;
+    if (le != 0) return i + static_cast<size_t>(__builtin_ctz(le));
+  }
+  for (; i < n; ++i) {
+    if (data[i] <= t) return i;
+  }
+  return n;
+}
+
 #endif  // IMPATIENCE_HAVE_X86_KERNELS
 
 }  // namespace detail
@@ -247,6 +309,9 @@ __attribute__((target("avx2"))) inline size_t NextIndexLEAvx2(
 inline size_t FindFirstLEDesc(const Timestamp* data, size_t n, Timestamp t,
                               KernelLevel level) {
 #if IMPATIENCE_HAVE_X86_KERNELS
+  if (level == KernelLevel::kAVX512) {
+    return detail::FindFirstLEDescAvx512(data, n, t);
+  }
   if (level == KernelLevel::kAVX2) {
     return detail::FindFirstLEDescAvx2(data, n, t);
   }
@@ -265,6 +330,9 @@ inline size_t FindFirstLEDesc(const Timestamp* data, size_t n, Timestamp t,
 inline size_t UpperBoundAscGT(const Timestamp* data, size_t lo, size_t hi,
                               Timestamp t, KernelLevel level) {
 #if IMPATIENCE_HAVE_X86_KERNELS
+  if (level == KernelLevel::kAVX512) {
+    return detail::UpperBoundAscGTAvx512(data, lo, hi, t);
+  }
   if (level == KernelLevel::kAVX2) {
     return detail::UpperBoundAscGTAvx2(data, lo, hi, t);
   }
@@ -283,6 +351,9 @@ inline size_t UpperBoundAscGT(const Timestamp* data, size_t lo, size_t hi,
 inline size_t NextIndexLE(const Timestamp* data, size_t begin, size_t n,
                           Timestamp t, KernelLevel level) {
 #if IMPATIENCE_HAVE_X86_KERNELS
+  if (level == KernelLevel::kAVX512) {
+    return detail::NextIndexLEAvx512(data, begin, n, t);
+  }
   if (level == KernelLevel::kAVX2) {
     return detail::NextIndexLEAvx2(data, begin, n, t);
   }
@@ -317,6 +388,89 @@ inline size_t UpperBoundByTime(const T* data, size_t lo, size_t hi,
     }
     return lo;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Offline permutation gather.
+
+// The sort key the offline patience/impatience paths merge: a timestamp
+// plus the record's original position. Lives here so the gather kernel can
+// see its layout (16 bytes, index at byte offset 8).
+struct SortKey {
+  Timestamp time;
+  uint32_t index;
+};
+static_assert(sizeof(SortKey) == 16, "gather kernel assumes 16-byte keys");
+
+namespace detail {
+
+template <typename T>
+inline void GatherByIndexScalar(const T* in, const SortKey* keys, size_t n,
+                                T* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = in[keys[i].index];
+}
+
+#if IMPATIENCE_HAVE_X86_KERNELS
+
+// GCC's avx512fintrin.h seeds _mm512_i32gather_epi64's masked-out lanes
+// with _mm512_undefined_epi32(), which -Wmaybe-uninitialized flags; the
+// mask is all-ones here so no undefined lane survives.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Gathers 8 records per iteration: two 512-bit loads pull 8 SortKeys, a
+// cross-register dword permute packs their index fields into one ymm, and
+// a hardware gather fetches the records. Only valid for 8-byte records
+// with indices below 2^31 (the gather's index lanes are signed 32-bit).
+// Returns the number of records gathered (the largest multiple of 8 ≤ n);
+// the caller finishes the ragged tail with typed scalar copies.
+__attribute__((target("avx512f"))) inline size_t GatherByIndexAvx512(
+    const void* in, const SortKey* keys, size_t n, void* out) {
+  // Dword positions of the 8 index fields across two consecutive zmm
+  // loads: each SortKey spans 4 dwords with the index in dword 2; lanes
+  // 16+ select from the second register.
+  const __m512i pick = _mm512_setr_epi32(2, 6, 10, 14, 18, 22, 26, 30, 0,
+                                         0, 0, 0, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i k0 = _mm512_loadu_si512(keys + i);
+    const __m512i k1 = _mm512_loadu_si512(keys + i + 4);
+    const __m256i idx =
+        _mm512_castsi512_si256(_mm512_permutex2var_epi32(k0, pick, k1));
+    const __m512i v = _mm512_i32gather_epi64(idx, in, 8);
+    _mm512_storeu_si512(static_cast<char*>(out) + i * 8, v);
+  }
+  return i;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // IMPATIENCE_HAVE_X86_KERNELS
+
+}  // namespace detail
+
+// Permutation gather: out[i] = in[keys[i].index] for i in [0, n). The
+// offline sorts' final pass — runs are built and merged over SortKeys and
+// the records move exactly once, here. AVX-512 vectorizes the gather for
+// 8-byte trivially-copyable records; other shapes take the scalar loop.
+// `in` and `out` must not alias.
+template <typename T>
+inline void GatherByIndex(const T* in, const SortKey* keys, size_t n,
+                          T* out, KernelLevel level) {
+#if IMPATIENCE_HAVE_X86_KERNELS
+  if constexpr (sizeof(T) == 8 && std::is_trivially_copyable_v<T>) {
+    // Signed 32-bit index lanes: fall back when offsets could overflow.
+    if (level == KernelLevel::kAVX512 &&
+        n <= static_cast<size_t>(INT32_MAX)) {
+      const size_t done = detail::GatherByIndexAvx512(in, keys, n, out);
+      for (size_t i = done; i < n; ++i) out[i] = in[keys[i].index];
+      return;
+    }
+  }
+#else
+  (void)level;
+#endif
+  detail::GatherByIndexScalar(in, keys, n, out);
 }
 
 // ---------------------------------------------------------------------------

@@ -37,47 +37,70 @@ namespace impatience {
 
 // Recycles merge buffers so repeated merges (one per punctuation, or a
 // whole offline merge tree) do not thrash the allocator.
+//
+// Accounting: the pool tracks both the bytes it is holding (free list) and
+// the bytes currently checked out via Acquire (outstanding), so
+// MemoryBytes() covers the ping-pong buffers a merge is actively writing,
+// not just the ones at rest. Release clamps against buffers the pool never
+// handed out (merges return consumed input runs here so they recycle), and
+// PeakBytes() keeps the high-water mark of free + outstanding for
+// memory-bound assertions.
 template <typename T>
 class MergeBufferPool {
  public:
   // Returns an empty vector with at least `capacity` reserved.
   std::vector<T> Acquire(size_t capacity) {
-    if (!free_.empty()) {
-      std::vector<T> buf = std::move(free_.back());
-      free_.pop_back();
-      buf.clear();
-      buf.reserve(capacity);
-      return buf;
-    }
     std::vector<T> buf;
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+      free_bytes_ -= buf.capacity() * sizeof(T);
+      buf.clear();
+    }
     buf.reserve(capacity);
+    outstanding_bytes_ += buf.capacity() * sizeof(T);
+    if (free_bytes_ + outstanding_bytes_ > peak_bytes_) {
+      peak_bytes_ = free_bytes_ + outstanding_bytes_;
+    }
     return buf;
   }
 
   void Release(std::vector<T>&& buf) {
-    if (buf.capacity() > 0) free_.push_back(std::move(buf));
+    const size_t bytes = buf.capacity() * sizeof(T);
+    outstanding_bytes_ -= std::min(outstanding_bytes_, bytes);
+    if (bytes > 0) {
+      free_bytes_ += bytes;
+      if (free_bytes_ + outstanding_bytes_ > peak_bytes_) {
+        peak_bytes_ = free_bytes_ + outstanding_bytes_;
+      }
+      free_.push_back(std::move(buf));
+    }
   }
 
-  size_t MemoryBytes() const {
-    size_t bytes = 0;
-    for (const std::vector<T>& buf : free_) {
-      bytes += buf.capacity() * sizeof(T);
-    }
-    return bytes;
-  }
+  // Bytes reserved across pooled and checked-out buffers.
+  size_t MemoryBytes() const { return free_bytes_ + outstanding_bytes_; }
+
+  // Bytes checked out via Acquire and not yet Released (zero once a merge
+  // that pools its buffers has completed).
+  size_t OutstandingBytes() const { return outstanding_bytes_; }
+
+  // High-water mark of MemoryBytes() over the pool's lifetime.
+  size_t PeakBytes() const { return peak_bytes_; }
 
   // Frees pooled buffers until at most `max_bytes` are retained, so a pool
   // sized by a burst does not hold that memory forever.
   void Trim(size_t max_bytes) {
-    size_t bytes = MemoryBytes();
-    while (bytes > max_bytes && !free_.empty()) {
-      bytes -= free_.back().capacity() * sizeof(T);
+    while (free_bytes_ > max_bytes && !free_.empty()) {
+      free_bytes_ -= free_.back().capacity() * sizeof(T);
       free_.pop_back();
     }
   }
 
  private:
   std::vector<std::vector<T>> free_;
+  size_t free_bytes_ = 0;
+  size_t outstanding_bytes_ = 0;
+  size_t peak_bytes_ = 0;
 };
 
 namespace merge_internal {
@@ -125,16 +148,29 @@ T* BinaryMergeToPtr(const T* pa, const T* ea, const T* pb, const T* eb,
 // Statistics describing the work a merge performed; used by ablation
 // benchmarks to quantify the benefit of the Huffman order.
 struct MergeStats {
-  // Total elements moved across all binary merges (the quantity the
-  // Huffman order minimizes).
+  // Total elements moved across all merge steps (the quantity the Huffman
+  // order minimizes). For the binary cascades this is the sum of both
+  // input sizes per merge; for the k-way loser tree it is the actual move
+  // count — each element once per ping-pong pass. ParallelMergeRunsInto
+  // reports the plan-phase (binary-cascade) figure even when it executes
+  // plan subtrees as k-way leaf tasks, so the Huffman cost model stays
+  // comparable across execution strategies.
   uint64_t elements_moved = 0;
-  // Number of binary merges performed.
+  // Number of merge steps: binary merges for the cascades, tree passes
+  // for the k-way loser tree (one per fan-in group per pass).
   uint64_t binary_merges = 0;
-  // Binary merges resolved by the disjoint-run fast path (two bulk copies,
-  // no select loop). Unlike the fields above, this depends on execution
-  // strategy: the parallel merge splits the final merge in two, and each
-  // half classifies independently, so the count may differ from the
-  // sequential merge of the same runs.
+  // Merge steps resolved by a disjoint-run fast path. For binary merges:
+  // the two ranges did not overlap and concatenated as two bulk copies.
+  // For k-way loser-tree passes: a run the tree emitted start-to-end in a
+  // single bulk copy, i.e. it was disjoint from everything still
+  // unmerged when it won (disjoint prefix runs each count once). Unlike
+  // the fields above, this counter is execution-dependent: the parallel
+  // merge splits the final merge in two and each half classifies
+  // independently, a k-way pass can see disjointness a binary cascade
+  // of the same runs would not (and vice versa), and the tree's adaptive
+  // gallop may emit a disjoint run element-by-element when earlier short
+  // chunks raised its gallop threshold — so the k-way figure is a lower
+  // bound, and counts are only comparable within one merge strategy.
   uint64_t disjoint_concats = 0;
 };
 
@@ -188,9 +224,13 @@ void HuffmanMergeInto(std::vector<std::vector<T>>* runs, Less less,
       ++stats->binary_merges;
     }
     if (heap.empty()) {
-      // Final merge: write straight into the caller's output.
+      // Final merge: write straight into the caller's output. The inputs
+      // are consumed, so recycle them (and settle the pool's outstanding
+      // accounting for intermediates acquired above).
       const bool disjoint = BinaryMergeInto(rs[a], rs[b], less, out);
       if (stats != nullptr && disjoint) ++stats->disjoint_concats;
+      pool->Release(std::move(rs[a]));
+      pool->Release(std::move(rs[b]));
       break;
     }
     std::vector<T> merged = pool->Acquire(rs[a].size() + rs[b].size());
@@ -202,6 +242,318 @@ void HuffmanMergeInto(std::vector<std::vector<T>>* runs, Less less,
     heap.push(a);
   }
   rs.clear();
+}
+
+// ---------------------------------------------------------------------------
+// k-way loser-tree merge.
+//
+// The Huffman cascade minimizes element moves but still writes and re-reads
+// every intermediate result once per tree level. A tournament (loser) tree
+// merges k runs in a single output pass with O(log k) comparisons per
+// element: tree[1..k-1] stores the run that lost each match, tree[0] the
+// overall winner, and emitting the winner replays only its leaf-to-root
+// path. Keying the tree by (element, run rank) — where rank is the run's
+// in-order position in the Huffman merge-plan tree — makes the output
+// byte-identical to the pairwise HuffmanMergeInto cascade: two runs' ties
+// resolve by which side of their lowest common ancestor they sit on, and
+// the in-order traversal linearizes exactly those decisions.
+
+// Fan-in cap per tree pass: beyond this the tree and the k run heads stop
+// fitting in L1/L2 and comparisons start missing cache, so wider merges run
+// as multiple passes over ping-pong buffers drawn from the MergeBufferPool
+// (consecutive-rank grouping keeps each pass byte-identical).
+inline constexpr size_t kLoserTreeMaxFanIn = 64;
+
+// Reusable loser-tree state: the loser array, the winner bracket used to
+// (re)build it, and the per-run cursors. Kept by the sorters across
+// punctuations so steady-state merges allocate nothing; MemoryBytes() feeds
+// the owners' memory accounting.
+template <typename T>
+struct LoserTreeScratch {
+  std::vector<int32_t> tree;     // Losers; tree[0] holds the winner.
+  std::vector<int32_t> winners;  // Winner bracket, build only.
+  std::vector<const T*> begin;   // Original run starts (concat detection).
+  std::vector<const T*> cur;     // Next unmerged element per run.
+  std::vector<const T*> end;     // One past each run.
+
+  size_t MemoryBytes() const {
+    return (tree.capacity() + winners.capacity()) * sizeof(int32_t) +
+           (begin.capacity() + cur.capacity() + end.capacity()) *
+               sizeof(const T*);
+  }
+};
+
+namespace merge_internal {
+
+// In-order leaf ranks of the Huffman merge-plan tree. Replays the exact
+// size heap HuffmanMergeInto drives (same comparator results, same
+// push/pop sequence, so the same plan even through priority_queue tie
+// behavior), then walks the plan tree left-to-right. Run i's elements
+// precede run j's on cross-run ties iff (*rank)[i] < (*rank)[j] — the
+// linearization of every stability decision the pairwise cascade makes.
+// `sizes` is taken by value and consumed.
+inline void ComputeHuffmanRanks(std::vector<size_t> sizes,
+                                std::vector<uint32_t>* rank) {
+  const size_t k = sizes.size();
+  rank->resize(k);
+  if (k <= 1) {
+    if (k == 1) (*rank)[0] = 0;
+    return;
+  }
+  // Child ids: [0, k) = input run, >= k = plan node id-k.
+  struct PlanNode {
+    int32_t left;
+    int32_t right;
+  };
+  std::vector<PlanNode> plan;
+  plan.reserve(k - 1);
+  std::vector<int32_t> slot(k);
+  for (size_t i = 0; i < k; ++i) slot[i] = static_cast<int32_t>(i);
+  auto size_greater = [&sizes](size_t a, size_t b) {
+    return sizes[a] > sizes[b];
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(size_greater)>
+      heap(size_greater);
+  for (size_t i = 0; i < k; ++i) heap.push(i);
+  for (;;) {
+    const size_t a = heap.top();
+    heap.pop();
+    const size_t b = heap.top();
+    heap.pop();
+    plan.push_back(PlanNode{slot[a], slot[b]});
+    if (heap.empty()) break;
+    sizes[a] += sizes[b];
+    slot[a] = static_cast<int32_t>(k + plan.size() - 1);
+    heap.push(a);
+  }
+  uint32_t next_rank = 0;
+  std::vector<int32_t> stack;
+  stack.push_back(static_cast<int32_t>(k + plan.size() - 1));
+  while (!stack.empty()) {
+    const int32_t id = stack.back();
+    stack.pop_back();
+    if (id < static_cast<int32_t>(k)) {
+      (*rank)[id] = next_rank++;
+      continue;
+    }
+    const PlanNode& nd = plan[id - static_cast<int32_t>(k)];
+    stack.push_back(nd.right);  // Left child on top: visited first.
+    stack.push_back(nd.left);
+  }
+}
+
+// One loser-tree pass: merges the k rank-ordered runs `slots[0..k)` into
+// `out` (appended). Cross-run ties resolve by slot order, so the caller
+// must present runs in tie-break order (Huffman rank, or any order whose
+// stability it wants). Does not consume the run vectors. Only
+// `stats->disjoint_concats` is updated here (a run emitted start-to-end in
+// one bulk copy was disjoint from everything then unmerged); callers
+// account moves and pass counts themselves.
+template <typename T, typename Less>
+void LoserTreePass(std::vector<T>* const* slots, size_t k, Less less,
+                   std::vector<T>* out, MergeStats* stats,
+                   LoserTreeScratch<T>* scratch) {
+  size_t total = 0;
+  for (size_t i = 0; i < k; ++i) total += slots[i]->size();
+  out->reserve(out->size() + total);
+  if (k == 0) return;
+  if (k == 1) {
+    out->insert(out->end(), slots[0]->begin(), slots[0]->end());
+    return;
+  }
+  LoserTreeScratch<T>& sc = *scratch;
+  sc.begin.resize(k);
+  sc.cur.resize(k);
+  sc.end.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    sc.begin[i] = slots[i]->data();
+    sc.cur[i] = sc.begin[i];
+    sc.end[i] = sc.begin[i] + slots[i]->size();
+  }
+  // True when slot i's current element must be emitted before slot j's:
+  // smaller element first, exhausted runs last, ties to the lower slot.
+  auto beats = [&sc, &less](int32_t i, int32_t j) {
+    if (sc.cur[j] == sc.end[j]) return sc.cur[i] != sc.end[i];
+    if (sc.cur[i] == sc.end[i]) return false;
+    if (less(*sc.cur[i], *sc.cur[j])) return true;
+    if (less(*sc.cur[j], *sc.cur[i])) return false;
+    return i < j;
+  };
+  // Build: winner bracket over the implicit tree with leaves at
+  // [k, 2k); each internal node keeps its loser, promotes its winner.
+  sc.tree.resize(k);
+  sc.winners.resize(2 * k);
+  for (size_t i = 0; i < k; ++i) {
+    sc.winners[k + i] = static_cast<int32_t>(i);
+  }
+  for (size_t n = k - 1; n >= 1; --n) {
+    const int32_t a = sc.winners[2 * n];
+    const int32_t b = sc.winners[2 * n + 1];
+    if (beats(a, b)) {
+      sc.winners[n] = a;
+      sc.tree[n] = b;
+    } else {
+      sc.winners[n] = b;
+      sc.tree[n] = a;
+    }
+  }
+  int32_t w = sc.winners[1];
+  sc.tree[0] = w;
+  // Adaptive main loop, timsort-style. The lean path emits one element
+  // and replays the winner's leaf-to-root path — the textbook log2(k)
+  // compares per element, which is all a finely interleaved input can
+  // ever pay. A gallop attempt additionally walks the path for the
+  // runner-up (the best run the winner defeated) and bulk-copies the
+  // winner's entire lead over it in one chunk, which is how runs with
+  // temporal locality — the punctuation-merge common case — move at
+  // memcpy speed. `min_streak` prices the attempt: it starts optimistic
+  // (gallop immediately, so a time-disjoint run is emitted start-to-end
+  // in its first chunk), short chunks raise the bar until a run must win
+  // that many single steps in a row to earn another attempt, and long
+  // chunks lower it again.
+  constexpr ptrdiff_t kGallopWin = 8;     // Chunk length that pays.
+  constexpr int32_t kMaxMinStreak = 31;   // Attempt-rate floor, 1/31.
+  int32_t min_streak = 0;
+  int32_t streak = 0;
+  while (sc.cur[w] != sc.end[w]) {
+    if (streak < min_streak) {
+      out->push_back(*sc.cur[w]);
+      ++sc.cur[w];
+      int32_t c = w;
+      for (size_t t = (k + static_cast<size_t>(w)) >> 1; t >= 1; t >>= 1) {
+        if (beats(sc.tree[t], c)) std::swap(sc.tree[t], c);
+      }
+      sc.tree[0] = c;
+      streak = c == w ? streak + 1 : 0;
+      w = c;
+      continue;
+    }
+    // Runner-up: min over the losers stored on the winner's path.
+    int32_t ru = -1;
+    for (size_t t = (k + static_cast<size_t>(w)) >> 1; t >= 1; t >>= 1) {
+      if (ru == -1 || beats(sc.tree[t], ru)) ru = sc.tree[t];
+    }
+    // Everything in the winner that precedes the runner-up's head is safe
+    // to emit without touching the tree: gallop for the boundary and bulk
+    // copy. Tie elements belong to whichever slot is lower.
+    const T* p = sc.cur[w];
+    const T* bound;
+    if (ru == -1 || sc.cur[ru] == sc.end[ru]) {
+      bound = sc.end[w];
+    } else if (w < ru) {
+      bound = GallopUpperBound(p, sc.end[w], *sc.cur[ru], less);
+    } else {
+      bound = GallopLowerBound(p, sc.end[w], *sc.cur[ru], less);
+    }
+    out->insert(out->end(), p, bound);
+    if (stats != nullptr && p == sc.begin[w] && bound == sc.end[w]) {
+      ++stats->disjoint_concats;
+    }
+    sc.cur[w] = bound;
+    min_streak = bound - p >= kGallopWin
+                     ? 0
+                     : std::min(kMaxMinStreak, min_streak + 1);
+    streak = 0;
+    // Replay the winner's path: the advanced (or exhausted) run competes
+    // with each stored loser on the way up.
+    int32_t c = w;
+    for (size_t t = (k + static_cast<size_t>(w)) >> 1; t >= 1; t >>= 1) {
+      if (beats(sc.tree[t], c)) std::swap(sc.tree[t], c);
+    }
+    sc.tree[0] = c;
+    w = c;
+  }
+}
+
+}  // namespace merge_internal
+
+// Merges `runs` (each sorted) into a single sorted sequence appended to
+// `out` with loser-tree passes of fan-in <= kLoserTreeMaxFanIn. Output is
+// byte-identical to HuffmanMergeInto on the same input: runs are arranged
+// in Huffman-rank order first (see ComputeHuffmanRanks), and wider-than-
+// one-tree merges group consecutive ranks per pass, which preserves every
+// cross-run tie decision. Consumes the run contents. `pool` recycles the
+// ping-pong buffers between passes; `scratch` recycles the tree state.
+//
+// MergeStats semantics differ from the binary cascades: elements_moved
+// counts actual moves (each element once per pass — the quantity the tree
+// is built to shrink), binary_merges counts tree passes, and
+// disjoint_concats counts runs emitted whole in one bulk copy.
+template <typename T, typename Less>
+void LoserTreeMergeInto(std::vector<std::vector<T>>* runs, Less less,
+                        std::vector<T>* out, MergeStats* stats = nullptr,
+                        std::type_identity_t<MergeBufferPool<T>*> pool =
+                            nullptr,
+                        std::type_identity_t<LoserTreeScratch<T>*> scratch =
+                            nullptr) {
+  TRACE_SPAN("merge.loser_tree");
+  std::vector<std::vector<T>>& rs = *runs;
+  merge_internal::DropEmptyRuns(&rs);
+  if (rs.empty()) return;
+  if (rs.size() == 1) {
+    out->insert(out->end(), rs[0].begin(), rs[0].end());
+    rs.clear();
+    return;
+  }
+  MergeBufferPool<T> local_pool;
+  if (pool == nullptr) pool = &local_pool;
+  LoserTreeScratch<T> local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+
+  const size_t k = rs.size();
+  std::vector<size_t> sizes(k);
+  for (size_t i = 0; i < k; ++i) sizes[i] = rs[i].size();
+  std::vector<uint32_t> rank;
+  merge_internal::ComputeHuffmanRanks(std::move(sizes), &rank);
+  std::vector<std::vector<T>> work(k);
+  for (size_t i = 0; i < k; ++i) work[rank[i]] = std::move(rs[i]);
+  rs.clear();
+
+  std::vector<std::vector<T>*> slots;
+  // Ping-pong: while more runs survive than one tree takes, merge groups
+  // of consecutive ranks into pool buffers; the sources released here are
+  // the buffers the next pass acquires.
+  while (work.size() > kLoserTreeMaxFanIn) {
+    std::vector<std::vector<T>> next;
+    next.reserve((work.size() + kLoserTreeMaxFanIn - 1) /
+                 kLoserTreeMaxFanIn);
+    for (size_t lo = 0; lo < work.size(); lo += kLoserTreeMaxFanIn) {
+      const size_t hi = std::min(work.size(), lo + kLoserTreeMaxFanIn);
+      if (hi - lo == 1) {  // Ragged tail: carry the run, no copy.
+        next.push_back(std::move(work[lo]));
+        continue;
+      }
+      size_t group_total = 0;
+      slots.clear();
+      for (size_t i = lo; i < hi; ++i) {
+        group_total += work[i].size();
+        slots.push_back(&work[i]);
+      }
+      std::vector<T> merged = pool->Acquire(group_total);
+      merge_internal::LoserTreePass(slots.data(), slots.size(), less,
+                                    &merged, stats, scratch);
+      if (stats != nullptr) {
+        stats->elements_moved += group_total;
+        ++stats->binary_merges;
+      }
+      for (size_t i = lo; i < hi; ++i) pool->Release(std::move(work[i]));
+      next.push_back(std::move(merged));
+    }
+    work = std::move(next);
+  }
+  slots.clear();
+  size_t total = 0;
+  for (std::vector<T>& r : work) {
+    total += r.size();
+    slots.push_back(&r);
+  }
+  merge_internal::LoserTreePass(slots.data(), slots.size(), less, out,
+                                stats, scratch);
+  if (stats != nullptr) {
+    stats->elements_moved += total;
+    ++stats->binary_merges;
+  }
+  for (std::vector<T>& r : work) pool->Release(std::move(r));
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +571,14 @@ MergeBufferPool<T>& WorkerMergePool() {
   return pool;
 }
 
+// Per-worker loser-tree scratch for the parallel merge's k-way leaf
+// tasks; a few hundred bytes per thread at the capped fan-in.
+template <typename T>
+LoserTreeScratch<T>& WorkerLoserTreeScratch() {
+  thread_local LoserTreeScratch<T> scratch;
+  return scratch;
+}
+
 // Tuning for ParallelMergeRunsInto.
 struct ParallelMergeOptions {
   // Fall back to sequential HuffmanMergeInto when the run set is smaller
@@ -227,17 +587,26 @@ struct ParallelMergeOptions {
   size_t min_total_bytes = size_t{1} << 20;
   size_t min_runs = 3;
   ThreadPool* pool = nullptr;  // nullptr = ThreadPool::Global()
+  // Maximal plan subtrees whose fan-in fits this bound execute as one
+  // k-way loser-tree leaf task instead of a binary cascade (clamped to
+  // kLoserTreeMaxFanIn; values < 3 disable the collapse). Larger values
+  // minimize memory traffic, smaller ones expose more task parallelism.
+  size_t kway_leaf_fanin = kLoserTreeMaxFanIn;
 };
 
 // Merges `runs` smallest-two-first like HuffmanMergeInto, but executes the
 // merge tree as a task DAG on the thread pool: the plan phase replays the
 // exact size-heap HuffmanMergeInto would use (same pairs, same left/right
-// roles, so the same stability decisions), leaf pairs then merge
-// concurrently, every interior merge starts as soon as its two inputs are
-// ready, and the final binary merge is split at a GallopLowerBound midpoint
-// so both halves of the output are written in parallel into the pre-sized
-// destination. Output and MergeStats are byte-identical to
-// HuffmanMergeInto on the same input.
+// roles, so the same stability decisions), maximal plan subtrees whose
+// fan-in fits one loser tree collapse into single k-way leaf tasks (see
+// ParallelMergeOptions::kway_leaf_fanin) that merge their input runs in
+// one pass, every surviving interior merge starts as soon as its two
+// inputs are ready, and the final binary merge is split at a
+// GallopLowerBound midpoint so both halves of the output are written in
+// parallel into the pre-sized destination. Output is byte-identical to
+// HuffmanMergeInto on the same input, and MergeStats (bar the
+// execution-dependent disjoint_concats) reports the plan-phase binary
+// cascade regardless of how leaves execute.
 //
 // Consumes the run contents. `pool` recycles buffers on the sequential
 // fallback only; parallel tasks use per-worker pools. Requires T
@@ -291,10 +660,6 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
   std::priority_queue<size_t, std::vector<size_t>, decltype(size_greater)>
       heap(size_greater);
   for (size_t i = 0; i < k; ++i) heap.push(i);
-  // Nodes whose children are both input runs, collected at plan time: the
-  // missing counters start changing the moment tasks run, so the initial
-  // ready set cannot be read from them later.
-  std::vector<size_t> ready;
   size_t next = 0;
   for (;;) {
     const size_t a = heap.top();
@@ -309,17 +674,12 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
     nd.left = slot[a];
     nd.right = slot[b];
     nd.size = sizes[a] + sizes[b];
-    int missing = 0;
     if (nd.left >= static_cast<int32_t>(k)) {
       nodes[nd.left - k].parent = static_cast<int32_t>(next);
-      ++missing;
     }
     if (nd.right >= static_cast<int32_t>(k)) {
       nodes[nd.right - k].parent = static_cast<int32_t>(next);
-      ++missing;
     }
-    nd.missing.store(missing, std::memory_order_relaxed);
-    if (missing == 0) ready.push_back(next);
     if (heap.empty()) break;
     sizes[a] = nd.size;
     slot[a] = static_cast<int32_t>(k + next);
@@ -327,6 +687,81 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
     heap.push(a);
   }
   const size_t final_node = next;  // == k - 2
+
+  // Collapse maximal plan subtrees into k-way loser-tree leaf tasks: any
+  // subtree (except the final node, whose split-merge path stays) whose
+  // fan-in fits one tree merges its input runs in a single pass instead
+  // of a binary cascade. The subtree's in-order leaf sequence doubles as
+  // the loser tree's tie-break rank order, so the bytes written into the
+  // subtree root's buffer are identical either way; the plan-phase
+  // MergeStats above are already final and unaffected.
+  const size_t leaf_cap =
+      std::min(options.kway_leaf_fanin, kLoserTreeMaxFanIn);
+  std::vector<uint32_t> fanin(k - 1);
+  for (size_t j = 0; j + 1 < k; ++j) {
+    const Node& nd = nodes[j];
+    fanin[j] =
+        (nd.left < static_cast<int32_t>(k)
+             ? 1u
+             : fanin[static_cast<size_t>(nd.left) - k]) +
+        (nd.right < static_cast<int32_t>(k)
+             ? 1u
+             : fanin[static_cast<size_t>(nd.right) - k]);
+  }
+  enum : uint8_t { kBinaryNode = 0, kKwayRoot = 1, kAbsorbed = 2 };
+  std::vector<uint8_t> role(k - 1, kBinaryNode);
+  std::vector<std::vector<int32_t>> kway_leaves(k - 1);
+  if (leaf_cap >= 3) {
+    for (size_t j = 0; j + 1 < k; ++j) {
+      if (j == final_node || fanin[j] < 3 || fanin[j] > leaf_cap) continue;
+      const int32_t p = nodes[j].parent;
+      if (static_cast<size_t>(p) != final_node &&
+          fanin[static_cast<size_t>(p)] <= leaf_cap) {
+        continue;  // An ancestor collapses this subtree instead.
+      }
+      role[j] = kKwayRoot;
+      // In-order leaves (left subtree first = lower tie-break rank);
+      // interior nodes underneath are absorbed and never execute.
+      std::vector<int32_t>& leaves = kway_leaves[j];
+      leaves.reserve(fanin[j]);
+      std::vector<int32_t> stack;
+      stack.push_back(nodes[j].right);
+      stack.push_back(nodes[j].left);
+      while (!stack.empty()) {
+        const int32_t id = stack.back();
+        stack.pop_back();
+        if (id < static_cast<int32_t>(k)) {
+          leaves.push_back(id);
+          continue;
+        }
+        const size_t c = static_cast<size_t>(id) - k;
+        role[c] = kAbsorbed;
+        stack.push_back(nodes[c].right);
+        stack.push_back(nodes[c].left);
+      }
+    }
+  }
+  // Initial ready set and final missing counters, fixed before any task
+  // runs (the counters start changing the moment tasks do): k-way roots
+  // depend on nothing, binary nodes wait on their interior children —
+  // which are always k-way roots or surviving binary nodes, never
+  // absorbed.
+  std::vector<size_t> ready;
+  size_t task_nodes = 0;
+  for (size_t j = 0; j + 1 < k; ++j) {
+    if (role[j] == kAbsorbed) continue;
+    ++task_nodes;
+    Node& nd = nodes[j];
+    if (role[j] == kKwayRoot) {
+      nd.missing.store(0, std::memory_order_relaxed);
+      ready.push_back(j);
+      continue;
+    }
+    const int missing = (nd.left >= static_cast<int32_t>(k) ? 1 : 0) +
+                        (nd.right >= static_cast<int32_t>(k) ? 1 : 0);
+    nd.missing.store(missing, std::memory_order_relaxed);
+    if (missing == 0) ready.push_back(j);
+  }
 
   auto child = [&rs, &nodes, k](int32_t id) -> std::vector<T>& {
     return id < static_cast<int32_t>(k)
@@ -353,6 +788,31 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
   std::function<void(size_t)> exec_node = [&](size_t j) {
     TRACE_SPAN("merge.task");
     Node& nd = nodes[j];
+    if (role[j] == kKwayRoot) {
+      TRACE_SPAN("merge.kway_leaf");
+      MergeBufferPool<T>& worker_pool = WorkerMergePool<T>();
+      nd.buf = worker_pool.Acquire(nd.size);
+      const std::vector<int32_t>& leaves = kway_leaves[j];
+      std::vector<std::vector<T>*> slots;
+      slots.reserve(leaves.size());
+      for (const int32_t id : leaves) slots.push_back(&rs[id]);
+      MergeStats pass_stats;
+      merge_internal::LoserTreePass(slots.data(), slots.size(), less,
+                                    &nd.buf, &pass_stats,
+                                    &WorkerLoserTreeScratch<T>());
+      disjoint_concats.fetch_add(pass_stats.disjoint_concats,
+                                 std::memory_order_relaxed);
+      for (const int32_t id : leaves) {
+        worker_pool.Release(std::move(rs[id]));
+      }
+      worker_pool.Trim(kWorkerMergePoolMaxBytes);
+      Node& parent = nodes[nd.parent];
+      if (parent.missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const size_t p = static_cast<size_t>(nd.parent);
+        group.Run([&exec_node, p] { exec_node(p); });
+      }
+      return;
+    }
     std::vector<T>& a = child(nd.left);
     std::vector<T>& b = child(nd.right);
     if (j == final_node) {
@@ -392,8 +852,9 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
           disjoint_concats.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      // The final inputs are freed by the caller (rs.clear() / ~nodes),
-      // matching the sequential merge, which does not pool them either.
+      // The final inputs are freed by the caller (rs.clear() / ~nodes);
+      // worker pools cannot recycle them because the split halves share
+      // both vectors until the group drains.
       return;
     }
     MergeBufferPool<T>& worker_pool = WorkerMergePool<T>();
@@ -420,7 +881,7 @@ size_t ParallelMergeRunsInto(std::vector<std::vector<T>>* runs, Less less,
         disjoint_concats.load(std::memory_order_relaxed);
   }
   rs.clear();
-  return (k - 1) + (split_final ? 2 : 0);
+  return task_nodes + (split_final ? 2 : 0);
 }
 
 // Merges `runs` pairwise in rounds (run 0 with run 1, run 2 with run 3,
@@ -461,8 +922,11 @@ void BalancedMergeInto(std::vector<std::vector<T>>* runs, Less less,
       ++stats->binary_merges;
       if (disjoint) ++stats->disjoint_concats;
     }
+    pool->Release(std::move(rs[0]));
+    pool->Release(std::move(rs[1]));
   } else {
     out->insert(out->end(), rs[0].begin(), rs[0].end());
+    pool->Release(std::move(rs[0]));
   }
   rs.clear();
 }
@@ -506,17 +970,21 @@ void HeapMergeInto(std::vector<std::vector<T>>* runs, Less less,
 
 // The merge-order strategies available to the sorters.
 enum class MergePolicy {
-  kHuffman,   // smallest-two-first (§III-E1)
-  kBalanced,  // pairwise rounds, size-oblivious
-  kHeap,      // k-way heap merge
+  kHuffman,    // smallest-two-first binary cascade (§III-E1)
+  kBalanced,   // pairwise rounds, size-oblivious
+  kHeap,       // k-way heap merge
+  kLoserTree,  // k-way loser tree, byte-identical to kHuffman
 };
 
-// Dispatches to one of the merge strategies above.
+// Dispatches to one of the merge strategies above. `scratch` is used by
+// kLoserTree only (tree state reuse across calls).
 template <typename T, typename Less>
 void MergeRunsInto(MergePolicy policy, std::vector<std::vector<T>>* runs,
                    Less less, std::vector<T>* out,
                    MergeStats* stats = nullptr,
-                   MergeBufferPool<T>* pool = nullptr) {
+                   std::type_identity_t<MergeBufferPool<T>*> pool = nullptr,
+                   std::type_identity_t<LoserTreeScratch<T>*> scratch =
+                       nullptr) {
   switch (policy) {
     case MergePolicy::kHuffman:
       HuffmanMergeInto(runs, less, out, stats, pool);
@@ -526,6 +994,9 @@ void MergeRunsInto(MergePolicy policy, std::vector<std::vector<T>>* runs,
       return;
     case MergePolicy::kHeap:
       HeapMergeInto(runs, less, out, stats, pool);
+      return;
+    case MergePolicy::kLoserTree:
+      LoserTreeMergeInto(runs, less, out, stats, pool, scratch);
       return;
   }
   IMPATIENCE_CHECK(false);

@@ -115,11 +115,10 @@ namespace patience_internal {
 // gathered once at the end. For the wide events a streaming engine sorts,
 // this cuts merge-phase memory traffic by ~3x; and because the input is
 // nearly sorted, the final gather is nearly sequential — one more way the
-// algorithm profits from pre-existing order.
-struct KeyRef {
-  Timestamp time;
-  uint32_t index;
-};
+// algorithm profits from pre-existing order. KeyRef IS the kernel layer's
+// SortKey, so the final pass can use the dispatched permutation-gather
+// kernel directly.
+using KeyRef = kernels::SortKey;
 
 }  // namespace patience_internal
 
@@ -255,18 +254,29 @@ void PatienceSortVector(std::vector<T>* items,
   }
 
   // Gather the records in sorted order (near-sequential on nearly sorted
-  // input). The permutation writes disjoint output chunks, so large
-  // gathers run on the pool.
+  // input). 8-byte trivially-copyable records route through the dispatched
+  // permutation-gather kernel (AVX-512 hardware gather when available);
+  // the permutation writes disjoint output chunks, so large gathers run on
+  // the pool either way.
   std::vector<T> out;
+  constexpr bool kKernelGather = sizeof(T) == 8 &&
+                                 std::is_trivially_copyable_v<T> &&
+                                 std::is_default_constructible_v<T>;
   if constexpr (std::is_default_constructible_v<T>) {
     if (pool.thread_count() > 1 && n >= (size_t{1} << 16)) {
       out.resize(n);
       std::vector<T>& in = *items;
       ParallelFor(
           0, n, size_t{1} << 14,
-          [&out, &order, &in](size_t lo, size_t hi) {
-            for (size_t i = lo; i < hi; ++i) {
-              out[i] = std::move(in[order[i].index]);
+          [&out, &order, &in, level](size_t lo, size_t hi) {
+            if constexpr (kKernelGather) {
+              kernels::GatherByIndex(in.data(), order.data() + lo, hi - lo,
+                                     out.data() + lo, level);
+            } else {
+              (void)level;
+              for (size_t i = lo; i < hi; ++i) {
+                out[i] = std::move(in[order[i].index]);
+              }
             }
           },
           &pool);
@@ -274,9 +284,15 @@ void PatienceSortVector(std::vector<T>* items,
       return;
     }
   }
-  out.reserve(n);
-  for (const KeyRef& key : order) {
-    out.push_back(std::move((*items)[key.index]));
+  if constexpr (kKernelGather) {
+    out.resize(n);
+    kernels::GatherByIndex(items->data(), order.data(), n, out.data(),
+                           level);
+  } else {
+    out.reserve(n);
+    for (const KeyRef& key : order) {
+      out.push_back(std::move((*items)[key.index]));
+    }
   }
   *items = std::move(out);
 }

@@ -77,6 +77,9 @@ ServerMetrics MakeMetrics() {
     s.queue_wait.Record(v * 10);
     s.drain_stall.Record(v * 100);
   }
+  s.sorter.loser_tree_merges = 17;
+  s.sorter.kway_fanin.Record(8);
+  s.sorter.kway_fanin.Record(32);
 
   SessionWatermark nasty;
   nasty.label = "se\"ss\\ion\nid\x01";  // Hostile label for both formats.
@@ -113,6 +116,8 @@ TEST(MetricsRenderTest, JsonCarriesHistogramsAndWatermarks) {
   EXPECT_NE(json.find("\"queue_wait_ns\":{"), std::string::npos);
   EXPECT_NE(json.find("\"drain_stall_ns\":{"), std::string::npos);
   EXPECT_NE(json.find("\"ingest_to_emit_ns\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_loser_tree_merges\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"kway_fanin\":{\"count\":2,"), std::string::npos);
   EXPECT_NE(json.find("\"max_watermark_lag\":2000"), std::string::npos);
   EXPECT_NE(json.find("\"lag\":2000"), std::string::npos);
   EXPECT_NE(json.find("\"p50\":"), std::string::npos);
@@ -130,6 +135,11 @@ TEST(MetricsRenderTest, TextCarriesQuantileLines) {
   EXPECT_NE(text.find("impatience_shard_queue_wait_ns{shard=\"0\",q=\"p999\"}"),
             std::string::npos);
   EXPECT_NE(text.find("impatience_shard_max_watermark_lag{shard=\"0\"} 2000"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_sorter_loser_tree_merges{shard=\"0\"} 17"),
+      std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_kway_fanin_count{shard=\"0\"} 2"),
             std::string::npos);
 }
 
@@ -154,6 +164,16 @@ TEST(MetricsRenderTest, PrometheusSummariesAndEscaping) {
   EXPECT_NE(
       prom.find("# TYPE impatience_shard_drain_stall_nanoseconds summary"),
       std::string::npos);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_sorter_loser_tree_merges counter"),
+      std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_sorter_loser_tree_merges"
+                      "{shard=\"0\"} 17"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_kway_fanin summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_kway_fanin_count{shard=\"0\"} 2"),
+            std::string::npos);
 
   // Label escaping: backslash, quote, and newline per the text format; the
   // raw control byte 0x01 passes through (Prometheus allows it in UTF-8

@@ -33,6 +33,7 @@ std::vector<KernelLevel> SupportedLevels() {
   const KernelLevel best = DetectKernelLevel();
   if (best >= KernelLevel::kSSE2) levels.push_back(KernelLevel::kSSE2);
   if (best >= KernelLevel::kAVX2) levels.push_back(KernelLevel::kAVX2);
+  if (best >= KernelLevel::kAVX512) levels.push_back(KernelLevel::kAVX512);
   return levels;
 }
 
@@ -320,13 +321,14 @@ TEST(GallopBoundsTest, MatchStdBounds) {
 
 TEST(CpuFeaturesTest, ParseKernelLevelRoundTrips) {
   for (const KernelLevel level :
-       {KernelLevel::kScalar, KernelLevel::kSSE2, KernelLevel::kAVX2}) {
+       {KernelLevel::kScalar, KernelLevel::kSSE2, KernelLevel::kAVX2,
+        KernelLevel::kAVX512}) {
     KernelLevel parsed;
     ASSERT_TRUE(ParseKernelLevel(KernelLevelName(level), &parsed));
     EXPECT_EQ(parsed, level);
   }
   KernelLevel parsed = KernelLevel::kAVX2;
-  EXPECT_FALSE(ParseKernelLevel("avx512", &parsed));
+  EXPECT_FALSE(ParseKernelLevel("avx999", &parsed));
   EXPECT_FALSE(ParseKernelLevel("", &parsed));
   EXPECT_EQ(parsed, KernelLevel::kAVX2);  // Untouched on failure.
 }
@@ -336,6 +338,66 @@ TEST(CpuFeaturesTest, ActiveLevelNeverExceedsCpu) {
   // active level must be executable on this machine.
   EXPECT_LE(static_cast<int>(ActiveKernelLevel()),
             static_cast<int>(DetectKernelLevel()));
+}
+
+TEST(CpuFeaturesTest, ResolveClampsRequestsAboveDetected) {
+  // The fallback seam: a deployment forcing kAVX512 on a machine that
+  // detects only kAVX2 (or lower) must degrade to the detected level, not
+  // dispatch an ISA the CPU lacks.
+  for (const KernelLevel detected :
+       {KernelLevel::kScalar, KernelLevel::kSSE2, KernelLevel::kAVX2,
+        KernelLevel::kAVX512}) {
+    for (const KernelLevel requested :
+         {KernelLevel::kScalar, KernelLevel::kSSE2, KernelLevel::kAVX2,
+          KernelLevel::kAVX512}) {
+      const KernelLevel resolved =
+          ResolveKernelLevel(KernelLevelName(requested), detected);
+      if (requested <= detected) {
+        EXPECT_EQ(resolved, requested)
+            << KernelLevelName(requested) << " on "
+            << KernelLevelName(detected);
+      } else {
+        EXPECT_EQ(resolved, detected)
+            << KernelLevelName(requested) << " on "
+            << KernelLevelName(detected);
+      }
+    }
+  }
+}
+
+TEST(CpuFeaturesTest, ResolveIgnoresUnsetAndUnknownOverrides) {
+  EXPECT_EQ(ResolveKernelLevel(nullptr, KernelLevel::kAVX2),
+            KernelLevel::kAVX2);
+  EXPECT_EQ(ResolveKernelLevel("", KernelLevel::kSSE2), KernelLevel::kSSE2);
+  EXPECT_EQ(ResolveKernelLevel("avx999", KernelLevel::kAVX512),
+            KernelLevel::kAVX512);
+}
+
+TEST(GatherByIndexTest, MatchesScalarPermutationAtEveryLevel) {
+  Rng rng(317);
+  for (const KernelLevel level : SupportedLevels()) {
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                           size_t{9}, size_t{64}, size_t{1000}}) {
+      std::vector<int64_t> in(n);
+      for (auto& v : in) {
+        v = static_cast<int64_t>(rng.NextBelow(1u << 30)) - (1 << 29);
+      }
+      // Random permutation with repeats allowed is fine for the gather
+      // contract (out[i] = in[keys[i].index]); use a true shuffle half the
+      // time to mirror the sorter's use.
+      std::vector<kernels::SortKey> keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        keys[i].time = static_cast<Timestamp>(i);
+        keys[i].index = static_cast<uint32_t>(rng.NextBelow(n == 0 ? 1 : n));
+      }
+      std::vector<int64_t> want(n);
+      for (size_t i = 0; i < n; ++i) want[i] = in[keys[i].index];
+      std::vector<int64_t> got(n);
+      kernels::GatherByIndex(in.data(), keys.data(), n, got.data(), level);
+      EXPECT_EQ(got, want)
+          << "level=" << KernelLevelName(level) << " n=" << n;
+    }
+  }
 }
 
 // The legacy merge entry points now route through the kernel layer;

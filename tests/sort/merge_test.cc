@@ -121,7 +121,8 @@ TEST_P(MergePolicyTest, AppendsAfterExistingOutput) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, MergePolicyTest,
                          ::testing::Values(MergePolicy::kHuffman,
                                            MergePolicy::kBalanced,
-                                           MergePolicy::kHeap),
+                                           MergePolicy::kHeap,
+                                           MergePolicy::kLoserTree),
                          [](const auto& info) {
                            switch (info.param) {
                              case MergePolicy::kHuffman:
@@ -130,6 +131,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, MergePolicyTest,
                                return "Balanced";
                              case MergePolicy::kHeap:
                                return "Heap";
+                             case MergePolicy::kLoserTree:
+                               return "LoserTree";
                            }
                            return "?";
                          });

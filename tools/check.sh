@@ -14,12 +14,15 @@
 # integer/pointer traps hand-written SIMD kernels invite (misaligned
 # loads, out-of-range shifts, signed overflow).
 #
-# Each pass runs ctest three times: once at the CPU's native kernel
+# Each pass runs ctest four times: once at the CPU's native kernel
 # dispatch level, once with IMPATIENCE_KERNEL_LEVEL=scalar forced (so the
 # portable kernels — the only path non-x86 builds have — stay exercised
-# under every sanitizer no matter what machine CI lands on), and once with
-# IMPATIENCE_TRACE=1 so the span-recording fast path (per-thread seqlock
-# rings written from every worker) runs hot under each detector.
+# under every sanitizer no matter what machine CI lands on), once with
+# IMPATIENCE_KERNEL_LEVEL=avx2 forced (on an AVX-512 machine this pins the
+# one-level-down dispatch path; on an older machine ResolveKernelLevel
+# clamps it to the detected level, so the run is never skipped), and once
+# with IMPATIENCE_TRACE=1 so the span-recording fast path (per-thread
+# seqlock rings written from every worker) runs hot under each detector.
 #
 # A fourth pass sweeps IMPATIENCE_FAULT_SEED over 8 seeds against the
 # `server`-labeled suites: the epoll fault-injection, slow-client, and
@@ -54,6 +57,9 @@ run_pass() {
     env IMPATIENCE_THREADS=8 IMPATIENCE_KERNEL_LEVEL=scalar $env_opts \
       ctest --output-on-failure -j "$(nproc)")
   (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 IMPATIENCE_KERNEL_LEVEL=avx2 $env_opts \
+      ctest --output-on-failure -j "$(nproc)")
+  (cd "$build_dir" && \
     env IMPATIENCE_THREADS=8 IMPATIENCE_TRACE=1 $env_opts \
       ctest --output-on-failure -j "$(nproc)")
   for seed in 1 2 3 5 8 13 21 34; do
@@ -61,7 +67,7 @@ run_pass() {
       env IMPATIENCE_THREADS=8 IMPATIENCE_FAULT_SEED="$seed" $env_opts \
         ctest --output-on-failure -j "$(nproc)" -L server)
   done
-  echo "$name tier-1 (native + scalar kernels + tracing on" \
+  echo "$name tier-1 (native + scalar + avx2 kernels + tracing on" \
     "+ 8-seed server fault sweep): OK"
 }
 

@@ -21,7 +21,9 @@
 
 #include "bench/harness.h"
 #include "common/histogram.h"
+#include "sort/impatience_sorter.h"
 #include "sort/sort_algorithms.h"
+#include "storage/spill.h"
 #include "workload/generators.h"
 
 namespace impatience::bench {
@@ -35,6 +37,12 @@ struct OnlineRun {
   bool has_latency = false;
   uint64_t punct_to_emit_p50_ns = 0;
   uint64_t punct_to_emit_p99_ns = 0;
+  // Spill-tier activity (Impatience arms only; nonzero only when a memory
+  // budget — typically IMPATIENCE_MEMORY_BUDGET — forces the disk tier).
+  bool has_spill = false;
+  uint64_t runs_spilled = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_read_bytes = 0;
 };
 
 struct JsonSample {
@@ -121,6 +129,13 @@ OnlineRun MeasureOnline(OnlineAlgorithm algorithm,
     run.punct_to_emit_p50_ns = h->P50();
     run.punct_to_emit_p99_ns = h->P99();
   }
+  if (const auto* impatience =
+          dynamic_cast<const ImpatienceSorter<Event>*>(sorter.get())) {
+    run.has_spill = true;
+    run.runs_spilled = impatience->counters().runs_spilled;
+    run.spill_bytes_written = impatience->counters().spill_bytes_written;
+    run.spill_read_bytes = impatience->counters().spill_read_bytes;
+  }
   return run;
 }
 
@@ -168,9 +183,10 @@ void Run() {
         "androidlog", BenchAndroidLog(n).events, 12 * kHour);
 
   std::printf(
-      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
-      "\"fig8_online\": [\n",
-      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu, "
+      "\"memory_budget\": %zu,\n\"fig8_online\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()),
+      storage::MemoryBudgetFromEnv());
   const std::vector<JsonSample>& samples = Samples();
   for (size_t i = 0; i < samples.size(); ++i) {
     const JsonSample& s = samples[i];
@@ -186,6 +202,14 @@ void Run() {
           ", \"punct_to_emit_p50_ns\": %llu, \"punct_to_emit_p99_ns\": %llu",
           static_cast<unsigned long long>(s.run.punct_to_emit_p50_ns),
           static_cast<unsigned long long>(s.run.punct_to_emit_p99_ns));
+    }
+    if (s.run.has_spill) {
+      std::printf(
+          ", \"runs_spilled\": %llu, \"spill_bytes_written\": %llu, "
+          "\"spill_read_bytes\": %llu",
+          static_cast<unsigned long long>(s.run.runs_spilled),
+          static_cast<unsigned long long>(s.run.spill_bytes_written),
+          static_cast<unsigned long long>(s.run.spill_read_bytes));
     }
     std::printf("}%s\n", i + 1 < samples.size() ? "," : "");
   }

@@ -38,6 +38,7 @@
 #include "server/client.h"
 #include "server/ingest_service.h"
 #include "server/tcp_transport.h"
+#include "storage/spill.h"
 
 namespace impatience::bench {
 namespace {
@@ -65,6 +66,11 @@ struct Sample {
   // Punctuation-to-emit latency across all shard pipelines.
   uint64_t punct_to_emit_p50_ns = 0;
   uint64_t punct_to_emit_p99_ns = 0;
+  // Spill-tier activity summed across shards (nonzero only when a memory
+  // budget — typically IMPATIENCE_MEMORY_BUDGET — forces the disk tier).
+  uint64_t runs_spilled = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_read_bytes = 0;
 };
 
 std::vector<Sample>& Samples() {
@@ -239,10 +245,16 @@ Sample RunOne(const std::vector<Event>& events, size_t shards,
   uint64_t delivered = 0;
   uint64_t dropped_frames = 0;
   HistogramSnapshot punct_to_emit;
+  uint64_t runs_spilled = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_read_bytes = 0;
   for (const ShardMetrics& m : service.manager().SnapshotShards()) {
     delivered += m.events_in - m.shed_events;
     dropped_frames += m.rejected_frames + m.shed_frames;
     punct_to_emit += m.sorter.punct_to_emit;
+    runs_spilled += m.sorter.runs_spilled;
+    spill_bytes_written += m.sorter.spill_bytes_written;
+    spill_read_bytes += m.sorter.spill_read_bytes;
   }
 
   Sample s;
@@ -255,6 +267,9 @@ Sample RunOne(const std::vector<Event>& events, size_t shards,
     s.punct_to_emit_p50_ns = punct_to_emit.P50();
     s.punct_to_emit_p99_ns = punct_to_emit.P99();
   }
+  s.runs_spilled = runs_spilled;
+  s.spill_bytes_written = spill_bytes_written;
+  s.spill_read_bytes = spill_read_bytes;
   return s;
 }
 
@@ -298,20 +313,26 @@ void Run() {
   }
 
   std::printf(
-      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
-      "\"server_throughput\": [\n",
-      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu, "
+      "\"memory_budget\": %zu,\n\"server_throughput\": [\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()),
+      storage::MemoryBudgetFromEnv());
   const std::vector<Sample>& samples = Samples();
   for (size_t i = 0; i < samples.size(); ++i) {
     std::printf(
         "  {\"shards\": %zu, \"policy\": \"%s\", \"offered_meps\": %.4f, "
         "\"delivered_meps\": %.4f, \"dropped_frames\": %llu, "
-        "\"punct_to_emit_p50_ns\": %llu, \"punct_to_emit_p99_ns\": %llu}%s\n",
+        "\"punct_to_emit_p50_ns\": %llu, \"punct_to_emit_p99_ns\": %llu, "
+        "\"runs_spilled\": %llu, \"spill_bytes_written\": %llu, "
+        "\"spill_read_bytes\": %llu}%s\n",
         samples[i].shards, samples[i].policy.c_str(),
         samples[i].offered_meps, samples[i].delivered_meps,
         static_cast<unsigned long long>(samples[i].dropped_frames),
         static_cast<unsigned long long>(samples[i].punct_to_emit_p50_ns),
         static_cast<unsigned long long>(samples[i].punct_to_emit_p99_ns),
+        static_cast<unsigned long long>(samples[i].runs_spilled),
+        static_cast<unsigned long long>(samples[i].spill_bytes_written),
+        static_cast<unsigned long long>(samples[i].spill_read_bytes),
         i + 1 < samples.size() ? "," : "");
   }
   std::printf("],\n\"connection_sweep\": [\n");

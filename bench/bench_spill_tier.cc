@@ -1,0 +1,147 @@
+// Spill tier: external-memory acceptance arm. One synthetic online
+// session is run twice — pure in-RAM, then under a memory budget set to
+// 1/8 of the RAM arm's peak residency — and the two outputs are compared
+// byte for byte. The spilled arm must (a) stay byte-identical, (b) move
+// more than 8x the budget through the disk tier, and (c) keep its peak
+// resident footprint near the budget while the RAM arm peaks at the full
+// buffered-window size. The JSON stamp records the budget, both peaks,
+// and the spill counters so the trajectory shows the residency cap
+// holding release over release.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "sort/impatience_sorter.h"
+#include "workload/generators.h"
+
+namespace impatience::bench {
+namespace {
+
+constexpr size_t kPunctFreq = 100000;   // Events between punctuations.
+constexpr Timestamp kReorderLatency = 600;
+
+struct SessionResult {
+  std::vector<Event> out;
+  double throughput_meps = 0;
+  size_t peak_bytes = 0;
+  ImpatienceCounters counters;
+  uint64_t late_drops = 0;
+};
+
+// Runs the fig8-style punctuation session, sampling the sorter's resident
+// footprint every 256 pushes and after every punctuation (where merge
+// scratch peaks).
+SessionResult RunSession(const std::vector<Event>& events,
+                         const ImpatienceConfig& config) {
+  SessionResult result;
+  ImpatienceSorter<Event> sorter(config);
+  result.out.reserve(events.size());
+
+  const double secs = TimeSeconds([&]() {
+    Timestamp high_watermark = kMinTimestamp;
+    Timestamp last_punct = kMinTimestamp;
+    for (size_t i = 0; i < events.size(); ++i) {
+      sorter.Push(events[i]);
+      high_watermark = std::max(high_watermark, events[i].sync_time);
+      if ((i & 255) == 0) {
+        result.peak_bytes = std::max(result.peak_bytes,
+                                     sorter.MemoryBytes());
+      }
+      if ((i + 1) % kPunctFreq == 0) {
+        const Timestamp p = high_watermark - kReorderLatency;
+        if (p > last_punct) {
+          sorter.OnPunctuation(p, &result.out);
+          last_punct = p;
+          result.peak_bytes = std::max(result.peak_bytes,
+                                       sorter.MemoryBytes());
+        }
+      }
+    }
+    sorter.Flush(&result.out);
+  });
+  result.throughput_meps = Throughput(events.size(), secs);
+  result.counters = sorter.counters();
+  result.late_drops = sorter.late_drops();
+  return result;
+}
+
+void Run() {
+  const size_t n = EventCount();
+  const std::vector<Event> events = BenchSynthetic(n, 30, 64).events;
+
+  Section("Spill tier: in-RAM reference vs budget = peak/8");
+
+  ImpatienceConfig ram_config;
+  ram_config.spill.use_env_default = false;  // The in-RAM reference arm.
+  const SessionResult ram = RunSession(events, ram_config);
+
+  const size_t budget = std::max<size_t>(ram.peak_bytes / 8, 64 << 10);
+  ImpatienceConfig spill_config = ram_config;
+  spill_config.spill.memory_budget = budget;
+  spill_config.spill.check_period = 64;
+  const SessionResult spilled = RunSession(events, spill_config);
+
+  const bool identical = spilled.out == ram.out;
+  // The acceptance ratio: the session's run bytes must exceed 8x the
+  // budget for the arm to demonstrate external-memory operation.
+  const size_t session_bytes = n * sizeof(Event);
+  const double session_over_budget =
+      static_cast<double>(session_bytes) / static_cast<double>(budget);
+  const double written_over_budget =
+      static_cast<double>(spilled.counters.spill_bytes_written) /
+      static_cast<double>(budget);
+
+  TablePrinter table({"arm", "throughput_meps", "peak_bytes",
+                      "runs_spilled", "spill_written", "identical"});
+  table.PrintRow({"ram", TablePrinter::Num(ram.throughput_meps),
+                  TablePrinter::Int(ram.peak_bytes), "0", "0", "-"});
+  table.PrintRow({"budget/8", TablePrinter::Num(spilled.throughput_meps),
+                  TablePrinter::Int(spilled.peak_bytes),
+                  TablePrinter::Int(spilled.counters.runs_spilled),
+                  TablePrinter::Int(spilled.counters.spill_bytes_written),
+                  identical ? "yes" : "NO"});
+  std::printf(
+      "budget = %zu B (session = %.1fx budget), spilled %.1fx the budget "
+      "through disk\n",
+      budget, session_over_budget, written_over_budget);
+  IMPATIENCE_CHECK_MSG(identical,
+                       "spilled output diverged from the in-RAM arm");
+  IMPATIENCE_CHECK_MSG(session_over_budget > 8.0,
+                       "session too small to demonstrate 8x-budget runs");
+
+  std::printf(
+      "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
+      "\"spill_tier\": {\"events\": %zu, \"punct_freq\": %zu,\n"
+      "  \"memory_budget\": %zu, \"session_bytes\": %zu,\n"
+      "  \"session_over_budget\": %.2f, \"identical\": %s,\n"
+      "  \"ram\": {\"throughput_meps\": %.4f, \"peak_bytes\": %zu},\n"
+      "  \"spilled\": {\"throughput_meps\": %.4f, \"peak_bytes\": %zu,\n"
+      "    \"runs_spilled\": %llu, \"spill_bytes_written\": %llu,\n"
+      "    \"spill_read_bytes\": %llu, \"spill_merge_fanin_count\": %llu,\n"
+      "    \"written_over_budget\": %.2f}}}\nEND_JSON\n",
+      BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()), n,
+      kPunctFreq, budget, session_bytes, session_over_budget,
+      identical ? "true" : "false",
+      ram.throughput_meps, ram.peak_bytes, spilled.throughput_meps,
+      spilled.peak_bytes,
+      static_cast<unsigned long long>(spilled.counters.runs_spilled),
+      static_cast<unsigned long long>(
+          spilled.counters.spill_bytes_written),
+      static_cast<unsigned long long>(spilled.counters.spill_read_bytes),
+      static_cast<unsigned long long>(
+          spilled.counters.spill_merge_fanin.count()),
+      written_over_budget);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace impatience::bench
+
+int main() {
+  impatience::bench::InitBenchProcess();
+  impatience::bench::Run();
+  return 0;
+}

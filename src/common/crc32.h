@@ -1,0 +1,19 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+// discipline shared by the wire protocol and the on-disk run-file format.
+// One implementation so a frame checked on the wire and a block checked on
+// replay disagree about nothing.
+
+#ifndef IMPATIENCE_COMMON_CRC32_H_
+#define IMPATIENCE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace impatience {
+
+// CRC32 over `n` bytes.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+}  // namespace impatience
+
+#endif  // IMPATIENCE_COMMON_CRC32_H_

@@ -24,6 +24,13 @@ uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
   return max_;
 }
 
+uint64_t HistogramSnapshot::CountLessOrEqual(uint64_t bound) const {
+  const size_t last = histogram_internal::BucketIndex(bound);
+  uint64_t cum = 0;
+  for (size_t i = 0; i <= last; ++i) cum += buckets_[i];
+  return cum;
+}
+
 HistogramSnapshot& HistogramSnapshot::operator+=(
     const HistogramSnapshot& other) {
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];

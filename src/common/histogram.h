@@ -87,6 +87,13 @@ class HistogramSnapshot {
   // Returns 0 when empty.
   uint64_t ValueAtQuantile(double q) const;
 
+  // Number of recorded values <= bound — the Prometheus histogram
+  // _bucket{le="bound"} convention. Exact whenever `bound` is the largest
+  // value of its bucket (any value below 32, or any 2^k - 1); otherwise
+  // the whole bucket containing `bound` is included, an overcount bounded
+  // by one bucket width (~3.1% of the value).
+  uint64_t CountLessOrEqual(uint64_t bound) const;
+
   uint64_t P50() const { return ValueAtQuantile(0.50); }
   uint64_t P90() const { return ValueAtQuantile(0.90); }
   uint64_t P99() const { return ValueAtQuantile(0.99); }

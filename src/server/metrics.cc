@@ -173,6 +173,31 @@ void PromSummaryFamily(std::string* out, const ServerMetrics& m,
   }
 }
 
+// Prometheus histogram family: cumulative le buckets plus +Inf, _sum, and
+// _count. The le ladder is 2^k - 1 (k = 0, 2, ..., 40): each bound is the
+// largest value of its log bucket, so every cumulative count is exact (see
+// HistogramSnapshot::CountLessOrEqual). Emitted as a sibling of the
+// summary family (suffix _hist) so both conventions stay scrapeable.
+template <typename Get>
+void PromBucketFamily(std::string* out, const ServerMetrics& m,
+                      const char* name, const char* help, Get get) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
+  for (const ShardMetrics& s : m.shards) {
+    const HistogramSnapshot& h = get(s);
+    for (int k = 0; k <= 40; k += 2) {
+      const uint64_t le = (uint64_t{1} << k) - 1;
+      Appendf(out, "%s_bucket{shard=\"%zu\",le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              name, s.shard, le, h.CountLessOrEqual(le));
+    }
+    Appendf(out, "%s_bucket{shard=\"%zu\",le=\"+Inf\"} %" PRIu64 "\n", name,
+            s.shard, h.count());
+    Appendf(out, "%s_sum{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            h.sum());
+    Appendf(out, "%s_count{shard=\"%zu\"} %" PRIu64 "\n", name, s.shard,
+            h.count());
+  }
+}
+
 template <typename Get>
 void PromShardFamily(std::string* out, const ServerMetrics& m,
                      const char* name, const char* type, const char* help,
@@ -273,6 +298,22 @@ std::string RenderMetricsText(const ServerMetrics& m) {
              [](const ShardMetrics& s) {
                return s.sorter.merge.disjoint_concats;
              });
+  TextFamily(&out, m, "impatience_shard_memory_current_bytes",
+             [](const ShardMetrics& s) { return s.memory_current_bytes; });
+  TextFamily(&out, m, "impatience_shard_memory_peak_bytes",
+             [](const ShardMetrics& s) { return s.memory_peak_bytes; });
+  TextFamily(&out, m, "impatience_shard_runs_recovered",
+             [](const ShardMetrics& s) { return s.runs_recovered; });
+  TextFamily(&out, m, "impatience_shard_events_recovered",
+             [](const ShardMetrics& s) { return s.events_recovered; });
+  TextFamily(&out, m, "impatience_shard_sorter_runs_spilled",
+             [](const ShardMetrics& s) { return s.sorter.runs_spilled; });
+  TextFamily(&out, m, "impatience_shard_sorter_spill_bytes_written",
+             [](const ShardMetrics& s) {
+               return s.sorter.spill_bytes_written;
+             });
+  TextFamily(&out, m, "impatience_shard_sorter_spill_read_bytes",
+             [](const ShardMetrics& s) { return s.sorter.spill_read_bytes; });
 
   TextHistogramFamily(&out, m, "impatience_shard_punct_to_emit_ns",
                       [](const ShardMetrics& s) -> const HistogramSnapshot& {
@@ -293,6 +334,10 @@ std::string RenderMetricsText(const ServerMetrics& m) {
   TextHistogramFamily(&out, m, "impatience_shard_kway_fanin",
                       [](const ShardMetrics& s) -> const HistogramSnapshot& {
                         return s.sorter.kway_fanin;
+                      });
+  TextHistogramFamily(&out, m, "impatience_shard_spill_merge_fanin",
+                      [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                        return s.sorter.spill_merge_fanin;
                       });
   TextFamily(&out, m, "impatience_shard_max_watermark_lag",
              [](const ShardMetrics& s) {
@@ -364,6 +409,17 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
             s.sorter.merge.elements_moved);
     Appendf(&out, "\"sorter_disjoint_concats\":%" PRIu64 ",",
             s.sorter.merge.disjoint_concats);
+    Appendf(&out, "\"memory_current_bytes\":%" PRIu64 ",",
+            s.memory_current_bytes);
+    Appendf(&out, "\"memory_peak_bytes\":%" PRIu64 ",", s.memory_peak_bytes);
+    Appendf(&out, "\"runs_recovered\":%" PRIu64 ",", s.runs_recovered);
+    Appendf(&out, "\"events_recovered\":%" PRIu64 ",", s.events_recovered);
+    Appendf(&out, "\"sorter_runs_spilled\":%" PRIu64 ",",
+            s.sorter.runs_spilled);
+    Appendf(&out, "\"sorter_spill_bytes_written\":%" PRIu64 ",",
+            s.sorter.spill_bytes_written);
+    Appendf(&out, "\"sorter_spill_read_bytes\":%" PRIu64 ",",
+            s.sorter.spill_read_bytes);
     AppendJsonHistogram(&out, "punct_to_emit_ns", s.sorter.punct_to_emit);
     out += ",";
     AppendJsonHistogram(&out, "ingest_to_emit_ns", s.sorter.ingest_to_emit);
@@ -373,6 +429,8 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
     AppendJsonHistogram(&out, "drain_stall_ns", s.drain_stall);
     out += ",";
     AppendJsonHistogram(&out, "kway_fanin", s.sorter.kway_fanin);
+    out += ",";
+    AppendJsonHistogram(&out, "spill_merge_fanin", s.sorter.spill_merge_fanin);
     out += ",";
     Appendf(&out, "\"max_watermark_lag\":%" PRId64 ",", s.max_watermark_lag);
     out += "\"watermarks\":[";
@@ -512,6 +570,32 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
       &out, m, "impatience_shard_sorter_elements_moved", "counter",
       "Elements moved by punctuation merges.",
       [](const ShardMetrics& s) { return s.sorter.merge.elements_moved; });
+  PromShardFamily(&out, m, "impatience_shard_memory_current_bytes", "gauge",
+                  "Bytes buffered across the shard pipeline right now.",
+                  [](const ShardMetrics& s) { return s.memory_current_bytes; });
+  PromShardFamily(&out, m, "impatience_shard_memory_peak_bytes", "gauge",
+                  "High-water mark of shard pipeline buffering since the "
+                  "last resetting scrape.",
+                  [](const ShardMetrics& s) { return s.memory_peak_bytes; });
+  PromShardFamily(&out, m, "impatience_shard_runs_recovered", "counter",
+                  "Spilled runs replayed from disk at startup.",
+                  [](const ShardMetrics& s) { return s.runs_recovered; });
+  PromShardFamily(&out, m, "impatience_shard_events_recovered", "counter",
+                  "Events replayed from recovered runs at startup.",
+                  [](const ShardMetrics& s) { return s.events_recovered; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_runs_spilled", "counter",
+                  "Sorter runs evicted to the disk spill tier.",
+                  [](const ShardMetrics& s) { return s.sorter.runs_spilled; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_spill_bytes_written",
+                  "counter", "Bytes written to spilled run files.",
+                  [](const ShardMetrics& s) {
+                    return s.sorter.spill_bytes_written;
+                  });
+  PromShardFamily(&out, m, "impatience_shard_sorter_spill_read_bytes",
+                  "counter", "Bytes read back from spilled run files.",
+                  [](const ShardMetrics& s) {
+                    return s.sorter.spill_read_bytes;
+                  });
 
   PromSummaryFamily(&out, m, "impatience_shard_punct_to_emit_nanoseconds",
                     "Punctuation arrival to emit completion, per call.",
@@ -538,6 +622,42 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
                     [](const ShardMetrics& s) -> const HistogramSnapshot& {
                       return s.sorter.kway_fanin;
                     });
+  PromSummaryFamily(&out, m, "impatience_shard_spill_merge_fanin",
+                    "Fan-in of punctuation merges touching spilled runs.",
+                    [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                      return s.sorter.spill_merge_fanin;
+                    });
+
+  PromBucketFamily(&out, m, "impatience_shard_punct_to_emit_nanoseconds_hist",
+                   "Punctuation arrival to emit completion, per call.",
+                   [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                     return s.sorter.punct_to_emit;
+                   });
+  PromBucketFamily(&out, m, "impatience_shard_ingest_to_emit_nanoseconds_hist",
+                   "Oldest buffered push to emit, per emitting punctuation.",
+                   [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                     return s.sorter.ingest_to_emit;
+                   });
+  PromBucketFamily(&out, m, "impatience_shard_queue_wait_nanoseconds_hist",
+                   "Frame wait in the shard ingress queue.",
+                   [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                     return s.queue_wait;
+                   });
+  PromBucketFamily(&out, m, "impatience_shard_drain_stall_nanoseconds_hist",
+                   "Drain-loop stall applying one frame to the pipeline.",
+                   [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                     return s.drain_stall;
+                   });
+  PromBucketFamily(&out, m, "impatience_shard_kway_fanin_hist",
+                   "Head-run fan-in of each loser-tree punctuation merge.",
+                   [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                     return s.sorter.kway_fanin;
+                   });
+  PromBucketFamily(&out, m, "impatience_shard_spill_merge_fanin_hist",
+                   "Fan-in of punctuation merges touching spilled runs.",
+                   [](const ShardMetrics& s) -> const HistogramSnapshot& {
+                     return s.sorter.spill_merge_fanin;
+                   });
 
   Appendf(&out,
           "# HELP impatience_session_watermark_lag Event-time lag of a "

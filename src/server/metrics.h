@@ -48,6 +48,15 @@ struct ShardMetrics {
   uint64_t shed_events = 0;
   uint64_t events_out = 0;       // Rows emitted on the final stream.
   uint64_t dropped_late = 0;     // Partition + sorter late drops.
+  // Byte-accurate buffering footprint of the shard pipeline (sorter runs,
+  // union buffers, ingress) from the shard's MemoryTracker. The peak is
+  // the high-water mark since the last resetting snapshot.
+  uint64_t memory_current_bytes = 0;
+  uint64_t memory_peak_bytes = 0;
+  // Crash recovery (spill-dir restart): spilled runs replayed into the
+  // pipeline and the events they carried. Stamped once at startup.
+  uint64_t runs_recovered = 0;
+  uint64_t events_recovered = 0;
   ImpatienceCounters sorter;     // Aggregated across the shard's bands.
   // Wall-clock nanoseconds a frame waited in the ingress queue before the
   // drain loop popped it.

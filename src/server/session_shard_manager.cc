@@ -12,9 +12,12 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/memory_tracker.h"
 #include "common/timestamp.h"
 #include "common/trace.h"
 #include "engine/streamable.h"
+#include "storage/run_store.h"
+#include "storage/spill.h"
 
 namespace impatience {
 namespace server {
@@ -65,10 +68,21 @@ struct SessionShardManager::Shard {
         // The partition absorbs ingress punctuations, so the ingress never
         // needs to punctuate on its own; SIZE_MAX disables its cadence.
         pipeline({.punctuation_period = static_cast<size_t>(-1),
-                  .reorder_latency = 0}) {}
+                  .reorder_latency = 0},
+                 &memory) {}
 
   const size_t index;
   BoundedMpscQueue<Frame> queue;
+
+  // Byte-accurate buffering footprint of everything behind this shard's
+  // pipeline; the spill policy reads it against the shard's budget slice.
+  // Declared before the pipeline, which registers reservations against it.
+  MemoryTracker memory;
+  // Durable run store under <spill_dir>/shard-<index> (nullptr without a
+  // spill dir): sorter spill target and the WAL recovery replays.
+  std::unique_ptr<storage::RunStore> store;
+  uint64_t runs_recovered = 0;    // Stamped once during construction.
+  uint64_t events_recovered = 0;
 
   // Guards the pipeline, `streams`, and `sessions` — held by the worker
   // while processing and by SnapshotShards while reading.
@@ -109,12 +123,34 @@ SessionShardManager::SessionShardManager(ShardManagerOptions options,
   if (options_.framework.reorder_latencies.empty()) {
     options_.framework.reorder_latencies = {1 * kSecond, 1 * kMinute};
   }
+  // Each shard gets an equal slice of the total buffering budget; its
+  // sorters spill against the shard's MemoryTracker (the whole-pipeline
+  // residency signal), not just their own bytes.
+  const size_t shard_budget =
+      options_.memory_budget == 0
+          ? 0
+          : std::max<size_t>(1, options_.memory_budget / options_.num_shards);
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>(i, options_);
     Shard* s = shard.get();
-    s->streams.emplace(
-        ToStreamables(s->pipeline.disordered(), options_.framework));
+    FrameworkOptions fw = options_.framework;
+    if (!options_.spill_dir.empty()) {
+      storage::RunStoreOptions store_options;
+      store_options.dir =
+          options_.spill_dir + "/shard-" + std::to_string(i);
+      std::string error;
+      s->store = storage::RunStore::Open(store_options, &error);
+      IMPATIENCE_CHECK_MSG(s->store != nullptr, "%s", error.c_str());
+      fw.sorter_config.spill.store = s->store.get();
+      // Make punctuation boundaries durable: every live spilled byte is
+      // fsync'd once the punctuation that could emit it has run, so a
+      // crash loses at most the events still in RAM.
+      fw.sorter_config.spill.sync_on_punctuation = true;
+    }
+    fw.sorter_config.spill.memory_budget = shard_budget;
+    fw.sorter_config.spill.tracker = &s->memory;
+    s->streams.emplace(ToStreamables(s->pipeline.disordered(), fw));
     const size_t first_stream =
         options_.subscribe_all_streams ? 0 : s->streams->size() - 1;
     for (size_t j = first_stream; j < s->streams->size(); ++j) {
@@ -123,6 +159,7 @@ SessionShardManager::SessionShardManager(ShardManagerOptions options,
         if (on_result_) on_result_(s->index, j, e);
       });
     }
+    if (s->store != nullptr) RecoverShard(s);
     shards_.push_back(std::move(shard));
   }
   if (!options_.manual_drain) {
@@ -134,6 +171,38 @@ SessionShardManager::SessionShardManager(ShardManagerOptions options,
 }
 
 SessionShardManager::~SessionShardManager() { Shutdown(); }
+
+void SessionShardManager::RecoverShard(Shard* s) {
+  std::vector<storage::RecoveredRun> runs;
+  storage::RecoveryStats stats;
+  std::string error;
+  IMPATIENCE_CHECK_MSG(s->store->Recover(&runs, &stats, &error), "%s",
+                       error.c_str());
+  // Replay each intact run (ascending within a run, run-id order across
+  // runs) through the normal ingress path: the partition re-routes, the
+  // sorters re-sort, and the data re-spills if the budget demands —
+  // recovery needs no special-case emit path. At-least-once: a suffix the
+  // crashed process already emitted but whose head advance was not yet
+  // durable is emitted again.
+  for (const storage::RecoveredRun& run : runs) {
+    uint64_t read_bytes = 0;
+    uint64_t replayed = 0;
+    const bool ok = storage::ReplayRecoveredRun<Event>(
+        run,
+        [&](const Event& e) {
+          s->pipeline.ingress().Push(e);
+          ++replayed;
+        },
+        &read_bytes, &error);
+    IMPATIENCE_CHECK_MSG(ok, "%s", error.c_str());
+    s->events_recovered += replayed;
+    ++s->runs_recovered;
+    // The events live in the pipeline again (RAM or re-spilled under new
+    // run ids); the old file is dead weight.
+    s->store->DeleteRun(run.id, nullptr);
+  }
+  s->pipeline.ingress().FlushPending();
+}
 
 size_t SessionShardManager::ShardOf(uint64_t session_id) const {
   return static_cast<size_t>(MixSession(session_id) % shards_.size());
@@ -206,8 +275,9 @@ void SessionShardManager::WorkerLoop(Shard* s) {
     frame = Frame{};
   }
   // Queue closed and drained: flush the pipeline so every buffered event
-  // is released in order before the thread exits.
-  FlushPipeline(s);
+  // is released in order before the thread exits. An abandoned manager
+  // (crash simulation) skips this — buffered state is deliberately lost.
+  if (!abandoned_.load(std::memory_order_acquire)) FlushPipeline(s);
 }
 
 void SessionShardManager::Process(Shard* s, Frame& frame) {
@@ -276,6 +346,22 @@ void SessionShardManager::Shutdown() {
   shut_down_.store(true, std::memory_order_release);
 }
 
+void SessionShardManager::AbandonForTest() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  abandoned_.store(true, std::memory_order_release);
+  shutting_down_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->queue.Close();
+  if (!options_.manual_drain) {
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  }
+  // No FlushPipeline: everything still buffered in RAM is lost, exactly
+  // as in a crash. Spilled run files and manifests stay on disk.
+  shut_down_.store(true, std::memory_order_release);
+}
+
 std::vector<ShardMetrics> SessionShardManager::SnapshotShards(
     bool reset_sorter_counters) {
   std::vector<ShardMetrics> out;
@@ -295,6 +381,13 @@ std::vector<ShardMetrics> SessionShardManager::SnapshotShards(
     m.shed_frames = s->shed_frames.load(std::memory_order_relaxed);
     m.shed_events = s->shed_events.load(std::memory_order_relaxed);
     m.events_out = s->events_out.load(std::memory_order_relaxed);
+    m.memory_current_bytes = s->memory.current_bytes();
+    m.memory_peak_bytes = s->memory.peak_bytes();
+    // The peak shares the statistics window with the sorter counters: a
+    // reset scrape restarts it from the current footprint.
+    if (reset_sorter_counters) s->memory.ResetPeak();
+    m.runs_recovered = s->runs_recovered;
+    m.events_recovered = s->events_recovered;
     // Latency histograms share the statistics window with the sorter
     // counters: a reset scrape drains both.
     m.queue_wait = s->queue_wait.Snapshot(reset_sorter_counters);

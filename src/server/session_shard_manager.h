@@ -70,6 +70,17 @@ struct ShardManagerOptions {
   // explicitly with DrainShardForTest(). Incompatible with kBlock (a
   // blocked producer would never be released).
   bool manual_drain = false;
+  // Durable spill directory. When set, each shard opens a RunStore at
+  // <spill_dir>/shard-<i>: sorter runs evicted under the memory budget are
+  // written there (fsync'd, CRC-framed), and construction replays any runs
+  // a previous process left behind — crash-recoverable ingest. Empty means
+  // spilling (if enabled by the budget) uses throwaway temp-dir stores.
+  std::string spill_dir;
+  // Total buffering budget in bytes, divided evenly across shards and
+  // enforced by each shard's MemoryTracker: when a shard's pipeline
+  // exceeds its slice, the coldest sorter runs spill to disk. 0 defers to
+  // IMPATIENCE_MEMORY_BUDGET (then enforced per sorter, not per shard).
+  size_t memory_budget = 0;
 };
 
 // Outcome of routing one frame to a shard.
@@ -128,12 +139,22 @@ class SessionShardManager {
   // everything queued on `shard`.
   void DrainShardForTest(size_t shard);
 
+  // Crash simulation for recovery tests: closes the queues and stops the
+  // workers WITHOUT flushing the pipelines, exactly as a kill would —
+  // buffered RAM state is lost, spilled run files and manifests survive
+  // for the next manager opened on the same spill_dir to recover.
+  // Idempotent; the destructor becomes a no-op afterwards.
+  void AbandonForTest();
+
  private:
   struct Shard;
 
   void WorkerLoop(Shard* shard);
   void Process(Shard* shard, Frame& frame);
   void FlushPipeline(Shard* shard);
+  // Replays runs a crashed predecessor spilled into this shard's store
+  // back through the pipeline ingress (at-least-once), then drops them.
+  void RecoverShard(Shard* shard);
 
   ShardManagerOptions options_;
   ResultFn on_result_;
@@ -141,6 +162,7 @@ class SessionShardManager {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> shutting_down_{false};
   std::atomic<bool> shut_down_{false};
+  std::atomic<bool> abandoned_{false};  // AbandonForTest: skip the flush.
   std::mutex shutdown_mu_;  // Serializes concurrent Shutdown() calls.
 };
 

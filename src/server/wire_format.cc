@@ -1,9 +1,9 @@
 #include "server/wire_format.h"
 
-#include <array>
 #include <cstring>
 
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace impatience {
 namespace server {
@@ -57,21 +57,6 @@ uint64_t GetU64(const uint8_t* p) {
 
 int32_t GetI32(const uint8_t* p) { return static_cast<int32_t>(GetU32(p)); }
 int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
-
-const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
 
 // The type-specific small header field (byte 5).
 uint8_t AuxOf(const Frame& frame) {
@@ -187,12 +172,9 @@ DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t n) {
-  const std::array<uint32_t, 256>& table = CrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  // One table, one polynomial: the shared common/crc32 implementation also
+  // frames the on-disk run files (storage tier).
+  return impatience::Crc32(data, n);
 }
 
 void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {

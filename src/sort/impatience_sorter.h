@@ -23,7 +23,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -39,6 +41,7 @@
 #include "sort/merge.h"
 #include "sort/run_select.h"
 #include "sort/sorter.h"
+#include "storage/spill.h"
 
 namespace impatience {
 
@@ -68,6 +71,13 @@ struct ImpatienceConfig {
   size_t parallel_merge_min_runs = 4;
   size_t parallel_merge_min_bytes = size_t{1} << 20;
   ThreadPool* thread_pool = nullptr;  // nullptr = ThreadPool::Global()
+
+  // External-memory spill tier (storage/spill.h): when a memory budget is
+  // set (explicitly or via IMPATIENCE_MEMORY_BUDGET) and usage exceeds it,
+  // cold runs move to disk-backed run files and stream back through the
+  // cursor merge at punctuation time — byte-identical output, bounded
+  // residency. Only engages for trivially-copyable element types.
+  storage::SpillSettings spill;
 };
 
 // Counters exposed for tests, ablation benchmarks, and the server's
@@ -83,6 +93,12 @@ struct ImpatienceCounters {
   // Punctuation merges executed by the k-way loser tree (the kLoserTree
   // policy's multi-run path).
   uint64_t loser_tree_merges = 0;
+  // Spill tier: runs moved to disk, bytes written to run files (blocks and
+  // their headers), and bytes read back (cut-boundary loads and merge
+  // cursor streams).
+  uint64_t runs_spilled = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_read_bytes = 0;
   // Active kernel dispatch level (KernelLevel as an integer) — a gauge,
   // not an accumulator: the sorter stamps it at construction and after
   // every reset, and aggregation takes the max across shards.
@@ -101,6 +117,9 @@ struct ImpatienceCounters {
   // workload's disorder actually produces the wide merges the tree is
   // built for.
   HistogramSnapshot kway_fanin;
+  // One sample per punctuation merge involving at least one spilled run:
+  // the merge's fan-in (1 = a lone spilled run streamed straight out).
+  HistogramSnapshot spill_merge_fanin;
 
   // Zeroes every counter. Long-lived servers snapshot-and-reset between
   // scrapes instead of reconstructing sorters.
@@ -116,6 +135,9 @@ struct ImpatienceCounters {
     parallel_merges += other.parallel_merges;
     merge_tasks += other.merge_tasks;
     loser_tree_merges += other.loser_tree_merges;
+    runs_spilled += other.runs_spilled;
+    spill_bytes_written += other.spill_bytes_written;
+    spill_read_bytes += other.spill_read_bytes;
     kernel_level = std::max(kernel_level, other.kernel_level);
     merge.elements_moved += other.merge.elements_moved;
     merge.binary_merges += other.merge.binary_merges;
@@ -123,6 +145,7 @@ struct ImpatienceCounters {
     punct_to_emit += other.punct_to_emit;
     ingest_to_emit += other.ingest_to_emit;
     kway_fanin += other.kway_fanin;
+    spill_merge_fanin += other.spill_merge_fanin;
     return *this;
   }
 };
@@ -134,6 +157,14 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   explicit ImpatienceSorter(ImpatienceConfig config = {})
       : config_(config) {
     counters_.kernel_level = static_cast<uint64_t>(level_);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      spill_budget_ = config_.spill.memory_budget;
+      if (spill_budget_ == 0 && config_.spill.use_env_default) {
+        spill_budget_ = storage::MemoryBudgetFromEnv();
+      }
+      spill_block_records_ =
+          std::max<size_t>(1, config_.spill.block_bytes / sizeof(T));
+    }
   }
 
   ImpatienceSorter(const ImpatienceSorter&) = delete;
@@ -151,6 +182,15 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     // in the window pays only this predictable branch.
     if (__builtin_expect(ingest_window_start_ns_ == 0, 0)) {
       ingest_window_start_ns_ = Clock::Nanos();
+    }
+    // Spill check every check_period pushes (one predictable compare when
+    // no budget is configured).
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (__builtin_expect(spill_budget_ != 0, 0) &&
+          ++spill_tick_ >= config_.spill.check_period) {
+        spill_tick_ = 0;
+        MaybeSpill();
+      }
     }
 
     // Speculative run selection: the previous insertion's run is often the
@@ -198,12 +238,30 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     // and this fixed cost dominates.
     cut_runs_.clear();
     size_t emitted = 0;
+    bool any_spilled = false;
     const size_t nruns = runs_.size();
     for (size_t r = kernels::NextIndexLE(head_times_.data(), 0, nruns, t,
                                          level_);
          r < nruns; r = kernels::NextIndexLE(head_times_.data(), r + 1,
                                              nruns, t, level_)) {
       Run& run = runs_[r];
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        if (run.spilled != nullptr) {
+          // Spilled run: count the releasing prefix from the block index
+          // (at most one boundary-block read). The head advances after
+          // the merge, once the cut range has been streamed out.
+          Timestamp next_time = kMaxTimestamp;
+          const size_t head = run.spilled->head();
+          const size_t n = run.spilled->CutCountLE(
+              t, time_of_, &next_time, &counters_.spill_read_bytes);
+          IMPATIENCE_DCHECK(n > 0);
+          cut_runs_.push_back(CutRange{r, head, head + n});
+          emitted += n;
+          head_times_[r] = next_time;
+          any_spilled = true;
+          continue;
+        }
+      }
       const size_t cut = UpperBoundByTime(run, t);
       IMPATIENCE_DCHECK(cut != run.head);
       cut_runs_.push_back(CutRange{r, run.head, cut});
@@ -217,7 +275,11 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     // reallocates mid-emit.
     out->reserve(out->size() + emitted);
 
-    if (cut_runs_.size() == 1) {
+    if (any_spilled) {
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        MergeSpilledCuts(out);
+      }
+    } else if (cut_runs_.size() == 1) {
       // Fast path: one head run goes straight to the output.
       const CutRange& c = cut_runs_[0];
       const std::vector<T>& items = runs_[c.run].items;
@@ -261,11 +323,36 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
       }
     }
 
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (any_spilled) {
+        // The cut ranges are out the door: advance the durable heads (the
+        // manifest record a restart resumes from) before cleanup drops
+        // emptied runs.
+        for (const CutRange& c : cut_runs_) {
+          Run& run = runs_[c.run];
+          if (run.spilled != nullptr) run.spilled->AdvanceHead(c.end);
+        }
+      }
+      if (spill_budget_ != 0 && config_.spill.sync_on_punctuation) {
+        for (Run& run : runs_) {
+          if (run.spilled != nullptr) {
+            counters_.spill_bytes_written +=
+                run.spilled->FlushPending(time_of_, /*sync=*/true);
+          }
+        }
+      }
+    }
+
     RemoveEmptyRunsAndCompact();
     // Keep some scratch for the next punctuation, but never let the pool
     // dominate the live buffer.
     pool_.Trim(std::max<size_t>(size_t{64} << 10,
                                 buffered_ * sizeof(T) / 2));
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      // Opportunistic end-of-punctuation budget check: merges and cuts
+      // just churned buffers, so this is where usage peaks move.
+      if (spill_budget_ != 0) MaybeSpill();
+    }
 
     const uint64_t now_ns = Clock::Nanos();
     counters_.punct_to_emit.Record(now_ns - punct_start_ns);
@@ -290,7 +377,12 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
                    runs_.capacity() * sizeof(Run) +
                    cut_runs_.capacity() * sizeof(CutRange) +
                    pool_.MemoryBytes() + scratch_.MemoryBytes();
-    for (const Run& run : runs_) bytes += run.items.capacity() * sizeof(T);
+    for (const Run& run : runs_) {
+      bytes += run.items.capacity() * sizeof(T);
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        if (run.spilled != nullptr) bytes += run.spilled->MemoryBytes();
+      }
+    }
     return bytes;
   }
 
@@ -324,16 +416,35 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
 
  private:
   // One sorted run. Elements before `head` have already been emitted.
+  // When `spilled` is set the elements live on disk instead of `items`
+  // (which is then empty), and head/cut state lives in the SpilledRun.
   struct Run {
     std::vector<T> items;
     size_t head = 0;
+    std::unique_ptr<storage::SpilledRun<T>> spilled;
+    // Victim-choice recency: append_seq_ at the last append (only
+    // maintained while a spill budget is active).
+    uint64_t last_append = 0;
 
     size_t live_size() const { return items.size() - head; }
   };
 
   void AppendToRun(size_t r, const T& item, Timestamp t) {
     IMPATIENCE_DCHECK(tails_[r] <= t);
-    runs_[r].items.push_back(item);
+    Run& run = runs_[r];
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (spill_budget_ != 0) {
+        run.last_append = ++append_seq_;
+        if (run.spilled != nullptr) {
+          counters_.spill_bytes_written +=
+              run.spilled->Append(item, time_of_);
+          tails_[r] = t;
+          last_run_ = r;
+          return;
+        }
+      }
+    }
+    run.items.push_back(item);
     tails_[r] = t;
     last_run_ = r;
   }
@@ -344,10 +455,153 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
                                      run.items.size(), t, time_of_, level_);
   }
 
+  // --- Spill tier (instantiated only for trivially-copyable T; every call
+  // site sits behind `if constexpr`). ---
+
+  // Streams the cut ranges (at least one of them spilled) through run
+  // cursors into `out`. RAM cuts participate as zero-copy single-chunk
+  // cursors — unlike the in-RAM path there is no staging copy into pool
+  // buffers, because the cursor merge does not consume its inputs.
+  // Byte-identical to the in-RAM merge of the same cuts (see
+  // HuffmanCursorMergeInto).
+  void MergeSpilledCuts(std::vector<T>* out) {
+    std::vector<std::unique_ptr<RunCursor<T>>> owned;
+    std::vector<RunCursor<T>*> cursors;
+    owned.reserve(cut_runs_.size());
+    cursors.reserve(cut_runs_.size());
+    for (const CutRange& c : cut_runs_) {
+      Run& run = runs_[c.run];
+      if (run.spilled != nullptr) {
+        owned.push_back(run.spilled->MakeCursor(
+            c.begin, c.end, &counters_.spill_read_bytes));
+      } else {
+        const T* base = run.items.data();
+        owned.push_back(std::make_unique<VectorRunCursor<T>>(
+            base + c.begin, base + c.end));
+      }
+      cursors.push_back(owned.back().get());
+    }
+    counters_.spill_merge_fanin.Record(cursors.size());
+    auto less = [this](const T& a, const T& b) {
+      return time_of_(a) < time_of_(b);
+    };
+    HuffmanCursorMergeInto(&cursors, less, out, &counters_.merge);
+  }
+
+  // Enforces the byte budget: trims the buffer pool, then spills victim
+  // runs coldest-first (least recently appended, ties to the larger run)
+  // until the measured excess is covered or nothing spillable remains.
+  void MaybeSpill() {
+    const size_t own_before = MemoryBytes();
+    size_t used = own_before;
+    if (config_.spill.tracker != nullptr) {
+      used = std::max(used, config_.spill.tracker->current_bytes());
+    }
+    if (used <= spill_budget_) return;
+    // Pooled merge buffers are pure cache — drop them before touching any
+    // run.
+    pool_.Trim(0);
+    size_t own = MemoryBytes();
+    const size_t deficit = used - spill_budget_;
+    while (own_before - own < deficit) {
+      const size_t victim = PickVictim();
+      if (victim == runs_.size()) break;
+      if (!SpillRun(victim)) break;
+      own = MemoryBytes();
+    }
+  }
+
+  // Coldest unspilled run with enough live bytes to be worth a file; if
+  // none qualifies, the largest unspilled run; runs_.size() if nothing
+  // spillable remains.
+  size_t PickVictim() const {
+    size_t best = runs_.size();
+    uint64_t best_age = UINT64_MAX;
+    size_t best_bytes = 0;
+    size_t biggest = runs_.size();
+    size_t biggest_bytes = 0;
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      const Run& run = runs_[i];
+      if (run.spilled != nullptr || run.items.empty()) continue;
+      const size_t live_bytes = run.live_size() * sizeof(T);
+      if (live_bytes > biggest_bytes) {
+        biggest = i;
+        biggest_bytes = live_bytes;
+      }
+      if (live_bytes < config_.spill.min_spill_bytes) continue;
+      if (run.last_append < best_age ||
+          (run.last_append == best_age && live_bytes > best_bytes)) {
+        best = i;
+        best_age = run.last_append;
+        best_bytes = live_bytes;
+      }
+    }
+    return best != runs_.size() ? best : biggest;
+  }
+
+  // Moves run `r`'s live suffix into a disk-backed SpilledRun and frees
+  // its RAM storage. On store/file failure, disables spilling for this
+  // sorter (data stays in RAM — never at risk) and returns false.
+  bool SpillRun(size_t r) {
+    storage::RunStore* store = EnsureStore();
+    if (store == nullptr) {
+      spill_budget_ = 0;
+      return false;
+    }
+    Run& run = runs_[r];
+    std::string error;
+    std::unique_ptr<storage::SpilledRun<T>> spilled =
+        storage::SpilledRun<T>::Create(store, spill_block_records_, &error);
+    if (spilled == nullptr) {
+      spill_budget_ = 0;
+      return false;
+    }
+    counters_.spill_bytes_written += spilled->AppendRange(
+        run.items.data() + run.head, run.items.size() - run.head, time_of_);
+    counters_.spill_bytes_written +=
+        spilled->FlushPending(time_of_, /*sync=*/false);
+    // Free the RAM storage outright (a pool release would keep the bytes
+    // resident, defeating the spill).
+    std::vector<T>().swap(run.items);
+    run.head = 0;
+    run.spilled = std::move(spilled);
+    ++counters_.runs_spilled;
+    return true;
+  }
+
+  storage::RunStore* EnsureStore() {
+    if (config_.spill.store != nullptr) return config_.spill.store;
+    if (owned_store_ == nullptr) {
+      std::string error;
+      owned_store_ = storage::RunStore::CreateTemp(&error);
+    }
+    return owned_store_.get();
+  }
+
   void RemoveEmptyRunsAndCompact() {
     size_t w = 0;
     for (size_t r = 0; r < runs_.size(); ++r) {
       Run& run = runs_[r];
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        if (run.spilled != nullptr) {
+          if (run.spilled->empty()) {
+            // Fully consumed: delete the run file (manifest `delete` +
+            // unlink) along with the run.
+            run.spilled->Discard();
+            ++counters_.removed_runs;
+            continue;
+          }
+          // Spilled runs never compact — their consumed prefix costs no
+          // RAM (index entries are pruned on head advance).
+          if (w != r) {
+            runs_[w] = std::move(runs_[r]);
+            tails_[w] = tails_[r];
+            head_times_[w] = head_times_[r];
+          }
+          ++w;
+          continue;
+        }
+      }
       if (run.head == run.items.size()) {
         ++counters_.removed_runs;
         continue;  // Run fully emitted: drop it (§III-D "cleanup").
@@ -391,6 +645,17 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   // Dispatch level resolved once per sorter; hot loops pass it through
   // instead of re-reading the process-wide cache.
   const KernelLevel level_ = ActiveKernelLevel();
+
+  // Spill tier state. spill_budget_ is the resolved byte budget (0 =
+  // disabled; config takes precedence over IMPATIENCE_MEMORY_BUDGET).
+  // owned_store_ is the lazily-created temp-dir store used when no shared
+  // store was configured; declared before runs_ so spilled runs (which
+  // reference the store) are destroyed first.
+  size_t spill_budget_ = 0;
+  size_t spill_block_records_ = 1;
+  size_t spill_tick_ = 0;
+  uint64_t append_seq_ = 0;
+  std::unique_ptr<storage::RunStore> owned_store_;
 
   std::vector<Run> runs_;
   std::vector<Timestamp> tails_;  // tails_[i] == time of runs_[i].items.back()

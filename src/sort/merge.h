@@ -557,6 +557,179 @@ void LoserTreeMergeInto(std::vector<std::vector<T>>* runs, Less less,
 }
 
 // ---------------------------------------------------------------------------
+// Run cursors: streaming merge over runs that may not live in RAM.
+//
+// The storage tier spills cold runs to disk; at punctuation time their
+// released prefixes must merge with RAM-resident runs without staging the
+// disk data contiguously. A RunCursor yields one sorted run as a sequence
+// of sorted chunks (a RAM run is a single chunk; a spilled run is one
+// chunk per on-disk block), and HuffmanCursorMergeInto merges k cursors
+// with a loser tree keyed by (element, Huffman rank). The output is
+// byte-identical to HuffmanMergeInto / LoserTreeMergeInto of the same runs
+// in the same order: a k-way merge under a total tie order (lower rank
+// wins ties) has exactly one valid output sequence, so neither the
+// chunking nor the single-pass execution can change a byte.
+
+template <typename T>
+class RunCursor {
+ public:
+  virtual ~RunCursor() = default;
+  // Exact number of elements the cursor yields across all chunks; drives
+  // the Huffman rank computation and output reservation.
+  virtual size_t total() const = 0;
+  // Next chunk [first, second), or {nullptr, nullptr} once exhausted.
+  // Pointers from the previous chunk are invalidated.
+  virtual std::pair<const T*, const T*> NextChunk() = 0;
+};
+
+// A RAM-resident sorted range as a single chunk. Does not own the range.
+template <typename T>
+class VectorRunCursor final : public RunCursor<T> {
+ public:
+  VectorRunCursor(const T* begin, const T* end) : begin_(begin), end_(end) {}
+  size_t total() const override {
+    return static_cast<size_t>(end_ - begin_);
+  }
+  std::pair<const T*, const T*> NextChunk() override {
+    if (done_ || begin_ == end_) return {nullptr, nullptr};
+    done_ = true;
+    return {begin_, end_};
+  }
+
+ private:
+  const T* begin_;
+  const T* end_;
+  bool done_ = false;
+};
+
+namespace merge_internal {
+
+// Single-pass k-way loser-tree merge over cursors presented in tie-break
+// order (ties resolve to the lower slot). Unlike LoserTreePass there is no
+// fan-in cap or ping-pong regrouping: a disk-backed merge is bandwidth-
+// bound, and regrouping would re-stage spilled data. disjoint_concats is
+// not tracked (chunk granularity hides whole-run copies).
+template <typename T, typename Less>
+void CursorLoserTreePass(RunCursor<T>* const* cursors, size_t k, Less less,
+                         std::vector<T>* out) {
+  std::vector<const T*> cur(k), end(k);
+  auto refill = [&cursors, &cur, &end](size_t i) {
+    for (;;) {
+      const std::pair<const T*, const T*> c = cursors[i]->NextChunk();
+      if (c.first == c.second) {
+        if (c.first == nullptr) {
+          cur[i] = end[i] = nullptr;
+          return false;
+        }
+        continue;  // Skip empty chunks.
+      }
+      cur[i] = c.first;
+      end[i] = c.second;
+      return true;
+    }
+  };
+  for (size_t i = 0; i < k; ++i) refill(i);
+  // Exhausted runs (cur == nullptr) lose to everything; ties go to the
+  // lower slot — the same total order as LoserTreePass.
+  auto beats = [&cur, &less](int32_t i, int32_t j) {
+    if (cur[j] == nullptr) return cur[i] != nullptr;
+    if (cur[i] == nullptr) return false;
+    if (less(*cur[i], *cur[j])) return true;
+    if (less(*cur[j], *cur[i])) return false;
+    return i < j;
+  };
+  std::vector<int32_t> tree(k);
+  std::vector<int32_t> winners(2 * k);
+  for (size_t i = 0; i < k; ++i) winners[k + i] = static_cast<int32_t>(i);
+  for (size_t n = k - 1; n >= 1; --n) {
+    const int32_t a = winners[2 * n];
+    const int32_t b = winners[2 * n + 1];
+    if (beats(a, b)) {
+      winners[n] = a;
+      tree[n] = b;
+    } else {
+      winners[n] = b;
+      tree[n] = a;
+    }
+  }
+  int32_t w = winners[1];
+  tree[0] = w;
+  while (cur[w] != nullptr) {
+    // The runner-up (second-smallest head) always sits among the losers on
+    // the winner's path; everything in the winner's current chunk that
+    // precedes it is safe to emit in one bulk copy.
+    int32_t ru = -1;
+    for (size_t t = (k + static_cast<size_t>(w)) >> 1; t >= 1; t >>= 1) {
+      if (ru == -1 || beats(tree[t], ru)) ru = tree[t];
+    }
+    const T* p = cur[w];
+    const T* bound;
+    if (ru == -1 || cur[ru] == nullptr) {
+      bound = end[w];
+    } else if (w < ru) {
+      bound = GallopUpperBound(p, end[w], *cur[ru], less);
+    } else {
+      bound = GallopLowerBound(p, end[w], *cur[ru], less);
+    }
+    out->insert(out->end(), p, bound);
+    cur[w] = bound;
+    if (cur[w] == end[w]) refill(w);
+    int32_t c = w;
+    for (size_t t = (k + static_cast<size_t>(w)) >> 1; t >= 1; t >>= 1) {
+      if (beats(tree[t], c)) std::swap(tree[t], c);
+    }
+    tree[0] = c;
+    w = c;
+  }
+}
+
+}  // namespace merge_internal
+
+// Merges `cursors` (each a sorted run) into `out` (appended), byte-
+// identical to HuffmanMergeInto / LoserTreeMergeInto of the same runs in
+// the same order: cursors are arranged by Huffman rank over their exact
+// totals, and cross-run ties resolve to the lower rank. Single streaming
+// pass; peak transient memory is one chunk per cursor plus the tree.
+//
+// MergeStats: elements_moved counts each element once (single pass),
+// binary_merges counts 1 per call, disjoint_concats is not tracked.
+template <typename T, typename Less>
+void HuffmanCursorMergeInto(std::vector<RunCursor<T>*>* cursors, Less less,
+                            std::vector<T>* out,
+                            MergeStats* stats = nullptr) {
+  TRACE_SPAN("merge.cursor");
+  std::vector<RunCursor<T>*>& cs = *cursors;
+  cs.erase(std::remove_if(
+               cs.begin(), cs.end(),
+               [](RunCursor<T>* c) { return c->total() == 0; }),
+           cs.end());
+  if (cs.empty()) return;
+  size_t total = 0;
+  for (const RunCursor<T>* c : cs) total += c->total();
+  out->reserve(out->size() + total);
+  if (stats != nullptr) {
+    stats->elements_moved += total;
+    ++stats->binary_merges;
+  }
+  if (cs.size() == 1) {
+    for (;;) {
+      const std::pair<const T*, const T*> c = cs[0]->NextChunk();
+      if (c.first == nullptr) break;
+      out->insert(out->end(), c.first, c.second);
+    }
+    return;
+  }
+  const size_t k = cs.size();
+  std::vector<size_t> sizes(k);
+  for (size_t i = 0; i < k; ++i) sizes[i] = cs[i]->total();
+  std::vector<uint32_t> rank;
+  merge_internal::ComputeHuffmanRanks(std::move(sizes), &rank);
+  std::vector<RunCursor<T>*> slots(k);
+  for (size_t i = 0; i < k; ++i) slots[rank[i]] = cs[i];
+  merge_internal::CursorLoserTreePass(slots.data(), k, less, out);
+}
+
+// ---------------------------------------------------------------------------
 // Parallel Huffman merge.
 
 // Per-worker buffer pool for parallel merges. MergeBufferPool is not

@@ -1,0 +1,435 @@
+// Spill tier: typed view of run files for ImpatienceSorter.
+//
+// SpilledRun<T> is the disk-backed counterpart of an in-RAM run: elements
+// append in sorted order, a head index tracks the emitted prefix, and the
+// live suffix streams back at merge time through a RunCursor (sort/merge.h)
+// so the k-way cursor merge treats disk and RAM runs uniformly. RAM cost
+// per spilled run is bounded: one partial block of pending appends, a
+// 32-byte index entry per on-disk block, and one block-sized load buffer —
+// everything else lives in the RunStore's files.
+//
+// SpillSettings carries the policy knobs (budget, victim choice cadence,
+// block size) into ImpatienceConfig; the victim scan itself lives in the
+// sorter, which owns the run metadata the coldest-first choice needs.
+
+#ifndef IMPATIENCE_STORAGE_SPILL_H_
+#define IMPATIENCE_STORAGE_SPILL_H_
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/memory_tracker.h"
+#include "common/timestamp.h"
+#include "sort/merge.h"
+#include "storage/run_store.h"
+
+namespace impatience {
+namespace storage {
+
+// Parses a byte-size string: decimal digits with an optional k/m/g suffix
+// (case-insensitive, power-of-two). Returns 0 on anything malformed.
+inline size_t ParseByteSize(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = strtoull(s, &end, 10);
+  if (end == s) return 0;
+  size_t shift = 0;
+  if (*end == 'k' || *end == 'K') {
+    shift = 10;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    shift = 20;
+    ++end;
+  } else if (*end == 'g' || *end == 'G') {
+    shift = 30;
+    ++end;
+  }
+  if (*end != '\0') return 0;
+  return static_cast<size_t>(v) << shift;
+}
+
+// IMPATIENCE_MEMORY_BUDGET, parsed once per process (the forced-spill CI
+// pass sets it before the test binary starts). 0 = unset.
+inline size_t MemoryBudgetFromEnv() {
+  static const size_t budget = ParseByteSize(getenv("IMPATIENCE_MEMORY_BUDGET"));
+  return budget;
+}
+
+// Spill policy configuration, embedded in ImpatienceConfig.
+struct SpillSettings {
+  // Shared store (the server wires one per shard). nullptr with a nonzero
+  // budget makes the sorter lazily create a private temp-dir store at
+  // first spill — how the forced-spill env pass runs every existing test
+  // under spilling without any per-test setup.
+  RunStore* store = nullptr;
+  // Byte budget; spilling triggers when usage exceeds it. 0 defers to
+  // IMPATIENCE_MEMORY_BUDGET (when use_env_default), else disables spill.
+  size_t memory_budget = 0;
+  // When set, the budget also gates on tracker->current_bytes() — the
+  // pipeline-wide residency signal — not just this sorter's own bytes.
+  MemoryTracker* tracker = nullptr;
+  bool use_env_default = true;
+  // Pushes between budget checks (checks scan all runs, so O(runs)).
+  size_t check_period = 256;
+  // Runs smaller than this stay in RAM unless nothing bigger exists —
+  // spilling tiny runs buys no residency and costs a file.
+  size_t min_spill_bytes = 4096;
+  // Target payload bytes per on-disk block; bounds both the per-run
+  // pending buffer and the read-back chunk size (the sorter derives
+  // records-per-block as block_bytes / sizeof(T), at least 1).
+  size_t block_bytes = 64 << 10;
+  // Flush pending appends to disk (and fsync when the store fsyncs) at
+  // every punctuation, making ingest durable at punctuation granularity.
+  // Off by default: pure spill needs no durability.
+  bool sync_on_punctuation = false;
+};
+
+// One run spilled to a RunStore file. Indices are 0-based over the spilled
+// content; `head` is the emitted prefix, `size` the total appended.
+// Not thread-safe (owned by one sorter).
+template <typename T>
+class SpilledRun {
+ public:
+  // Creates the backing run file. Returns nullptr on I/O failure (the
+  // caller keeps the run in RAM).
+  static std::unique_ptr<SpilledRun<T>> Create(RunStore* store,
+                                               size_t block_records,
+                                               std::string* error) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "spilled elements are raw-copied to disk");
+    uint64_t id = 0;
+    std::unique_ptr<RunFileWriter> writer =
+        store->BeginRun(sizeof(T), &id, error);
+    if (writer == nullptr) return nullptr;
+    return std::unique_ptr<SpilledRun<T>>(
+        new SpilledRun<T>(store, id, std::move(writer), block_records));
+  }
+
+  ~SpilledRun() {
+    // The file is deleted explicitly via Discard() when the run empties;
+    // on destruction with live content the file stays — it is the WAL a
+    // restart recovers from.
+    writer_.reset();
+  }
+
+  uint64_t id() const { return id_; }
+  size_t size() const { return disk_records_ + pending_.size(); }
+  size_t head() const { return head_; }
+  bool empty() const { return head_ >= size(); }
+
+  // Appends `n` elements (sorted, >= everything already appended). Returns
+  // the number of bytes flushed to disk (full blocks only).
+  template <typename TimeOf>
+  uint64_t AppendRange(const T* items, size_t n, TimeOf time_of) {
+    uint64_t flushed = 0;
+    while (n > 0) {
+      const size_t take = std::min(n, block_records_ - pending_.size());
+      pending_.insert(pending_.end(), items, items + take);
+      items += take;
+      n -= take;
+      if (pending_.size() == block_records_) {
+        flushed += FlushPending(time_of, /*sync=*/false);
+      }
+    }
+    return flushed;
+  }
+
+  template <typename TimeOf>
+  uint64_t Append(const T& item, TimeOf time_of) {
+    return AppendRange(&item, 1, time_of);
+  }
+
+  // Writes the pending partial block (if any) as its own block; with
+  // `sync`, fsyncs the file so everything appended so far is durable.
+  template <typename TimeOf>
+  uint64_t FlushPending(TimeOf time_of, bool sync) {
+    uint64_t flushed = 0;
+    if (!pending_.empty()) {
+      BlockRef ref;
+      ref.offset = writer_->next_block_offset();
+      ref.start_index = disk_records_;
+      ref.count = static_cast<uint32_t>(pending_.size());
+      ref.first_time = time_of(pending_.front());
+      ref.last_time = time_of(pending_.back());
+      std::string error;
+      if (!writer_->AppendBlock(
+              reinterpret_cast<const uint8_t*>(pending_.data()),
+              ref.count, &error)) {
+        // A failing spill device cannot lose data that is still in RAM:
+        // keep the block pending and let the caller's memory accounting
+        // carry it. (The write fault gate never reports failure.)
+        return flushed;
+      }
+      flushed += kRunBlockHeaderBytes +
+                 static_cast<uint64_t>(ref.count) * sizeof(T);
+      blocks_.push_back(ref);
+      disk_records_ += ref.count;
+      pending_.clear();
+    }
+    if (sync) {
+      std::string error;
+      writer_->Sync(&error);
+    }
+    return flushed;
+  }
+
+  // Counts the live elements (index >= head) with time <= t and reports
+  // the time of the first survivor (kMaxTimestamp when none). Requires at
+  // least one live element with time <= t (the sorter only cuts runs whose
+  // head time passed the punctuation). Reads back at most one block;
+  // bytes read are added to *read_bytes.
+  template <typename TimeOf>
+  size_t CutCountLE(Timestamp t, TimeOf time_of, Timestamp* next_head_time,
+                    uint64_t* read_bytes) {
+    size_t count = 0;
+    for (size_t b = FirstLiveBlock(); b < blocks_.size(); ++b) {
+      const BlockRef& ref = blocks_[b];
+      const size_t lo = std::max<uint64_t>(ref.start_index, head_);
+      if (ref.last_time <= t) {
+        count += ref.start_index + ref.count - lo;
+        continue;
+      }
+      if (ref.first_time > t && lo == ref.start_index) {
+        // Nothing in this block (or after) releases, and its first
+        // element is the next head — no load needed.
+        *next_head_time = ref.first_time;
+        return count;
+      }
+      // Boundary block: load it and find the first element > t.
+      LoadBlock(b, read_bytes);
+      const size_t begin = lo - ref.start_index;
+      size_t pos = begin, hi = ref.count;
+      while (pos < hi) {
+        const size_t mid = (pos + hi) / 2;
+        if (time_of(load_buf_[mid]) <= t) {
+          pos = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      count += pos - begin;
+      *next_head_time = time_of(load_buf_[pos]);  // pos < count here.
+      return count;
+    }
+    // All disk blocks released; the boundary (if any) is in pending_.
+    const size_t lo = std::max<uint64_t>(disk_records_, head_) -
+                      disk_records_;
+    size_t pos = lo, hi = pending_.size();
+    while (pos < hi) {
+      const size_t mid = (pos + hi) / 2;
+      if (time_of(pending_[mid]) <= t) {
+        pos = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    count += pos - lo;
+    *next_head_time =
+        pos < pending_.size() ? time_of(pending_[pos]) : kMaxTimestamp;
+    return count;
+  }
+
+  // Marks [0, new_head) emitted. Prunes index entries for fully-consumed
+  // blocks and records the advance in the manifest (the durable head a
+  // restart resumes from).
+  void AdvanceHead(size_t new_head) {
+    IMPATIENCE_DCHECK(new_head >= head_ && new_head <= size());
+    head_ = new_head;
+    const size_t drop = FirstLiveBlock();
+    if (drop > 0) blocks_.erase(blocks_.begin(), blocks_.begin() + drop);
+    store_->AdvanceHead(id_, head_, nullptr);
+  }
+
+  // Deletes the backing file (run fully consumed).
+  void Discard() {
+    writer_.reset();
+    store_->DeleteRun(id_, nullptr);
+  }
+
+  // Streaming cursor over live elements [begin, end) (absolute indices).
+  // The SpilledRun must outlive the cursor and not be appended to while
+  // the cursor is live.
+  std::unique_ptr<RunCursor<T>> MakeCursor(size_t begin, size_t end,
+                                           uint64_t* read_bytes) {
+    return std::unique_ptr<RunCursor<T>>(
+        new Cursor(this, begin, end, read_bytes));
+  }
+
+  // RAM held by this spilled run: pending appends, block index, load
+  // buffer.
+  size_t MemoryBytes() const {
+    return pending_.capacity() * sizeof(T) +
+           blocks_.capacity() * sizeof(BlockRef) +
+           load_buf_.capacity() * sizeof(T);
+  }
+
+  // Trims the load buffer (kept across punctuations otherwise).
+  void TrimScratch() {
+    load_buf_.clear();
+    load_buf_.shrink_to_fit();
+    load_offset_ = UINT64_MAX;
+  }
+
+ private:
+  struct BlockRef {
+    uint64_t offset = 0;       // File offset of the block header.
+    uint64_t start_index = 0;  // Absolute index of the block's first record.
+    uint32_t count = 0;
+    Timestamp first_time = 0;
+    Timestamp last_time = 0;
+  };
+
+  SpilledRun(RunStore* store, uint64_t id,
+             std::unique_ptr<RunFileWriter> writer, size_t block_records)
+      : store_(store),
+        id_(id),
+        writer_(std::move(writer)),
+        block_records_(std::max<size_t>(1, block_records)) {}
+
+  // Index of the first block with live records.
+  size_t FirstLiveBlock() const {
+    size_t b = 0;
+    while (b < blocks_.size() &&
+           blocks_[b].start_index + blocks_[b].count <= head_) {
+      ++b;
+    }
+    return b;
+  }
+
+  // Loads block `b` into load_buf_. The write path already CRC'd the
+  // bytes; a mismatch here means the device corrupted them underneath a
+  // live process, which is a hard failure, not a recovery case. The cache
+  // is keyed by file offset, not block index: AdvanceHead prunes consumed
+  // entries from blocks_, so an index names different blocks over time.
+  void LoadBlock(size_t b, uint64_t* read_bytes) {
+    const BlockRef& ref = blocks_[b];
+    if (load_offset_ == ref.offset) return;
+    raw_buf_.clear();
+    uint32_t count = 0;
+    const BlockReadStatus status = ReadBlockAt(
+        writer_->fd(), ref.offset, sizeof(T), &raw_buf_, &count, nullptr);
+    IMPATIENCE_CHECK_MSG(
+        status == BlockReadStatus::kOk && count == ref.count,
+        "spilled block unreadable under a live writer");
+    load_buf_.resize(count);
+    memcpy(load_buf_.data(), raw_buf_.data(),
+           static_cast<size_t>(count) * sizeof(T));
+    if (read_bytes != nullptr) {
+      *read_bytes += kRunBlockHeaderBytes +
+                     static_cast<uint64_t>(count) * sizeof(T);
+    }
+    load_offset_ = ref.offset;
+  }
+
+  class Cursor final : public RunCursor<T> {
+   public:
+    Cursor(SpilledRun<T>* run, size_t begin, size_t end,
+           uint64_t* read_bytes)
+        : run_(run), pos_(begin), end_(end), read_bytes_(read_bytes) {}
+
+    size_t total() const override { return end_ - pos0_init_; }
+
+    std::pair<const T*, const T*> NextChunk() override {
+      if (pos_ >= end_) return {nullptr, nullptr};
+      // Disk part: one block per chunk through the run's load buffer.
+      if (pos_ < run_->disk_records_) {
+        const size_t b = BlockOf(pos_);
+        const auto& ref = run_->blocks_[b];
+        run_->LoadBlock(b, read_bytes_);
+        const size_t lo = pos_ - ref.start_index;
+        const size_t hi = std::min<uint64_t>(
+            ref.count, end_ - ref.start_index);
+        pos_ = ref.start_index + hi;
+        return {run_->load_buf_.data() + lo, run_->load_buf_.data() + hi};
+      }
+      // RAM tail: the pending partial block, one final chunk.
+      const size_t lo = pos_ - run_->disk_records_;
+      const size_t hi = end_ - run_->disk_records_;
+      pos_ = end_;
+      return {run_->pending_.data() + lo, run_->pending_.data() + hi};
+    }
+
+   private:
+    size_t BlockOf(size_t index) const {
+      // Blocks are index-ordered; binary search by start_index.
+      const auto& blocks = run_->blocks_;
+      size_t lo = 0, hi = blocks.size();
+      while (lo + 1 < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (blocks[mid].start_index <= index) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+
+    SpilledRun<T>* run_;
+    size_t pos_;
+    const size_t pos0_init_ = pos_;
+    size_t end_;
+    uint64_t* read_bytes_;
+  };
+
+  RunStore* store_;
+  uint64_t id_;
+  std::unique_ptr<RunFileWriter> writer_;
+  size_t block_records_;
+  std::vector<BlockRef> blocks_;
+  std::vector<T> pending_;
+  uint64_t disk_records_ = 0;
+  size_t head_ = 0;
+  std::vector<uint8_t> raw_buf_;
+  std::vector<T> load_buf_;
+  // File offset of the block currently in load_buf_ (UINT64_MAX = none).
+  uint64_t load_offset_ = UINT64_MAX;
+
+  friend class Cursor;
+};
+
+// Replays a recovered run's durable, un-emitted records [head, records)
+// through `fn(const T&)` in order. Returns false when the file cannot be
+// read (already-truncated tails are not errors — the scan stops cleanly).
+template <typename T, typename Fn>
+bool ReplayRecoveredRun(const RecoveredRun& run, Fn fn, uint64_t* read_bytes,
+                        std::string* error) {
+  if (run.record_size != sizeof(T)) {
+    if (error != nullptr) {
+      *error = "record size mismatch replaying " + run.path;
+    }
+    return false;
+  }
+  std::unique_ptr<RunFileReader> reader = RunFileReader::Open(run.path, error);
+  if (reader == nullptr) return false;
+  std::vector<uint8_t> payload;
+  uint32_t count = 0;
+  uint64_t index = 0;
+  T item;
+  while (index < run.records &&
+         reader->NextBlock(&payload, &count) == BlockReadStatus::kOk) {
+    if (read_bytes != nullptr) {
+      *read_bytes += kRunBlockHeaderBytes + payload.size();
+    }
+    for (uint32_t i = 0; i < count && index < run.records; ++i, ++index) {
+      if (index < run.head) continue;  // Already emitted before the crash.
+      memcpy(&item, payload.data() + static_cast<size_t>(i) * sizeof(T),
+             sizeof(T));
+      fn(item);
+    }
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace impatience
+
+#endif  // IMPATIENCE_STORAGE_SPILL_H_

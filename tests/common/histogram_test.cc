@@ -231,5 +231,33 @@ TEST(ScopedLatencyTimerTest, RecordsElapsedTime) {
   EXPECT_EQ(h.count(), 1u);
 }
 
+// CountLessOrEqual is exact at every bucket-closing bound (values < 32 and
+// 2^k - 1) — the bounds the Prometheus _bucket ladder uses — and empty /
+// saturating bounds behave like a cumulative distribution.
+TEST(HistogramSnapshotTest, CountLessOrEqualExactAtBucketBounds) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.CountLessOrEqual(0), 0u);
+  const uint64_t values[] = {0, 1, 3, 3, 4, 31, 63, 64, 1000, 1 << 20};
+  for (const uint64_t v : values) h.Record(v);
+
+  uint64_t expected = 0;
+  for (const uint64_t bound : {uint64_t{0}, uint64_t{1}, uint64_t{3},
+                               uint64_t{15}, uint64_t{31}, uint64_t{63},
+                               uint64_t{255}, uint64_t{1023},
+                               (uint64_t{1} << 22) - 1, UINT64_MAX}) {
+    expected = 0;
+    for (const uint64_t v : values) expected += v <= bound ? 1 : 0;
+    EXPECT_EQ(h.CountLessOrEqual(bound), expected) << "bound=" << bound;
+  }
+  // Cumulative: never decreasing, saturating at count().
+  uint64_t prev = 0;
+  for (uint64_t k = 0; k <= 40; k += 2) {
+    const uint64_t c = h.CountLessOrEqual((uint64_t{1} << k) - 1);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(h.CountLessOrEqual(UINT64_MAX), h.count());
+}
+
 }  // namespace
 }  // namespace impatience

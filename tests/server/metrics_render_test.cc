@@ -81,6 +81,17 @@ ServerMetrics MakeMetrics() {
   s.sorter.kway_fanin.Record(8);
   s.sorter.kway_fanin.Record(32);
 
+  s.memory_current_bytes = 1234;
+  s.memory_peak_bytes = 999999;
+  s.runs_recovered = 3;
+  s.events_recovered = 450;
+  s.sorter.runs_spilled = 6;
+  s.sorter.spill_bytes_written = 70000;
+  s.sorter.spill_read_bytes = 60000;
+  s.sorter.spill_merge_fanin.Record(2);
+  s.sorter.spill_merge_fanin.Record(5);
+  s.sorter.spill_merge_fanin.Record(9);
+
   SessionWatermark nasty;
   nasty.label = "se\"ss\\ion\nid\x01";  // Hostile label for both formats.
   nasty.session_id = 7;
@@ -223,6 +234,127 @@ TEST(MetricsRenderTest, IoLoopFamiliesInAllThreeFormats) {
   EXPECT_NE(prom.find("# TYPE impatience_io_loop_closed_slow counter"),
             std::string::npos);
   EXPECT_NE(prom.find("impatience_io_loop_epollout_stalls{loop=\"0\"} 40"),
+            std::string::npos);
+}
+
+// The storage-tier families (memory gauges, spill counters, recovery
+// counters, and the spill merge fan-in histogram) in all three formats.
+TEST(MetricsRenderTest, SpillAndMemoryFamiliesInAllThreeFormats) {
+  const ServerMetrics m = MakeMetrics();
+
+  const std::string text = RenderMetricsText(m);
+  EXPECT_NE(text.find("impatience_shard_memory_current_bytes{shard=\"0\"} "
+                      "1234"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_memory_peak_bytes{shard=\"0\"} 999999"),
+      std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_runs_recovered{shard=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_events_recovered{shard=\"0\"} 450"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_sorter_runs_spilled{shard=\"0\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_sorter_spill_bytes_written"
+                      "{shard=\"0\"} 70000"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_sorter_spill_read_bytes"
+                      "{shard=\"0\"} 60000"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_spill_merge_fanin_count{shard=\"0\"} 3"),
+      std::string::npos);
+
+  const std::string json = RenderMetricsJson(m);
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"memory_current_bytes\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"memory_peak_bytes\":999999"), std::string::npos);
+  EXPECT_NE(json.find("\"runs_recovered\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"events_recovered\":450"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_runs_spilled\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_spill_bytes_written\":70000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sorter_spill_read_bytes\":60000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"spill_merge_fanin\":{\"count\":3,"),
+            std::string::npos);
+
+  const std::string prom = RenderMetricsPrometheus(m);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_memory_current_bytes gauge"),
+      std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_memory_peak_bytes{shard=\"0\"} "
+                      "999999"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_runs_recovered counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_events_recovered{shard=\"0\"} 450"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_sorter_runs_spilled{shard=\"0\"} 6"),
+      std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_spill_merge_fanin summary"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_spill_merge_fanin_count{shard=\"0\"} 3"),
+      std::string::npos);
+}
+
+// The cumulative-bucket histogram siblings: `histogram`-typed families
+// with an exact le ladder (every bound is the largest value of its log
+// bucket, so the cumulative counts are exact, not interpolated).
+TEST(MetricsRenderTest, PrometheusBucketSiblingsAreExact) {
+  const std::string prom = RenderMetricsPrometheus(MakeMetrics());
+
+  // The summary families keep their names and types (pinned above); the
+  // bucket siblings carry the _hist suffix and histogram type.
+  EXPECT_NE(prom.find("# TYPE impatience_shard_punct_to_emit_nanoseconds"
+                      "_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_ingest_to_emit_nanoseconds"
+                      "_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_queue_wait_nanoseconds"
+                      "_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_drain_stall_nanoseconds"
+                      "_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_shard_kway_fanin_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_spill_merge_fanin_hist histogram"),
+      std::string::npos);
+
+  // kway_fanin recorded {8, 32}: exact cumulative counts at the 2^k - 1
+  // bounds — 0 at le=3, 1 at le=15 (the 8), 2 at le=63 (both).
+  EXPECT_NE(prom.find("impatience_shard_kway_fanin_hist_bucket{shard=\"0\","
+                      "le=\"3\"} 0"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_kway_fanin_hist_bucket{shard=\"0\","
+                      "le=\"15\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_kway_fanin_hist_bucket{shard=\"0\","
+                      "le=\"63\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_kway_fanin_hist_bucket{shard=\"0\","
+                      "le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_kway_fanin_hist_sum{shard=\"0\"} 40"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_kway_fanin_hist_count{shard=\"0\"} 2"),
+      std::string::npos);
+
+  // spill_merge_fanin recorded {2, 5, 9}: 1 at le=3, all 3 at le=15.
+  EXPECT_NE(prom.find("impatience_shard_spill_merge_fanin_hist_bucket"
+                      "{shard=\"0\",le=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_spill_merge_fanin_hist_bucket"
+                      "{shard=\"0\",le=\"15\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_spill_merge_fanin_hist_bucket"
+                      "{shard=\"0\",le=\"+Inf\"} 3"),
             std::string::npos);
 }
 

@@ -167,7 +167,12 @@ TEST(ImpatienceSorterTest, DistinctTimestampBound) {
 }
 
 TEST(ImpatienceSorterTest, MemoryShrinksAfterEmission) {
-  Sorter sorter;
+  // This test pins in-RAM residency growth/shrink; a process-wide
+  // IMPATIENCE_MEMORY_BUDGET would (correctly) cap `before`. The spill
+  // tier's own residency bound is covered in tests/storage/.
+  ImpatienceConfig config;
+  config.spill.use_env_default = false;
+  Sorter sorter(config);
   auto input = testing::NearlySortedSequence(100000, 30, 64, /*seed=*/5);
   for (Timestamp t : input) sorter.Push(t);
   const size_t before = sorter.MemoryBytes();

@@ -119,8 +119,13 @@ TEST(OnlineSorterTest, NamesAreStable) {
 }
 
 TEST(OnlineSorterTest, MemoryReportedWhileBuffering) {
+  // Asserts all buffered bytes are reported as resident, so the
+  // Impatience arm must not spill them under a process-wide budget.
+  ImpatienceConfig config;
+  config.spill.use_env_default = false;
   for (const OnlineAlgorithm algorithm : kAllOnlineAlgorithms) {
-    auto sorter = MakeOnlineSorter<Timestamp, IdentityTimeOf>(algorithm);
+    auto sorter =
+        MakeOnlineSorter<Timestamp, IdentityTimeOf>(algorithm, config);
     for (Timestamp t = 0; t < 10000; ++t) sorter->Push(t * 2 + 1);
     EXPECT_GE(sorter->MemoryBytes(), 10000 * sizeof(Timestamp))
         << OnlineAlgorithmName(algorithm);

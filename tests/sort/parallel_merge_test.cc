@@ -199,9 +199,15 @@ TEST(ParallelMergeTest, PunctuationStressMatchesSequentialOracle) {
   parallel_config.parallel_merge_min_runs = 2;
   parallel_config.parallel_merge_min_bytes = 0;
   parallel_config.thread_pool = &pool;
+  // A process-wide memory budget would route punctuation merges through
+  // the spill cursor path and starve the parallel-merge counter this
+  // test asserts on (spill + pool composition is covered in
+  // tests/storage/spill_determinism_test.cc).
+  parallel_config.spill.use_env_default = false;
 
   ImpatienceConfig sequential_config;
   sequential_config.parallel_merge = false;
+  sequential_config.spill.use_env_default = false;
 
   std::vector<std::vector<Timestamp>> results;
   uint64_t parallel_merges = 0;

@@ -1,0 +1,265 @@
+// Spill determinism: an ImpatienceSorter with the disk tier engaged must
+// emit byte-identical output to the pure in-RAM sorter — same elements,
+// same order on every cross-run tie — under forced spilling (budget 1,
+// checked every push), under a small budget, across adversarial disorder
+// shapes, across merge policies, and across thread-pool sizes. Plus the
+// acceptance property: a session whose run bytes exceed 8x the budget
+// completes with the sorter's resident footprint bounded near the budget.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "sort/impatience_sorter.h"
+
+namespace impatience {
+namespace {
+
+// Timestamp plus a globally unique tag (as in loser_tree_test.cc): the
+// sorter orders by `time` only, so the tag pins down the exact order a
+// merge produced on ties — which is what byte-identity means.
+struct Tagged {
+  int64_t time;
+  uint32_t tag;
+  bool operator==(const Tagged&) const = default;
+};
+
+struct TaggedTimeOf {
+  Timestamp operator()(const Tagged& e) const {
+    return static_cast<Timestamp>(e.time);
+  }
+};
+
+using SpillSorter = ImpatienceSorter<Tagged, TaggedTimeOf>;
+
+// Streaming disorder families, the push-time counterparts of the run-shape
+// corpus in loser_tree_test.cc.
+enum class StreamShape {
+  kRandom,    // Bounded random disorder window, heavy ties.
+  kAllTies,   // One value repeated: order is pure tie-breaking.
+  kSorted,    // Already in order: lone-run fast paths.
+  kPlateaus,  // Long stretches of near-equal times.
+  kSpikes,    // Mostly in order with occasional deep stragglers.
+};
+
+const char* StreamShapeName(StreamShape s) {
+  switch (s) {
+    case StreamShape::kRandom: return "random";
+    case StreamShape::kAllTies: return "all_ties";
+    case StreamShape::kSorted: return "sorted";
+    case StreamShape::kPlateaus: return "plateaus";
+    case StreamShape::kSpikes: return "spikes";
+  }
+  return "?";
+}
+
+const StreamShape kAllStreamShapes[] = {
+    StreamShape::kRandom, StreamShape::kAllTies, StreamShape::kSorted,
+    StreamShape::kPlateaus, StreamShape::kSpikes};
+
+int64_t NextTime(StreamShape shape, Rng& rng, int64_t now) {
+  switch (shape) {
+    case StreamShape::kRandom:
+      return now + static_cast<int64_t>(rng.NextBelow(64)) - 20;
+    case StreamShape::kAllTies:
+      return 1 << 20;  // Above every punctuation: nothing dropped late.
+    case StreamShape::kSorted:
+      return now;
+    case StreamShape::kPlateaus:
+      return (now / 100) * 100 + static_cast<int64_t>(rng.NextBelow(3));
+    case StreamShape::kSpikes:
+      return rng.NextBelow(10) == 0
+                 ? now - static_cast<int64_t>(rng.NextBelow(25))
+                 : now;
+  }
+  return now;
+}
+
+// Drives one sorter through the punctuation stress and returns everything
+// it emitted. Identical (shape, seed) means an identical push/punctuation
+// sequence, so outputs are directly comparable across configurations.
+std::vector<Tagged> RunSession(SpillSorter* sorter, StreamShape shape,
+                               uint64_t seed, size_t steps = 3000) {
+  Rng rng(seed);
+  int64_t now = 0;
+  uint32_t tag = 0;
+  std::vector<Tagged> out;
+  for (size_t step = 0; step < steps; ++step) {
+    sorter->Push(Tagged{NextTime(shape, rng, now), tag++});
+    ++now;
+    if (shape != StreamShape::kAllTies && rng.NextBelow(50) == 0) {
+      sorter->OnPunctuation(now - 30, &out);
+    }
+  }
+  sorter->Flush(&out);
+  return out;
+}
+
+ImpatienceConfig InMemoryConfig() {
+  ImpatienceConfig config;
+  // Immune to the forced-spill CI pass: this arm is the in-RAM reference
+  // even when IMPATIENCE_MEMORY_BUDGET is set in the environment.
+  config.spill.use_env_default = false;
+  return config;
+}
+
+// Budget 1, checked at every push, no minimum run size: every run that can
+// move to disk does, immediately.
+ImpatienceConfig ForcedSpillConfig() {
+  ImpatienceConfig config = InMemoryConfig();
+  config.spill.memory_budget = 1;
+  config.spill.check_period = 1;
+  config.spill.min_spill_bytes = 0;
+  config.spill.block_bytes = 1024;  // Many blocks per run.
+  return config;
+}
+
+ImpatienceConfig TinyBudgetConfig() {
+  ImpatienceConfig config = InMemoryConfig();
+  config.spill.memory_budget = 16 << 10;
+  config.spill.check_period = 8;
+  config.spill.block_bytes = 4096;
+  return config;
+}
+
+// The headline contract: forced and tiny-budget spilling are
+// byte-identical to the in-RAM sorter on every shape and seed, and the
+// forced arm actually exercised the disk tier.
+TEST(SpillDeterminismTest, ByteIdenticalAcrossBudgetsAndShapes) {
+  for (const StreamShape shape : kAllStreamShapes) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      SpillSorter ram_sorter(InMemoryConfig());
+      SpillSorter forced_sorter(ForcedSpillConfig());
+      SpillSorter tiny_sorter(TinyBudgetConfig());
+
+      const std::vector<Tagged> want =
+          RunSession(&ram_sorter, shape, 100 + seed);
+      const std::vector<Tagged> forced =
+          RunSession(&forced_sorter, shape, 100 + seed);
+      const std::vector<Tagged> tiny =
+          RunSession(&tiny_sorter, shape, 100 + seed);
+
+      ASSERT_EQ(forced, want)
+          << StreamShapeName(shape) << " seed=" << seed << " (forced)";
+      ASSERT_EQ(tiny, want)
+          << StreamShapeName(shape) << " seed=" << seed << " (tiny)";
+      EXPECT_EQ(ram_sorter.counters().runs_spilled, 0u);
+      EXPECT_GT(forced_sorter.counters().runs_spilled, 0u)
+          << StreamShapeName(shape) << " seed=" << seed;
+      EXPECT_GT(forced_sorter.counters().spill_bytes_written, 0u);
+      // Merges that touched spilled runs recorded their fan-in.
+      EXPECT_GT(forced_sorter.counters().spill_merge_fanin.count(), 0u);
+    }
+  }
+}
+
+// Same contract under the kLoserTree merge policy — the cursor-based
+// spill merge must compose with the k-way tournament path.
+TEST(SpillDeterminismTest, ByteIdenticalUnderLoserTreePolicy) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    ImpatienceConfig ram = InMemoryConfig();
+    ram.merge_policy = MergePolicy::kLoserTree;
+    ImpatienceConfig forced = ForcedSpillConfig();
+    forced.merge_policy = MergePolicy::kLoserTree;
+
+    SpillSorter ram_sorter(ram);
+    SpillSorter forced_sorter(forced);
+    const std::vector<Tagged> want =
+        RunSession(&ram_sorter, StreamShape::kRandom, 200 + seed);
+    const std::vector<Tagged> got =
+        RunSession(&forced_sorter, StreamShape::kRandom, 200 + seed);
+    ASSERT_EQ(got, want) << "seed=" << seed;
+    EXPECT_GT(forced_sorter.counters().runs_spilled, 0u);
+  }
+}
+
+// Thread-pool invariance: the spilled output must not depend on the pool
+// the parallel merge paths run on (1, 2, and 8 threads), mirroring the
+// parallel-merge byte-identity test in loser_tree_test.cc.
+TEST(SpillDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    SpillSorter ram_sorter(InMemoryConfig());
+    const std::vector<Tagged> want =
+        RunSession(&ram_sorter, StreamShape::kRandom, 300 + seed);
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ThreadPool pool(threads);
+      ImpatienceConfig config = ForcedSpillConfig();
+      config.thread_pool = &pool;
+      config.parallel_merge_min_runs = 2;
+      config.parallel_merge_min_bytes = 0;
+      SpillSorter sorter(config);
+      const std::vector<Tagged> got =
+          RunSession(&sorter, StreamShape::kRandom, 300 + seed);
+      ASSERT_EQ(got, want) << "threads=" << threads << " seed=" << seed;
+      EXPECT_GT(sorter.counters().runs_spilled, 0u);
+    }
+  }
+}
+
+// Acceptance: a session whose spilled bytes exceed 8x the budget completes
+// byte-identical to the in-RAM path while the sorter's resident footprint
+// stays bounded near the budget — external-memory behaviour, not just
+// correctness. The slack term covers what the policy cannot shed: one
+// pending partial block plus one load buffer per live spilled run, and the
+// warm merge scratch the next punctuation reuses.
+TEST(SpillAcceptanceTest, EightTimesBudgetSessionRunsBounded) {
+  constexpr size_t kBudget = 64 << 10;
+  constexpr size_t kBlock = 1024;
+  constexpr size_t kSteps = 60000;  // 60k * 16 B = 960 KiB = 15x budget.
+
+  ImpatienceConfig config = InMemoryConfig();
+  config.spill.memory_budget = kBudget;
+  config.spill.check_period = 1;  // Enforce the budget at every push.
+  config.spill.min_spill_bytes = 0;
+  config.spill.block_bytes = kBlock;
+
+  SpillSorter sorter(config);
+  SpillSorter ram_sorter(InMemoryConfig());
+
+  Rng rng(7);
+  int64_t now = 0;
+  uint32_t tag = 0;
+  std::vector<Tagged> out;
+  std::vector<Tagged> want;
+  size_t peak = 0;
+  for (size_t step = 0; step < kSteps; ++step) {
+    const Tagged e{now + static_cast<int64_t>(rng.NextBelow(64)) - 20,
+                   tag++};
+    sorter.Push(e);
+    ram_sorter.Push(e);
+    ++now;
+    peak = std::max(peak, sorter.MemoryBytes());
+    // Punctuate rarely: most of the session is buffered at once, so the
+    // in-RAM arm really holds hundreds of KiB while the spilling arm must
+    // not.
+    if (step % 30000 == 29999) {
+      sorter.OnPunctuation(now - 5000, &out);
+      ram_sorter.OnPunctuation(now - 5000, &want);
+    }
+  }
+  sorter.Flush(&out);
+  ram_sorter.Flush(&want);
+
+  ASSERT_EQ(out, want);
+  ASSERT_EQ(out.size(), kSteps);  // Nothing dropped late in either arm.
+
+  const ImpatienceCounters& counters = sorter.counters();
+  EXPECT_GT(counters.runs_spilled, 0u);
+  // The session moved more than 8x the budget through the disk tier.
+  EXPECT_GT(counters.spill_bytes_written, 8 * kBudget);
+  EXPECT_GT(counters.spill_read_bytes, 0u);
+  EXPECT_GT(counters.spill_merge_fanin.count(), 0u);
+
+  // Residency bound: the budget plus bounded per-run slack. The in-RAM arm
+  // peaks at the full session size, so also require a real separation.
+  EXPECT_LE(peak, kBudget + kBudget / 2) << "resident peak above budget";
+  EXPECT_GE(ram_sorter.counters().pushes * sizeof(Tagged),
+            8 * kBudget);  // The workload really was external-memory scale.
+}
+
+}  // namespace
+}  // namespace impatience

@@ -1,12 +1,14 @@
-// Deterministic fuzz-style corruption corpus, shared by the wire-decoder
-// and CSV-reader tests: given one valid serialized artifact, produce its
-// truncations and single-byte mutations. Both parsers must survive every
-// variant without crashing, and must report (not mask) the damage.
+// Deterministic fuzz-style corruption corpus, shared by the wire-decoder,
+// CSV-reader, and run-file tests: given one valid serialized artifact,
+// produce its truncations and single-byte mutations. Every parser must
+// survive every variant without crashing, and must report (not mask) the
+// damage.
 
 #ifndef IMPATIENCE_TESTS_TESTING_CORRUPT_CORPUS_H_
 #define IMPATIENCE_TESTS_TESTING_CORRUPT_CORPUS_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,32 @@ inline std::vector<uint8_t> BytesOf(const std::string& text) {
 
 inline std::string TextOf(const std::vector<uint8_t>& bytes) {
   return std::string(bytes.begin(), bytes.end());
+}
+
+// Bridges the corpus generators to on-disk artifacts (run files,
+// manifests): read a file into bytes, write a corrupted variant back.
+inline std::vector<uint8_t> FileBytesOf(const std::string& path) {
+  std::vector<uint8_t> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+inline bool WriteFileBytes(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  std::fclose(f);
+  return ok;
 }
 
 }  // namespace testing

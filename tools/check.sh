@@ -31,6 +31,13 @@
 # distinct interleavings of the event-loop state machine through each
 # sanitizer.
 #
+# A fifth pass reruns the full suite with IMPATIENCE_MEMORY_BUDGET=64k: a
+# budget that tiny forces every Impatience sorter in every test to evict
+# its runs to temp-dir spill files and stream punctuation merges back from
+# disk, so the whole storage tier (run files, manifests, cursor merges,
+# head advancement) runs under each detector with the existing suites'
+# output assertions verifying byte-identical results.
+#
 # Benches/examples/tools are skipped: they share the same code, and
 # building them under the sanitizers roughly doubles the wall clock for no
 # extra coverage.
@@ -67,8 +74,11 @@ run_pass() {
       env IMPATIENCE_THREADS=8 IMPATIENCE_FAULT_SEED="$seed" $env_opts \
         ctest --output-on-failure -j "$(nproc)" -L server)
   done
+  (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 IMPATIENCE_MEMORY_BUDGET=64k $env_opts \
+      ctest --output-on-failure -j "$(nproc)")
   echo "$name tier-1 (native + scalar + avx2 kernels + tracing on" \
-    "+ 8-seed server fault sweep): OK"
+    "+ 8-seed server fault sweep + forced-spill 64k budget): OK"
 }
 
 tsan_pass() {

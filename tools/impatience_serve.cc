@@ -26,6 +26,7 @@
 #include "common/timestamp.h"
 #include "server/ingest_service.h"
 #include "server/tcp_transport.h"
+#include "storage/spill.h"
 
 namespace {
 
@@ -62,7 +63,12 @@ std::vector<impatience::Timestamp> ParseLatencies(const std::string& arg) {
       "                        [--latencies ms,ms,...] "
       "[--punctuation-period N]\n"
       "                        [--io-threads N]   (0 = "
-      "IMPATIENCE_IO_THREADS, default 2)\n");
+      "IMPATIENCE_IO_THREADS, default 2)\n"
+      "                        [--spill-dir PATH] [--memory-budget BYTES]\n"
+      "--spill-dir enables the durable disk spill tier (one run store per\n"
+      "shard under PATH; runs left by a crash are replayed on startup).\n"
+      "--memory-budget caps pipeline buffering (k/m/g suffixes accepted;\n"
+      "default: the IMPATIENCE_MEMORY_BUDGET environment variable).\n");
   std::exit(2);
 }
 
@@ -110,9 +116,18 @@ int main(int argc, char** argv) {
       const int v = std::atoi(next().c_str());
       if (v < 0) Usage();
       tcp_options.io_threads = static_cast<size_t>(v);
+    } else if (arg == "--spill-dir") {
+      options.shards.spill_dir = next();
+    } else if (arg == "--memory-budget") {
+      const std::string v = next();
+      options.shards.memory_budget = storage::ParseByteSize(v.c_str());
+      if (options.shards.memory_budget == 0) Usage();
     } else {
       Usage();
     }
+  }
+  if (options.shards.memory_budget == 0) {
+    options.shards.memory_budget = storage::MemoryBudgetFromEnv();
   }
 
   IngestService service(options);
@@ -130,6 +145,15 @@ int main(int argc, char** argv) {
                options.shards.queue_capacity,
                BackpressurePolicyName(options.shards.backpressure),
                tcp.io_threads());
+  if (!options.shards.spill_dir.empty() ||
+      options.shards.memory_budget != 0) {
+    std::fprintf(stderr,
+                 "impatience_serve: spill tier %s (dir '%s', budget %zu "
+                 "bytes)\n",
+                 options.shards.spill_dir.empty() ? "temp-dir" : "durable",
+                 options.shards.spill_dir.c_str(),
+                 options.shards.memory_budget);
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

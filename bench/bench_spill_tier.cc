@@ -1,12 +1,14 @@
 // Spill tier: external-memory acceptance arm. One synthetic online
-// session is run twice — pure in-RAM, then under a memory budget set to
-// 1/8 of the RAM arm's peak residency — and the two outputs are compared
-// byte for byte. The spilled arm must (a) stay byte-identical, (b) move
-// more than 8x the budget through the disk tier, and (c) keep its peak
-// resident footprint near the budget while the RAM arm peaks at the full
-// buffered-window size. The JSON stamp records the budget, both peaks,
-// and the spill counters so the trajectory shows the residency cap
-// holding release over release.
+// session is run three times — pure in-RAM, then under a memory budget
+// set to 1/8 of the RAM arm's peak residency with synchronous writes,
+// then again at the same budget with a write-behind flusher pool — and
+// all outputs are compared byte for byte. The spilled arms must (a) stay
+// byte-identical, (b) move more than 8x the budget through the disk
+// tier, and (c) keep their peak resident footprint near the budget while
+// the RAM arm peaks at the full buffered-window size. The JSON stamp
+// records the budget, the peaks, the spill counters, and the async arm's
+// flusher/read-ahead stats plus punct-to-emit p99 so the sync-vs-async
+// trajectory is visible release over release.
 
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +17,7 @@
 
 #include "bench/harness.h"
 #include "sort/impatience_sorter.h"
+#include "storage/spill_flusher.h"
 #include "workload/generators.h"
 
 namespace impatience::bench {
@@ -72,7 +75,7 @@ void Run() {
   const size_t n = EventCount();
   const std::vector<Event> events = BenchSynthetic(n, 30, 64).events;
 
-  Section("Spill tier: in-RAM reference vs budget = peak/8");
+  Section("Spill tier: in-RAM reference vs budget = peak/8, sync vs async");
 
   ImpatienceConfig ram_config;
   ram_config.spill.use_env_default = false;  // The in-RAM reference arm.
@@ -84,7 +87,19 @@ void Run() {
   spill_config.spill.check_period = 64;
   const SessionResult spilled = RunSession(events, spill_config);
 
+  // Async arm: same budget, but sealed blocks are handed to a two-thread
+  // write-behind pool and the merge cursors prefetch through it. The
+  // flusher outlives the session (runs hold channels into it).
+  storage::SpillFlusher::Options flusher_options;
+  flusher_options.threads = 2;
+  storage::SpillFlusher flusher(flusher_options);
+  ImpatienceConfig async_config = spill_config;
+  async_config.spill.flusher = &flusher;
+  const SessionResult async_arm = RunSession(events, async_config);
+  const storage::SpillFlusher::Stats flusher_stats = flusher.stats();
+
   const bool identical = spilled.out == ram.out;
+  const bool async_identical = async_arm.out == ram.out;
   // The acceptance ratio: the session's run bytes must exceed 8x the
   // budget for the arm to demonstrate external-memory operation.
   const size_t session_bytes = n * sizeof(Event);
@@ -95,45 +110,90 @@ void Run() {
       static_cast<double>(budget);
 
   TablePrinter table({"arm", "throughput_meps", "peak_bytes",
-                      "runs_spilled", "spill_written", "identical"});
+                      "runs_spilled", "spill_written", "p99_punct_us",
+                      "identical"});
   table.PrintRow({"ram", TablePrinter::Num(ram.throughput_meps),
-                  TablePrinter::Int(ram.peak_bytes), "0", "0", "-"});
-  table.PrintRow({"budget/8", TablePrinter::Num(spilled.throughput_meps),
+                  TablePrinter::Int(ram.peak_bytes), "0", "0",
+                  TablePrinter::Int(ram.counters.punct_to_emit.P99() / 1000),
+                  "-"});
+  table.PrintRow({"sync", TablePrinter::Num(spilled.throughput_meps),
                   TablePrinter::Int(spilled.peak_bytes),
                   TablePrinter::Int(spilled.counters.runs_spilled),
                   TablePrinter::Int(spilled.counters.spill_bytes_written),
+                  TablePrinter::Int(
+                      spilled.counters.punct_to_emit.P99() / 1000),
                   identical ? "yes" : "NO"});
+  table.PrintRow({"async", TablePrinter::Num(async_arm.throughput_meps),
+                  TablePrinter::Int(async_arm.peak_bytes),
+                  TablePrinter::Int(async_arm.counters.runs_spilled),
+                  TablePrinter::Int(
+                      async_arm.counters.spill_bytes_written),
+                  TablePrinter::Int(
+                      async_arm.counters.punct_to_emit.P99() / 1000),
+                  async_identical ? "yes" : "NO"});
   std::printf(
       "budget = %zu B (session = %.1fx budget), spilled %.1fx the budget "
-      "through disk\n",
-      budget, session_over_budget, written_over_budget);
+      "through disk\n"
+      "async: %llu background flushes, %llu read-ahead hits / %llu misses, "
+      "%llu backpressure waits\n",
+      budget, session_over_budget, written_over_budget,
+      static_cast<unsigned long long>(flusher_stats.async_flushes),
+      static_cast<unsigned long long>(async_arm.counters.readahead_hits),
+      static_cast<unsigned long long>(async_arm.counters.readahead_misses),
+      static_cast<unsigned long long>(flusher_stats.backpressure_waits));
   IMPATIENCE_CHECK_MSG(identical,
                        "spilled output diverged from the in-RAM arm");
+  IMPATIENCE_CHECK_MSG(async_identical,
+                       "async-flushed output diverged from the in-RAM arm");
   IMPATIENCE_CHECK_MSG(session_over_budget > 8.0,
                        "session too small to demonstrate 8x-budget runs");
+  IMPATIENCE_CHECK_MSG(async_arm.counters.async_flushes > 0,
+                       "async arm never handed a block to the flusher pool");
 
   std::printf(
       "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
       "\"spill_tier\": {\"events\": %zu, \"punct_freq\": %zu,\n"
       "  \"memory_budget\": %zu, \"session_bytes\": %zu,\n"
       "  \"session_over_budget\": %.2f, \"identical\": %s,\n"
-      "  \"ram\": {\"throughput_meps\": %.4f, \"peak_bytes\": %zu},\n"
+      "  \"ram\": {\"throughput_meps\": %.4f, \"peak_bytes\": %zu,\n"
+      "    \"punct_to_emit_p99_ns\": %llu},\n"
       "  \"spilled\": {\"throughput_meps\": %.4f, \"peak_bytes\": %zu,\n"
       "    \"runs_spilled\": %llu, \"spill_bytes_written\": %llu,\n"
       "    \"spill_read_bytes\": %llu, \"spill_merge_fanin_count\": %llu,\n"
-      "    \"written_over_budget\": %.2f}}}\nEND_JSON\n",
+      "    \"punct_to_emit_p99_ns\": %llu,\n"
+      "    \"written_over_budget\": %.2f},\n"
+      "  \"async\": {\"throughput_meps\": %.4f, \"peak_bytes\": %zu,\n"
+      "    \"identical\": %s, \"flusher_threads\": %zu,\n"
+      "    \"runs_spilled\": %llu, \"spill_bytes_written\": %llu,\n"
+      "    \"async_flushes\": %llu, \"readahead_hits\": %llu,\n"
+      "    \"readahead_misses\": %llu, \"backpressure_waits\": %llu,\n"
+      "    \"punct_to_emit_p99_ns\": %llu}}}\nEND_JSON\n",
       BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()), n,
       kPunctFreq, budget, session_bytes, session_over_budget,
       identical ? "true" : "false",
-      ram.throughput_meps, ram.peak_bytes, spilled.throughput_meps,
-      spilled.peak_bytes,
+      ram.throughput_meps, ram.peak_bytes,
+      static_cast<unsigned long long>(ram.counters.punct_to_emit.P99()),
+      spilled.throughput_meps, spilled.peak_bytes,
       static_cast<unsigned long long>(spilled.counters.runs_spilled),
       static_cast<unsigned long long>(
           spilled.counters.spill_bytes_written),
       static_cast<unsigned long long>(spilled.counters.spill_read_bytes),
       static_cast<unsigned long long>(
           spilled.counters.spill_merge_fanin.count()),
-      written_over_budget);
+      static_cast<unsigned long long>(
+          spilled.counters.punct_to_emit.P99()),
+      written_over_budget, async_arm.throughput_meps, async_arm.peak_bytes,
+      async_identical ? "true" : "false", flusher_options.threads,
+      static_cast<unsigned long long>(async_arm.counters.runs_spilled),
+      static_cast<unsigned long long>(
+          async_arm.counters.spill_bytes_written),
+      static_cast<unsigned long long>(flusher_stats.async_flushes),
+      static_cast<unsigned long long>(async_arm.counters.readahead_hits),
+      static_cast<unsigned long long>(
+          async_arm.counters.readahead_misses),
+      static_cast<unsigned long long>(flusher_stats.backpressure_waits),
+      static_cast<unsigned long long>(
+          async_arm.counters.punct_to_emit.P99()));
   std::fflush(stdout);
 }
 

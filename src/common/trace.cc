@@ -23,7 +23,8 @@ struct Slot {
   std::atomic<uint64_t> seq{0};
   std::atomic<const char*> name{nullptr};
   std::atomic<uint64_t> start{0};
-  std::atomic<uint64_t> end{0};
+  std::atomic<uint64_t> end{0};  // Span end ticks, or counter value.
+  std::atomic<uint8_t> kind{0};  // 0 = span ("X"), 1 = counter ("C").
 };
 
 class Ring {
@@ -31,12 +32,14 @@ class Ring {
   Ring(size_t capacity, uint64_t tid) : slots_(capacity), tid_(tid) {}
 
   // Single writer: the owning thread.
-  void Emit(const char* name, uint64_t start, uint64_t end) {
+  void Emit(const char* name, uint64_t start, uint64_t end,
+            uint8_t kind = 0) {
     const uint64_t h = head_.load(std::memory_order_relaxed);
     Slot& s = slots_[h & (slots_.size() - 1)];
     s.name.store(name, std::memory_order_relaxed);
     s.start.store(start, std::memory_order_relaxed);
     s.end.store(end, std::memory_order_relaxed);
+    s.kind.store(kind, std::memory_order_relaxed);
     s.seq.store(h + 1, std::memory_order_release);
     head_.store(h + 1, std::memory_order_release);
   }
@@ -45,6 +48,7 @@ class Ring {
     const char* name;
     uint64_t start;
     uint64_t end;
+    uint8_t kind;
   };
 
   // Collects records in (cursor_, head] that are still intact, advances
@@ -69,6 +73,7 @@ class Ring {
       span.name = s.name.load(std::memory_order_relaxed);
       span.start = s.start.load(std::memory_order_relaxed);
       span.end = s.end.load(std::memory_order_relaxed);
+      span.kind = s.kind.load(std::memory_order_relaxed);
       if (s.seq.load(std::memory_order_acquire) != i + 1) {
         ++*dropped;  // Overwritten while being read; discard the torn copy.
         continue;
@@ -180,6 +185,10 @@ void Emit(const char* name, uint64_t start_ticks, uint64_t end_ticks) {
   ThreadRing()->Emit(name, start_ticks, end_ticks);
 }
 
+void EmitCounter(const char* name, uint64_t ticks, uint64_t value) {
+  ThreadRing()->Emit(name, ticks, value, /*kind=*/1);
+}
+
 }  // namespace internal
 
 void SetEnabled(bool enabled) {
@@ -214,19 +223,29 @@ std::string DrainChromeJson(DrainStats* stats) {
     ring->Drain(&spans, &local.dropped);
     for (const Ring::DrainedSpan& s : spans) {
       const uint64_t start_ns = r.converter.Nanos(s.start);
-      const uint64_t end_ns = r.converter.Nanos(s.end);
-      const uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
       if (!first) out += ",";
       first = false;
       out += "{\"name\":\"";
       AppendJsonEscaped(s.name != nullptr ? s.name : "(null)", &out);
-      std::snprintf(buf, sizeof(buf),
-                    "\",\"cat\":\"impatience\",\"ph\":\"X\",\"pid\":1,"
-                    "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
-                    "\"dur\":%" PRIu64 ".%03u}",
-                    ring->tid(), start_ns / 1000,
-                    static_cast<unsigned>(start_ns % 1000), dur_ns / 1000,
-                    static_cast<unsigned>(dur_ns % 1000));
+      if (s.kind == 1) {
+        // Counter sample: `end` carries the value, not a timestamp.
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"cat\":\"impatience\",\"ph\":\"C\",\"pid\":1,"
+                      "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
+                      "\"args\":{\"value\":%" PRIu64 "}}",
+                      ring->tid(), start_ns / 1000,
+                      static_cast<unsigned>(start_ns % 1000), s.end);
+      } else {
+        const uint64_t end_ns = r.converter.Nanos(s.end);
+        const uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"cat\":\"impatience\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
+                      "\"dur\":%" PRIu64 ".%03u}",
+                      ring->tid(), start_ns / 1000,
+                      static_cast<unsigned>(start_ns % 1000), dur_ns / 1000,
+                      static_cast<unsigned>(dur_ns % 1000));
+      }
       out += buf;
       ++local.spans;
     }

@@ -47,6 +47,9 @@ extern std::atomic<bool> g_enabled;
 
 // Appends one completed span to the calling thread's ring buffer.
 void Emit(const char* name, uint64_t start_ticks, uint64_t end_ticks);
+
+// Appends one counter sample (Chrome "C" event) to the ring.
+void EmitCounter(const char* name, uint64_t ticks, uint64_t value);
 }  // namespace internal
 
 // True when spans are being recorded. Relaxed load + branch — the entire
@@ -106,6 +109,15 @@ class Span {
   uint64_t start_ = 0;
 };
 
+// Records one sample of a named counter series (a Chrome "C" counter
+// event). Same cost model as spans: disabled cost is one relaxed load and
+// a branch. `name` must be a string literal (the pointer is stored).
+inline void Counter(const char* name, uint64_t value) {
+  if (__builtin_expect(Enabled(), 0)) {
+    internal::EmitCounter(name, Clock::Ticks(), value);
+  }
+}
+
 }  // namespace trace
 }  // namespace impatience
 
@@ -116,5 +128,10 @@ class Span {
 #define TRACE_SPAN(name)                                        \
   ::impatience::trace::Span IMPATIENCE_TRACE_CONCAT(            \
       impatience_trace_span_, __LINE__)(name)
+
+// Samples a counter series; renders as a "C" event over time in the
+// Chrome trace export.
+#define TRACE_COUNTER(name, value) \
+  ::impatience::trace::Counter(name, (value))
 
 #endif  // IMPATIENCE_COMMON_TRACE_H_

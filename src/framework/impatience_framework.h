@@ -372,6 +372,20 @@ class Streamables {
     return total;
   }
 
+  // Runs spill maintenance (governor spill targets, idle tail flushes,
+  // run-file compaction) on every band's sorter. Called on the thread
+  // that owns the pipeline when the spill governor's wakeup lands, or at
+  // any other quiet point. Returns true if any band did work.
+  bool PerformSpillMaintenance() {
+    bool did = false;
+    for (SortOp<W>* sort : sorts_) {
+      auto* impatience = dynamic_cast<ImpatienceSorter<BasicEvent<W>>*>(
+          sort->mutable_sorter());
+      if (impatience != nullptr) did |= impatience->PerformSpillMaintenance();
+    }
+    return did;
+  }
+
   // Zeroes every band's counters without reading them.
   void ResetCounters() {
     for (SortOp<W>* sort : sorts_) {

@@ -314,6 +314,22 @@ std::string RenderMetricsText(const ServerMetrics& m) {
              });
   TextFamily(&out, m, "impatience_shard_sorter_spill_read_bytes",
              [](const ShardMetrics& s) { return s.sorter.spill_read_bytes; });
+  TextFamily(&out, m, "impatience_shard_sorter_async_flushes",
+             [](const ShardMetrics& s) { return s.sorter.async_flushes; });
+  TextFamily(&out, m, "impatience_shard_sorter_readahead_hits",
+             [](const ShardMetrics& s) { return s.sorter.readahead_hits; });
+  TextFamily(&out, m, "impatience_shard_sorter_readahead_misses",
+             [](const ShardMetrics& s) { return s.sorter.readahead_misses; });
+  TextFamily(&out, m, "impatience_shard_sorter_idle_flushes",
+             [](const ShardMetrics& s) { return s.sorter.idle_flushes; });
+  TextFamily(&out, m, "impatience_shard_sorter_spill_compactions",
+             [](const ShardMetrics& s) {
+               return s.sorter.spill_compactions;
+             });
+  TextFamily(&out, m, "impatience_shard_sorter_flush_queue_bytes",
+             [](const ShardMetrics& s) {
+               return s.sorter.flush_queue_bytes;
+             });
 
   TextHistogramFamily(&out, m, "impatience_shard_punct_to_emit_ns",
                       [](const ShardMetrics& s) -> const HistogramSnapshot& {
@@ -420,6 +436,18 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
             s.sorter.spill_bytes_written);
     Appendf(&out, "\"sorter_spill_read_bytes\":%" PRIu64 ",",
             s.sorter.spill_read_bytes);
+    Appendf(&out, "\"sorter_async_flushes\":%" PRIu64 ",",
+            s.sorter.async_flushes);
+    Appendf(&out, "\"sorter_readahead_hits\":%" PRIu64 ",",
+            s.sorter.readahead_hits);
+    Appendf(&out, "\"sorter_readahead_misses\":%" PRIu64 ",",
+            s.sorter.readahead_misses);
+    Appendf(&out, "\"sorter_idle_flushes\":%" PRIu64 ",",
+            s.sorter.idle_flushes);
+    Appendf(&out, "\"sorter_spill_compactions\":%" PRIu64 ",",
+            s.sorter.spill_compactions);
+    Appendf(&out, "\"sorter_flush_queue_bytes\":%" PRIu64 ",",
+            s.sorter.flush_queue_bytes);
     AppendJsonHistogram(&out, "punct_to_emit_ns", s.sorter.punct_to_emit);
     out += ",";
     AppendJsonHistogram(&out, "ingest_to_emit_ns", s.sorter.ingest_to_emit);
@@ -595,6 +623,33 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
                   "counter", "Bytes read back from spilled run files.",
                   [](const ShardMetrics& s) {
                     return s.sorter.spill_read_bytes;
+                  });
+  PromShardFamily(&out, m, "impatience_shard_sorter_async_flushes", "counter",
+                  "Sealed blocks handed to the write-behind flusher pool.",
+                  [](const ShardMetrics& s) { return s.sorter.async_flushes; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_readahead_hits", "counter",
+                  "Merge-cursor block prefetches that were ready in time.",
+                  [](const ShardMetrics& s) { return s.sorter.readahead_hits; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_readahead_misses",
+                  "counter",
+                  "Merge-cursor blocks loaded synchronously (prefetch late "
+                  "or absent).",
+                  [](const ShardMetrics& s) {
+                    return s.sorter.readahead_misses;
+                  });
+  PromShardFamily(&out, m, "impatience_shard_sorter_idle_flushes", "counter",
+                  "Idle-deadline flushes of quiescent tail blocks.",
+                  [](const ShardMetrics& s) { return s.sorter.idle_flushes; });
+  PromShardFamily(&out, m, "impatience_shard_sorter_spill_compactions",
+                  "counter", "Spilled run files rewritten to reclaim disk.",
+                  [](const ShardMetrics& s) {
+                    return s.sorter.spill_compactions;
+                  });
+  PromShardFamily(&out, m, "impatience_shard_sorter_flush_queue_bytes",
+                  "gauge",
+                  "Bytes queued in the flusher pool at the last observation.",
+                  [](const ShardMetrics& s) {
+                    return s.sorter.flush_queue_bytes;
                   });
 
   PromSummaryFamily(&out, m, "impatience_shard_punct_to_emit_nanoseconds",

@@ -18,6 +18,8 @@
 #include "engine/streamable.h"
 #include "storage/run_store.h"
 #include "storage/spill.h"
+#include "storage/spill_flusher.h"
+#include "storage/spill_governor.h"
 
 namespace impatience {
 namespace server {
@@ -95,6 +97,11 @@ struct SessionShardManager::Shard {
 
   std::thread worker;
 
+  // True while a kMaintenance frame sits in the queue — the governor's
+  // wakeup enqueues at most one at a time, so a stalled (or manually
+  // drained) shard never fills its queue with maintenance frames.
+  std::atomic<bool> maintenance_queued{false};
+
   // Backpressure and traffic counters; written by connection threads
   // (Submit) and the worker, read by SnapshotShards.
   std::atomic<uint64_t> frames_in{0};
@@ -132,8 +139,25 @@ SessionShardManager::SessionShardManager(ShardManagerOptions options,
           : std::max<size_t>(1, options_.memory_budget / options_.num_shards);
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
-    auto shard = std::make_unique<Shard>(i, options_);
-    Shard* s = shard.get();
+    shards_.push_back(std::make_unique<Shard>(i, options_));
+  }
+  if (options_.spill_flusher_threads > 0) {
+    storage::SpillFlusher::Options fo;
+    fo.threads = options_.spill_flusher_threads;
+    fo.max_inflight_bytes = options_.spill_flusher_inflight_bytes;
+    flusher_ = std::make_unique<storage::SpillFlusher>(fo);
+  }
+  if (options_.memory_budget > 0) {
+    // The governor watches the sum of every shard's tracker against the
+    // *total* budget and assigns spill targets to the globally coldest
+    // sorters; each sorter keeps its per-shard slice as a local fallback.
+    storage::SpillGovernor::Options go;
+    go.memory_budget = options_.memory_budget;
+    for (auto& shard : shards_) go.trackers.push_back(&shard->memory);
+    governor_ = std::make_unique<storage::SpillGovernor>(go);
+  }
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    Shard* s = shards_[i].get();
     FrameworkOptions fw = options_.framework;
     if (!options_.spill_dir.empty()) {
       storage::RunStoreOptions store_options;
@@ -150,6 +174,24 @@ SessionShardManager::SessionShardManager(ShardManagerOptions options,
     }
     fw.sorter_config.spill.memory_budget = shard_budget;
     fw.sorter_config.spill.tracker = &s->memory;
+    fw.sorter_config.spill.flusher = flusher_.get();
+    if (governor_ != nullptr) {
+      fw.sorter_config.spill.governor = governor_.get();
+      // Governor requests are consumed on the shard thread: the wakeup
+      // posts one maintenance frame (deduplicated) onto the ingress
+      // queue. Non-blocking by contract — it runs inside the tick.
+      fw.sorter_config.spill.governor_wakeup = [s]() {
+        if (s->maintenance_queued.exchange(true,
+                                           std::memory_order_acq_rel)) {
+          return;
+        }
+        Frame frame;
+        frame.type = FrameType::kMaintenance;
+        if (s->queue.TryPush(std::move(frame)) != QueuePush::kOk) {
+          s->maintenance_queued.store(false, std::memory_order_release);
+        }
+      };
+    }
     s->streams.emplace(ToStreamables(s->pipeline.disordered(), fw));
     const size_t first_stream =
         options_.subscribe_all_streams ? 0 : s->streams->size() - 1;
@@ -160,7 +202,6 @@ SessionShardManager::SessionShardManager(ShardManagerOptions options,
       });
     }
     if (s->store != nullptr) RecoverShard(s);
-    shards_.push_back(std::move(shard));
   }
   if (!options_.manual_drain) {
     for (auto& shard : shards_) {
@@ -286,6 +327,15 @@ void SessionShardManager::Process(Shard* s, Frame& frame) {
   if (frame.enqueue_ns != 0 && start_ns >= frame.enqueue_ns) {
     s->queue_wait.Record(start_ns - frame.enqueue_ns);
   }
+  if (frame.type == FrameType::kMaintenance) {
+    // Governor-requested spill maintenance; carries no session or events,
+    // so it must not touch the watermark map. Clear the dedup flag first:
+    // a wakeup firing during the work re-queues, which is correct.
+    s->maintenance_queued.store(false, std::memory_order_release);
+    s->streams->PerformSpillMaintenance();
+    s->drain_stall.Record(Clock::Nanos() - start_ns);
+    return;
+  }
   Timestamp& session_watermark =
       s->sessions.emplace(frame.session_id, kMinTimestamp).first->second;
   switch (frame.type) {
@@ -327,6 +377,10 @@ void SessionShardManager::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (shut_down_.load(std::memory_order_acquire)) return;
   shutting_down_.store(true, std::memory_order_release);
+  // The governor's tick thread reads the shards' MemoryTrackers and
+  // pushes onto their queues; it must be quiesced before any of that
+  // dies. The object itself stays alive for the sorters' Unregister.
+  if (governor_ != nullptr) governor_->StopTicking();
   for (auto& shard : shards_) shard->queue.Close();
   if (options_.manual_drain) {
     for (auto& shard : shards_) {
@@ -351,6 +405,7 @@ void SessionShardManager::AbandonForTest() {
   if (shut_down_.load(std::memory_order_acquire)) return;
   abandoned_.store(true, std::memory_order_release);
   shutting_down_.store(true, std::memory_order_release);
+  if (governor_ != nullptr) governor_->StopTicking();
   for (auto& shard : shards_) shard->queue.Close();
   if (!options_.manual_drain) {
     for (auto& shard : shards_) {

@@ -42,6 +42,10 @@
 #include "server/wire_format.h"
 
 namespace impatience {
+namespace storage {
+class SpillFlusher;
+class SpillGovernor;
+}  // namespace storage
 namespace server {
 
 enum class BackpressurePolicy : uint8_t {
@@ -80,7 +84,18 @@ struct ShardManagerOptions {
   // enforced by each shard's MemoryTracker: when a shard's pipeline
   // exceeds its slice, the coldest sorter runs spill to disk. 0 defers to
   // IMPATIENCE_MEMORY_BUDGET (then enforced per sorter, not per shard).
+  // With a nonzero budget a SpillGovernor also watches the *total* across
+  // all shards and assigns spill targets to the globally coldest
+  // sorters, drives idle tail flushes, and nudges run-file compaction.
   size_t memory_budget = 0;
+  // Write-behind spill pipeline: >0 starts a SpillFlusher pool with this
+  // many threads; sealed spill blocks are written (and merge read-ahead
+  // served) off the shard threads. 0 keeps spill writes synchronous
+  // (unless $IMPATIENCE_SPILL_FLUSHER_THREADS supplies a process pool).
+  size_t spill_flusher_threads = 0;
+  // Cap on bytes queued in the flusher pool before enqueues block (the
+  // backpressure that keeps a slow disk from buffering unbounded RAM).
+  size_t spill_flusher_inflight_bytes = 8u << 20;
 };
 
 // Outcome of routing one frame to a shard.
@@ -159,6 +174,11 @@ class SessionShardManager {
   ShardManagerOptions options_;
   ResultFn on_result_;
   SessionFlushFn on_session_flush_;
+  // Write-behind pool and spill governor. Declared before shards_ so they
+  // outlive the shards: sorters hold flusher channels and governor client
+  // registrations until their pipelines are destroyed.
+  std::unique_ptr<storage::SpillFlusher> flusher_;
+  std::unique_ptr<storage::SpillGovernor> governor_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> shutting_down_{false};
   std::atomic<bool> shut_down_{false};

@@ -104,6 +104,8 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kMetricsRequest:
     case FrameType::kTraceRequest:
       return;  // Empty payloads.
+    case FrameType::kMaintenance:
+      break;  // Internal only — falls through to the CHECK below.
   }
   IMPATIENCE_CHECK_MSG(false, "unencodable frame type");
 }
@@ -165,6 +167,8 @@ DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
     case FrameType::kShutdownAck:
       return n == 0 && aux == 0 ? DecodeStatus::kOk
                                 : DecodeStatus::kBadPayload;
+    case FrameType::kMaintenance:
+      return DecodeStatus::kBadPayload;  // Internal only, never on the wire.
   }
   return DecodeStatus::kBadPayload;  // Unknown type byte.
 }

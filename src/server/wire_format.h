@@ -73,6 +73,10 @@ enum class FrameType : uint8_t {
   kReject = 9,
   kTraceRequest = 10,
   kTraceResponse = 11,
+  // Internal only — never encoded on the wire. The spill governor's
+  // wakeup enqueues one on a shard's ingress queue to run spill
+  // maintenance on the shard thread; the decoder rejects it as unknown.
+  kMaintenance = 12,
 };
 
 enum class RejectReason : uint8_t {

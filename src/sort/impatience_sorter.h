@@ -42,6 +42,7 @@
 #include "sort/run_select.h"
 #include "sort/sorter.h"
 #include "storage/spill.h"
+#include "storage/spill_governor.h"
 
 namespace impatience {
 
@@ -99,6 +100,19 @@ struct ImpatienceCounters {
   uint64_t runs_spilled = 0;
   uint64_t spill_bytes_written = 0;
   uint64_t spill_read_bytes = 0;
+  // Write-behind pipeline: blocks handed to the flusher pool instead of
+  // being written on the sorter thread; merge-cursor prefetches that were
+  // ready in time vs blocks loaded synchronously; idle-deadline tail
+  // flushes and run-file compactions driven by the spill governor.
+  uint64_t async_flushes = 0;
+  uint64_t readahead_hits = 0;
+  uint64_t readahead_misses = 0;
+  uint64_t idle_flushes = 0;
+  uint64_t spill_compactions = 0;
+  // Bytes queued in the flusher pool at the last observation — a gauge
+  // like kernel_level (the pool is shared, so aggregation takes the max,
+  // not the sum).
+  uint64_t flush_queue_bytes = 0;
   // Active kernel dispatch level (KernelLevel as an integer) — a gauge,
   // not an accumulator: the sorter stamps it at construction and after
   // every reset, and aggregation takes the max across shards.
@@ -138,6 +152,12 @@ struct ImpatienceCounters {
     runs_spilled += other.runs_spilled;
     spill_bytes_written += other.spill_bytes_written;
     spill_read_bytes += other.spill_read_bytes;
+    async_flushes += other.async_flushes;
+    readahead_hits += other.readahead_hits;
+    readahead_misses += other.readahead_misses;
+    idle_flushes += other.idle_flushes;
+    spill_compactions += other.spill_compactions;
+    flush_queue_bytes = std::max(flush_queue_bytes, other.flush_queue_bytes);
     kernel_level = std::max(kernel_level, other.kernel_level);
     merge.elements_moved += other.merge.elements_moved;
     merge.binary_merges += other.merge.binary_merges;
@@ -162,8 +182,30 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
       if (spill_budget_ == 0 && config_.spill.use_env_default) {
         spill_budget_ = storage::MemoryBudgetFromEnv();
       }
+      if (config_.spill.governor != nullptr) {
+        // A governed sorter shares the global budget; its local trigger is
+        // only the fallback for overrunning that budget single-handedly
+        // between ticks.
+        if (spill_budget_ == 0) {
+          spill_budget_ = config_.spill.governor->memory_budget();
+        }
+        governor_client_ =
+            config_.spill.governor->Register(config_.spill.governor_wakeup);
+      }
+      flusher_ = config_.spill.flusher;
+      if (flusher_ == nullptr && config_.spill.use_env_default) {
+        flusher_ = storage::FlusherFromEnv();
+      }
       spill_block_records_ =
           std::max<size_t>(1, config_.spill.block_bytes / sizeof(T));
+    }
+  }
+
+  ~ImpatienceSorter() override {
+    // Spilled runs still hold flusher channels; they drain in the member
+    // destructors after this body.
+    if (governor_client_ != nullptr) {
+      config_.spill.governor->Unregister(governor_client_);
     }
   }
 
@@ -324,6 +366,19 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     }
 
     if constexpr (std::is_trivially_copyable_v<T>) {
+      // Durable mode flushes BEFORE the heads advance: an `advance` record
+      // must never cover records whose blocks are still in the flusher
+      // queue, or a crash between the two would lose data the manifest
+      // claims was emitted. (Without sync_on_punctuation the ordering is
+      // moot — nothing is durable by contract.)
+      if (spill_budget_ != 0 && config_.spill.sync_on_punctuation) {
+        for (Run& run : runs_) {
+          if (run.spilled != nullptr) {
+            counters_.spill_bytes_written +=
+                run.spilled->FlushPending(time_of_, /*sync=*/true);
+          }
+        }
+      }
       if (any_spilled) {
         // The cut ranges are out the door: advance the durable heads (the
         // manifest record a restart resumes from) before cleanup drops
@@ -331,14 +386,6 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
         for (const CutRange& c : cut_runs_) {
           Run& run = runs_[c.run];
           if (run.spilled != nullptr) run.spilled->AdvanceHead(c.end);
-        }
-      }
-      if (spill_budget_ != 0 && config_.spill.sync_on_punctuation) {
-        for (Run& run : runs_) {
-          if (run.spilled != nullptr) {
-            counters_.spill_bytes_written +=
-                run.spilled->FlushPending(time_of_, /*sync=*/true);
-          }
         }
       }
     }
@@ -352,6 +399,16 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
       // Opportunistic end-of-punctuation budget check: merges and cuts
       // just churned buffers, so this is where usage peaks move.
       if (spill_budget_ != 0) MaybeSpill();
+      // Ungoverned sorters compact half-consumed run files here (cursors
+      // from this punctuation are gone); governed ones wait for the
+      // governor's maintenance nudge.
+      if (governor_client_ == nullptr && spill_budget_ != 0) {
+        MaybeCompactDisk();
+      }
+      PublishToGovernor();
+      if (flusher_ != nullptr) {
+        counters_.flush_queue_bytes = flusher_->inflight_bytes();
+      }
     }
 
     const uint64_t now_ns = Clock::Nanos();
@@ -407,6 +464,46 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   // The last punctuation received (kMinTimestamp if none yet).
   Timestamp last_punctuation() const { return last_punctuation_; }
 
+  // Consumes any outstanding governor requests: an assigned spill target,
+  // an idle-deadline tail flush, a disk-compaction nudge. The server calls
+  // this on the shard thread when the governor wakeup lands; calling it at
+  // any other quiet point (or with no governor) is harmless. Returns true
+  // if any maintenance work ran.
+  bool PerformSpillMaintenance() {
+    if constexpr (!std::is_trivially_copyable_v<T>) {
+      return false;
+    } else {
+      if (spill_budget_ == 0 && governor_client_ == nullptr) return false;
+      bool did = false;
+      if (governor_client_ != nullptr &&
+          governor_client_->TakeIdleFlush()) {
+        // Push quiescent tail blocks to disk (and through the fsync when
+        // the store is durable) — a session that stops sending must not
+        // keep its last events RAM-only forever.
+        for (Run& run : runs_) {
+          if (run.spilled != nullptr && run.spilled->HasUnflushedTail()) {
+            counters_.spill_bytes_written +=
+                run.spilled->FlushPending(time_of_, /*sync=*/true);
+            did = true;
+          }
+        }
+        if (did) ++counters_.idle_flushes;
+      }
+      const uint64_t spilled_before = counters_.runs_spilled;
+      MaybeSpill();  // Consumes the governor's spill target, if any.
+      did |= counters_.runs_spilled != spilled_before;
+      if (governor_client_ == nullptr ||
+          governor_client_->TakeCompaction()) {
+        did |= MaybeCompactDisk();
+      }
+      PublishToGovernor();
+      if (flusher_ != nullptr) {
+        counters_.flush_queue_bytes = flusher_->inflight_bytes();
+      }
+      return did;
+    }
+  }
+
   const HistogramSnapshot* punctuation_latency() const override {
     return &counters_.punct_to_emit;
   }
@@ -422,8 +519,9 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     std::vector<T> items;
     size_t head = 0;
     std::unique_ptr<storage::SpilledRun<T>> spilled;
-    // Victim-choice recency: append_seq_ at the last append (only
-    // maintained while a spill budget is active).
+    // Victim-choice recency at the last append (only maintained while a
+    // spill budget is active): the private append sequence, or — under a
+    // governor — its coarse tick, so coldness compares across sorters.
     uint64_t last_append = 0;
 
     size_t live_size() const { return items.size() - head; }
@@ -434,7 +532,12 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     Run& run = runs_[r];
     if constexpr (std::is_trivially_copyable_v<T>) {
       if (spill_budget_ != 0) {
-        run.last_append = ++append_seq_;
+        if (governor_client_ != nullptr) {
+          run.last_append = config_.spill.governor->now_tick();
+          governor_client_->NoteAppend(run.last_append);
+        } else {
+          run.last_append = ++append_seq_;
+        }
         if (run.spilled != nullptr) {
           counters_.spill_bytes_written +=
               run.spilled->Append(item, time_of_);
@@ -473,7 +576,8 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
       Run& run = runs_[c.run];
       if (run.spilled != nullptr) {
         owned.push_back(run.spilled->MakeCursor(
-            c.begin, c.end, &counters_.spill_read_bytes));
+            c.begin, c.end, &counters_.spill_read_bytes,
+            &counters_.readahead_hits, &counters_.readahead_misses));
       } else {
         const T* base = run.items.data();
         owned.push_back(std::make_unique<VectorRunCursor<T>>(
@@ -491,24 +595,37 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   // Enforces the byte budget: trims the buffer pool, then spills victim
   // runs coldest-first (least recently appended, ties to the larger run)
   // until the measured excess is covered or nothing spillable remains.
+  // Governed sorters spill what the governor assigned (it ranked every
+  // client's coldness globally); the local used>budget trigger survives
+  // only as the fallback for a single sorter overrunning the whole shared
+  // budget between ticks.
   void MaybeSpill() {
     const size_t own_before = MemoryBytes();
-    size_t used = own_before;
-    if (config_.spill.tracker != nullptr) {
-      used = std::max(used, config_.spill.tracker->current_bytes());
+    size_t deficit = 0;
+    if (governor_client_ != nullptr) {
+      deficit = std::min(governor_client_->TakeSpillTarget(), own_before);
+      if (spill_budget_ != 0 && own_before > spill_budget_) {
+        deficit = std::max(deficit, own_before - spill_budget_);
+      }
+    } else {
+      size_t used = own_before;
+      if (config_.spill.tracker != nullptr) {
+        used = std::max(used, config_.spill.tracker->current_bytes());
+      }
+      if (used > spill_budget_) deficit = used - spill_budget_;
     }
-    if (used <= spill_budget_) return;
+    if (deficit == 0) return;
     // Pooled merge buffers are pure cache — drop them before touching any
     // run.
     pool_.Trim(0);
     size_t own = MemoryBytes();
-    const size_t deficit = used - spill_budget_;
     while (own_before - own < deficit) {
       const size_t victim = PickVictim();
       if (victim == runs_.size()) break;
       if (!SpillRun(victim)) break;
       own = MemoryBytes();
     }
+    PublishToGovernor();
   }
 
   // Coldest unspilled run with enough live bytes to be worth a file; if
@@ -551,7 +668,8 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
     Run& run = runs_[r];
     std::string error;
     std::unique_ptr<storage::SpilledRun<T>> spilled =
-        storage::SpilledRun<T>::Create(store, spill_block_records_, &error);
+        storage::SpilledRun<T>::Create(store, spill_block_records_, flusher_,
+                                       &counters_.async_flushes, &error);
     if (spilled == nullptr) {
       spill_budget_ = 0;
       return false;
@@ -576,6 +694,61 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
       owned_store_ = storage::RunStore::CreateTemp(&error);
     }
     return owned_store_.get();
+  }
+
+  // A run file is worth rewriting once its fully-emitted prefix holds both
+  // an absolute floor of bytes and a fraction of the whole file.
+  bool CompactionWorthy(const storage::SpilledRun<T>& s) const {
+    const uint64_t reclaim = s.ReclaimableDiskBytes();
+    return reclaim >= config_.spill.compact_min_disk_bytes &&
+           static_cast<double>(reclaim) >=
+               config_.spill.compact_disk_fraction *
+                   static_cast<double>(s.DiskBytes());
+  }
+
+  // Rewrites every qualifying run file's live suffix into a fresh file
+  // (crash-atomic compact-swap). Only call between punctuations — live
+  // cursors hold offsets into the old files. Returns true if any run was
+  // compacted.
+  bool MaybeCompactDisk() {
+    bool did = false;
+    for (Run& run : runs_) {
+      if (run.spilled == nullptr || !CompactionWorthy(*run.spilled)) {
+        continue;
+      }
+      if (run.spilled->CompactDisk(time_of_, &counters_.spill_read_bytes) >
+          0) {
+        ++counters_.spill_compactions;
+        did = true;
+      }
+    }
+    return did;
+  }
+
+  // Refreshes the governor's view of this sorter: resident bytes, age of
+  // the coldest spillable run (UINT64_MAX = nothing to spill, ranks
+  // last), whether a partial tail block sits unflushed, and whether any
+  // run file is worth compacting.
+  void PublishToGovernor() {
+    if (governor_client_ == nullptr) return;
+    uint64_t coldest = UINT64_MAX;
+    bool pending_tail = false;
+    bool wants_compaction = false;
+    for (const Run& run : runs_) {
+      if (run.spilled != nullptr) {
+        if (run.spilled->HasUnflushedTail()) pending_tail = true;
+        if (!wants_compaction && CompactionWorthy(*run.spilled)) {
+          wants_compaction = true;
+        }
+        continue;
+      }
+      if (run.live_size() * sizeof(T) < config_.spill.min_spill_bytes) {
+        continue;
+      }
+      coldest = std::min(coldest, run.last_append);
+    }
+    governor_client_->Publish(MemoryBytes(), coldest, pending_tail);
+    governor_client_->AdvertiseCompaction(wants_compaction);
   }
 
   void RemoveEmptyRunsAndCompact() {
@@ -656,6 +829,10 @@ class ImpatienceSorter : public IncrementalSorter<T, TimeOf> {
   size_t spill_tick_ = 0;
   uint64_t append_seq_ = 0;
   std::unique_ptr<storage::RunStore> owned_store_;
+  // Write-behind pool (config, else $IMPATIENCE_SPILL_FLUSHER_THREADS) and
+  // this sorter's governor mailbox; both nullptr on the synchronous path.
+  storage::SpillFlusher* flusher_ = nullptr;
+  storage::SpillGovernor::Client* governor_client_ = nullptr;
 
   std::vector<Run> runs_;
   std::vector<Timestamp> tails_;  // tails_[i] == time of runs_[i].items.back()

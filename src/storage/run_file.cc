@@ -44,17 +44,23 @@ void SetError(std::string* error, const std::string& what) {
 
 // A dead gate swallows the bytes; a gate whose budget is crossed applies a
 // prefix and then goes dead — that is the torn write the recovery scan
-// must detect.
+// must detect. The budget is consumed with a CAS loop so concurrent
+// writers (flusher threads plus the manifest writer) debit it exactly:
+// at most one write crosses the boundary and is applied partially.
 bool FaultedWrite(int fd, const uint8_t* data, size_t n, WriteFault* fault) {
   if (fault != nullptr) {
     if (fault->dead.load(std::memory_order_relaxed)) return true;
-    const int64_t budget = fault->budget.load(std::memory_order_relaxed);
-    if (budget >= 0) {
+    int64_t budget = fault->budget.load(std::memory_order_relaxed);
+    while (budget >= 0) {
       const size_t allowed = std::min<size_t>(n, static_cast<size_t>(budget));
-      fault->budget.store(budget - static_cast<int64_t>(allowed),
-                          std::memory_order_relaxed);
-      if (allowed < n) fault->dead.store(true, std::memory_order_relaxed);
-      n = allowed;
+      if (fault->budget.compare_exchange_weak(
+              budget, budget - static_cast<int64_t>(allowed),
+              std::memory_order_relaxed, std::memory_order_relaxed)) {
+        if (allowed < n) fault->dead.store(true, std::memory_order_relaxed);
+        n = allowed;
+        break;
+      }
+      if (fault->dead.load(std::memory_order_relaxed)) return true;
     }
   }
   while (n > 0) {

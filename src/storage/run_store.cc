@@ -24,6 +24,8 @@ enum ManifestType : uint8_t {
   kCommit = 2,
   kDelete = 3,
   kAdvance = 4,
+  kBeginHidden = 5,  // Compaction staging run; dead until swapped in.
+  kCompactSwap = 6,  // arg = old run id: promote run_id, delete arg.
 };
 
 void PutU32(uint32_t v, uint8_t* p) {
@@ -163,16 +165,16 @@ bool RunStore::AppendManifest(uint8_t type, uint64_t run_id, uint64_t arg,
   return true;
 }
 
-std::unique_ptr<RunFileWriter> RunStore::BeginRun(uint32_t record_size,
-                                                  uint64_t* run_id,
-                                                  std::string* error) {
+std::unique_ptr<RunFileWriter> RunStore::BeginRunWithType(
+    uint8_t type, uint32_t record_size, uint64_t* run_id,
+    std::string* error) {
   uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_run_id_++;
     // Begin is durable before the run file exists, so a crash can leave a
     // begun run with no file — recovery treats that as an empty run.
-    if (!AppendManifest(kBegin, id, record_size, /*sync=*/true, error)) {
+    if (!AppendManifest(type, id, record_size, /*sync=*/true, error)) {
       return nullptr;
     }
   }
@@ -180,6 +182,35 @@ std::unique_ptr<RunFileWriter> RunStore::BeginRun(uint32_t record_size,
       RunPath(id), record_size, id, options_.write_fault, error);
   if (writer != nullptr && run_id != nullptr) *run_id = id;
   return writer;
+}
+
+std::unique_ptr<RunFileWriter> RunStore::BeginRun(uint32_t record_size,
+                                                  uint64_t* run_id,
+                                                  std::string* error) {
+  return BeginRunWithType(kBegin, record_size, run_id, error);
+}
+
+std::unique_ptr<RunFileWriter> RunStore::BeginHiddenRun(
+    uint32_t record_size, uint64_t* run_id, std::string* error) {
+  return BeginRunWithType(kBeginHidden, record_size, run_id, error);
+}
+
+bool RunStore::CommitCompaction(uint64_t new_id, uint64_t old_id,
+                                std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The single atomic step: one intact record both promotes the staging
+    // run and kills the old one, so no recovery can replay them twice.
+    if (!AppendManifest(kCompactSwap, new_id, old_id, /*sync=*/true,
+                        error)) {
+      return false;
+    }
+  }
+  if (::unlink(RunPath(old_id).c_str()) != 0 && errno != ENOENT) {
+    SetError(error, "unlink " + RunPath(old_id));
+    return false;
+  }
+  return true;
 }
 
 bool RunStore::CommitRun(uint64_t run_id, uint64_t records,
@@ -229,6 +260,7 @@ bool RunStore::Recover(std::vector<RecoveredRun>* runs, RecoveryStats* stats,
     bool committed = false;
     uint64_t committed_records = 0;
     bool deleted = false;
+    bool hidden = false;  // Compaction staging run, never swapped in.
   };
   std::map<uint64_t, State> live;  // Ordered: recovery replays in id order.
   uint64_t max_id = 0;
@@ -257,6 +289,14 @@ bool RunStore::Recover(std::vector<RecoveredRun>* runs, RecoveryStats* stats,
       case kDelete:
         live.erase(id);
         break;
+      case kBeginHidden:
+        live[id].record_size = static_cast<uint32_t>(arg);
+        live[id].hidden = true;
+        break;
+      case kCompactSwap:
+        live[id].hidden = false;  // Promote the staging run...
+        live.erase(arg);          // ...and retire the one it replaced.
+        break;
       default:
         break;  // Unknown type from a newer version: ignore the record.
     }
@@ -282,6 +322,13 @@ bool RunStore::Recover(std::vector<RecoveredRun>* runs, RecoveryStats* stats,
   next_run_id_ = max_id + 1;
 
   for (const auto& [id, state] : live) {
+    if (state.hidden) {
+      // A compaction that crashed before its swap record: the old run is
+      // still live and authoritative, so the staging file is garbage.
+      AppendManifest(kDelete, id, 0, /*sync=*/false, nullptr);
+      ::unlink(RunPath(id).c_str());
+      continue;
+    }
     RecoveredRun run;
     run.id = id;
     run.path = RunPath(id);

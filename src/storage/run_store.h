@@ -8,9 +8,11 @@
 //   MANIFEST: fixed 32-byte CRC'd records, append-only
 //     0   4  magic   0x4D525049 ("IPRM")
 //     4   1  type    1=begin  2=commit  3=delete  4=advance
+//                    5=begin-hidden  6=compact-swap
 //     5   3  reserved 0
 //     8   8  run_id
 //     16  8  arg     begin: record_size · commit: records · advance: head
+//                    begin-hidden: record_size · compact-swap: old run_id
 //     24  4  crc32 of bytes [0, 24)
 //     28  4  reserved 0
 //
@@ -26,6 +28,14 @@
 // individually, so a crash can lose the newest advances — recovery then
 // replays a suffix that was already emitted (at-least-once, never silent
 // loss of durable data).
+//
+// Compaction uses the two staged types to rewrite a half-consumed run
+// without ever exposing its live suffix twice. `begin-hidden` opens a
+// staging run that recovery treats as dead (its file is unlinked on
+// Recover); once the staging file holds the live suffix and is durable, a
+// single fsync'd `compact-swap` record promotes it and deletes the old
+// run in one atomic step. A crash strictly before the swap recovers the
+// old run only; at or after it, the new run only.
 //
 // Thread safety: all manifest operations serialize on an internal mutex so
 // concurrent band-merge tasks can share one store. Block appends to
@@ -103,6 +113,17 @@ class RunStore {
   std::unique_ptr<RunFileWriter> BeginRun(uint32_t record_size,
                                           uint64_t* run_id,
                                           std::string* error);
+  // Begins a compaction staging run: invisible to Recover() until a
+  // CommitCompaction promotes it (a crash before that unlinks the file).
+  std::unique_ptr<RunFileWriter> BeginHiddenRun(uint32_t record_size,
+                                                uint64_t* run_id,
+                                                std::string* error);
+  // Atomically (one fsync'd manifest record) promotes the hidden staging
+  // run `new_id` to live and deletes `old_id`, unlinking its file. The
+  // staging file must be fully written (and synced, when durability is
+  // on) before this call.
+  bool CommitCompaction(uint64_t new_id, uint64_t old_id,
+                        std::string* error);
   bool CommitRun(uint64_t run_id, uint64_t records, std::string* error);
   // Records that records [0, head) of `run_id` were emitted downstream.
   bool AdvanceHead(uint64_t run_id, uint64_t head, std::string* error);
@@ -120,6 +141,10 @@ class RunStore {
 
   bool AppendManifest(uint8_t type, uint64_t run_id, uint64_t arg, bool sync,
                       std::string* error);
+  std::unique_ptr<RunFileWriter> BeginRunWithType(uint8_t type,
+                                                  uint32_t record_size,
+                                                  uint64_t* run_id,
+                                                  std::string* error);
 
   RunStoreOptions options_;
   bool owns_dir_ = false;  // CreateTemp: remove everything on destruction.

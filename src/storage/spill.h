@@ -8,9 +8,19 @@
 // 32-byte index entry per on-disk block, and one block-sized load buffer —
 // everything else lives in the RunStore's files.
 //
+// Write-behind: with a SpillFlusher wired in, sealed blocks are handed to
+// the flusher pool through a per-run FIFO channel instead of being written
+// inline on the sorter thread. A sealed block's payload stays in RAM (and
+// in the memory accounting) until its write completes; until then every
+// read path — the punctuation cut, the merge cursor — serves it from the
+// in-flight copy, so the merge output is byte-identical whether a block
+// is on disk, in flight, or pending. Without a flusher the run behaves
+// exactly as the synchronous PR-7 tier.
+//
 // SpillSettings carries the policy knobs (budget, victim choice cadence,
-// block size) into ImpatienceConfig; the victim scan itself lives in the
-// sorter, which owns the run metadata the coldest-first choice needs.
+// block size, flusher/governor wiring) into ImpatienceConfig; the victim
+// scan itself lives in the sorter, which owns the run metadata the
+// coldest-first choice needs.
 
 #ifndef IMPATIENCE_STORAGE_SPILL_H_
 #define IMPATIENCE_STORAGE_SPILL_H_
@@ -18,8 +28,11 @@
 #include <stdlib.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -30,9 +43,12 @@
 #include "common/timestamp.h"
 #include "sort/merge.h"
 #include "storage/run_store.h"
+#include "storage/spill_flusher.h"
 
 namespace impatience {
 namespace storage {
+
+class SpillGovernor;  // storage/spill_governor.h
 
 // Parses a byte-size string: decimal digits with an optional k/m/g suffix
 // (case-insensitive, power-of-two). Returns 0 on anything malformed.
@@ -90,33 +106,62 @@ struct SpillSettings {
   // every punctuation, making ingest durable at punctuation granularity.
   // Off by default: pure spill needs no durability.
   bool sync_on_punctuation = false;
+  // Write-behind flusher pool. Sealed blocks are enqueued to it and
+  // written off the sorter thread; merge cursors prefetch through it.
+  // nullptr keeps the synchronous path — unless use_env_default is set
+  // and $IMPATIENCE_SPILL_FLUSHER_THREADS supplies a process-wide pool
+  // (the forced-async CI pass).
+  SpillFlusher* flusher = nullptr;
+  // Shared-budget spill governor (storage/spill_governor.h). When set,
+  // the sorter registers as a client and victim selection moves from
+  // per-sorter to globally-coldest across every client sharing the
+  // budget; the governor's tick also drives idle flushes and compaction.
+  SpillGovernor* governor = nullptr;
+  // Wakeup the sorter hands the governor at registration — invoked from
+  // the tick thread when a request is posted, so it must be cheap and
+  // non-blocking (the server enqueues a maintenance frame; standalone
+  // sorters leave it empty and poll at their next push/punctuation).
+  std::function<void()> governor_wakeup;
+  // Disk compaction: rewrite a spilled run's file once the emitted-prefix
+  // blocks hold at least this fraction of its on-disk bytes...
+  double compact_disk_fraction = 0.5;
+  // ...and at least this many bytes would be reclaimed.
+  size_t compact_min_disk_bytes = 256 << 10;
 };
 
 // One run spilled to a RunStore file. Indices are 0-based over the spilled
 // content; `head` is the emitted prefix, `size` the total appended.
-// Not thread-safe (owned by one sorter).
+// Not thread-safe (owned by one sorter); the flusher pool only ever
+// touches sealed payload buffers and the completion counter.
 template <typename T>
 class SpilledRun {
  public:
   // Creates the backing run file. Returns nullptr on I/O failure (the
-  // caller keeps the run in RAM).
+  // caller keeps the run in RAM). With a flusher, block writes go through
+  // a per-run channel; otherwise they run inline. `async_flushes` (may be
+  // nullptr) counts blocks handed to the pool.
   static std::unique_ptr<SpilledRun<T>> Create(RunStore* store,
                                                size_t block_records,
-                                               std::string* error) {
+                                               SpillFlusher* flusher = nullptr,
+                                               uint64_t* async_flushes = nullptr,
+                                               std::string* error = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "spilled elements are raw-copied to disk");
     uint64_t id = 0;
     std::unique_ptr<RunFileWriter> writer =
         store->BeginRun(sizeof(T), &id, error);
     if (writer == nullptr) return nullptr;
-    return std::unique_ptr<SpilledRun<T>>(
-        new SpilledRun<T>(store, id, std::move(writer), block_records));
+    return std::unique_ptr<SpilledRun<T>>(new SpilledRun<T>(
+        store, id, std::move(writer), block_records, flusher,
+        async_flushes));
   }
 
   ~SpilledRun() {
     // The file is deleted explicitly via Discard() when the run empties;
     // on destruction with live content the file stays — it is the WAL a
-    // restart recovers from.
+    // restart recovers from. In-flight writes must land before the
+    // writer (whose fd the jobs use) goes away.
+    WaitWritesDone();
     writer_.reset();
   }
 
@@ -126,7 +171,7 @@ class SpilledRun {
   bool empty() const { return head_ >= size(); }
 
   // Appends `n` elements (sorted, >= everything already appended). Returns
-  // the number of bytes flushed to disk (full blocks only).
+  // the number of bytes handed to the disk tier (full blocks only).
   template <typename TimeOf>
   uint64_t AppendRange(const T* items, size_t n, TimeOf time_of) {
     uint64_t flushed = 0;
@@ -147,38 +192,40 @@ class SpilledRun {
     return AppendRange(&item, 1, time_of);
   }
 
-  // Writes the pending partial block (if any) as its own block; with
-  // `sync`, fsyncs the file so everything appended so far is durable.
+  // Seals the pending partial block (if any) and hands it to the disk
+  // tier; with `sync`, waits for every in-flight block and fsyncs so
+  // everything appended so far is durable.
   template <typename TimeOf>
   uint64_t FlushPending(TimeOf time_of, bool sync) {
     uint64_t flushed = 0;
+    Harvest();
     if (!pending_.empty()) {
       BlockRef ref;
-      ref.offset = writer_->next_block_offset();
+      ref.offset = next_offset_;
       ref.start_index = disk_records_;
       ref.count = static_cast<uint32_t>(pending_.size());
       ref.first_time = time_of(pending_.front());
       ref.last_time = time_of(pending_.back());
-      std::string error;
-      if (!writer_->AppendBlock(
-              reinterpret_cast<const uint8_t*>(pending_.data()),
-              ref.count, &error)) {
-        // A failing spill device cannot lose data that is still in RAM:
-        // keep the block pending and let the caller's memory accounting
-        // carry it. (The write fault gate never reports failure.)
-        return flushed;
-      }
-      flushed += kRunBlockHeaderBytes +
-                 static_cast<uint64_t>(ref.count) * sizeof(T);
-      blocks_.push_back(ref);
-      disk_records_ += ref.count;
-      pending_.clear();
+      flushed += channel_ == nullptr ? FlushPendingSync(ref)
+                                     : SealPendingAsync(ref);
     }
     if (sync) {
-      std::string error;
-      writer_->Sync(&error);
+      WaitWritesDone();
+      if (!write_failed_) {
+        std::string error;
+        writer_->Sync(&error);
+      }
     }
     return flushed;
+  }
+
+  // Blocks until every block handed to the flusher has been written (or
+  // skipped after an I/O failure) and reclaims their RAM copies. No-op on
+  // the synchronous path.
+  void WaitWritesDone() {
+    if (channel_ == nullptr) return;
+    channel_->Wait();
+    Harvest();
   }
 
   // Counts the live elements (index >= head) with time <= t and reports
@@ -245,28 +292,35 @@ class SpilledRun {
     head_ = new_head;
     const size_t drop = FirstLiveBlock();
     if (drop > 0) blocks_.erase(blocks_.begin(), blocks_.begin() + drop);
-    store_->AdvanceHead(id_, head_, nullptr);
+    store_->AdvanceHead(id_, head_ - base_index_, nullptr);
   }
 
   // Deletes the backing file (run fully consumed).
   void Discard() {
+    WaitWritesDone();
     writer_.reset();
     store_->DeleteRun(id_, nullptr);
   }
 
   // Streaming cursor over live elements [begin, end) (absolute indices).
   // The SpilledRun must outlive the cursor and not be appended to while
-  // the cursor is live.
+  // the cursor is live. With a flusher, the cursor prefetches each next
+  // block through the pool while the merge consumes the current one;
+  // ra_hits/ra_misses (may be nullptr) count prefetches that were ready
+  // in time vs blocks loaded synchronously.
   std::unique_ptr<RunCursor<T>> MakeCursor(size_t begin, size_t end,
-                                           uint64_t* read_bytes) {
+                                           uint64_t* read_bytes,
+                                           uint64_t* ra_hits = nullptr,
+                                           uint64_t* ra_misses = nullptr) {
     return std::unique_ptr<RunCursor<T>>(
-        new Cursor(this, begin, end, read_bytes));
+        new Cursor(this, begin, end, read_bytes, ra_hits, ra_misses));
   }
 
-  // RAM held by this spilled run: pending appends, block index, load
-  // buffer.
+  // RAM held by this spilled run: pending appends, sealed blocks waiting
+  // on the flusher, block index, load buffer.
   size_t MemoryBytes() const {
-    return pending_.capacity() * sizeof(T) +
+    return pending_.capacity() * sizeof(T) + inflight_bytes_ +
+           spare_.capacity() * sizeof(T) +
            blocks_.capacity() * sizeof(BlockRef) +
            load_buf_.capacity() * sizeof(T);
   }
@@ -276,6 +330,88 @@ class SpilledRun {
     load_buf_.clear();
     load_buf_.shrink_to_fit();
     load_offset_ = UINT64_MAX;
+    spare_.clear();
+    spare_.shrink_to_fit();
+  }
+
+  // Total file bytes, including the emitted prefix not yet reclaimed.
+  uint64_t DiskBytes() const { return next_offset_; }
+
+  // True while a partial tail block sits in RAM with nothing scheduled to
+  // write it — what the governor's idle-flush deadline watches for.
+  bool HasUnflushedTail() const { return !pending_.empty(); }
+
+  // File bytes occupied by fully-emitted blocks — what a CompactDisk
+  // would reclaim.
+  uint64_t ReclaimableDiskBytes() const {
+    const uint64_t first_live =
+        blocks_.empty() ? next_offset_ : blocks_.front().offset;
+    return first_live - kRunFileHeaderBytes;
+  }
+
+  // Rewrites the live suffix into a fresh run file and atomically swaps
+  // it in (manifest compact-swap record), reclaiming the disk held by the
+  // emitted prefix. Waits for in-flight writes first. Returns the file
+  // bytes reclaimed; 0 means skipped or failed (the run is untouched —
+  // failure leaves the old file fully authoritative). Call between
+  // punctuations only: live cursors hold offsets into the old file.
+  template <typename TimeOf>
+  uint64_t CompactDisk(TimeOf time_of, uint64_t* read_bytes) {
+    WaitWritesDone();
+    if (write_failed_ || ReclaimableDiskBytes() == 0) return 0;
+    const uint64_t old_bytes = next_offset_;
+    uint64_t new_id = 0;
+    std::string error;
+    std::unique_ptr<RunFileWriter> staging =
+        store_->BeginHiddenRun(sizeof(T), &new_id, &error);
+    if (staging == nullptr) return 0;
+    // Stream the live blocks across. The boundary block may be partially
+    // emitted; only its live tail is kept, so indices rebase to the new
+    // file while staying absolute in blocks_ (via base_index_).
+    std::vector<BlockRef> new_blocks;
+    uint64_t new_offset = kRunFileHeaderBytes;
+    const uint64_t new_base =
+        blocks_.empty() ? disk_records_ : blocks_.front().start_index;
+    for (const BlockRef& ref : blocks_) {
+      LoadBlock(BlockIndexOf(ref), read_bytes);
+      const size_t lo =
+          std::max<uint64_t>(ref.start_index, head_) - ref.start_index;
+      const uint32_t keep = ref.count - static_cast<uint32_t>(lo);
+      if (keep == 0) continue;
+      if (!staging->AppendBlock(
+              reinterpret_cast<const uint8_t*>(load_buf_.data() + lo),
+              keep, &error)) {
+        store_->DeleteRun(new_id, nullptr);
+        return 0;
+      }
+      BlockRef moved;
+      moved.offset = new_offset;
+      moved.start_index = ref.start_index + lo;
+      moved.count = keep;
+      moved.first_time = time_of(load_buf_[lo]);
+      moved.last_time = ref.last_time;
+      new_blocks.push_back(moved);
+      new_offset += kRunBlockHeaderBytes +
+                    static_cast<uint64_t>(keep) * sizeof(T);
+    }
+    if (store_->fsync_enabled() && !staging->Sync(&error)) {
+      store_->DeleteRun(new_id, nullptr);
+      return 0;
+    }
+    // The atomic step. After this record the staging file is the run.
+    if (!store_->CommitCompaction(new_id, id_, &error)) {
+      store_->DeleteRun(new_id, nullptr);
+      return 0;
+    }
+    writer_ = std::move(staging);
+    id_ = new_id;
+    blocks_ = std::move(new_blocks);
+    base_index_ = blocks_.empty() ? new_base : blocks_.front().start_index;
+    next_offset_ = new_offset;
+    load_offset_ = UINT64_MAX;  // Cached offsets belong to the old file.
+    // Re-record the durable head in the new file's index space.
+    store_->AdvanceHead(id_, head_ - base_index_, nullptr);
+    return old_bytes - new_offset;
   }
 
  private:
@@ -287,12 +423,26 @@ class SpilledRun {
     Timestamp last_time = 0;
   };
 
+  struct Inflight {
+    BlockRef ref;
+    std::shared_ptr<std::vector<T>> payload;
+  };
+
   SpilledRun(RunStore* store, uint64_t id,
-             std::unique_ptr<RunFileWriter> writer, size_t block_records)
+             std::unique_ptr<RunFileWriter> writer, size_t block_records,
+             SpillFlusher* flusher, uint64_t* async_flushes)
       : store_(store),
         id_(id),
         writer_(std::move(writer)),
-        block_records_(std::max<size_t>(1, block_records)) {}
+        block_records_(std::max<size_t>(1, block_records)),
+        flusher_(flusher),
+        async_flushes_(async_flushes),
+        next_offset_(writer_->next_block_offset()) {
+    if (flusher_ != nullptr) {
+      channel_ = flusher_->NewChannel();
+      written_blocks_ = std::make_shared<std::atomic<uint64_t>>(0);
+    }
+  }
 
   // Index of the first block with live records.
   size_t FirstLiveBlock() const {
@@ -304,6 +454,102 @@ class SpilledRun {
     return b;
   }
 
+  size_t BlockIndexOf(const BlockRef& ref) const {
+    return static_cast<size_t>(&ref - blocks_.data());
+  }
+
+  // Synchronous seal-and-write (no flusher). Failure keeps the block
+  // pending: a failing spill device cannot lose data still in RAM.
+  uint64_t FlushPendingSync(const BlockRef& ref) {
+    std::string error;
+    if (!writer_->AppendBlock(
+            reinterpret_cast<const uint8_t*>(pending_.data()), ref.count,
+            &error)) {
+      return 0;  // (The write fault gate never reports failure.)
+    }
+    CommitSeal(ref);
+    pending_.clear();
+    return kRunBlockHeaderBytes +
+           static_cast<uint64_t>(ref.count) * sizeof(T);
+  }
+
+  // Write-behind seal: the block enters the index immediately, its
+  // payload moves to the in-flight queue (still RAM-accounted and
+  // readable), and the write job goes to the per-run channel. After an
+  // I/O failure the channel is poisoned — later blocks stay in RAM for
+  // the rest of the run's life rather than risk appends at wrong offsets.
+  uint64_t SealPendingAsync(const BlockRef& ref) {
+    auto payload = std::make_shared<std::vector<T>>(std::move(pending_));
+    pending_ = std::move(spare_);
+    spare_ = std::vector<T>();
+    pending_.clear();
+    inflight_bytes_ += payload->size() * sizeof(T);
+    inflight_.push_back(Inflight{ref, payload});
+    CommitSeal(ref);
+    if (!write_failed_) {
+      if (async_flushes_ != nullptr) ++*async_flushes_;
+      RunFileWriter* writer = writer_.get();
+      std::shared_ptr<std::atomic<uint64_t>> written = written_blocks_;
+      const uint32_t count = ref.count;
+      channel_->Enqueue(
+          [writer, payload, count, written]() {
+            std::string error;
+            if (!writer->AppendBlock(
+                    reinterpret_cast<const uint8_t*>(payload->data()),
+                    count, &error)) {
+              return false;
+            }
+            written->fetch_add(1, std::memory_order_release);
+            return true;
+          },
+          kRunBlockHeaderBytes +
+              static_cast<uint64_t>(count) * sizeof(T));
+    }
+    return kRunBlockHeaderBytes +
+           static_cast<uint64_t>(ref.count) * sizeof(T);
+  }
+
+  void CommitSeal(const BlockRef& ref) {
+    blocks_.push_back(ref);
+    disk_records_ += ref.count;
+    next_offset_ +=
+        kRunBlockHeaderBytes + static_cast<uint64_t>(ref.count) * sizeof(T);
+  }
+
+  // Reclaims RAM copies of blocks the flusher has confirmed written and
+  // latches the channel's failure state.
+  void Harvest() {
+    if (channel_ == nullptr) return;
+    const uint64_t done =
+        written_blocks_->load(std::memory_order_acquire);
+    while (harvested_blocks_ < done) {
+      Inflight& f = inflight_.front();
+      inflight_bytes_ -= f.payload->size() * sizeof(T);
+      if (spare_.capacity() == 0 && f.payload.use_count() == 1) {
+        // Recycle the block buffer: this plus pending_ is the double
+        // buffer — steady-state appends allocate nothing.
+        spare_ = std::move(*f.payload);
+        spare_.clear();
+      }
+      inflight_.pop_front();
+      ++harvested_blocks_;
+    }
+    if (channel_->failed()) write_failed_ = true;
+  }
+
+  // Serves `ref` from an in-flight RAM copy if its write has not been
+  // confirmed yet. Only the sorter thread touches inflight_, so this is
+  // race-free against the flusher (which reads payloads it co-owns).
+  bool CopyFromInflight(const BlockRef& ref, std::vector<T>* out) {
+    for (const Inflight& f : inflight_) {
+      if (f.ref.offset == ref.offset) {
+        out->assign(f.payload->begin(), f.payload->end());
+        return true;
+      }
+    }
+    return false;
+  }
+
   // Loads block `b` into load_buf_. The write path already CRC'd the
   // bytes; a mismatch here means the device corrupted them underneath a
   // live process, which is a hard failure, not a recovery case. The cache
@@ -312,6 +558,11 @@ class SpilledRun {
   void LoadBlock(size_t b, uint64_t* read_bytes) {
     const BlockRef& ref = blocks_[b];
     if (load_offset_ == ref.offset) return;
+    Harvest();
+    if (CopyFromInflight(ref, &load_buf_)) {
+      load_offset_ = ref.offset;
+      return;  // Served from RAM; no disk read to account.
+    }
     raw_buf_.clear();
     uint32_t count = 0;
     const BlockReadStatus status = ReadBlockAt(
@@ -332,23 +583,38 @@ class SpilledRun {
   class Cursor final : public RunCursor<T> {
    public:
     Cursor(SpilledRun<T>* run, size_t begin, size_t end,
-           uint64_t* read_bytes)
-        : run_(run), pos_(begin), end_(end), read_bytes_(read_bytes) {}
+           uint64_t* read_bytes, uint64_t* ra_hits, uint64_t* ra_misses)
+        : run_(run),
+          pos_(begin),
+          end_(end),
+          read_bytes_(read_bytes),
+          ra_hits_(ra_hits),
+          ra_misses_(ra_misses) {
+      if (run_->flusher_ != nullptr) {
+        ra_channel_ = run_->flusher_->NewChannel();
+      }
+    }
+
+    ~Cursor() override {
+      // The prefetch job writes into slot buffers owned here.
+      if (prefetch_pending_) ra_channel_->Wait();
+    }
 
     size_t total() const override { return end_ - pos0_init_; }
 
     std::pair<const T*, const T*> NextChunk() override {
       if (pos_ >= end_) return {nullptr, nullptr};
-      // Disk part: one block per chunk through the run's load buffer.
+      // Disk part: one block per chunk.
       if (pos_ < run_->disk_records_) {
         const size_t b = BlockOf(pos_);
         const auto& ref = run_->blocks_[b];
-        run_->LoadBlock(b, read_bytes_);
+        const T* data = ra_channel_ != nullptr ? LoadReadAhead(b)
+                                               : LoadShared(b);
         const size_t lo = pos_ - ref.start_index;
         const size_t hi = std::min<uint64_t>(
             ref.count, end_ - ref.start_index);
         pos_ = ref.start_index + hi;
-        return {run_->load_buf_.data() + lo, run_->load_buf_.data() + hi};
+        return {data + lo, data + hi};
       }
       // RAM tail: the pending partial block, one final chunk.
       const size_t lo = pos_ - run_->disk_records_;
@@ -358,6 +624,99 @@ class SpilledRun {
     }
 
    private:
+    // Synchronous path: share the run's load buffer (the punctuation cut
+    // usually left the boundary block cached there already).
+    const T* LoadShared(size_t b) {
+      run_->LoadBlock(b, read_bytes_);
+      return run_->load_buf_.data();
+    }
+
+    // Write-behind path: private ping-pong buffers. Consume block b from
+    // the prefetch slot when the pool got to it in time (hit), fall back
+    // to a synchronous load otherwise (miss), then kick off a prefetch of
+    // the next block the merge will want.
+    const T* LoadReadAhead(size_t b) {
+      const auto& ref = run_->blocks_[b];
+      bool served = false;
+      run_->Harvest();
+      if (run_->CopyFromInflight(ref, &buf_)) {
+        served = true;  // Still in RAM — neither a disk hit nor a miss.
+      } else if (prefetch_offset_ == ref.offset) {
+        ra_channel_->Wait();
+        prefetch_pending_ = false;
+        if (slot_status_ == BlockReadStatus::kOk &&
+            slot_count_ == ref.count) {
+          buf_.resize(slot_count_);
+          memcpy(buf_.data(), slot_raw_.data(),
+                 static_cast<size_t>(slot_count_) * sizeof(T));
+          if (read_bytes_ != nullptr) {
+            *read_bytes_ += kRunBlockHeaderBytes +
+                            static_cast<uint64_t>(slot_count_) * sizeof(T);
+          }
+          if (ra_hits_ != nullptr) ++*ra_hits_;
+          served = true;
+        }
+      }
+      if (!served) {
+        LoadDirect(ref);
+        if (ra_misses_ != nullptr) ++*ra_misses_;
+      }
+      prefetch_offset_ = UINT64_MAX;
+      IssuePrefetch(b);
+      return buf_.data();
+    }
+
+    void LoadDirect(const BlockRef& ref) {
+      if (prefetch_pending_) {
+        ra_channel_->Wait();  // The slot buffer is about to be reused.
+        prefetch_pending_ = false;
+      }
+      slot_raw_.clear();
+      uint32_t count = 0;
+      const BlockReadStatus status =
+          ReadBlockAt(run_->writer_->fd(), ref.offset, sizeof(T),
+                      &slot_raw_, &count, nullptr);
+      IMPATIENCE_CHECK_MSG(
+          status == BlockReadStatus::kOk && count == ref.count,
+          "spilled block unreadable under a live writer");
+      buf_.resize(count);
+      memcpy(buf_.data(), slot_raw_.data(),
+             static_cast<size_t>(count) * sizeof(T));
+      if (read_bytes_ != nullptr) {
+        *read_bytes_ += kRunBlockHeaderBytes +
+                        static_cast<uint64_t>(count) * sizeof(T);
+      }
+    }
+
+    // Queues a read of the block after `b` if the merge will consume it
+    // and it lives on disk (in-flight blocks are already in RAM).
+    void IssuePrefetch(size_t b) {
+      if (prefetch_pending_) {
+        // A stale prefetch (its block got served from the in-flight
+        // queue) still owns the slot buffer; let it land first.
+        ra_channel_->Wait();
+        prefetch_pending_ = false;
+      }
+      const size_t next = b + 1;
+      if (next >= run_->blocks_.size()) return;
+      const auto& ref = run_->blocks_[next];
+      if (ref.start_index >= end_) return;
+      for (const Inflight& f : run_->inflight_) {
+        if (f.ref.offset == ref.offset) return;
+      }
+      prefetch_offset_ = ref.offset;
+      prefetch_pending_ = true;
+      const int fd = run_->writer_->fd();
+      const uint64_t offset = ref.offset;
+      ra_channel_->Enqueue(
+          [this, fd, offset]() {
+            slot_status_ = ReadBlockAt(fd, offset, sizeof(T), &slot_raw_,
+                                       &slot_count_, nullptr);
+            return true;  // Failure is resolved at consume time.
+          },
+          0);  // Reads don't count against the write in-flight cap.
+    }
+
     size_t BlockOf(size_t index) const {
       // Blocks are index-ordered; binary search by start_index.
       const auto& blocks = run_->blocks_;
@@ -378,16 +737,38 @@ class SpilledRun {
     const size_t pos0_init_ = pos_;
     size_t end_;
     uint64_t* read_bytes_;
+    uint64_t* ra_hits_;
+    uint64_t* ra_misses_;
+    std::shared_ptr<SpillFlusher::Channel> ra_channel_;
+    std::vector<T> buf_;            // Block being consumed by the merge.
+    std::vector<uint8_t> slot_raw_; // Prefetch landing buffer.
+    uint32_t slot_count_ = 0;
+    BlockReadStatus slot_status_ = BlockReadStatus::kEof;
+    uint64_t prefetch_offset_ = UINT64_MAX;
+    bool prefetch_pending_ = false;
   };
 
   RunStore* store_;
   uint64_t id_;
   std::unique_ptr<RunFileWriter> writer_;
   size_t block_records_;
+  SpillFlusher* flusher_;
+  uint64_t* async_flushes_;
+  std::shared_ptr<SpillFlusher::Channel> channel_;
   std::vector<BlockRef> blocks_;
   std::vector<T> pending_;
+  std::vector<T> spare_;  // Recycled block buffer (double buffering).
+  std::deque<Inflight> inflight_;
+  std::shared_ptr<std::atomic<uint64_t>> written_blocks_;
+  uint64_t harvested_blocks_ = 0;
+  size_t inflight_bytes_ = 0;
+  bool write_failed_ = false;
   uint64_t disk_records_ = 0;
   size_t head_ = 0;
+  // Absolute index of the file's first record (nonzero after CompactDisk
+  // drops the emitted prefix; manifest heads are file-relative).
+  uint64_t base_index_ = 0;
+  uint64_t next_offset_ = 0;  // File offset of the next sealed block.
   std::vector<uint8_t> raw_buf_;
   std::vector<T> load_buf_;
   // File offset of the block currently in load_buf_ (UINT64_MAX = none).

@@ -1,0 +1,141 @@
+#include "storage/spill_governor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/trace.h"
+
+namespace impatience {
+namespace storage {
+
+SpillGovernor::SpillGovernor(const Options& options) : options_(options) {
+  ticker_ = std::thread([this]() { TickLoop(); });
+}
+
+SpillGovernor::~SpillGovernor() { StopTicking(); }
+
+void SpillGovernor::StopTicking() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+SpillGovernor::Client* SpillGovernor::Register(
+    std::function<void()> wakeup) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.push_back(
+      std::unique_ptr<Client>(new Client(std::move(wakeup))));
+  return clients_.back().get();
+}
+
+void SpillGovernor::Unregister(Client* client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i].get() == client) {
+      clients_.erase(clients_.begin() + i);
+      return;
+    }
+  }
+}
+
+void SpillGovernor::TickLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.tick_period_us));
+    if (stop_) return;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void SpillGovernor::Tick() {
+  const uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // The registry lock is held for the whole tick, wakeup callbacks
+  // included: Unregister then cannot race a callback into a dying
+  // client's sorter. Callbacks must therefore be non-blocking (the
+  // server's is a TryPush onto the shard queue).
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Client*> clients;
+  clients.reserve(clients_.size());
+  for (const auto& c : clients_) clients.push_back(c.get());
+  std::vector<Client*> wake;
+
+  // 1. Shared-budget enforcement: assign spill targets to the globally
+  //    coldest clients until the deficit is covered.
+  if (options_.memory_budget > 0) {
+    size_t total = 0;
+    if (!options_.trackers.empty()) {
+      for (const MemoryTracker* t : options_.trackers) {
+        total += t->current_bytes();
+      }
+    } else {
+      for (const Client* c : clients) total += c->resident_bytes();
+    }
+    TRACE_COUNTER("spill.governed_bytes", total);
+    if (total > options_.memory_budget) {
+      size_t deficit = total - options_.memory_budget;
+      std::vector<Client*> ranked;
+      for (Client* c : clients) {
+        if (c->resident_bytes() > 0) ranked.push_back(c);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const Client* a, const Client* b) {
+                  return a->coldest_tick() < b->coldest_tick();
+                });
+      for (Client* c : ranked) {
+        if (deficit == 0) break;
+        const size_t take = std::min(deficit, c->resident_bytes());
+        // store (not add): an unconsumed target from the last tick means
+        // the client has not run yet — re-asking is enough.
+        c->spill_target_.store(take, std::memory_order_relaxed);
+        spill_requests_.fetch_add(1, std::memory_order_relaxed);
+        wake.push_back(c);
+        deficit -= take;
+      }
+    }
+  }
+
+  // 2. Idle flush deadline: a pending tail block with no appends for
+  //    idle_flush_ticks goes to disk now rather than at the next
+  //    punctuation a quiet session may never see.
+  for (Client* c : clients) {
+    if (!c->has_pending_tail_.load(std::memory_order_relaxed)) continue;
+    const uint64_t last = c->last_append_tick_.load(std::memory_order_relaxed);
+    if (now - last < options_.idle_flush_ticks) continue;
+    if (!c->idle_flush_.exchange(true, std::memory_order_relaxed)) {
+      idle_flushes_.fetch_add(1, std::memory_order_relaxed);
+      wake.push_back(c);
+    }
+  }
+
+  // 3. Compaction nudges: run-file rewrites happen on maintenance ticks.
+  for (Client* c : clients) {
+    if (!c->wants_compaction_.load(std::memory_order_relaxed)) continue;
+    if (!c->compact_.exchange(true, std::memory_order_relaxed)) {
+      compaction_nudges_.fetch_add(1, std::memory_order_relaxed);
+      wake.push_back(c);
+    }
+  }
+
+  for (Client* c : wake) {
+    if (c->wakeup_) c->wakeup_();
+  }
+}
+
+SpillGovernor::Stats SpillGovernor::stats() const {
+  Stats s;
+  s.ticks = tick_.load(std::memory_order_relaxed) - 1;
+  s.spill_requests = spill_requests_.load(std::memory_order_relaxed);
+  s.idle_flushes = idle_flushes_.load(std::memory_order_relaxed);
+  s.compaction_nudges = compaction_nudges_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace storage
+}  // namespace impatience

@@ -1,0 +1,174 @@
+// Shared-budget spill governor.
+//
+// PR 7 gave every sorter its own victim scan: when the memory signal
+// crossed the budget, the sorter spilled its *locally* coldest run. With
+// many shards sharing one budget that picks the wrong victim — a shard
+// under light load spills its only warm run while a neighbor sits on a
+// stone-cold session. The governor centralizes the choice: every sorter
+// registers as a Client, publishes a cheap atomic summary (resident
+// spillable bytes, age of its coldest candidate run, whether a partial
+// tail block is sitting unflushed), and a background tick thread:
+//
+//   1. compares total usage (the shared MemoryTracker signal) to the
+//      budget and, when over, assigns spill targets to the *globally*
+//      coldest clients until the deficit is covered;
+//   2. fires a time-based idle flush for clients whose pending tail
+//      block has been quiet past the deadline, so a quiescent session's
+//      last events still reach disk without waiting for a punctuation;
+//   3. forwards compaction requests (a client advertising a run file
+//      whose emitted prefix dominates its disk footprint) so run-file
+//      rewrites happen on maintenance ticks, never on the ingest path.
+//
+// The governor never calls into a sorter: sorters are single-threaded.
+// All requests land in per-client atomics that the owning thread
+// consumes at its next check; the registered `wakeup` callback (e.g.
+// "enqueue a maintenance frame on the shard queue") pokes threads that
+// are parked waiting for input. Time is the governor's own coarse tick
+// counter, comparable across clients — sorters stamp run coldness with
+// `now_tick()` instead of their private append sequence.
+
+#ifndef IMPATIENCE_STORAGE_SPILL_GOVERNOR_H_
+#define IMPATIENCE_STORAGE_SPILL_GOVERNOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.h"
+
+namespace impatience {
+namespace storage {
+
+class SpillGovernor {
+ public:
+  struct Options {
+    // Shared byte budget across every client. 0 disables spill targeting
+    // (the tick still drives idle flushes and compaction).
+    size_t memory_budget = 0;
+    // Residency signals summed for the authoritative total — typically
+    // one MemoryTracker per shard. Empty: sum of client-published bytes.
+    std::vector<MemoryTracker*> trackers;
+    // Tick period. Budget overshoot between ticks is bounded by
+    // ingest-rate x period; 2ms keeps that small without a hot loop.
+    uint64_t tick_period_us = 2000;
+    // Idle flush deadline: a pending tail block quiet for this many
+    // ticks is flushed to disk.
+    uint64_t idle_flush_ticks = 50;
+  };
+
+  // Per-sorter mailbox. The owning sorter thread publishes summaries and
+  // consumes requests; the governor tick thread does the reverse. All
+  // fields are relaxed atomics — requests are hints whose loss or delay
+  // affects only *when* work happens, never what is computed.
+  class Client {
+   public:
+    // -- Sorter side --------------------------------------------------
+    void Publish(size_t resident_bytes, uint64_t coldest_tick,
+                 bool has_pending_tail) {
+      resident_bytes_.store(resident_bytes, std::memory_order_relaxed);
+      coldest_tick_.store(coldest_tick, std::memory_order_relaxed);
+      has_pending_tail_.store(has_pending_tail,
+                              std::memory_order_relaxed);
+    }
+    void NoteAppend(uint64_t tick) {
+      last_append_tick_.store(tick, std::memory_order_relaxed);
+    }
+    void AdvertiseCompaction(bool wants) {
+      wants_compaction_.store(wants, std::memory_order_relaxed);
+    }
+    // Consumes the assigned spill target; 0 = no request outstanding.
+    size_t TakeSpillTarget() {
+      return spill_target_.exchange(0, std::memory_order_relaxed);
+    }
+    bool TakeIdleFlush() {
+      return idle_flush_.exchange(false, std::memory_order_relaxed);
+    }
+    bool TakeCompaction() {
+      return compact_.exchange(false, std::memory_order_relaxed);
+    }
+
+    // -- Governor side ------------------------------------------------
+    size_t resident_bytes() const {
+      return resident_bytes_.load(std::memory_order_relaxed);
+    }
+    uint64_t coldest_tick() const {
+      return coldest_tick_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class SpillGovernor;
+    explicit Client(std::function<void()> wakeup)
+        : wakeup_(std::move(wakeup)) {}
+
+    std::function<void()> wakeup_;
+    std::atomic<size_t> resident_bytes_{0};
+    std::atomic<uint64_t> coldest_tick_{0};
+    std::atomic<uint64_t> last_append_tick_{0};
+    std::atomic<bool> has_pending_tail_{false};
+    std::atomic<bool> wants_compaction_{false};
+    std::atomic<size_t> spill_target_{0};
+    std::atomic<bool> idle_flush_{false};
+    std::atomic<bool> compact_{false};
+  };
+
+  explicit SpillGovernor(const Options& options);
+  ~SpillGovernor();
+
+  SpillGovernor(const SpillGovernor&) = delete;
+  SpillGovernor& operator=(const SpillGovernor&) = delete;
+
+  // Registers a client. `wakeup` is invoked from the tick thread (cheap,
+  // non-blocking — e.g. push a maintenance frame; may be empty for
+  // clients that poll). The pointer stays valid until Unregister.
+  Client* Register(std::function<void()> wakeup);
+  void Unregister(Client* client);
+
+  // Joins the background tick thread; idempotent. Owners whose trackers
+  // or wakeup targets die before the governor must call this first —
+  // the governor object stays usable for Unregister afterwards.
+  void StopTicking();
+
+  // Coarse monotonic tick counter, comparable across clients.
+  uint64_t now_tick() const {
+    return tick_.load(std::memory_order_relaxed);
+  }
+  size_t memory_budget() const { return options_.memory_budget; }
+
+  struct Stats {
+    uint64_t ticks = 0;
+    uint64_t spill_requests = 0;   // Targets assigned to clients.
+    uint64_t idle_flushes = 0;     // Idle-deadline flushes requested.
+    uint64_t compaction_nudges = 0;
+  };
+  Stats stats() const;
+
+  // Test hook: runs one tick inline (the background thread also ticks;
+  // calls serialize internally).
+  void TickForTest() { Tick(); }
+
+ private:
+  void TickLoop();
+  void Tick();
+
+  const Options options_;
+  std::atomic<uint64_t> tick_{1};  // 0 is "never appended".
+  std::atomic<uint64_t> spill_requests_{0};
+  std::atomic<uint64_t> idle_flushes_{0};
+  std::atomic<uint64_t> compaction_nudges_{0};
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::thread ticker_;
+};
+
+}  // namespace storage
+}  // namespace impatience
+
+#endif  // IMPATIENCE_STORAGE_SPILL_GOVERNOR_H_

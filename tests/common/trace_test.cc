@@ -125,6 +125,58 @@ TEST_F(TraceTest, ThreadsGetDistinctTids) {
   EXPECT_EQ(tids.size(), 3u);
 }
 
+TEST_F(TraceTest, CounterSamplesRenderAsChromeCounterEvents) {
+  std::thread t([] {
+    TRACE_COUNTER("test.queue_bytes", 0);
+    TRACE_COUNTER("test.queue_bytes", 4096);
+    TRACE_COUNTER("test.queue_bytes", 1234567890123ull);
+  });
+  t.join();
+
+  trace::DrainStats stats;
+  const std::string json = trace::DrainChromeJson(&stats);
+  EXPECT_EQ(stats.spans, 3u);  // Counter samples share the ring.
+  EXPECT_NE(json.find("\"name\":\"test.queue_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // The sampled value rides in args.value, not in a duration.
+  EXPECT_NE(json.find("\"args\":{\"value\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":4096}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":1234567890123}"),
+            std::string::npos);
+  // No "X" event was emitted, so no duration field appears for counters.
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, CountersAndSpansCoexistInOneDrain) {
+  std::thread t([] {
+    TRACE_COUNTER("test.depth", 7);
+    {
+      TRACE_SPAN("test.work");
+    }
+    TRACE_COUNTER("test.depth", 3);
+  });
+  t.join();
+
+  trace::DrainStats stats;
+  const std::string json = trace::DrainChromeJson(&stats);
+  EXPECT_EQ(stats.spans, 3u);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.work\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledCountersRecordNothing) {
+  trace::SetEnabled(false);
+  std::thread t([] { TRACE_COUNTER("test.invisible_counter", 42); });
+  t.join();
+  trace::DrainStats stats;
+  const std::string json = trace::DrainChromeJson(&stats);
+  EXPECT_EQ(stats.spans, 0u);
+  EXPECT_EQ(json.find("test.invisible_counter"), std::string::npos);
+}
+
 TEST_F(TraceTest, SpanNamesAreJsonEscaped) {
   std::thread t([] {
     TRACE_SPAN("weird\"name\\with\ncontrol");

@@ -91,6 +91,12 @@ ServerMetrics MakeMetrics() {
   s.sorter.spill_merge_fanin.Record(2);
   s.sorter.spill_merge_fanin.Record(5);
   s.sorter.spill_merge_fanin.Record(9);
+  s.sorter.async_flushes = 42;
+  s.sorter.readahead_hits = 31;
+  s.sorter.readahead_misses = 4;
+  s.sorter.idle_flushes = 2;
+  s.sorter.spill_compactions = 5;
+  s.sorter.flush_queue_bytes = 8192;
 
   SessionWatermark nasty;
   nasty.label = "se\"ss\\ion\nid\x01";  // Hostile label for both formats.
@@ -298,6 +304,67 @@ TEST(MetricsRenderTest, SpillAndMemoryFamiliesInAllThreeFormats) {
   EXPECT_NE(
       prom.find("impatience_shard_spill_merge_fanin_count{shard=\"0\"} 3"),
       std::string::npos);
+}
+
+// The async-spill-pipeline families (write-behind flushes, merge
+// read-ahead hit/miss, idle flushes, disk compactions, and the
+// flush-queue-depth gauge) in all three formats.
+TEST(MetricsRenderTest, AsyncSpillFamiliesInAllThreeFormats) {
+  const ServerMetrics m = MakeMetrics();
+
+  const std::string text = RenderMetricsText(m);
+  EXPECT_NE(
+      text.find("impatience_shard_sorter_async_flushes{shard=\"0\"} 42"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_sorter_readahead_hits{shard=\"0\"} 31"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_sorter_readahead_misses{shard=\"0\"} 4"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_sorter_idle_flushes{shard=\"0\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("impatience_shard_sorter_spill_compactions{shard=\"0\"} 5"),
+      std::string::npos);
+  EXPECT_NE(text.find("impatience_shard_sorter_flush_queue_bytes"
+                      "{shard=\"0\"} 8192"),
+            std::string::npos);
+
+  const std::string json = RenderMetricsJson(m);
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"sorter_async_flushes\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_readahead_hits\":31"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_readahead_misses\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_idle_flushes\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_spill_compactions\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"sorter_flush_queue_bytes\":8192"),
+            std::string::npos);
+
+  const std::string prom = RenderMetricsPrometheus(m);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_sorter_async_flushes counter"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_sorter_async_flushes{shard=\"0\"} 42"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_sorter_readahead_hits counter"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_sorter_readahead_misses{shard=\"0\"} 4"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("impatience_shard_sorter_spill_compactions{shard=\"0\"} 5"),
+      std::string::npos);
+  // Queue depth is a point-in-time gauge, not a counter.
+  EXPECT_NE(
+      prom.find("# TYPE impatience_shard_sorter_flush_queue_bytes gauge"),
+      std::string::npos);
+  EXPECT_NE(prom.find("impatience_shard_sorter_flush_queue_bytes"
+                      "{shard=\"0\"} 8192"),
+            std::string::npos);
 }
 
 // The cumulative-bucket histogram siblings: `histogram`-typed families

@@ -368,6 +368,129 @@ TEST(RunStoreTest, WriteFaultKillPointsRecoverPrefix) {
   }
 }
 
+// The same kill-point property with the write-behind pipeline: blocks are
+// sealed on the producer thread but written by flusher-pool threads, and
+// the fault gate's byte budget is consumed concurrently by manifest writes
+// and block writes. Whatever instant the budget dies at, recovery must
+// surface a contiguous prefix of the appended records — nothing invented,
+// nothing reordered — and a second recovery must converge. (TSan owns the
+// concurrency assertions; the sweep owns the crash-consistency ones.)
+TEST(RunStoreTest, AsyncFlusherKillPointsRecoverPrefix) {
+  constexpr size_t kPerBlock = 4;
+  constexpr int64_t kRecords = 40;  // 10 blocks through the pool.
+  const auto time_of = [](const int64_t& v) {
+    return static_cast<Timestamp>(v);
+  };
+
+  for (size_t kill = 0; kill <= 700; kill += 23) {
+    TempDir dir;
+    WriteFault fault;
+    fault.Arm(static_cast<int64_t>(kill));
+    {
+      RunStoreOptions options;
+      options.dir = dir.path() + "/store";
+      options.fsync = false;
+      options.write_fault = &fault;
+      std::string error;
+      auto store = RunStore::Open(options, &error);
+      ASSERT_NE(store, nullptr) << "kill=" << kill << ": " << error;
+
+      SpillFlusher::Options fo;
+      fo.threads = 2;
+      SpillFlusher flusher(fo);
+      uint64_t async_flushes = 0;
+      auto run = SpilledRun<int64_t>::Create(store.get(), kPerBlock,
+                                             &flusher, &async_flushes,
+                                             &error);
+      if (run != nullptr) {
+        for (int64_t v = 0; v < kRecords; ++v) run->Append(v, time_of);
+        run->FlushPending(time_of, /*sync=*/true);
+        EXPECT_GT(async_flushes, 0u) << "kill=" << kill;
+        // Destroy without reading: once the gate is dead, unwritten
+        // blocks are only readable from their in-flight RAM copies, and
+        // this models a process that never got to read them.
+        run.reset();
+      }
+      store.reset();
+    }
+
+    // Restart: the fault gate is gone, the files are whatever the "crash"
+    // left behind.
+    RunStoreOptions options;
+    options.dir = dir.path() + "/store";
+    options.fsync = false;
+    std::string error;
+    auto store = RunStore::Open(options, &error);
+    ASSERT_NE(store, nullptr) << error;
+    std::vector<RecoveredRun> runs;
+    RecoveryStats stats;
+    ASSERT_TRUE(store->Recover(&runs, &stats, &error))
+        << "kill=" << kill << ": " << error;
+    ASSERT_LE(runs.size(), 1u) << "kill=" << kill;
+    std::vector<int64_t> got;
+    if (!runs.empty()) {
+      ASSERT_TRUE(ReplayRecoveredRun<int64_t>(
+          runs[0], [&](const int64_t& v) { got.push_back(v); }, nullptr,
+          &error))
+          << error;
+    }
+    ASSERT_LE(got.size(), static_cast<size_t>(kRecords));
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<int64_t>(i)) << "kill=" << kill;
+    }
+    ASSERT_TRUE(store->Recover(&runs, &stats, &error))
+        << "kill=" << kill << " (second recovery): " << error;
+  }
+}
+
+// The merge-facing read contract of the write-behind path: a cursor over
+// a run whose blocks may be on disk, in flight, or still pending must
+// return every element in order — the in-flight RAM copies serve reads
+// until the pool confirms the write, so consumers never observe the
+// asynchrony.
+TEST(RunStoreTest, CursorServesInFlightAndDiskBlocksUniformly) {
+  TempDir dir;
+  RunStoreOptions options;
+  options.dir = dir.path() + "/store";
+  options.fsync = false;
+  std::string error;
+  auto store = RunStore::Open(options, &error);
+  ASSERT_NE(store, nullptr) << error;
+  const auto time_of = [](const int64_t& v) {
+    return static_cast<Timestamp>(v);
+  };
+
+  SpillFlusher::Options fo;
+  fo.threads = 1;
+  SpillFlusher flusher(fo);
+  uint64_t async_flushes = 0;
+  auto run = SpilledRun<int64_t>::Create(store.get(), /*block_records=*/4,
+                                         &flusher, &async_flushes, &error);
+  ASSERT_NE(run, nullptr) << error;
+
+  // Settle the first block on disk, then append more whose writes may
+  // still be in flight (plus a partial pending tail) when the cursor
+  // walks the run.
+  for (int64_t v = 0; v < 4; ++v) run->Append(v, time_of);
+  run->WaitWritesDone();
+  for (int64_t v = 4; v < 18; ++v) run->Append(v, time_of);
+
+  uint64_t read_bytes = 0, hits = 0, misses = 0;
+  auto cursor = run->MakeCursor(0, run->size(), &read_bytes, &hits,
+                                &misses);
+  std::vector<int64_t> got;
+  for (auto chunk = cursor->NextChunk(); chunk.first != nullptr;
+       chunk = cursor->NextChunk()) {
+    got.insert(got.end(), chunk.first, chunk.second);
+  }
+  ASSERT_EQ(got.size(), 18u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<int64_t>(i));
+  }
+  cursor.reset();
+  run->Discard();
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace impatience

@@ -1,0 +1,218 @@
+// SpillGovernor contracts: shared-budget enforcement assigns spill
+// targets to the *globally* coldest clients until the deficit is covered
+// (driven by tracker sums or client-published bytes), quiet pending tails
+// trip the idle-flush deadline, compaction advertisements come back as
+// nudges, and every request fires the client's wakeup. Tests drive ticks
+// with TickForTest under an effectively-infinite tick period so the
+// background thread stays out of the arithmetic.
+
+#include "storage/spill_governor.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+
+namespace impatience {
+namespace storage {
+namespace {
+
+SpillGovernor::Options QuietOptions() {
+  SpillGovernor::Options options;
+  // One hour: the background ticker never fires during a test; every
+  // tick below is an explicit TickForTest().
+  options.tick_period_us = 3600ull * 1000 * 1000;
+  return options;
+}
+
+TEST(SpillGovernorTest, AssignsSpillTargetToGloballyColdestClient) {
+  SpillGovernor::Options options = QuietOptions();
+  options.memory_budget = 1000;
+  SpillGovernor governor(options);
+
+  std::atomic<int> woke_a{0};
+  std::atomic<int> woke_b{0};
+  SpillGovernor::Client* a = governor.Register([&]() { ++woke_a; });
+  SpillGovernor::Client* b = governor.Register([&]() { ++woke_b; });
+
+  // A is colder (older coldest run) and the two together exceed the
+  // budget by 500 — the deficit lands entirely on A, which can cover it.
+  a->Publish(/*resident_bytes=*/800, /*coldest_tick=*/5,
+             /*has_pending_tail=*/false);
+  b->Publish(/*resident_bytes=*/700, /*coldest_tick=*/10,
+             /*has_pending_tail=*/false);
+  governor.TickForTest();
+
+  EXPECT_EQ(a->TakeSpillTarget(), 500u);
+  EXPECT_EQ(b->TakeSpillTarget(), 0u);
+  EXPECT_GE(woke_a.load(), 1);
+  EXPECT_EQ(woke_b.load(), 0);
+  EXPECT_GE(governor.stats().spill_requests, 1u);
+
+  // A spilled down to 300: the total fits and no new target is assigned.
+  a->Publish(300, 5, false);
+  governor.TickForTest();
+  EXPECT_EQ(a->TakeSpillTarget(), 0u);
+  EXPECT_EQ(b->TakeSpillTarget(), 0u);
+
+  governor.Unregister(a);
+  governor.Unregister(b);
+}
+
+TEST(SpillGovernorTest, DeficitSpillsOverToSecondColdestClient) {
+  SpillGovernor::Options options = QuietOptions();
+  options.memory_budget = 100;
+  SpillGovernor governor(options);
+
+  SpillGovernor::Client* a = governor.Register({});
+  SpillGovernor::Client* b = governor.Register({});
+
+  // Deficit 500; the coldest (B, tick 2) holds only 200, so the rest is
+  // asked of the next coldest.
+  a->Publish(400, /*coldest_tick=*/7, false);
+  b->Publish(200, /*coldest_tick=*/2, false);
+  governor.TickForTest();
+
+  EXPECT_EQ(b->TakeSpillTarget(), 200u);  // Everything it has.
+  EXPECT_EQ(a->TakeSpillTarget(), 300u);  // The remainder.
+
+  governor.Unregister(a);
+  governor.Unregister(b);
+}
+
+TEST(SpillGovernorTest, TrackerSumIsTheAuthoritativeTotal) {
+  MemoryTracker t1, t2;
+  SpillGovernor::Options options = QuietOptions();
+  options.memory_budget = 1000;
+  options.trackers = {&t1, &t2};
+  SpillGovernor governor(options);
+
+  SpillGovernor::Client* client = governor.Register({});
+  // The client publishes a modest summary, but the trackers (which see
+  // the whole pipeline: adapters, unions, reorder buffers) are over
+  // budget — the tracker sum must win.
+  MemoryReservation r1(&t1), r2(&t2);
+  r1.Update(900);
+  r2.Update(600);
+  client->Publish(/*resident_bytes=*/400, /*coldest_tick=*/1, false);
+  governor.TickForTest();
+
+  // Deficit 500, capped at what the client can actually shed (400).
+  EXPECT_EQ(client->TakeSpillTarget(), 400u);
+
+  // Trackers back under budget: no request even though the client still
+  // publishes bytes.
+  r1.Update(300);
+  r2.Update(300);
+  governor.TickForTest();
+  EXPECT_EQ(client->TakeSpillTarget(), 0u);
+
+  governor.Unregister(client);
+}
+
+TEST(SpillGovernorTest, ZeroBudgetNeverAssignsSpillTargets) {
+  SpillGovernor governor(QuietOptions());  // memory_budget = 0.
+  SpillGovernor::Client* client = governor.Register({});
+  client->Publish(1 << 30, 1, false);
+  governor.TickForTest();
+  EXPECT_EQ(client->TakeSpillTarget(), 0u);
+  EXPECT_EQ(governor.stats().spill_requests, 0u);
+  governor.Unregister(client);
+}
+
+TEST(SpillGovernorTest, QuietPendingTailTripsIdleFlushDeadline) {
+  SpillGovernor::Options options = QuietOptions();
+  options.idle_flush_ticks = 3;
+  SpillGovernor governor(options);
+
+  std::atomic<int> woke{0};
+  SpillGovernor::Client* client = governor.Register([&]() { ++woke; });
+  client->Publish(100, 1, /*has_pending_tail=*/true);
+  client->NoteAppend(governor.now_tick());
+
+  // Two ticks in: still within the deadline, no request.
+  governor.TickForTest();
+  EXPECT_FALSE(client->TakeIdleFlush());
+  governor.TickForTest();
+  governor.TickForTest();
+
+  // The tail has now been quiet past the deadline.
+  EXPECT_TRUE(client->TakeIdleFlush());
+  EXPECT_GE(woke.load(), 1);
+  EXPECT_GE(governor.stats().idle_flushes, 1u);
+
+  // The sorter flushed the tail and republished: no more requests.
+  client->Publish(100, 1, /*has_pending_tail=*/false);
+  governor.TickForTest();
+  governor.TickForTest();
+  governor.TickForTest();
+  governor.TickForTest();
+  EXPECT_FALSE(client->TakeIdleFlush());
+
+  governor.Unregister(client);
+}
+
+TEST(SpillGovernorTest, FreshAppendsDeferTheIdleFlush) {
+  SpillGovernor::Options options = QuietOptions();
+  options.idle_flush_ticks = 3;
+  SpillGovernor governor(options);
+  SpillGovernor::Client* client = governor.Register({});
+  client->Publish(100, 1, /*has_pending_tail=*/true);
+
+  // Keep appending every tick: the deadline never elapses.
+  for (int i = 0; i < 10; ++i) {
+    client->NoteAppend(governor.now_tick());
+    governor.TickForTest();
+    EXPECT_FALSE(client->TakeIdleFlush()) << "tick " << i;
+  }
+  governor.Unregister(client);
+}
+
+TEST(SpillGovernorTest, CompactionAdvertisementComesBackAsNudge) {
+  SpillGovernor governor(QuietOptions());
+  std::atomic<int> woke{0};
+  SpillGovernor::Client* client = governor.Register([&]() { ++woke; });
+
+  governor.TickForTest();
+  EXPECT_FALSE(client->TakeCompaction());  // Nothing advertised yet.
+
+  client->AdvertiseCompaction(true);
+  governor.TickForTest();
+  EXPECT_TRUE(client->TakeCompaction());
+  EXPECT_GE(woke.load(), 1);
+  EXPECT_GE(governor.stats().compaction_nudges, 1u);
+
+  client->AdvertiseCompaction(false);  // The rewrite happened.
+  governor.TickForTest();
+  EXPECT_FALSE(client->TakeCompaction());
+
+  governor.Unregister(client);
+}
+
+TEST(SpillGovernorTest, TicksAdvanceTheSharedClock) {
+  SpillGovernor governor(QuietOptions());
+  const uint64_t before = governor.now_tick();
+  EXPECT_GE(before, 1u);  // Tick 0 is reserved for "never appended".
+  governor.TickForTest();
+  governor.TickForTest();
+  EXPECT_GE(governor.now_tick(), before + 2);
+  EXPECT_GE(governor.stats().ticks, 2u);
+}
+
+TEST(SpillGovernorTest, UnregisteredClientGetsNoFurtherRequests) {
+  SpillGovernor::Options options = QuietOptions();
+  options.memory_budget = 10;
+  SpillGovernor governor(options);
+  SpillGovernor::Client* a = governor.Register({});
+  a->Publish(1000, 1, true);
+  governor.Unregister(a);
+  // `a` is gone; the tick must not touch it (ASan would catch a write).
+  governor.TickForTest();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace impatience

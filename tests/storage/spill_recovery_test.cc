@@ -57,7 +57,8 @@ constexpr size_t kEventsPerFrame = 100;
 constexpr size_t kFrames = 200;  // 20k events, ~960 KiB of Event payload.
 constexpr Timestamp kLatency = 4000;
 
-ShardManagerOptions DurableOptions(const std::string& spill_dir) {
+ShardManagerOptions DurableOptions(const std::string& spill_dir,
+                                   size_t flusher_threads = 0) {
   ShardManagerOptions options;
   options.num_shards = kShards;
   options.queue_capacity = 64;
@@ -71,6 +72,9 @@ ShardManagerOptions DurableOptions(const std::string& spill_dir) {
   options.framework.sorter_config.spill.block_bytes = 4096;
   options.spill_dir = spill_dir;
   options.memory_budget = 32 << 10;  // 16 KiB per shard: forces spilling.
+  // >0 routes spill writes through a write-behind flusher pool — the
+  // async arms of the kill-and-restart sweep.
+  options.spill_flusher_threads = flusher_threads;
   return options;
 }
 
@@ -198,14 +202,14 @@ uint64_t SumRecovered(const std::vector<ShardMetrics>& shards,
   return events;
 }
 
-void RunKillRestartScenario(bool tear_tail) {
+void RunKillRestartScenario(bool tear_tail, size_t flusher_threads = 0) {
   TempDir dir;
   const std::string spill_dir = dir.path() + "/spill";
 
   // Phase 1: ingest under a tiny budget, then crash without flushing.
   Collector before;
   auto manager = std::make_unique<SessionShardManager>(
-      DurableOptions(spill_dir), before.Fn());
+      DurableOptions(spill_dir, flusher_threads), before.Fn());
   SubmitAll(manager.get());
   uint64_t spilled = 0;
   for (const ShardMetrics& m : manager->SnapshotShards()) {
@@ -237,7 +241,7 @@ void RunKillRestartScenario(bool tear_tail) {
   // durable suffixes through the normal ingress path; Shutdown flushes.
   Collector after;
   auto restarted = std::make_unique<SessionShardManager>(
-      DurableOptions(spill_dir), after.Fn());
+      DurableOptions(spill_dir, flusher_threads), after.Fn());
   restarted->Shutdown();
   uint64_t runs_recovered = 0;
   uint64_t events_recovered = 0;
@@ -274,6 +278,18 @@ TEST(SpillRecoveryTest, KillAndRestartReplaysDurableSuffixExactly) {
 
 TEST(SpillRecoveryTest, TornTailRecoversLongestIntactPrefix) {
   RunKillRestartScenario(/*tear_tail=*/true);
+}
+
+// The same two scenarios with the write-behind flusher pool carrying the
+// spill writes: the crash boundary now cuts across flusher threads, the
+// shared-budget governor, and maintenance frames, and recovery must still
+// deliver exactly the durable suffix — no loss, no duplicates.
+TEST(SpillRecoveryTest, KillAndRestartWithWriteBehindFlusherPool) {
+  RunKillRestartScenario(/*tear_tail=*/false, /*flusher_threads=*/2);
+}
+
+TEST(SpillRecoveryTest, TornTailWithWriteBehindFlusherPool) {
+  RunKillRestartScenario(/*tear_tail=*/true, /*flusher_threads=*/2);
 }
 
 // A clean shutdown leaves nothing to recover: the flush drains every

@@ -38,6 +38,13 @@
 # head advancement) runs under each detector with the existing suites'
 # output assertions verifying byte-identical results.
 #
+# A sixth pass repeats the forced-spill run with
+# IMPATIENCE_SPILL_FLUSHER_THREADS=2: every sealed block now rides a
+# write-behind flusher pool and every merge cursor prefetches through it,
+# so the async spill pipeline (channel FIFOs, in-flight accounting,
+# backpressure waits, read-ahead ping-pong buffers) runs hot under each
+# detector with the same byte-identical output assertions.
+#
 # Benches/examples/tools are skipped: they share the same code, and
 # building them under the sanitizers roughly doubles the wall clock for no
 # extra coverage.
@@ -77,8 +84,13 @@ run_pass() {
   (cd "$build_dir" && \
     env IMPATIENCE_THREADS=8 IMPATIENCE_MEMORY_BUDGET=64k $env_opts \
       ctest --output-on-failure -j "$(nproc)")
+  (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 IMPATIENCE_MEMORY_BUDGET=64k \
+      IMPATIENCE_SPILL_FLUSHER_THREADS=2 $env_opts \
+      ctest --output-on-failure -j "$(nproc)")
   echo "$name tier-1 (native + scalar + avx2 kernels + tracing on" \
-    "+ 8-seed server fault sweep + forced-spill 64k budget): OK"
+    "+ 8-seed server fault sweep + forced-spill 64k budget, sync + async" \
+    "flusher pool): OK"
 }
 
 tsan_pass() {

@@ -65,10 +65,17 @@ std::vector<impatience::Timestamp> ParseLatencies(const std::string& arg) {
       "                        [--io-threads N]   (0 = "
       "IMPATIENCE_IO_THREADS, default 2)\n"
       "                        [--spill-dir PATH] [--memory-budget BYTES]\n"
+      "                        [--spill-flusher-threads N] "
+      "[--spill-flusher-inflight BYTES]\n"
       "--spill-dir enables the durable disk spill tier (one run store per\n"
       "shard under PATH; runs left by a crash are replayed on startup).\n"
       "--memory-budget caps pipeline buffering (k/m/g suffixes accepted;\n"
-      "default: the IMPATIENCE_MEMORY_BUDGET environment variable).\n");
+      "default: the IMPATIENCE_MEMORY_BUDGET environment variable).\n"
+      "--spill-flusher-threads starts the write-behind flusher pool: spill\n"
+      "blocks are written (and merge read-ahead served) off the shard\n"
+      "threads (0 = synchronous, the default).\n"
+      "--spill-flusher-inflight bounds bytes queued in the pool before\n"
+      "spilling sorters block (k/m/g suffixes; default 8m).\n");
   std::exit(2);
 }
 
@@ -122,6 +129,15 @@ int main(int argc, char** argv) {
       const std::string v = next();
       options.shards.memory_budget = storage::ParseByteSize(v.c_str());
       if (options.shards.memory_budget == 0) Usage();
+    } else if (arg == "--spill-flusher-threads") {
+      const int v = std::atoi(next().c_str());
+      if (v < 0) Usage();
+      options.shards.spill_flusher_threads = static_cast<size_t>(v);
+    } else if (arg == "--spill-flusher-inflight") {
+      const std::string v = next();
+      options.shards.spill_flusher_inflight_bytes =
+          storage::ParseByteSize(v.c_str());
+      if (options.shards.spill_flusher_inflight_bytes == 0) Usage();
     } else {
       Usage();
     }
@@ -153,6 +169,13 @@ int main(int argc, char** argv) {
                  options.shards.spill_dir.empty() ? "temp-dir" : "durable",
                  options.shards.spill_dir.c_str(),
                  options.shards.memory_budget);
+  }
+  if (options.shards.spill_flusher_threads > 0) {
+    std::fprintf(stderr,
+                 "impatience_serve: write-behind flusher pool (%zu threads, "
+                 "%zu bytes in flight)\n",
+                 options.shards.spill_flusher_threads,
+                 options.shards.spill_flusher_inflight_bytes);
   }
 
   std::signal(SIGINT, HandleSignal);

@@ -18,7 +18,10 @@
 // (IMPATIENCE_IO_THREADS), with a handful of driver threads fanning the
 // frames out. This measures what the thread-per-connection model could
 // not offer at all: a thousand concurrent peers on a fixed number of
-// server threads.
+// server threads. One extra socket holds a live streaming-telemetry
+// subscription (spans + metrics deltas) for the whole sweep; the table
+// reports the chunks it received and whether the delivered stream stayed
+// gap-free (consecutive per-subscription sequence numbers).
 //
 // Emits one JSON document between BEGIN_JSON/END_JSON markers.
 
@@ -86,6 +89,12 @@ struct ConnSample {
   double delivered_meps = 0;
   uint64_t epollout_stalls = 0;
   uint64_t closed_slow = 0;
+  // A live telemetry subscriber rides the sweep on its own socket: the
+  // delivered chunk stream must be gap-free (consecutive seqs), with any
+  // shed chunks visible only through the cumulative dropped counter.
+  uint64_t telemetry_chunks = 0;
+  uint64_t telemetry_dropped = 0;
+  bool telemetry_gap_free = true;
 };
 
 std::vector<ConnSample>& ConnSamples() {
@@ -116,6 +125,35 @@ ConnSample RunConnections(const std::vector<Event>& events,
     const size_t end = std::min(i + kEventsPerFrame, events.size());
     frames.emplace_back(events.begin() + i, events.begin() + end);
   }
+
+  // One extra socket subscribes to the live span + metrics-delta streams
+  // for the whole sweep and checks the delivered stream is gap-free.
+  std::atomic<bool> sub_stop{false};
+  std::atomic<uint64_t> sub_chunks{0};
+  std::atomic<uint64_t> sub_dropped{0};
+  std::atomic<bool> sub_gap_free{true};
+  std::thread subscriber([&]() {
+    auto channel = TcpChannel::Connect(server.port());
+    if (channel == nullptr) return;
+    IngestClient sub(std::move(channel));
+    if (!sub.Subscribe(/*session_id=*/0,
+                       server::kTelemetrySpans | server::kTelemetryMetrics)) {
+      return;
+    }
+    uint64_t expect = 1;
+    server::Frame chunk;
+    while (!sub_stop.load(std::memory_order_relaxed)) {
+      if (sub.PollTelemetry(&chunk)) {
+        if (chunk.telemetry_seq != expect) sub_gap_free.store(false);
+        expect = chunk.telemetry_seq + 1;
+        sub_chunks.fetch_add(1, std::memory_order_relaxed);
+        sub_dropped.store(chunk.telemetry_dropped,
+                          std::memory_order_relaxed);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  });
 
   // A handful of driver threads each own a slice of the connections and
   // spray their share of the frames round-robin across that slice, so
@@ -211,6 +249,11 @@ ConnSample RunConnections(const std::vector<Event>& events,
     s.epollout_stalls += l.epollout_stalls;
     s.closed_slow += l.closed_slow;
   }
+  sub_stop.store(true, std::memory_order_relaxed);
+  subscriber.join();
+  s.telemetry_chunks = sub_chunks.load();
+  s.telemetry_dropped = sub_dropped.load();
+  s.telemetry_gap_free = sub_gap_free.load();
   server.Stop();
   return s;
 }
@@ -299,7 +342,7 @@ void Run() {
           std::to_string(n) + " events, IMPATIENCE_IO_THREADS pool");
   TablePrinter conn_table({"conns", "io_threads", "peak_open",
                            "offered_Me/s", "delivered_Me/s", "stalls",
-                           "shed"});
+                           "shed", "tel_chunks", "tel_gapfree"});
   for (const size_t connections : {64u, 256u, 1000u}) {
     const ConnSample s = RunConnections(cloudlog.events, connections);
     conn_table.PrintRow({TablePrinter::Int(s.connections),
@@ -308,7 +351,9 @@ void Run() {
                          TablePrinter::Num(s.offered_meps),
                          TablePrinter::Num(s.delivered_meps),
                          TablePrinter::Int(s.epollout_stalls),
-                         TablePrinter::Int(s.closed_slow)});
+                         TablePrinter::Int(s.closed_slow),
+                         TablePrinter::Int(s.telemetry_chunks),
+                         s.telemetry_gap_free ? "yes" : "NO"});
     ConnSamples().push_back(s);
   }
 
@@ -341,11 +386,16 @@ void Run() {
     std::printf(
         "  {\"connections\": %zu, \"io_threads\": %zu, \"peak_open\": %zu, "
         "\"offered_meps\": %.4f, \"delivered_meps\": %.4f, "
-        "\"epollout_stalls\": %llu, \"closed_slow\": %llu}%s\n",
+        "\"epollout_stalls\": %llu, \"closed_slow\": %llu, "
+        "\"telemetry_chunks\": %llu, \"telemetry_dropped\": %llu, "
+        "\"telemetry_gap_free\": %s}%s\n",
         conns[i].connections, conns[i].io_threads, conns[i].peak_open,
         conns[i].offered_meps, conns[i].delivered_meps,
         static_cast<unsigned long long>(conns[i].epollout_stalls),
         static_cast<unsigned long long>(conns[i].closed_slow),
+        static_cast<unsigned long long>(conns[i].telemetry_chunks),
+        static_cast<unsigned long long>(conns[i].telemetry_dropped),
+        conns[i].telemetry_gap_free ? "true" : "false",
         i + 1 < conns.size() ? "," : "");
   }
   std::printf("]}\nEND_JSON\n");

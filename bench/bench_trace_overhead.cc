@@ -1,15 +1,19 @@
 // Observability overhead: cost of the always-compiled tracing and
 // latency instrumentation on the streaming push path.
 //
-// Three arms over the same CloudLog workload through ImpatienceSorter:
+// Four arms over the same CloudLog workload through ImpatienceSorter:
 //
-//   disabled   IMPATIENCE_TRACE off (the shipping default): every
-//              TRACE_SPAN is one relaxed load + predictable branch.
-//   enabled    Spans recorded into per-thread rings (two TSC reads plus
-//              relaxed stores per span).
-//   span_hot   A worst-case microbenchmark that opens a span per *event*
-//              (the real code traces per punctuation round, orders of
-//              magnitude coarser) — an upper bound, not a shipping path.
+//   disabled    IMPATIENCE_TRACE off (the shipping default): every
+//               TRACE_SPAN is one relaxed load + predictable branch.
+//   enabled     Spans recorded into per-thread rings (two TSC reads plus
+//               relaxed stores per span).
+//   subscribed  Spans recorded AND streamed: a TelemetryExporter drain
+//               thread harvests the rings into bounded chunks and fans
+//               them out to a live subscriber while the push loop runs —
+//               the cost of `impatience_trace --follow` on a hot server.
+//   span_hot    A worst-case microbenchmark that opens a span per *event*
+//               (the real code traces per punctuation round, orders of
+//               magnitude coarser) — an upper bound, not a shipping path.
 //
 // Acceptance (ISSUE 4): disabled-arm throughput within 1% of a build
 // without the instrumentation. The disabled arm here gives the in-tree
@@ -18,6 +22,7 @@
 // Emits one JSON document between BEGIN_JSON/END_JSON markers.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -25,6 +30,8 @@
 
 #include "bench/harness.h"
 #include "common/trace.h"
+#include "server/telemetry_exporter.h"
+#include "server/wire_format.h"
 #include "sort/impatience_sorter.h"
 #include "workload/generators.h"
 
@@ -78,6 +85,7 @@ struct Arm {
   const char* name;
   bool enable_trace;
   bool span_per_event;
+  bool subscriber;  // Live streaming-telemetry subscriber while pushing.
 };
 
 void Run() {
@@ -90,26 +98,62 @@ void Run() {
           std::to_string(kPunctFrequency) + " events");
 
   const Arm arms[] = {
-      {"disabled", false, false},
-      {"enabled", true, false},
-      {"span_hot", true, true},
+      {"disabled", false, false, false},
+      {"enabled", true, false, false},
+      {"subscribed", true, false, true},
+      {"span_hot", true, true, false},
   };
+  constexpr size_t kArms = 4;
   constexpr int kReps = 3;
 
-  TablePrinter table({"arm", "best_Me/s", "vs_disabled"});
-  double results[3] = {0, 0, 0};
-  for (size_t a = 0; a < 3; ++a) {
+  TablePrinter table({"arm", "best_Me/s", "vs_disabled", "chunks"});
+  double results[kArms] = {0, 0, 0, 0};
+  uint64_t chunk_counts[kArms] = {0, 0, 0, 0};
+  uint64_t chunk_bytes[kArms] = {0, 0, 0, 0};
+  for (size_t a = 0; a < kArms; ++a) {
     trace::SetEnabled(arms[a].enable_trace);
+
+    // The subscribed arm runs the real exporter drain thread with a live
+    // always-accepting subscriber, so the rings are harvested, chunked,
+    // and encoded concurrently with the push loop.
+    std::unique_ptr<server::TelemetryExporter> exporter;
+    std::atomic<uint64_t> chunks{0};
+    std::atomic<uint64_t> bytes{0};
+    if (arms[a].subscriber) {
+      server::TelemetryOptions topts;
+      topts.span_interval_ms = 10;
+      exporter = std::make_unique<server::TelemetryExporter>(
+          topts, [] { return std::vector<server::ShardMetrics>(); });
+      exporter->Subscribe(/*session_id=*/0, server::kTelemetrySpans,
+                          [&](std::string frame) {
+                            chunks.fetch_add(1, std::memory_order_relaxed);
+                            bytes.fetch_add(frame.size(),
+                                            std::memory_order_relaxed);
+                            return true;
+                          });
+    }
+
     double best = 0;
     for (int rep = 0; rep < kReps; ++rep) {
       best = std::max(best,
                       MeasurePush(cloudlog.events, arms[a].span_per_event));
-      // Keep rings from accumulating across reps when recording.
-      if (arms[a].enable_trace) trace::DrainChromeJson();
+      // Keep rings from accumulating across reps when recording (the
+      // subscribed arm's exporter drains them continuously instead).
+      if (arms[a].enable_trace && !arms[a].subscriber) {
+        trace::DrainChromeJson();
+      }
+    }
+    if (exporter != nullptr) {
+      exporter->Tick();  // Final harvest so trailing spans are chunked.
+      exporter->Stop();
+      exporter.reset();
     }
     results[a] = best;
+    chunk_counts[a] = chunks.load();
+    chunk_bytes[a] = bytes.load();
     table.PrintRow({arms[a].name, TablePrinter::Num(best),
-                    TablePrinter::Num(100.0 * best / results[0], 2) + "%"});
+                    TablePrinter::Num(100.0 * best / results[0], 2) + "%",
+                    std::to_string(chunk_counts[a])});
   }
   trace::SetEnabled(was_enabled);
 
@@ -117,12 +161,15 @@ void Run() {
       "\nBEGIN_JSON\n{\"kernel_level\": \"%s\", \"bench_seed\": %llu,\n"
       "\"trace_overhead\": [\n",
       BenchKernelLevel(), static_cast<unsigned long long>(BenchSeed()));
-  for (size_t a = 0; a < 3; ++a) {
+  for (size_t a = 0; a < kArms; ++a) {
     std::printf(
         "  {\"arm\": \"%s\", \"throughput_meps\": %.4f, "
-        "\"relative_to_disabled\": %.4f}%s\n",
+        "\"relative_to_disabled\": %.4f, \"telemetry_chunks\": %llu, "
+        "\"telemetry_bytes\": %llu}%s\n",
         arms[a].name, results[a], results[a] / results[0],
-        a + 1 < 3 ? "," : "");
+        static_cast<unsigned long long>(chunk_counts[a]),
+        static_cast<unsigned long long>(chunk_bytes[a]),
+        a + 1 < kArms ? "," : "");
   }
   std::printf("]}\nEND_JSON\n");
   std::fflush(stdout);

@@ -175,6 +175,36 @@ void AppendJsonEscaped(const char* s, std::string* out) {
   }
 }
 
+// Formats one drained record as a Chrome trace-event object and appends
+// it to `out` (no separators — the caller owns comma placement).
+void AppendEventJson(const Ring::DrainedSpan& s, uint64_t tid,
+                     const TickConverter& converter, std::string* out) {
+  char buf[160];
+  const uint64_t start_ns = converter.Nanos(s.start);
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(s.name != nullptr ? s.name : "(null)", out);
+  if (s.kind == 1) {
+    // Counter sample: `end` carries the value, not a timestamp.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"impatience\",\"ph\":\"C\",\"pid\":1,"
+                  "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
+                  "\"args\":{\"value\":%" PRIu64 "}}",
+                  tid, start_ns / 1000,
+                  static_cast<unsigned>(start_ns % 1000), s.end);
+  } else {
+    const uint64_t end_ns = converter.Nanos(s.end);
+    const uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"impatience\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
+                  "\"dur\":%" PRIu64 ".%03u}",
+                  tid, start_ns / 1000,
+                  static_cast<unsigned>(start_ns % 1000), dur_ns / 1000,
+                  static_cast<unsigned>(dur_ns % 1000));
+  }
+  *out += buf;
+}
+
 }  // namespace
 
 namespace internal {
@@ -217,36 +247,13 @@ std::string DrainChromeJson(DrainStats* stats) {
   local.threads = r.rings.size();
   std::vector<Ring::DrainedSpan> spans;
   bool first = true;
-  char buf[160];
   for (const std::shared_ptr<Ring>& ring : r.rings) {
     spans.clear();
     ring->Drain(&spans, &local.dropped);
     for (const Ring::DrainedSpan& s : spans) {
-      const uint64_t start_ns = r.converter.Nanos(s.start);
       if (!first) out += ",";
       first = false;
-      out += "{\"name\":\"";
-      AppendJsonEscaped(s.name != nullptr ? s.name : "(null)", &out);
-      if (s.kind == 1) {
-        // Counter sample: `end` carries the value, not a timestamp.
-        std::snprintf(buf, sizeof(buf),
-                      "\",\"cat\":\"impatience\",\"ph\":\"C\",\"pid\":1,"
-                      "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
-                      "\"args\":{\"value\":%" PRIu64 "}}",
-                      ring->tid(), start_ns / 1000,
-                      static_cast<unsigned>(start_ns % 1000), s.end);
-      } else {
-        const uint64_t end_ns = r.converter.Nanos(s.end);
-        const uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
-        std::snprintf(buf, sizeof(buf),
-                      "\",\"cat\":\"impatience\",\"ph\":\"X\",\"pid\":1,"
-                      "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 ".%03u,"
-                      "\"dur\":%" PRIu64 ".%03u}",
-                      ring->tid(), start_ns / 1000,
-                      static_cast<unsigned>(start_ns % 1000), dur_ns / 1000,
-                      static_cast<unsigned>(dur_ns % 1000));
-      }
-      out += buf;
+      AppendEventJson(s, ring->tid(), r.converter, &out);
       ++local.spans;
     }
   }
@@ -258,6 +265,37 @@ std::string DrainChromeJson(DrainStats* stats) {
   out += tail;
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+void HarvestChunks(size_t max_chunk_bytes, std::vector<std::string>* chunks,
+                   DrainStats* stats) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.converter.Refine();
+
+  DrainStats local;
+  local.threads = r.rings.size();
+  std::vector<Ring::DrainedSpan> spans;
+  std::string chunk;
+  std::string event;
+  for (const std::shared_ptr<Ring>& ring : r.rings) {
+    spans.clear();
+    ring->Drain(&spans, &local.dropped);
+    for (const Ring::DrainedSpan& s : spans) {
+      event.clear();
+      AppendEventJson(s, ring->tid(), r.converter, &event);
+      if (!chunk.empty() &&
+          chunk.size() + 1 + event.size() > max_chunk_bytes) {
+        chunks->push_back(std::move(chunk));
+        chunk.clear();
+      }
+      if (!chunk.empty()) chunk += ",";
+      chunk += event;
+      ++local.spans;
+    }
+  }
+  if (!chunk.empty()) chunks->push_back(std::move(chunk));
+  if (stats != nullptr) *stats = local;
 }
 
 }  // namespace trace

@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 
@@ -74,6 +75,19 @@ struct DrainStats {
 // recording; spans overwritten mid-read count as dropped. Serialized
 // internally — one drainer at a time.
 std::string DrainChromeJson(DrainStats* stats = nullptr);
+
+// Incremental harvest for streaming export: drains the spans recorded
+// since the previous drain/harvest (the per-ring cursors are shared with
+// DrainChromeJson — whichever drainer runs first consumes the records)
+// and packs them into chunk bodies. Each body is a comma-separated
+// sequence of Chrome trace-event objects with NO enclosing brackets, at
+// most `max_chunk_bytes` long (a single event longer than the bound gets
+// a chunk of its own), so consumers can join bodies with "," and wrap
+// the result in {"traceEvents":[...]} to form a valid document. Appends
+// to `chunks`; produces nothing when no new spans exist. Serialized
+// internally like DrainChromeJson.
+void HarvestChunks(size_t max_chunk_bytes, std::vector<std::string>* chunks,
+                   DrainStats* stats = nullptr);
 
 // Ring capacity (span records per thread) for buffers created after this
 // call; rounded up to a power of two, minimum 8. Default 8192 (256 KiB

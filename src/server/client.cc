@@ -1,6 +1,7 @@
 #include "server/client.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -15,7 +16,13 @@ LoopbackChannel::LoopbackChannel(IngestService* service) {
   });
 }
 
-LoopbackChannel::~LoopbackChannel() = default;
+LoopbackChannel::~LoopbackChannel() {
+  // Members are destroyed in reverse declaration order, which would tear
+  // down mu_/cv_/inbox_ while the connection can still deliver a reply or
+  // telemetry chunk into them. Destroy the connection first: ~Connection
+  // blocks until any in-flight exporter delivery to this sink completes.
+  conn_.reset();
+}
 
 bool LoopbackChannel::Write(const uint8_t* data, size_t n) {
   return conn_->OnData(data, n);
@@ -125,13 +132,51 @@ bool IngestClient::GetMetrics(MetricsFormat format, std::string* out) {
 }
 
 bool IngestClient::GetTrace(std::string* out) {
-  Frame frame;
-  frame.type = FrameType::kTraceRequest;
-  frame.trace_action = TraceAction::kDump;
-  if (!SendFrame(frame)) return false;
-  Frame response;
-  if (!WaitFor(FrameType::kTraceResponse, &response)) return false;
-  *out = std::move(response.text);
+  Frame request;
+  request.type = FrameType::kTraceRequest;
+  request.trace_action = TraceAction::kDump;
+  if (!SendFrame(request)) return false;
+  // The dump streams as kTelemetryChunk(kTelemetryDump) frames followed
+  // by a kTraceResponse footer. Reassemble the same document shape
+  // trace::DrainChromeJson produces; live span/metrics chunks that
+  // interleave are left pending for PollTelemetry.
+  std::string events;
+  Frame footer;
+  bool have_footer = false;
+  while (!have_footer) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->type == FrameType::kTelemetryChunk &&
+          it->telemetry_streams == kTelemetryDump) {
+        if (!events.empty()) events += ",";
+        events += it->text;
+        it = pending_.erase(it);
+      } else if (it->type == FrameType::kTraceResponse) {
+        footer = std::move(*it);
+        pending_.erase(it);
+        have_footer = true;
+        break;
+      } else {
+        ++it;
+      }
+    }
+    if (!have_footer && !Pump(/*blocking=*/true)) return false;
+  }
+  unsigned long long dropped = 0;
+  unsigned long long chunks = 0;
+  unsigned long long chunks_dropped = 0;
+  std::sscanf(footer.text.c_str(),
+              "{\"dropped\":%llu,\"chunks\":%llu,\"chunks_dropped\":%llu}",
+              &dropped, &chunks, &chunks_dropped);
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"dropped\":%llu,\"chunks\":%llu,\"chunks_dropped\":%llu}}",
+                dropped, chunks, chunks_dropped);
+  out->clear();
+  out->reserve(events.size() + 64 + sizeof(tail));
+  *out += "{\"traceEvents\":[";
+  *out += events;
+  *out += tail;
   return true;
 }
 
@@ -142,6 +187,35 @@ bool IngestClient::SetTraceEnabled(bool enabled) {
   if (!SendFrame(frame)) return false;
   Frame response;
   return WaitFor(FrameType::kTraceResponse, &response);
+}
+
+bool IngestClient::Subscribe(uint64_t session_id, uint8_t streams,
+                             uint64_t* subscription_id) {
+  Frame frame;
+  frame.type = FrameType::kSubscribeRequest;
+  frame.session_id = session_id;
+  frame.telemetry_streams = streams;
+  if (!SendFrame(frame)) return false;
+  Frame ack;
+  if (!WaitFor(FrameType::kSubscribeAck, &ack)) return false;
+  if (subscription_id != nullptr) *subscription_id = ack.subscription_id;
+  return true;
+}
+
+bool IngestClient::PollTelemetry(Frame* out) {
+  Pump(/*blocking=*/false);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == FrameType::kTelemetryChunk) {
+      *out = std::move(*it);
+      pending_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IngestClient::NextTelemetry(Frame* out) {
+  return WaitFor(FrameType::kTelemetryChunk, out);
 }
 
 bool IngestClient::PollReject(Frame* out) {
@@ -157,10 +231,17 @@ bool IngestClient::PollReject(Frame* out) {
 }
 
 bool IngestClient::Pump(bool blocking) {
+  // Drain everything the channel has ready: a telemetry chunk can span
+  // many reads, and a single fixed-size read would leave the decoder
+  // mid-frame with data still buffered in the channel.
   uint8_t buf[4096];
-  const int64_t n = channel_->Read(buf, sizeof(buf), blocking);
+  int64_t n = channel_->Read(buf, sizeof(buf), blocking);
   if (n < 0) return false;
-  if (n > 0) decoder_.Feed(buf, static_cast<size_t>(n));
+  while (n > 0) {
+    decoder_.Feed(buf, static_cast<size_t>(n));
+    n = channel_->Read(buf, sizeof(buf), /*blocking=*/false);
+    if (n < 0) return false;
+  }
   Frame frame;
   for (;;) {
     const DecodeStatus status = decoder_.Next(&frame);

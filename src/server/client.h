@@ -107,11 +107,30 @@ class IngestClient {
   bool GetMetrics(MetricsFormat format, std::string* out);
 
   // Drains the server's span buffers into a Chrome trace-event JSON
-  // document (loadable in chrome://tracing or Perfetto).
+  // document (loadable in chrome://tracing or Perfetto). The dump arrives
+  // as a stream of bounded kTelemetryChunk frames terminated by a footer,
+  // so it is never silently truncated at the frame-size limit; this call
+  // reassembles the full document.
   bool GetTrace(std::string* out);
 
   // Toggles span recording on the server at runtime.
   bool SetTraceEnabled(bool enabled);
+
+  // Opens a live telemetry subscription. `streams` is a bitmask of
+  // kTelemetrySpans | kTelemetryMetrics; chunks then arrive interleaved
+  // with other replies and surface through PollTelemetry/NextTelemetry.
+  // Subscribing again replaces the previous subscription.
+  bool Subscribe(uint64_t session_id, uint8_t streams,
+                 uint64_t* subscription_id = nullptr);
+
+  // Pops the next buffered kTelemetryChunk, if any; checks the channel
+  // (non-blocking) first. Inspect telemetry_streams / telemetry_seq /
+  // telemetry_dropped / text on the popped frame.
+  bool PollTelemetry(Frame* out);
+
+  // Blocks until the next kTelemetryChunk arrives; false on channel
+  // death or decode error.
+  bool NextTelemetry(Frame* out);
 
   // Pops the next asynchronously received kReject frame, if any; checks
   // the channel (non-blocking) first. Rejects that arrive while waiting

@@ -55,7 +55,10 @@ uint64_t EventLoop::AddConnection(std::unique_ptr<Transport> transport) {
   c->id = id;
   c->transport = std::move(transport);
   c->connection = service_->OpenConnection(
-      [this, c](std::string bytes) { QueueWrite(c, std::move(bytes)); });
+      [this, c](std::string bytes) { QueueWrite(c, std::move(bytes)); },
+      [this, c](std::string bytes) {
+        return TryQueueWrite(c, std::move(bytes));
+      });
   bool registered = false;
   {
     // Registration shares conns_mu_ with Stop()'s victim snapshot, and
@@ -279,6 +282,22 @@ void EventLoop::QueueWrite(Conn* c, std::string bytes) {
     }
     poller_->Wakeup();
   }
+}
+
+bool EventLoop::TryQueueWrite(Conn* c, std::string bytes) {
+  std::lock_guard<std::mutex> lock(c->mu);
+  if (c->overflowed) return false;  // Being shed; nothing more fits.
+  const size_t budget = std::min(options_.telemetry_write_queue_bytes,
+                                 options_.max_write_queue_bytes);
+  if (c->writeq_bytes + bytes.size() > budget) return false;
+  c->writeq_bytes += bytes.size();
+  c->writeq.push_back(std::move(bytes));
+  if (!c->want_write) {
+    c->want_write = true;
+    epollout_waiting_.fetch_add(1, std::memory_order_relaxed);
+    poller_->SetWantWrite(c->id, c->transport.get(), true);
+  }
+  return true;
 }
 
 void EventLoop::CloseConn(Conn* c, CloseCause cause) {

@@ -50,6 +50,12 @@ struct EventLoopOptions {
   // Ceiling on bytes queued toward one connection; exceeding it sheds
   // the connection (slow-client policy).
   size_t max_write_queue_bytes = 4u << 20;
+  // Ceiling for best-effort telemetry writes (TryQueueWrite): a chunk
+  // that would push the queue past this bound is refused — dropped by
+  // the telemetry exporter, not buffered — so telemetry can never shed
+  // a connection nor crowd out the reply path (keep it well under
+  // max_write_queue_bytes).
+  size_t telemetry_write_queue_bytes = 1u << 20;
   // Read buffer size per Read call.
   size_t read_chunk_bytes = 64u * 1024;
   // Consecutive full reads served to one connection per readiness event
@@ -124,6 +130,10 @@ class EventLoop {
   // connection (fatal write error) — callers must re-look-up c after.
   bool HandleWritable(Conn* c);
   void QueueWrite(Conn* c, std::string bytes);
+  // Best-effort bounded enqueue for telemetry chunks: refuses (returns
+  // false) instead of shedding when the queue is past the telemetry
+  // budget. Called from the exporter's drain thread.
+  bool TryQueueWrite(Conn* c, std::string bytes);
   enum class CloseCause { kEof, kError, kSlow, kStop };
   void CloseConn(Conn* c, CloseCause cause);
 

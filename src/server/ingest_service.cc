@@ -1,16 +1,27 @@
 #include "server/ingest_service.h"
 
+#include <cstdio>
 #include <utility>
+#include <vector>
 
 #include "common/trace.h"
 
 namespace impatience {
 namespace server {
 
-Connection::Connection(IngestService* service, SendFn send)
-    : service_(service), send_(std::move(send)) {}
+Connection::Connection(IngestService* service, SendFn send,
+                       TrySendFn try_send)
+    : service_(service),
+      send_(std::move(send)),
+      try_send_(std::move(try_send)) {}
 
 Connection::~Connection() {
+  // Unsubscribe before anything else: Unsubscribe blocks until any
+  // in-flight exporter delivery to this connection's sink completes, so
+  // after this line no exporter thread can touch the send path again.
+  if (subscription_id_ != 0) {
+    service_->exporter_->Unsubscribe(subscription_id_);
+  }
   {
     // Unregister any pending flush acks so shard workers cannot route an
     // ack to a dead connection. Taking the lock also waits out an ack
@@ -93,15 +104,46 @@ void Connection::Dispatch(Frame& frame) {
       response.session_id = frame.session_id;
       response.trace_action = frame.trace_action;
       switch (frame.trace_action) {
-        case TraceAction::kDump:
-          response.text = trace::DrainChromeJson();
-          if (response.text.size() > kMaxPayloadBytes) {
-            // A dump that cannot be framed is replaced by a valid empty
-            // trace document; the spans are consumed either way.
-            response.text = "{\"traceEvents\":[],\"otherData\":"
-                            "{\"error\":\"trace dump exceeded frame size\"}}";
+        case TraceAction::kDump: {
+          // The dump streams as kTelemetryChunk(kTelemetryDump) frames —
+          // each bounded well under kMaxPayloadBytes — terminated by this
+          // kTraceResponse carrying a JSON footer, so a full ring drain
+          // is never silently cut at the 16 MiB frame bound. Chunks the
+          // connection's bounded write budget cannot take are dropped
+          // and counted in the footer (and in dump_truncated), never
+          // buffered unboundedly.
+          std::vector<std::string> bodies;
+          trace::DrainStats stats;
+          trace::HarvestChunks(
+              service_->exporter_->options().max_chunk_bytes, &bodies,
+              &stats);
+          uint64_t sent = 0;
+          uint64_t chunks_dropped = 0;
+          for (std::string& body : bodies) {
+            Frame chunk;
+            chunk.type = FrameType::kTelemetryChunk;
+            chunk.session_id = frame.session_id;
+            chunk.telemetry_streams = kTelemetryDump;
+            chunk.telemetry_seq = sent + 1;
+            chunk.telemetry_dropped = chunks_dropped;
+            chunk.text = std::move(body);
+            if (TrySend(chunk)) {
+              ++sent;
+            } else {
+              ++chunks_dropped;
+            }
           }
+          service_->exporter_->NoteDump(sent, chunks_dropped);
+          char footer[128];
+          std::snprintf(footer, sizeof(footer),
+                        "{\"dropped\":%llu,\"chunks\":%llu,"
+                        "\"chunks_dropped\":%llu}",
+                        static_cast<unsigned long long>(stats.dropped),
+                        static_cast<unsigned long long>(sent),
+                        static_cast<unsigned long long>(chunks_dropped));
+          response.text = footer;
           break;
+        }
         case TraceAction::kEnable:
           trace::SetEnabled(true);
           break;
@@ -110,6 +152,34 @@ void Connection::Dispatch(Frame& frame) {
           break;
       }
       Send(response);
+      return;
+    }
+    case FrameType::kSubscribeRequest: {
+      // A second subscribe replaces the first (mask changes included).
+      if (subscription_id_ != 0) {
+        service_->exporter_->Unsubscribe(subscription_id_);
+        subscription_id_ = 0;
+      }
+      TelemetryExporter::TrySink sink;
+      if (try_send_) {
+        sink = try_send_;
+      } else {
+        // Loopback transports have no bounded telemetry path; their
+        // inbox is consumed synchronously by the test/bench client.
+        const SendFn send = send_;
+        sink = [send](std::string bytes) {
+          send(std::move(bytes));
+          return true;
+        };
+      }
+      subscription_id_ = service_->exporter_->Subscribe(
+          frame.session_id, frame.telemetry_streams, std::move(sink));
+      Frame ack;
+      ack.type = FrameType::kSubscribeAck;
+      ack.session_id = frame.session_id;
+      ack.telemetry_streams = frame.telemetry_streams;
+      ack.subscription_id = subscription_id_;
+      Send(ack);
       return;
     }
     case FrameType::kShutdown: {
@@ -164,17 +234,35 @@ void Connection::Dispatch(Frame& frame) {
 
 void Connection::Send(const Frame& frame) { service_->SendOn(send_, frame); }
 
+bool Connection::TrySend(const Frame& frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  std::string wire(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  if (try_send_) {
+    if (!try_send_(std::move(wire))) return false;
+  } else {
+    send_(std::move(wire));
+  }
+  service_->frames_out_.fetch_add(1, std::memory_order_relaxed);
+  service_->bytes_out_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return true;
+}
+
 IngestService::IngestService(ServiceOptions options)
     : options_(std::move(options)),
       manager_(options_.shards, options_.on_result,
-               [this](uint64_t session_id) { OnSessionFlushed(session_id); }) {}
+               [this](uint64_t session_id) { OnSessionFlushed(session_id); }) {
+  exporter_ = std::make_unique<TelemetryExporter>(
+      options_.telemetry, [this] { return manager_.SnapshotShards(); });
+}
 
 IngestService::~IngestService() { Shutdown(); }
 
 std::unique_ptr<Connection> IngestService::OpenConnection(
-    std::function<void(std::string)> send) {
+    std::function<void(std::string)> send,
+    std::function<bool(std::string)> try_send) {
   connections_opened_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_ptr<Connection>(new Connection(this, std::move(send)));
+  return std::unique_ptr<Connection>(
+      new Connection(this, std::move(send), std::move(try_send)));
 }
 
 void IngestService::Shutdown() { manager_.Shutdown(); }
@@ -225,6 +313,7 @@ ServerMetrics IngestService::Snapshot() {
   m.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   m.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   m.shutting_down = manager_.shutting_down();
+  m.telemetry = exporter_->Counters();
   m.shards = manager_.SnapshotShards();
   return m;
 }

@@ -27,6 +27,7 @@
 
 #include "server/metrics.h"
 #include "server/session_shard_manager.h"
+#include "server/telemetry_exporter.h"
 #include "server/wire_format.h"
 
 namespace impatience {
@@ -37,6 +38,10 @@ struct ServiceOptions {
   // Optional tap on every row the shard pipelines emit (tests, benches).
   // Called on shard worker threads.
   ResultFn on_result;
+  // Streaming telemetry (kSubscribeRequest / kTelemetryChunk). Tests set
+  // telemetry.start_thread = false and drive the exporter's Tick()
+  // directly for deterministic schedules.
+  TelemetryOptions telemetry;
 };
 
 class IngestService;
@@ -63,16 +68,25 @@ class Connection {
  private:
   friend class IngestService;
   using SendFn = std::function<void(std::string bytes)>;
+  // Best-effort bounded send for telemetry chunks: false refuses the
+  // bytes (budget full) instead of queueing them. Optional — transports
+  // without one (loopback) fall back to the unbounded send.
+  using TrySendFn = std::function<bool(std::string bytes)>;
 
-  Connection(IngestService* service, SendFn send);
+  Connection(IngestService* service, SendFn send, TrySendFn try_send);
 
   void Dispatch(Frame& frame);
   void Send(const Frame& frame);
+  // Routes the frame through try_send_ when available; true if it was
+  // accepted (counted as sent), false if the telemetry budget refused it.
+  bool TrySend(const Frame& frame);
 
   IngestService* const service_;
   const SendFn send_;
+  const TrySendFn try_send_;
   FrameDecoder decoder_;
   bool poisoned_ = false;
+  uint64_t subscription_id_ = 0;  // Live telemetry subscription, or 0.
 };
 
 class IngestService {
@@ -84,9 +98,13 @@ class IngestService {
   IngestService& operator=(const IngestService&) = delete;
 
   // Registers a new client connection; `send` delivers encoded reply
-  // frames to that client and must be thread-safe.
+  // frames to that client and must be thread-safe. `try_send`, when
+  // provided, is a bounded best-effort variant for telemetry chunks
+  // (returns false to refuse rather than buffer; event_loop.h supplies
+  // one backed by its per-connection telemetry write budget).
   std::unique_ptr<Connection> OpenConnection(
-      std::function<void(std::string)> send);
+      std::function<void(std::string)> send,
+      std::function<bool(std::string)> try_send = nullptr);
 
   // Drain-and-flush shutdown of all shards; idempotent. Called by the
   // kShutdown control frame and by the destructor.
@@ -102,6 +120,10 @@ class IngestService {
   void SetTransportMetricsFn(std::function<TransportMetrics()> fn);
 
   SessionShardManager& manager() { return manager_; }
+
+  // The streaming telemetry exporter (always present; its drain thread
+  // only runs when options.telemetry.start_thread is set).
+  TelemetryExporter& telemetry() { return *exporter_; }
 
  private:
   friend class Connection;
@@ -128,6 +150,11 @@ class IngestService {
   // its entries under the same lock) cannot be destroyed mid-send.
   std::mutex flush_mu_;
   std::unordered_map<uint64_t, Connection*> pending_flush_;
+
+  // Declared last: destroyed first, which joins the drain thread before
+  // the shard manager (whose SnapshotShards the exporter calls) goes
+  // away.
+  std::unique_ptr<TelemetryExporter> exporter_;
 };
 
 }  // namespace server

@@ -236,6 +236,24 @@ std::string RenderMetricsText(const ServerMetrics& m) {
   Appendf(&out, "impatience_io_accept_errors %" PRIu64 "\n",
           m.transport.accept_errors);
   Appendf(&out, "impatience_io_loops %zu\n", m.transport.loops.size());
+  Appendf(&out, "impatience_telemetry_subscribers %" PRIu64 "\n",
+          m.telemetry.subscribers);
+  Appendf(&out, "impatience_telemetry_chunks_sent %" PRIu64 "\n",
+          m.telemetry.chunks_sent);
+  Appendf(&out, "impatience_telemetry_chunks_dropped %" PRIu64 "\n",
+          m.telemetry.chunks_dropped);
+  Appendf(&out, "impatience_telemetry_subscribers_shed %" PRIu64 "\n",
+          m.telemetry.subscribers_shed);
+  Appendf(&out, "impatience_telemetry_spans_exported %" PRIu64 "\n",
+          m.telemetry.spans_exported);
+  Appendf(&out, "impatience_telemetry_span_ring_drops %" PRIu64 "\n",
+          m.telemetry.span_ring_drops);
+  Appendf(&out, "impatience_telemetry_metrics_deltas %" PRIu64 "\n",
+          m.telemetry.metrics_deltas);
+  Appendf(&out, "impatience_telemetry_dump_chunks %" PRIu64 "\n",
+          m.telemetry.dump_chunks);
+  Appendf(&out, "impatience_telemetry_dump_truncated %" PRIu64 "\n",
+          m.telemetry.dump_truncated);
 
   TextLoopFamily(&out, m, "impatience_io_loop_connections",
                  [](const IoLoopMetrics& l) { return l.connections; });
@@ -393,6 +411,17 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
             l.closed_slow, l.closed_error, l.epollout_stalls);
   }
   out += "],";
+  Appendf(&out,
+          "\"telemetry\":{\"subscribers\":%" PRIu64 ",\"chunks_sent\":%" PRIu64
+          ",\"chunks_dropped\":%" PRIu64 ",\"subscribers_shed\":%" PRIu64
+          ",\"spans_exported\":%" PRIu64 ",\"span_ring_drops\":%" PRIu64
+          ",\"metrics_deltas\":%" PRIu64 ",\"dump_chunks\":%" PRIu64
+          ",\"dump_truncated\":%" PRIu64 "},",
+          m.telemetry.subscribers, m.telemetry.chunks_sent,
+          m.telemetry.chunks_dropped, m.telemetry.subscribers_shed,
+          m.telemetry.spans_exported, m.telemetry.span_ring_drops,
+          m.telemetry.metrics_deltas, m.telemetry.dump_chunks,
+          m.telemetry.dump_truncated);
   out += "\"shards\":[";
   for (size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];
@@ -511,6 +540,34 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
              m.transport.accept_errors);
   PromScalar(&out, "impatience_io_loops", "gauge",
              "Number of epoll I/O event loops.", m.transport.loops.size());
+
+  PromScalar(&out, "impatience_telemetry_subscribers", "gauge",
+             "Live streaming telemetry subscriptions.",
+             m.telemetry.subscribers);
+  PromScalar(&out, "impatience_telemetry_chunks_sent", "counter",
+             "Telemetry chunks accepted toward a subscriber.",
+             m.telemetry.chunks_sent);
+  PromScalar(&out, "impatience_telemetry_chunks_dropped", "counter",
+             "Telemetry chunks dropped at a full write budget.",
+             m.telemetry.chunks_dropped);
+  PromScalar(&out, "impatience_telemetry_subscribers_shed", "counter",
+             "Subscriptions removed after persistent stalling.",
+             m.telemetry.subscribers_shed);
+  PromScalar(&out, "impatience_telemetry_spans_exported", "counter",
+             "Span records exported into live telemetry chunks.",
+             m.telemetry.spans_exported);
+  PromScalar(&out, "impatience_telemetry_span_ring_drops", "counter",
+             "Span-ring overwrites observed while harvesting.",
+             m.telemetry.span_ring_drops);
+  PromScalar(&out, "impatience_telemetry_metrics_deltas", "counter",
+             "Metrics-delta telemetry chunks built.",
+             m.telemetry.metrics_deltas);
+  PromScalar(&out, "impatience_telemetry_dump_chunks", "counter",
+             "One-shot trace dump chunks delivered.",
+             m.telemetry.dump_chunks);
+  PromScalar(&out, "impatience_telemetry_dump_truncated", "counter",
+             "Trace dumps that could not queue every chunk.",
+             m.telemetry.dump_truncated);
 
   PromLoopFamily(&out, m, "impatience_io_loop_connections", "gauge",
                  "Connections currently owned by the event loop.",

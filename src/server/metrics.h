@@ -84,6 +84,20 @@ struct IoLoopMetrics {
                                 // to arm EPOLLOUT.
 };
 
+// Streaming telemetry exporter counters (telemetry_exporter.h).
+// `subscribers` is a point-in-time gauge; the rest are cumulative.
+struct TelemetryMetrics {
+  uint64_t subscribers = 0;       // Live subscriptions.
+  uint64_t chunks_sent = 0;       // Chunks accepted toward a subscriber.
+  uint64_t chunks_dropped = 0;    // Chunks dropped at a full write budget.
+  uint64_t subscribers_shed = 0;  // Subscriptions removed for stalling.
+  uint64_t spans_exported = 0;    // Span records put into live chunks.
+  uint64_t span_ring_drops = 0;   // Ring overwrites seen while harvesting.
+  uint64_t metrics_deltas = 0;    // Metrics-delta chunks built.
+  uint64_t dump_chunks = 0;       // One-shot dump chunks delivered.
+  uint64_t dump_truncated = 0;    // Dumps that could not queue every chunk.
+};
+
 // Front-end totals: the acceptor plus every I/O loop. Empty when the
 // service runs without a socket front end (loopback tests).
 struct TransportMetrics {
@@ -103,6 +117,7 @@ struct ServerMetrics {
   uint64_t decode_errors = 0;  // Poisoned connections (bad CRC/magic/...).
   bool shutting_down = false;
   TransportMetrics transport;
+  TelemetryMetrics telemetry;
   std::vector<ShardMetrics> shards;
 };
 

@@ -92,6 +92,8 @@ bool TcpServer::Start(std::string* error) {
   const size_t io_threads = ResolveIoThreads(options_.io_threads);
   EventLoopOptions loop_options;
   loop_options.max_write_queue_bytes = options_.max_write_queue_bytes;
+  loop_options.telemetry_write_queue_bytes =
+      options_.telemetry_write_queue_bytes;
   for (size_t i = 0; i < io_threads; ++i) {
     auto poller = std::make_unique<EpollPoller>();
     if (!poller->valid()) {

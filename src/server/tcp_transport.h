@@ -37,6 +37,9 @@ struct TcpServerOptions {
   size_t io_threads = 0;
   // Per-connection reply-queue bound before the connection is shed.
   size_t max_write_queue_bytes = 4u << 20;
+  // Per-connection budget for best-effort telemetry chunks; chunks past
+  // it are dropped (counted), never shed (event_loop.h).
+  size_t telemetry_write_queue_bytes = 1u << 20;
 };
 
 // Resolves the I/O thread count: `requested` if nonzero, else the

@@ -1,0 +1,147 @@
+// Streaming telemetry: fans live span batches and periodic metrics-delta
+// snapshots out to subscribed connections as kTelemetryChunk frames.
+//
+// Subscriptions are per connection (kSubscribeRequest, aux = a bitmask of
+// kTelemetrySpans | kTelemetryMetrics). The exporter's drain thread wakes
+// on a fixed cadence, harvests the span rings incrementally (per-ring
+// cursors — only events recorded since the previous harvest are consumed,
+// shared with the one-shot dump path), packs them into bodies of at most
+// `max_chunk_bytes`, and offers each body to every span subscriber
+// through its try-sink. A metrics round snapshots the shards and emits
+// one JSON delta object (counters as differences since the previous
+// round, gauges as current values, latency histograms merged across
+// shards with HistogramSnapshot::operator+= and diffed on count/sum).
+//
+// Backpressure contract: a sink returning false means the connection's
+// bounded telemetry write budget is full — the chunk is dropped for that
+// subscriber (its cumulative `dropped` count rises, so the gap is
+// explicit in its own stream) and its sequence number does not advance,
+// keeping delivered sequence numbers gap-free. `shed_after_drops`
+// consecutive failures unsubscribe the subscriber entirely (counted in
+// subscribers_shed). The exporter never blocks on a subscriber and never
+// buffers beyond the per-connection budget, so a stalled subscriber
+// cannot stall ingest or other sessions.
+//
+// Lifetime: Subscribe/Unsubscribe and the fan-out run under one mutex.
+// A connection's destructor calls Unsubscribe, which therefore waits out
+// any in-flight delivery to that sink — after Unsubscribe returns no
+// thread can call the sink again (the same discipline as the service's
+// pending-flush table).
+
+#ifndef IMPATIENCE_SERVER_TELEMETRY_EXPORTER_H_
+#define IMPATIENCE_SERVER_TELEMETRY_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/metrics.h"
+#include "server/wire_format.h"
+
+namespace impatience {
+namespace server {
+
+struct TelemetryOptions {
+  // Upper bound on one chunk body; kept well under kMaxPayloadBytes so a
+  // chunk always frames. Values are clamped to [1 KiB, 4 MiB].
+  size_t max_chunk_bytes = 256u * 1024;
+  // Drain-thread cadence for span harvests.
+  int span_interval_ms = 50;
+  // Cadence for metrics-delta chunks (rounded to span ticks).
+  int metrics_interval_ms = 500;
+  // Consecutive undeliverable chunks before a subscriber is dropped.
+  size_t shed_after_drops = 40;
+  // Spawn the drain thread. Tests leave it off and call Tick() directly.
+  bool start_thread = true;
+};
+
+class TelemetryExporter {
+ public:
+  // Delivers one encoded frame toward the subscriber. Returns false to
+  // refuse (bounded queue full): the chunk is dropped, never retried.
+  // Must not block and must be callable from the drain thread.
+  using TrySink = std::function<bool(std::string bytes)>;
+  using SnapshotFn = std::function<std::vector<ShardMetrics>()>;
+
+  TelemetryExporter(TelemetryOptions options, SnapshotFn snapshot);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // Joins the drain thread. Idempotent; implied by the destructor.
+  void Stop();
+
+  // Registers a subscriber; returns its subscription id. `streams` is a
+  // bitmask of kTelemetrySpans | kTelemetryMetrics (validated by the
+  // wire decoder). Chunks sent to this subscriber carry `session_id`.
+  uint64_t Subscribe(uint64_t session_id, uint8_t streams, TrySink sink);
+
+  // Removes a subscription and waits out any in-flight delivery to its
+  // sink. Unknown ids are ignored (the subscriber may have been shed).
+  void Unsubscribe(uint64_t id);
+
+  // One harvest + fan-out round. The drain thread calls this on its
+  // cadence; tests call it directly for deterministic schedules.
+  // `force_metrics` emits the metrics delta regardless of cadence.
+  void Tick(bool force_metrics = false);
+
+  // Dump-path accounting (the one-shot kDump is chunked by the service
+  // through the same trace harvest; see ingest_service.cc).
+  void NoteDump(uint64_t chunks_sent, uint64_t chunks_dropped);
+
+  TelemetryMetrics Counters() const;
+
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  struct Subscription {
+    uint64_t id = 0;
+    uint64_t session_id = 0;
+    uint8_t streams = 0;
+    TrySink sink;
+    uint64_t seq = 0;      // Last delivered sequence number.
+    uint64_t dropped = 0;  // Cumulative chunks dropped for this sink.
+    size_t consecutive_drops = 0;
+  };
+
+  void ThreadMain();
+  // Offers `body` to every subscriber of `stream`; sheds stalled ones.
+  // Caller holds mu_.
+  void FanOutLocked(uint8_t stream, const std::string& body);
+  std::string BuildMetricsDeltaLocked();
+
+  const TelemetryOptions options_;
+  const SnapshotFn snapshot_;
+
+  mutable std::mutex mu_;
+  std::vector<Subscription> subs_;
+  uint64_t next_id_ = 1;
+  uint64_t ticks_ = 0;
+  size_t metrics_every_ = 1;
+  TelemetryMetrics counters_;
+  // Previous metrics round, for delta computation.
+  bool have_prev_ = false;
+  uint64_t prev_frames_in_ = 0;
+  uint64_t prev_events_in_ = 0;
+  uint64_t prev_events_out_ = 0;
+  uint64_t prev_punctuations_in_ = 0;
+  uint64_t prev_queue_wait_count_ = 0;
+  uint64_t prev_queue_wait_sum_ = 0;
+  std::vector<uint64_t> prev_shard_events_in_;
+
+  std::mutex thread_mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_TELEMETRY_EXPORTER_H_

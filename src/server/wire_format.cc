@@ -69,6 +69,10 @@ uint8_t AuxOf(const Frame& frame) {
     case FrameType::kTraceRequest:
     case FrameType::kTraceResponse:
       return static_cast<uint8_t>(frame.trace_action);
+    case FrameType::kSubscribeRequest:
+    case FrameType::kSubscribeAck:
+    case FrameType::kTelemetryChunk:
+      return frame.telemetry_streams;
     default:
       return 0;
   }
@@ -97,12 +101,21 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kReject:
       PutU64(frame.reject_count, out);
       return;
+    case FrameType::kSubscribeAck:
+      PutU64(frame.subscription_id, out);
+      return;
+    case FrameType::kTelemetryChunk:
+      PutU64(frame.telemetry_seq, out);
+      PutU64(frame.telemetry_dropped, out);
+      out->insert(out->end(), frame.text.begin(), frame.text.end());
+      return;
     case FrameType::kFlushSession:
     case FrameType::kFlushAck:
     case FrameType::kShutdown:
     case FrameType::kShutdownAck:
     case FrameType::kMetricsRequest:
     case FrameType::kTraceRequest:
+    case FrameType::kSubscribeRequest:
       return;  // Empty payloads.
     case FrameType::kMaintenance:
       break;  // Internal only — falls through to the CHECK below.
@@ -160,6 +173,34 @@ DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
       if (n != 8 || aux < 1 || aux > 3) return DecodeStatus::kBadPayload;
       frame->reject_reason = static_cast<RejectReason>(aux);
       frame->reject_count = GetU64(p);
+      return DecodeStatus::kOk;
+    case FrameType::kSubscribeRequest:
+      // aux is a bitmask of the subscribable streams (spans | metrics);
+      // an empty mask subscribes to nothing and is rejected.
+      if (n != 0 || aux < 1 ||
+          aux > (kTelemetrySpans | kTelemetryMetrics)) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->telemetry_streams = aux;
+      return DecodeStatus::kOk;
+    case FrameType::kSubscribeAck:
+      if (n != 8 || aux < 1 ||
+          aux > (kTelemetrySpans | kTelemetryMetrics)) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->telemetry_streams = aux;
+      frame->subscription_id = GetU64(p);
+      return DecodeStatus::kOk;
+    case FrameType::kTelemetryChunk:
+      // aux names exactly one stream: spans, metrics, or dump.
+      if (n < 16 || (aux != kTelemetrySpans && aux != kTelemetryMetrics &&
+                     aux != kTelemetryDump)) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->telemetry_streams = aux;
+      frame->telemetry_seq = GetU64(p);
+      frame->telemetry_dropped = GetU64(p + 8);
+      frame->text.assign(reinterpret_cast<const char*>(p) + 16, n - 16);
       return DecodeStatus::kOk;
     case FrameType::kFlushSession:
     case FrameType::kFlushAck:

@@ -32,8 +32,23 @@
 //   kTraceRequest    (empty; aux = TraceAction) — kDump drains the
 //                    server's span buffers; kEnable/kDisable toggle
 //                    recording at runtime
-//   kTraceResponse   Chrome trace-event JSON bytes for kDump, empty for
-//                    the toggles (aux echoes the TraceAction)
+//   kTraceResponse   For kDump: a JSON footer terminating the chunked
+//                    dump ({"dropped":N,"chunks":M,"chunks_dropped":K});
+//                    the span payload itself arrives beforehand as
+//                    kTelemetryChunk(kTelemetryDump) frames. Empty for
+//                    the toggles (aux echoes the TraceAction).
+//   kSubscribeRequest (empty; aux = TelemetryStream bitmask, 1..3) —
+//                    subscribe this connection to the live telemetry
+//                    feed; a second request replaces the subscription
+//   kSubscribeAck    u64 subscription id (aux echoes the granted mask)
+//   kTelemetryChunk  u64 sequence number, u64 cumulative dropped-chunk
+//                    count, then the chunk body (aux = the single
+//                    TelemetryStream the body belongs to). Sequence
+//                    numbers count delivered chunks per subscription
+//                    (1, 2, 3, ...): a subscriber sees a gap-free
+//                    sequence, and `dropped` rising makes shed chunks
+//                    explicit. For dump chunks both counters are scoped
+//                    to the one dump request.
 //
 // Decoding is incremental: feed arbitrary byte chunks, get frames out.
 // A corrupted stream (bad magic, bad CRC, oversized length, malformed
@@ -77,6 +92,9 @@ enum class FrameType : uint8_t {
   // wakeup enqueues one on a shard's ingress queue to run spill
   // maintenance on the shard thread; the decoder rejects it as unknown.
   kMaintenance = 12,
+  kSubscribeRequest = 13,
+  kSubscribeAck = 14,
+  kTelemetryChunk = 15,
 };
 
 enum class RejectReason : uint8_t {
@@ -97,6 +115,16 @@ enum class TraceAction : uint8_t {
   kDisable = 2,  // Stop recording (buffered spans kept until dumped).
 };
 
+// Telemetry stream selector. kSubscribeRequest carries a bitmask of the
+// first two; each kTelemetryChunk carries exactly one value naming the
+// stream its body belongs to. Span chunk bodies are comma-separated
+// Chrome trace-event objects (no enclosing brackets — join with "," and
+// wrap in {"traceEvents":[...]}); metrics chunk bodies are one JSON
+// delta object; dump chunks are span bodies scoped to one kDump request.
+inline constexpr uint8_t kTelemetrySpans = 1;
+inline constexpr uint8_t kTelemetryMetrics = 2;
+inline constexpr uint8_t kTelemetryDump = 4;
+
 // One decoded frame. Only the fields relevant to `type` are meaningful.
 struct Frame {
   FrameType type = FrameType::kEvents;
@@ -104,10 +132,16 @@ struct Frame {
   std::vector<Event> events;          // kEvents
   Timestamp punctuation = 0;          // kPunctuation
   MetricsFormat metrics_format = MetricsFormat::kText;  // kMetrics*
-  std::string text;                   // kMetricsResponse / kTraceResponse
+  std::string text;  // kMetricsResponse / kTraceResponse / kTelemetryChunk
   RejectReason reject_reason = RejectReason::kQueueFull;  // kReject
   uint64_t reject_count = 0;          // kReject
   TraceAction trace_action = TraceAction::kDump;  // kTrace*
+  uint8_t telemetry_streams = 0;      // kSubscribeRequest/Ack (bitmask)
+                                      // and kTelemetryChunk (one stream).
+  uint64_t subscription_id = 0;       // kSubscribeAck
+  uint64_t telemetry_seq = 0;         // kTelemetryChunk (1-based)
+  uint64_t telemetry_dropped = 0;     // kTelemetryChunk (cumulative)
+                                      // — the chunk body rides in `text`.
 
   // Server-side only, never serialized: Clock::Nanos() when the frame was
   // accepted into a shard queue, for queue-wait accounting.

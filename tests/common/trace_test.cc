@@ -220,5 +220,80 @@ TEST_F(TraceTest, ConcurrentWritersAndDrainerStaySane) {
             static_cast<uint64_t>(kWriters) * kSpansPerWriter);
 }
 
+size_t CountOccurrences(const std::string& s, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(TraceTest, HarvestChunksBoundsBodiesAndConsumesCursor) {
+  std::thread t([] { EmitSpans("test.harvest", 200); });
+  t.join();
+
+  std::vector<std::string> chunks;
+  trace::DrainStats stats;
+  trace::HarvestChunks(/*max_chunk_bytes=*/1024, &chunks, &stats);
+  EXPECT_EQ(stats.spans, 200u);
+  EXPECT_EQ(stats.dropped, 0u);
+  ASSERT_GT(chunks.size(), 1u);
+  size_t events = 0;
+  for (const std::string& chunk : chunks) {
+    EXPECT_LE(chunk.size(), 1024u);
+    // A chunk is a bare comma-joined run of complete event objects.
+    ASSERT_FALSE(chunk.empty());
+    EXPECT_EQ(chunk.front(), '{');
+    EXPECT_EQ(chunk.back(), '}');
+    events += CountOccurrences(chunk, "\"name\":\"test.harvest\"");
+  }
+  EXPECT_EQ(events, 200u);
+
+  // Harvest shares the drain cursor: a follow-up full drain sees nothing.
+  trace::DrainStats after;
+  trace::DrainChromeJson(&after);
+  EXPECT_EQ(after.spans, 0u);
+}
+
+TEST_F(TraceTest, HarvestChunksSingleChunkWhenUnderBound) {
+  std::thread t([] { EmitSpans("test.small", 5); });
+  t.join();
+
+  std::vector<std::string> chunks;
+  trace::DrainStats stats;
+  trace::HarvestChunks(/*max_chunk_bytes=*/1u << 20, &chunks, &stats);
+  EXPECT_EQ(stats.spans, 5u);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(CountOccurrences(chunks[0], "\"name\":\"test.small\""), 5u);
+}
+
+TEST_F(TraceTest, HarvestChunksOversizedEventGetsOwnChunk) {
+  // A bound smaller than any single event still makes progress: each
+  // event lands alone in its own (oversized) chunk rather than being
+  // split or dropped.
+  std::thread t([] { EmitSpans("test.tiny_bound", 7); });
+  t.join();
+
+  std::vector<std::string> chunks;
+  trace::DrainStats stats;
+  trace::HarvestChunks(/*max_chunk_bytes=*/1, &chunks, &stats);
+  EXPECT_EQ(stats.spans, 7u);
+  ASSERT_EQ(chunks.size(), 7u);
+  for (const std::string& chunk : chunks) {
+    EXPECT_EQ(CountOccurrences(chunk, "\"name\":\"test.tiny_bound\""), 1u);
+    EXPECT_EQ(chunk.front(), '{');
+    EXPECT_EQ(chunk.back(), '}');
+  }
+}
+
+TEST_F(TraceTest, HarvestChunksEmptyWhenNothingRecorded) {
+  std::vector<std::string> chunks;
+  trace::DrainStats stats;
+  trace::HarvestChunks(/*max_chunk_bytes=*/4096, &chunks, &stats);
+  EXPECT_EQ(stats.spans, 0u);
+  EXPECT_TRUE(chunks.empty());
+}
+
 }  // namespace
 }  // namespace impatience

@@ -146,6 +146,13 @@ TEST(EpollFaultTest, EveryFrameTypeSplitAtEveryByteBoundary) {
   cases.push_back({"trace", EncodeFrame(trace), true,
                    FrameType::kTraceResponse, false});
 
+  Frame subscribe;
+  subscribe.type = FrameType::kSubscribeRequest;
+  subscribe.session_id = 1;
+  subscribe.telemetry_streams = kTelemetryMetrics;
+  cases.push_back({"subscribe", EncodeFrame(subscribe), true,
+                   FrameType::kSubscribeAck, false});
+
   uint64_t frames_seen = 0;
   for (const Case& c : cases) {
     for (const std::vector<uint8_t>& prefix :

@@ -1,6 +1,8 @@
 #include "server/metrics.h"
 
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -66,6 +68,16 @@ ServerMetrics MakeMetrics() {
     l.epollout_stalls = 40 + i;
     m.transport.loops.push_back(l);
   }
+
+  m.telemetry.subscribers = 2;
+  m.telemetry.chunks_sent = 150;
+  m.telemetry.chunks_dropped = 7;
+  m.telemetry.subscribers_shed = 1;
+  m.telemetry.spans_exported = 4000;
+  m.telemetry.span_ring_drops = 11;
+  m.telemetry.metrics_deltas = 30;
+  m.telemetry.dump_chunks = 9;
+  m.telemetry.dump_truncated = 0;
 
   ShardMetrics s;
   s.shard = 0;
@@ -423,6 +435,132 @@ TEST(MetricsRenderTest, PrometheusBucketSiblingsAreExact) {
   EXPECT_NE(prom.find("impatience_shard_spill_merge_fanin_hist_bucket"
                       "{shard=\"0\",le=\"+Inf\"} 3"),
             std::string::npos);
+}
+
+// The streaming-telemetry families (subscriber gauge, chunk/drop/shed
+// counters, span export accounting, dump chunking) in all three formats.
+TEST(MetricsRenderTest, TelemetryFamiliesInAllThreeFormats) {
+  const ServerMetrics m = MakeMetrics();
+
+  const std::string text = RenderMetricsText(m);
+  EXPECT_NE(text.find("impatience_telemetry_subscribers 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_chunks_sent 150"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_chunks_dropped 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_subscribers_shed 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_spans_exported 4000"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_span_ring_drops 11"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_metrics_deltas 30"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_dump_chunks 9"),
+            std::string::npos);
+  EXPECT_NE(text.find("impatience_telemetry_dump_truncated 0"),
+            std::string::npos);
+
+  const std::string json = RenderMetricsJson(m);
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"telemetry\":{\"subscribers\":2,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"chunks_sent\":150"), std::string::npos);
+  EXPECT_NE(json.find("\"chunks_dropped\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"subscribers_shed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"spans_exported\":4000"), std::string::npos);
+  EXPECT_NE(json.find("\"span_ring_drops\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_deltas\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"dump_chunks\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"dump_truncated\":0"), std::string::npos);
+
+  const std::string prom = RenderMetricsPrometheus(m);
+  EXPECT_NE(prom.find("# TYPE impatience_telemetry_subscribers gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_telemetry_subscribers 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impatience_telemetry_chunks_sent counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_telemetry_chunks_dropped 7"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("# TYPE impatience_telemetry_subscribers_shed counter"),
+      std::string::npos);
+  EXPECT_NE(prom.find("impatience_telemetry_spans_exported 4000"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_telemetry_span_ring_drops 11"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impatience_telemetry_dump_chunks 9"),
+            std::string::npos);
+}
+
+// Prometheus histogram conformance, checked structurally rather than by
+// pinning strings: for every `histogram`-typed family in the render, the
+// `_bucket` cumulative counts must be nondecreasing along the le ladder,
+// the ladder must end at le="+Inf" with a count equal to the family's
+// `_count` series, and a `_sum` series must be present.
+TEST(MetricsRenderTest, PrometheusHistogramFamiliesConform) {
+  const std::string prom = RenderMetricsPrometheus(MakeMetrics());
+
+  // Collect every family declared `# TYPE <name> histogram`.
+  std::vector<std::string> families;
+  const std::string kTypePrefix = "# TYPE ";
+  size_t pos = 0;
+  while ((pos = prom.find(kTypePrefix, pos)) != std::string::npos) {
+    const size_t name_start = pos + kTypePrefix.size();
+    const size_t name_end = prom.find(' ', name_start);
+    ASSERT_NE(name_end, std::string::npos);
+    const size_t line_end = prom.find('\n', name_end);
+    const std::string kind =
+        prom.substr(name_end + 1, line_end - name_end - 1);
+    if (kind == "histogram") {
+      families.push_back(prom.substr(name_start, name_end - name_start));
+    }
+    pos = line_end;
+  }
+  ASSERT_FALSE(families.empty());
+
+  auto parse_value = [](const std::string& line) {
+    return std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+  };
+  for (const std::string& family : families) {
+    SCOPED_TRACE(family);
+    unsigned long long prev = 0;
+    unsigned long long inf_count = 0;
+    bool saw_inf = false;
+    bool saw_sum = false;
+    bool saw_count = false;
+    unsigned long long count_value = 0;
+    size_t line_start = 0;
+    while (line_start < prom.size()) {
+      size_t line_end = prom.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = prom.size();
+      const std::string line =
+          prom.substr(line_start, line_end - line_start);
+      line_start = line_end + 1;
+      if (line.rfind(family + "_bucket{", 0) == 0) {
+        const unsigned long long v = parse_value(line);
+        EXPECT_GE(v, prev) << "non-monotone bucket: " << line;
+        prev = v;
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+          saw_inf = true;
+          inf_count = v;
+          prev = 0;  // Next series (another shard) restarts the ladder.
+        }
+      } else if (line.rfind(family + "_sum", 0) == 0) {
+        saw_sum = true;
+      } else if (line.rfind(family + "_count", 0) == 0) {
+        saw_count = true;
+        count_value = parse_value(line);
+      }
+    }
+    EXPECT_TRUE(saw_inf) << "missing le=\"+Inf\" bucket";
+    EXPECT_TRUE(saw_sum) << "missing _sum series";
+    EXPECT_TRUE(saw_count) << "missing _count series";
+    EXPECT_EQ(inf_count, count_value)
+        << "+Inf bucket must equal _count";
+  }
 }
 
 TEST(MetricsRenderTest, EmptyMetricsRenderCleanly) {

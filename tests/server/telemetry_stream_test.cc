@@ -1,0 +1,607 @@
+// Streaming telemetry subscription tests: live span/metrics chunks with
+// per-subscriber backpressure, driven deterministically — the exporter's
+// drain thread is disabled and the test calls Tick() itself, and the
+// event-loop cases run over the scripted FaultyTransport/FaultyPoller so
+// stalls, short writes, mid-chunk kills, and readiness shuffles replay
+// from IMPATIENCE_FAULT_SEED.
+//
+// The contracts under test:
+//   - Delivered chunks carry consecutive sequence numbers (1, 2, 3, ...):
+//     the delivered stream is gap-free, and chunks the subscriber's
+//     bounded write budget refused surface only as a rising cumulative
+//     `dropped` count.
+//   - A stalled subscriber is shed from the exporter after bounded
+//     consecutive drops, without closing its connection, stalling ingest,
+//     or moving any other session's watermark lag.
+//   - A one-shot trace dump streams as bounded chunks and reassembles to
+//     the full document on the client — never silently truncated.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/event.h"
+#include "common/random.h"
+#include "common/trace.h"
+#include "server/client.h"
+#include "server/event_loop.h"
+#include "server/ingest_service.h"
+#include "server/wire_format.h"
+#include "tests/testing/faulty_transport.h"
+
+namespace impatience {
+namespace server {
+namespace {
+
+namespace ft = impatience::testing;
+
+// Every test manages the global trace registry; spans are recorded only
+// from freshly spawned threads (the main thread's ring is orphaned by
+// ResetForTest — same discipline as trace_test.cc).
+class TelemetryStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::ResetForTest();
+    trace::SetDefaultBufferCapacity(8192);
+    trace::SetEnabled(false);
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    trace::ResetForTest();
+  }
+};
+
+void EmitSpans(const char* name, int n) {
+  for (int i = 0; i < n; ++i) {
+    TRACE_SPAN(name);
+  }
+}
+
+size_t CountOccurrences(const std::string& s, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+ServiceOptions ManualTelemetryOptions() {
+  ServiceOptions options;
+  options.shards.num_shards = 1;
+  options.shards.queue_capacity = 4096;
+  options.shards.manual_drain = true;
+  options.shards.backpressure = BackpressurePolicy::kRejectFrame;
+  options.shards.framework.reorder_latencies = {100, 10000};
+  options.shards.framework.punctuation_period = 500;
+  options.telemetry.start_thread = false;
+  return options;
+}
+
+template <typename Pred>
+bool PumpUntil(EventLoop* loop, Pred pred, int iters = 500) {
+  for (int i = 0; i < iters; ++i) {
+    if (pred()) return true;
+    loop->PollOnce(/*timeout_ms=*/5);
+  }
+  return pred();
+}
+
+std::vector<Event> MakeEvents(size_t n, Timestamp base) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.sync_time = base + static_cast<Timestamp>(i);
+    e.other_time = e.sync_time + 1;
+    e.key = static_cast<int32_t>(i);
+    e.hash = HashKey(e.key);
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<uint8_t> SubscribeBytes(uint64_t session_id, uint8_t streams) {
+  Frame f;
+  f.type = FrameType::kSubscribeRequest;
+  f.session_id = session_id;
+  f.telemetry_streams = streams;
+  return EncodeFrame(f);
+}
+
+std::vector<Frame> DecodeAll(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::vector<Frame> frames;
+  Frame f;
+  while (decoder.Next(&f) == DecodeStatus::kOk) {
+    frames.push_back(std::move(f));
+    f = Frame{};
+  }
+  return frames;
+}
+
+int64_t SessionLag(IngestService* service, uint64_t session_id) {
+  for (const ShardMetrics& s : service->manager().SnapshotShards()) {
+    for (const SessionWatermark& w : s.watermarks) {
+      if (w.session_id == session_id) return w.lag;
+    }
+  }
+  return -1;
+}
+
+// Delivered chunk sequence numbers must be exactly 1..n in order — any
+// gap means a delivered chunk was lost, any repeat means one was
+// duplicated across a retry boundary.
+void ExpectConsecutiveSeqs(const std::vector<Frame>& frames) {
+  uint64_t expect = 1;
+  for (const Frame& f : frames) {
+    if (f.type != FrameType::kTelemetryChunk) continue;
+    EXPECT_EQ(f.telemetry_seq, expect) << "gap or duplicate in chunk stream";
+    ++expect;
+  }
+}
+
+// Loopback happy path: subscribe to both streams, tick the exporter, and
+// both a span chunk and a metrics delta arrive with consecutive seqs and
+// zero drops. Span chunk bodies are comma-joined event objects that
+// embed directly into a traceEvents array.
+TEST_F(TelemetryStreamTest, LoopbackSubscribeDeliversSpanAndMetricsChunks) {
+  ServiceOptions options;
+  options.shards.num_shards = 1;
+  options.telemetry.start_thread = false;
+  IngestService service(options);
+  IngestClient client(std::make_unique<LoopbackChannel>(&service));
+
+  uint64_t sub_id = 0;
+  ASSERT_TRUE(
+      client.Subscribe(7, kTelemetrySpans | kTelemetryMetrics, &sub_id));
+  EXPECT_NE(sub_id, 0u);
+  EXPECT_EQ(service.Snapshot().telemetry.subscribers, 1u);
+
+  trace::SetEnabled(true);
+  std::thread t([] { EmitSpans("telemetry.live", 40); });
+  t.join();
+  trace::SetEnabled(false);
+
+  ASSERT_TRUE(client.SendEvents(7, MakeEvents(50, 1000)));
+  ASSERT_TRUE(client.FlushSession(7));
+  service.telemetry().Tick(/*force_metrics=*/true);
+
+  bool saw_spans = false;
+  bool saw_metrics = false;
+  uint64_t expect_seq = 1;
+  Frame chunk;
+  while (client.PollTelemetry(&chunk)) {
+    EXPECT_EQ(chunk.telemetry_seq, expect_seq++);
+    EXPECT_EQ(chunk.telemetry_dropped, 0u);
+    EXPECT_EQ(chunk.session_id, 7u);
+    if (chunk.telemetry_streams == kTelemetrySpans) {
+      saw_spans = true;
+      EXPECT_NE(chunk.text.find("\"name\":\"telemetry.live\""),
+                std::string::npos);
+      // Body is a bare comma-joined event list: object to object.
+      EXPECT_EQ(chunk.text.front(), '{');
+      EXPECT_EQ(chunk.text.back(), '}');
+      EXPECT_LE(chunk.text.size(),
+                service.telemetry().options().max_chunk_bytes);
+    } else {
+      EXPECT_EQ(chunk.telemetry_streams, kTelemetryMetrics);
+      saw_metrics = true;
+      EXPECT_NE(chunk.text.find("\"d_events_in\":50"), std::string::npos);
+      EXPECT_NE(chunk.text.find("\"d_queue_wait_count\":"),
+                std::string::npos);
+      EXPECT_NE(chunk.text.find("\"shards\":["), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_spans);
+  EXPECT_TRUE(saw_metrics);
+
+  const ServerMetrics m = service.Snapshot();
+  EXPECT_EQ(m.telemetry.subscribers, 1u);
+  EXPECT_GT(m.telemetry.chunks_sent, 0u);
+  EXPECT_EQ(m.telemetry.chunks_dropped, 0u);
+  EXPECT_EQ(m.telemetry.spans_exported, 40u);
+  EXPECT_EQ(m.telemetry.metrics_deltas, 1u);
+}
+
+// Metrics deltas are differences between consecutive rounds, not
+// cumulative totals — a second tick after no traffic reports zero.
+TEST_F(TelemetryStreamTest, MetricsDeltasResetBetweenRounds) {
+  ServiceOptions options;
+  options.shards.num_shards = 1;
+  options.telemetry.start_thread = false;
+  IngestService service(options);
+  IngestClient client(std::make_unique<LoopbackChannel>(&service));
+  ASSERT_TRUE(client.Subscribe(3, kTelemetryMetrics));
+
+  ASSERT_TRUE(client.SendEvents(3, MakeEvents(32, 1000)));
+  ASSERT_TRUE(client.FlushSession(3));
+  service.telemetry().Tick(/*force_metrics=*/true);
+  service.telemetry().Tick(/*force_metrics=*/true);
+
+  std::vector<Frame> deltas;
+  Frame chunk;
+  while (client.PollTelemetry(&chunk)) deltas.push_back(std::move(chunk));
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_NE(deltas[0].text.find("\"d_events_in\":32"), std::string::npos);
+  EXPECT_NE(deltas[1].text.find("\"d_events_in\":0"), std::string::npos);
+}
+
+// Over the event loop with writes sliced at scripted boundaries, chunks
+// reassemble into intact CRC-checked frames with consecutive seqs.
+TEST_F(TelemetryStreamTest, SlicedWritesReassembleGapFreeChunkStream) {
+  IngestService service(ManualTelemetryOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+
+  std::vector<ft::FaultAction> script;
+  for (int i = 0; i < 3000; ++i) {
+    script.push_back(ft::FaultAction::Limit(1 + (i % 13)));
+    if (i % 9 == 4) script.push_back(ft::FaultAction::Eintr());
+    if (i % 17 == 8) script.push_back(ft::FaultAction::Eagain());
+  }
+  h->ScriptWrite(std::move(script));
+  h->InjectInbound(SubscribeBytes(5, kTelemetryMetrics));
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return h->pending_inbound() == 0; }));
+
+  const int kTicks = 8;
+  for (int i = 0; i < kTicks; ++i) {
+    service.telemetry().Tick(/*force_metrics=*/true);
+    for (int j = 0; j < 10; ++j) loop.PollOnce(/*timeout_ms=*/5);
+  }
+
+  std::string out;
+  ASSERT_TRUE(PumpUntil(
+      &loop,
+      [&] {
+        out += h->TakeOutput();
+        return DecodeAll(out).size() == 1 + kTicks;
+      },
+      3000));
+  const std::vector<Frame> frames = DecodeAll(out);
+  ASSERT_EQ(frames[0].type, FrameType::kSubscribeAck);
+  EXPECT_NE(frames[0].subscription_id, 0u);
+  ExpectConsecutiveSeqs(frames);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].type, FrameType::kTelemetryChunk);
+    EXPECT_EQ(frames[i].telemetry_dropped, 0u);
+  }
+
+  h->CloseInbound();
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  EXPECT_EQ(service.Snapshot().telemetry.subscribers, 0u);
+}
+
+// A brief stall drops chunks at the bounded write budget; after the
+// subscriber recovers, the next delivered chunk's cumulative `dropped`
+// makes the gap explicit while delivered seqs stay consecutive.
+TEST_F(TelemetryStreamTest, DroppedChunksSurfaceInStreamSeqStaysGapFree) {
+  ServiceOptions options = ManualTelemetryOptions();
+  options.telemetry.shed_after_drops = 1000;  // Never shed in this test.
+  IngestService service(options);
+  EventLoopOptions opts;
+  opts.telemetry_write_queue_bytes = 1200;  // Roughly two metrics chunks.
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 opts);
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+  h->InjectInbound(SubscribeBytes(5, kTelemetryMetrics));
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return h->pending_inbound() == 0; }));
+
+  h->SetWriteBlocked(true);
+  for (int i = 0; i < 6; ++i) {
+    service.telemetry().Tick(/*force_metrics=*/true);
+    loop.PollOnce(/*timeout_ms=*/5);
+  }
+  const ServerMetrics stalled = service.Snapshot();
+  EXPECT_GT(stalled.telemetry.chunks_dropped, 0u);
+  EXPECT_EQ(stalled.telemetry.subscribers, 1u);  // Not shed.
+
+  h->SetWriteBlocked(false);
+  std::string out;
+  ASSERT_TRUE(PumpUntil(&loop, [&] {
+    out += h->TakeOutput();
+    return DecodeAll(out).size() >= 2;  // Ack + queued chunks flushed.
+  }));
+  service.telemetry().Tick(/*force_metrics=*/true);
+  const size_t want = DecodeAll(out).size() + 1;
+  ASSERT_TRUE(PumpUntil(&loop, [&] {
+    out += h->TakeOutput();
+    return DecodeAll(out).size() >= want;
+  }));
+
+  const std::vector<Frame> frames = DecodeAll(out);
+  ExpectConsecutiveSeqs(frames);
+  EXPECT_GT(frames.back().telemetry_dropped, 0u);
+  EXPECT_EQ(frames.back().telemetry_dropped,
+            service.Snapshot().telemetry.chunks_dropped);
+}
+
+// A subscriber that never drains is shed from the exporter after the
+// configured consecutive drops — without closing its connection, and
+// without moving a healthy session's ingest or watermark lag.
+TEST_F(TelemetryStreamTest, StalledSubscriberShedOthersUnaffected) {
+  ServiceOptions options = ManualTelemetryOptions();
+  options.telemetry.shed_after_drops = 3;
+  IngestService service(options);
+  EventLoopOptions opts;
+  opts.telemetry_write_queue_bytes = 1200;
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 opts);
+
+  // Healthy ingest session first; record its watermark lag.
+  auto fast_t = std::make_unique<ft::FaultyTransport>();
+  auto fast = fast_t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(fast_t)), 0u);
+  auto send_batch = [&](Timestamp base) {
+    Frame events;
+    events.type = FrameType::kEvents;
+    events.session_id = 9;
+    events.events = MakeEvents(100, base);
+    fast->InjectInbound(EncodeFrame(events));
+    Frame punct;
+    punct.type = FrameType::kPunctuation;
+    punct.session_id = 9;
+    punct.punctuation = base + 1000;
+    fast->InjectInbound(EncodeFrame(punct));
+    Frame flush;
+    flush.type = FrameType::kFlushSession;
+    flush.session_id = 9;
+    fast->InjectInbound(EncodeFrame(flush));
+  };
+  std::string fast_replies;
+  auto pump_ack = [&](size_t want_acks) -> size_t {
+    EXPECT_TRUE(
+        PumpUntil(&loop, [&] { return fast->pending_inbound() == 0; }));
+    service.manager().DrainShardForTest(0);
+    size_t acks = 0;
+    PumpUntil(&loop, [&] {
+      fast_replies += fast->TakeOutput();
+      acks = 0;
+      for (const Frame& f : DecodeAll(fast_replies)) {
+        if (f.type == FrameType::kFlushAck) ++acks;
+      }
+      return acks >= want_acks;
+    });
+    return acks;
+  };
+  send_batch(1000);
+  ASSERT_EQ(pump_ack(1), 1u);
+  const int64_t lag_before = SessionLag(&service, 9);
+  ASSERT_GE(lag_before, 0);
+
+  // Subscriber that accepts the ack, then stops draining forever.
+  auto slow_t = std::make_unique<ft::FaultyTransport>();
+  auto slow = slow_t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(slow_t)), 0u);
+  slow->InjectInbound(SubscribeBytes(5, kTelemetryMetrics));
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return slow->pending_inbound() == 0; }));
+  ASSERT_EQ(service.Snapshot().telemetry.subscribers, 1u);
+  slow->SetWriteBlocked(true);
+
+  for (int i = 0; i < 12; ++i) {
+    service.telemetry().Tick(/*force_metrics=*/true);
+    loop.PollOnce(/*timeout_ms=*/5);
+    // Ingest keeps flowing while the subscriber is wedged.
+    send_batch(2000 + i * 1000);
+    ASSERT_EQ(pump_ack(2 + static_cast<size_t>(i)), 2 + static_cast<size_t>(i));
+  }
+
+  const ServerMetrics m = service.Snapshot();
+  EXPECT_EQ(m.telemetry.subscribers, 0u);  // Shed from the exporter...
+  EXPECT_EQ(m.telemetry.subscribers_shed, 1u);
+  EXPECT_GE(m.telemetry.chunks_dropped, options.telemetry.shed_after_drops);
+  EXPECT_EQ(loop.connection_count(), 2u);  // ...but its connection lives.
+  EXPECT_FALSE(slow->shut_down());
+  EXPECT_EQ(loop.SnapshotMetrics().closed_slow, 0u);
+
+  // The healthy session never felt it: ingest complete, lag flat.
+  const int64_t lag_after = SessionLag(&service, 9);
+  ASSERT_GE(lag_after, 0);
+  EXPECT_LE(lag_after, lag_before);
+  EXPECT_EQ(service.manager().SnapshotShards()[0].events_in, 1300u);
+
+  // Further ticks are no-ops for the shed subscriber (no span/metrics
+  // subscribers remain): no new chunks accrue.
+  const uint64_t sent_before = m.telemetry.chunks_sent;
+  service.telemetry().Tick(/*force_metrics=*/true);
+  EXPECT_EQ(service.Snapshot().telemetry.chunks_sent, sent_before);
+}
+
+// A subscriber killed mid-chunk (partial write, then reset) must be
+// fully unsubscribed by connection teardown; the exporter keeps running.
+TEST_F(TelemetryStreamTest, MidChunkKillCleansUpSubscription) {
+  IngestService service(ManualTelemetryOptions());
+  EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(ft::FaultSeed()),
+                 EventLoopOptions{});
+
+  auto t = std::make_unique<ft::FaultyTransport>();
+  auto h = t->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+  h->InjectInbound(SubscribeBytes(5, kTelemetryMetrics));
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return h->pending_inbound() == 0; }));
+  ASSERT_EQ(service.Snapshot().telemetry.subscribers, 1u);
+
+  // Let one chunk start onto the wire, sliced small, then kill the peer
+  // with bytes of the frame still queued.
+  h->ScriptWrite({ft::FaultAction::Limit(10), ft::FaultAction::Eagain()});
+  service.telemetry().Tick(/*force_metrics=*/true);
+  loop.PollOnce(/*timeout_ms=*/5);
+  h->KillNow();
+
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  EXPECT_EQ(service.Snapshot().telemetry.subscribers, 0u);
+
+  // Exporter is still healthy for the next subscriber.
+  service.telemetry().Tick(/*force_metrics=*/true);
+  auto t2 = std::make_unique<ft::FaultyTransport>();
+  auto h2 = t2->NewHandle();
+  ASSERT_NE(loop.AddConnection(std::move(t2)), 0u);
+  h2->InjectInbound(SubscribeBytes(6, kTelemetryMetrics));
+  ASSERT_TRUE(PumpUntil(&loop, [&] { return h2->pending_inbound() == 0; }));
+  EXPECT_EQ(service.Snapshot().telemetry.subscribers, 1u);
+  service.telemetry().Tick(/*force_metrics=*/true);
+  std::string out;
+  ASSERT_TRUE(PumpUntil(&loop, [&] {
+    out += h2->TakeOutput();
+    return DecodeAll(out).size() >= 2;
+  }));
+  ExpectConsecutiveSeqs(DecodeAll(out));
+}
+
+// Seeded sweep: under per-seed readiness shuffles and randomized write
+// slicing/EAGAIN/EINTR scripts, every tick's chunk is delivered exactly
+// once with consecutive seqs — no loss, no duplication, no decode error.
+TEST_F(TelemetryStreamTest, SeededFaultSweepKeepsStreamGapFree) {
+  const uint64_t base_seed = ft::FaultSeed();
+  for (uint64_t seed = base_seed; seed < base_seed + 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    IngestService service(ManualTelemetryOptions());
+    EventLoop loop(&service, std::make_unique<ft::FaultyPoller>(seed),
+                   EventLoopOptions{});
+
+    auto t = std::make_unique<ft::FaultyTransport>();
+    auto h = t->NewHandle();
+    ASSERT_NE(loop.AddConnection(std::move(t)), 0u);
+
+    Rng rng(seed * 7919 + 17);
+    std::vector<ft::FaultAction> script;
+    for (int i = 0; i < 4000; ++i) {
+      const uint64_t pick = rng.NextBelow(10);
+      if (pick == 0) {
+        script.push_back(ft::FaultAction::Eagain());
+      } else if (pick == 1) {
+        script.push_back(ft::FaultAction::Eintr());
+      } else {
+        script.push_back(
+            ft::FaultAction::Limit(1 + static_cast<size_t>(rng.NextBelow(23))));
+      }
+    }
+    h->ScriptWrite(std::move(script));
+    h->InjectInbound(SubscribeBytes(seed, kTelemetryMetrics));
+    ASSERT_TRUE(PumpUntil(&loop, [&] { return h->pending_inbound() == 0; }));
+
+    const int kTicks = 10;
+    for (int i = 0; i < kTicks; ++i) {
+      service.telemetry().Tick(/*force_metrics=*/true);
+      for (int j = 0; j < 5; ++j) loop.PollOnce(/*timeout_ms=*/5);
+    }
+    std::string out;
+    ASSERT_TRUE(PumpUntil(
+        &loop,
+        [&] {
+          out += h->TakeOutput();
+          return DecodeAll(out).size() == 1 + kTicks;
+        },
+        3000));
+    const std::vector<Frame> frames = DecodeAll(out);
+    EXPECT_EQ(frames[0].type, FrameType::kSubscribeAck);
+    ExpectConsecutiveSeqs(frames);
+    EXPECT_EQ(frames.back().telemetry_dropped, 0u);
+    EXPECT_EQ(service.Snapshot().decode_errors, 0u);
+
+    h->CloseInbound();
+    ASSERT_TRUE(
+        PumpUntil(&loop, [&] { return loop.connection_count() == 0; }));
+  }
+}
+
+// One-shot kDump streams as bounded chunks and reassembles on the client
+// into the full Chrome trace document — a dump bigger than one chunk is
+// no longer silently truncated at the frame-size limit.
+TEST_F(TelemetryStreamTest, ChunkedDumpReassemblesFullTrace) {
+  ServiceOptions options;
+  options.shards.num_shards = 1;
+  options.telemetry.start_thread = false;
+  options.telemetry.max_chunk_bytes = 1024;  // Force many chunks.
+  IngestService service(options);
+
+  trace::SetEnabled(true);
+  std::thread t([] { EmitSpans("dump.span", 400); });
+  t.join();
+  trace::SetEnabled(false);
+
+  IngestClient client(std::make_unique<LoopbackChannel>(&service));
+  std::string doc;
+  ASSERT_TRUE(client.GetTrace(&doc));
+  EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(doc.back(), '}');
+  EXPECT_EQ(CountOccurrences(doc, "\"name\":\"dump.span\""), 400u);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped\":0"), std::string::npos);
+
+  const ServerMetrics m = service.Snapshot();
+  EXPECT_GT(m.telemetry.dump_chunks, 1u);
+  EXPECT_EQ(m.telemetry.dump_truncated, 0u);
+
+  // The harvest cursor consumed the rings: a second dump is empty.
+  std::string empty_doc;
+  ASSERT_TRUE(client.GetTrace(&empty_doc));
+  EXPECT_EQ(CountOccurrences(empty_doc, "\"name\":\"dump.span\""), 0u);
+  EXPECT_EQ(empty_doc.rfind("{\"traceEvents\":[]", 0), 0u);
+}
+
+// Concurrency smoke (exercised under TSan by tools/check.sh): the real
+// drain thread streams to a live subscriber while another session
+// ingests — seqs stay consecutive end to end.
+TEST_F(TelemetryStreamTest, DrainThreadStreamsUnderConcurrentLoad) {
+  ServiceOptions options;
+  options.shards.num_shards = 2;
+  options.telemetry.start_thread = true;
+  options.telemetry.span_interval_ms = 2;
+  options.telemetry.metrics_interval_ms = 6;
+  IngestService service(options);
+
+  trace::SetEnabled(true);
+  IngestClient sub(std::make_unique<LoopbackChannel>(&service));
+  ASSERT_TRUE(sub.Subscribe(1, kTelemetrySpans | kTelemetryMetrics));
+
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    IngestClient ingest(std::make_unique<LoopbackChannel>(&service));
+    Timestamp base = 1000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ingest.SendEvents(2, MakeEvents(64, base));
+      ingest.SendPunctuation(2, base + 2000);
+      base += 64;
+    }
+    ingest.FlushSession(2);
+  });
+
+  size_t chunks = 0;
+  uint64_t expect_seq = 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+  Frame chunk;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sub.PollTelemetry(&chunk)) {
+      EXPECT_EQ(chunk.telemetry_seq, expect_seq++);
+      ++chunks;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+  trace::SetEnabled(false);
+  EXPECT_GT(chunks, 0u);
+  EXPECT_EQ(service.Snapshot().telemetry.chunks_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace impatience

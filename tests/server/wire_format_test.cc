@@ -206,6 +206,127 @@ TEST(WireFormatTest, TraceRequestWithPayloadRejected) {
   EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload);
 }
 
+TEST(WireFormatTest, TelemetryFramesRoundTrip) {
+  for (const uint8_t streams :
+       {kTelemetrySpans, kTelemetryMetrics,
+        static_cast<uint8_t>(kTelemetrySpans | kTelemetryMetrics)}) {
+    Frame req;
+    req.type = FrameType::kSubscribeRequest;
+    req.session_id = 5;
+    req.telemetry_streams = streams;
+    const Frame decoded = DecodeOne(EncodeFrame(req));
+    EXPECT_EQ(decoded.type, FrameType::kSubscribeRequest);
+    EXPECT_EQ(decoded.session_id, 5u);
+    EXPECT_EQ(decoded.telemetry_streams, streams);
+  }
+
+  Frame ack;
+  ack.type = FrameType::kSubscribeAck;
+  ack.session_id = 5;
+  ack.telemetry_streams = kTelemetrySpans | kTelemetryMetrics;
+  ack.subscription_id = 77;
+  const Frame dack = DecodeOne(EncodeFrame(ack));
+  EXPECT_EQ(dack.type, FrameType::kSubscribeAck);
+  EXPECT_EQ(dack.telemetry_streams, kTelemetrySpans | kTelemetryMetrics);
+  EXPECT_EQ(dack.subscription_id, 77u);
+
+  // A chunk's aux names exactly one stream: spans, metrics, or dump.
+  for (const uint8_t stream :
+       {kTelemetrySpans, kTelemetryMetrics, kTelemetryDump}) {
+    Frame chunk;
+    chunk.type = FrameType::kTelemetryChunk;
+    chunk.session_id = 6;
+    chunk.telemetry_streams = stream;
+    chunk.telemetry_seq = 41;
+    chunk.telemetry_dropped = 3;
+    chunk.text = "{\"name\":\"x\",\"ph\":\"X\"}";
+    const Frame decoded = DecodeOne(EncodeFrame(chunk));
+    EXPECT_EQ(decoded.type, FrameType::kTelemetryChunk);
+    EXPECT_EQ(decoded.telemetry_streams, stream);
+    EXPECT_EQ(decoded.telemetry_seq, 41u);
+    EXPECT_EQ(decoded.telemetry_dropped, 3u);
+    EXPECT_EQ(decoded.text, chunk.text);
+  }
+}
+
+TEST(WireFormatTest, TelemetryAuxValidationRejectsBadMasks) {
+  // Subscribe aux is a stream bitmask in [1, 3]; 0 (no streams) and bits
+  // beyond the defined set are kBadPayload.
+  for (const uint8_t aux : {0, 4, 7, 255}) {
+    Frame f;
+    f.type = FrameType::kSubscribeRequest;
+    f.telemetry_streams = kTelemetrySpans;
+    std::vector<uint8_t> bytes = EncodeFrame(f);
+    bytes[5] = aux;
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload)
+        << "subscribe aux " << static_cast<int>(aux);
+  }
+  // Chunk aux must be exactly one of spans/metrics/dump — a combined
+  // mask or zero is malformed.
+  for (const uint8_t aux : {0, 3, 5, 6, 7}) {
+    Frame f;
+    f.type = FrameType::kTelemetryChunk;
+    f.telemetry_streams = kTelemetrySpans;
+    f.telemetry_seq = 1;
+    std::vector<uint8_t> bytes = EncodeFrame(f);
+    bytes[5] = aux;
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload)
+        << "chunk aux " << static_cast<int>(aux);
+  }
+}
+
+TEST(WireFormatTest, SubscribeRequestWithPayloadRejected) {
+  // kSubscribeRequest is header-only; a payload is protocol misuse.
+  Frame f;
+  f.type = FrameType::kSubscribeRequest;
+  f.telemetry_streams = kTelemetryMetrics;
+  std::vector<uint8_t> bytes = EncodeFrame(f);
+  const uint8_t junk = 0xAB;
+  const uint32_t len = 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  const uint32_t crc = Crc32(&junk, 1);
+  for (int i = 0; i < 4; ++i) {
+    bytes[20 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  bytes.push_back(junk);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload);
+}
+
+TEST(WireFormatTest, TelemetryChunkShortPayloadRejected) {
+  // A chunk payload opens with two u64 counters (seq, dropped); anything
+  // shorter cannot be a chunk.
+  Frame f;
+  f.type = FrameType::kTelemetryChunk;
+  f.telemetry_streams = kTelemetrySpans;
+  f.telemetry_seq = 1;
+  std::vector<uint8_t> bytes = EncodeFrame(f);
+  // Truncate the payload to 8 bytes and re-stamp length + CRC.
+  bytes.resize(24 + 8);
+  const uint32_t len = 8;
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  const uint32_t crc = Crc32(bytes.data() + 24, 8);
+  for (int i = 0; i < 4; ++i) {
+    bytes[20 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadPayload);
+}
+
 TEST(WireFormatTest, ByteAtATimeFeedingDecodesAllFrames) {
   std::vector<uint8_t> bytes;
   AppendFrame(EventsFrame(1, 2), &bytes);

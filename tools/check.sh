@@ -45,6 +45,14 @@
 # backpressure waits, read-ahead ping-pong buffers) runs hot under each
 # detector with the same byte-identical output assertions.
 #
+# A seventh pass pins the streaming-telemetry machinery hot: the
+# server-labeled suites run with tracing forced on and each test repeated
+# 3x, so live telemetry subscriptions (telemetry_stream_test subscribes
+# over both loopback and the scripted event loop, with the real
+# TelemetryExporter drain thread streaming to a subscriber while another
+# session ingests) execute concurrently with shard workers and epoll
+# loops under each detector across distinct schedules.
+#
 # Benches/examples/tools are skipped: they share the same code, and
 # building them under the sanitizers roughly doubles the wall clock for no
 # extra coverage.
@@ -88,9 +96,13 @@ run_pass() {
     env IMPATIENCE_THREADS=8 IMPATIENCE_MEMORY_BUDGET=64k \
       IMPATIENCE_SPILL_FLUSHER_THREADS=2 $env_opts \
       ctest --output-on-failure -j "$(nproc)")
+  (cd "$build_dir" && \
+    env IMPATIENCE_THREADS=8 IMPATIENCE_TRACE=1 $env_opts \
+      ctest --output-on-failure -j "$(nproc)" -L server \
+      --repeat until-fail:3)
   echo "$name tier-1 (native + scalar + avx2 kernels + tracing on" \
     "+ 8-seed server fault sweep + forced-spill 64k budget, sync + async" \
-    "flusher pool): OK"
+    "flusher pool + 3x live-telemetry server repeat): OK"
 }
 
 tsan_pass() {

@@ -75,7 +75,13 @@ std::vector<impatience::Timestamp> ParseLatencies(const std::string& arg) {
       "blocks are written (and merge read-ahead served) off the shard\n"
       "threads (0 = synchronous, the default).\n"
       "--spill-flusher-inflight bounds bytes queued in the pool before\n"
-      "spilling sorters block (k/m/g suffixes; default 8m).\n");
+      "spilling sorters block (k/m/g suffixes; default 8m).\n"
+      "--telemetry-chunk-bytes bounds one streaming telemetry chunk body\n"
+      "(k/m suffixes; clamped to [1k, 4m], default 256k).\n"
+      "--telemetry-span-interval / --telemetry-metrics-interval set the\n"
+      "live-export cadences in milliseconds (defaults 50 / 500).\n"
+      "--telemetry-write-budget bounds bytes of telemetry queued per\n"
+      "connection before chunks are dropped (default 1m).\n");
   std::exit(2);
 }
 
@@ -138,6 +144,21 @@ int main(int argc, char** argv) {
       options.shards.spill_flusher_inflight_bytes =
           storage::ParseByteSize(v.c_str());
       if (options.shards.spill_flusher_inflight_bytes == 0) Usage();
+    } else if (arg == "--telemetry-chunk-bytes") {
+      options.telemetry.max_chunk_bytes = storage::ParseByteSize(next().c_str());
+      if (options.telemetry.max_chunk_bytes == 0) Usage();
+    } else if (arg == "--telemetry-span-interval") {
+      const int v = std::atoi(next().c_str());
+      if (v <= 0) Usage();
+      options.telemetry.span_interval_ms = v;
+    } else if (arg == "--telemetry-metrics-interval") {
+      const int v = std::atoi(next().c_str());
+      if (v <= 0) Usage();
+      options.telemetry.metrics_interval_ms = v;
+    } else if (arg == "--telemetry-write-budget") {
+      tcp_options.telemetry_write_queue_bytes =
+          storage::ParseByteSize(next().c_str());
+      if (tcp_options.telemetry_write_queue_bytes == 0) Usage();
     } else {
       Usage();
     }

@@ -9,7 +9,20 @@
 //   enable | disable    Toggle span recording at runtime.
 //   metrics [--format text|json|prometheus]
 //                       Fetch the metrics snapshot (default: prometheus).
+//   --follow [--out FILE]
+//                       Subscribe to the live span stream and write a
+//                       growing Chrome trace-event document. The document
+//                       is closed into valid JSON on Ctrl-C or when the
+//                       server goes away, so the file loads in Perfetto
+//                       as-is. Chunks the server had to drop (slow
+//                       consumer) surface as a rising `dropped` count on
+//                       stderr.
+//   --follow-metrics    Subscribe to the metrics-delta stream and print
+//                       one line per delta (seq, dropped, JSON body).
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,8 +38,78 @@ namespace {
                "usage: impatience_trace [--port N] dump [--out FILE]\n"
                "       impatience_trace [--port N] enable|disable\n"
                "       impatience_trace [--port N] metrics "
-               "[--format text|json|prometheus]\n");
+               "[--format text|json|prometheus]\n"
+               "       impatience_trace [--port N] --follow [--out FILE]\n"
+               "       impatience_trace [--port N] --follow-metrics\n");
   std::exit(2);
+}
+
+// --follow teardown: the output stream is unbuffered while following, so
+// the async-signal-safe write() below lands after every chunk already
+// written and the document is valid JSON at the moment of exit.
+int g_follow_fd = -1;
+constexpr char kFollowFooter[] = "],\"displayTimeUnit\":\"ms\"}\n";
+
+void OnSigInt(int) {
+  if (g_follow_fd >= 0) {
+    const ssize_t ignored =
+        ::write(g_follow_fd, kFollowFooter, sizeof(kFollowFooter) - 1);
+    (void)ignored;
+  }
+  ::_exit(0);
+}
+
+int FollowSpans(impatience::server::IngestClient& client, std::FILE* out) {
+  using namespace impatience::server;
+  if (!client.SetTraceEnabled(true) ||
+      !client.Subscribe(/*session_id=*/0, kTelemetrySpans)) {
+    std::fprintf(stderr, "impatience_trace: subscribe failed\n");
+    return 1;
+  }
+  std::setvbuf(out, nullptr, _IONBF, 0);
+  g_follow_fd = ::fileno(out);
+  std::signal(SIGINT, OnSigInt);
+  std::signal(SIGTERM, OnSigInt);
+  std::fputs("{\"traceEvents\":[", out);
+  bool first = true;
+  uint64_t last_dropped = 0;
+  Frame chunk;
+  while (client.NextTelemetry(&chunk)) {
+    if (chunk.telemetry_streams != kTelemetrySpans || chunk.text.empty()) {
+      continue;
+    }
+    if (chunk.telemetry_dropped != last_dropped) {
+      last_dropped = chunk.telemetry_dropped;
+      std::fprintf(stderr,
+                   "impatience_trace: %llu chunk(s) dropped by the server "
+                   "(consumer too slow)\n",
+                   static_cast<unsigned long long>(last_dropped));
+    }
+    if (!first) std::fputc(',', out);
+    first = false;
+    std::fwrite(chunk.text.data(), 1, chunk.text.size(), out);
+  }
+  // Server gone: close the document so what we have still loads.
+  std::fputs(kFollowFooter, out);
+  return 0;
+}
+
+int FollowMetrics(impatience::server::IngestClient& client, std::FILE* out) {
+  using namespace impatience::server;
+  if (!client.Subscribe(/*session_id=*/0, kTelemetryMetrics)) {
+    std::fprintf(stderr, "impatience_trace: subscribe failed\n");
+    return 1;
+  }
+  Frame chunk;
+  while (client.NextTelemetry(&chunk)) {
+    if (chunk.telemetry_streams != kTelemetryMetrics) continue;
+    std::fprintf(out, "seq=%llu dropped=%llu %s\n",
+                 static_cast<unsigned long long>(chunk.telemetry_seq),
+                 static_cast<unsigned long long>(chunk.telemetry_dropped),
+                 chunk.text.c_str());
+    std::fflush(out);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -51,6 +134,10 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--format") {
       format = next();
+    } else if (arg == "--follow") {
+      command = "follow";
+    } else if (arg == "--follow-metrics") {
+      command = "follow-metrics";
     } else if (!arg.empty() && arg[0] == '-') {
       Usage();
     } else if (command.empty()) {
@@ -60,7 +147,8 @@ int main(int argc, char** argv) {
     }
   }
   if (command != "dump" && command != "enable" && command != "disable" &&
-      command != "metrics") {
+      command != "metrics" && command != "follow" &&
+      command != "follow-metrics") {
     Usage();
   }
 
@@ -72,6 +160,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   IngestClient client(std::move(channel));
+
+  if (command == "follow" || command == "follow-metrics") {
+    std::FILE* out = stdout;
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "impatience_trace: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+      }
+    }
+    return command == "follow" ? FollowSpans(client, out)
+                               : FollowMetrics(client, out);
+  }
 
   if (command == "enable" || command == "disable") {
     if (!client.SetTraceEnabled(command == "enable")) {

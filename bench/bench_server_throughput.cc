@@ -19,9 +19,11 @@
 // frames out. This measures what the thread-per-connection model could
 // not offer at all: a thousand concurrent peers on a fixed number of
 // server threads. One extra socket holds a live streaming-telemetry
-// subscription (spans + metrics deltas) for the whole sweep; the table
-// reports the chunks it received and whether the delivered stream stayed
-// gap-free (consecutive per-subscription sequence numbers).
+// subscription (spans + metrics deltas) AND a wildcard result-stream
+// subscription for the whole sweep; the table reports the chunks each
+// received and whether the delivered streams stayed gap-free
+// (consecutive per-subscription sequence numbers), and the JSON stamps
+// the result-delivery counters (chunks, records, drops, sheds).
 //
 // Emits one JSON document between BEGIN_JSON/END_JSON markers.
 
@@ -95,6 +97,14 @@ struct ConnSample {
   uint64_t telemetry_chunks = 0;
   uint64_t telemetry_dropped = 0;
   bool telemetry_gap_free = true;
+  // The same socket also holds a live result-stream subscription
+  // (wildcard): chunks/records it received, the cumulative dropped-record
+  // count from the exporter, and whether delivered seqs stayed gap-free.
+  uint64_t result_chunks = 0;
+  uint64_t result_records = 0;
+  uint64_t result_dropped_records = 0;
+  uint64_t result_subscribers_shed = 0;
+  bool result_gap_free = true;
 };
 
 std::vector<ConnSample>& ConnSamples() {
@@ -132,6 +142,9 @@ ConnSample RunConnections(const std::vector<Event>& events,
   std::atomic<uint64_t> sub_chunks{0};
   std::atomic<uint64_t> sub_dropped{0};
   std::atomic<bool> sub_gap_free{true};
+  std::atomic<uint64_t> res_chunks{0};
+  std::atomic<uint64_t> res_records{0};
+  std::atomic<bool> res_gap_free{true};
   std::thread subscriber([&]() {
     auto channel = TcpChannel::Connect(server.port());
     if (channel == nullptr) return;
@@ -140,16 +153,35 @@ ConnSample RunConnections(const std::vector<Event>& events,
                        server::kTelemetrySpans | server::kTelemetryMetrics)) {
       return;
     }
+    // The same socket also rides a live result-stream subscription, so
+    // the sweep doubles as a delivery check under real load: seqs must
+    // stay consecutive no matter how many chunks the bounded write
+    // budget sheds.
+    if (!sub.SubscribeResults(/*session_id=*/0, server::kResultFilterAll)) {
+      return;
+    }
     uint64_t expect = 1;
+    uint64_t res_expect = 1;
     server::Frame chunk;
     while (!sub_stop.load(std::memory_order_relaxed)) {
+      bool got = false;
       if (sub.PollTelemetry(&chunk)) {
+        got = true;
         if (chunk.telemetry_seq != expect) sub_gap_free.store(false);
         expect = chunk.telemetry_seq + 1;
         sub_chunks.fetch_add(1, std::memory_order_relaxed);
         sub_dropped.store(chunk.telemetry_dropped,
                           std::memory_order_relaxed);
-      } else {
+      }
+      if (sub.PollResults(&chunk)) {
+        got = true;
+        if (chunk.result_seq != res_expect) res_gap_free.store(false);
+        res_expect = chunk.result_seq + 1;
+        res_chunks.fetch_add(1, std::memory_order_relaxed);
+        res_records.fetch_add(chunk.events.size(),
+                              std::memory_order_relaxed);
+      }
+      if (!got) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     }
@@ -254,6 +286,14 @@ ConnSample RunConnections(const std::vector<Event>& events,
   s.telemetry_chunks = sub_chunks.load();
   s.telemetry_dropped = sub_dropped.load();
   s.telemetry_gap_free = sub_gap_free.load();
+  s.result_chunks = res_chunks.load();
+  s.result_records = res_records.load();
+  s.result_gap_free = res_gap_free.load();
+  // Exporter-side accounting (covers drops after the last delivered
+  // chunk, which the in-stream cumulative counter cannot).
+  const server::ServerMetrics sm = service.Snapshot();
+  s.result_dropped_records = sm.results.records_dropped;
+  s.result_subscribers_shed = sm.results.subscribers_shed;
   server.Stop();
   return s;
 }
@@ -342,7 +382,8 @@ void Run() {
           std::to_string(n) + " events, IMPATIENCE_IO_THREADS pool");
   TablePrinter conn_table({"conns", "io_threads", "peak_open",
                            "offered_Me/s", "delivered_Me/s", "stalls",
-                           "shed", "tel_chunks", "tel_gapfree"});
+                           "shed", "tel_chunks", "tel_gapfree", "res_chunks",
+                           "res_gapfree"});
   for (const size_t connections : {64u, 256u, 1000u}) {
     const ConnSample s = RunConnections(cloudlog.events, connections);
     conn_table.PrintRow({TablePrinter::Int(s.connections),
@@ -353,7 +394,9 @@ void Run() {
                          TablePrinter::Int(s.epollout_stalls),
                          TablePrinter::Int(s.closed_slow),
                          TablePrinter::Int(s.telemetry_chunks),
-                         s.telemetry_gap_free ? "yes" : "NO"});
+                         s.telemetry_gap_free ? "yes" : "NO",
+                         TablePrinter::Int(s.result_chunks),
+                         s.result_gap_free ? "yes" : "NO"});
     ConnSamples().push_back(s);
   }
 
@@ -388,7 +431,11 @@ void Run() {
         "\"offered_meps\": %.4f, \"delivered_meps\": %.4f, "
         "\"epollout_stalls\": %llu, \"closed_slow\": %llu, "
         "\"telemetry_chunks\": %llu, \"telemetry_dropped\": %llu, "
-        "\"telemetry_gap_free\": %s}%s\n",
+        "\"telemetry_gap_free\": %s, "
+        "\"result_chunks\": %llu, \"result_records\": %llu, "
+        "\"result_dropped_records\": %llu, "
+        "\"result_subscribers_shed\": %llu, "
+        "\"result_gap_free\": %s}%s\n",
         conns[i].connections, conns[i].io_threads, conns[i].peak_open,
         conns[i].offered_meps, conns[i].delivered_meps,
         static_cast<unsigned long long>(conns[i].epollout_stalls),
@@ -396,6 +443,11 @@ void Run() {
         static_cast<unsigned long long>(conns[i].telemetry_chunks),
         static_cast<unsigned long long>(conns[i].telemetry_dropped),
         conns[i].telemetry_gap_free ? "true" : "false",
+        static_cast<unsigned long long>(conns[i].result_chunks),
+        static_cast<unsigned long long>(conns[i].result_records),
+        static_cast<unsigned long long>(conns[i].result_dropped_records),
+        static_cast<unsigned long long>(conns[i].result_subscribers_shed),
+        conns[i].result_gap_free ? "true" : "false",
         i + 1 < conns.size() ? "," : "");
   }
   std::printf("]}\nEND_JSON\n");

@@ -202,6 +202,35 @@ bool IngestClient::Subscribe(uint64_t session_id, uint8_t streams,
   return true;
 }
 
+bool IngestClient::SubscribeResults(uint64_t session_id, uint8_t filter,
+                                    uint64_t* subscription_id) {
+  Frame frame;
+  frame.type = FrameType::kResultSubscribeRequest;
+  frame.session_id = session_id;
+  frame.result_filter = filter;
+  if (!SendFrame(frame)) return false;
+  Frame ack;
+  if (!WaitFor(FrameType::kResultSubscribeAck, &ack)) return false;
+  if (subscription_id != nullptr) *subscription_id = ack.subscription_id;
+  return true;
+}
+
+bool IngestClient::PollResults(Frame* out) {
+  Pump(/*blocking=*/false);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->type == FrameType::kResultChunk) {
+      *out = std::move(*it);
+      pending_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IngestClient::NextResults(Frame* out) {
+  return WaitFor(FrameType::kResultChunk, out);
+}
+
 bool IngestClient::PollTelemetry(Frame* out) {
   Pump(/*blocking=*/false);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {

@@ -132,6 +132,25 @@ class IngestClient {
   // death or decode error.
   bool NextTelemetry(Frame* out);
 
+  // Opens a live result-stream subscription. `filter` is
+  // kResultFilterSession (only the shard serving `session_id`) or
+  // kResultFilterAll (every shard); kResultChunk frames then arrive
+  // interleaved with other replies and surface through
+  // PollResults/NextResults. Subscribing again replaces the previous
+  // subscription.
+  bool SubscribeResults(uint64_t session_id, uint8_t filter,
+                        uint64_t* subscription_id = nullptr);
+
+  // Pops the next buffered kResultChunk, if any; checks the channel
+  // (non-blocking) first. Inspect result_seq / result_dropped /
+  // result_watermark / result_shard / result_stream / events on the
+  // popped frame.
+  bool PollResults(Frame* out);
+
+  // Blocks until the next kResultChunk arrives; false on channel death
+  // or decode error.
+  bool NextResults(Frame* out);
+
   // Pops the next asynchronously received kReject frame, if any; checks
   // the channel (non-blocking) first. Rejects that arrive while waiting
   // for an ack are stashed and surface here.

@@ -1,5 +1,6 @@
 #include "server/ingest_service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -21,6 +22,9 @@ Connection::~Connection() {
   // after this line no exporter thread can touch the send path again.
   if (subscription_id_ != 0) {
     service_->exporter_->Unsubscribe(subscription_id_);
+  }
+  if (result_subscription_id_ != 0) {
+    service_->result_exporter_->Unsubscribe(result_subscription_id_);
   }
   {
     // Unregister any pending flush acks so shard workers cannot route an
@@ -182,6 +186,42 @@ void Connection::Dispatch(Frame& frame) {
       Send(ack);
       return;
     }
+    case FrameType::kResultSubscribeRequest: {
+      // A second subscribe replaces the first (filter changes included).
+      if (result_subscription_id_ != 0) {
+        service_->result_exporter_->Unsubscribe(result_subscription_id_);
+        result_subscription_id_ = 0;
+      }
+      ResultExporter::TrySink sink;
+      if (try_send_) {
+        sink = try_send_;
+      } else {
+        // Loopback transports have no bounded write path; their inbox is
+        // consumed synchronously by the test/bench client.
+        const SendFn send = send_;
+        sink = [send](std::string bytes) {
+          send(std::move(bytes));
+          return true;
+        };
+      }
+      // Pipeline output carries no session ids (sessions blend inside a
+      // shard pipeline), so the per-session filter resolves to the shard
+      // this session's frames route to.
+      const size_t shard_filter =
+          frame.result_filter == kResultFilterSession
+              ? service_->manager_.ShardOf(frame.session_id)
+              : ResultExporter::kAllShards;
+      result_subscription_id_ = service_->result_exporter_->Subscribe(
+          frame.session_id, frame.result_filter, shard_filter,
+          std::move(sink));
+      Frame ack;
+      ack.type = FrameType::kResultSubscribeAck;
+      ack.session_id = frame.session_id;
+      ack.result_filter = frame.result_filter;
+      ack.subscription_id = result_subscription_id_;
+      Send(ack);
+      return;
+    }
     case FrameType::kShutdown: {
       service_->Shutdown();
       Frame ack;
@@ -249,8 +289,18 @@ bool Connection::TrySend(const Frame& frame) {
 
 IngestService::IngestService(ServiceOptions options)
     : options_(std::move(options)),
-      manager_(options_.shards, options_.on_result,
-               [this](uint64_t session_id) { OnSessionFlushed(session_id); }) {
+      result_exporter_(std::make_unique<ResultExporter>(
+          options_.results, std::max<size_t>(1, options_.shards.num_shards))),
+      manager_(
+          options_.shards,
+          [this](size_t shard, size_t stream, const Event& e) {
+            result_exporter_->OnResult(shard, stream, e);
+            if (options_.on_result) options_.on_result(shard, stream, e);
+          },
+          [this](uint64_t session_id) { OnSessionFlushed(session_id); },
+          [this](size_t shard, Timestamp watermark) {
+            result_exporter_->OnShardProgress(shard, watermark);
+          }) {
   exporter_ = std::make_unique<TelemetryExporter>(
       options_.telemetry, [this] { return manager_.SnapshotShards(); });
 }
@@ -314,6 +364,7 @@ ServerMetrics IngestService::Snapshot() {
   m.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   m.shutting_down = manager_.shutting_down();
   m.telemetry = exporter_->Counters();
+  m.results = result_exporter_->Counters();
   m.shards = manager_.SnapshotShards();
   return m;
 }

@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "server/metrics.h"
+#include "server/result_exporter.h"
 #include "server/session_shard_manager.h"
 #include "server/telemetry_exporter.h"
 #include "server/wire_format.h"
@@ -42,6 +43,8 @@ struct ServiceOptions {
   // telemetry.start_thread = false and drive the exporter's Tick()
   // directly for deterministic schedules.
   TelemetryOptions telemetry;
+  // Streaming query results (kResultSubscribeRequest / kResultChunk).
+  ResultStreamOptions results;
 };
 
 class IngestService;
@@ -87,6 +90,7 @@ class Connection {
   FrameDecoder decoder_;
   bool poisoned_ = false;
   uint64_t subscription_id_ = 0;  // Live telemetry subscription, or 0.
+  uint64_t result_subscription_id_ = 0;  // Live result subscription, or 0.
 };
 
 class IngestService {
@@ -125,6 +129,10 @@ class IngestService {
   // only runs when options.telemetry.start_thread is set).
   TelemetryExporter& telemetry() { return *exporter_; }
 
+  // The result-stream exporter (always present; passive — it only does
+  // work while at least one connection holds a result subscription).
+  ResultExporter& results() { return *result_exporter_; }
+
  private:
   friend class Connection;
 
@@ -132,6 +140,12 @@ class IngestService {
   void OnSessionFlushed(uint64_t session_id);
 
   ServiceOptions options_;
+  // Declared before manager_ (and built in the member-init list): the
+  // manager's constructor replays spill recovery and starts workers, both
+  // of which can emit results into the exporter before the constructor
+  // body runs. Destroyed after manager_, whose Shutdown joins the worker
+  // threads that call into it.
+  std::unique_ptr<ResultExporter> result_exporter_;
   SessionShardManager manager_;
 
   std::atomic<uint64_t> connections_opened_{0};

@@ -254,6 +254,20 @@ std::string RenderMetricsText(const ServerMetrics& m) {
           m.telemetry.dump_chunks);
   Appendf(&out, "impatience_telemetry_dump_truncated %" PRIu64 "\n",
           m.telemetry.dump_truncated);
+  Appendf(&out, "impatience_results_subscribers %" PRIu64 "\n",
+          m.results.subscribers);
+  Appendf(&out, "impatience_results_chunks_built %" PRIu64 "\n",
+          m.results.chunks_built);
+  Appendf(&out, "impatience_results_chunks_sent %" PRIu64 "\n",
+          m.results.chunks_sent);
+  Appendf(&out, "impatience_results_chunks_dropped %" PRIu64 "\n",
+          m.results.chunks_dropped);
+  Appendf(&out, "impatience_results_records_streamed %" PRIu64 "\n",
+          m.results.records_streamed);
+  Appendf(&out, "impatience_results_records_dropped %" PRIu64 "\n",
+          m.results.records_dropped);
+  Appendf(&out, "impatience_results_subscribers_shed %" PRIu64 "\n",
+          m.results.subscribers_shed);
 
   TextLoopFamily(&out, m, "impatience_io_loop_connections",
                  [](const IoLoopMetrics& l) { return l.connections; });
@@ -422,6 +436,15 @@ std::string RenderMetricsJson(const ServerMetrics& m) {
           m.telemetry.spans_exported, m.telemetry.span_ring_drops,
           m.telemetry.metrics_deltas, m.telemetry.dump_chunks,
           m.telemetry.dump_truncated);
+  Appendf(&out,
+          "\"results\":{\"subscribers\":%" PRIu64 ",\"chunks_built\":%" PRIu64
+          ",\"chunks_sent\":%" PRIu64 ",\"chunks_dropped\":%" PRIu64
+          ",\"records_streamed\":%" PRIu64 ",\"records_dropped\":%" PRIu64
+          ",\"subscribers_shed\":%" PRIu64 "},",
+          m.results.subscribers, m.results.chunks_built,
+          m.results.chunks_sent, m.results.chunks_dropped,
+          m.results.records_streamed, m.results.records_dropped,
+          m.results.subscribers_shed);
   out += "\"shards\":[";
   for (size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];
@@ -568,6 +591,27 @@ std::string RenderMetricsPrometheus(const ServerMetrics& m) {
   PromScalar(&out, "impatience_telemetry_dump_truncated", "counter",
              "Trace dumps that could not queue every chunk.",
              m.telemetry.dump_truncated);
+
+  PromScalar(&out, "impatience_results_subscribers", "gauge",
+             "Live result-stream subscriptions.", m.results.subscribers);
+  PromScalar(&out, "impatience_results_chunks_built", "counter",
+             "Result chunks sealed from pipeline output.",
+             m.results.chunks_built);
+  PromScalar(&out, "impatience_results_chunks_sent", "counter",
+             "Result chunks accepted toward a subscriber.",
+             m.results.chunks_sent);
+  PromScalar(&out, "impatience_results_chunks_dropped", "counter",
+             "Result chunks dropped at a full write budget.",
+             m.results.chunks_dropped);
+  PromScalar(&out, "impatience_results_records_streamed", "counter",
+             "Records inside accepted result chunks.",
+             m.results.records_streamed);
+  PromScalar(&out, "impatience_results_records_dropped", "counter",
+             "Records inside dropped result chunks.",
+             m.results.records_dropped);
+  PromScalar(&out, "impatience_results_subscribers_shed", "counter",
+             "Result subscriptions removed after persistent stalling.",
+             m.results.subscribers_shed);
 
   PromLoopFamily(&out, m, "impatience_io_loop_connections", "gauge",
                  "Connections currently owned by the event loop.",

@@ -98,6 +98,20 @@ struct TelemetryMetrics {
   uint64_t dump_truncated = 0;    // Dumps that could not queue every chunk.
 };
 
+// Result-stream exporter counters (result_exporter.h). `subscribers` is
+// a point-in-time gauge; the rest are cumulative. Drops are counted in
+// both chunks (delivery attempts refused) and records (rows inside those
+// chunks), mirroring the per-subscriber wire accounting.
+struct ResultStreamMetrics {
+  uint64_t subscribers = 0;       // Live subscriptions.
+  uint64_t chunks_built = 0;      // Chunks sealed from pipeline output.
+  uint64_t chunks_sent = 0;       // Chunks accepted toward a subscriber.
+  uint64_t chunks_dropped = 0;    // Chunks dropped at a full write budget.
+  uint64_t records_streamed = 0;  // Records inside accepted chunks.
+  uint64_t records_dropped = 0;   // Records inside dropped chunks.
+  uint64_t subscribers_shed = 0;  // Subscriptions removed for stalling.
+};
+
 // Front-end totals: the acceptor plus every I/O loop. Empty when the
 // service runs without a socket front end (loopback tests).
 struct TransportMetrics {
@@ -118,6 +132,7 @@ struct ServerMetrics {
   bool shutting_down = false;
   TransportMetrics transport;
   TelemetryMetrics telemetry;
+  ResultStreamMetrics results;
   std::vector<ShardMetrics> shards;
 };
 

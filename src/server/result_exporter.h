@@ -1,0 +1,145 @@
+// Streaming query results: fans the per-shard pipeline output out to
+// subscribed connections as kResultChunk frames.
+//
+// The shard workers call OnResult for every record the pipeline emits
+// (the same emission point as ServiceOptions::on_result). Records
+// accumulate in a per-shard slot and are sealed into one chunk when the
+// emitting stream changes, when the chunk would exceed `max_chunk_bytes`,
+// or at a burst boundary (OnShardProgress — the shard's ingress queue
+// went empty or a drain finished), which also stamps the shard's band-0
+// punctuation frontier into the slot as the chunk watermark. Sealed
+// chunks are offered to every matching subscriber through its try-sink;
+// a subscription filters either on one shard (kResultFilterSession — the
+// shard the subscribing session routes to) or takes every shard's output
+// (kResultFilterAll).
+//
+// Backpressure contract — identical to the telemetry exporter's: a sink
+// returning false means the connection's bounded write budget is full.
+// The chunk is dropped for that subscriber only; its cumulative dropped
+// RECORD count rises (made explicit in the next delivered chunk) while
+// its delivered sequence numbers stay gap-free. `shed_after_drops`
+// consecutive refusals unsubscribe the subscriber entirely (counted in
+// subscribers_shed; the connection stays up and can resubscribe). The
+// exporter never blocks on a subscriber and never buffers beyond one
+// unsealed chunk per shard, so a stalled subscriber cannot stall ingest
+// or other sessions.
+//
+// Delivery starts at the first chunk sealed after Subscribe; chunks
+// sealed while no subscriber matches are discarded, not queued.
+//
+// Locking: Subscribe/Unsubscribe and the fan-out share mu_ (so a
+// connection destructor's Unsubscribe waits out any in-flight delivery
+// to its sink). Each shard slot has its own mutex, held only while
+// appending or extracting pending records — never across the fan-out —
+// so the slot and exporter mutexes never nest.
+
+#ifndef IMPATIENCE_SERVER_RESULT_EXPORTER_H_
+#define IMPATIENCE_SERVER_RESULT_EXPORTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/timestamp.h"
+#include "server/metrics.h"
+#include "server/wire_format.h"
+
+namespace impatience {
+namespace server {
+
+struct ResultStreamOptions {
+  // Upper bound on one kResultChunk frame payload; kept well under
+  // kMaxPayloadBytes so a chunk always frames. Clamped to [1 KiB, 4 MiB].
+  size_t max_chunk_bytes = 256u * 1024;
+  // Consecutive undeliverable chunks before a subscriber is shed.
+  size_t shed_after_drops = 40;
+};
+
+class ResultExporter {
+ public:
+  // Delivers one encoded frame toward the subscriber. Returns false to
+  // refuse (bounded queue full): the chunk is dropped, never retried.
+  // Must not block; called from shard worker threads.
+  using TrySink = std::function<bool(std::string bytes)>;
+
+  // Matches any shard in a subscription's filter.
+  static constexpr size_t kAllShards = static_cast<size_t>(-1);
+
+  ResultExporter(ResultStreamOptions options, size_t num_shards);
+
+  ResultExporter(const ResultExporter&) = delete;
+  ResultExporter& operator=(const ResultExporter&) = delete;
+
+  // Pipeline emission hook: one record out of `shard`'s pipeline for
+  // logical stream `stream`. Called on the shard's worker thread (one
+  // call at a time per shard; concurrent across shards).
+  void OnResult(size_t shard, size_t stream, const Event& e);
+
+  // Burst-boundary hook: `watermark` is the shard's band-0 punctuation
+  // frontier. Advances the slot watermark (monotone) and seals any
+  // pending records so subscribers see complete bursts promptly.
+  void OnShardProgress(size_t shard, Timestamp watermark);
+
+  // Registers a subscriber; returns its subscription id. `filter` is the
+  // wire filter (kResultFilterSession / kResultFilterAll) echoed in
+  // acks; `shard_filter` is the shard it resolves to, or kAllShards.
+  // Chunks sent to this subscriber carry `session_id`.
+  uint64_t Subscribe(uint64_t session_id, uint8_t filter,
+                     size_t shard_filter, TrySink sink);
+
+  // Removes a subscription and waits out any in-flight delivery to its
+  // sink. Unknown ids are ignored (the subscriber may have been shed).
+  void Unsubscribe(uint64_t id);
+
+  ResultStreamMetrics Counters() const;
+
+  const ResultStreamOptions& options() const { return options_; }
+
+ private:
+  struct ShardSlot {
+    std::mutex mu;
+    std::vector<Event> pending;
+    uint32_t stream = 0;  // Stream of the pending records.
+    Timestamp watermark = kMinTimestamp;
+  };
+
+  struct Subscription {
+    uint64_t id = 0;
+    uint64_t session_id = 0;
+    uint8_t filter = 0;
+    size_t shard_filter = kAllShards;
+    TrySink sink;
+    uint64_t seq = 0;      // Last delivered sequence number.
+    uint64_t dropped = 0;  // Cumulative records dropped for this sink.
+    size_t consecutive_drops = 0;
+  };
+
+  // Extracts the slot's pending records (caller must NOT hold slot->mu)
+  // and fans them out under mu_.
+  void Seal(size_t shard, ShardSlot* slot);
+  void FanOut(size_t shard, uint32_t stream, Timestamp watermark,
+              const std::vector<Event>& records);
+
+  const ResultStreamOptions options_;
+  const size_t records_per_chunk_;
+  std::vector<std::unique_ptr<ShardSlot>> slots_;
+
+  // Cheap early-out for the hot OnResult path while nobody subscribes.
+  std::atomic<bool> active_{false};
+
+  mutable std::mutex mu_;
+  std::vector<Subscription> subs_;
+  uint64_t next_id_ = 1;
+  ResultStreamMetrics counters_;
+};
+
+}  // namespace server
+}  // namespace impatience
+
+#endif  // IMPATIENCE_SERVER_RESULT_EXPORTER_H_

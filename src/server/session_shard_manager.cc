@@ -122,10 +122,12 @@ struct SessionShardManager::Shard {
 
 SessionShardManager::SessionShardManager(ShardManagerOptions options,
                                          ResultFn on_result,
-                                         SessionFlushFn on_session_flush)
+                                         SessionFlushFn on_session_flush,
+                                         ShardProgressFn on_shard_progress)
     : options_(std::move(options)),
       on_result_(std::move(on_result)),
-      on_session_flush_(std::move(on_session_flush)) {
+      on_session_flush_(std::move(on_session_flush)),
+      on_shard_progress_(std::move(on_shard_progress)) {
   IMPATIENCE_CHECK(options_.num_shards > 0);
   if (options_.framework.reorder_latencies.empty()) {
     options_.framework.reorder_latencies = {1 * kSecond, 1 * kMinute};
@@ -305,13 +307,24 @@ SubmitResult SessionShardManager::Submit(Frame frame) {
 void SessionShardManager::WorkerLoop(Shard* s) {
   Frame frame;
   while (s->queue.Pop(&frame)) {
+    bool burst_end = false;
+    Timestamp frontier = kMinTimestamp;
     {
       std::lock_guard<std::mutex> lock(s->pipeline_mu);
       Process(s, frame);
       // Burst boundary: nothing else queued right now, so push any
       // half-filled batch into the pipeline instead of letting it sit
       // until the next frame arrives.
-      if (s->queue.size() == 0) s->pipeline.ingress().FlushPending();
+      if (s->queue.size() == 0) {
+        s->pipeline.ingress().FlushPending();
+        burst_end = true;
+        frontier = s->streams->partition().band_punctuation(0);
+      }
+    }
+    // Progress is reported outside pipeline_mu: the callback fans chunks
+    // out to subscribers and must not hold up metrics snapshots.
+    if (burst_end && on_shard_progress_) {
+      on_shard_progress_(s->index, frontier);
     }
     frame = Frame{};
   }
@@ -369,8 +382,13 @@ void SessionShardManager::Process(Shard* s, Frame& frame) {
 }
 
 void SessionShardManager::FlushPipeline(Shard* s) {
-  std::lock_guard<std::mutex> lock(s->pipeline_mu);
-  s->pipeline.ingress().Finish();
+  Timestamp frontier = kMinTimestamp;
+  {
+    std::lock_guard<std::mutex> lock(s->pipeline_mu);
+    s->pipeline.ingress().Finish();
+    frontier = s->streams->partition().band_punctuation(0);
+  }
+  if (on_shard_progress_) on_shard_progress_(s->index, frontier);
 }
 
 void SessionShardManager::Shutdown() {
@@ -493,8 +511,13 @@ void SessionShardManager::DrainShardForTest(size_t shard) {
     std::lock_guard<std::mutex> lock(s->pipeline_mu);
     Process(s, frame);
   }
-  std::lock_guard<std::mutex> lock(s->pipeline_mu);
-  s->pipeline.ingress().FlushPending();
+  Timestamp frontier = kMinTimestamp;
+  {
+    std::lock_guard<std::mutex> lock(s->pipeline_mu);
+    s->pipeline.ingress().FlushPending();
+    frontier = s->streams->partition().band_punctuation(0);
+  }
+  if (on_shard_progress_) on_shard_progress_(s->index, frontier);
 }
 
 }  // namespace server

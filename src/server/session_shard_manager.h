@@ -115,11 +115,19 @@ using ResultFn =
 // applied — every earlier frame of that session is in the pipeline.
 using SessionFlushFn = std::function<void(uint64_t session_id)>;
 
+// Called at shard burst boundaries (ingress queue drained, explicit test
+// drain, pipeline flush) with the shard's band-0 punctuation frontier.
+// Invoked outside pipeline_mu, after every on_result call the burst
+// produced — a result exporter can treat it as "seal what you have".
+using ShardProgressFn =
+    std::function<void(size_t shard, Timestamp watermark)>;
+
 class SessionShardManager {
  public:
   explicit SessionShardManager(ShardManagerOptions options,
                                ResultFn on_result = {},
-                               SessionFlushFn on_session_flush = {});
+                               SessionFlushFn on_session_flush = {},
+                               ShardProgressFn on_shard_progress = {});
   ~SessionShardManager();
 
   SessionShardManager(const SessionShardManager&) = delete;
@@ -174,6 +182,7 @@ class SessionShardManager {
   ShardManagerOptions options_;
   ResultFn on_result_;
   SessionFlushFn on_session_flush_;
+  ShardProgressFn on_shard_progress_;
   // Write-behind pool and spill governor. Declared before shards_ so they
   // outlive the shards: sorters hold flusher channels and governor client
   // registrations until their pipelines are destroyed.

@@ -58,6 +58,25 @@ uint64_t GetU64(const uint8_t* p) {
 int32_t GetI32(const uint8_t* p) { return static_cast<int32_t>(GetU32(p)); }
 int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
 
+// One packed wire event (kWireEventBytes); shared by kEvents and
+// kResultChunk so a result record round-trips bit-identically to the
+// ingress encoding.
+void PutEvent(const Event& e, std::vector<uint8_t>* out) {
+  PutI64(e.sync_time, out);
+  PutI64(e.other_time, out);
+  PutI32(e.key, out);
+  PutU64(e.hash, out);
+  for (int c = 0; c < 4; ++c) PutI32(e.payload[c], out);
+}
+
+void GetEvent(const uint8_t* q, Event* e) {
+  e->sync_time = GetI64(q);
+  e->other_time = GetI64(q + 8);
+  e->key = GetI32(q + 16);
+  e->hash = GetU64(q + 20);
+  for (int c = 0; c < 4; ++c) e->payload[c] = GetI32(q + 28 + 4 * c);
+}
+
 // The type-specific small header field (byte 5).
 uint8_t AuxOf(const Frame& frame) {
   switch (frame.type) {
@@ -73,6 +92,9 @@ uint8_t AuxOf(const Frame& frame) {
     case FrameType::kSubscribeAck:
     case FrameType::kTelemetryChunk:
       return frame.telemetry_streams;
+    case FrameType::kResultSubscribeRequest:
+    case FrameType::kResultSubscribeAck:
+      return frame.result_filter;
     default:
       return 0;
   }
@@ -82,13 +104,7 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
   switch (frame.type) {
     case FrameType::kEvents: {
       PutU32(static_cast<uint32_t>(frame.events.size()), out);
-      for (const Event& e : frame.events) {
-        PutI64(e.sync_time, out);
-        PutI64(e.other_time, out);
-        PutI32(e.key, out);
-        PutU64(e.hash, out);
-        for (int c = 0; c < 4; ++c) PutI32(e.payload[c], out);
-      }
+      for (const Event& e : frame.events) PutEvent(e, out);
       return;
     }
     case FrameType::kPunctuation:
@@ -109,6 +125,19 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
       PutU64(frame.telemetry_dropped, out);
       out->insert(out->end(), frame.text.begin(), frame.text.end());
       return;
+    case FrameType::kResultSubscribeAck:
+      PutU64(frame.subscription_id, out);
+      return;
+    case FrameType::kResultChunk: {
+      PutU64(frame.result_seq, out);
+      PutU64(frame.result_dropped, out);
+      PutI64(frame.result_watermark, out);
+      PutU32(frame.result_shard, out);
+      PutU32(frame.result_stream, out);
+      PutU32(static_cast<uint32_t>(frame.events.size()), out);
+      for (const Event& e : frame.events) PutEvent(e, out);
+      return;
+    }
     case FrameType::kFlushSession:
     case FrameType::kFlushAck:
     case FrameType::kShutdown:
@@ -116,6 +145,7 @@ void AppendPayload(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kMetricsRequest:
     case FrameType::kTraceRequest:
     case FrameType::kSubscribeRequest:
+    case FrameType::kResultSubscribeRequest:
       return;  // Empty payloads.
     case FrameType::kMaintenance:
       break;  // Internal only — falls through to the CHECK below.
@@ -137,12 +167,7 @@ DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
       frame->events.resize(count);
       const uint8_t* q = p + 4;
       for (uint32_t i = 0; i < count; ++i) {
-        Event& e = frame->events[i];
-        e.sync_time = GetI64(q);
-        e.other_time = GetI64(q + 8);
-        e.key = GetI32(q + 16);
-        e.hash = GetU64(q + 20);
-        for (int c = 0; c < 4; ++c) e.payload[c] = GetI32(q + 28 + 4 * c);
+        GetEvent(q, &frame->events[i]);
         q += kWireEventBytes;
       }
       return DecodeStatus::kOk;
@@ -202,6 +227,43 @@ DecodeStatus ParsePayload(FrameType type, uint8_t aux, const uint8_t* p,
       frame->telemetry_dropped = GetU64(p + 8);
       frame->text.assign(reinterpret_cast<const char*>(p) + 16, n - 16);
       return DecodeStatus::kOk;
+    case FrameType::kResultSubscribeRequest:
+      if (n != 0 ||
+          (aux != kResultFilterSession && aux != kResultFilterAll)) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->result_filter = aux;
+      return DecodeStatus::kOk;
+    case FrameType::kResultSubscribeAck:
+      if (n != 8 ||
+          (aux != kResultFilterSession && aux != kResultFilterAll)) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->result_filter = aux;
+      frame->subscription_id = GetU64(p);
+      return DecodeStatus::kOk;
+    case FrameType::kResultChunk: {
+      if (n < kResultChunkHeaderBytes || aux != 0) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->result_seq = GetU64(p);
+      frame->result_dropped = GetU64(p + 8);
+      frame->result_watermark = GetI64(p + 16);
+      frame->result_shard = GetU32(p + 24);
+      frame->result_stream = GetU32(p + 28);
+      const uint32_t count = GetU32(p + 32);
+      if (n != kResultChunkHeaderBytes +
+                   static_cast<size_t>(count) * kWireEventBytes) {
+        return DecodeStatus::kBadPayload;
+      }
+      frame->events.resize(count);
+      const uint8_t* q = p + kResultChunkHeaderBytes;
+      for (uint32_t i = 0; i < count; ++i) {
+        GetEvent(q, &frame->events[i]);
+        q += kWireEventBytes;
+      }
+      return DecodeStatus::kOk;
+    }
     case FrameType::kFlushSession:
     case FrameType::kFlushAck:
     case FrameType::kShutdown:

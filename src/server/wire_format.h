@@ -49,6 +49,24 @@
 //                    sequence, and `dropped` rising makes shed chunks
 //                    explicit. For dump chunks both counters are scoped
 //                    to the one dump request.
+//   kResultSubscribeRequest (empty; aux = ResultFilter) — subscribe this
+//                    connection to the pipeline's query-result stream.
+//                    kResultFilterSession limits delivery to the shard
+//                    serving the frame's session_id; kResultFilterAll
+//                    delivers every shard's output. A second request
+//                    replaces the subscription.
+//   kResultSubscribeAck u64 subscription id (aux echoes the filter).
+//   kResultChunk     u64 delivered-sequence number, u64 cumulative
+//                    dropped-record count, i64 watermark (the emitting
+//                    shard's band-0 punctuation frontier at seal time),
+//                    u32 shard, u32 stream, u32 record count, then
+//                    `count` packed 44-byte events (the same layout as
+//                    kEvents records, already in pipeline emission
+//                    order). Sequence numbers count delivered chunks per
+//                    subscription; `dropped` rising makes shed records
+//                    explicit while delivered seqs stay gap-free.
+//                    Watermarks are non-decreasing per (subscription,
+//                    shard).
 //
 // Decoding is incremental: feed arbitrary byte chunks, get frames out.
 // A corrupted stream (bad magic, bad CRC, oversized length, malformed
@@ -95,6 +113,9 @@ enum class FrameType : uint8_t {
   kSubscribeRequest = 13,
   kSubscribeAck = 14,
   kTelemetryChunk = 15,
+  kResultSubscribeRequest = 16,
+  kResultSubscribeAck = 17,
+  kResultChunk = 18,
 };
 
 enum class RejectReason : uint8_t {
@@ -125,6 +146,17 @@ inline constexpr uint8_t kTelemetrySpans = 1;
 inline constexpr uint8_t kTelemetryMetrics = 2;
 inline constexpr uint8_t kTelemetryDump = 4;
 
+// Result-stream subscription filter (kResultSubscribeRequest aux).
+// kResultFilterSession scopes delivery to the shard the request's
+// session_id routes to; kResultFilterAll is the wildcard.
+inline constexpr uint8_t kResultFilterSession = 1;
+inline constexpr uint8_t kResultFilterAll = 2;
+
+// Fixed prefix of a kResultChunk payload before the packed records:
+// seq (8) + dropped (8) + watermark (8) + shard (4) + stream (4) +
+// count (4).
+inline constexpr size_t kResultChunkHeaderBytes = 36;
+
 // One decoded frame. Only the fields relevant to `type` are meaningful.
 struct Frame {
   FrameType type = FrameType::kEvents;
@@ -142,6 +174,14 @@ struct Frame {
   uint64_t telemetry_seq = 0;         // kTelemetryChunk (1-based)
   uint64_t telemetry_dropped = 0;     // kTelemetryChunk (cumulative)
                                       // — the chunk body rides in `text`.
+  uint8_t result_filter = 0;          // kResultSubscribeRequest/Ack.
+  uint64_t result_seq = 0;            // kResultChunk (1-based, gap-free).
+  uint64_t result_dropped = 0;        // kResultChunk (cumulative records
+                                      // dropped for this subscriber).
+  Timestamp result_watermark = 0;     // kResultChunk (shard frontier).
+  uint32_t result_shard = 0;          // kResultChunk.
+  uint32_t result_stream = 0;         // kResultChunk — the packed records
+                                      // ride in `events`.
 
   // Server-side only, never serialized: Clock::Nanos() when the frame was
   // accepted into a shard queue, for queue-wait accounting.

@@ -16,6 +16,7 @@
 //   - A one-shot trace dump streams as bounded chunks and reassembles to
 //     the full document on the client — never silently truncated.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -302,32 +303,52 @@ TEST_F(TelemetryStreamTest, DroppedChunksSurfaceInStreamSeqStaysGapFree) {
   h->InjectInbound(SubscribeBytes(5, kTelemetryMetrics));
   ASSERT_TRUE(PumpUntil(&loop, [&] { return h->pending_inbound() == 0; }));
 
-  h->SetWriteBlocked(true);
-  for (int i = 0; i < 6; ++i) {
+  // Stall once the first chunk is delivered, hold for six exporter
+  // ticks: keying on the delivered seq pins the stall to the same point
+  // in the stream under every fault seed.
+  ft::SubscriberStallSchedule sched(
+      h.get(), {{/*stall_at_seq=*/1, /*resume_after_ticks=*/6}});
+  std::string out;
+  uint64_t max_seq = 0;
+  auto observe = [&] {
+    out += h->TakeOutput();
+    for (const Frame& f : DecodeAll(out)) {
+      if (f.type == FrameType::kTelemetryChunk) {
+        max_seq = std::max(max_seq, f.telemetry_seq);
+      }
+    }
+    sched.Observe(max_seq);
+  };
+  ASSERT_TRUE(PumpUntil(&loop, [&] {
+    service.telemetry().Tick(/*force_metrics=*/true);
+    observe();
+    return sched.stalled();
+  }));
+  while (!sched.done()) {
     service.telemetry().Tick(/*force_metrics=*/true);
     loop.PollOnce(/*timeout_ms=*/5);
+    sched.Tick();
   }
+  EXPECT_EQ(sched.windows_completed(), 1u);
   const ServerMetrics stalled = service.Snapshot();
   EXPECT_GT(stalled.telemetry.chunks_dropped, 0u);
   EXPECT_EQ(stalled.telemetry.subscribers, 1u);  // Not shed.
 
-  h->SetWriteBlocked(false);
-  std::string out;
+  // Recovered: any chunk queued before the stall flushes first (still
+  // carrying dropped=0); keep ticking until a fresh chunk surfaces the
+  // cumulative drop count in-stream.
+  const uint64_t want_dropped = stalled.telemetry.chunks_dropped;
   ASSERT_TRUE(PumpUntil(&loop, [&] {
+    service.telemetry().Tick(/*force_metrics=*/true);
     out += h->TakeOutput();
-    return DecodeAll(out).size() >= 2;  // Ack + queued chunks flushed.
-  }));
-  service.telemetry().Tick(/*force_metrics=*/true);
-  const size_t want = DecodeAll(out).size() + 1;
-  ASSERT_TRUE(PumpUntil(&loop, [&] {
-    out += h->TakeOutput();
-    return DecodeAll(out).size() >= want;
+    const std::vector<Frame> frames = DecodeAll(out);
+    return !frames.empty() && frames.back().telemetry_dropped >= want_dropped;
   }));
 
   const std::vector<Frame> frames = DecodeAll(out);
   ExpectConsecutiveSeqs(frames);
-  EXPECT_GT(frames.back().telemetry_dropped, 0u);
-  EXPECT_EQ(frames.back().telemetry_dropped,
+  EXPECT_GE(frames.back().telemetry_dropped, want_dropped);
+  EXPECT_LE(frames.back().telemetry_dropped,
             service.Snapshot().telemetry.chunks_dropped);
 }
 

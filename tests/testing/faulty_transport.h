@@ -295,6 +295,63 @@ class FaultyTransport : public server::Transport {
   std::shared_ptr<State> state_;
 };
 
+// Scripts subscriber-side stall/resume windows against a FaultyTransport:
+// each window engages SetWriteBlocked(true) once the subscriber's
+// delivered sequence number reaches `stall_at_seq`, holds the stall for
+// `resume_after_ticks` test-driven Tick() calls, then releases it and
+// arms the next window. Keying the stall on the delivered seq makes the
+// schedule deterministic across fault seeds (the stall always lands at
+// the same point in the stream), while resume is tick-counted because a
+// blocked transport reports unwritable — the loop stops attempting
+// writes, so no transport-side counter can advance during the stall.
+// Shared by the telemetry and result-stream shed tests.
+class SubscriberStallSchedule {
+ public:
+  struct Window {
+    uint64_t stall_at_seq = 0;      // Engage once delivered seq >= this.
+    size_t resume_after_ticks = 0;  // Ticks the stall persists.
+  };
+
+  SubscriberStallSchedule(FaultyTransport* transport,
+                          std::vector<Window> windows)
+      : transport_(transport), windows_(std::move(windows)) {}
+
+  // Feed the subscriber's latest delivered sequence number (from the
+  // newest chunk it decoded). Engages the next window when reached.
+  void Observe(uint64_t delivered_seq) {
+    if (stalled_ || next_ >= windows_.size()) return;
+    if (delivered_seq >= windows_[next_].stall_at_seq) {
+      stalled_ = true;
+      ticks_in_stall_ = 0;
+      transport_->SetWriteBlocked(true);
+    }
+  }
+
+  // One unit of test-driven progress (an exporter Tick, a pump round).
+  // Counts toward the active window's resume.
+  void Tick() {
+    if (!stalled_) return;
+    if (++ticks_in_stall_ >= windows_[next_].resume_after_ticks) {
+      stalled_ = false;
+      ++next_;
+      ++windows_completed_;
+      transport_->SetWriteBlocked(false);
+    }
+  }
+
+  bool stalled() const { return stalled_; }
+  size_t windows_completed() const { return windows_completed_; }
+  bool done() const { return !stalled_ && next_ >= windows_.size(); }
+
+ private:
+  FaultyTransport* transport_;
+  std::vector<Window> windows_;
+  size_t next_ = 0;
+  bool stalled_ = false;
+  size_t ticks_in_stall_ = 0;
+  size_t windows_completed_ = 0;
+};
+
 // Poller over FaultyTransports. Readiness is recomputed on every Wait
 // from the transports' current state; the order of ready events is
 // shuffled deterministically from the seed, so connection-scheduling

@@ -53,6 +53,14 @@
 # session ingests) execute concurrently with shard workers and epoll
 # loops under each detector across distinct schedules.
 #
+# An eighth pass sweeps IMPATIENCE_FAULT_SEED over 3 more seeds against
+# the ResultStream delivery-correctness battery: each seed replays a
+# distinct schedule of byte-split writes, subscriber stall windows, and
+# readiness shuffles against a live result subscriber, and the tests
+# assert gap-free, duplicate-free, reference-identical delivery (or an
+# ordered subsequence plus exact drop accounting where the stall sheds
+# chunks) under each sanitizer.
+#
 # Benches/examples/tools are skipped: they share the same code, and
 # building them under the sanitizers roughly doubles the wall clock for no
 # extra coverage.
@@ -100,9 +108,15 @@ run_pass() {
     env IMPATIENCE_THREADS=8 IMPATIENCE_TRACE=1 $env_opts \
       ctest --output-on-failure -j "$(nproc)" -L server \
       --repeat until-fail:3)
+  for seed in 55 89 144; do
+    (cd "$build_dir" && \
+      env IMPATIENCE_THREADS=8 IMPATIENCE_FAULT_SEED="$seed" $env_opts \
+        ctest --output-on-failure -j "$(nproc)" -L server -R "ResultStream")
+  done
   echo "$name tier-1 (native + scalar + avx2 kernels + tracing on" \
     "+ 8-seed server fault sweep + forced-spill 64k budget, sync + async" \
-    "flusher pool + 3x live-telemetry server repeat): OK"
+    "flusher pool + 3x live-telemetry server repeat + 3-seed live result" \
+    "subscriber sweep): OK"
 }
 
 tsan_pass() {

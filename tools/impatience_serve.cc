@@ -81,7 +81,9 @@ std::vector<impatience::Timestamp> ParseLatencies(const std::string& arg) {
       "--telemetry-span-interval / --telemetry-metrics-interval set the\n"
       "live-export cadences in milliseconds (defaults 50 / 500).\n"
       "--telemetry-write-budget bounds bytes of telemetry queued per\n"
-      "connection before chunks are dropped (default 1m).\n");
+      "connection before chunks are dropped (default 1m).\n"
+      "--result-chunk-bytes bounds one streamed result chunk payload\n"
+      "(k/m suffixes; clamped to [1k, 4m], default 256k).\n");
   std::exit(2);
 }
 
@@ -147,6 +149,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--telemetry-chunk-bytes") {
       options.telemetry.max_chunk_bytes = storage::ParseByteSize(next().c_str());
       if (options.telemetry.max_chunk_bytes == 0) Usage();
+    } else if (arg == "--result-chunk-bytes") {
+      options.results.max_chunk_bytes = storage::ParseByteSize(next().c_str());
+      if (options.results.max_chunk_bytes == 0) Usage();
     } else if (arg == "--telemetry-span-interval") {
       const int v = std::atoi(next().c_str());
       if (v <= 0) Usage();
